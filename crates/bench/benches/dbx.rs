@@ -1,0 +1,116 @@
+//! Criterion benches for the data-management experiments (E10, E17, E18,
+//! E21 in timing form) and the perturbation explainers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xai_counterfactual::{geco, random_search_counterfactual, GecoConfig, Plaf};
+use xai_data::synth::german_credit;
+use xai_models::{proba_fn, LogisticConfig, LogisticRegression};
+use xai_provenance::{
+    retrain_ridge, tuple_shapley_exact, tuple_shapley_sampled, IncrementalRidge, Polynomial,
+};
+use xai_rules::{apriori, fp_growth, ItemVocabulary};
+use xai_surrogate::{LimeConfig, LimeExplainer};
+
+fn bench_geco(c: &mut Criterion) {
+    let data = german_credit(500, 13);
+    let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+    let fm = proba_fn(&model);
+    let plaf = Plaf::from_schema(&data);
+    let idx = (0..data.n_rows()).find(|&i| fm(data.row(i)) < 0.35).unwrap();
+    let x = data.row(idx).to_vec();
+
+    let mut group = c.benchmark_group("counterfactual_search");
+    group.sample_size(10);
+    group.bench_function("geco_genetic", |b| {
+        b.iter(|| geco(&fm, &data, &x, &plaf, GecoConfig::default(), 3))
+    });
+    group.bench_function("random_search_1500", |b| {
+        b.iter(|| random_search_counterfactual(&fm, &data, &x, &plaf, 1500, 3))
+    });
+    group.finish();
+}
+
+fn bench_mining(c: &mut Criterion) {
+    let data = german_credit(800, 61);
+    let vocab = ItemVocabulary::build(&data);
+    let txns = vocab.transactions(&data);
+    let mut group = c.benchmark_group("itemset_mining");
+    group.sample_size(10);
+    for support in [0.2f64, 0.1] {
+        let min_support = ((support * txns.len() as f64).ceil() as usize).max(1);
+        group.bench_with_input(BenchmarkId::new("apriori", support), &min_support, |b, &s| {
+            b.iter(|| apriori(&txns, s))
+        });
+        group.bench_with_input(BenchmarkId::new("fp_growth", support), &min_support, |b, &s| {
+            b.iter(|| fp_growth(&txns, s))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tuple_shapley(c: &mut Criterion) {
+    // Star-join provenance with 14 endogenous tuples.
+    let mut spokes = Polynomial::zero();
+    for i in 1..=13usize {
+        spokes = spokes.plus(&Polynomial::var(i));
+    }
+    let p = Polynomial::var(0).times(&spokes);
+    let endo: Vec<usize> = (0..=13).collect();
+    let mut group = c.benchmark_group("tuple_shapley_14");
+    group.sample_size(10);
+    group.bench_function("exact_2^14", |b| b.iter(|| tuple_shapley_exact(&p, &endo)));
+    group.bench_function("sampled_1000", |b| b.iter(|| tuple_shapley_sampled(&p, &endo, 1000, 7)));
+    group.finish();
+}
+
+fn bench_priu(c: &mut Criterion) {
+    let data = xai_data::synth::linear_gaussian(4000, &vec![0.5; 12], 0.0, 91);
+    let x = data.x().with_intercept();
+    let y: Vec<f64> = data.y().to_vec();
+    let base = IncrementalRidge::fit(&x, &y, 1e-3);
+
+    let mut group = c.benchmark_group("priu_deletion");
+    group.bench_function("incremental_10_deletions", |b| {
+        b.iter(|| {
+            let mut inc = base.clone();
+            for i in 0..10 {
+                inc.remove_row(x.row(i * 100), y[i * 100]);
+            }
+            inc.coef()
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("full_retrain", |b| {
+        let keep: Vec<usize> = (10..4000).collect();
+        let xk = x.select_rows(&keep);
+        let yk: Vec<f64> = keep.iter().map(|&i| y[i]).collect();
+        b.iter(|| retrain_ridge(&xk, &yk, 1e-3))
+    });
+    group.finish();
+}
+
+fn bench_lime(c: &mut Criterion) {
+    let data = german_credit(600, 17);
+    let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+    let lime = LimeExplainer::fit(&data);
+    let fm = proba_fn(&model);
+    let x = data.row(0).to_vec();
+    let mut group = c.benchmark_group("lime");
+    group.sample_size(10);
+    for n in [250usize, 1000, 4000] {
+        group.bench_with_input(BenchmarkId::new("n_samples", n), &n, |b, &n| {
+            b.iter(|| lime.explain(&fm, &x, LimeConfig { n_samples: n, ..LimeConfig::default() }, 3))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_geco,
+    bench_mining,
+    bench_tuple_shapley,
+    bench_priu,
+    bench_lime
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion benches for the Shapley estimators (experiments E1/E3 in
+//! timing form).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xai_data::synth::{friedman1, german_credit};
+use xai_models::{
+    proba_fn, DecisionTree, Gbdt, GbdtConfig, GbdtLoss, LogisticConfig, LogisticRegression,
+    SplitCriterion, TreeConfig,
+};
+use xai_shapley::{
+    brute_force_tree_shap, exact_shapley, gbdt_shap, kernel_shap, permutation_shapley, tree_shap,
+    KernelShapConfig, PredictionGame,
+};
+
+/// E1: exact enumeration cost doubles per feature; samplers stay flat.
+fn bench_exact_vs_samplers(c: &mut Criterion) {
+    let data = german_credit(200, 1);
+    let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+    let mut group = c.benchmark_group("shapley_scaling");
+    group.sample_size(10);
+    for d in [6usize, 9] {
+        let fm = proba_fn(&model);
+        let wide = move |x: &[f64]| {
+            let folded: Vec<f64> = (0..9).map(|j| x[j % x.len()]).collect();
+            fm(&folded)
+        };
+        let background =
+            xai_linalg::Matrix::from_fn(8, d, |i, j| data.x()[(i, (i + j) % data.n_features())]);
+        let instance: Vec<f64> = (0..d).map(|j| data.x()[(40, j % data.n_features())]).collect();
+        let game = PredictionGame::new(&wide, &instance, &background);
+        group.bench_with_input(BenchmarkId::new("exact", d), &d, |b, _| {
+            b.iter(|| exact_shapley(&game))
+        });
+        group.bench_with_input(BenchmarkId::new("permutation200", d), &d, |b, _| {
+            b.iter(|| permutation_shapley(&game, 200, 3))
+        });
+        group.bench_with_input(BenchmarkId::new("kernel512", d), &d, |b, _| {
+            b.iter(|| {
+                kernel_shap(&game, KernelShapConfig { max_coalitions: 512, ..Default::default() })
+            })
+        });
+    }
+    group.finish();
+}
+
+/// E3: TreeSHAP vs brute force on a single tree.
+fn bench_treeshap(c: &mut Criterion) {
+    let data = friedman1(500, 3, 0.2);
+    let tree = DecisionTree::fit(
+        data.x(),
+        data.y(),
+        TreeConfig {
+            max_depth: 6,
+            criterion: SplitCriterion::Variance,
+            min_samples_leaf: 5,
+            ..TreeConfig::default()
+        },
+    );
+    let x = data.row(0).to_vec();
+    let mut group = c.benchmark_group("treeshap");
+    group.bench_function("tree_shap_poly", |b| b.iter(|| tree_shap(&tree, &x)));
+    group.sample_size(10);
+    group.bench_function("brute_force_2^d", |b| b.iter(|| brute_force_tree_shap(&tree, &x)));
+    group.finish();
+}
+
+/// E3b: ensemble explanation cost.
+fn bench_gbdt_shap(c: &mut Criterion) {
+    let data = friedman1(500, 5, 0.2);
+    let gbdt = Gbdt::fit(
+        data.x(),
+        data.y(),
+        GbdtConfig { n_rounds: 100, loss: GbdtLoss::Squared, ..GbdtConfig::default() },
+    );
+    let x = data.row(0).to_vec();
+    c.bench_function("gbdt_shap_100_trees", |b| b.iter(|| gbdt_shap(&gbdt, &x)));
+}
+
+criterion_group!(benches, bench_exact_vs_samplers, bench_treeshap, bench_gbdt_shap);
+criterion_main!(benches);

@@ -1,0 +1,184 @@
+//! E12–E15: training-data valuation and influence (§2.3).
+
+use xai_bench::{f, fmt_duration, time, Table};
+use xai_data::synth::linear_gaussian;
+use xai_data::{inject_label_noise, Dataset};
+use xai_datavalue::{
+    exact_data_shapley, group_influence_first_order, group_influence_newton,
+    group_removal_ground_truth, influence_on_test_loss, knn_shapley, leave_one_out,
+    relative_error, removal_curve, retraining_ground_truth, tmc_shapley, LogisticUtility, Solver,
+    TmcConfig,
+};
+use xai_models::{LogisticConfig, LogisticRegression};
+
+fn noisy_setup(n: usize, seed: u64) -> (Dataset, Dataset, Vec<usize>) {
+    let mut train = linear_gaussian(n, &[2.5, -1.0], 0.0, seed);
+    let test = linear_gaussian(300, &[2.5, -1.0], 0.0, seed + 1);
+    let guilty = inject_label_noise(&mut train, 0.15, 7);
+    (train, test, guilty)
+}
+
+/// E12 — "Data Shapley assigns values … based on their contribution to
+/// the performance of the model" (§2.3.1): removing high-value points
+/// first degrades accuracy fastest; removing low-value (corrupted) points
+/// first *improves* it. Random removal sits in between.
+pub fn e12(quick: bool) {
+    let n = if quick { 60 } else { 120 };
+    let (train, test, _) = noisy_setup(n, 21);
+    let u = LogisticUtility::new(&train, &test, LogisticConfig::default());
+    let tmc = tmc_shapley(
+        &u,
+        TmcConfig {
+            permutations: if quick { 60 } else { 150 },
+            truncation_tolerance: 0.005,
+            seed: 3,
+        },
+    );
+    let batch = n / 10;
+    let high_first = tmc.attribution.ranking_desc();
+    let low_first = tmc.attribution.ranking_asc();
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut random: Vec<usize> = (0..n).collect();
+    random.shuffle(&mut rand::rngs::StdRng::seed_from_u64(5));
+
+    let hi = removal_curve(&u, &high_first[..n / 2], batch);
+    let lo = removal_curve(&u, &low_first[..n / 2], batch);
+    let rnd = removal_curve(&u, &random[..n / 2], batch);
+    let mut table = Table::new(
+        "E12  point-removal curves (test accuracy after removing k points)",
+        &["removed", "high-value first", "random", "low-value first"],
+    );
+    for i in 0..hi.len() {
+        table.row(vec![
+            hi[i].0.to_string(),
+            f(hi[i].1),
+            f(rnd.get(i).map_or(f64::NAN, |r| r.1)),
+            f(lo[i].1),
+        ]);
+    }
+    table.print();
+    println!("  shape: Ghorbani & Zou Fig. 2 — the three curves must fan out in this order.");
+}
+
+/// E13 — tractability (§2.3.1): exact retraining-Shapley is exponential;
+/// TMC needs hundreds of retrainings; KNN-Shapley is closed-form.
+pub fn e13(quick: bool) {
+    let n_exact = 10;
+    let (train_small, test, _) = noisy_setup(n_exact, 31);
+    let u_small = LogisticUtility::new(&train_small, &test, LogisticConfig::default());
+    let (exact, t_exact) = time(|| exact_data_shapley(&u_small));
+    let (tmc, t_tmc) = time(|| {
+        tmc_shapley(&u_small, TmcConfig { permutations: 200, truncation_tolerance: 0.0, seed: 3 })
+    });
+    let rho_tmc = xai_linalg::stats::spearman(&tmc.attribution.values, &exact.values);
+
+    // KNN-Shapley scales to the full set in milliseconds.
+    let n_big = if quick { 300 } else { 1000 };
+    let (train_big, test_big, guilty) = noisy_setup(n_big, 41);
+    let (knn, t_knn) = time(|| knn_shapley(&train_big, &test_big, 5));
+    let p_at_k = knn.precision_at_k(&guilty, guilty.len());
+
+    let (loo, t_loo) = time(|| leave_one_out(&u_small));
+    let mut table = Table::new(
+        "E13  valuation cost: exact vs TMC vs LOO vs closed-form KNN",
+        &["method", "n", "wall time", "quality"],
+    );
+    table.row(vec![
+        format!("exact retrain (2^{n_exact})"),
+        n_exact.to_string(),
+        fmt_duration(t_exact),
+        "ground truth".into(),
+    ]);
+    table.row(vec![
+        "TMC (200 perms)".into(),
+        n_exact.to_string(),
+        fmt_duration(t_tmc),
+        format!("ρ={rho_tmc:.3} vs exact"),
+    ]);
+    table.row(vec![
+        "leave-one-out".into(),
+        n_exact.to_string(),
+        fmt_duration(t_loo),
+        format!("{} retrains", n_exact + 1),
+    ]);
+    table.row(vec![
+        "KNN-Shapley (closed form)".into(),
+        n_big.to_string(),
+        fmt_duration(t_knn),
+        format!("p@k={p_at_k:.2} on noise"),
+    ]);
+    table.print();
+    let _ = loo;
+}
+
+/// E14 — "avoids retraining the model" (§2.3.2, Koh & Liang): influence
+/// estimates correlate with LOO retraining at a fraction of the cost.
+pub fn e14(quick: bool) {
+    let n = if quick { 60 } else { 150 };
+    let (train, test, guilty) = noisy_setup(n, 61);
+    let config = LogisticConfig { l2: 1e-2, ..LogisticConfig::default() };
+    let model = LogisticRegression::fit(train.x(), train.y(), config);
+    let (inf, t_inf) = time(|| influence_on_test_loss(&model, &train, &test, Solver::Cholesky));
+    let (truth, t_truth) = time(|| retraining_ground_truth(&model, &train, &test, config));
+    let pearson = xai_linalg::stats::pearson(&inf.values, &truth.values);
+    let spearman = xai_linalg::stats::spearman(&inf.values, &truth.values);
+    let mut table = Table::new(
+        "E14  influence functions vs LOO retraining",
+        &["quantity", "influence fn", "retraining"],
+    );
+    table.row(vec!["wall time".into(), fmt_duration(t_inf), fmt_duration(t_truth)]);
+    table.row(vec![
+        "speedup".into(),
+        format!("{:.0}x", t_truth.as_secs_f64() / t_inf.as_secs_f64().max(1e-12)),
+        "1x".into(),
+    ]);
+    table.row(vec!["pearson vs truth".into(), f(pearson), "1.0".into()]);
+    table.row(vec!["spearman vs truth".into(), f(spearman), "1.0".into()]);
+    table.row(vec![
+        "noise precision@k".into(),
+        f(inf.precision_at_k(&guilty, guilty.len())),
+        f(truth.precision_at_k(&guilty, guilty.len())),
+    ]);
+    table.print();
+}
+
+/// E15 — "first-order approximations … can be inaccurate [for groups]"
+/// (§2.3.2, Basu et al.): relative parameter-change error vs group size
+/// for additive first-order vs curvature-aware (Newton) group influence.
+pub fn e15(quick: bool) {
+    let n = if quick { 200 } else { 400 };
+    let train = linear_gaussian(n, &[2.0, -1.0, 0.5], 0.0, 81);
+    let config = LogisticConfig { l2: 1e-2, ..LogisticConfig::default() };
+    let model = LogisticRegression::fit(train.x(), train.y(), config);
+    // Coherent groups: highest-margin positives (maximally correlated).
+    let mut pos: Vec<usize> = (0..n).filter(|&i| train.y()[i] >= 0.5).collect();
+    pos.sort_by(|&a, &b| {
+        model
+            .margin(train.row(b))
+            .partial_cmp(&model.margin(train.row(a)))
+            .unwrap()
+    });
+    let mut table = Table::new(
+        "E15  group influence: relative error vs group size",
+        &["group size", "% of data", "first-order err", "newton (2nd-order) err"],
+    );
+    for frac in [0.02, 0.08, 0.2, 0.35] {
+        let k = ((n as f64) * frac) as usize;
+        let group: Vec<usize> = pos.iter().copied().take(k).collect();
+        if group.len() < 2 {
+            continue;
+        }
+        let truth = group_removal_ground_truth(&model, &train, &group, config);
+        let e1 = relative_error(&group_influence_first_order(&model, &train, &group), &truth);
+        let e2 = relative_error(&group_influence_newton(&model, &train, &group), &truth);
+        table.row(vec![
+            group.len().to_string(),
+            format!("{:.0}%", frac * 100.0),
+            f(e1),
+            f(e2),
+        ]);
+    }
+    table.print();
+    println!("  shape: first-order error grows with group size; curvature-aware stays low (Basu et al.).");
+}

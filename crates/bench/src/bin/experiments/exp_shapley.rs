@@ -1,0 +1,216 @@
+//! E1–E4, E16: the Shapley-family experiments (§2.1.2–2.1.3).
+
+use xai_bench::{f, fmt_duration, time, Table};
+use xai_data::synth::{credit_scm, friedman1, german_credit};
+use xai_models::{
+    proba_fn, Gbdt, GbdtConfig, GbdtLoss, LogisticConfig, LogisticRegression, SplitCriterion,
+    TreeConfig,
+};
+use xai_shapley::{
+    brute_force_tree_shap, causal_shapley, exact_shapley, kernel_shap, permutation_shapley,
+    tree_shap, CooperativeGame, KernelShapConfig, PredictionGame,
+};
+
+/// E1 — "Computing Shapley values takes exponential time" (§2.1.2):
+/// exact enumeration wall-time doubles per added feature while sampling
+/// estimators stay flat at a fixed budget.
+pub fn e1(quick: bool) {
+    let max_d = if quick { 12 } else { 16 };
+    let mut table = Table::new(
+        "E1  exact Shapley is exponential in features; samplers are not",
+        &["features", "coalitions", "exact", "permutation (200)", "kernel (512)"],
+    );
+    let data = german_credit(200, 1);
+    let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+    for d in (4..=max_d).step_by(4) {
+        // Synthetic game: restrict the model to its first d "virtual"
+        // features by tiling the credit features.
+        let f_model = proba_fn(&model);
+        let wide = move |x: &[f64]| {
+            let folded: Vec<f64> = (0..9).map(|j| x[j % x.len()]).collect();
+            f_model(&folded)
+        };
+        let background = xai_linalg::Matrix::from_fn(16, d, |i, j| {
+            data.x()[(i, (i + j) % data.n_features())]
+        });
+        let instance: Vec<f64> = (0..d).map(|j| data.x()[(40, j % data.n_features())]).collect();
+        let game = PredictionGame::new(&wide, &instance, &background);
+        let (_, t_exact) = time(|| exact_shapley(&game));
+        let (_, t_perm) = time(|| permutation_shapley(&game, 200, 3));
+        let (_, t_kernel) = time(|| {
+            kernel_shap(&game, KernelShapConfig { max_coalitions: 512, ..Default::default() })
+        });
+        table.row(vec![
+            d.to_string(),
+            format!("2^{d}"),
+            fmt_duration(t_exact),
+            fmt_duration(t_perm),
+            fmt_duration(t_kernel),
+        ]);
+    }
+    table.print();
+}
+
+/// E2 — approximation error of the samplers converges to the exact values
+/// as the budget grows (§2.1.2 "existing methods compute some
+/// approximation").
+pub fn e2(quick: bool) {
+    let data = german_credit(300, 2);
+    let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+    let fm = proba_fn(&model);
+    let background = data.x().select_rows(&(0..24).collect::<Vec<_>>());
+    let instance = data.row(7);
+    let game = PredictionGame::new(&fm, instance, &background);
+    let exact = exact_shapley(&game);
+    let budgets: &[usize] = if quick { &[16, 64, 256] } else { &[16, 64, 256, 1024, 4096] };
+    let mut table = Table::new(
+        "E2  sampler error vs budget (mean |φ̂−φ| over 9 features)",
+        &["budget", "permutation err", "kernel-SHAP err"],
+    );
+    for &b in budgets {
+        let perm = permutation_shapley(&game, b / 10 + 1, 5);
+        let kern = kernel_shap(&game, KernelShapConfig { max_coalitions: b, ..Default::default() });
+        let err = |phi: &[f64]| -> f64 {
+            phi.iter()
+                .zip(&exact)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>()
+                / exact.len() as f64
+        };
+        table.row(vec![b.to_string(), f(err(&perm.phi)), f(err(&kern.phi))]);
+    }
+    table.print();
+}
+
+/// E3 — "TreeSHAP introduces a polynomial-time algorithm" (§2.1.2):
+/// identical values to brute-force conditional-expectation Shapley, at a
+/// fraction of the cost that grows only with tree size.
+pub fn e3(quick: bool) {
+    let n = if quick { 300 } else { 800 };
+    let data = friedman1(n, 3, 0.2);
+    let mut table = Table::new(
+        "E3  TreeSHAP (polynomial) vs brute-force exact (2^d) on one tree",
+        &["depth", "leaves", "treeshap", "brute force", "max |Δφ|", "speedup"],
+    );
+    for depth in [3usize, 5, 7] {
+        let tree = xai_models::DecisionTree::fit(
+            data.x(),
+            data.y(),
+            TreeConfig {
+                max_depth: depth,
+                criterion: SplitCriterion::Variance,
+                min_samples_leaf: 5,
+                ..TreeConfig::default()
+            },
+        );
+        let x = data.row(0);
+        let (fast, t_fast) = time(|| tree_shap(&tree, x));
+        let (slow, t_slow) = time(|| brute_force_tree_shap(&tree, x));
+        let max_diff = fast
+            .iter()
+            .zip(&slow)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        table.row(vec![
+            depth.to_string(),
+            tree.n_leaves().to_string(),
+            fmt_duration(t_fast),
+            fmt_duration(t_slow),
+            format!("{max_diff:.2e}"),
+            format!("{:.0}x", t_slow.as_secs_f64() / t_fast.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    table.print();
+}
+
+/// E4 — the efficiency axiom: "attributions add up to the difference of
+/// the prediction and the average prediction" (§2.1.2) — checked across
+/// every estimator on a real model.
+pub fn e4(_quick: bool) {
+    let data = german_credit(400, 4);
+    let gbdt = Gbdt::fit(data.x(), data.y(), GbdtConfig { n_rounds: 30, ..GbdtConfig::default() });
+    let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+    let fm = proba_fn(&model);
+    let background = data.x().select_rows(&(0..32).collect::<Vec<_>>());
+    let instance = data.row(11);
+    let game = PredictionGame::new(&fm, instance, &background);
+    let v0 = game.empty_value();
+    let v1 = game.grand_value();
+
+    let mut table = Table::new(
+        "E4  efficiency axiom: |Σφ − (f(x) − E f)| per method",
+        &["method", "Σφ", "target", "gap"],
+    );
+    let mut push = |name: &str, phi: &[f64], target: f64| {
+        let total: f64 = phi.iter().sum();
+        table.row(vec![name.to_string(), f(total), f(target), format!("{:.2e}", (total - target).abs())]);
+    };
+    push("exact", &exact_shapley(&game), v1 - v0);
+    push(
+        "kernel SHAP",
+        &kernel_shap(&game, KernelShapConfig::default()).phi,
+        v1 - v0,
+    );
+    push("permutation (500)", &permutation_shapley(&game, 500, 7).phi, v1 - v0);
+    let ts = xai_shapley::gbdt_shap(&gbdt, instance);
+    push("TreeSHAP (margin)", &ts.phi, gbdt.margin(instance) - ts.expected_value);
+    table.print();
+}
+
+/// E16 — causal vs marginal Shapley on a correlated SCM (§2.1.3): the
+/// marginal game gives indirect causes zero credit; the interventional
+/// game routes credit through the causal chain; direct + indirect = total.
+pub fn e16(quick: bool) {
+    let n_mc = if quick { 500 } else { 2000 };
+    let labeled = credit_scm();
+    // Model reads savings only: education/income matter only causally.
+    let model = |x: &[f64]| x[2];
+    let instance = [16.0, 7.5, 7.0];
+    let causal = causal_shapley(&model, &labeled, &instance, n_mc, 5);
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let (xs, _) = labeled.sample_examples(&mut rng, n_mc);
+    let background = xai_linalg::Matrix::from_rows(&xs);
+    let game = PredictionGame::new(&model, &instance, &background);
+    let marginal = exact_shapley(&game);
+    let dec = xai_shapley::effect_decomposition(&model, &labeled, &instance, n_mc, 7);
+
+    let mut table = Table::new(
+        "E16  causal vs marginal Shapley (model reads `savings` only)",
+        &["feature", "marginal φ", "causal φ", "direct", "indirect"],
+    );
+    for (i, name) in ["education", "income", "savings"].iter().enumerate() {
+        table.row(vec![
+            name.to_string(),
+            f(marginal[i]),
+            f(causal[i]),
+            f(dec.direct[i]),
+            f(dec.indirect[i]),
+        ]);
+    }
+    table.print();
+    println!(
+        "  shape check: marginal credits only savings; causal spreads credit\n\
+         \u{20}\u{20}upstream through education → income → savings (Heskes et al.)."
+    );
+}
+
+/// E1 appendix: GBDT TreeSHAP cost scales linearly in rounds.
+pub fn e3_ensemble(quick: bool) {
+    let n = if quick { 300 } else { 600 };
+    let data = friedman1(n, 5, 0.2);
+    let mut table = Table::new(
+        "E3b TreeSHAP on ensembles: cost grows linearly with rounds",
+        &["rounds", "explain one row"],
+    );
+    for rounds in [10usize, 40, 160] {
+        let gbdt = Gbdt::fit(
+            data.x(),
+            data.y(),
+            GbdtConfig { n_rounds: rounds, loss: GbdtLoss::Squared, ..GbdtConfig::default() },
+        );
+        let (_, t) = time(|| xai_shapley::gbdt_shap(&gbdt, data.row(0)));
+        table.row(vec![rounds.to_string(), fmt_duration(t)]);
+    }
+    table.print();
+}

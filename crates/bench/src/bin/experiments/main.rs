@@ -1,0 +1,95 @@
+//! `experiments` — regenerates every table catalogued in DESIGN.md §4.
+//!
+//! ```sh
+//! cargo run -p xai-bench --release --bin experiments            # all
+//! cargo run -p xai-bench --release --bin experiments -- --quick # reduced sizes
+//! cargo run -p xai-bench --release --bin experiments -- E3 E14  # subset
+//! ```
+
+mod exp_counterfactual;
+mod exp_datavalue;
+mod exp_extensions;
+mod exp_provenance;
+mod exp_rules;
+mod exp_shapley;
+mod exp_surrogate;
+
+struct Experiment {
+    id: &'static str,
+    claim: &'static str,
+    run: fn(bool),
+}
+
+fn catalogue() -> Vec<Experiment> {
+    vec![
+        Experiment { id: "E1", claim: "§2.1.2 exact Shapley is exponential", run: exp_shapley::e1 },
+        Experiment { id: "E2", claim: "§2.1.2 sampler error vs budget", run: exp_shapley::e2 },
+        Experiment { id: "E3", claim: "§2.1.2 TreeSHAP polynomial vs brute force", run: exp_shapley::e3 },
+        Experiment { id: "E3b", claim: "§2.1.2 TreeSHAP linear in ensemble size", run: exp_shapley::e3_ensemble },
+        Experiment { id: "E4", claim: "§2.1.2 efficiency axiom across methods", run: exp_shapley::e4 },
+        Experiment { id: "E5", claim: "§2.1.1 LIME sampling instability (VSI/CSI)", run: exp_surrogate::e5 },
+        Experiment { id: "E6", claim: "§2.1.1 scaffolding attack fools LIME", run: exp_surrogate::e6 },
+        Experiment { id: "E7", claim: "§2.1.1 LIME fidelity vs kernel width", run: exp_surrogate::e7 },
+        Experiment { id: "E8", claim: "§2.2 Anchors precision/coverage", run: exp_rules::e8 },
+        Experiment { id: "E9", claim: "§2.1.4 DiCE diversity trade-offs", run: exp_counterfactual::e9 },
+        Experiment { id: "E10", claim: "§3 GeCo vs random search", run: exp_counterfactual::e10 },
+        Experiment { id: "E11", claim: "§2.1.4 LEWIS necessity/sufficiency", run: exp_counterfactual::e11 },
+        Experiment { id: "E12", claim: "§2.3.1 Data Shapley removal curves", run: exp_datavalue::e12 },
+        Experiment { id: "E13", claim: "§2.3.1 valuation tractability ladder", run: exp_datavalue::e13 },
+        Experiment { id: "E14", claim: "§2.3.2 influence vs retraining", run: exp_datavalue::e14 },
+        Experiment { id: "E15", claim: "§2.3.2 group influence error growth", run: exp_datavalue::e15 },
+        Experiment { id: "E16", claim: "§2.1.3 causal vs marginal Shapley", run: exp_shapley::e16 },
+        Experiment { id: "E17", claim: "§3 tuple Shapley exact vs sampled", run: exp_provenance::e17 },
+        Experiment { id: "E18", claim: "§3 PrIU incremental updates", run: exp_provenance::e18 },
+        Experiment { id: "E19", claim: "§3 complaint-driven debugging", run: exp_provenance::e19 },
+        Experiment { id: "E20", claim: "§2.2.2 sufficient reasons score 1", run: exp_rules::e20 },
+        Experiment { id: "E21", claim: "§2.2.1 Apriori vs FP-Growth", run: exp_rules::e21 },
+        Experiment { id: "E22", claim: "§3 pipeline-stage accountability", run: exp_provenance::e22 },
+        Experiment { id: "E23", claim: "§2.4 integrated gradients completeness", run: exp_extensions::e23 },
+        Experiment { id: "E24", claim: "§2.1.2 Shapley interaction index", run: exp_extensions::e24 },
+        Experiment { id: "E25", claim: "§3 logistic unlearning vs retrain", run: exp_extensions::e25 },
+        Experiment { id: "E26", claim: "§2.3.1 Banzhaf vs Shapley noise robustness", run: exp_extensions::e26 },
+        Experiment { id: "E27", claim: "§2.1.3 CXPlain amortized explanation", run: exp_extensions::e27 },
+        Experiment { id: "E28", claim: "§2.1.4 counterfactual method ladder", run: exp_extensions::e28 },
+        Experiment { id: "E29", claim: "§2.1.1 SP-LIME coverage vs budget", run: exp_extensions::e29 },
+        Experiment { id: "E30", claim: "§2.1.2 Owen values over one-hot groups", run: exp_extensions::e30 },
+        Experiment { id: "E31", claim: "§3 Shapley for database repairs", run: exp_extensions::e31 },
+        Experiment { id: "E32", claim: "§3 ROAR attribution evaluation", run: exp_extensions::e32 },
+        Experiment { id: "E33", claim: "§2.1.2 marginal vs conditional Shapley", run: exp_extensions::e33 },
+        Experiment { id: "E34", claim: "ablation: antithetic permutation sampling", run: exp_extensions::e34 },
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+
+    let catalogue = catalogue();
+    let selected: Vec<&Experiment> = if wanted.is_empty() {
+        catalogue.iter().collect()
+    } else {
+        catalogue
+            .iter()
+            .filter(|e| wanted.iter().any(|w| w.eq_ignore_ascii_case(e.id)))
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!("unknown experiment id(s): {wanted:?}");
+        eprintln!("known: {}", catalogue.iter().map(|e| e.id).collect::<Vec<_>>().join(" "));
+        std::process::exit(1);
+    }
+
+    println!("xai experiment suite — {} experiment(s){}", selected.len(), if quick { " (quick mode)" } else { "" });
+    for e in selected {
+        println!("\n════════════════════════════════════════════════════════════");
+        println!("{}: {}", e.id, e.claim);
+        let start = std::time::Instant::now();
+        (e.run)(quick);
+        println!("  [{} completed in {:.1}s]", e.id, start.elapsed().as_secs_f64());
+    }
+}

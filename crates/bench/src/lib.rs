@@ -1,0 +1,110 @@
+//! # xai-bench
+//!
+//! Experiment harness regenerating every quantitative claim catalogued in
+//! DESIGN.md §4 (E1–E22). `cargo run -p xai-bench --release --bin
+//! experiments` prints all tables; pass experiment ids (`E1 E3 …`) to run
+//! a subset, or `--quick` for reduced sizes. Criterion timing benches live
+//! under `benches/`.
+
+use std::time::{Duration, Instant};
+
+/// A printable result table.
+pub struct Table {
+    /// Experiment id + claim, printed as the header block.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of pre-formatted cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders to stdout with aligned columns.
+    pub fn print(&self) {
+        println!("\n━━ {} ━━", self.title);
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let line = |cells: &[String]| {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            println!("  {}", padded.join("  "));
+        };
+        line(&self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        println!("  {}", "─".repeat(total));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Times a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Formats a duration compactly.
+pub fn fmt_duration(d: Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1000.0 {
+        format!("{us:.0}µs")
+    } else if us < 1_000_000.0 {
+        format!("{:.2}ms", us / 1000.0)
+    } else {
+        format!("{:.2}s", us / 1e6)
+    }
+}
+
+/// Formats a float with 4 significant decimals.
+pub fn f(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new("E0 — smoke", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.rows.len(), 1);
+        t.print();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with('s'));
+    }
+}

@@ -1,0 +1,235 @@
+//! Explanation-evaluation protocols (§3 "User study and evaluation").
+//!
+//! User studies proper need humans; what *can* be automated — and what the
+//! literature the tutorial cites uses as proxies — are faithfulness and
+//! stability measurements:
+//!
+//! - **deletion/insertion curves**: replace features with a baseline in
+//!   attribution order and watch the prediction move. A faithful
+//!   attribution makes the prediction collapse quickly under deletion and
+//!   recover quickly under insertion.
+//! - **fidelity**: agreement between a surrogate and the model it claims
+//!   to mimic.
+//! - **stability**: agreement of repeated stochastic explanations of the
+//!   same instance (the §2.1.1 "unreliable sampling" critique, generic
+//!   form; LIME-specific VSI/CSI indices live in `xai-surrogate`).
+
+use crate::explanation::FeatureAttribution;
+use xai_linalg::stats::{mean, top_k_agreement};
+
+/// One deletion or insertion trajectory.
+#[derive(Clone, Debug)]
+pub struct FaithfulnessCurve {
+    /// Prediction after perturbing the `i` most important features
+    /// (`points\[0\]` is the unperturbed / fully-baseline prediction).
+    pub points: Vec<f64>,
+    /// Normalized area under the curve (trapezoid rule over the unit x-range).
+    pub auc: f64,
+}
+
+fn auc_of(points: &[f64]) -> f64 {
+    if points.len() < 2 {
+        return points.first().copied().unwrap_or(0.0);
+    }
+    let n = (points.len() - 1) as f64;
+    points.windows(2).map(|w| 0.5 * (w[0] + w[1])).sum::<f64>() / n
+}
+
+/// Deletion curve: starting from `instance`, replaces features with
+/// `baseline` values in decreasing-importance order.
+///
+/// For a faithful explanation of a positive prediction the curve drops
+/// fast, giving a *low* AUC.
+pub fn deletion_curve(
+    model: &dyn Fn(&[f64]) -> f64,
+    instance: &[f64],
+    baseline: &[f64],
+    attribution: &FeatureAttribution,
+) -> FaithfulnessCurve {
+    assert_eq!(instance.len(), baseline.len());
+    assert_eq!(instance.len(), attribution.len());
+    let order = attribution.ranking();
+    let mut x = instance.to_vec();
+    let mut points = Vec::with_capacity(order.len() + 1);
+    points.push(model(&x));
+    for &j in &order {
+        x[j] = baseline[j];
+        points.push(model(&x));
+    }
+    let auc = auc_of(&points);
+    FaithfulnessCurve { points, auc }
+}
+
+/// Insertion curve: starting from `baseline`, restores the instance's
+/// features in decreasing-importance order. Faithful ⇒ fast recovery ⇒
+/// *high* AUC.
+pub fn insertion_curve(
+    model: &dyn Fn(&[f64]) -> f64,
+    instance: &[f64],
+    baseline: &[f64],
+    attribution: &FeatureAttribution,
+) -> FaithfulnessCurve {
+    assert_eq!(instance.len(), baseline.len());
+    assert_eq!(instance.len(), attribution.len());
+    let order = attribution.ranking();
+    let mut x = baseline.to_vec();
+    let mut points = Vec::with_capacity(order.len() + 1);
+    points.push(model(&x));
+    for &j in &order {
+        x[j] = instance[j];
+        points.push(model(&x));
+    }
+    let auc = auc_of(&points);
+    FaithfulnessCurve { points, auc }
+}
+
+/// Fidelity of a surrogate to the model over a set of probe rows:
+/// R² of surrogate predictions against model predictions.
+pub fn fidelity(
+    model: &dyn Fn(&[f64]) -> f64,
+    surrogate: &dyn Fn(&[f64]) -> f64,
+    probes: &[Vec<f64>],
+) -> f64 {
+    let m: Vec<f64> = probes.iter().map(|p| model(p)).collect();
+    let s: Vec<f64> = probes.iter().map(|p| surrogate(p)).collect();
+    xai_linalg::r_squared(&m, &s)
+}
+
+/// Stability report for a stochastic explainer re-run on one instance.
+#[derive(Clone, Debug)]
+pub struct StabilityReport {
+    /// Mean pairwise top-k agreement of feature rankings across reruns
+    /// (1.0 = the same k features always matter).
+    pub mean_topk_agreement: f64,
+    /// Per-feature standard deviation of the attribution values.
+    pub value_stds: Vec<f64>,
+    /// Number of reruns measured.
+    pub runs: usize,
+}
+
+/// Measures ranking and value stability across repeated explanations.
+///
+/// `explain` is called `runs` times (it should use fresh randomness each
+/// call — that is precisely what is being measured).
+pub fn stability(explain: &mut dyn FnMut() -> FeatureAttribution, runs: usize, k: usize) -> StabilityReport {
+    assert!(runs >= 2, "need at least two runs to measure stability");
+    let attributions: Vec<FeatureAttribution> = (0..runs).map(|_| explain()).collect();
+    let d = attributions[0].len();
+    for a in &attributions {
+        assert_eq!(a.len(), d, "explanations changed arity between runs");
+    }
+    let mut agreements = Vec::new();
+    for i in 0..runs {
+        for j in i + 1..runs {
+            agreements.push(top_k_agreement(
+                &attributions[i].values.iter().map(|v| v.abs()).collect::<Vec<_>>(),
+                &attributions[j].values.iter().map(|v| v.abs()).collect::<Vec<_>>(),
+                k,
+            ));
+        }
+    }
+    let value_stds = (0..d)
+        .map(|f| {
+            let vals: Vec<f64> = attributions.iter().map(|a| a.values[f]).collect();
+            xai_linalg::stats::std_dev(&vals)
+        })
+        .collect();
+    StabilityReport {
+        mean_topk_agreement: mean(&agreements),
+        value_stds,
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_model() -> impl Fn(&[f64]) -> f64 {
+        |x: &[f64]| 2.0 * x[0] - 1.0 * x[1] + 0.0 * x[2]
+    }
+
+    fn good_attr() -> FeatureAttribution {
+        FeatureAttribution::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![2.0, -1.0, 0.0],
+            0.0,
+            1.0,
+        )
+    }
+
+    fn bad_attr() -> FeatureAttribution {
+        // Claims the irrelevant feature is the most important one.
+        FeatureAttribution::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![0.01, 0.02, 5.0],
+            0.0,
+            1.0,
+        )
+    }
+
+    #[test]
+    fn deletion_prefers_faithful_attributions() {
+        let model = linear_model();
+        let instance = [1.0, -1.0, 1.0]; // prediction = 3
+        let baseline = [0.0, 0.0, 0.0];
+        let good = deletion_curve(&model, &instance, &baseline, &good_attr());
+        let bad = deletion_curve(&model, &instance, &baseline, &bad_attr());
+        assert_eq!(good.points[0], 3.0);
+        assert_eq!(*good.points.last().unwrap(), 0.0);
+        assert!(
+            good.auc < bad.auc,
+            "faithful deletion AUC {} must be below unfaithful {}",
+            good.auc,
+            bad.auc
+        );
+    }
+
+    #[test]
+    fn insertion_prefers_faithful_attributions() {
+        let model = linear_model();
+        let instance = [1.0, -1.0, 1.0];
+        let baseline = [0.0, 0.0, 0.0];
+        let good = insertion_curve(&model, &instance, &baseline, &good_attr());
+        let bad = insertion_curve(&model, &instance, &baseline, &bad_attr());
+        assert!(good.auc > bad.auc);
+        assert_eq!(*good.points.last().unwrap(), 3.0);
+    }
+
+    #[test]
+    fn fidelity_of_identical_functions_is_one() {
+        let model = linear_model();
+        let probes: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64 * 0.3 - 3.0, (i % 5) as f64, 1.0])
+            .collect();
+        assert!((fidelity(&model, &linear_model(), &probes) - 1.0).abs() < 1e-12);
+        let wrong = |x: &[f64]| -2.0 * x[0];
+        assert!(fidelity(&model, &wrong, &probes) < 0.5);
+    }
+
+    #[test]
+    fn stability_detects_deterministic_vs_noisy() {
+        let mut calls = 0usize;
+        let mut deterministic = || {
+            FeatureAttribution::new(
+                vec!["a".into(), "b".into()],
+                vec![1.0, 0.5],
+                0.0,
+                1.5,
+            )
+        };
+        let det = stability(&mut deterministic, 5, 1);
+        assert!((det.mean_topk_agreement - 1.0).abs() < 1e-12);
+        assert!(det.value_stds.iter().all(|s| *s < 1e-12));
+
+        let mut noisy = || {
+            calls += 1;
+            // Alternates which feature dominates.
+            let v = if calls % 2 == 0 { vec![1.0, 0.0] } else { vec![0.0, 1.0] };
+            FeatureAttribution::new(vec!["a".into(), "b".into()], v, 0.0, 1.0)
+        };
+        let noise = stability(&mut noisy, 6, 1);
+        assert!(noise.mean_topk_agreement < 0.6);
+        assert!(noise.value_stds[0] > 0.3);
+    }
+}

@@ -1,0 +1,370 @@
+//! Shared explanation output types.
+//!
+//! Each family of methods in the tutorial produces a characteristic output
+//! form; the concrete explainers across the workspace all emit these types
+//! so downstream code (reports, evaluation, examples) is method-agnostic.
+
+use std::fmt;
+
+/// A real-valued importance score per feature (§2.1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FeatureAttribution {
+    /// Feature names, in column order.
+    pub feature_names: Vec<String>,
+    /// One signed score per feature.
+    pub values: Vec<f64>,
+    /// The reference output the scores are measured against (e.g. the mean
+    /// prediction for Shapley-style methods, the surrogate intercept for
+    /// LIME).
+    pub baseline: f64,
+    /// The model output being explained.
+    pub prediction: f64,
+}
+
+impl FeatureAttribution {
+    /// Builds an attribution; names and values must align.
+    pub fn new(feature_names: Vec<String>, values: Vec<f64>, baseline: f64, prediction: f64) -> Self {
+        assert_eq!(feature_names.len(), values.len(), "name/value arity mismatch");
+        Self { feature_names, values, baseline, prediction }
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when there are no features.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Feature indices sorted by |score| descending.
+    pub fn ranking(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.values.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.values[b]
+                .abs()
+                .partial_cmp(&self.values[a].abs())
+                .expect("NaN attribution")
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+
+    /// The `k` most important `(name, value)` pairs.
+    pub fn top_k(&self, k: usize) -> Vec<(&str, f64)> {
+        self.ranking()
+            .into_iter()
+            .take(k)
+            .map(|i| (self.feature_names[i].as_str(), self.values[i]))
+            .collect()
+    }
+
+    /// Additivity gap `|baseline + Σ values − prediction|`; ~0 for methods
+    /// that satisfy the efficiency axiom (§2.1.2).
+    pub fn efficiency_gap(&self) -> f64 {
+        (self.baseline + self.values.iter().sum::<f64>() - self.prediction).abs()
+    }
+
+    /// Attribution of a feature by name.
+    pub fn value_of(&self, name: &str) -> Option<f64> {
+        self.feature_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.values[i])
+    }
+}
+
+impl fmt::Display for FeatureAttribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "prediction {:.4} (baseline {:.4}); contributions:",
+            self.prediction, self.baseline
+        )?;
+        for i in self.ranking() {
+            writeln!(f, "  {:>24}: {:+.4}", self.feature_names[i], self.values[i])?;
+        }
+        Ok(())
+    }
+}
+
+/// Comparison operator in a rule condition.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Op {
+    /// `feature <= value`.
+    Le,
+    /// `feature > value`.
+    Gt,
+    /// `feature == value` (categorical code).
+    Eq,
+}
+
+/// One clause of a rule, e.g. `age > 30`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Condition {
+    /// Feature column index.
+    pub feature: usize,
+    /// Feature name for display.
+    pub feature_name: String,
+    /// Comparison operator.
+    pub op: Op,
+    /// Threshold / category code.
+    pub value: f64,
+}
+
+impl Condition {
+    /// Whether a raw row satisfies this condition.
+    pub fn matches(&self, row: &[f64]) -> bool {
+        let v = row[self.feature];
+        match self.op {
+            Op::Le => v <= self.value,
+            Op::Gt => v > self.value,
+            Op::Eq => (v - self.value).abs() < 1e-9,
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.op {
+            Op::Le => "<=",
+            Op::Gt => ">",
+            Op::Eq => "=",
+        };
+        write!(f, "{} {} {:.4}", self.feature_name, op, self.value)
+    }
+}
+
+/// A conjunctive rule with its measured quality (§2.2).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RuleExplanation {
+    /// The clauses, all of which must hold.
+    pub conditions: Vec<Condition>,
+    /// The outcome the rule anchors/predicts.
+    pub prediction: f64,
+    /// P(model output = prediction | rule holds), estimated.
+    pub precision: f64,
+    /// Fraction of the data distribution the rule applies to.
+    pub coverage: f64,
+}
+
+impl RuleExplanation {
+    /// Whether the rule applies to a row.
+    pub fn matches(&self, row: &[f64]) -> bool {
+        self.conditions.iter().all(|c| c.matches(row))
+    }
+
+    /// Number of clauses; rules longer than ~5 are flagged by the tutorial
+    /// as incomprehensible.
+    pub fn len(&self) -> usize {
+        self.conditions.len()
+    }
+
+    /// True when the rule is the empty (always-true) rule.
+    pub fn is_empty(&self) -> bool {
+        self.conditions.is_empty()
+    }
+}
+
+impl fmt::Display for RuleExplanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let clauses: Vec<String> = self.conditions.iter().map(|c| c.to_string()).collect();
+        write!(
+            f,
+            "IF {} THEN predict {:.2} (precision {:.3}, coverage {:.3})",
+            if clauses.is_empty() { "TRUE".to_string() } else { clauses.join(" AND ") },
+            self.prediction,
+            self.precision,
+            self.coverage
+        )
+    }
+}
+
+/// A contrastive example with bookkeeping (§2.1.4).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Counterfactual {
+    /// The instance being explained.
+    pub original: Vec<f64>,
+    /// The counterfactual instance.
+    pub counterfactual: Vec<f64>,
+    /// Model output on the original.
+    pub original_output: f64,
+    /// Model output on the counterfactual.
+    pub counterfactual_output: f64,
+    /// Indices of features that changed.
+    pub changed_features: Vec<usize>,
+    /// Distance in the method's metric (usually MAD-weighted L1).
+    pub distance: f64,
+}
+
+impl Counterfactual {
+    /// Builds a counterfactual, deriving `changed_features` automatically.
+    pub fn new(
+        original: Vec<f64>,
+        counterfactual: Vec<f64>,
+        original_output: f64,
+        counterfactual_output: f64,
+        distance: f64,
+    ) -> Self {
+        assert_eq!(original.len(), counterfactual.len());
+        let changed_features = original
+            .iter()
+            .zip(&counterfactual)
+            .enumerate()
+            .filter(|(_, (a, b))| (*a - *b).abs() > 1e-12)
+            .map(|(i, _)| i)
+            .collect();
+        Self {
+            original,
+            counterfactual,
+            original_output,
+            counterfactual_output,
+            changed_features,
+            distance,
+        }
+    }
+
+    /// Number of changed features (sparsity; fewer is more interpretable).
+    pub fn sparsity(&self) -> usize {
+        self.changed_features.len()
+    }
+
+    /// True when the counterfactual actually crosses the 0.5 decision
+    /// boundary relative to the original.
+    pub fn is_valid(&self) -> bool {
+        (self.original_output >= 0.5) != (self.counterfactual_output >= 0.5)
+    }
+}
+
+/// Scores over training examples (§2.3): Data Shapley values, influence
+/// scores, tuple Shapley values, ….
+#[derive(Clone, Debug, PartialEq)]
+pub struct DataAttribution {
+    /// One score per training example, aligned with the training set.
+    pub values: Vec<f64>,
+    /// What the score measures ("data shapley (accuracy)", "influence on
+    /// test loss", …).
+    pub measure: String,
+}
+
+impl DataAttribution {
+    /// Training indices sorted by score descending (most valuable first).
+    pub fn ranking_desc(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.values.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.values[b]
+                .partial_cmp(&self.values[a])
+                .expect("NaN data attribution")
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+
+    /// Training indices sorted ascending (most harmful first).
+    pub fn ranking_asc(&self) -> Vec<usize> {
+        let mut idx = self.ranking_desc();
+        idx.reverse();
+        idx
+    }
+
+    /// Precision@k against a known set of "guilty" indices — the standard
+    /// debugging score: of the k most harmful points, how many are truly
+    /// corrupted?
+    pub fn precision_at_k(&self, guilty: &[usize], k: usize) -> f64 {
+        if k == 0 {
+            return 1.0;
+        }
+        let suspects = self.ranking_asc();
+        let hits = suspects
+            .iter()
+            .take(k)
+            .filter(|i| guilty.contains(i))
+            .count();
+        hits as f64 / k.min(suspects.len()) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_ranking_and_topk() {
+        let fa = FeatureAttribution::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![0.1, -0.9, 0.5],
+            0.3,
+            0.0,
+        );
+        assert_eq!(fa.ranking(), vec![1, 2, 0]);
+        let top = fa.top_k(2);
+        assert_eq!(top[0], ("b", -0.9));
+        assert_eq!(top[1], ("c", 0.5));
+        assert_eq!(fa.value_of("c"), Some(0.5));
+        assert_eq!(fa.value_of("zz"), None);
+    }
+
+    #[test]
+    fn efficiency_gap() {
+        let fa = FeatureAttribution::new(
+            vec!["a".into(), "b".into()],
+            vec![0.2, 0.3],
+            0.5,
+            1.0,
+        );
+        assert!(fa.efficiency_gap() < 1e-12);
+        let bad = FeatureAttribution::new(vec!["a".into()], vec![0.2], 0.5, 1.0);
+        assert!((bad.efficiency_gap() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditions_and_rules() {
+        let rule = RuleExplanation {
+            conditions: vec![
+                Condition { feature: 0, feature_name: "age".into(), op: Op::Gt, value: 30.0 },
+                Condition { feature: 1, feature_name: "housing".into(), op: Op::Eq, value: 1.0 },
+            ],
+            prediction: 1.0,
+            precision: 0.97,
+            coverage: 0.2,
+        };
+        assert!(rule.matches(&[40.0, 1.0]));
+        assert!(!rule.matches(&[40.0, 0.0]));
+        assert!(!rule.matches(&[30.0, 1.0])); // Gt is strict
+        let s = rule.to_string();
+        assert!(s.contains("age > 30"));
+        assert!(s.contains("AND"));
+        assert_eq!(rule.len(), 2);
+    }
+
+    #[test]
+    fn counterfactual_bookkeeping() {
+        let cf = Counterfactual::new(
+            vec![1.0, 2.0, 3.0],
+            vec![1.0, 5.0, 3.0],
+            0.3,
+            0.7,
+            1.5,
+        );
+        assert_eq!(cf.changed_features, vec![1]);
+        assert_eq!(cf.sparsity(), 1);
+        assert!(cf.is_valid());
+        let invalid = Counterfactual::new(vec![0.0], vec![1.0], 0.3, 0.4, 1.0);
+        assert!(!invalid.is_valid());
+    }
+
+    #[test]
+    fn data_attribution_rankings() {
+        let da = DataAttribution {
+            values: vec![0.5, -1.0, 0.0, 2.0],
+            measure: "test".into(),
+        };
+        assert_eq!(da.ranking_desc(), vec![3, 0, 2, 1]);
+        assert_eq!(da.ranking_asc(), vec![1, 2, 0, 3]);
+        // Most harmful = index 1; guilty set {1, 2}.
+        assert_eq!(da.precision_at_k(&[1, 2], 2), 1.0);
+        assert_eq!(da.precision_at_k(&[3], 2), 0.0);
+        assert_eq!(da.precision_at_k(&[], 0), 1.0);
+    }
+}

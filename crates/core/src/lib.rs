@@ -1,0 +1,30 @@
+//! # xai-core
+//!
+//! The unifying layer of the `xai` workspace: everything here is shared by
+//! every method crate and by downstream users.
+//!
+//! - [`taxonomy`] — the tutorial's organizing dimensions (intrinsic vs
+//!   post-hoc, model-agnostic vs model-specific, local vs global vs
+//!   training-data) as types, plus a queryable [`taxonomy::Registry`] of
+//!   all implemented methods;
+//! - [`explanation`] — the four output forms: feature attributions, rules,
+//!   counterfactuals, and data attributions;
+//! - [`eval`] — automated faithfulness (deletion/insertion), fidelity and
+//!   stability protocols;
+//! - [`report`] — a dependency-free JSON writer so explanations can leave
+//!   the process.
+
+pub mod eval;
+pub mod json_parse;
+pub mod explanation;
+pub mod report;
+pub mod taxonomy;
+
+pub use explanation::{
+    Condition, Counterfactual, DataAttribution, FeatureAttribution, Op, RuleExplanation,
+};
+pub use json_parse::{parse_json, ParseError};
+pub use report::{Json, ToReport};
+pub use taxonomy::{
+    workspace_registry, Access, Described, ExplanationForm, MethodCard, Registry, Scope, Stage,
+};

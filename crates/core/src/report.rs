@@ -1,0 +1,235 @@
+//! A minimal JSON document model and writer.
+//!
+//! Explanations need to leave the process (dashboards, regulators, audit
+//! trails — the GDPR/CCPA motivation of §1). `serde_json` is not on this
+//! workspace's dependency allowlist, so this module implements the small
+//! subset we need: a JSON value tree and a correct serializer (string
+//! escaping, stable key order, finite-number handling).
+
+use crate::explanation::{Counterfactual, DataAttribution, FeatureAttribution, RuleExplanation};
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values serialize as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience string constructor.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience object constructor.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// An array of numbers.
+    pub fn nums(xs: &[f64]) -> Json {
+        Json::Arr(xs.iter().map(|&x| Json::Num(x)).collect())
+    }
+
+    /// An array of strings.
+    pub fn strs<S: AsRef<str>>(xs: &[S]) -> Json {
+        Json::Arr(xs.iter().map(|s| Json::str(s.as_ref())).collect())
+    }
+
+    /// Serializes to a compact JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // Integral values print without a trailing ".0".
+                    if n.fract() == 0.0 && n.abs() < 1e15 {
+                        let _ = write!(out, "{}", *n as i64);
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Types that can render themselves as a JSON report.
+pub trait ToReport {
+    /// Builds the JSON value for this explanation.
+    fn to_report(&self) -> Json;
+}
+
+impl ToReport for FeatureAttribution {
+    fn to_report(&self) -> Json {
+        Json::obj(vec![
+            ("kind", Json::str("feature_attribution")),
+            ("features", Json::strs(&self.feature_names)),
+            ("values", Json::nums(&self.values)),
+            ("baseline", Json::Num(self.baseline)),
+            ("prediction", Json::Num(self.prediction)),
+            ("efficiency_gap", Json::Num(self.efficiency_gap())),
+        ])
+    }
+}
+
+impl ToReport for RuleExplanation {
+    fn to_report(&self) -> Json {
+        Json::obj(vec![
+            ("kind", Json::str("rule")),
+            (
+                "conditions",
+                Json::Arr(self.conditions.iter().map(|c| Json::str(c.to_string())).collect()),
+            ),
+            ("prediction", Json::Num(self.prediction)),
+            ("precision", Json::Num(self.precision)),
+            ("coverage", Json::Num(self.coverage)),
+        ])
+    }
+}
+
+impl ToReport for Counterfactual {
+    fn to_report(&self) -> Json {
+        Json::obj(vec![
+            ("kind", Json::str("counterfactual")),
+            ("original", Json::nums(&self.original)),
+            ("counterfactual", Json::nums(&self.counterfactual)),
+            ("original_output", Json::Num(self.original_output)),
+            ("counterfactual_output", Json::Num(self.counterfactual_output)),
+            (
+                "changed_features",
+                Json::Arr(self.changed_features.iter().map(|&i| Json::Num(i as f64)).collect()),
+            ),
+            ("distance", Json::Num(self.distance)),
+            ("valid", Json::Bool(self.is_valid())),
+        ])
+    }
+}
+
+impl ToReport for DataAttribution {
+    fn to_report(&self) -> Json {
+        Json::obj(vec![
+            ("kind", Json::str("data_attribution")),
+            ("measure", Json::str(self.measure.clone())),
+            ("values", Json::nums(&self.values)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(Json::Null.to_json(), "null");
+        assert_eq!(Json::Bool(true).to_json(), "true");
+        assert_eq!(Json::Num(3.0).to_json(), "3");
+        assert_eq!(Json::Num(3.25).to_json(), "3.25");
+        assert_eq!(Json::Num(f64::NAN).to_json(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(Json::str("a\"b").to_json(), r#""a\"b""#);
+        assert_eq!(Json::str("line\nbreak").to_json(), r#""line\nbreak""#);
+        assert_eq!(Json::str("tab\there").to_json(), r#""tab\there""#);
+        assert_eq!(Json::str("back\\slash").to_json(), r#""back\\slash""#);
+        assert_eq!(Json::str("\u{1}").to_json(), "\"\\u0001\"");
+        assert_eq!(Json::str("unicode ✓").to_json(), "\"unicode ✓\"");
+    }
+
+    #[test]
+    fn arrays_and_objects() {
+        let j = Json::obj(vec![
+            ("xs", Json::nums(&[1.0, 2.5])),
+            ("name", Json::str("test")),
+            ("nested", Json::obj(vec![("flag", Json::Bool(false))])),
+        ]);
+        assert_eq!(
+            j.to_json(),
+            r#"{"xs":[1,2.5],"name":"test","nested":{"flag":false}}"#
+        );
+        assert_eq!(Json::Arr(vec![]).to_json(), "[]");
+        assert_eq!(Json::Obj(vec![]).to_json(), "{}");
+    }
+
+    #[test]
+    fn attribution_report() {
+        let fa = FeatureAttribution::new(vec!["age".into()], vec![0.5], 0.25, 0.75);
+        let s = fa.to_report().to_json();
+        assert!(s.contains(r#""kind":"feature_attribution""#));
+        assert!(s.contains(r#""features":["age"]"#));
+        assert!(s.contains(r#""efficiency_gap":0"#));
+    }
+
+    #[test]
+    fn counterfactual_report_contains_validity() {
+        let cf = Counterfactual::new(vec![1.0], vec![2.0], 0.2, 0.8, 1.0);
+        let s = cf.to_report().to_json();
+        assert!(s.contains(r#""valid":true"#));
+        assert!(s.contains(r#""changed_features":[0]"#));
+    }
+}

@@ -1,0 +1,130 @@
+//! Distance and quality metrics for counterfactual explanations (§2.1.4).
+//!
+//! The standard bookkeeping of the counterfactual literature: MAD-weighted
+//! L1 proximity (Wachter et al.), L0 sparsity, diversity of a set of
+//! counterfactuals (DiCE's determinant-free mean-pairwise form), and a
+//! k-NN–based plausibility score measuring how far off the data manifold a
+//! candidate lies — the "unrealistic and impossible counterfactual
+//! instances" critique \[5\].
+
+use xai_data::Dataset;
+use xai_linalg::stats::mad;
+
+/// Per-feature scales for distance normalization.
+#[derive(Clone, Debug)]
+pub struct FeatureScales {
+    /// Median absolute deviation per feature, floored to a small positive
+    /// value so constant features do not blow distances up.
+    pub mad: Vec<f64>,
+}
+
+impl FeatureScales {
+    /// Measures MAD scales from training data.
+    pub fn fit(data: &Dataset) -> Self {
+        let mad = (0..data.n_features())
+            .map(|j| {
+                let m = mad(&data.x().col(j));
+                if m > 1e-9 {
+                    m
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Self { mad }
+    }
+
+    /// MAD-weighted L1 distance.
+    pub fn l1(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), self.mad.len());
+        a.iter()
+            .zip(b)
+            .zip(&self.mad)
+            .map(|((x, y), m)| (x - y).abs() / m)
+            .sum()
+    }
+
+    /// Number of changed features (L0).
+    pub fn l0(&self, a: &[f64], b: &[f64]) -> usize {
+        a.iter().zip(b).filter(|(x, y)| (*x - *y).abs() > 1e-9).count()
+    }
+}
+
+/// Mean pairwise MAD-L1 distance among a set of counterfactuals — DiCE's
+/// diversity objective in its pairwise form.
+pub fn diversity(scales: &FeatureScales, set: &[Vec<f64>]) -> f64 {
+    if set.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0.0;
+    for i in 0..set.len() {
+        for j in i + 1..set.len() {
+            total += scales.l1(&set[i], &set[j]);
+            pairs += 1.0;
+        }
+    }
+    total / pairs
+}
+
+/// Plausibility of a candidate: the MAD-L1 distance to its nearest
+/// neighbour in the training data (lower = more on-manifold).
+pub fn implausibility(scales: &FeatureScales, data: &Dataset, candidate: &[f64]) -> f64 {
+    (0..data.n_rows())
+        .map(|i| scales.l1(data.row(i), candidate))
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xai_data::synth::german_credit;
+
+    #[test]
+    fn mad_scaling_makes_features_comparable() {
+        let data = german_credit(500, 3);
+        let scales = FeatureScales::fit(&data);
+        // One MAD of movement in any numeric feature costs exactly 1.
+        let a = data.row(0).to_vec();
+        for j in [0usize, 1, 3] {
+            let mut b = a.clone();
+            b[j] += scales.mad[j];
+            assert!((scales.l1(&a, &b) - 1.0).abs() < 1e-9, "feature {j}");
+        }
+    }
+
+    #[test]
+    fn l0_counts_changes() {
+        let data = german_credit(100, 5);
+        let scales = FeatureScales::fit(&data);
+        let a = data.row(0).to_vec();
+        let mut b = a.clone();
+        assert_eq!(scales.l0(&a, &b), 0);
+        b[0] += 1.0;
+        b[4] += 2.0;
+        assert_eq!(scales.l0(&a, &b), 2);
+    }
+
+    #[test]
+    fn diversity_zero_for_singletons_and_duplicates() {
+        let data = german_credit(100, 7);
+        let scales = FeatureScales::fit(&data);
+        let a = data.row(0).to_vec();
+        assert_eq!(diversity(&scales, &[a.clone()]), 0.0);
+        assert_eq!(diversity(&scales, &[a.clone(), a.clone()]), 0.0);
+        let b = data.row(1).to_vec();
+        assert!(diversity(&scales, &[a, b]) > 0.0);
+    }
+
+    #[test]
+    fn training_points_are_perfectly_plausible() {
+        let data = german_credit(200, 9);
+        let scales = FeatureScales::fit(&data);
+        assert_eq!(implausibility(&scales, &data, data.row(5)), 0.0);
+        // A wildly out-of-range candidate is implausible.
+        let mut crazy = data.row(5).to_vec();
+        crazy[1] = 1e6;
+        assert!(implausibility(&scales, &data, &crazy) > 10.0);
+    }
+}

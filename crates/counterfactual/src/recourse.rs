@@ -1,0 +1,243 @@
+//! Actionable recourse for linear classifiers
+//! (Ustun, Spangher & Liu, §2.1.4 \[69\]).
+//!
+//! Given an individual who received an unfavourable decision from a linear
+//! model, find a minimal-cost *action set* — changes to mutable features
+//! only — that flips the decision. Costs are MAD-normalized so "move one
+//! robust standard unit" costs the same for every feature. Features the
+//! person cannot act on (protected or immutable) are never used, which is
+//! the paper's core distinction from plain counterfactuals.
+
+use crate::distance::FeatureScales;
+use xai_core::Counterfactual;
+use xai_data::{Dataset, FeatureKind, Mutability};
+use xai_models::{Classifier, LogisticRegression};
+
+/// One proposed feature change.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Action {
+    /// Feature index.
+    pub feature: usize,
+    /// Feature name.
+    pub feature_name: String,
+    /// Current value.
+    pub from: f64,
+    /// Proposed value.
+    pub to: f64,
+    /// MAD-normalized cost of this change.
+    pub cost: f64,
+}
+
+/// A full recourse recommendation.
+#[derive(Clone, Debug)]
+pub struct Recourse {
+    /// The ordered actions.
+    pub actions: Vec<Action>,
+    /// Total cost.
+    pub total_cost: f64,
+    /// The resulting counterfactual instance.
+    pub result: Counterfactual,
+}
+
+/// Configuration for [`linear_recourse`].
+#[derive(Clone, Copy, Debug)]
+pub struct RecourseConfig {
+    /// Grid resolution per feature (steps between current value and bound).
+    pub grid_steps: usize,
+    /// Margin beyond the boundary to require (robustness buffer).
+    pub margin: f64,
+    /// Maximum number of actions.
+    pub max_actions: usize,
+}
+
+impl Default for RecourseConfig {
+    fn default() -> Self {
+        Self { grid_steps: 10, margin: 0.05, max_actions: 4 }
+    }
+}
+
+/// Computes recourse for a negatively-classified instance under a logistic
+/// model by greedy best-margin-gain-per-cost selection over per-feature
+/// action grids. Returns `None` when the feasible action space cannot flip
+/// the decision.
+pub fn linear_recourse(
+    model: &LogisticRegression,
+    data: &Dataset,
+    instance: &[f64],
+    config: RecourseConfig,
+) -> Option<Recourse> {
+    assert_eq!(instance.len(), data.n_features());
+    let original_output = model.proba_one(instance);
+    if original_output >= 0.5 {
+        // Already approved — no recourse needed.
+        return None;
+    }
+    let scales = FeatureScales::fit(data);
+    let coef = model.coef();
+    let d = instance.len();
+
+    // Build feasible action grids per mutable feature.
+    let mut grids: Vec<Vec<f64>> = vec![Vec::new(); d];
+    for (j, feature) in data.schema().features().iter().enumerate() {
+        if feature.mutability == Mutability::Immutable {
+            continue;
+        }
+        match &feature.kind {
+            FeatureKind::Numeric { min, max } => {
+                let (lo, hi) = match feature.mutability {
+                    Mutability::IncreaseOnly => (instance[j], *max),
+                    Mutability::DecreaseOnly => (*min, instance[j]),
+                    _ => (*min, *max),
+                };
+                for s in 1..=config.grid_steps {
+                    let t = s as f64 / config.grid_steps as f64;
+                    let up = instance[j] + (hi - instance[j]) * t;
+                    let down = instance[j] + (lo - instance[j]) * t;
+                    if (up - instance[j]).abs() > 1e-12 {
+                        grids[j].push(up);
+                    }
+                    if (down - instance[j]).abs() > 1e-12 {
+                        grids[j].push(down);
+                    }
+                }
+            }
+            FeatureKind::Categorical { categories } => {
+                for c in 0..categories.len() {
+                    if (c as f64 - instance[j]).abs() > 1e-12 {
+                        grids[j].push(c as f64);
+                    }
+                }
+            }
+        }
+    }
+
+    // Greedy: pick the action with the best margin gain per unit cost.
+    let mut current = instance.to_vec();
+    let mut actions: Vec<Action> = Vec::new();
+    let target_margin = config.margin;
+    for _ in 0..config.max_actions {
+        if model.margin(&current) > target_margin {
+            break;
+        }
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, value, score)
+        for j in 0..d {
+            if actions.iter().any(|a| a.feature == j) {
+                continue; // one action per feature
+            }
+            for &v in &grids[j] {
+                let gain = coef[j] * (v - current[j]);
+                if gain <= 0.0 {
+                    continue;
+                }
+                let cost = (v - current[j]).abs() / scales.mad[j];
+                if cost < 1e-12 {
+                    continue;
+                }
+                let score = gain / cost;
+                if best.is_none_or(|(_, _, s)| score > s) {
+                    best = Some((j, v, score));
+                }
+            }
+        }
+        let (j, v, _) = best?;
+        actions.push(Action {
+            feature: j,
+            feature_name: data.schema().feature(j).name.clone(),
+            from: current[j],
+            to: v,
+            cost: (v - current[j]).abs() / scales.mad[j],
+        });
+        current[j] = v;
+    }
+
+    if model.margin(&current) <= 0.0 {
+        return None;
+    }
+    // Trim overshoot: actions are kept but the flip is verified.
+    let cf_output = model.proba_one(&current);
+    let total_cost = actions.iter().map(|a| a.cost).sum();
+    let result = Counterfactual::new(
+        instance.to_vec(),
+        current,
+        original_output,
+        cf_output,
+        total_cost,
+    );
+    Some(Recourse { actions, total_cost, result })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xai_data::synth::german_credit;
+    use xai_models::LogisticConfig;
+
+    fn setup() -> (Dataset, LogisticRegression) {
+        let data = german_credit(900, 23);
+        let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+        (data, model)
+    }
+
+    fn first_rejected(data: &Dataset, model: &LogisticRegression) -> Option<usize> {
+        (0..data.n_rows()).find(|&i| model.proba_one(data.row(i)) < 0.35)
+    }
+
+    #[test]
+    fn recourse_flips_the_decision() {
+        let (data, model) = setup();
+        let i = first_rejected(&data, &model).expect("rejection exists");
+        let r = linear_recourse(&model, &data, data.row(i), RecourseConfig::default())
+            .expect("recourse should exist");
+        assert!(r.result.is_valid(), "decision must flip");
+        assert!(!r.actions.is_empty());
+        assert!(r.total_cost > 0.0);
+    }
+
+    #[test]
+    fn protected_features_never_appear_in_actions() {
+        let (data, model) = setup();
+        let protected = data.schema().protected_indices();
+        for i in (0..data.n_rows()).filter(|&i| model.proba_one(data.row(i)) < 0.35).take(10) {
+            if let Some(r) = linear_recourse(&model, &data, data.row(i), RecourseConfig::default()) {
+                for a in &r.actions {
+                    assert!(!protected.contains(&a.feature), "protected feature in recourse");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn actions_respect_monotonicity() {
+        let (data, model) = setup();
+        let i = first_rejected(&data, &model).unwrap();
+        if let Some(r) = linear_recourse(&model, &data, data.row(i), RecourseConfig::default()) {
+            for a in &r.actions {
+                match data.schema().feature(a.feature).mutability {
+                    Mutability::IncreaseOnly => assert!(a.to >= a.from),
+                    Mutability::DecreaseOnly => assert!(a.to <= a.from),
+                    Mutability::Immutable => panic!("immutable feature acted on"),
+                    Mutability::Free => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approved_instances_need_no_recourse() {
+        let (data, model) = setup();
+        let i = (0..data.n_rows()).find(|&i| model.proba_one(data.row(i)) > 0.7).unwrap();
+        assert!(linear_recourse(&model, &data, data.row(i), RecourseConfig::default()).is_none());
+    }
+
+    #[test]
+    fn every_action_helps_the_margin() {
+        let (data, model) = setup();
+        let i = first_rejected(&data, &model).unwrap();
+        if let Some(r) = linear_recourse(&model, &data, data.row(i), RecourseConfig::default()) {
+            for a in &r.actions {
+                let gain = model.coef()[a.feature] * (a.to - a.from);
+                assert!(gain > 0.0, "action on {} hurts the margin", a.feature_name);
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Wachter-style gradient counterfactuals.
+//!
+//! The foundational counterfactual formulation behind §2.1.4 (\[45\]'s
+//! philosophical grounding, operationalized by Wachter, Mittelstadt &
+//! Russell): solve
+//!
+//! `argmin_{x'} λ · (f(x') − target)² + d(x, x')`
+//!
+//! by gradient descent, annealing λ upward until the prediction crosses
+//! the boundary. Needs a differentiable model — the workspace's
+//! `xai_surrogate::Differentiable` trait supplies `∂f/∂x`; this module
+//! keeps its own minimal gradient surface to avoid a crate cycle.
+
+use crate::distance::FeatureScales;
+use xai_core::Counterfactual;
+use xai_data::Dataset;
+
+/// The gradient surface Wachter search needs.
+pub trait GradientModel {
+    /// Model output (probability) at `x`.
+    fn output(&self, x: &[f64]) -> f64;
+    /// Gradient of the output w.r.t. the input.
+    fn gradient(&self, x: &[f64]) -> Vec<f64>;
+}
+
+impl GradientModel for xai_models::LogisticRegression {
+    fn output(&self, x: &[f64]) -> f64 {
+        use xai_models::Classifier;
+        self.proba_one(x)
+    }
+    fn gradient(&self, x: &[f64]) -> Vec<f64> {
+        let p = self.output(x);
+        let s = p * (1.0 - p);
+        self.coef().iter().map(|w| w * s).collect()
+    }
+}
+
+impl GradientModel for xai_models::Mlp {
+    fn output(&self, x: &[f64]) -> f64 {
+        use xai_models::Classifier;
+        self.proba_one(x)
+    }
+    fn gradient(&self, x: &[f64]) -> Vec<f64> {
+        self.input_gradient(x)
+    }
+}
+
+/// Configuration for [`wachter_counterfactual`].
+#[derive(Clone, Copy, Debug)]
+pub struct WachterConfig {
+    /// Gradient steps per λ stage.
+    pub steps_per_stage: usize,
+    /// λ annealing stages (λ multiplies by 10 each stage).
+    pub stages: usize,
+    /// Initial λ.
+    pub initial_lambda: f64,
+    /// Gradient-descent learning rate (in MAD-scaled space).
+    pub learning_rate: f64,
+    /// Target output margin beyond 0.5.
+    pub margin: f64,
+}
+
+impl Default for WachterConfig {
+    fn default() -> Self {
+        Self {
+            steps_per_stage: 200,
+            stages: 5,
+            initial_lambda: 0.1,
+            learning_rate: 0.05,
+            margin: 0.05,
+        }
+    }
+}
+
+/// Runs the Wachter optimization. Distance is MAD-weighted; a smooth
+/// L1 surrogate (`√(u²+ε)`) keeps it differentiable. Returns `None` when
+/// no stage crosses the boundary.
+pub fn wachter_counterfactual<M: GradientModel>(
+    model: &M,
+    data: &Dataset,
+    instance: &[f64],
+    config: WachterConfig,
+) -> Option<Counterfactual> {
+    let scales = FeatureScales::fit(data);
+    let original_output = model.output(instance);
+    let want_positive = original_output < 0.5;
+    let target = if want_positive { 0.5 + config.margin } else { 0.5 - config.margin };
+    let d = instance.len();
+    let eps = 1e-8;
+
+    let mut x = instance.to_vec();
+    let mut best: Option<(Vec<f64>, f64)> = None;
+    let mut lambda = config.initial_lambda;
+    for _ in 0..config.stages {
+        for _ in 0..config.steps_per_stage {
+            let out = model.output(&x);
+            let g_model = model.gradient(&x);
+            for j in 0..d {
+                // ∂/∂x_j [ λ(f−t)² + Σ √(((x_j−x0_j)/mad)² + ε) ]
+                let u = (x[j] - instance[j]) / scales.mad[j];
+                let d_dist = u / (u * u + eps).sqrt() / scales.mad[j];
+                let grad = 2.0 * lambda * (out - target) * g_model[j] + d_dist;
+                // Step size scaled per-feature by MAD so all features move
+                // at comparable rates.
+                x[j] -= config.learning_rate * scales.mad[j] * grad;
+            }
+            let out_now = model.output(&x);
+            let valid = (out_now >= 0.5) == want_positive;
+            if valid {
+                let dist = scales.l1(instance, &x);
+                if best.as_ref().is_none_or(|(_, bd)| dist < *bd) {
+                    best = Some((x.clone(), dist));
+                }
+            }
+        }
+        lambda *= 10.0;
+    }
+    best.map(|(cf, dist)| {
+        let out = model.output(&cf);
+        Counterfactual::new(instance.to_vec(), cf, original_output, out, dist)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xai_data::synth::{circles, german_credit};
+    use xai_models::{LogisticConfig, LogisticRegression, Mlp, MlpConfig};
+
+    #[test]
+    fn flips_a_logistic_decision_with_small_distance() {
+        let data = german_credit(700, 5);
+        let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+        let idx = (0..data.n_rows()).find(|&i| model.output(data.row(i)) < 0.35).unwrap();
+        let cf = wachter_counterfactual(&model, &data, data.row(idx), WachterConfig::default())
+            .expect("wachter finds a counterfactual on a linear model");
+        assert!(cf.is_valid());
+        // The optimizer should stop near the boundary, not overshoot.
+        assert!(cf.counterfactual_output < 0.75, "output {}", cf.counterfactual_output);
+        assert!(cf.distance > 0.0);
+    }
+
+    #[test]
+    fn counterfactual_moves_along_the_model_gradient() {
+        let data = german_credit(500, 7);
+        let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+        let idx = (0..data.n_rows()).find(|&i| model.output(data.row(i)) < 0.35).unwrap();
+        let cf = wachter_counterfactual(&model, &data, data.row(idx), WachterConfig::default()).unwrap();
+        // The aggregate movement must push the margin toward approval…
+        let margin_gain: f64 = cf
+            .changed_features
+            .iter()
+            .map(|&j| model.coef()[j] * (cf.counterfactual[j] - cf.original[j]))
+            .sum();
+        assert!(margin_gain > 0.0, "total margin gain {margin_gain}");
+        // …and the single most impactful change must agree in sign with
+        // its coefficient (tiny-coefficient features may wiggle either way
+        // under the distance penalty).
+        let dominant = cf
+            .changed_features
+            .iter()
+            .max_by(|&&a, &&b| {
+                let ia = (model.coef()[a] * (cf.counterfactual[a] - cf.original[a])).abs();
+                let ib = (model.coef()[b] * (cf.counterfactual[b] - cf.original[b])).abs();
+                ia.partial_cmp(&ib).unwrap()
+            })
+            .copied()
+            .expect("something changed");
+        let delta = cf.counterfactual[dominant] - cf.original[dominant];
+        assert!(
+            delta * model.coef()[dominant] > 0.0,
+            "dominant feature {dominant} moved against its coefficient"
+        );
+    }
+
+    #[test]
+    fn works_on_a_nonlinear_mlp() {
+        let data = circles(600, 9, 0.1);
+        let mlp = Mlp::fit(
+            data.x(),
+            data.y(),
+            MlpConfig { hidden: 24, epochs: 150, learning_rate: 0.1, ..MlpConfig::default() },
+        );
+        let idx = (0..data.n_rows()).find(|&i| mlp.output(data.row(i)) < 0.3).unwrap();
+        let cf = wachter_counterfactual(&mlp, &data, data.row(idx), WachterConfig::default())
+            .expect("wachter should cross the ring boundary");
+        assert!(cf.is_valid());
+    }
+
+    #[test]
+    fn approved_instances_flip_downward() {
+        let data = german_credit(500, 11);
+        let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+        let idx = (0..data.n_rows()).find(|&i| model.output(data.row(i)) > 0.7).unwrap();
+        let cf = wachter_counterfactual(&model, &data, data.row(idx), WachterConfig::default()).unwrap();
+        assert!(cf.original_output >= 0.5 && cf.counterfactual_output < 0.5);
+    }
+}

@@ -1,0 +1,60 @@
+//! Property-based tests: feasibility of counterfactuals is an invariant,
+//! not a tendency — whatever instance and seed, immutable features never
+//! move and monotone features never move the wrong way.
+
+use proptest::prelude::*;
+use xai_counterfactual::{geco, DiceConfig, DiceExplainer, GecoConfig, Plaf};
+use xai_data::synth::german_credit;
+use xai_data::Mutability;
+use xai_models::{proba_fn, LogisticConfig, LogisticRegression};
+
+fn check_feasible(data: &xai_data::Dataset, original: &[f64], counterfactual: &[f64]) {
+    for (j, f) in data.schema().features().iter().enumerate() {
+        let delta = counterfactual[j] - original[j];
+        match f.mutability {
+            Mutability::Immutable => assert!(delta.abs() < 1e-9, "immutable {} moved", f.name),
+            Mutability::IncreaseOnly => assert!(delta >= -1e-9, "{} decreased", f.name),
+            Mutability::DecreaseOnly => assert!(delta <= 1e-9, "{} increased", f.name),
+            Mutability::Free => {}
+        }
+        assert!(f.is_valid(counterfactual[j]), "{} out of bounds: {}", f.name, counterfactual[j]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn dice_outputs_are_always_feasible(row in 0usize..60, seed in 0u64..1000) {
+        let data = german_credit(200, 13);
+        let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+        let f = proba_fn(&model);
+        let dice = DiceExplainer::fit(&data);
+        let cfs = dice.generate(
+            &f,
+            data.row(row),
+            DiceConfig { k: 2, iterations: 120, restarts: 1, ..DiceConfig::default() },
+            seed,
+        );
+        for cf in &cfs {
+            check_feasible(&data, &cf.original, &cf.counterfactual);
+            // Bookkeeping invariants.
+            prop_assert_eq!(cf.original.len(), cf.counterfactual.len());
+            prop_assert!(cf.distance >= 0.0);
+            prop_assert!(cf.sparsity() <= data.n_features());
+        }
+    }
+
+    #[test]
+    fn geco_outputs_are_always_feasible(row in 0usize..60, seed in 0u64..1000) {
+        let data = german_credit(200, 17);
+        let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+        let f = proba_fn(&model);
+        let plaf = Plaf::from_schema(&data);
+        let config = GecoConfig { population: 30, generations: 8, ..GecoConfig::default() };
+        if let Some(cf) = geco(&f, &data, data.row(row), &plaf, config, seed) {
+            check_feasible(&data, &cf.original, &cf.counterfactual);
+            prop_assert!(cf.is_valid(), "geco only returns boundary-crossing candidates");
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! The central tabular dataset type shared by every model and explainer.
+
+use crate::schema::Schema;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use xai_linalg::Matrix;
+
+/// The learning task a dataset is labeled for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Task {
+    /// Real-valued targets.
+    Regression,
+    /// Targets in `{0.0, 1.0}`.
+    BinaryClassification,
+}
+
+/// A tabular dataset: feature matrix + targets + schema.
+///
+/// Categorical features are stored as category indices (`f64`), which keeps
+/// the matrix dense and lets tree models split on them natively; linear
+/// models one-hot encode via [`crate::encode::OneHotEncoder`].
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    schema: Schema,
+    x: Matrix,
+    y: Vec<f64>,
+    task: Task,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating shapes (rows vs targets, cols vs schema).
+    pub fn new(schema: Schema, x: Matrix, y: Vec<f64>, task: Task) -> Self {
+        assert_eq!(x.rows(), y.len(), "feature rows must match target count");
+        assert_eq!(
+            x.cols(),
+            schema.n_features(),
+            "feature columns must match schema"
+        );
+        if task == Task::BinaryClassification {
+            debug_assert!(
+                y.iter().all(|&v| v == 0.0 || v == 1.0),
+                "binary targets must be 0/1"
+            );
+        }
+        Self { schema, x, y, task }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The feature matrix (rows = examples).
+    pub fn x(&self) -> &Matrix {
+        &self.x
+    }
+
+    /// The target vector.
+    pub fn y(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// The task kind.
+    pub fn task(&self) -> Task {
+        self.task
+    }
+
+    /// Number of examples.
+    pub fn n_rows(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        self.x.row(i)
+    }
+
+    /// `(row, target)` pair.
+    pub fn example(&self, i: usize) -> (&[f64], f64) {
+        (self.x.row(i), self.y[i])
+    }
+
+    /// New dataset containing only the listed rows (in the given order).
+    pub fn subset(&self, idx: &[usize]) -> Dataset {
+        let x = self.x.select_rows(idx);
+        let y = idx.iter().map(|&i| self.y[i]).collect();
+        Dataset::new(self.schema.clone(), x, y, self.task)
+    }
+
+    /// New dataset with the listed rows removed.
+    pub fn without(&self, remove: &[usize]) -> Dataset {
+        let mut removed = vec![false; self.n_rows()];
+        for &i in remove {
+            removed[i] = true;
+        }
+        let keep: Vec<usize> = (0..self.n_rows()).filter(|&i| !removed[i]).collect();
+        self.subset(&keep)
+    }
+
+    /// Deterministic shuffled train/test split.
+    ///
+    /// `test_fraction` in `(0, 1)`; at least one example lands on each side
+    /// when `n_rows >= 2`.
+    pub fn train_test_split(&self, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            test_fraction > 0.0 && test_fraction < 1.0,
+            "test_fraction must be in (0,1)"
+        );
+        let mut idx: Vec<usize> = (0..self.n_rows()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        let mut n_test = ((self.n_rows() as f64) * test_fraction).round() as usize;
+        n_test = n_test.clamp(1, self.n_rows().saturating_sub(1).max(1));
+        let (test_idx, train_idx) = idx.split_at(n_test);
+        (self.subset(train_idx), self.subset(test_idx))
+    }
+
+    /// Deterministic k-fold partition; returns `(train, validation)` pairs.
+    pub fn k_folds(&self, k: usize, seed: u64) -> Vec<(Dataset, Dataset)> {
+        assert!(k >= 2, "need at least two folds");
+        assert!(k <= self.n_rows(), "more folds than rows");
+        let mut idx: Vec<usize> = (0..self.n_rows()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        let mut folds = Vec::with_capacity(k);
+        for f in 0..k {
+            let val: Vec<usize> = idx.iter().copied().skip(f).step_by(k).collect();
+            let val_set: std::collections::HashSet<usize> = val.iter().copied().collect();
+            let train: Vec<usize> = idx.iter().copied().filter(|i| !val_set.contains(i)).collect();
+            folds.push((self.subset(&train), self.subset(&val)));
+        }
+        folds
+    }
+
+    /// Fraction of positive labels (binary tasks).
+    pub fn positive_rate(&self) -> f64 {
+        if self.y.is_empty() {
+            return 0.0;
+        }
+        self.y.iter().sum::<f64>() / self.y.len() as f64
+    }
+
+    /// Replaces the target of row `i` (used by label-noise injection).
+    pub fn set_label(&mut self, i: usize, y: f64) {
+        self.y[i] = y;
+    }
+
+    /// Renders example `i` using the schema, for reports.
+    pub fn render_row(&self, i: usize) -> String {
+        let parts: Vec<String> = self
+            .schema
+            .features()
+            .iter()
+            .zip(self.row(i))
+            .map(|(f, &v)| format!("{}={}", f.name, f.render(v)))
+            .collect();
+        parts.join(", ")
+    }
+}
+
+/// Flips a fraction of binary labels, returning the corrupted row indices.
+///
+/// This simulates the dirty training data that §2.3/§3 debugging methods
+/// (Data Shapley, influence functions, Rain-style complaints) must find.
+pub fn inject_label_noise(data: &mut Dataset, fraction: f64, seed: u64) -> Vec<usize> {
+    assert_eq!(data.task(), Task::BinaryClassification, "label noise is for binary tasks");
+    assert!((0.0..=1.0).contains(&fraction));
+    let n = data.n_rows();
+    let n_flip = ((n as f64) * fraction).round() as usize;
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    idx.truncate(n_flip);
+    for &i in &idx {
+        let old = data.y[i];
+        data.set_label(i, 1.0 - old);
+    }
+    idx.sort_unstable();
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Feature;
+
+    fn toy(n: usize) -> Dataset {
+        let schema = Schema::new(
+            vec![Feature::numeric("a", -100.0, 100.0), Feature::numeric("b", -100.0, 100.0)],
+            "y",
+        );
+        let x = Matrix::from_fn(n, 2, |i, j| (i * 2 + j) as f64);
+        let y = (0..n).map(|i| (i % 2) as f64).collect();
+        Dataset::new(schema, x, y, Task::BinaryClassification)
+    }
+
+    #[test]
+    fn subset_and_without() {
+        let d = toy(6);
+        let s = d.subset(&[4, 0]);
+        assert_eq!(s.n_rows(), 2);
+        assert_eq!(s.row(0), &[8.0, 9.0]);
+        assert_eq!(s.y(), &[0.0, 0.0]);
+        let w = d.without(&[0, 1, 2]);
+        assert_eq!(w.n_rows(), 3);
+        assert_eq!(w.row(0), &[6.0, 7.0]);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_disjoint() {
+        let d = toy(20);
+        let (tr1, te1) = d.train_test_split(0.25, 9);
+        let (tr2, te2) = d.train_test_split(0.25, 9);
+        assert_eq!(tr1.x().as_slice(), tr2.x().as_slice());
+        assert_eq!(te1.x().as_slice(), te2.x().as_slice());
+        assert_eq!(tr1.n_rows(), 15);
+        assert_eq!(te1.n_rows(), 5);
+        // Disjointness: row signatures must not overlap.
+        let sig = |d: &Dataset| -> std::collections::HashSet<String> {
+            (0..d.n_rows()).map(|i| format!("{:?}", d.row(i))).collect()
+        };
+        assert!(sig(&tr1).is_disjoint(&sig(&te1)));
+    }
+
+    #[test]
+    fn k_folds_cover_everything_once() {
+        let d = toy(10);
+        let folds = d.k_folds(5, 3);
+        assert_eq!(folds.len(), 5);
+        let mut seen = 0;
+        for (tr, va) in &folds {
+            assert_eq!(tr.n_rows() + va.n_rows(), 10);
+            seen += va.n_rows();
+        }
+        assert_eq!(seen, 10);
+    }
+
+    #[test]
+    fn label_noise_flips_exactly() {
+        let mut d = toy(10);
+        let before = d.y().to_vec();
+        let flipped = inject_label_noise(&mut d, 0.3, 7);
+        assert_eq!(flipped.len(), 3);
+        for i in 0..10 {
+            if flipped.contains(&i) {
+                assert_eq!(d.y()[i], 1.0 - before[i]);
+            } else {
+                assert_eq!(d.y()[i], before[i]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feature rows must match")]
+    fn shape_mismatch_panics() {
+        let schema = Schema::new(vec![Feature::numeric("a", 0.0, 1.0)], "y");
+        let _ = Dataset::new(schema, Matrix::zeros(3, 1), vec![0.0; 2], Task::Regression);
+    }
+
+    #[test]
+    fn positive_rate() {
+        let d = toy(4);
+        assert!((d.positive_rate() - 0.5).abs() < 1e-12);
+    }
+}

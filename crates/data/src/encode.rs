@@ -1,0 +1,264 @@
+//! Feature encoders: one-hot expansion and z-score standardization.
+//!
+//! Linear models, LIME's interpretable representation, and distance
+//! computations in counterfactual search all need encoded/standardized
+//! views of the raw dataset matrix. Encoders are *fitted* on training data
+//! and then applied to any row, so explanations can map back and forth
+//! between raw and encoded spaces.
+
+use crate::schema::{FeatureKind, Schema};
+use xai_linalg::stats::{mean, std_dev};
+use xai_linalg::Matrix;
+
+/// One-hot encoder driven by the schema.
+///
+/// Numeric columns pass through; each categorical column with `k` categories
+/// expands into `k` indicator columns.
+#[derive(Clone, Debug)]
+pub struct OneHotEncoder {
+    /// For each raw column: (output offset, cardinality or 1 for numeric).
+    layout: Vec<(usize, usize)>,
+    /// Whether each raw column is categorical.
+    is_cat: Vec<bool>,
+    width: usize,
+}
+
+impl OneHotEncoder {
+    /// Builds the encoder from a schema.
+    pub fn fit(schema: &Schema) -> Self {
+        let mut layout = Vec::with_capacity(schema.n_features());
+        let mut is_cat = Vec::with_capacity(schema.n_features());
+        let mut offset = 0;
+        for f in schema.features() {
+            match &f.kind {
+                FeatureKind::Numeric { .. } => {
+                    layout.push((offset, 1));
+                    is_cat.push(false);
+                    offset += 1;
+                }
+                FeatureKind::Categorical { categories } => {
+                    layout.push((offset, categories.len()));
+                    is_cat.push(true);
+                    offset += categories.len();
+                }
+            }
+        }
+        Self { layout, is_cat, width: offset }
+    }
+
+    /// Width of the encoded representation.
+    pub fn encoded_width(&self) -> usize {
+        self.width
+    }
+
+    /// Output column range for raw feature `j`.
+    pub fn columns_of(&self, j: usize) -> std::ops::Range<usize> {
+        let (off, k) = self.layout[j];
+        off..off + k
+    }
+
+    /// Maps an encoded column back to its raw feature index.
+    pub fn raw_feature_of(&self, encoded_col: usize) -> usize {
+        self.layout
+            .iter()
+            .position(|&(off, k)| encoded_col >= off && encoded_col < off + k)
+            .expect("encoded column out of range")
+    }
+
+    /// Encodes a single row.
+    pub fn encode_row(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.layout.len(), "row arity mismatch");
+        let mut out = vec![0.0; self.width];
+        for (j, &v) in row.iter().enumerate() {
+            let (off, k) = self.layout[j];
+            if self.is_cat[j] {
+                let idx = v.round() as usize;
+                assert!(idx < k, "category index {idx} out of range for feature {j}");
+                out[off + idx] = 1.0;
+            } else {
+                out[off] = v;
+            }
+        }
+        out
+    }
+
+    /// Encodes a whole matrix.
+    pub fn encode_matrix(&self, m: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(m.rows(), self.width);
+        for i in 0..m.rows() {
+            let enc = self.encode_row(m.row(i));
+            out.row_mut(i).copy_from_slice(&enc);
+        }
+        out
+    }
+
+    /// Decodes an encoded row back to raw space (argmax per categorical block).
+    pub fn decode_row(&self, enc: &[f64]) -> Vec<f64> {
+        assert_eq!(enc.len(), self.width, "encoded arity mismatch");
+        let mut out = Vec::with_capacity(self.layout.len());
+        for (j, &(off, k)) in self.layout.iter().enumerate() {
+            if self.is_cat[j] {
+                let block = &enc[off..off + k];
+                let argmax = block
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN in one-hot block"))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                out.push(argmax as f64);
+            } else {
+                out.push(enc[off]);
+            }
+        }
+        out
+    }
+}
+
+/// Per-column z-score standardizer fitted on a matrix.
+///
+/// Constant columns get unit scale so transformation stays invertible.
+#[derive(Clone, Debug)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits means/stds on the columns of `m`.
+    pub fn fit(m: &Matrix) -> Self {
+        let means = (0..m.cols()).map(|j| mean(&m.col(j))).collect();
+        let stds = (0..m.cols())
+            .map(|j| {
+                let s = std_dev(&m.col(j));
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Self { means, stds }
+    }
+
+    /// Per-column means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-column scales.
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Standardizes one row.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.means.len());
+        row.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(&v, (&m, &s))| (v - m) / s)
+            .collect()
+    }
+
+    /// Standardizes a matrix.
+    pub fn transform_matrix(&self, m: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(m.rows(), m.cols());
+        for i in 0..m.rows() {
+            let t = self.transform_row(m.row(i));
+            out.row_mut(i).copy_from_slice(&t);
+        }
+        out
+    }
+
+    /// Inverse transform of one row.
+    pub fn inverse_row(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.means.len());
+        row.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(&v, (&m, &s))| v * s + m)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Feature, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                Feature::numeric("age", 0.0, 100.0),
+                Feature::categorical("color", &["red", "green", "blue"]),
+                Feature::numeric("income", 0.0, 1e6),
+            ],
+            "y",
+        )
+    }
+
+    #[test]
+    fn one_hot_layout() {
+        let enc = OneHotEncoder::fit(&schema());
+        assert_eq!(enc.encoded_width(), 5);
+        assert_eq!(enc.columns_of(0), 0..1);
+        assert_eq!(enc.columns_of(1), 1..4);
+        assert_eq!(enc.columns_of(2), 4..5);
+        assert_eq!(enc.raw_feature_of(0), 0);
+        assert_eq!(enc.raw_feature_of(2), 1);
+        assert_eq!(enc.raw_feature_of(4), 2);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let enc = OneHotEncoder::fit(&schema());
+        let row = vec![42.0, 2.0, 1234.5];
+        let e = enc.encode_row(&row);
+        assert_eq!(e, vec![42.0, 0.0, 0.0, 1.0, 1234.5]);
+        assert_eq!(enc.decode_row(&e), row);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn encode_invalid_category_panics() {
+        let enc = OneHotEncoder::fit(&schema());
+        enc.encode_row(&[1.0, 9.0, 0.0]);
+    }
+
+    #[test]
+    fn standardizer_roundtrip_and_moments() {
+        let m = Matrix::from_rows(&[
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 30.0],
+            vec![4.0, 40.0],
+        ]);
+        let st = Standardizer::fit(&m);
+        let t = st.transform_matrix(&m);
+        for j in 0..2 {
+            assert!(mean(&t.col(j)).abs() < 1e-12);
+            assert!((std_dev(&t.col(j)) - 1.0).abs() < 1e-12);
+        }
+        let orig = m.row(2).to_vec();
+        let back = st.inverse_row(&st.transform_row(&orig));
+        for (a, b) in back.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn standardizer_constant_column_safe() {
+        let m = Matrix::from_rows(&[vec![5.0], vec![5.0], vec![5.0]]);
+        let st = Standardizer::fit(&m);
+        let t = st.transform_row(&[5.0]);
+        assert_eq!(t, vec![0.0]);
+        assert_eq!(st.inverse_row(&t), vec![5.0]);
+    }
+
+    #[test]
+    fn encode_matrix_shapes() {
+        let enc = OneHotEncoder::fit(&schema());
+        let m = Matrix::from_rows(&[vec![1.0, 0.0, 2.0], vec![2.0, 1.0, 3.0]]);
+        let e = enc.encode_matrix(&m);
+        assert_eq!(e.shape(), (2, 5));
+        assert_eq!(e.row(0), &[1.0, 1.0, 0.0, 0.0, 2.0]);
+    }
+}

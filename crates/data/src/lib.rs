@@ -1,0 +1,29 @@
+//! # xai-data
+//!
+//! Tabular-data substrate for the `xai` workspace:
+//!
+//! - [`schema`] — named, typed features with recourse metadata
+//!   (mutability, protected attributes);
+//! - [`dataset`] — the dense [`dataset::Dataset`] shared by every model and
+//!   explainer, plus deterministic splits and label-noise injection;
+//! - [`encode`] — one-hot and z-score encoders that map between raw and
+//!   model space;
+//! - [`metrics`] — classification/regression metrics and fairness gaps;
+//! - [`synth`] — seeded synthetic populations standing in for Adult /
+//!   German Credit / COMPAS (see DESIGN.md for the substitution argument);
+//! - [`scm`] — structural causal models with observational, interventional
+//!   and counterfactual (abduction) queries.
+
+pub mod csv;
+pub mod dataset;
+pub mod encode;
+pub mod metrics;
+pub mod schema;
+pub mod scm;
+pub mod synth;
+
+pub use csv::{load_csv, parse_csv, to_csv, CsvError};
+pub use dataset::{inject_label_noise, Dataset, Task};
+pub use encode::{OneHotEncoder, Standardizer};
+pub use schema::{Feature, FeatureKind, Mutability, Schema};
+pub use scm::{sigmoid, Intervention, LabeledScm, Mechanism, Node, Scm};

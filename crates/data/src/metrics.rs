@@ -1,0 +1,232 @@
+//! Evaluation metrics for the models and for valuation experiments.
+//!
+//! Data-valuation methods (§2.3.1) are defined *with respect to a
+//! performance metric*; these are the metrics they plug in.
+
+/// Classification accuracy of hard predictions against 0/1 labels.
+pub fn accuracy(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let hits = y_true
+        .iter()
+        .zip(y_pred)
+        .filter(|(t, p)| (**t >= 0.5) == (**p >= 0.5))
+        .count();
+    hits as f64 / y_true.len() as f64
+}
+
+/// Confusion counts for binary classification.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Builds the confusion matrix from labels and hard predictions.
+    pub fn from_predictions(y_true: &[f64], y_pred: &[f64]) -> Self {
+        assert_eq!(y_true.len(), y_pred.len());
+        let mut c = Confusion::default();
+        for (&t, &p) in y_true.iter().zip(y_pred) {
+            match (t >= 0.5, p >= 0.5) {
+                (true, true) => c.tp += 1,
+                (false, true) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (true, false) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision; 0 when no positives are predicted.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall; 0 when there are no positive labels.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 score; 0 when precision+recall is 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Area under the ROC curve from scores (probabilities or margins).
+///
+/// Computed as the Mann–Whitney U statistic with tie correction; 0.5 when
+/// either class is absent.
+pub fn auc_roc(y_true: &[f64], scores: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), scores.len());
+    let n_pos = y_true.iter().filter(|&&t| t >= 0.5).count();
+    let n_neg = y_true.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let ranks = xai_linalg::stats::ranks(scores);
+    let rank_sum_pos: f64 = y_true
+        .iter()
+        .zip(&ranks)
+        .filter(|(&t, _)| t >= 0.5)
+        .map(|(_, &r)| r)
+        .sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos * n_neg) as f64
+}
+
+/// Binary cross-entropy of predicted probabilities (clamped for stability).
+pub fn log_loss(y_true: &[f64], probs: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), probs.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let eps = 1e-12;
+    let total: f64 = y_true
+        .iter()
+        .zip(probs)
+        .map(|(&t, &p)| {
+            let p = p.clamp(eps, 1.0 - eps);
+            -(t * p.ln() + (1.0 - t) * (1.0 - p).ln())
+        })
+        .sum();
+    total / y_true.len() as f64
+}
+
+/// Mean squared error.
+pub fn mse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p).powi(2))
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    mse(y_true, y_pred).sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+/// Demographic-parity gap: |P(ŷ=1 | g=1) − P(ŷ=1 | g=0)| for a binary
+/// protected group column. Used by the audit example and the attack
+/// experiment to quantify how biased a model actually is.
+pub fn demographic_parity_gap(y_pred: &[f64], group: &[f64]) -> f64 {
+    assert_eq!(y_pred.len(), group.len());
+    let mut pos = [0.0f64; 2];
+    let mut cnt = [0.0f64; 2];
+    for (&p, &g) in y_pred.iter().zip(group) {
+        let gi = usize::from(g >= 0.5);
+        cnt[gi] += 1.0;
+        if p >= 0.5 {
+            pos[gi] += 1.0;
+        }
+    }
+    if cnt[0] == 0.0 || cnt[1] == 0.0 {
+        return 0.0;
+    }
+    (pos[1] / cnt[1] - pos[0] / cnt[0]).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1.0, 0.0, 1.0, 0.0], &[1.0, 0.0, 0.0, 0.0]), 0.75);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_and_f1() {
+        let c = Confusion::from_predictions(&[1.0, 1.0, 0.0, 0.0, 1.0], &[1.0, 0.0, 1.0, 0.0, 1.0]);
+        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_perfect_random_inverted() {
+        let y = [0.0, 0.0, 1.0, 1.0];
+        assert!((auc_roc(&y, &[0.1, 0.2, 0.8, 0.9]) - 1.0).abs() < 1e-12);
+        assert!((auc_roc(&y, &[0.9, 0.8, 0.2, 0.1]) - 0.0).abs() < 1e-12);
+        assert!((auc_roc(&y, &[0.5, 0.5, 0.5, 0.5]) - 0.5).abs() < 1e-12);
+        assert_eq!(auc_roc(&[1.0, 1.0], &[0.3, 0.4]), 0.5); // one class absent
+    }
+
+    #[test]
+    fn log_loss_behaviour() {
+        let y = [1.0, 0.0];
+        let good = log_loss(&y, &[0.99, 0.01]);
+        let bad = log_loss(&y, &[0.01, 0.99]);
+        assert!(good < 0.05);
+        assert!(bad > 3.0);
+        // Degenerate probabilities do not produce infinities.
+        assert!(log_loss(&y, &[1.0, 0.0]).is_finite());
+    }
+
+    #[test]
+    fn regression_metrics() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [1.0, 2.0, 5.0];
+        assert!((mse(&t, &p) - 4.0 / 3.0).abs() < 1e-12);
+        assert!((rmse(&t, &p) - (4.0_f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((mae(&t, &p) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parity_gap() {
+        // Group 1 always approved, group 0 never.
+        let pred = [1.0, 1.0, 0.0, 0.0];
+        let grp = [1.0, 1.0, 0.0, 0.0];
+        assert!((demographic_parity_gap(&pred, &grp) - 1.0).abs() < 1e-12);
+        // Equal rates ⇒ zero gap.
+        let pred2 = [1.0, 0.0, 1.0, 0.0];
+        assert!(demographic_parity_gap(&pred2, &grp).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,256 @@
+//! Feature schemas for tabular datasets.
+//!
+//! Explanations must speak the language of the data ("age", "income",
+//! "housing = rent"), not raw column indices, so every dataset carries a
+//! schema describing each feature: its name, whether it is numeric or
+//! categorical, and — for recourse — whether it is actionable and in which
+//! direction it may move.
+
+/// How a feature may be changed when searching for recourse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutability {
+    /// Feature can move freely (e.g. savings amount).
+    Free,
+    /// Feature can only increase (e.g. age, education years).
+    IncreaseOnly,
+    /// Feature can only decrease (e.g. number of open defaults).
+    DecreaseOnly,
+    /// Feature can never be changed by the individual (e.g. race, sex).
+    Immutable,
+}
+
+/// The type of a single feature.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FeatureKind {
+    /// Real-valued feature with optional bounds used by perturbation-based
+    /// explainers and counterfactual search.
+    Numeric {
+        /// Inclusive lower bound of plausible values.
+        min: f64,
+        /// Inclusive upper bound of plausible values.
+        max: f64,
+    },
+    /// Categorical feature; values are stored as category indices (as `f64`)
+    /// in the dataset matrix.
+    Categorical {
+        /// Human-readable category names; index in this list is the stored code.
+        categories: Vec<String>,
+    },
+}
+
+/// A named feature with its kind and recourse metadata.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Feature {
+    /// Column name.
+    pub name: String,
+    /// Numeric or categorical.
+    pub kind: FeatureKind,
+    /// Whether/how the feature may be changed for recourse.
+    pub mutability: Mutability,
+    /// Marks legally protected attributes (sex, race, …) for audit tooling.
+    pub protected: bool,
+}
+
+impl Feature {
+    /// A freely mutable numeric feature.
+    pub fn numeric(name: &str, min: f64, max: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            kind: FeatureKind::Numeric { min, max },
+            mutability: Mutability::Free,
+            protected: false,
+        }
+    }
+
+    /// A freely mutable categorical feature.
+    pub fn categorical(name: &str, categories: &[&str]) -> Self {
+        Self {
+            name: name.to_string(),
+            kind: FeatureKind::Categorical {
+                categories: categories.iter().map(|s| s.to_string()).collect(),
+            },
+            mutability: Mutability::Free,
+            protected: false,
+        }
+    }
+
+    /// Builder: set mutability.
+    pub fn with_mutability(mut self, m: Mutability) -> Self {
+        self.mutability = m;
+        self
+    }
+
+    /// Builder: mark as a protected attribute (also makes it immutable).
+    pub fn protected(mut self) -> Self {
+        self.protected = true;
+        self.mutability = Mutability::Immutable;
+        self
+    }
+
+    /// Number of categories (1 for numeric features).
+    pub fn cardinality(&self) -> usize {
+        match &self.kind {
+            FeatureKind::Numeric { .. } => 1,
+            FeatureKind::Categorical { categories } => categories.len(),
+        }
+    }
+
+    /// True for categorical features.
+    pub fn is_categorical(&self) -> bool {
+        matches!(self.kind, FeatureKind::Categorical { .. })
+    }
+
+    /// Renders a raw stored value using the schema ("34.5" or "housing=rent").
+    pub fn render(&self, value: f64) -> String {
+        match &self.kind {
+            FeatureKind::Numeric { .. } => format!("{value:.4}"),
+            FeatureKind::Categorical { categories } => {
+                let idx = value.round() as usize;
+                categories
+                    .get(idx)
+                    .cloned()
+                    .unwrap_or_else(|| format!("<invalid:{value}>"))
+            }
+        }
+    }
+
+    /// Validates that a raw value is legal for this feature.
+    pub fn is_valid(&self, value: f64) -> bool {
+        match &self.kind {
+            FeatureKind::Numeric { min, max } => value.is_finite() && value >= *min && value <= *max,
+            FeatureKind::Categorical { categories } => {
+                let idx = value.round();
+                idx == value && idx >= 0.0 && (idx as usize) < categories.len()
+            }
+        }
+    }
+}
+
+/// An ordered collection of features plus the prediction target's name.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Schema {
+    features: Vec<Feature>,
+    target: String,
+}
+
+impl Schema {
+    /// Builds a schema.
+    pub fn new(features: Vec<Feature>, target: &str) -> Self {
+        Self { features, target: target.to_string() }
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// The features in column order.
+    pub fn features(&self) -> &[Feature] {
+        &self.features
+    }
+
+    /// Feature at column `j`.
+    pub fn feature(&self, j: usize) -> &Feature {
+        &self.features[j]
+    }
+
+    /// Target column name.
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+
+    /// Column index of a feature by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.features.iter().position(|f| f.name == name)
+    }
+
+    /// All feature names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.features.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Indices of protected features.
+    pub fn protected_indices(&self) -> Vec<usize> {
+        self.features
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.protected)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Validates a full row against every feature.
+    pub fn validate_row(&self, row: &[f64]) -> Result<(), String> {
+        if row.len() != self.features.len() {
+            return Err(format!(
+                "row has {} values, schema has {} features",
+                row.len(),
+                self.features.len()
+            ));
+        }
+        for (f, &v) in self.features.iter().zip(row) {
+            if !f.is_valid(v) {
+                return Err(format!("value {v} is invalid for feature '{}'", f.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                Feature::numeric("age", 18.0, 90.0).with_mutability(Mutability::IncreaseOnly),
+                Feature::categorical("housing", &["own", "rent", "free"]),
+                Feature::categorical("sex", &["female", "male"]).protected(),
+            ],
+            "credit_risk",
+        )
+    }
+
+    #[test]
+    fn lookup_and_names() {
+        let s = schema();
+        assert_eq!(s.n_features(), 3);
+        assert_eq!(s.index_of("housing"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.names(), vec!["age", "housing", "sex"]);
+        assert_eq!(s.target(), "credit_risk");
+    }
+
+    #[test]
+    fn protected_implies_immutable() {
+        let s = schema();
+        assert_eq!(s.protected_indices(), vec![2]);
+        assert_eq!(s.feature(2).mutability, Mutability::Immutable);
+    }
+
+    #[test]
+    fn render_values() {
+        let s = schema();
+        assert_eq!(s.feature(1).render(1.0), "rent");
+        assert_eq!(s.feature(1).render(7.0), "<invalid:7>");
+        assert!(s.feature(0).render(33.25).starts_with("33.25"));
+    }
+
+    #[test]
+    fn validation() {
+        let s = schema();
+        assert!(s.validate_row(&[30.0, 2.0, 1.0]).is_ok());
+        assert!(s.validate_row(&[17.0, 2.0, 1.0]).is_err()); // age below min
+        assert!(s.validate_row(&[30.0, 1.5, 1.0]).is_err()); // non-integral category
+        assert!(s.validate_row(&[30.0, 2.0]).is_err()); // wrong arity
+    }
+
+    #[test]
+    fn cardinality() {
+        let s = schema();
+        assert_eq!(s.feature(0).cardinality(), 1);
+        assert_eq!(s.feature(1).cardinality(), 3);
+        assert!(s.feature(1).is_categorical());
+    }
+}

@@ -1,0 +1,502 @@
+//! Structural causal models (SCMs).
+//!
+//! The causal explanation methods of §2.1.3 and §2.1.4 (asymmetric Shapley
+//! values, causal Shapley values, Shapley flow, LEWIS-style probabilistic
+//! contrastive counterfactuals) all need a causal substrate supporting
+//! three queries:
+//!
+//! 1. **observational** sampling from the joint distribution,
+//! 2. **interventional** sampling under `do(X_S = x_S)`,
+//! 3. **counterfactual** inference by abduction–action–prediction
+//!    (Pearl's three-step recipe), which requires recoverable exogenous
+//!    noise.
+//!
+//! Mechanisms are additive-noise linear functions or Bernoulli
+//! (logistic-CDF) nodes, which keeps abduction exact for continuous nodes
+//! and posterior-consistent for binary nodes.
+
+use rand::Rng;
+use xai_linalg::distr::standard_normal;
+use xai_linalg::dot;
+
+/// The structural equation attached to one node.
+#[derive(Clone, Debug)]
+pub enum Mechanism {
+    /// Root node: `x = mean + std · u`, `u ~ N(0,1)`.
+    Exogenous {
+        /// Mean of the node.
+        mean: f64,
+        /// Standard deviation of the node.
+        std: f64,
+    },
+    /// Additive-noise linear node: `x = bias + w·parents + noise_std · u`.
+    Linear {
+        /// Parent node indices (must precede this node).
+        parents: Vec<usize>,
+        /// Coefficients, one per parent.
+        weights: Vec<f64>,
+        /// Intercept.
+        bias: f64,
+        /// Noise scale; 0 makes the node deterministic.
+        noise_std: f64,
+    },
+    /// Binary node: `x = 1 if u < σ(bias + w·parents)`, `u ~ U(0,1)`.
+    Bernoulli {
+        /// Parent node indices (must precede this node).
+        parents: Vec<usize>,
+        /// Coefficients, one per parent.
+        weights: Vec<f64>,
+        /// Intercept in logit space.
+        bias: f64,
+    },
+}
+
+impl Mechanism {
+    /// Parent indices of this mechanism.
+    pub fn parents(&self) -> &[usize] {
+        match self {
+            Mechanism::Exogenous { .. } => &[],
+            Mechanism::Linear { parents, .. } => parents,
+            Mechanism::Bernoulli { parents, .. } => parents,
+        }
+    }
+
+    fn gather(parents: &[usize], values: &[f64]) -> Vec<f64> {
+        parents.iter().map(|&p| values[p]).collect()
+    }
+
+    /// Evaluates the mechanism given upstream values and this node's noise.
+    pub fn evaluate(&self, values: &[f64], noise: f64) -> f64 {
+        match self {
+            Mechanism::Exogenous { mean, std } => mean + std * noise,
+            Mechanism::Linear { parents, weights, bias, noise_std } => {
+                let pv = Self::gather(parents, values);
+                bias + dot(weights, &pv) + noise_std * noise
+            }
+            Mechanism::Bernoulli { parents, weights, bias } => {
+                let pv = Self::gather(parents, values);
+                let p = sigmoid(bias + dot(weights, &pv));
+                f64::from(noise < p)
+            }
+        }
+    }
+
+    /// Probability of the positive class for Bernoulli nodes.
+    pub fn bernoulli_prob(&self, values: &[f64]) -> Option<f64> {
+        match self {
+            Mechanism::Bernoulli { parents, weights, bias } => {
+                let pv = Self::gather(parents, values);
+                Some(sigmoid(bias + dot(weights, &pv)))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Numerically-stable logistic function.
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// A named node in the SCM.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Variable name.
+    pub name: String,
+    /// Its structural equation.
+    pub mechanism: Mechanism,
+}
+
+/// An intervention `do(node = value)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Intervention {
+    /// Target node index.
+    pub node: usize,
+    /// Forced value.
+    pub value: f64,
+}
+
+/// A structural causal model over nodes in topological order.
+#[derive(Clone, Debug)]
+pub struct Scm {
+    nodes: Vec<Node>,
+}
+
+impl Scm {
+    /// Builds an SCM, validating that parents always precede children
+    /// (i.e. the node list is a topological order of the DAG).
+    pub fn new(nodes: Vec<Node>) -> Result<Self, String> {
+        for (i, node) in nodes.iter().enumerate() {
+            for &p in node.mechanism.parents() {
+                if p >= i {
+                    return Err(format!(
+                        "node {i} ('{}') has parent {p} that does not precede it",
+                        node.name
+                    ));
+                }
+            }
+            if let Mechanism::Linear { parents, weights, .. }
+            | Mechanism::Bernoulli { parents, weights, .. } = &node.mechanism
+            {
+                if parents.len() != weights.len() {
+                    return Err(format!(
+                        "node {i} ('{}') has {} parents but {} weights",
+                        node.name,
+                        parents.len(),
+                        weights.len()
+                    ));
+                }
+            }
+        }
+        Ok(Self { nodes })
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The nodes in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Node index by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| n.name == name)
+    }
+
+    /// Draws one exogenous-noise vector (standard normal for continuous
+    /// nodes, uniform for Bernoulli nodes).
+    pub fn sample_noise<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.nodes
+            .iter()
+            .map(|n| match n.mechanism {
+                Mechanism::Bernoulli { .. } => rng.gen::<f64>(),
+                _ => standard_normal(rng),
+            })
+            .collect()
+    }
+
+    /// Deterministically evaluates all nodes given a noise vector and an
+    /// optional set of interventions.
+    pub fn evaluate(&self, noise: &[f64], interventions: &[Intervention]) -> Vec<f64> {
+        assert_eq!(noise.len(), self.nodes.len(), "noise arity mismatch");
+        let mut values = vec![0.0; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Some(iv) = interventions.iter().find(|iv| iv.node == i) {
+                values[i] = iv.value;
+            } else {
+                values[i] = node.mechanism.evaluate(&values, noise[i]);
+            }
+        }
+        values
+    }
+
+    /// Samples the observational distribution.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let noise = self.sample_noise(rng);
+        self.evaluate(&noise, &[])
+    }
+
+    /// Samples under `do(interventions)`.
+    pub fn sample_do<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        interventions: &[Intervention],
+    ) -> Vec<f64> {
+        let noise = self.sample_noise(rng);
+        self.evaluate(&noise, interventions)
+    }
+
+    /// Abduction: recovers an exogenous-noise vector consistent with a full
+    /// observation. Exact for continuous nodes; for Bernoulli nodes the
+    /// noise posterior is an interval, from which one value is drawn with
+    /// `rng` (call repeatedly for Monte-Carlo counterfactuals).
+    ///
+    /// Returns an error when a deterministic node (noise scale 0) is
+    /// observed at a value its mechanism cannot produce.
+    pub fn abduct<R: Rng + ?Sized>(
+        &self,
+        observed: &[f64],
+        rng: &mut R,
+    ) -> Result<Vec<f64>, String> {
+        assert_eq!(observed.len(), self.nodes.len(), "observation arity mismatch");
+        let mut noise = vec![0.0; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            match &node.mechanism {
+                Mechanism::Exogenous { mean, std } => {
+                    noise[i] = if *std > 0.0 { (observed[i] - mean) / std } else { 0.0 };
+                }
+                Mechanism::Linear { parents, weights, bias, noise_std } => {
+                    let pv: Vec<f64> = parents.iter().map(|&p| observed[p]).collect();
+                    let det = bias + dot(weights, &pv);
+                    if *noise_std > 0.0 {
+                        noise[i] = (observed[i] - det) / noise_std;
+                    } else if (observed[i] - det).abs() > 1e-9 {
+                        return Err(format!(
+                            "deterministic node '{}' observed at {} but mechanism yields {}",
+                            node.name, observed[i], det
+                        ));
+                    }
+                }
+                Mechanism::Bernoulli { .. } => {
+                    let p = node
+                        .mechanism
+                        .bernoulli_prob(observed)
+                        .expect("bernoulli node");
+                    // u < p produces 1; u >= p produces 0.
+                    noise[i] = if observed[i] >= 0.5 {
+                        rng.gen::<f64>() * p
+                    } else {
+                        p + rng.gen::<f64>() * (1.0 - p)
+                    };
+                }
+            }
+        }
+        Ok(noise)
+    }
+
+    /// Full counterfactual query: given an observation, what would the world
+    /// have looked like under `do(interventions)`? One Monte-Carlo draw; the
+    /// continuous part is exact, Bernoulli noise is sampled from its
+    /// posterior.
+    pub fn counterfactual<R: Rng + ?Sized>(
+        &self,
+        observed: &[f64],
+        interventions: &[Intervention],
+        rng: &mut R,
+    ) -> Result<Vec<f64>, String> {
+        let noise = self.abduct(observed, rng)?;
+        Ok(self.evaluate(&noise, interventions))
+    }
+
+    /// Direct children of each node (adjacency derived from mechanisms).
+    pub fn children(&self) -> Vec<Vec<usize>> {
+        let mut ch = vec![Vec::new(); self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &p in node.mechanism.parents() {
+                ch[p].push(i);
+            }
+        }
+        ch
+    }
+
+    /// All descendants of `node` (excluding itself).
+    pub fn descendants(&self, node: usize) -> Vec<usize> {
+        let ch = self.children();
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![node];
+        while let Some(cur) = stack.pop() {
+            for &c in &ch[cur] {
+                if !seen[c] {
+                    seen[c] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        (0..self.nodes.len()).filter(|&i| seen[i]).collect()
+    }
+
+    /// Edge list `(parent, child)` of the DAG.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut es = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &p in node.mechanism.parents() {
+                es.push((p, i));
+            }
+        }
+        es
+    }
+}
+
+/// Builder for the common "features + binary label" SCM layout used by the
+/// experiments: designates which nodes are model features and which node is
+/// the outcome.
+#[derive(Clone, Debug)]
+pub struct LabeledScm {
+    /// The underlying SCM.
+    pub scm: Scm,
+    /// Indices of feature nodes, in feature order.
+    pub feature_nodes: Vec<usize>,
+    /// Index of the outcome node.
+    pub label_node: usize,
+}
+
+impl LabeledScm {
+    /// Samples `(features, label)` pairs.
+    pub fn sample_examples<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = self.scm.sample(rng);
+            xs.push(self.feature_nodes.iter().map(|&i| v[i]).collect());
+            ys.push(v[self.label_node]);
+        }
+        (xs, ys)
+    }
+
+    /// Causal topological order restricted to the feature nodes, as feature
+    /// positions. This is the ordering asymmetric Shapley values condition on.
+    pub fn causal_feature_order(&self) -> Vec<usize> {
+        // feature_nodes is already in node order iff sorted; map node order → feature position.
+        let mut order: Vec<usize> = (0..self.feature_nodes.len()).collect();
+        order.sort_by_key(|&fpos| self.feature_nodes[fpos]);
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xai_linalg::stats::{mean, pearson, std_dev};
+
+    /// X -> Z -> Y with X -> Y direct edge as well.
+    fn chain() -> Scm {
+        Scm::new(vec![
+            Node {
+                name: "x".into(),
+                mechanism: Mechanism::Exogenous { mean: 0.0, std: 1.0 },
+            },
+            Node {
+                name: "z".into(),
+                mechanism: Mechanism::Linear {
+                    parents: vec![0],
+                    weights: vec![2.0],
+                    bias: 0.0,
+                    noise_std: 0.5,
+                },
+            },
+            Node {
+                name: "y".into(),
+                mechanism: Mechanism::Linear {
+                    parents: vec![0, 1],
+                    weights: vec![1.0, 1.0],
+                    bias: 0.0,
+                    noise_std: 0.1,
+                },
+            },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_topology() {
+        let bad = Scm::new(vec![Node {
+            name: "a".into(),
+            mechanism: Mechanism::Linear {
+                parents: vec![0],
+                weights: vec![1.0],
+                bias: 0.0,
+                noise_std: 1.0,
+            },
+        }]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn observational_moments() {
+        let scm = chain();
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples: Vec<Vec<f64>> = (0..20_000).map(|_| scm.sample(&mut rng)).collect();
+        let z: Vec<f64> = samples.iter().map(|s| s[1]).collect();
+        // Var(z) = 4 Var(x) + 0.25 = 4.25
+        assert!((std_dev(&z) - 4.25_f64.sqrt()).abs() < 0.05);
+        let x: Vec<f64> = samples.iter().map(|s| s[0]).collect();
+        assert!(pearson(&x, &z) > 0.9);
+    }
+
+    #[test]
+    fn intervention_breaks_dependence() {
+        let scm = chain();
+        let mut rng = StdRng::seed_from_u64(6);
+        let iv = [Intervention { node: 1, value: 3.0 }];
+        let samples: Vec<Vec<f64>> = (0..10_000).map(|_| scm.sample_do(&mut rng, &iv)).collect();
+        let x: Vec<f64> = samples.iter().map(|s| s[0]).collect();
+        let z: Vec<f64> = samples.iter().map(|s| s[1]).collect();
+        assert!(z.iter().all(|&v| v == 3.0));
+        // y = x + 3 + noise ⇒ mean(y) ≈ 3
+        let y: Vec<f64> = samples.iter().map(|s| s[2]).collect();
+        assert!((mean(&y) - 3.0).abs() < 0.05);
+        assert_eq!(pearson(&x, &z), 0.0);
+    }
+
+    #[test]
+    fn abduction_recovers_continuous_noise_exactly() {
+        let scm = chain();
+        let mut rng = StdRng::seed_from_u64(7);
+        let noise = scm.sample_noise(&mut rng);
+        let obs = scm.evaluate(&noise, &[]);
+        let rec = scm.abduct(&obs, &mut rng).unwrap();
+        for (a, b) in noise.iter().zip(&rec) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn counterfactual_is_deterministic_for_continuous_scm() {
+        let scm = chain();
+        let mut rng = StdRng::seed_from_u64(8);
+        let obs = scm.sample(&mut rng);
+        let iv = [Intervention { node: 0, value: obs[0] + 1.0 }];
+        let cf1 = scm.counterfactual(&obs, &iv, &mut rng).unwrap();
+        let cf2 = scm.counterfactual(&obs, &iv, &mut rng).unwrap();
+        assert_eq!(cf1, cf2);
+        // dz/dx = 2, dy/dx = 1 + 1*2 = 3 in the counterfactual world.
+        assert!((cf1[1] - (obs[1] + 2.0)).abs() < 1e-10);
+        assert!((cf1[2] - (obs[2] + 3.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bernoulli_abduction_consistent() {
+        let scm = Scm::new(vec![
+            Node { name: "x".into(), mechanism: Mechanism::Exogenous { mean: 0.0, std: 1.0 } },
+            Node {
+                name: "y".into(),
+                mechanism: Mechanism::Bernoulli { parents: vec![0], weights: vec![3.0], bias: 0.0 },
+            },
+        ])
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let obs = scm.sample(&mut rng);
+            let noise = scm.abduct(&obs, &mut rng).unwrap();
+            let replay = scm.evaluate(&noise, &[]);
+            assert_eq!(replay[1], obs[1], "abducted noise must reproduce the observation");
+        }
+    }
+
+    #[test]
+    fn graph_queries() {
+        let scm = chain();
+        assert_eq!(scm.edges(), vec![(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(scm.descendants(0), vec![1, 2]);
+        assert_eq!(scm.descendants(2), Vec::<usize>::new());
+        assert_eq!(scm.index_of("z"), Some(1));
+    }
+
+    #[test]
+    fn labeled_scm_sampling() {
+        let scm = Scm::new(vec![
+            Node { name: "a".into(), mechanism: Mechanism::Exogenous { mean: 1.0, std: 0.1 } },
+            Node {
+                name: "label".into(),
+                mechanism: Mechanism::Bernoulli { parents: vec![0], weights: vec![10.0], bias: -10.0 },
+            },
+        ])
+        .unwrap();
+        let labeled = LabeledScm { scm, feature_nodes: vec![0], label_node: 1 };
+        let mut rng = StdRng::seed_from_u64(10);
+        let (xs, ys) = labeled.sample_examples(&mut rng, 100);
+        assert_eq!(xs.len(), 100);
+        assert!(ys.iter().all(|&y| y == 0.0 || y == 1.0));
+        assert_eq!(labeled.causal_feature_order(), vec![0]);
+    }
+}

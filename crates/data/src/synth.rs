@@ -1,0 +1,446 @@
+//! Synthetic dataset generators.
+//!
+//! **Substitution note (see DESIGN.md §2).** The methods surveyed by the
+//! tutorial are standardly evaluated on Adult, German Credit and COMPAS.
+//! Those exact files are not available offline, so each generator below
+//! produces a seeded synthetic population with the same schema shape —
+//! mixed numeric/categorical features, realistic correlations, a noisy
+//! logistic label mechanism, and (for the audit experiments) an explicit,
+//! *known* injected bias. Knowing the true mechanism is what lets the test
+//! suite assert that explainers recover it.
+
+use crate::dataset::{Dataset, Task};
+use crate::schema::{Feature, Mutability, Schema};
+use crate::scm::{sigmoid, LabeledScm, Mechanism, Node, Scm};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xai_linalg::distr::{bernoulli, categorical, normal};
+use xai_linalg::Matrix;
+
+/// German-Credit-like loan dataset.
+///
+/// Features (true label mechanism in parentheses; positive label = "good
+/// credit"): higher income/savings and longer employment help; larger
+/// loans, longer duration and prior defaults hurt; `sex` is protected and
+/// has **zero** true effect — any model that uses it has learned a bias.
+pub fn german_credit(n: usize, seed: u64) -> Dataset {
+    let schema = Schema::new(
+        vec![
+            Feature::numeric("age", 18.0, 80.0).with_mutability(Mutability::IncreaseOnly),
+            Feature::numeric("income", 0.0, 20_000.0),
+            Feature::numeric("savings", 0.0, 100_000.0),
+            Feature::numeric("loan_amount", 100.0, 50_000.0),
+            Feature::numeric("duration_months", 3.0, 72.0),
+            Feature::numeric("employment_years", 0.0, 50.0).with_mutability(Mutability::IncreaseOnly),
+            Feature::numeric("n_defaults", 0.0, 10.0).with_mutability(Mutability::DecreaseOnly),
+            Feature::categorical("housing", &["own", "rent", "free"]),
+            Feature::categorical("sex", &["female", "male"]).protected(),
+        ],
+        "good_credit",
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Matrix::zeros(n, schema.n_features());
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let age = normal(&mut rng, 38.0, 11.0).clamp(18.0, 80.0).round();
+        // Income correlates with age (experience premium).
+        let income = (normal(&mut rng, 2500.0, 900.0) + (age - 30.0) * 25.0).clamp(0.0, 20_000.0);
+        let savings = (income * normal(&mut rng, 4.0, 2.0)).clamp(0.0, 100_000.0);
+        let loan = normal(&mut rng, 8000.0, 4000.0).clamp(100.0, 50_000.0);
+        let duration = normal(&mut rng, 24.0, 12.0).clamp(3.0, 72.0).round();
+        let employment = ((age - 18.0) * rng.gen::<f64>()).clamp(0.0, 50.0).round();
+        let defaults = categorical(&mut rng, &[60.0, 25.0, 10.0, 4.0, 1.0]) as f64;
+        let housing = categorical(&mut rng, &[50.0, 40.0, 10.0]) as f64;
+        let sex = f64::from(bernoulli(&mut rng, 0.5));
+        let row = [age, income, savings, loan, duration, employment, defaults, housing, sex];
+        x.row_mut(i).copy_from_slice(&row);
+        let score = 0.0008 * income + 0.00004 * savings - 0.00012 * loan - 0.03 * duration
+            + 0.08 * employment
+            - 0.9 * defaults
+            + if housing == 0.0 { 0.4 } else { 0.0 }
+            - 0.3;
+        y.push(f64::from(bernoulli(&mut rng, sigmoid(score))));
+    }
+    Dataset::new(schema, x, y, Task::BinaryClassification)
+}
+
+/// Adult-Census-like income dataset; positive label = "income > 50k".
+///
+/// True mechanism uses education, hours, age and capital gain;
+/// `sex` is protected with zero true effect.
+pub fn adult_income(n: usize, seed: u64) -> Dataset {
+    let schema = Schema::new(
+        vec![
+            Feature::numeric("age", 17.0, 90.0).with_mutability(Mutability::IncreaseOnly),
+            Feature::numeric("education_years", 1.0, 20.0).with_mutability(Mutability::IncreaseOnly),
+            Feature::numeric("hours_per_week", 1.0, 99.0),
+            Feature::numeric("capital_gain", 0.0, 99_999.0),
+            Feature::categorical("occupation", &["service", "admin", "technical", "professional"]),
+            Feature::categorical("marital", &["single", "married", "divorced"]),
+            Feature::categorical("sex", &["female", "male"]).protected(),
+        ],
+        "income_gt_50k",
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Matrix::zeros(n, schema.n_features());
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let age = normal(&mut rng, 39.0, 13.0).clamp(17.0, 90.0).round();
+        let edu = normal(&mut rng, 10.0, 3.0).clamp(1.0, 20.0).round();
+        // Professionals work slightly longer weeks, education drives occupation.
+        let occ_weights = [
+            (16.0 - edu).max(1.0),
+            8.0,
+            edu.max(1.0),
+            (edu - 8.0).max(0.5) * 2.0,
+        ];
+        let occupation = categorical(&mut rng, &occ_weights) as f64;
+        let hours = (normal(&mut rng, 40.0, 10.0) + occupation * 1.5).clamp(1.0, 99.0).round();
+        let gain = if bernoulli(&mut rng, 0.08) {
+            normal(&mut rng, 12_000.0, 8_000.0).clamp(0.0, 99_999.0)
+        } else {
+            0.0
+        };
+        let marital = categorical(&mut rng, &[40.0, 45.0, 15.0]) as f64;
+        let sex = f64::from(bernoulli(&mut rng, 0.5));
+        let row = [age, edu, hours, gain, occupation, marital, sex];
+        x.row_mut(i).copy_from_slice(&row);
+        let score = 0.25 * (edu - 10.0) + 0.03 * (age - 39.0) + 0.04 * (hours - 40.0)
+            + 0.00008 * gain
+            + 0.5 * occupation
+            + if marital == 1.0 { 0.6 } else { 0.0 }
+            - 1.4;
+        y.push(f64::from(bernoulli(&mut rng, sigmoid(score))));
+    }
+    Dataset::new(schema, x, y, Task::BinaryClassification)
+}
+
+/// COMPAS-like recidivism dataset with a **deliberately injected bias**.
+///
+/// `bias_strength` adds a direct dependence of the label on the protected
+/// `group` attribute. The audit examples/experiments use a non-zero value
+/// and then check that data-valuation, attack and fairness tooling surface
+/// it; pass `0.0` for an unbiased control population.
+pub fn recidivism(n: usize, seed: u64, bias_strength: f64) -> Dataset {
+    let schema = Schema::new(
+        vec![
+            Feature::numeric("age", 18.0, 75.0).with_mutability(Mutability::IncreaseOnly),
+            Feature::numeric("priors_count", 0.0, 30.0).with_mutability(Mutability::DecreaseOnly),
+            Feature::numeric("days_in_custody", 0.0, 1000.0),
+            Feature::categorical("charge_degree", &["misdemeanor", "felony"]),
+            Feature::categorical("group", &["group_a", "group_b"]).protected(),
+        ],
+        "reoffend",
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Matrix::zeros(n, schema.n_features());
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let group = f64::from(bernoulli(&mut rng, 0.5));
+        let age = normal(&mut rng, 33.0, 9.0).clamp(18.0, 75.0).round();
+        let priors = (normal(&mut rng, 2.0, 2.5) + group * 0.5).clamp(0.0, 30.0).round();
+        let custody = (priors * 30.0 + normal(&mut rng, 50.0, 60.0)).clamp(0.0, 1000.0).round();
+        let felony = f64::from(bernoulli(&mut rng, 0.35 + 0.02 * priors.min(10.0)));
+        let row = [age, priors, custody, felony, group];
+        x.row_mut(i).copy_from_slice(&row);
+        let score = 0.25 * priors - 0.045 * (age - 33.0) + 0.5 * felony + 0.002 * custody
+            + bias_strength * group
+            - 1.0;
+        y.push(f64::from(bernoulli(&mut rng, sigmoid(score))));
+    }
+    Dataset::new(schema, x, y, Task::BinaryClassification)
+}
+
+/// Friedman #1 regression benchmark:
+/// `y = 10 sin(π x₁ x₂) + 20 (x₃ − ½)² + 10 x₄ + 5 x₅ + σ ε`,
+/// with 5 additional pure-noise features. Features 0–4 matter, 5–9 do not —
+/// a built-in ground truth for feature-attribution sanity checks.
+pub fn friedman1(n: usize, seed: u64, noise_std: f64) -> Dataset {
+    let d = 10;
+    let features = (0..d)
+        .map(|j| Feature::numeric(&format!("x{j}"), 0.0, 1.0))
+        .collect();
+    let schema = Schema::new(features, "y");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Matrix::zeros(n, d);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let row: Vec<f64> = (0..d).map(|_| rng.gen::<f64>()).collect();
+        let target = 10.0 * (std::f64::consts::PI * row[0] * row[1]).sin()
+            + 20.0 * (row[2] - 0.5).powi(2)
+            + 10.0 * row[3]
+            + 5.0 * row[4]
+            + noise_std * normal(&mut rng, 0.0, 1.0);
+        x.row_mut(i).copy_from_slice(&row);
+        y.push(target);
+    }
+    Dataset::new(schema, x, y, Task::Regression)
+}
+
+/// Fully-controlled linear-Gaussian classification data:
+/// `P(y=1|x) = σ(w·x + b)` with iid standard-normal features.
+///
+/// The exact-recovery target for logistic regression, influence functions
+/// and Shapley efficiency tests.
+pub fn linear_gaussian(n: usize, weights: &[f64], bias: f64, seed: u64) -> Dataset {
+    let d = weights.len();
+    let features = (0..d)
+        .map(|j| Feature::numeric(&format!("x{j}"), -6.0, 6.0))
+        .collect();
+    let schema = Schema::new(features, "y");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Matrix::zeros(n, d);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let row: Vec<f64> = (0..d).map(|_| normal(&mut rng, 0.0, 1.0).clamp(-6.0, 6.0)).collect();
+        let score = xai_linalg::dot(weights, &row) + bias;
+        x.row_mut(i).copy_from_slice(&row);
+        y.push(f64::from(bernoulli(&mut rng, sigmoid(score))));
+    }
+    Dataset::new(schema, x, y, Task::BinaryClassification)
+}
+
+
+/// Correlated-Gaussian classification data: features drawn from
+/// `N(0, Σ)` with `Σ[i][j] = ρ^{|i−j|}` (AR(1) structure), labels from a
+/// logistic mechanism. The testbed for the observational-vs-interventional
+/// conditioning debate (conditional SHAP, §2.1.2–2.1.3 critiques).
+pub fn correlated_gaussian(n: usize, weights: &[f64], rho: f64, bias: f64, seed: u64) -> Dataset {
+    use xai_linalg::distr::MultivariateNormal;
+    let d = weights.len();
+    assert!(rho.abs() < 1.0, "|rho| must be < 1");
+    let cov = xai_linalg::Matrix::from_fn(d, d, |i, j| rho.powi((i as i32 - j as i32).abs()));
+    let mvn = MultivariateNormal::new(vec![0.0; d], &cov).expect("AR(1) covariance is PD");
+    let features = (0..d)
+        .map(|j| Feature::numeric(&format!("x{j}"), -8.0, 8.0))
+        .collect();
+    let schema = Schema::new(features, "y");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Matrix::zeros(n, d);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let row: Vec<f64> = mvn.sample(&mut rng).into_iter().map(|v| v.clamp(-8.0, 8.0)).collect();
+        let score = xai_linalg::dot(weights, &row) + bias;
+        x.row_mut(i).copy_from_slice(&row);
+        y.push(f64::from(bernoulli(&mut rng, sigmoid(score))));
+    }
+    Dataset::new(schema, x, y, Task::BinaryClassification)
+}
+
+/// Two concentric rings — a dataset no linear model can fit, used to
+/// exercise tree/forest/boosting explainers on a genuinely non-linear
+/// decision surface.
+pub fn circles(n: usize, seed: u64, noise_std: f64) -> Dataset {
+    let schema = Schema::new(
+        vec![
+            Feature::numeric("x0", -3.0, 3.0),
+            Feature::numeric("x1", -3.0, 3.0),
+        ],
+        "outer_ring",
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Matrix::zeros(n, 2);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let outer = bernoulli(&mut rng, 0.5);
+        let radius = if outer { 2.0 } else { 0.8 };
+        let theta = rng.gen::<f64>() * std::f64::consts::TAU;
+        let px = (radius * theta.cos() + normal(&mut rng, 0.0, noise_std)).clamp(-3.0, 3.0);
+        let py = (radius * theta.sin() + normal(&mut rng, 0.0, noise_std)).clamp(-3.0, 3.0);
+        x.row_mut(i).copy_from_slice(&[px, py]);
+        y.push(f64::from(outer));
+    }
+    Dataset::new(schema, x, y, Task::BinaryClassification)
+}
+
+/// A small credit SCM with a confounded, indirect structure for the causal
+/// experiments (E11, E16):
+///
+/// ```text
+/// education ──▶ income ──▶ savings ──▶ approved
+///      │                      ▲
+///      └──────────────────────┘           (education also → savings)
+/// ```
+///
+/// Direct and indirect effects are both known in closed form, so causal
+/// Shapley / Shapley-flow outputs can be checked for direction and split.
+pub fn credit_scm() -> LabeledScm {
+    let scm = Scm::new(vec![
+        Node {
+            name: "education".into(),
+            mechanism: Mechanism::Exogenous { mean: 12.0, std: 2.5 },
+        },
+        Node {
+            name: "income".into(),
+            mechanism: Mechanism::Linear {
+                parents: vec![0],
+                weights: vec![0.4],
+                bias: 0.0,
+                noise_std: 0.8,
+            },
+        },
+        Node {
+            name: "savings".into(),
+            mechanism: Mechanism::Linear {
+                parents: vec![0, 1],
+                weights: vec![0.2, 0.9],
+                bias: -1.0,
+                noise_std: 0.6,
+            },
+        },
+        Node {
+            name: "approved".into(),
+            mechanism: Mechanism::Bernoulli {
+                parents: vec![1, 2],
+                weights: vec![0.6, 0.8],
+                bias: -7.5,
+            },
+        },
+    ])
+    .expect("valid SCM");
+    LabeledScm { scm, feature_nodes: vec![0, 1, 2], label_node: 3 }
+}
+
+/// Samples a [`Dataset`] from the credit SCM.
+pub fn credit_scm_dataset(n: usize, seed: u64) -> Dataset {
+    let labeled = credit_scm();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (xs, ys) = labeled.sample_examples(&mut rng, n);
+    let schema = Schema::new(
+        vec![
+            Feature::numeric("education", 0.0, 25.0).with_mutability(Mutability::IncreaseOnly),
+            Feature::numeric("income", -10.0, 30.0),
+            Feature::numeric("savings", -10.0, 40.0),
+        ],
+        "approved",
+    );
+    let d = schema.n_features();
+    let mut x = Matrix::zeros(n, d);
+    for (i, row) in xs.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            // Clamp into schema bounds (tails are astronomically rare).
+            let (min, max) = match schema.feature(j).kind {
+                crate::schema::FeatureKind::Numeric { min, max } => (min, max),
+                _ => unreachable!(),
+            };
+            x[(i, j)] = v.clamp(min, max);
+        }
+    }
+    Dataset::new(schema, x, ys, Task::BinaryClassification)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use xai_linalg::stats::pearson;
+
+    #[test]
+    fn german_credit_shape_and_determinism() {
+        let d1 = german_credit(500, 42);
+        let d2 = german_credit(500, 42);
+        assert_eq!(d1.n_rows(), 500);
+        assert_eq!(d1.n_features(), 9);
+        assert_eq!(d1.x().as_slice(), d2.x().as_slice());
+        assert_eq!(d1.y(), d2.y());
+        let d3 = german_credit(500, 43);
+        assert_ne!(d1.x().as_slice(), d3.x().as_slice());
+        // Label balance is sane.
+        assert!(d1.positive_rate() > 0.15 && d1.positive_rate() < 0.85);
+        // Every row satisfies its schema.
+        for i in 0..d1.n_rows() {
+            d1.schema().validate_row(d1.row(i)).unwrap();
+        }
+    }
+
+    #[test]
+    fn german_credit_correlations() {
+        let d = german_credit(4000, 1);
+        let age = d.x().col(0);
+        let income = d.x().col(1);
+        assert!(pearson(&age, &income) > 0.1, "income should grow with age");
+        // Defaults hurt the label.
+        let defaults = d.x().col(6);
+        assert!(pearson(&defaults, &d.y().to_vec()) < -0.1);
+        // Sex has no true effect.
+        let sex = d.x().col(8);
+        assert!(pearson(&sex, &d.y().to_vec()).abs() < 0.06);
+    }
+
+    #[test]
+    fn adult_income_valid() {
+        let d = adult_income(800, 7);
+        assert_eq!(d.n_features(), 7);
+        for i in 0..d.n_rows() {
+            d.schema().validate_row(d.row(i)).unwrap();
+        }
+        let edu = d.x().col(1);
+        assert!(pearson(&edu, &d.y().to_vec()) > 0.15, "education drives income");
+    }
+
+    #[test]
+    fn recidivism_bias_knob() {
+        let biased = recidivism(4000, 3, 1.5);
+        let fair = recidivism(4000, 3, 0.0);
+        let gap = |d: &Dataset| {
+            crate::metrics::demographic_parity_gap(d.y(), &d.x().col(4))
+        };
+        assert!(gap(&biased) > gap(&fair) + 0.1, "bias knob must move the parity gap");
+    }
+
+    #[test]
+    fn friedman_relevant_features_correlate() {
+        let d = friedman1(3000, 11, 0.1);
+        let y: Vec<f64> = d.y().to_vec();
+        // x3 enters linearly with weight 10 — strongest marginal signal.
+        assert!(pearson(&d.x().col(3), &y) > 0.4);
+        // Noise features are uncorrelated.
+        for j in 5..10 {
+            assert!(pearson(&d.x().col(j), &y).abs() < 0.08, "x{j} should be noise");
+        }
+    }
+
+    #[test]
+    fn linear_gaussian_is_learnable_by_its_own_mechanism() {
+        let w = [2.0, -1.0, 0.0];
+        let d = linear_gaussian(2000, &w, 0.3, 5);
+        // Bayes predictions from the true mechanism beat chance comfortably.
+        let preds: Vec<f64> = (0..d.n_rows())
+            .map(|i| f64::from(sigmoid(xai_linalg::dot(&w, d.row(i)) + 0.3) >= 0.5))
+            .collect();
+        assert!(accuracy(d.y(), &preds) > 0.75);
+    }
+
+    #[test]
+    fn circles_not_linearly_separable() {
+        let d = circles(1000, 2, 0.1);
+        // Each single coordinate is uninformative...
+        assert!(pearson(&d.x().col(0), &d.y().to_vec()).abs() < 0.1);
+        // ...but radius separates the classes perfectly (modulo noise).
+        let radius: Vec<f64> = (0..d.n_rows())
+            .map(|i| (d.row(i)[0].powi(2) + d.row(i)[1].powi(2)).sqrt())
+            .collect();
+        assert!(pearson(&radius, &d.y().to_vec()) > 0.9);
+    }
+
+    #[test]
+    fn correlated_gaussian_has_ar1_structure() {
+        let d = correlated_gaussian(6000, &[1.0, 0.0, 0.0], 0.8, 0.0, 3);
+        let c01 = pearson(&d.x().col(0), &d.x().col(1));
+        let c02 = pearson(&d.x().col(0), &d.x().col(2));
+        assert!((c01 - 0.8).abs() < 0.05, "lag-1 correlation {c01}");
+        assert!((c02 - 0.64).abs() < 0.06, "lag-2 correlation {c02}");
+    }
+
+    #[test]
+    fn credit_scm_dataset_valid() {
+        let d = credit_scm_dataset(1500, 21);
+        assert_eq!(d.n_features(), 3);
+        let income = d.x().col(1);
+        let savings = d.x().col(2);
+        assert!(pearson(&income, &savings) > 0.5, "mechanism couples income and savings");
+        assert!(d.positive_rate() > 0.05 && d.positive_rate() < 0.95);
+        let order = credit_scm().causal_feature_order();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+}

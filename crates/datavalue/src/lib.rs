@@ -1,0 +1,46 @@
+//! # xai-datavalue
+//!
+//! Training-data-based explanations (tutorial §2.3): attribute model
+//! behaviour to *training points* rather than features.
+//!
+//! - [`utility`] — the subset-utility abstraction all valuation methods
+//!   share (learner × metric);
+//! - [`loo`] — leave-one-out and exact retraining-Shapley ground truths;
+//! - [`data_shapley`] — TMC-Shapley with truncation, plus removal curves;
+//! - [`mod@knn_shapley`] — exact `O(n log n)` Shapley values for kNN utilities;
+//! - [`distributional`] — distribution-level values stable under dataset
+//!   resampling;
+//! - [`influence`] — Koh–Liang influence functions (Cholesky and
+//!   conjugate-gradient paths) with retraining validation;
+//! - [`group`] — first-order vs curvature-aware group influence;
+//! - [`tree_influence`] — LeafInfluence-style attribution for GBDTs with
+//!   fixed structure.
+
+pub mod banzhaf;
+pub mod data_shapley;
+pub mod distributional;
+pub mod group;
+pub mod influence;
+pub mod knn_shapley;
+pub mod loo;
+pub mod parallel;
+pub mod tree_influence;
+pub mod utility;
+
+pub use banzhaf::{data_banzhaf, exact_data_banzhaf, BanzhafConfig};
+pub use data_shapley::{removal_curve, tmc_shapley, TmcConfig, TmcResult};
+pub use distributional::{distributional_shapley, DistributionalConfig};
+pub use group::{
+    group_influence_first_order, group_influence_newton, group_removal_ground_truth,
+    relative_error,
+};
+pub use influence::{
+    influence_on_test_loss, removal_parameter_change, retraining_ground_truth, Solver,
+};
+pub use knn_shapley::{knn_shapley, knn_shapley_single};
+pub use parallel::tmc_shapley_parallel;
+pub use loo::{exact_data_shapley, leave_one_out};
+pub use tree_influence::{
+    fixed_structure_ground_truth, fixed_structure_retrain, leaf_influence_first_order,
+};
+pub use utility::{FnUtility, KnnUtility, LogisticUtility, Utility};

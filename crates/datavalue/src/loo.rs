@@ -1,0 +1,90 @@
+//! Leave-one-out valuation and exact retraining-based Data Shapley —
+//! the ground truths the fast methods are judged against (§2.3).
+//!
+//! The tutorial: *"The naïve way of computing the influence of a data point
+//! is by removing it, retraining the ML model … computationally prohibitive
+//! when there are numerous data points."* These are exactly those naïve
+//! computations, kept because every approximation in this crate is
+//! validated against them (experiments E12–E14).
+
+use crate::utility::Utility;
+use xai_core::DataAttribution;
+
+/// Leave-one-out values: `v_i = U(D) − U(D ∖ {i})`. Costs `n + 1` model
+/// retrainings.
+pub fn leave_one_out(utility: &dyn Utility) -> DataAttribution {
+    let n = utility.n_train();
+    let all: Vec<usize> = (0..n).collect();
+    let full = utility.eval(&all);
+    let values = (0..n)
+        .map(|i| {
+            let without: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+            full - utility.eval(&without)
+        })
+        .collect();
+    DataAttribution { values, measure: "leave-one-out utility change".into() }
+}
+
+/// Exact Data Shapley by full subset enumeration — `O(2^n)` retrainings,
+/// feasible only for tiny datasets; the E13 baseline.
+///
+/// # Panics
+/// Panics for more than 16 training points.
+pub fn exact_data_shapley(utility: &dyn Utility) -> DataAttribution {
+    let n = utility.n_train();
+    assert!(n <= 16, "exact data Shapley retrains 2^{n} models");
+    // Evaluate every subset once.
+    let size = 1usize << n;
+    let mut table = Vec::with_capacity(size);
+    let mut buf: Vec<usize> = Vec::with_capacity(n);
+    for mask in 0..size {
+        buf.clear();
+        for i in 0..n {
+            if mask & (1 << i) != 0 {
+                buf.push(i);
+            }
+        }
+        table.push(utility.eval(&buf));
+    }
+    let values = xai_shapley::shapley_from_table(n, &table);
+    DataAttribution { values, measure: "exact data Shapley".into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::FnUtility;
+
+    #[test]
+    fn loo_detects_the_only_valuable_point() {
+        // Utility: 1 if point 2 present, else 0.
+        let u = FnUtility::new(4, |s: &[usize]| f64::from(s.contains(&2)));
+        let loo = leave_one_out(&u);
+        assert_eq!(loo.values, vec![0.0, 0.0, 1.0, 0.0]);
+        assert_eq!(loo.ranking_desc()[0], 2);
+    }
+
+    #[test]
+    fn exact_shapley_splits_redundant_credit_loo_misses_it() {
+        // Points 0 and 1 are perfect substitutes; LOO gives both zero
+        // (removing either alone changes nothing), Shapley gives each half
+        // the credit — the canonical argument for Shapley-based valuation.
+        let u = FnUtility::new(3, |s: &[usize]| f64::from(s.contains(&0) || s.contains(&1)));
+        let loo = leave_one_out(&u);
+        assert_eq!(loo.values[0], 0.0);
+        assert_eq!(loo.values[1], 0.0);
+        let shap = exact_data_shapley(&u);
+        assert!((shap.values[0] - 0.5).abs() < 1e-12);
+        assert!((shap.values[1] - 0.5).abs() < 1e-12);
+        assert!(shap.values[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_shapley_efficiency() {
+        let u = FnUtility::new(5, |s: &[usize]| (s.len() as f64).sqrt() + f64::from(s.contains(&4)));
+        let shap = exact_data_shapley(&u);
+        let total: f64 = shap.values.iter().sum();
+        let all: Vec<usize> = (0..5).collect();
+        assert!((total - (u.eval(&all) - u.eval(&[]))).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,168 @@
+//! Utility functions for data valuation (§2.3.1).
+//!
+//! Every valuation method in this crate scores training points against a
+//! **utility**: `U(S)` = performance of the model trained on subset `S` of
+//! the training data, measured on held-out data. The utility is a plain
+//! closure over sorted index slices, so methods are generic over learner
+//! and metric — exactly the "specific to the learning algorithm \[and\] the
+//! performance metric" dependence the tutorial highlights.
+
+use xai_data::metrics::accuracy;
+use xai_data::Dataset;
+use xai_models::{Classifier, Knn, LogisticConfig, LogisticRegression};
+
+/// A subset utility: maps training-index subsets to a test score.
+pub trait Utility {
+    /// Evaluates `U(S)`; `subset` holds distinct train indices.
+    fn eval(&self, subset: &[usize]) -> f64;
+
+    /// Number of training points.
+    fn n_train(&self) -> usize;
+}
+
+/// Utility backed by an arbitrary closure.
+pub struct FnUtility<F: Fn(&[usize]) -> f64> {
+    f: F,
+    n: usize,
+}
+
+impl<F: Fn(&[usize]) -> f64> FnUtility<F> {
+    /// Wraps a closure with the training-set size.
+    pub fn new(n: usize, f: F) -> Self {
+        Self { f, n }
+    }
+}
+
+impl<F: Fn(&[usize]) -> f64> Utility for FnUtility<F> {
+    fn eval(&self, subset: &[usize]) -> f64 {
+        (self.f)(subset)
+    }
+    fn n_train(&self) -> usize {
+        self.n
+    }
+}
+
+/// Logistic-regression test-accuracy utility. Degenerate subsets (one
+/// class or empty) score at the majority-class base rate, following
+/// Ghorbani & Zou's convention that `V(∅)` is the performance of random
+/// guessing.
+pub struct LogisticUtility<'a> {
+    train: &'a Dataset,
+    test: &'a Dataset,
+    config: LogisticConfig,
+    base: f64,
+}
+
+impl<'a> LogisticUtility<'a> {
+    /// Builds the utility.
+    pub fn new(train: &'a Dataset, test: &'a Dataset, config: LogisticConfig) -> Self {
+        let pos = test.positive_rate();
+        Self { train, test, config, base: pos.max(1.0 - pos) }
+    }
+
+    /// The degenerate-subset score.
+    pub fn base_score(&self) -> f64 {
+        self.base
+    }
+}
+
+impl Utility for LogisticUtility<'_> {
+    fn eval(&self, subset: &[usize]) -> f64 {
+        if subset.len() < 2 {
+            return self.base;
+        }
+        let sub = self.train.subset(subset);
+        let pos = sub.y().iter().filter(|&&v| v >= 0.5).count();
+        if pos == 0 || pos == sub.n_rows() {
+            return self.base;
+        }
+        let model = LogisticRegression::fit(sub.x(), sub.y(), self.config);
+        accuracy(self.test.y(), &Classifier::predict(&model, self.test.x()))
+    }
+
+    fn n_train(&self) -> usize {
+        self.train.n_rows()
+    }
+}
+
+/// kNN test-accuracy utility (the model class with closed-form Shapley
+/// values — see `knn_shapley`).
+pub struct KnnUtility<'a> {
+    train: &'a Dataset,
+    test: &'a Dataset,
+    k: usize,
+}
+
+impl<'a> KnnUtility<'a> {
+    /// Builds the utility.
+    pub fn new(train: &'a Dataset, test: &'a Dataset, k: usize) -> Self {
+        assert!(k >= 1);
+        Self { train, test, k }
+    }
+
+    /// The soft kNN utility of Jia et al.: for each test point, the
+    /// fraction of its `min(K, |S|)` nearest subset-neighbours with the
+    /// correct label, averaged over the test set; 0.5 for empty subsets.
+    pub fn soft_eval(&self, subset: &[usize]) -> f64 {
+        if subset.is_empty() {
+            return 0.5;
+        }
+        let sub = self.train.subset(subset);
+        let knn = Knn::fit(sub.x(), sub.y(), self.k);
+        let mut total = 0.0;
+        for t in 0..self.test.n_rows() {
+            let neighbours = knn.k_nearest(self.test.row(t));
+            let hits = neighbours
+                .iter()
+                .filter(|&&i| (sub.y()[i] >= 0.5) == (self.test.y()[t] >= 0.5))
+                .count();
+            total += hits as f64 / self.k.min(neighbours.len().max(1)) as f64;
+        }
+        total / self.test.n_rows() as f64
+    }
+}
+
+impl Utility for KnnUtility<'_> {
+    fn eval(&self, subset: &[usize]) -> f64 {
+        self.soft_eval(subset)
+    }
+    fn n_train(&self) -> usize {
+        self.train.n_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xai_data::synth::linear_gaussian;
+
+    #[test]
+    fn logistic_utility_improves_with_more_data() {
+        let train = linear_gaussian(300, &[2.0, -1.0], 0.0, 5);
+        let test = linear_gaussian(300, &[2.0, -1.0], 0.0, 6);
+        let u = LogisticUtility::new(&train, &test, LogisticConfig::default());
+        let small: Vec<usize> = (0..6).collect();
+        let large: Vec<usize> = (0..300).collect();
+        assert!(u.eval(&large) >= u.eval(&small) - 0.05);
+        assert!(u.eval(&large) > u.base_score());
+        assert_eq!(u.eval(&[]), u.base_score());
+        assert_eq!(u.n_train(), 300);
+    }
+
+    #[test]
+    fn knn_utility_monotone_behaviour() {
+        let train = linear_gaussian(120, &[3.0], 0.0, 9);
+        let test = linear_gaussian(80, &[3.0], 0.0, 10);
+        let u = KnnUtility::new(&train, &test, 3);
+        let all: Vec<usize> = (0..120).collect();
+        assert!(u.eval(&all) > 0.6, "full-data knn should beat chance: {}", u.eval(&all));
+        assert_eq!(u.eval(&[]), 0.5);
+    }
+
+    #[test]
+    fn fn_utility_wraps_closures() {
+        let u = FnUtility::new(10, |s: &[usize]| s.len() as f64);
+        assert_eq!(u.eval(&[1, 2, 3]), 3.0);
+        assert_eq!(u.n_train(), 10);
+    }
+}

@@ -1,0 +1,183 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! Used throughout the workspace to solve normal equations (linear and ridge
+//! regression, the weighted least-squares cores of LIME and Kernel SHAP) and
+//! to sample from multivariate Gaussians in the SCM module.
+
+// Triangular solves index several arrays by the same running bound;
+// zipped iterators would obscure the textbook forms.
+#![allow(clippy::needless_range_loop)]
+use crate::matrix::Matrix;
+use crate::LinalgError;
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Clone, Debug)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] when a non-positive pivot
+    /// is encountered (the matrix is singular or indefinite).
+    pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i, value: sum });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` via forward then backward substitution.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // Forward: L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        // Backward: Lᵀ x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A X = B` column by column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            let col = self.solve(&b.col(j));
+            out.set_col(j, &col);
+        }
+        out
+    }
+
+    /// Inverse of `A` (use sparingly; prefer `solve`).
+    pub fn inverse(&self) -> Matrix {
+        self.solve_matrix(&Matrix::identity(self.l.rows()))
+    }
+
+    /// `log |A|` computed from the factor diagonal (numerically stable).
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// Solves a symmetric positive-definite system, adding `ridge * I` first.
+///
+/// This is the standard entry point for normal-equation solves:
+/// `solve_spd(&x.gram(), &x.t_matvec(&y), 1e-8)`.
+pub fn solve_spd(a: &Matrix, b: &[f64], ridge: f64) -> Result<Vec<f64>, LinalgError> {
+    let mut a = a.clone();
+    if ridge > 0.0 {
+        a.add_diag_mut(ridge);
+    }
+    Ok(Cholesky::factor(&a)?.solve(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = B Bᵀ + I is SPD for any B.
+        let b = Matrix::from_rows(&[
+            vec![1.0, 2.0, 0.5],
+            vec![0.0, 1.0, -1.0],
+            vec![2.0, 0.0, 1.0],
+        ]);
+        let mut a = b.matmul(&b.transpose());
+        a.add_diag_mut(1.0);
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let rec = ch.l().matmul(&ch.l().transpose());
+        assert!(rec.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd3();
+        let x_true = vec![1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true);
+        let x = Cholesky::factor(&a).unwrap().solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn inverse_times_a_is_identity() {
+        let a = spd3();
+        let inv = Cholesky::factor(&a).unwrap().inverse();
+        assert!(a.matmul(&inv).approx_eq(&Matrix::identity(3), 1e-9));
+    }
+
+    #[test]
+    fn log_det_matches_2x2_closed_form() {
+        let a = Matrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!((ch.log_det() - (11.0_f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Cholesky::factor(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn ridge_rescues_singular_system() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]); // singular
+        assert!(Cholesky::factor(&a).is_err());
+        let x = solve_spd(&a, &[2.0, 2.0], 1e-6).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,174 @@
+//! Random sampling primitives (Gaussian, multivariate Gaussian, categorical).
+//!
+//! `rand_distr` is not on the dependency allowlist, so the Gaussian sampler
+//! is a small Box–Muller implementation. Every sampler takes an explicit
+//! `Rng` so callers stay deterministic under a fixed seed.
+
+// The lower-triangular matvec walks rows and a prefix of z in lockstep.
+#![allow(clippy::needless_range_loop)]
+use crate::cholesky::Cholesky;
+use crate::matrix::Matrix;
+use crate::LinalgError;
+use rand::Rng;
+
+/// Draws a standard normal value via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Reject u1 == 0 to avoid ln(0).
+    let mut u1: f64 = rng.gen();
+    while u1 <= f64::MIN_POSITIVE {
+        u1 = rng.gen();
+    }
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws `N(mean, std²)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    mean + std * standard_normal(rng)
+}
+
+/// Fills a vector with iid standard normals.
+pub fn normal_vec<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
+    (0..n).map(|_| standard_normal(rng)).collect()
+}
+
+/// Multivariate normal sampler `N(mean, cov)` using the Cholesky factor of
+/// the covariance.
+#[derive(Clone, Debug)]
+pub struct MultivariateNormal {
+    mean: Vec<f64>,
+    chol_l: Matrix,
+}
+
+impl MultivariateNormal {
+    /// Builds the sampler; fails when `cov` is not positive-definite.
+    pub fn new(mean: Vec<f64>, cov: &Matrix) -> Result<Self, LinalgError> {
+        assert_eq!(mean.len(), cov.rows(), "mean/cov dimension mismatch");
+        let chol = Cholesky::factor(cov)?;
+        Ok(Self { mean, chol_l: chol.l().clone() })
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let z = normal_vec(rng, self.mean.len());
+        let mut out = self.mean.clone();
+        // out += L z
+        for i in 0..self.mean.len() {
+            for (k, &zk) in z.iter().enumerate().take(i + 1) {
+                out[i] += self.chol_l[(i, k)] * zk;
+            }
+        }
+        out
+    }
+
+    /// Draws `n` samples as rows of a matrix.
+    pub fn sample_matrix<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Matrix {
+        let d = self.mean.len();
+        let mut m = Matrix::zeros(n, d);
+        for i in 0..n {
+            let s = self.sample(rng);
+            m.row_mut(i).copy_from_slice(&s);
+        }
+        m
+    }
+}
+
+/// Samples an index from unnormalized non-negative weights.
+///
+/// # Panics
+/// Panics when all weights are zero or any weight is negative/non-finite.
+pub fn categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights
+        .iter()
+        .map(|&w| {
+            assert!(w >= 0.0 && w.is_finite(), "invalid categorical weight {w}");
+            w
+        })
+        .sum();
+    assert!(total > 0.0, "categorical weights sum to zero");
+    let mut t = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        t -= w;
+        if t <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Bernoulli draw with success probability `p`.
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    debug_assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    rng.gen::<f64>() < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{mean, pearson, std_dev};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..20_000).map(|_| standard_normal(&mut rng)).collect();
+        assert!(mean(&xs).abs() < 0.03, "mean {}", mean(&xs));
+        assert!((std_dev(&xs) - 1.0).abs() < 0.03, "std {}", std_dev(&xs));
+    }
+
+    #[test]
+    fn mvn_respects_correlation() {
+        let cov = Matrix::from_rows(&[vec![1.0, 0.8], vec![0.8, 1.0]]);
+        let mvn = MultivariateNormal::new(vec![0.0, 5.0], &cov).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = mvn.sample_matrix(&mut rng, 10_000);
+        let c0 = m.col(0);
+        let c1 = m.col(1);
+        assert!((mean(&c1) - 5.0).abs() < 0.05);
+        let r = pearson(&c0, &c1);
+        assert!((r - 0.8).abs() < 0.05, "correlation {r}");
+    }
+
+    #[test]
+    fn mvn_rejects_indefinite_cov() {
+        let cov = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
+        assert!(MultivariateNormal::new(vec![0.0, 0.0], &cov).is_err());
+    }
+
+    #[test]
+    fn categorical_frequencies_follow_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let weights = [1.0, 3.0, 6.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[categorical(&mut rng, &weights)] += 1;
+        }
+        let freq: Vec<f64> = counts.iter().map(|&c| c as f64 / 30_000.0).collect();
+        assert!((freq[0] - 0.1).abs() < 0.02);
+        assert!((freq[1] - 0.3).abs() < 0.02);
+        assert!((freq[2] - 0.6).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to zero")]
+    fn categorical_all_zero_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        categorical(&mut rng, &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            normal_vec(&mut rng, 5)
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+}

@@ -1,0 +1,74 @@
+//! # xai-linalg
+//!
+//! From-scratch dense linear algebra and statistics substrate for the `xai`
+//! workspace. The XAI method crates never depend on external numeric
+//! libraries; everything they need lives here:
+//!
+//! - [`matrix::Matrix`] — dense row-major matrices with the usual products;
+//! - [`cholesky`] / [`lu`] — direct factorizations for SPD and general
+//!   square systems;
+//! - [`solve`] — (weighted) least squares and conjugate gradients, the
+//!   computational cores of LIME, Kernel SHAP and influence functions;
+//! - [`stats`] — descriptive statistics, robust scales (MAD), rank
+//!   correlations used to score explanation agreement;
+//! - [`distr`] — seeded Gaussian / multivariate-Gaussian / categorical
+//!   sampling for perturbation-based explainers and synthetic data.
+//!
+//! Everything is deterministic given the caller's RNG; no global state.
+
+pub mod cholesky;
+pub mod distr;
+pub mod lu;
+pub mod matrix;
+pub mod solve;
+pub mod stats;
+
+pub use cholesky::{solve_spd, Cholesky};
+pub use lu::Lu;
+pub use matrix::{dot, norm1, norm2, vadd, vaxpy, vscale, vsub, Matrix};
+pub use solve::{
+    conjugate_gradient, conjugate_gradient_mat, least_squares, r_squared,
+    weighted_least_squares, weighted_r_squared, CgResult,
+};
+
+/// Errors produced by the factorizations and solvers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LinalgError {
+    /// A square-matrix operation received a rectangular matrix.
+    NotSquare {
+        /// Actual row count.
+        rows: usize,
+        /// Actual column count.
+        cols: usize,
+    },
+    /// Cholesky hit a non-positive pivot: the matrix is not positive-definite.
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        pivot: usize,
+        /// The offending pivot value.
+        value: f64,
+    },
+    /// LU hit an exactly-zero pivot column: the matrix is singular.
+    Singular {
+        /// Index of the failing pivot.
+        pivot: usize,
+    },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "expected a square matrix, got {rows}x{cols}")
+            }
+            LinalgError::NotPositiveDefinite { pivot, value } => {
+                write!(f, "matrix is not positive-definite (pivot {pivot} = {value})")
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular (zero pivot at column {pivot})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

@@ -1,0 +1,174 @@
+//! LU factorization with partial pivoting for general square systems.
+//!
+//! The Cholesky path covers symmetric positive-definite systems; LU handles
+//! the general case (e.g. solving linear SCM mechanisms `(I - B) x = u` whose
+//! coefficient matrix is not symmetric).
+
+// Pivoted elimination indexes matrix, permutation and rhs together.
+#![allow(clippy::needless_range_loop)]
+use crate::matrix::Matrix;
+use crate::LinalgError;
+
+/// LU factorization `P A = L U` with partial pivoting.
+#[derive(Clone, Debug)]
+pub struct Lu {
+    /// Combined L (below diagonal, unit diagonal implied) and U (on/above diagonal).
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for determinants.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factorizes a general square matrix.
+    pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Pivot: largest |value| in column k at or below the diagonal.
+            let mut p = k;
+            let mut max = lu[(k, k)].abs();
+            for i in k + 1..n {
+                let v = lu[(i, k)].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max == 0.0 || !max.is_finite() {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in k + 1..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in k + 1..n {
+                    let delta = factor * lu[(k, j)];
+                    lu[(i, j)] -= delta;
+                }
+            }
+        }
+        Ok(Self { lu, perm, sign })
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.rows();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // Apply permutation, then forward substitution with unit-lower L.
+        let mut y: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        for i in 1..n {
+            let mut sum = y[i];
+            for k in 0..i {
+                sum -= self.lu[(i, k)] * y[k];
+            }
+            y[i] = sum;
+        }
+        // Backward substitution with U.
+        let mut x = y;
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for k in i + 1..n {
+                sum -= self.lu[(i, k)] * x[k];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A X = B` column by column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            out.set_col(j, &self.solve(&b.col(j)));
+        }
+        out
+    }
+
+    /// Inverse of `A`.
+    pub fn inverse(&self) -> Matrix {
+        self.solve_matrix(&Matrix::identity(self.lu.rows()))
+    }
+
+    /// Determinant of `A`.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.lu.rows() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+/// Convenience: factor-and-solve a general square system.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    Ok(Lu::factor(a)?.solve(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_general_system() {
+        let a = Matrix::from_rows(&[
+            vec![0.0, 2.0, 1.0],
+            vec![1.0, -2.0, -3.0],
+            vec![-1.0, 1.0, 2.0],
+        ]);
+        let x_true = vec![2.0, -1.0, 3.0];
+        let b = a.matvec(&x_true);
+        let x = solve(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn det_known_values() {
+        let a = Matrix::from_rows(&[vec![3.0, 8.0], vec![4.0, 6.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() - (-14.0)).abs() < 1e-10);
+        let i = Matrix::identity(4);
+        assert!((Lu::factor(&i).unwrap().det() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 4.0],
+        ]);
+        let inv = Lu::factor(&a).unwrap().inverse();
+        assert!(a.matmul(&inv).approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = solve(&a, &[5.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12 && (x[1] - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,541 @@
+//! Dense, row-major matrix of `f64` values.
+//!
+//! This is the workhorse type for every numeric algorithm in the workspace:
+//! normal-equation solvers, Hessians for influence functions, covariance
+//! matrices for structural causal models, and the weighted least squares at
+//! the heart of LIME and Kernel SHAP.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense matrix with row-major storage.
+///
+/// Invariant: `data.len() == rows * cols` at all times.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from a slice of rows.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        if rows.is_empty() {
+            return Self::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "row {i} has length {} expected {cols}", r.len());
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Matrix filled with a constant.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Diagonal matrix from a slice.
+    pub fn diag(d: &[f64]) -> Self {
+        let mut m = Self::zeros(d.len(), d.len());
+        for (i, &v) in d.iter().enumerate() {
+            m[(i, i)] = v;
+        }
+        m
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at each position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// True when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow the underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy column `j` into a new vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column {j} out of bounds for {} cols", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Set column `j` from a slice.
+    pub fn set_col(&mut self, j: usize, values: &[f64]) {
+        assert_eq!(values.len(), self.rows);
+        for (i, &v) in values.iter().enumerate() {
+            self[(i, j)] = v;
+        }
+    }
+
+    /// Iterator over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Matrix–matrix product `self * rhs`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order keeps the inner loop contiguous in both `rhs` and `out`.
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            for (k, &aik) in arow.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = rhs.row(k);
+                let orow = out.row_mut(i);
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += aik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
+        self.iter_rows().map(|row| dot(row, v)).collect()
+    }
+
+    /// `self^T * v` without materializing the transpose.
+    pub fn t_matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, v.len(), "t_matvec dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (row, &vi) in self.iter_rows().zip(v) {
+            if vi == 0.0 {
+                continue;
+            }
+            for (o, &r) in out.iter_mut().zip(row) {
+                *o += vi * r;
+            }
+        }
+        out
+    }
+
+    /// Gram matrix `self^T * self` (always symmetric positive semi-definite).
+    pub fn gram(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.cols);
+        for row in self.iter_rows() {
+            for (j, &rj) in row.iter().enumerate() {
+                if rj == 0.0 {
+                    continue;
+                }
+                let orow = out.row_mut(j);
+                for (o, &rk) in orow.iter_mut().zip(row) {
+                    *o += rj * rk;
+                }
+            }
+        }
+        out
+    }
+
+    /// Scales every element in place.
+    pub fn scale_mut(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Returns a scaled copy.
+    pub fn scaled(&self, s: f64) -> Matrix {
+        let mut m = self.clone();
+        m.scale_mut(s);
+        m
+    }
+
+    /// Adds `s * I` in place (ridge / damping term). Requires a square matrix.
+    pub fn add_diag_mut(&mut self, s: f64) {
+        assert!(self.is_square(), "add_diag_mut requires a square matrix");
+        for i in 0..self.rows {
+            self[(i, i)] += s;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute element.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |acc, v| acc.max(v.abs()))
+    }
+
+    /// Extracts a sub-matrix given row and column index lists.
+    pub fn select(&self, row_idx: &[usize], col_idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(row_idx.len(), col_idx.len());
+        for (oi, &i) in row_idx.iter().enumerate() {
+            for (oj, &j) in col_idx.iter().enumerate() {
+                out[(oi, oj)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Extracts the listed rows.
+    pub fn select_rows(&self, row_idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(row_idx.len(), self.cols);
+        for (oi, &i) in row_idx.iter().enumerate() {
+            out.row_mut(oi).copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Appends a column of ones on the left (bias/intercept column).
+    pub fn with_intercept(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols + 1);
+        for i in 0..self.rows {
+            out[(i, 0)] = 1.0;
+            out.row_mut(i)[1..].copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Stacks two matrices vertically.
+    pub fn vstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "vstack requires equal column counts");
+        let mut data = Vec::with_capacity((self.rows + other.rows) * self.cols);
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Matrix::from_vec(self.rows + other.rows, self.cols, data)
+    }
+
+    /// True when all elements are finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Checks element-wise closeness within `tol`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "add shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "sub shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        self.matmul(rhs)
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+    fn neg(self) -> Matrix {
+        self.scaled(-1.0)
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:>10.4}", self[(i, j)])?;
+                if j + 1 < self.cols.min(8) {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 8 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// L1 norm.
+#[inline]
+pub fn norm1(a: &[f64]) -> f64 {
+    a.iter().map(|v| v.abs()).sum()
+}
+
+/// `a - b` element-wise.
+pub fn vsub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// `a + b` element-wise.
+pub fn vadd(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// `a + s * b` element-wise (axpy).
+pub fn vaxpy(a: &[f64], s: f64, b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x + s * y).collect()
+}
+
+/// Scales a slice into a new vector.
+pub fn vscale(a: &[f64], s: f64) -> Vec<f64> {
+    a.iter().map(|x| x * s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_shape() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 0)], 4.0);
+        assert!(!m.is_square());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn bad_construction_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn identity_is_matmul_neutral() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let i = Matrix::identity(2);
+        assert!(m.matmul(&i).approx_eq(&m, 1e-12));
+        assert!(i.matmul(&m).approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_fn(3, 5, |i, j| (i * 7 + j) as f64);
+        assert!(m.transpose().transpose().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert!(c.approx_eq(&Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]), 1e-12));
+    }
+
+    #[test]
+    fn matvec_and_t_matvec_agree_with_matmul() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i + j) as f64 * 0.5 + 1.0);
+        let v = vec![1.0, -2.0, 0.5];
+        let mv = a.matvec(&v);
+        let expected = a.matmul(&Matrix::from_vec(3, 1, v.clone()));
+        for (i, &x) in mv.iter().enumerate() {
+            assert!((x - expected[(i, 0)]).abs() < 1e-12);
+        }
+        let w = vec![1.0, 0.0, -1.0, 2.0];
+        let tv = a.t_matvec(&w);
+        let expected_t = a.transpose().matvec(&w);
+        for (x, y) in tv.iter().zip(&expected_t) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gram_equals_t_times_self() {
+        let a = Matrix::from_fn(5, 3, |i, j| ((i * 3 + j) % 4) as f64 - 1.5);
+        let g = a.gram();
+        let expected = a.transpose().matmul(&a);
+        assert!(g.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn select_and_stack() {
+        let m = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let s = m.select(&[1, 3], &[0, 2]);
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s[(0, 0)], 4.0);
+        assert_eq!(s[(1, 1)], 14.0);
+        let v = m.select_rows(&[0]).vstack(&m.select_rows(&[3]));
+        assert_eq!(v.shape(), (2, 4));
+        assert_eq!(v[(1, 0)], 12.0);
+    }
+
+    #[test]
+    fn with_intercept_prepends_ones() {
+        let m = Matrix::from_rows(&[vec![2.0, 3.0]]);
+        let mi = m.with_intercept();
+        assert_eq!(mi.row(0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn vector_helpers() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(norm1(&[-1.0, 2.0]), 3.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(vaxpy(&[1.0, 1.0], 2.0, &[1.0, -1.0]), vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn add_diag_and_norms() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add_diag_mut(3.0);
+        assert!((m.frobenius_norm() - (18.0_f64).sqrt()).abs() < 1e-12);
+        assert_eq!(m.max_abs(), 3.0);
+    }
+}

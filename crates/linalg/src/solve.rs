@@ -1,0 +1,247 @@
+//! Higher-level solvers built on the factorizations: (weighted/ridge) least
+//! squares and conjugate gradients.
+//!
+//! - Ordinary/ridge least squares back linear regression and the global
+//!   surrogate models.
+//! - *Weighted* least squares is the computational core of both LIME
+//!   (locality kernel weights) and Kernel SHAP (Shapley kernel weights).
+//! - Conjugate gradients provides Hessian-inverse–vector products for
+//!   influence functions without materializing the inverse (Koh & Liang §3).
+
+use crate::cholesky::solve_spd;
+use crate::matrix::{dot, vaxpy, vsub, Matrix};
+use crate::LinalgError;
+
+/// Solves `min_w ||X w - y||² + ridge ||w||²` via the normal equations.
+pub fn least_squares(x: &Matrix, y: &[f64], ridge: f64) -> Result<Vec<f64>, LinalgError> {
+    assert_eq!(x.rows(), y.len(), "row/target count mismatch");
+    let gram = x.gram();
+    let rhs = x.t_matvec(y);
+    solve_spd(&gram, &rhs, ridge.max(0.0))
+}
+
+/// Solves `min_w Σ_i s_i (x_i·w - y_i)² + ridge ||w||²` for sample weights `s`.
+///
+/// Weights must be non-negative; rows with zero weight are effectively
+/// ignored.
+pub fn weighted_least_squares(
+    x: &Matrix,
+    y: &[f64],
+    weights: &[f64],
+    ridge: f64,
+) -> Result<Vec<f64>, LinalgError> {
+    assert_eq!(x.rows(), y.len(), "row/target count mismatch");
+    assert_eq!(x.rows(), weights.len(), "row/weight count mismatch");
+    let d = x.cols();
+    let mut gram = Matrix::zeros(d, d);
+    let mut rhs = vec![0.0; d];
+    for ((row, &yi), &si) in x.iter_rows().zip(y).zip(weights) {
+        debug_assert!(si >= 0.0, "negative sample weight");
+        if si == 0.0 {
+            continue;
+        }
+        for (j, &rj) in row.iter().enumerate() {
+            let srj = si * rj;
+            if srj == 0.0 {
+                continue;
+            }
+            let grow = gram.row_mut(j);
+            for (g, &rk) in grow.iter_mut().zip(row) {
+                *g += srj * rk;
+            }
+            rhs[j] += srj * yi;
+        }
+    }
+    solve_spd(&gram, &rhs, ridge.max(0.0))
+}
+
+/// Result of a conjugate-gradient solve.
+#[derive(Clone, Debug)]
+pub struct CgResult {
+    /// The solution estimate.
+    pub x: Vec<f64>,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Final residual norm `||A x - b||`.
+    pub residual_norm: f64,
+    /// Whether the tolerance was reached.
+    pub converged: bool,
+}
+
+/// Conjugate gradients for `A x = b` where `A` is given implicitly as a
+/// matrix–vector product closure (must be symmetric positive-definite).
+///
+/// This is how influence functions compute `H⁻¹ v` using only Hessian–vector
+/// products.
+pub fn conjugate_gradient(
+    apply_a: impl Fn(&[f64]) -> Vec<f64>,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+) -> CgResult {
+    let n = b.len();
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec(); // r = b - A·0
+    let mut p = r.clone();
+    let mut rs_old = dot(&r, &r);
+    let b_norm = rs_old.sqrt().max(1e-300);
+    let target = (tol * b_norm).max(f64::MIN_POSITIVE);
+
+    for it in 0..max_iter {
+        if rs_old.sqrt() <= target {
+            return CgResult { x, iterations: it, residual_norm: rs_old.sqrt(), converged: true };
+        }
+        let ap = apply_a(&p);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 || !pap.is_finite() {
+            // Not SPD along p (or numerical breakdown): stop with best estimate.
+            return CgResult { x, iterations: it, residual_norm: rs_old.sqrt(), converged: false };
+        }
+        let alpha = rs_old / pap;
+        x = vaxpy(&x, alpha, &p);
+        r = vaxpy(&r, -alpha, &ap);
+        let rs_new = dot(&r, &r);
+        p = vaxpy(&r, rs_new / rs_old, &p);
+        rs_old = rs_new;
+    }
+    let converged = rs_old.sqrt() <= target;
+    CgResult { x, iterations: max_iter, residual_norm: rs_old.sqrt(), converged }
+}
+
+/// Conjugate gradients with an explicit matrix.
+pub fn conjugate_gradient_mat(a: &Matrix, b: &[f64], tol: f64, max_iter: usize) -> CgResult {
+    conjugate_gradient(|v| a.matvec(v), b, tol, max_iter)
+}
+
+/// Coefficient of determination R² of predictions vs targets.
+pub fn r_squared(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    let n = y_true.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let mean = y_true.iter().sum::<f64>() / n;
+    let ss_tot: f64 = y_true.iter().map(|v| (v - mean).powi(2)).sum();
+    let ss_res: f64 = vsub(y_true, y_pred).iter().map(|v| v * v).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 { 1.0 } else { 0.0 }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Weighted R², the local-fidelity measure reported by LIME.
+pub fn weighted_r_squared(y_true: &[f64], y_pred: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    assert_eq!(y_true.len(), weights.len());
+    let wsum: f64 = weights.iter().sum();
+    if wsum == 0.0 {
+        return 0.0;
+    }
+    let mean = y_true.iter().zip(weights).map(|(y, w)| y * w).sum::<f64>() / wsum;
+    let ss_tot: f64 = y_true.iter().zip(weights).map(|(y, w)| w * (y - mean).powi(2)).sum();
+    let ss_res: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .zip(weights)
+        .map(|((t, p), w)| w * (t - p).powi(2))
+        .sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 { 1.0 } else { 0.0 }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn least_squares_exact_fit() {
+        // y = 2 + 3 x1 - x2, noiseless; include intercept column.
+        let xs = [
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![2.0, 3.0],
+            vec![-1.0, 1.5],
+        ];
+        let x = Matrix::from_rows(&xs.iter().map(|r| {
+            let mut v = vec![1.0];
+            v.extend_from_slice(r);
+            v
+        }).collect::<Vec<_>>());
+        let y: Vec<f64> = xs.iter().map(|r| 2.0 + 3.0 * r[0] - r[1]).collect();
+        let w = least_squares(&x, &y, 1e-10).unwrap();
+        assert!((w[0] - 2.0).abs() < 1e-5);
+        assert!((w[1] - 3.0).abs() < 1e-5);
+        assert!((w[2] + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn weighted_ls_ignores_zero_weight_outlier() {
+        // Perfect line y = x plus one wild outlier with zero weight.
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+            vec![1.0, 3.0],
+        ]);
+        let y = vec![0.0, 1.0, 2.0, 100.0];
+        let weights = vec![1.0, 1.0, 1.0, 0.0];
+        let w = weighted_least_squares(&x, &y, &weights, 1e-10).unwrap();
+        assert!(w[0].abs() < 1e-5);
+        assert!((w[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn weighted_ls_matches_unweighted_with_unit_weights() {
+        let x = Matrix::from_fn(6, 3, |i, j| ((i * 3 + j) % 5) as f64 + 1.0);
+        let y = vec![1.0, 2.0, 0.5, -1.0, 3.0, 2.5];
+        let a = least_squares(&x, &y, 1e-8).unwrap();
+        let b = weighted_least_squares(&x, &y, &vec![1.0; 6], 1e-8).unwrap();
+        for (ai, bi) in a.iter().zip(&b) {
+            assert!((ai - bi).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn cg_matches_cholesky() {
+        let b0 = Matrix::from_fn(4, 4, |i, j| ((i + 2 * j) % 3) as f64);
+        let mut a = b0.matmul(&b0.transpose());
+        a.add_diag_mut(2.0);
+        let rhs = vec![1.0, -1.0, 2.0, 0.5];
+        let cg = conjugate_gradient_mat(&a, &rhs, 1e-12, 100);
+        assert!(cg.converged);
+        let direct = crate::cholesky::Cholesky::factor(&a).unwrap().solve(&rhs);
+        for (c, d) in cg.x.iter().zip(&direct) {
+            assert!((c - d).abs() < 1e-8, "{c} vs {d}");
+        }
+    }
+
+    #[test]
+    fn cg_exact_in_n_iterations() {
+        let a = Matrix::diag(&[1.0, 2.0, 3.0]);
+        let res = conjugate_gradient_mat(&a, &[1.0, 1.0, 1.0], 1e-14, 10);
+        assert!(res.converged);
+        assert!(res.iterations <= 4);
+    }
+
+    #[test]
+    fn r2_perfect_and_mean_baselines() {
+        let y = vec![1.0, 2.0, 3.0];
+        assert!((r_squared(&y, &y) - 1.0).abs() < 1e-12);
+        let mean_pred = vec![2.0, 2.0, 2.0];
+        assert!(r_squared(&y, &mean_pred).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_r2_respects_weights() {
+        let y = vec![1.0, 2.0, 100.0];
+        let p = vec![1.0, 2.0, 0.0];
+        // Zero weight on the mispredicted point ⇒ perfect weighted fit.
+        assert!((weighted_r_squared(&y, &p, &[1.0, 1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(weighted_r_squared(&y, &p, &[1.0, 1.0, 1.0]) < 1.0);
+    }
+}

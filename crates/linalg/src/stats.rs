@@ -1,0 +1,257 @@
+//! Descriptive statistics over slices and matrix columns.
+//!
+//! These primitives are used for dataset standardization, the
+//! median-absolute-deviation distances of counterfactual search (Wachter et
+//! al. style), and correlation structure in the synthetic generators.
+
+use crate::matrix::Matrix;
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; 0 for fewer than two values.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Median (average of middle two for even lengths); NaN-free inputs assumed.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Median absolute deviation: `median(|x - median(x)|)`.
+///
+/// The robust scale used to normalize counterfactual distances.
+pub fn mad(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let med = median(xs);
+    let devs: Vec<f64> = xs.iter().map(|x| (x - med).abs()).collect();
+    median(&devs)
+}
+
+/// Empirical quantile with linear interpolation, `q` in `\[0, 1\]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Sample covariance between two equal-length slices.
+pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Pearson correlation; 0 when either side is constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let sx = std_dev(xs);
+    let sy = std_dev(ys);
+    if sx == 0.0 || sy == 0.0 {
+        return 0.0;
+    }
+    let n = xs.len() as f64;
+    covariance(xs, ys) * (n - 1.0) / n / (sx * sy)
+}
+
+/// Spearman rank correlation; the standard agreement measure between
+/// estimated and ground-truth influence/valuation rankings.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let rx = ranks(xs);
+    let ry = ranks(ys);
+    pearson(&rx, &ry)
+}
+
+/// Fractional ranks (ties get the average rank), 1-based.
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in ranks input"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Column means of a matrix.
+pub fn col_means(m: &Matrix) -> Vec<f64> {
+    (0..m.cols()).map(|j| mean(&m.col(j))).collect()
+}
+
+/// Column standard deviations of a matrix.
+pub fn col_stds(m: &Matrix) -> Vec<f64> {
+    (0..m.cols()).map(|j| std_dev(&m.col(j))).collect()
+}
+
+/// Sample covariance matrix of the rows of `m` (features in columns).
+pub fn covariance_matrix(m: &Matrix) -> Matrix {
+    let d = m.cols();
+    let means = col_means(m);
+    let mut cov = Matrix::zeros(d, d);
+    if m.rows() < 2 {
+        return cov;
+    }
+    for row in m.iter_rows() {
+        for j in 0..d {
+            let dj = row[j] - means[j];
+            if dj == 0.0 {
+                continue;
+            }
+            let crow = cov.row_mut(j);
+            for (k, c) in crow.iter_mut().enumerate() {
+                *c += dj * (row[k] - means[k]);
+            }
+        }
+    }
+    cov.scale_mut(1.0 / (m.rows() - 1) as f64);
+    cov
+}
+
+/// Top-k agreement between two score vectors: fraction of the k largest of
+/// `a` that also appear among the k largest of `b`.
+pub fn top_k_agreement(a: &[f64], b: &[f64], k: usize) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let k = k.min(a.len());
+    if k == 0 {
+        return 1.0;
+    }
+    let top = |v: &[f64]| -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&x, &y| v[y].partial_cmp(&v[x]).expect("NaN in top_k input"));
+        idx.truncate(k);
+        idx
+    };
+    let ta = top(a);
+    let tb = top(b);
+    let hits = ta.iter().filter(|i| tb.contains(i)).count();
+    hits as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_and_mad() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        // MAD of {1,1,2,2,4,6,9} around median 2 is median{1,1,0,0,2,4,7}=1
+        assert_eq!(mad(&[1.0, 1.0, 2.0, 2.0, 4.0, 6.0, 9.0]), 1.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [0.0, 10.0];
+        assert_eq!(quantile(&xs, 0.0), 0.0);
+        assert_eq!(quantile(&xs, 0.5), 5.0);
+        assert_eq!(quantile(&xs, 1.0), 10.0);
+    }
+
+    #[test]
+    fn correlation_signs() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let yn: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &yn) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&x, &[1.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn spearman_is_rank_based() {
+        // Monotone but non-linear relationship ⇒ Spearman 1, Pearson < 1.
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.0, 8.0, 27.0, 64.0, 125.0];
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+        assert!(pearson(&x, &y) < 1.0);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn covariance_matrix_symmetry_and_diag() {
+        let m = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 1.0],
+            vec![3.0, 4.0],
+            vec![4.0, 3.0],
+        ]);
+        let c = covariance_matrix(&m);
+        assert!((c[(0, 1)] - c[(1, 0)]).abs() < 1e-12);
+        // Diagonal entries are sample variances.
+        let v0: f64 = covariance(&m.col(0), &m.col(0));
+        assert!((c[(0, 0)] - v0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_agreement_bounds() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [4.0, 3.0, 2.0, 1.0];
+        assert_eq!(top_k_agreement(&a, &a, 2), 1.0);
+        assert_eq!(top_k_agreement(&a, &b, 2), 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use xai_linalg::matrix::{dot, norm2, vadd, vsub};
+use xai_linalg::{Cholesky, Lu, Matrix};
+
+/// Strategy: a matrix with bounded entries and shape.
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-10.0..10.0f64, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+/// Strategy: a square matrix.
+fn square_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim).prop_flat_map(|n| {
+        prop::collection::vec(-10.0..10.0f64, n * n)
+            .prop_map(move |data| Matrix::from_vec(n, n, data))
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_involution(m in matrix_strategy(6)) {
+        prop_assert!(m.transpose().transpose().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn matmul_transpose_identity(
+        (a, b) in (1..=5usize, 1..=5usize, 1..=5usize).prop_flat_map(|(r, k, c)| (
+            prop::collection::vec(-10.0..10.0f64, r * k).prop_map(move |d| Matrix::from_vec(r, k, d)),
+            prop::collection::vec(-10.0..10.0f64, k * c).prop_map(move |d| Matrix::from_vec(k, c, d)),
+        ))
+    ) {
+        // (A B)^T = B^T A^T.
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diag(m in matrix_strategy(6)) {
+        let g = m.gram();
+        for i in 0..g.rows() {
+            prop_assert!(g[(i, i)] >= -1e-12, "negative diagonal in Gram matrix");
+            for j in 0..g.cols() {
+                prop_assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_solves_spd_systems(b0 in square_strategy(5), rhs_seed in -5.0..5.0f64) {
+        let n = b0.rows();
+        let mut a = b0.matmul(&b0.transpose());
+        a.add_diag_mut(n as f64 + 1.0); // guarantee positive-definiteness
+        let b: Vec<f64> = (0..n).map(|i| rhs_seed + i as f64).collect();
+        let ch = Cholesky::factor(&a).expect("SPD by construction");
+        let x = ch.solve(&b);
+        let resid = vsub(&a.matvec(&x), &b);
+        prop_assert!(norm2(&resid) < 1e-6 * (1.0 + norm2(&b)));
+    }
+
+    #[test]
+    fn lu_solve_residual_small(a in square_strategy(5), rhs_seed in -5.0..5.0f64) {
+        let n = a.rows();
+        let b: Vec<f64> = (0..n).map(|i| rhs_seed - i as f64).collect();
+        if let Ok(lu) = Lu::factor(&a) {
+            // Skip nearly-singular draws where the condition number makes
+            // any direct method inaccurate.
+            prop_assume!(lu.det().abs() > 1e-6);
+            let x = lu.solve(&b);
+            let resid = vsub(&a.matvec(&x), &b);
+            prop_assert!(norm2(&resid) < 1e-5 * (1.0 + norm2(&b)) * (1.0 + a.max_abs()));
+        }
+    }
+
+    #[test]
+    fn lu_det_multiplicative(
+        (a, b) in (1..=4usize).prop_flat_map(|n| (
+            prop::collection::vec(-10.0..10.0f64, n * n).prop_map(move |d| Matrix::from_vec(n, n, d)),
+            prop::collection::vec(-10.0..10.0f64, n * n).prop_map(move |d| Matrix::from_vec(n, n, d)),
+        ))
+    ) {
+        if let (Ok(la), Ok(lb)) = (Lu::factor(&a), Lu::factor(&b)) {
+            let ab = a.matmul(&b);
+            if let Ok(lab) = Lu::factor(&ab) {
+                let lhs = lab.det();
+                let rhs = la.det() * lb.det();
+                let scale = 1.0 + lhs.abs().max(rhs.abs());
+                prop_assert!((lhs - rhs).abs() < 1e-6 * scale);
+            }
+        }
+    }
+
+    #[test]
+    fn vector_algebra_roundtrip(v in prop::collection::vec(-100.0..100.0f64, 1..32)) {
+        let zero = vec![0.0; v.len()];
+        prop_assert_eq!(vadd(&v, &zero), v.clone());
+        let diff = vsub(&v, &v);
+        prop_assert!(diff.iter().all(|&x| x == 0.0));
+        prop_assert!(dot(&v, &zero) == 0.0);
+    }
+
+    #[test]
+    fn cauchy_schwarz(pairs in prop::collection::vec((-10.0..10.0f64, -10.0..10.0f64), 1..16)) {
+        let (u, w): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        prop_assert!(dot(&u, &w).abs() <= norm2(&u) * norm2(&w) + 1e-9);
+    }
+}

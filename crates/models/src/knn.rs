@@ -1,0 +1,134 @@
+//! k-nearest-neighbour prediction.
+//!
+//! Besides being a baseline model, kNN is the model class for which data
+//! Shapley values have an exact closed form (Jia et al., §2.3.1), so the
+//! neighbour machinery here is reused by `xai-datavalue::knn_shapley`.
+
+use crate::traits::{Classifier, Model, Regressor};
+use xai_linalg::Matrix;
+
+/// A fitted (memorized) kNN model with Euclidean distances.
+#[derive(Clone, Debug)]
+pub struct Knn {
+    x: Matrix,
+    y: Vec<f64>,
+    k: usize,
+}
+
+impl Knn {
+    /// Memorizes the training set.
+    pub fn fit(x: &Matrix, y: &[f64], k: usize) -> Self {
+        assert_eq!(x.rows(), y.len(), "row/target mismatch");
+        assert!(k >= 1, "k must be at least 1");
+        assert!(x.rows() >= 1, "empty training set");
+        Self { x: x.clone(), y: y.to_vec(), k: k.min(x.rows()) }
+    }
+
+    /// The neighbourhood size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Squared Euclidean distance between a query and training row `i`.
+    fn dist_sq(&self, q: &[f64], i: usize) -> f64 {
+        self.x
+            .row(i)
+            .iter()
+            .zip(q)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    /// Indices of all training points sorted by distance to `q`
+    /// (ties broken by index for determinism).
+    pub fn neighbours_sorted(&self, q: &[f64]) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.x.rows()).collect();
+        let dists: Vec<f64> = idx.iter().map(|&i| self.dist_sq(q, i)).collect();
+        idx.sort_by(|&a, &b| {
+            dists[a]
+                .partial_cmp(&dists[b])
+                .expect("NaN distance")
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+
+    /// The `k` nearest training indices.
+    pub fn k_nearest(&self, q: &[f64]) -> Vec<usize> {
+        let mut ns = self.neighbours_sorted(q);
+        ns.truncate(self.k);
+        ns
+    }
+
+    /// Mean target over the k nearest neighbours.
+    pub fn predict_value(&self, q: &[f64]) -> f64 {
+        let ns = self.k_nearest(q);
+        ns.iter().map(|&i| self.y[i]).sum::<f64>() / ns.len() as f64
+    }
+}
+
+impl Model for Knn {
+    fn n_features(&self) -> usize {
+        self.x.cols()
+    }
+}
+
+impl Regressor for Knn {
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        self.predict_value(x)
+    }
+}
+
+impl Classifier for Knn {
+    fn proba_one(&self, x: &[f64]) -> f64 {
+        self.predict_value(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xai_data::metrics::accuracy;
+    use xai_data::synth::circles;
+
+    #[test]
+    fn one_nn_memorizes_training_data() {
+        let data = circles(200, 5, 0.1);
+        let knn = Knn::fit(data.x(), data.y(), 1);
+        let preds = Classifier::predict(&knn, data.x());
+        assert_eq!(accuracy(data.y(), &preds), 1.0);
+    }
+
+    #[test]
+    fn generalizes_on_rings() {
+        let train = circles(400, 6, 0.15);
+        let test = circles(200, 7, 0.15);
+        let knn = Knn::fit(train.x(), train.y(), 7);
+        let preds = Classifier::predict(&knn, test.x());
+        assert!(accuracy(test.y(), &preds) > 0.9);
+    }
+
+    #[test]
+    fn neighbours_are_sorted_by_distance() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![10.0], vec![1.0], vec![5.0]]);
+        let knn = Knn::fit(&x, &[0.0, 1.0, 0.0, 1.0], 2);
+        assert_eq!(knn.neighbours_sorted(&[0.0]), vec![0, 2, 3, 1]);
+        assert_eq!(knn.k_nearest(&[4.9]), vec![3, 2]);
+    }
+
+    #[test]
+    fn k_clamped_to_dataset_size() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let knn = Knn::fit(&x, &[0.0, 1.0], 100);
+        assert_eq!(knn.k(), 2);
+        assert_eq!(knn.predict_value(&[0.0]), 0.5);
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![-1.0], vec![1.0]]);
+        let knn = Knn::fit(&x, &[0.0, 1.0, 0.0], 1);
+        // Rows 0 and 2 are equidistant from the query; lower index wins.
+        assert_eq!(knn.k_nearest(&[0.0])[0], 0);
+    }
+}

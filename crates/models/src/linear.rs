@@ -1,0 +1,150 @@
+//! Linear (ridge) regression via the normal equations.
+//!
+//! Besides being a model in its own right, this is the inherently
+//! interpretable surrogate class used by LIME (§2.1.1) and the regression
+//! target of the PrIU incremental-update experiments (§3).
+
+use crate::traits::{Model, Regressor};
+use xai_linalg::{dot, least_squares, weighted_least_squares, LinalgError, Matrix};
+
+/// Configuration for [`LinearRegression::fit`].
+#[derive(Clone, Copy, Debug)]
+pub struct LinearConfig {
+    /// L2 penalty on the non-intercept coefficients.
+    pub ridge: f64,
+    /// Whether to fit an intercept term.
+    pub intercept: bool,
+}
+
+impl Default for LinearConfig {
+    fn default() -> Self {
+        Self { ridge: 1e-6, intercept: true }
+    }
+}
+
+/// A fitted linear model `y = intercept + coef · x`.
+#[derive(Clone, Debug)]
+pub struct LinearRegression {
+    intercept: f64,
+    coef: Vec<f64>,
+}
+
+impl LinearRegression {
+    /// Fits by (ridge-regularized) least squares.
+    pub fn fit(x: &Matrix, y: &[f64], config: LinearConfig) -> Result<Self, LinalgError> {
+        let design = if config.intercept { x.with_intercept() } else { x.clone() };
+        let w = least_squares(&design, y, config.ridge)?;
+        Ok(Self::from_solution(w, config.intercept, x.cols()))
+    }
+
+    /// Fits with per-sample weights (the LIME/Kernel-SHAP core).
+    pub fn fit_weighted(
+        x: &Matrix,
+        y: &[f64],
+        sample_weights: &[f64],
+        config: LinearConfig,
+    ) -> Result<Self, LinalgError> {
+        let design = if config.intercept { x.with_intercept() } else { x.clone() };
+        let w = weighted_least_squares(&design, y, sample_weights, config.ridge)?;
+        Ok(Self::from_solution(w, config.intercept, x.cols()))
+    }
+
+    fn from_solution(w: Vec<f64>, intercept: bool, d: usize) -> Self {
+        if intercept {
+            Self { intercept: w[0], coef: w[1..].to_vec() }
+        } else {
+            debug_assert_eq!(w.len(), d);
+            Self { intercept: 0.0, coef: w }
+        }
+    }
+
+    /// Builds a model directly from known parameters.
+    pub fn from_parameters(intercept: f64, coef: Vec<f64>) -> Self {
+        Self { intercept, coef }
+    }
+
+    /// The intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// The coefficients (one per feature).
+    pub fn coef(&self) -> &[f64] {
+        &self.coef
+    }
+}
+
+impl Model for LinearRegression {
+    fn n_features(&self) -> usize {
+        self.coef.len()
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.coef.len());
+        self.intercept + dot(&self.coef, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xai_linalg::r_squared;
+
+    #[test]
+    fn recovers_exact_coefficients() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 1.0],
+            vec![3.0, 4.0],
+            vec![0.0, 1.0],
+            vec![5.0, 2.0],
+        ]);
+        let y: Vec<f64> = x.iter_rows().map(|r| 1.5 + 2.0 * r[0] - 0.5 * r[1]).collect();
+        let m = LinearRegression::fit(&x, &y, LinearConfig::default()).unwrap();
+        assert!((m.intercept() - 1.5).abs() < 1e-4);
+        assert!((m.coef()[0] - 2.0).abs() < 1e-4);
+        assert!((m.coef()[1] + 0.5).abs() < 1e-4);
+        let preds = m.predict(&x);
+        assert!(r_squared(&y, &preds) > 0.999999);
+    }
+
+    #[test]
+    fn no_intercept_mode() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let y = vec![2.0, 4.0, 6.0];
+        let m = LinearRegression::fit(&x, &y, LinearConfig { ridge: 0.0, intercept: false }).unwrap();
+        assert_eq!(m.intercept(), 0.0);
+        assert!((m.coef()[0] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ridge_shrinks_coefficients() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0], vec![4.0]]);
+        let y = vec![1.0, 2.0, 3.0, 4.0];
+        let loose = LinearRegression::fit(&x, &y, LinearConfig { ridge: 0.0, intercept: false }).unwrap();
+        let tight = LinearRegression::fit(&x, &y, LinearConfig { ridge: 100.0, intercept: false }).unwrap();
+        assert!(tight.coef()[0].abs() < loose.coef()[0].abs());
+    }
+
+    #[test]
+    fn weighted_fit_focuses_on_heavy_samples() {
+        // Two inconsistent clusters; weights pick which one the fit obeys.
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![1.0], vec![2.0]]);
+        let y = vec![1.0, 2.0, 10.0, 20.0];
+        let w_lo = vec![1.0, 1.0, 0.0, 0.0];
+        let m = LinearRegression::fit_weighted(&x, &y, &w_lo, LinearConfig { ridge: 1e-9, intercept: false }).unwrap();
+        assert!((m.coef()[0] - 1.0).abs() < 1e-4);
+        let w_hi = vec![0.0, 0.0, 1.0, 1.0];
+        let m = LinearRegression::fit_weighted(&x, &y, &w_hi, LinearConfig { ridge: 1e-9, intercept: false }).unwrap();
+        assert!((m.coef()[0] - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn from_parameters_roundtrip() {
+        let m = LinearRegression::from_parameters(1.0, vec![2.0, 3.0]);
+        assert_eq!(m.predict_one(&[1.0, 1.0]), 6.0);
+        assert_eq!(m.n_features(), 2);
+    }
+}

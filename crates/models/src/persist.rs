@@ -1,0 +1,283 @@
+//! Model persistence: JSON save/load for the workspace's model families.
+//!
+//! Explanations are only auditable if the *model that produced them* can
+//! be stored alongside. This module serializes the parametric models and
+//! tree ensembles to the workspace's own JSON (`xai-core::report::Json`)
+//! and restores them bit-exactly (same predictions on every input) — the
+//! round-trip property the tests assert.
+
+use crate::gbdt::{Gbdt, GbdtLoss};
+use crate::linear::LinearRegression;
+use crate::logistic::LogisticRegression;
+use crate::tree::{DecisionTree, SplitCriterion, TreeNode};
+use xai_core::report::Json;
+
+/// Persistence errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PersistError(pub String);
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "model persistence error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+fn field<'a>(j: &'a Json, key: &str) -> Result<&'a Json, PersistError> {
+    j.get(key).ok_or_else(|| PersistError(format!("missing field '{key}'")))
+}
+
+fn num(j: &Json, key: &str) -> Result<f64, PersistError> {
+    field(j, key)?
+        .as_num()
+        .ok_or_else(|| PersistError(format!("field '{key}' is not a number")))
+}
+
+fn nums(j: &Json, key: &str) -> Result<Vec<f64>, PersistError> {
+    field(j, key)?
+        .as_arr()
+        .ok_or_else(|| PersistError(format!("field '{key}' is not an array")))?
+        .iter()
+        .map(|v| v.as_num().ok_or_else(|| PersistError(format!("non-number in '{key}'"))))
+        .collect()
+}
+
+/// Serializable surface for models.
+pub trait Persist: Sized {
+    /// Renders the model as JSON.
+    fn save(&self) -> Json;
+    /// Restores a model from JSON.
+    fn load(json: &Json) -> Result<Self, PersistError>;
+}
+
+impl Persist for LinearRegression {
+    fn save(&self) -> Json {
+        Json::obj(vec![
+            ("kind", Json::str("linear_regression")),
+            ("intercept", Json::Num(self.intercept())),
+            ("coef", Json::nums(self.coef())),
+        ])
+    }
+
+    fn load(json: &Json) -> Result<Self, PersistError> {
+        if field(json, "kind")?.as_str() != Some("linear_regression") {
+            return Err(PersistError("kind mismatch: expected linear_regression".into()));
+        }
+        Ok(LinearRegression::from_parameters(num(json, "intercept")?, nums(json, "coef")?))
+    }
+}
+
+impl Persist for LogisticRegression {
+    fn save(&self) -> Json {
+        Json::obj(vec![
+            ("kind", Json::str("logistic_regression")),
+            ("intercept", Json::Num(self.intercept())),
+            ("coef", Json::nums(self.coef())),
+            ("l2", Json::Num(self.l2())),
+        ])
+    }
+
+    fn load(json: &Json) -> Result<Self, PersistError> {
+        if field(json, "kind")?.as_str() != Some("logistic_regression") {
+            return Err(PersistError("kind mismatch: expected logistic_regression".into()));
+        }
+        Ok(LogisticRegression::from_parameters(
+            num(json, "intercept")?,
+            &nums(json, "coef")?,
+            num(json, "l2")?,
+        ))
+    }
+}
+
+fn node_to_json(n: &TreeNode) -> Json {
+    Json::obj(vec![
+        ("feature", Json::Num(n.feature as f64)),
+        ("threshold", Json::Num(n.threshold)),
+        ("left", n.left.map_or(Json::Null, |l| Json::Num(l as f64))),
+        ("right", n.right.map_or(Json::Null, |r| Json::Num(r as f64))),
+        ("value", Json::Num(n.value)),
+        ("cover", Json::Num(n.cover)),
+    ])
+}
+
+fn node_from_json(j: &Json) -> Result<TreeNode, PersistError> {
+    let opt_idx = |key: &str| -> Result<Option<usize>, PersistError> {
+        match field(j, key)? {
+            Json::Null => Ok(None),
+            v => Ok(Some(v.as_num().ok_or_else(|| PersistError(format!("bad '{key}'")))? as usize)),
+        }
+    };
+    Ok(TreeNode {
+        feature: num(j, "feature")? as usize,
+        threshold: num(j, "threshold")?,
+        left: opt_idx("left")?,
+        right: opt_idx("right")?,
+        value: num(j, "value")?,
+        cover: num(j, "cover")?,
+    })
+}
+
+impl Persist for DecisionTree {
+    fn save(&self) -> Json {
+        Json::obj(vec![
+            ("kind", Json::str("decision_tree")),
+            ("n_features", Json::Num(crate::traits::Model::n_features(self) as f64)),
+            (
+                "criterion",
+                Json::str(match self.criterion() {
+                    SplitCriterion::Gini => "gini",
+                    SplitCriterion::Variance => "variance",
+                }),
+            ),
+            ("nodes", Json::Arr(self.nodes().iter().map(node_to_json).collect())),
+        ])
+    }
+
+    fn load(json: &Json) -> Result<Self, PersistError> {
+        if field(json, "kind")?.as_str() != Some("decision_tree") {
+            return Err(PersistError("kind mismatch: expected decision_tree".into()));
+        }
+        let criterion = match field(json, "criterion")?.as_str() {
+            Some("gini") => SplitCriterion::Gini,
+            Some("variance") => SplitCriterion::Variance,
+            other => return Err(PersistError(format!("bad criterion {other:?}"))),
+        };
+        let nodes = field(json, "nodes")?
+            .as_arr()
+            .ok_or_else(|| PersistError("'nodes' is not an array".into()))?
+            .iter()
+            .map(node_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        if nodes.is_empty() {
+            return Err(PersistError("tree has no nodes".into()));
+        }
+        // Validate child indices before constructing.
+        for (i, n) in nodes.iter().enumerate() {
+            for child in [n.left, n.right].into_iter().flatten() {
+                if child >= nodes.len() || child == i {
+                    return Err(PersistError(format!("node {i} has invalid child {child}")));
+                }
+            }
+        }
+        Ok(DecisionTree::from_parts(
+            nodes,
+            num(json, "n_features")? as usize,
+            criterion,
+        ))
+    }
+}
+
+impl Persist for Gbdt {
+    fn save(&self) -> Json {
+        Json::obj(vec![
+            ("kind", Json::str("gbdt")),
+            ("base_score", Json::Num(self.base_score())),
+            ("learning_rate", Json::Num(self.learning_rate())),
+            (
+                "loss",
+                Json::str(match self.loss() {
+                    GbdtLoss::Squared => "squared",
+                    GbdtLoss::Logistic => "logistic",
+                }),
+            ),
+            ("n_features", Json::Num(crate::traits::Model::n_features(self) as f64)),
+            ("trees", Json::Arr(self.trees().iter().map(Persist::save).collect())),
+        ])
+    }
+
+    fn load(json: &Json) -> Result<Self, PersistError> {
+        if field(json, "kind")?.as_str() != Some("gbdt") {
+            return Err(PersistError("kind mismatch: expected gbdt".into()));
+        }
+        let loss = match field(json, "loss")?.as_str() {
+            Some("squared") => GbdtLoss::Squared,
+            Some("logistic") => GbdtLoss::Logistic,
+            other => return Err(PersistError(format!("bad loss {other:?}"))),
+        };
+        let trees = field(json, "trees")?
+            .as_arr()
+            .ok_or_else(|| PersistError("'trees' is not an array".into()))?
+            .iter()
+            .map(DecisionTree::load)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Gbdt::from_parts(
+            num(json, "base_score")?,
+            num(json, "learning_rate")?,
+            trees,
+            loss,
+            num(json, "n_features")? as usize,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{Classifier, Regressor};
+    use crate::{GbdtConfig, LinearConfig, LogisticConfig, TreeConfig};
+    use xai_core::parse_json;
+    use xai_data::synth::{friedman1, german_credit};
+
+    #[test]
+    fn linear_roundtrip_through_text() {
+        let data = friedman1(200, 3, 0.2);
+        let m = LinearRegression::fit(data.x(), data.y(), LinearConfig::default()).unwrap();
+        let text = m.save().to_json();
+        let restored = LinearRegression::load(&parse_json(&text).unwrap()).unwrap();
+        for i in 0..20 {
+            assert_eq!(m.predict_one(data.row(i)), restored.predict_one(data.row(i)));
+        }
+    }
+
+    #[test]
+    fn logistic_roundtrip() {
+        let data = german_credit(300, 5);
+        let m = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+        let restored =
+            LogisticRegression::load(&parse_json(&m.save().to_json()).unwrap()).unwrap();
+        for i in 0..20 {
+            assert_eq!(m.proba_one(data.row(i)), restored.proba_one(data.row(i)));
+        }
+        assert_eq!(m.l2(), restored.l2());
+    }
+
+    #[test]
+    fn tree_roundtrip_preserves_structure_and_predictions() {
+        let data = german_credit(400, 7);
+        let tree = DecisionTree::fit(data.x(), data.y(), TreeConfig { max_depth: 6, ..TreeConfig::default() });
+        let restored = DecisionTree::load(&parse_json(&tree.save().to_json()).unwrap()).unwrap();
+        assert_eq!(tree.nodes().len(), restored.nodes().len());
+        assert_eq!(tree.n_leaves(), restored.n_leaves());
+        for i in 0..data.n_rows() {
+            assert_eq!(tree.predict_value(data.row(i)), restored.predict_value(data.row(i)));
+            assert_eq!(tree.leaf_of(data.row(i)), restored.leaf_of(data.row(i)));
+        }
+    }
+
+    #[test]
+    fn gbdt_roundtrip_and_treeshap_still_works() {
+        let data = german_credit(300, 9);
+        let m = Gbdt::fit(data.x(), data.y(), GbdtConfig { n_rounds: 15, ..GbdtConfig::default() });
+        let restored = Gbdt::load(&parse_json(&m.save().to_json()).unwrap()).unwrap();
+        for i in 0..30 {
+            assert_eq!(m.margin(data.row(i)), restored.margin(data.row(i)));
+        }
+        assert_eq!(m.base_score(), restored.base_score());
+        assert_eq!(m.loss(), restored.loss());
+    }
+
+    #[test]
+    fn corrupted_documents_are_rejected() {
+        assert!(LinearRegression::load(&parse_json("{}").unwrap()).is_err());
+        let wrong_kind = parse_json(r#"{"kind":"gbdt"}"#).unwrap();
+        assert!(LinearRegression::load(&wrong_kind).is_err());
+        // Tree with out-of-range child index.
+        let bad = parse_json(
+            r#"{"kind":"decision_tree","n_features":2,"criterion":"gini",
+                "nodes":[{"feature":0,"threshold":0.5,"left":7,"right":null,"value":0.5,"cover":1}]}"#,
+        )
+        .unwrap();
+        assert!(DecisionTree::load(&bad).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Common model interfaces.
+//!
+//! Model-agnostic explainers (dimension (b) of the tutorial's taxonomy)
+//! only ever see [`PredictFn`]-shaped closures; these traits give the
+//! concrete models a uniform surface from which those closures are built.
+
+use xai_linalg::Matrix;
+
+/// Anything with a fixed input arity.
+pub trait Model {
+    /// Number of input features the model expects.
+    fn n_features(&self) -> usize;
+}
+
+/// Real-valued prediction.
+pub trait Regressor: Model {
+    /// Predicts a single row.
+    fn predict_one(&self, x: &[f64]) -> f64;
+
+    /// Predicts every row of a matrix.
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|i| self.predict_one(x.row(i))).collect()
+    }
+}
+
+/// Binary probabilistic classification.
+pub trait Classifier: Model {
+    /// Probability of the positive class for a single row.
+    fn proba_one(&self, x: &[f64]) -> f64;
+
+    /// Probabilities for every row.
+    fn proba(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|i| self.proba_one(x.row(i))).collect()
+    }
+
+    /// Hard 0/1 prediction at the 0.5 threshold.
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        f64::from(self.proba_one(x) >= 0.5)
+    }
+
+    /// Hard predictions for every row.
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|i| Classifier::predict_one(self, x.row(i))).collect()
+    }
+}
+
+/// The single-output prediction function surface consumed by model-agnostic
+/// explainers: probability for classifiers, value for regressors.
+pub type PredictFn<'a> = dyn Fn(&[f64]) -> f64 + 'a;
+
+/// Wraps a classifier as a probability closure.
+pub fn proba_fn<C: Classifier>(model: &C) -> impl Fn(&[f64]) -> f64 + '_ {
+    move |x| model.proba_one(x)
+}
+
+/// Wraps a regressor as a value closure.
+pub fn regress_fn<R: Regressor>(model: &R) -> impl Fn(&[f64]) -> f64 + '_ {
+    move |x| model.predict_one(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Constant(f64);
+    impl Model for Constant {
+        fn n_features(&self) -> usize {
+            2
+        }
+    }
+    impl Classifier for Constant {
+        fn proba_one(&self, _x: &[f64]) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn default_threshold_and_batching() {
+        let hi = Constant(0.9);
+        let lo = Constant(0.2);
+        assert_eq!(Classifier::predict_one(&hi, &[0.0, 0.0]), 1.0);
+        assert_eq!(Classifier::predict_one(&lo, &[0.0, 0.0]), 0.0);
+        let m = Matrix::zeros(3, 2);
+        assert_eq!(hi.proba(&m), vec![0.9; 3]);
+        assert_eq!(Classifier::predict(&lo, &m), vec![0.0; 3]);
+        let f = proba_fn(&hi);
+        assert_eq!(f(&[1.0, 2.0]), 0.9);
+    }
+}

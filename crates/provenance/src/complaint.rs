@@ -1,0 +1,215 @@
+//! Complaint-driven training-data debugging ("Rain"-style;
+//! Wu, Flokas, Wu & Wang, §3 \[76\]).
+//!
+//! Query 2.0 setting: an aggregate SQL query runs over *model predictions*
+//! (e.g. `SELECT count(*) FROM applicants WHERE M(x) = 1`). A user files a
+//! **complaint** — "this count is too high/low" — and the system must find
+//! the training tuples responsible. Rain's move: relax the query to a
+//! differentiable surrogate (counts become sums of predicted
+//! probabilities), then rank training points by the influence of removing
+//! them on the relaxed query result, reusing the influence-function
+//! machinery.
+
+use xai_core::DataAttribution;
+use xai_data::Dataset;
+use xai_linalg::Cholesky;
+use xai_models::LogisticRegression;
+
+/// Direction of a complaint about an aggregate result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Complaint {
+    /// "The aggregate is too high" — find tuples pushing it up.
+    TooHigh,
+    /// "The aggregate is too low."
+    TooLow,
+}
+
+/// A relaxed aggregate query over model predictions: the (optionally
+/// filtered) sum of predicted probabilities — the differentiable surrogate
+/// of `COUNT(*) WHERE M(x) = 1`.
+pub struct PredicateCountQuery<'a> {
+    /// Rows the query ranges over.
+    pub data: &'a Dataset,
+    /// Which rows pass the query's WHERE clause on *attributes* (the model
+    /// predicate is applied on top of this mask).
+    pub mask: Vec<bool>,
+}
+
+impl<'a> PredicateCountQuery<'a> {
+    /// Builds a query over all rows satisfying `filter`.
+    pub fn new(data: &'a Dataset, filter: impl Fn(&[f64]) -> bool) -> Self {
+        let mask = (0..data.n_rows()).map(|i| filter(data.row(i))).collect();
+        Self { data, mask }
+    }
+
+    /// The relaxed query value: Σ over masked rows of `P(M(x) = 1)`.
+    pub fn relaxed_value(&self, model: &LogisticRegression) -> f64 {
+        use xai_models::Classifier;
+        (0..self.data.n_rows())
+            .filter(|&i| self.mask[i])
+            .map(|i| model.proba_one(self.data.row(i)))
+            .sum()
+    }
+
+    /// The hard query value: actual count of positive predictions.
+    pub fn hard_value(&self, model: &LogisticRegression) -> f64 {
+        use xai_models::Classifier;
+        (0..self.data.n_rows())
+            .filter(|&i| self.mask[i])
+            .map(|i| f64::from(model.proba_one(self.data.row(i)) >= 0.5))
+            .sum()
+    }
+
+    /// Gradient of the relaxed value w.r.t. the model parameters.
+    fn gradient(&self, model: &LogisticRegression) -> Vec<f64> {
+        use xai_models::Classifier;
+        let d = model.weights().len();
+        let mut g = vec![0.0; d];
+        for i in 0..self.data.n_rows() {
+            if !self.mask[i] {
+                continue;
+            }
+            let x = self.data.row(i);
+            let p = model.proba_one(x);
+            let scale = p * (1.0 - p);
+            g[0] += scale;
+            for (gj, &xj) in g[1..].iter_mut().zip(x) {
+                *gj += scale * xj;
+            }
+        }
+        g
+    }
+}
+
+/// Ranks training tuples by how much their *removal* would move the
+/// relaxed query toward resolving the complaint. The returned attribution
+/// is oriented so that **high scores = prime suspects**.
+pub fn complaint_influence(
+    model: &LogisticRegression,
+    train: &Dataset,
+    query: &PredicateCountQuery<'_>,
+    complaint: Complaint,
+) -> DataAttribution {
+    let g_query = query.gradient(model);
+    let h = model.hessian(train.x(), train.y());
+    let s = Cholesky::factor(&h).expect("PD Hessian").solve(&g_query);
+    let n = train.n_rows() as f64;
+    let values: Vec<f64> = (0..train.n_rows())
+        .map(|i| {
+            let gi = model.example_grad(train.row(i), train.y()[i]);
+            // Predicted change of the query value if tuple i is removed:
+            // Δq ≈ g_queryᵀ · Δw = g_queryᵀ H⁻¹ ∇ℓ_i / n.
+            let delta_q = xai_linalg::dot(&s, &gi) / n;
+            match complaint {
+                // "Too high": suspects are tuples whose removal lowers q.
+                Complaint::TooHigh => -delta_q,
+                Complaint::TooLow => delta_q,
+            }
+        })
+        .collect();
+    DataAttribution {
+        values,
+        measure: "complaint-resolution influence (high = suspect)".into(),
+    }
+}
+
+/// Convenience: returns the indices of the `k` prime suspects.
+pub fn top_suspects(attribution: &DataAttribution, k: usize) -> Vec<usize> {
+    attribution.ranking_desc().into_iter().take(k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xai_data::synth::linear_gaussian;
+    use xai_models::LogisticConfig;
+
+    /// Corrupt labels upward (0 → 1) to inflate positive counts.
+    fn inflate_labels(data: &mut Dataset, k: usize, seed: u64) -> Vec<usize> {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut zeros: Vec<usize> = (0..data.n_rows()).filter(|&i| data.y()[i] < 0.5).collect();
+        zeros.shuffle(&mut rng);
+        zeros.truncate(k);
+        for &i in &zeros {
+            data.set_label(i, 1.0);
+        }
+        zeros.sort_unstable();
+        zeros
+    }
+
+    fn setup() -> (Dataset, Dataset, Vec<usize>, LogisticRegression) {
+        let mut train = linear_gaussian(250, &[2.5, -1.0], 0.0, 101);
+        let serve = linear_gaussian(300, &[2.5, -1.0], 0.0, 102);
+        let guilty = inflate_labels(&mut train, 25, 7);
+        let config = LogisticConfig { l2: 1e-2, ..LogisticConfig::default() };
+        let model = LogisticRegression::fit(train.x(), train.y(), config);
+        (train, serve, guilty, model)
+    }
+
+    #[test]
+    fn relaxed_value_tracks_hard_count() {
+        let (train, serve, _, model) = setup();
+        let _ = train;
+        let q = PredicateCountQuery::new(&serve, |_| true);
+        let relaxed = q.relaxed_value(&model);
+        let hard = q.hard_value(&model);
+        assert!(
+            (relaxed - hard).abs() < serve.n_rows() as f64 * 0.25,
+            "relaxation should stay close: {relaxed} vs {hard}"
+        );
+    }
+
+    #[test]
+    fn complaint_finds_the_inflating_tuples() {
+        let (train, serve, guilty, model) = setup();
+        let q = PredicateCountQuery::new(&serve, |_| true);
+        let att = complaint_influence(&model, &train, &q, Complaint::TooHigh);
+        let suspects = top_suspects(&att, guilty.len());
+        let hits = suspects.iter().filter(|s| guilty.contains(s)).count();
+        let precision = hits as f64 / guilty.len() as f64;
+        // Random guessing would land at 10%.
+        assert!(precision > 0.5, "suspect precision {precision}");
+    }
+
+    #[test]
+    fn removing_top_suspects_resolves_the_complaint() {
+        let (train, serve, guilty, model) = setup();
+        let q = PredicateCountQuery::new(&serve, |_| true);
+        let before = q.relaxed_value(&model);
+        let att = complaint_influence(&model, &train, &q, Complaint::TooHigh);
+        let suspects = top_suspects(&att, 25);
+        let cleaned = train.without(&suspects);
+        let config = LogisticConfig { l2: 1e-2, ..LogisticConfig::default() };
+        let refit = LogisticRegression::fit(cleaned.x(), cleaned.y(), config);
+        let after = q.relaxed_value(&refit);
+        assert!(
+            after < before - 1.0,
+            "removing suspects must lower the inflated count: {before} -> {after}"
+        );
+        let _ = guilty;
+    }
+
+    #[test]
+    fn opposite_complaint_flips_the_ranking() {
+        let (train, serve, _, model) = setup();
+        let q = PredicateCountQuery::new(&serve, |_| true);
+        let hi = complaint_influence(&model, &train, &q, Complaint::TooHigh);
+        let lo = complaint_influence(&model, &train, &q, Complaint::TooLow);
+        for (a, b) in hi.values.iter().zip(&lo.values) {
+            assert!((a + b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn filtered_queries_restrict_attention() {
+        let (train, serve, _, model) = setup();
+        // Complaint about positives among x0 > 0 only.
+        let q = PredicateCountQuery::new(&serve, |x| x[0] > 0.0);
+        assert!(q.mask.iter().any(|&m| m));
+        assert!(q.mask.iter().any(|&m| !m));
+        let att = complaint_influence(&model, &train, &q, Complaint::TooHigh);
+        assert_eq!(att.values.len(), train.n_rows());
+    }
+}

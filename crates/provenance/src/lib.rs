@@ -1,0 +1,39 @@
+//! # xai-provenance
+//!
+//! The §3 crate: explanations *from* and *for* data management systems.
+//!
+//! - [`semiring`] — provenance polynomials with Boolean / counting /
+//!   tropical evaluations;
+//! - [`relation`] — an annotated relational-algebra engine (σ, π, ⋈, ∪, γ)
+//!   propagating provenance through queries;
+//! - [`shapley_tuples`] — the Shapley value of base tuples in query
+//!   answering (exact + sampled);
+//! - [`complaint`] — Rain-style complaint-driven debugging of aggregate
+//!   queries over model predictions;
+//! - [`priu`] — PrIU-style incremental model updates under tuple
+//!   deletions (Sherman–Morrison downdates);
+//! - [`pipeline`] — preparation-pipeline provenance and stage
+//!   accountability by ablation.
+
+pub mod complaint;
+pub mod pipeline;
+pub mod priu;
+pub mod relation;
+pub mod repair;
+pub mod semiring;
+pub mod shapley_tuples;
+pub mod unlearn;
+pub mod whynot;
+
+pub use complaint::{complaint_influence, top_suspects, Complaint, PredicateCountQuery};
+pub use pipeline::{
+    attribute_error_to_stages, inject_sentinels, FilterStage, ImputeStage, Pipeline, ScaleStage,
+    Stage, StageRecord,
+};
+pub use priu::{retrain_ridge, IncrementalRidge};
+pub use repair::{greedy_repair, repair_responsibility, total_violations, FunctionalDependency};
+pub use relation::{Aggregate, AnnotatedTuple, Relation, Value};
+pub use semiring::{BoolSemiring, CountingSemiring, Polynomial, Semiring, TropicalSemiring, VarId};
+pub use unlearn::LogisticUnlearner;
+pub use whynot::{verify_repair, why_not, WhyNotExplanation, WhyNotWitness};
+pub use shapley_tuples::{tuple_shapley_exact, tuple_shapley_sampled, TupleGame};

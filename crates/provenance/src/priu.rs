@@ -1,0 +1,190 @@
+//! PrIU-style incremental model updates
+//! (Wu, Tannen & Davidson, §3 \[77\]; HedgeCut-style low-latency deletion
+//! \[59\] motivates the latency target).
+//!
+//! Deleting training tuples should not require retraining from scratch:
+//! for ridge regression the sufficient statistics are `XᵀX + λI` and
+//! `Xᵀy`, and a deletion is a rank-one *downdate* — maintained here with
+//! the Sherman–Morrison identity so each deletion costs `O(d²)` instead of
+//! a full `O(n·d²)` refit. Experiment E18 measures the speedup and checks
+//! the parameters match the retrained model to machine precision.
+
+use xai_linalg::{dot, Lu, Matrix};
+
+/// Ridge regression with incrementally-maintained sufficient statistics.
+#[derive(Clone, Debug)]
+pub struct IncrementalRidge {
+    /// `(XᵀX + λI)⁻¹`, maintained by Sherman–Morrison updates.
+    inv: Matrix,
+    /// `Xᵀy`.
+    xty: Vec<f64>,
+    /// Number of rows currently incorporated.
+    n_rows: usize,
+    /// The ridge λ.
+    lambda: f64,
+}
+
+impl IncrementalRidge {
+    /// Fits from scratch on a design matrix (callers add the intercept
+    /// column themselves if wanted).
+    pub fn fit(x: &Matrix, y: &[f64], lambda: f64) -> Self {
+        assert_eq!(x.rows(), y.len());
+        assert!(lambda > 0.0, "λ > 0 keeps the statistics invertible under deletions");
+        let mut gram = x.gram();
+        gram.add_diag_mut(lambda);
+        let inv = Lu::factor(&gram).expect("ridge Gram is invertible").inverse();
+        Self { inv, xty: x.t_matvec(y), n_rows: x.rows(), lambda }
+    }
+
+    /// Current coefficient vector `(XᵀX + λI)⁻¹ Xᵀy`.
+    pub fn coef(&self) -> Vec<f64> {
+        self.inv.matvec(&self.xty)
+    }
+
+    /// Rows currently incorporated.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// The ridge parameter.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Incorporates one row (Sherman–Morrison *update*): `O(d²)`.
+    pub fn add_row(&mut self, x: &[f64], y: f64) {
+        self.rank_one(x, 1.0);
+        for (a, &xi) in self.xty.iter_mut().zip(x) {
+            *a += y * xi;
+        }
+        self.n_rows += 1;
+    }
+
+    /// Removes one previously-incorporated row (Sherman–Morrison
+    /// *downdate*): `O(d²)`.
+    ///
+    /// # Panics
+    /// Panics when the downdate would make the statistics singular (e.g.
+    /// removing a row that was never added).
+    pub fn remove_row(&mut self, x: &[f64], y: f64) {
+        assert!(self.n_rows > 0, "no rows left to remove");
+        self.rank_one(x, -1.0);
+        for (a, &xi) in self.xty.iter_mut().zip(x) {
+            *a -= y * xi;
+        }
+        self.n_rows -= 1;
+    }
+
+    /// Sherman–Morrison for `A ± xxᵀ`:
+    /// `(A ± xxᵀ)⁻¹ = A⁻¹ ∓ (A⁻¹x)(A⁻¹x)ᵀ / (1 ± xᵀA⁻¹x)`.
+    fn rank_one(&mut self, x: &[f64], sign: f64) {
+        let ax = self.inv.matvec(x);
+        let denom = 1.0 + sign * dot(x, &ax);
+        assert!(
+            denom.abs() > 1e-12,
+            "rank-one downdate is singular (denominator {denom})"
+        );
+        let scale = sign / denom;
+        let d = x.len();
+        for i in 0..d {
+            let axi = ax[i];
+            let row = self.inv.row_mut(i);
+            for (j, r) in row.iter_mut().enumerate() {
+                *r -= scale * axi * ax[j];
+            }
+        }
+    }
+}
+
+/// Full-retrain reference for validation and benchmarking.
+pub fn retrain_ridge(x: &Matrix, y: &[f64], lambda: f64) -> Vec<f64> {
+    IncrementalRidge::fit(x, y, lambda).coef()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use xai_linalg::distr::normal;
+
+    fn random_data(n: usize, d: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Matrix::from_fn(n, d, |_, _| normal(&mut rng, 0.0, 1.0));
+        let w: Vec<f64> = (0..d).map(|j| j as f64 - 1.0).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| dot(x.row(i), &w) + normal(&mut rng, 0.0, 0.1))
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn incremental_deletion_matches_full_retrain() {
+        let (x, y) = random_data(200, 5, 3);
+        let mut inc = IncrementalRidge::fit(&x, &y, 1e-3);
+        // Delete rows 10, 50, 120 incrementally.
+        let delete = [10usize, 50, 120];
+        for &i in &delete {
+            inc.remove_row(x.row(i), y[i]);
+        }
+        // Full retrain on the survivors.
+        let keep: Vec<usize> = (0..200).filter(|i| !delete.contains(i)).collect();
+        let xk = x.select_rows(&keep);
+        let yk: Vec<f64> = keep.iter().map(|&i| y[i]).collect();
+        let truth = retrain_ridge(&xk, &yk, 1e-3);
+        for (a, b) in inc.coef().iter().zip(&truth) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+        assert_eq!(inc.n_rows(), 197);
+    }
+
+    #[test]
+    fn incremental_insertion_matches_full_retrain() {
+        let (x, y) = random_data(100, 4, 7);
+        let half: Vec<usize> = (0..50).collect();
+        let xh = x.select_rows(&half);
+        let yh: Vec<f64> = half.iter().map(|&i| y[i]).collect();
+        let mut inc = IncrementalRidge::fit(&xh, &yh, 1e-2);
+        for i in 50..100 {
+            inc.add_row(x.row(i), y[i]);
+        }
+        let truth = retrain_ridge(&x, &y, 1e-2);
+        for (a, b) in inc.coef().iter().zip(&truth) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn add_then_remove_is_identity() {
+        let (x, y) = random_data(80, 3, 11);
+        let mut inc = IncrementalRidge::fit(&x, &y, 1e-2);
+        let before = inc.coef();
+        let probe = [0.5, -1.0, 2.0];
+        inc.add_row(&probe, 3.0);
+        inc.remove_row(&probe, 3.0);
+        for (a, b) in inc.coef().iter().zip(&before) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        assert_eq!(inc.n_rows(), 80);
+    }
+
+    #[test]
+    fn many_random_deletions_stay_accurate() {
+        let (x, y) = random_data(300, 6, 13);
+        let mut inc = IncrementalRidge::fit(&x, &y, 1e-3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut removed: Vec<usize> = (0..300).collect();
+        // Remove 100 random rows.
+        for _ in 0..100 {
+            let pos = rng.gen_range(0..removed.len());
+            let i = removed.swap_remove(pos);
+            inc.remove_row(x.row(i), y[i]);
+        }
+        let xk = x.select_rows(&removed);
+        let yk: Vec<f64> = removed.iter().map(|&i| y[i]).collect();
+        let truth = retrain_ridge(&xk, &yk, 1e-3);
+        for (a, b) in inc.coef().iter().zip(&truth) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+}

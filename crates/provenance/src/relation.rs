@@ -1,0 +1,413 @@
+//! A minimal in-memory relational engine with provenance-annotated tuples.
+//!
+//! Implements the operators the §3 literature needs — select, project,
+//! natural join, union, and grouped aggregates — where every derived tuple
+//! carries its [`Polynomial`] annotation: selections preserve, projections
+//! add (merged duplicates), joins multiply, unions add. This is the
+//! substrate for tuple-Shapley query explanations and pipeline provenance.
+
+use crate::semiring::{Polynomial, VarId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Total-order sort key derived from a tuple's values.
+type SortKey = Vec<(u8, i64, String)>;
+
+/// A field value.
+#[derive(Clone, Debug, PartialEq, PartialOrd)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+}
+
+impl Value {
+    /// Total-order key (panics on NaN floats).
+    fn key(&self) -> (u8, i64, String) {
+        match self {
+            Value::Int(i) => (0, *i, String::new()),
+            Value::Float(f) => {
+                assert!(!f.is_nan(), "NaN values are not orderable");
+                (1, (f * 1e9) as i64, String::new())
+            }
+            Value::Str(s) => (2, 0, s.clone()),
+        }
+    }
+
+    /// Numeric view (ints widen; strings panic).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::Int(i) => *i as f64,
+            Value::Float(f) => *f,
+            Value::Str(s) => panic!("'{s}' is not numeric"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// One annotated tuple.
+#[derive(Clone, Debug)]
+pub struct AnnotatedTuple {
+    /// The field values, aligned with the relation's columns.
+    pub values: Vec<Value>,
+    /// Provenance annotation.
+    pub provenance: Polynomial,
+}
+
+/// A named relation with named columns and annotated tuples.
+#[derive(Clone, Debug)]
+pub struct Relation {
+    /// Relation name.
+    pub name: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// The tuples.
+    pub tuples: Vec<AnnotatedTuple>,
+}
+
+impl Relation {
+    /// Builds a base relation, assigning fresh provenance variables
+    /// starting at `first_var`. Returns the relation and the next free
+    /// variable id.
+    pub fn base(
+        name: &str,
+        columns: &[&str],
+        rows: Vec<Vec<Value>>,
+        first_var: VarId,
+    ) -> (Self, VarId) {
+        for r in &rows {
+            assert_eq!(r.len(), columns.len(), "row arity mismatch in {name}");
+        }
+        let tuples = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, values)| AnnotatedTuple {
+                values,
+                provenance: Polynomial::var(first_var + i),
+            })
+            .collect::<Vec<_>>();
+        let next = first_var + tuples.len();
+        (
+            Self {
+                name: name.to_string(),
+                columns: columns.iter().map(|s| s.to_string()).collect(),
+                tuples,
+            },
+            next,
+        )
+    }
+
+    /// Column index by name.
+    pub fn col(&self, name: &str) -> usize {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .unwrap_or_else(|| panic!("no column '{name}' in {}", self.name))
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// σ: keeps tuples satisfying the predicate; annotations pass through.
+    pub fn select(&self, predicate: impl Fn(&[Value]) -> bool) -> Relation {
+        Relation {
+            name: format!("σ({})", self.name),
+            columns: self.columns.clone(),
+            tuples: self
+                .tuples
+                .iter()
+                .filter(|t| predicate(&t.values))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// π: projects onto the named columns, merging duplicate rows by
+    /// *adding* their annotations (set-semantics projection).
+    pub fn project(&self, cols: &[&str]) -> Relation {
+        let idx: Vec<usize> = cols.iter().map(|c| self.col(c)).collect();
+        let mut merged: BTreeMap<SortKey, (Vec<Value>, Polynomial)> = BTreeMap::new();
+        for t in &self.tuples {
+            let vals: Vec<Value> = idx.iter().map(|&i| t.values[i].clone()).collect();
+            let key: SortKey = vals.iter().map(|v| v.key()).collect();
+            match merged.get_mut(&key) {
+                Some((_, prov)) => {
+                    *prov = prov.plus(&t.provenance);
+                }
+                None => {
+                    merged.insert(key, (vals, t.provenance.clone()));
+                }
+            }
+        }
+        Relation {
+            name: format!("π({})", self.name),
+            columns: cols.iter().map(|s| s.to_string()).collect(),
+            tuples: merged
+                .into_values()
+                .map(|(values, provenance)| AnnotatedTuple { values, provenance })
+                .collect(),
+        }
+    }
+
+    /// ⋈: natural join on the shared column names; annotations multiply.
+    pub fn join(&self, other: &Relation) -> Relation {
+        let shared: Vec<String> = self
+            .columns
+            .iter()
+            .filter(|c| other.columns.contains(c))
+            .cloned()
+            .collect();
+        assert!(!shared.is_empty(), "natural join requires shared columns");
+        let self_idx: Vec<usize> = shared.iter().map(|c| self.col(c)).collect();
+        let other_idx: Vec<usize> = shared.iter().map(|c| other.col(c)).collect();
+        let other_extra: Vec<usize> = (0..other.columns.len())
+            .filter(|&i| !shared.contains(&other.columns[i]))
+            .collect();
+
+        let mut columns = self.columns.clone();
+        for &i in &other_extra {
+            columns.push(other.columns[i].clone());
+        }
+        let mut tuples = Vec::new();
+        for a in &self.tuples {
+            for b in &other.tuples {
+                let matches = self_idx
+                    .iter()
+                    .zip(&other_idx)
+                    .all(|(&ia, &ib)| a.values[ia] == b.values[ib]);
+                if matches {
+                    let mut values = a.values.clone();
+                    for &i in &other_extra {
+                        values.push(b.values[i].clone());
+                    }
+                    tuples.push(AnnotatedTuple {
+                        values,
+                        provenance: a.provenance.times(&b.provenance),
+                    });
+                }
+            }
+        }
+        Relation { name: format!("({}⋈{})", self.name, other.name), columns, tuples }
+    }
+
+    /// ∪: same-schema union; annotations of identical rows add.
+    pub fn union(&self, other: &Relation) -> Relation {
+        assert_eq!(self.columns, other.columns, "union requires identical schemas");
+        let mut combined = self.clone();
+        combined.tuples.extend(other.tuples.iter().cloned());
+        // Merge duplicates through a projection onto all columns.
+        let cols: Vec<&str> = self.columns.iter().map(|s| s.as_str()).collect();
+        let mut merged = combined.project(&cols);
+        merged.name = format!("({}∪{})", self.name, other.name);
+        merged
+    }
+
+    /// γ: group by `keys`, aggregating `agg_col` with `agg`. The output
+    /// annotation of each group is the *sum* of the group's annotations
+    /// (its lineage); the aggregate value is computed over the group.
+    pub fn aggregate(&self, keys: &[&str], agg_col: Option<&str>, agg: Aggregate) -> Relation {
+        let key_idx: Vec<usize> = keys.iter().map(|c| self.col(c)).collect();
+        let agg_idx = agg_col.map(|c| self.col(c));
+        let mut groups: BTreeMap<SortKey, (Vec<Value>, Vec<f64>, Polynomial)> =
+            BTreeMap::new();
+        for t in &self.tuples {
+            let key_vals: Vec<Value> = key_idx.iter().map(|&i| t.values[i].clone()).collect();
+            let key: SortKey = key_vals.iter().map(|v| v.key()).collect();
+            let x = agg_idx.map(|i| t.values[i].as_f64()).unwrap_or(1.0);
+            match groups.get_mut(&key) {
+                Some((_, xs, prov)) => {
+                    xs.push(x);
+                    *prov = prov.plus(&t.provenance);
+                }
+                None => {
+                    groups.insert(key, (key_vals, vec![x], t.provenance.clone()));
+                }
+            }
+        }
+        let mut columns: Vec<String> = keys.iter().map(|s| s.to_string()).collect();
+        columns.push(agg.column_name(agg_col));
+        let tuples = groups
+            .into_values()
+            .map(|(mut values, xs, provenance)| {
+                values.push(Value::Float(agg.apply(&xs)));
+                AnnotatedTuple { values, provenance }
+            })
+            .collect();
+        Relation { name: format!("γ({})", self.name), columns, tuples }
+    }
+}
+
+/// Aggregate functions for γ.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Row count.
+    Count,
+    /// Sum of the aggregate column.
+    Sum,
+    /// Mean of the aggregate column.
+    Avg,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl Aggregate {
+    fn apply(&self, xs: &[f64]) -> f64 {
+        match self {
+            Aggregate::Count => xs.len() as f64,
+            Aggregate::Sum => xs.iter().sum(),
+            Aggregate::Avg => xs.iter().sum::<f64>() / xs.len() as f64,
+            Aggregate::Min => xs.iter().cloned().fold(f64::INFINITY, f64::min),
+            Aggregate::Max => xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    fn column_name(&self, col: Option<&str>) -> String {
+        let base = match self {
+            Aggregate::Count => "count",
+            Aggregate::Sum => "sum",
+            Aggregate::Avg => "avg",
+            Aggregate::Min => "min",
+            Aggregate::Max => "max",
+        };
+        match col {
+            Some(c) => format!("{base}({c})"),
+            None => format!("{base}(*)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Relation, Relation) {
+        let (orders, next) = Relation::base(
+            "orders",
+            &["cust", "item", "qty"],
+            vec![
+                vec![Value::Str("ann".into()), Value::Str("disk".into()), Value::Int(2)],
+                vec![Value::Str("bob".into()), Value::Str("disk".into()), Value::Int(1)],
+                vec![Value::Str("ann".into()), Value::Str("cpu".into()), Value::Int(3)],
+            ],
+            0,
+        );
+        let (customers, _) = Relation::base(
+            "customers",
+            &["cust", "city"],
+            vec![
+                vec![Value::Str("ann".into()), Value::Str("paris".into())],
+                vec![Value::Str("bob".into()), Value::Str("rome".into())],
+            ],
+            next,
+        );
+        (orders, customers)
+    }
+
+    #[test]
+    fn select_preserves_annotations() {
+        let (orders, _) = sample();
+        let big = orders.select(|v| v[2].as_f64() >= 2.0);
+        assert_eq!(big.len(), 2);
+        for t in &big.tuples {
+            assert_eq!(t.provenance.n_derivations(), 1);
+        }
+    }
+
+    #[test]
+    fn project_merges_duplicates_with_plus() {
+        let (orders, _) = sample();
+        let custs = orders.project(&["cust"]);
+        assert_eq!(custs.len(), 2);
+        let ann = custs
+            .tuples
+            .iter()
+            .find(|t| t.values[0] == Value::Str("ann".into()))
+            .unwrap();
+        // Ann appears in two base tuples: two derivations.
+        assert_eq!(ann.provenance.n_derivations(), 2);
+        assert_eq!(ann.provenance.lineage(), vec![0, 2]);
+    }
+
+    #[test]
+    fn join_multiplies_annotations() {
+        let (orders, customers) = sample();
+        let joined = orders.join(&customers);
+        assert_eq!(joined.len(), 3);
+        assert_eq!(joined.columns, vec!["cust", "item", "qty", "city"]);
+        for t in &joined.tuples {
+            // Each joined tuple uses exactly one order and one customer.
+            assert_eq!(t.provenance.lineage().len(), 2);
+        }
+    }
+
+    #[test]
+    fn aggregate_collects_group_lineage() {
+        let (orders, _) = sample();
+        let per_cust = orders.aggregate(&["cust"], Some("qty"), Aggregate::Sum);
+        assert_eq!(per_cust.len(), 2);
+        let ann = per_cust
+            .tuples
+            .iter()
+            .find(|t| t.values[0] == Value::Str("ann".into()))
+            .unwrap();
+        assert_eq!(ann.values[1], Value::Float(5.0));
+        assert_eq!(ann.provenance.lineage(), vec![0, 2]);
+        let count = orders.aggregate(&[], None, Aggregate::Count);
+        assert_eq!(count.tuples[0].values[0], Value::Float(3.0));
+        assert_eq!(count.tuples[0].provenance.lineage(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn union_merges_same_rows() {
+        let (orders, _) = sample();
+        let a = orders.select(|v| v[0] == Value::Str("ann".into()));
+        let b = orders.select(|v| v[1] == Value::Str("disk".into()));
+        let u = a.union(&b);
+        // ann-disk appears on both sides with the *same* base derivation:
+        // annotations add to 2·x₀ (one monomial, counting multiplicity 2).
+        assert_eq!(u.len(), 3);
+        let annd = u
+            .tuples
+            .iter()
+            .find(|t| t.values[0] == Value::Str("ann".into()) && t.values[1] == Value::Str("disk".into()))
+            .unwrap();
+        assert_eq!(annd.provenance.count(&|_| 1), 2);
+        assert_eq!(annd.provenance.lineage(), vec![0]);
+    }
+
+    #[test]
+    fn provenance_answers_deletion_questions() {
+        // "Would ann still appear in the customer list if base tuple 0 were
+        // deleted?" — yes, through tuple 2.
+        let (orders, _) = sample();
+        let custs = orders.project(&["cust"]);
+        let ann = custs
+            .tuples
+            .iter()
+            .find(|t| t.values[0] == Value::Str("ann".into()))
+            .unwrap();
+        assert!(ann.provenance.present(&|v| v != 0));
+        assert!(!ann.provenance.present(&|v| v != 0 && v != 2));
+    }
+}

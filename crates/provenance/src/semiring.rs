@@ -1,0 +1,283 @@
+//! Provenance semirings (Green, Karvounarakis & Tannen; surveyed for XAI
+//! use in §3 "Provenance-Based Explanations" \[29\]).
+//!
+//! Every derived tuple carries a **provenance polynomial** over base-tuple
+//! variables: `+` records alternative derivations (union, projection
+//! merges), `×` records joint use (joins). Evaluating the polynomial in
+//! different semirings answers different questions — set presence
+//! (Boolean), multiplicity (counting), minimal witnesses
+//! (why-provenance), cheapest derivation (tropical) — without re-running
+//! the query.
+
+use std::collections::BTreeMap;
+
+/// A base-tuple variable id.
+pub type VarId = usize;
+
+/// A provenance polynomial in `N[X]`: a sum of monomials with natural
+/// coefficients; each monomial maps variables to exponents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Polynomial {
+    /// monomial (sorted var→exponent map) → coefficient
+    monomials: BTreeMap<Vec<(VarId, u32)>, u64>,
+}
+
+impl Polynomial {
+    /// The additive identity (no derivation).
+    pub fn zero() -> Self {
+        Self { monomials: BTreeMap::new() }
+    }
+
+    /// The multiplicative identity (derived from nothing).
+    pub fn one() -> Self {
+        let mut m = BTreeMap::new();
+        m.insert(Vec::new(), 1);
+        Self { monomials: m }
+    }
+
+    /// A single base-tuple variable.
+    pub fn var(v: VarId) -> Self {
+        let mut m = BTreeMap::new();
+        m.insert(vec![(v, 1)], 1);
+        Self { monomials: m }
+    }
+
+    /// True when the polynomial is 0.
+    pub fn is_zero(&self) -> bool {
+        self.monomials.is_empty()
+    }
+
+    /// Sum (alternative derivations).
+    pub fn plus(&self, other: &Polynomial) -> Polynomial {
+        let mut m = self.monomials.clone();
+        for (mono, coef) in &other.monomials {
+            *m.entry(mono.clone()).or_insert(0) += coef;
+        }
+        Polynomial { monomials: m }
+    }
+
+    /// Product (joint derivation).
+    pub fn times(&self, other: &Polynomial) -> Polynomial {
+        let mut m: BTreeMap<Vec<(VarId, u32)>, u64> = BTreeMap::new();
+        for (ma, ca) in &self.monomials {
+            for (mb, cb) in &other.monomials {
+                let mut vars: BTreeMap<VarId, u32> = ma.iter().copied().collect();
+                for &(v, e) in mb {
+                    *vars.entry(v).or_insert(0) += e;
+                }
+                let key: Vec<(VarId, u32)> = vars.into_iter().collect();
+                *m.entry(key).or_insert(0) += ca * cb;
+            }
+        }
+        Polynomial { monomials: m }
+    }
+
+    /// All variables mentioned (the tuple's lineage).
+    pub fn lineage(&self) -> Vec<VarId> {
+        let mut vars: Vec<VarId> = self
+            .monomials
+            .keys()
+            .flat_map(|m| m.iter().map(|&(v, _)| v))
+            .collect();
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+
+    /// Why-provenance: the set of witness variable-sets (one per monomial,
+    /// exponents and coefficients dropped).
+    pub fn why(&self) -> Vec<Vec<VarId>> {
+        let mut out: Vec<Vec<VarId>> = self
+            .monomials
+            .keys()
+            .map(|m| m.iter().map(|&(v, _)| v).collect())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Evaluates in an arbitrary commutative semiring, mapping each
+    /// variable through `assign`.
+    pub fn eval<S: Semiring>(&self, assign: &dyn Fn(VarId) -> S::Elem) -> S::Elem {
+        let mut acc = S::zero();
+        for (mono, &coef) in &self.monomials {
+            let mut term = S::one();
+            for &(v, e) in mono {
+                for _ in 0..e {
+                    term = S::mul(&term, &assign(v));
+                }
+            }
+            // coef-fold: term + term + … (coef times)
+            let mut repeated = S::zero();
+            for _ in 0..coef {
+                repeated = S::add(&repeated, &term);
+            }
+            acc = S::add(&acc, &repeated);
+        }
+        acc
+    }
+
+    /// Boolean evaluation: is the tuple present given the set of available
+    /// base tuples?
+    pub fn present(&self, available: &dyn Fn(VarId) -> bool) -> bool {
+        self.eval::<BoolSemiring>(&|v| available(v))
+    }
+
+    /// Counting evaluation: derivation multiplicity given per-tuple
+    /// multiplicities.
+    pub fn count(&self, multiplicity: &dyn Fn(VarId) -> u64) -> u64 {
+        self.eval::<CountingSemiring>(&|v| multiplicity(v))
+    }
+
+    /// Tropical evaluation: cheapest derivation cost given per-tuple costs.
+    pub fn min_cost(&self, cost: &dyn Fn(VarId) -> f64) -> f64 {
+        self.eval::<TropicalSemiring>(&|v| cost(v))
+    }
+
+    /// Number of monomials (distinct derivations).
+    pub fn n_derivations(&self) -> usize {
+        self.monomials.len()
+    }
+}
+
+/// A commutative semiring.
+pub trait Semiring {
+    /// Element type.
+    type Elem: Clone;
+    /// Additive identity.
+    fn zero() -> Self::Elem;
+    /// Multiplicative identity.
+    fn one() -> Self::Elem;
+    /// Addition.
+    fn add(a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+    /// Multiplication.
+    fn mul(a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+}
+
+/// (bool, ∨, ∧): set semantics.
+pub struct BoolSemiring;
+impl Semiring for BoolSemiring {
+    type Elem = bool;
+    fn zero() -> bool {
+        false
+    }
+    fn one() -> bool {
+        true
+    }
+    fn add(a: &bool, b: &bool) -> bool {
+        *a || *b
+    }
+    fn mul(a: &bool, b: &bool) -> bool {
+        *a && *b
+    }
+}
+
+/// (ℕ, +, ×): bag semantics / derivation counting.
+pub struct CountingSemiring;
+impl Semiring for CountingSemiring {
+    type Elem = u64;
+    fn zero() -> u64 {
+        0
+    }
+    fn one() -> u64 {
+        1
+    }
+    fn add(a: &u64, b: &u64) -> u64 {
+        a + b
+    }
+    fn mul(a: &u64, b: &u64) -> u64 {
+        a * b
+    }
+}
+
+/// (ℝ∪{∞}, min, +): cheapest derivation.
+pub struct TropicalSemiring;
+impl Semiring for TropicalSemiring {
+    type Elem = f64;
+    fn zero() -> f64 {
+        f64::INFINITY
+    }
+    fn one() -> f64 {
+        0.0
+    }
+    fn add(a: &f64, b: &f64) -> f64 {
+        a.min(*b)
+    }
+    fn mul(a: &f64, b: &f64) -> f64 {
+        a + b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polynomial_algebra() {
+        let x = Polynomial::var(0);
+        let y = Polynomial::var(1);
+        // (x + y) · x = x² + xy
+        let p = x.plus(&y).times(&x);
+        assert_eq!(p.n_derivations(), 2);
+        assert_eq!(p.lineage(), vec![0, 1]);
+        // Under counting with x=2, y=3: 2² + 2·3 = 10.
+        let count = p.count(&|v| if v == 0 { 2 } else { 3 });
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn zero_and_one_laws() {
+        let x = Polynomial::var(7);
+        assert_eq!(x.plus(&Polynomial::zero()), x);
+        assert_eq!(x.times(&Polynomial::one()), x);
+        assert!(x.times(&Polynomial::zero()).is_zero());
+    }
+
+    #[test]
+    fn boolean_presence() {
+        // p = x·y + z : present iff (x and y) or z.
+        let p = Polynomial::var(0)
+            .times(&Polynomial::var(1))
+            .plus(&Polynomial::var(2));
+        assert!(p.present(&|v| v == 2));
+        assert!(p.present(&|v| v == 0 || v == 1));
+        assert!(!p.present(&|v| v == 0));
+        assert!(!p.present(&|_| false));
+    }
+
+    #[test]
+    fn why_provenance_lists_witnesses() {
+        let p = Polynomial::var(0)
+            .times(&Polynomial::var(1))
+            .plus(&Polynomial::var(2));
+        assert_eq!(p.why(), vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn tropical_picks_cheapest_derivation() {
+        // Two derivations: {0,1} costing 5, {2} costing 3.
+        let p = Polynomial::var(0)
+            .times(&Polynomial::var(1))
+            .plus(&Polynomial::var(2));
+        let cost = |v: VarId| match v {
+            0 => 2.0,
+            1 => 3.0,
+            _ => 3.0,
+        };
+        assert_eq!(p.min_cost(&cost), 3.0);
+    }
+
+    #[test]
+    fn eval_respects_coefficients_and_exponents() {
+        // p = 2·x (via x + x)
+        let x = Polynomial::var(0);
+        let p = x.plus(&x);
+        assert_eq!(p.count(&|_| 5), 10);
+        // q = x² (via x·x)
+        let q = x.times(&x);
+        assert_eq!(q.count(&|_| 3), 9);
+        // Bool semiring collapses both.
+        assert!(p.present(&|_| true) && q.present(&|_| true));
+    }
+}

@@ -1,0 +1,213 @@
+//! Why-not provenance: explaining *missing* query answers
+//! (Meliou et al., "WHY SO? or WHY NO?", §3 \[49\]).
+//!
+//! Why-provenance explains why a tuple IS in the answer; **why-not**
+//! explains why an expected tuple ISN'T. For select–project queries we
+//! implement the instance-based account: for every base tuple that
+//! *could* have produced the missing answer (it projects onto it), list
+//! the selection predicates it fails, and produce the minimal
+//! attribute-level repair that would let it through — a counterfactual
+//! over the database rather than the model, closing the loop between the
+//! §2.1.4 and §3 worlds.
+
+use crate::relation::{Relation, Value};
+use xai_core::{Condition, Op};
+
+/// Why a candidate base tuple fails to produce the missing answer.
+#[derive(Clone, Debug)]
+pub struct WhyNotWitness {
+    /// Index of the base tuple in the relation.
+    pub tuple_index: usize,
+    /// The selection conditions this tuple violates.
+    pub failed_conditions: Vec<Condition>,
+    /// Minimal repair: `(column index, current value, required value)`
+    /// per failed numeric/categorical condition.
+    pub repairs: Vec<(usize, f64, f64)>,
+}
+
+/// The full why-not explanation for a missing projected answer.
+#[derive(Clone, Debug)]
+pub struct WhyNotExplanation {
+    /// Candidate tuples that project onto the missing answer, with their
+    /// failure accounts, ordered by fewest failed conditions.
+    pub witnesses: Vec<WhyNotWitness>,
+    /// True when *no* base tuple projects onto the answer at all (the
+    /// answer is unsupported — it would need an insertion, not a repair).
+    pub unsupported: bool,
+}
+
+/// Explains why `missing` (values of `projection` columns) is absent from
+/// `σ_conditions(R)` projected onto `projection`.
+pub fn why_not(
+    relation: &Relation,
+    conditions: &[Condition],
+    projection: &[&str],
+    missing: &[Value],
+) -> WhyNotExplanation {
+    assert_eq!(projection.len(), missing.len(), "projection/missing arity mismatch");
+    let proj_idx: Vec<usize> = projection.iter().map(|c| relation.col(c)).collect();
+
+    let mut witnesses = Vec::new();
+    for (t_idx, tuple) in relation.tuples.iter().enumerate() {
+        // Does this tuple project onto the missing answer?
+        let projects = proj_idx
+            .iter()
+            .zip(missing)
+            .all(|(&c, m)| tuple.values[c] == *m);
+        if !projects {
+            continue;
+        }
+        let row: Vec<f64> = tuple
+            .values
+            .iter()
+            .map(|v| match v {
+                Value::Str(_) => f64::NAN, // string columns handled via Eq only
+                other => other.as_f64(),
+            })
+            .collect();
+        let failed: Vec<Condition> = conditions
+            .iter()
+            .filter(|c| !condition_holds(c, &row, &tuple.values))
+            .cloned()
+            .collect();
+        let repairs = failed
+            .iter()
+            .map(|c| {
+                let current = if row[c.feature].is_nan() { f64::NAN } else { row[c.feature] };
+                let required = match c.op {
+                    Op::Le => c.value,
+                    Op::Gt => c.value + 1e-9,
+                    Op::Eq => c.value,
+                };
+                (c.feature, current, required)
+            })
+            .collect();
+        witnesses.push(WhyNotWitness { tuple_index: t_idx, failed_conditions: failed, repairs });
+    }
+    witnesses.sort_by_key(|w| w.failed_conditions.len());
+    let unsupported = witnesses.is_empty();
+    WhyNotExplanation { witnesses, unsupported }
+}
+
+fn condition_holds(c: &Condition, row: &[f64], values: &[Value]) -> bool {
+    match (&values[c.feature], c.op) {
+        (Value::Str(s), Op::Eq) => {
+            // String equality encoded as category code is not supported in
+            // this simplified path; compare rendered value.
+            s == &c.value.to_string()
+        }
+        _ => {
+            let v = row[c.feature];
+            match c.op {
+                Op::Le => v <= c.value,
+                Op::Gt => v > c.value,
+                Op::Eq => (v - c.value).abs() < 1e-9,
+            }
+        }
+    }
+}
+
+/// Applies a witness's repairs to its tuple and checks the answer now
+/// appears — the verification step of the explanation.
+pub fn verify_repair(
+    relation: &Relation,
+    conditions: &[Condition],
+    witness: &WhyNotWitness,
+) -> bool {
+    let tuple = &relation.tuples[witness.tuple_index];
+    let mut row: Vec<f64> = tuple
+        .values
+        .iter()
+        .map(|v| match v {
+            Value::Str(_) => f64::NAN,
+            other => other.as_f64(),
+        })
+        .collect();
+    for &(col, _, required) in &witness.repairs {
+        row[col] = required;
+    }
+    conditions.iter().all(|c| {
+        if row[c.feature].is_nan() {
+            condition_holds(c, &row, &tuple.values)
+        } else {
+            let v = row[c.feature];
+            match c.op {
+                Op::Le => v <= c.value,
+                Op::Gt => v > c.value,
+                Op::Eq => (v - c.value).abs() < 1e-9,
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn employees() -> Relation {
+        let (r, _) = Relation::base(
+            "employees",
+            &["name", "dept", "salary", "years"],
+            vec![
+                vec![Value::Str("ann".into()), Value::Int(1), Value::Float(90.0), Value::Int(6)],
+                vec![Value::Str("bob".into()), Value::Int(1), Value::Float(45.0), Value::Int(2)],
+                vec![Value::Str("cat".into()), Value::Int(2), Value::Float(80.0), Value::Int(9)],
+                vec![Value::Str("bob".into()), Value::Int(2), Value::Float(70.0), Value::Int(1)],
+            ],
+            0,
+        );
+        r
+    }
+
+    fn senior_high_earners() -> Vec<Condition> {
+        vec![
+            Condition { feature: 2, feature_name: "salary".into(), op: Op::Gt, value: 60.0 },
+            Condition { feature: 3, feature_name: "years".into(), op: Op::Gt, value: 5.0 },
+        ]
+    }
+
+    #[test]
+    fn explains_why_bob_is_missing() {
+        // Q: names of employees with salary > 60 and years > 5.
+        // "Why is bob not an answer?"
+        let r = employees();
+        let exp = why_not(&r, &senior_high_earners(), &["name"], &[Value::Str("bob".into())]);
+        assert!(!exp.unsupported);
+        assert_eq!(exp.witnesses.len(), 2, "both bob tuples are candidates");
+        // The closest witness (tuple 3: salary 70 > 60 ok, years 1 ≤ 5
+        // fails one condition) comes first.
+        let best = &exp.witnesses[0];
+        assert_eq!(best.tuple_index, 3);
+        assert_eq!(best.failed_conditions.len(), 1);
+        assert_eq!(best.failed_conditions[0].feature_name, "years");
+        // The other bob fails both conditions.
+        assert_eq!(exp.witnesses[1].failed_conditions.len(), 2);
+    }
+
+    #[test]
+    fn repairs_verify() {
+        let r = employees();
+        let conditions = senior_high_earners();
+        let exp = why_not(&r, &conditions, &["name"], &[Value::Str("bob".into())]);
+        for w in &exp.witnesses {
+            assert!(verify_repair(&r, &conditions, w), "repair for tuple {} must work", w.tuple_index);
+        }
+    }
+
+    #[test]
+    fn present_answers_have_zero_failure_witnesses() {
+        let r = employees();
+        let conditions = senior_high_earners();
+        // ann IS an answer: her witness fails nothing.
+        let exp = why_not(&r, &conditions, &["name"], &[Value::Str("ann".into())]);
+        assert_eq!(exp.witnesses[0].failed_conditions.len(), 0);
+    }
+
+    #[test]
+    fn unsupported_answers_are_flagged() {
+        let r = employees();
+        let exp = why_not(&r, &senior_high_earners(), &["name"], &[Value::Str("zoe".into())]);
+        assert!(exp.unsupported);
+        assert!(exp.witnesses.is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! Apriori frequent-itemset mining (Agrawal & Srikant, §2.2.1 \[3, 4\]).
+//!
+//! Level-wise candidate generation with the downward-closure pruning rule:
+//! every subset of a frequent itemset is frequent. Serves as the reference
+//! implementation that FP-Growth must agree with (experiment E21).
+
+use crate::itemset::Item;
+use std::collections::HashMap;
+
+/// A frequent itemset with its absolute support count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrequentItemset {
+    /// The items, sorted ascending.
+    pub items: Vec<Item>,
+    /// Number of transactions containing all of them.
+    pub support: usize,
+}
+
+/// Mines all itemsets with support ≥ `min_support` (absolute count).
+///
+/// Returns itemsets sorted by (length, items) for deterministic output.
+pub fn apriori(transactions: &[Vec<Item>], min_support: usize) -> Vec<FrequentItemset> {
+    assert!(min_support >= 1, "support threshold must be positive");
+    let mut results: Vec<FrequentItemset> = Vec::new();
+
+    // L1 (items deduplicated within each transaction).
+    let mut counts: HashMap<Item, usize> = HashMap::new();
+    for t in transactions {
+        let mut seen: Vec<Item> = t.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        for item in seen {
+            *counts.entry(item).or_insert(0) += 1;
+        }
+    }
+    let mut frequent: Vec<Vec<Item>> = counts
+        .iter()
+        .filter(|(_, &c)| c >= min_support)
+        .map(|(&i, _)| vec![i])
+        .collect();
+    frequent.sort();
+    for set in &frequent {
+        results.push(FrequentItemset { items: set.clone(), support: counts[&set[0]] });
+    }
+
+    // Pre-sort transactions for subset checks.
+    let sorted_txns: Vec<Vec<Item>> = transactions
+        .iter()
+        .map(|t| {
+            let mut s = t.clone();
+            s.sort_unstable();
+            s
+        })
+        .collect();
+
+    while !frequent.is_empty() {
+        // Candidate generation: join step (share all but the last item),
+        // then prune by downward closure.
+        let prev: std::collections::HashSet<&[Item]> =
+            frequent.iter().map(|v| v.as_slice()).collect();
+        let mut candidates: Vec<Vec<Item>> = Vec::new();
+        for i in 0..frequent.len() {
+            for j in i + 1..frequent.len() {
+                let a = &frequent[i];
+                let b = &frequent[j];
+                if a[..a.len() - 1] != b[..b.len() - 1] {
+                    continue;
+                }
+                let mut cand = a.clone();
+                cand.push(b[b.len() - 1]);
+                cand.sort_unstable();
+                // Prune: all (k-1)-subsets must be frequent.
+                let all_frequent = (0..cand.len()).all(|drop| {
+                    let mut sub = cand.clone();
+                    sub.remove(drop);
+                    prev.contains(sub.as_slice())
+                });
+                if all_frequent {
+                    candidates.push(cand);
+                }
+            }
+        }
+        candidates.sort();
+        candidates.dedup();
+        if candidates.is_empty() {
+            break;
+        }
+        // Count support.
+        let mut next = Vec::new();
+        for cand in candidates {
+            let support = sorted_txns
+                .iter()
+                .filter(|t| is_subset(&cand, t))
+                .count();
+            if support >= min_support {
+                results.push(FrequentItemset { items: cand.clone(), support });
+                next.push(cand);
+            }
+        }
+        frequent = next;
+    }
+    results.sort_by(|a, b| (a.items.len(), &a.items).cmp(&(b.items.len(), &b.items)));
+    results
+}
+
+/// Subset test on two sorted slices.
+pub fn is_subset(needle: &[Item], haystack: &[Item]) -> bool {
+    let mut h = haystack.iter();
+    'outer: for n in needle {
+        for x in h.by_ref() {
+            match x.cmp(n) {
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+                std::cmp::Ordering::Less => {}
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn market() -> Vec<Vec<Item>> {
+        // Classic basket example: 0=bread 1=milk 2=beer 3=diapers 4=eggs
+        vec![
+            vec![0, 1],
+            vec![0, 3, 2, 4],
+            vec![1, 3, 2],
+            vec![0, 1, 3, 2],
+            vec![0, 1, 3],
+        ]
+    }
+
+    #[test]
+    fn known_supports() {
+        let fis = apriori(&market(), 3);
+        let find = |items: &[Item]| {
+            fis.iter()
+                .find(|f| f.items == items)
+                .map(|f| f.support)
+        };
+        assert_eq!(find(&[0]), Some(4)); // bread
+        assert_eq!(find(&[3]), Some(4)); // diapers
+        assert_eq!(find(&[2, 3]), Some(3)); // beer+diapers — the classic pair
+        assert_eq!(find(&[0, 1]), Some(3));
+        assert_eq!(find(&[2]), Some(3));
+        assert_eq!(find(&[4]), None); // eggs below threshold
+    }
+
+    #[test]
+    fn downward_closure_holds() {
+        let fis = apriori(&market(), 2);
+        let all: std::collections::HashSet<&[Item]> =
+            fis.iter().map(|f| f.items.as_slice()).collect();
+        for f in &fis {
+            if f.items.len() >= 2 {
+                for drop in 0..f.items.len() {
+                    let mut sub = f.items.clone();
+                    sub.remove(drop);
+                    assert!(all.contains(sub.as_slice()), "subset {sub:?} of {:?} missing", f.items);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn supports_are_monotone() {
+        let fis = apriori(&market(), 1);
+        let support_of = |items: &[Item]| fis.iter().find(|f| f.items == items).unwrap().support;
+        assert!(support_of(&[2, 3]) <= support_of(&[2]));
+        assert!(support_of(&[2, 3]) <= support_of(&[3]));
+        assert!(support_of(&[0, 1, 3]) <= support_of(&[0, 1]));
+    }
+
+    #[test]
+    fn empty_and_threshold_edge_cases() {
+        assert!(apriori(&[], 1).is_empty());
+        let fis = apriori(&market(), 6);
+        assert!(fis.is_empty(), "nothing clears support 6 in 5 transactions");
+    }
+
+    #[test]
+    fn subset_helper() {
+        assert!(is_subset(&[1, 3], &[0, 1, 2, 3]));
+        assert!(!is_subset(&[1, 5], &[0, 1, 2, 3]));
+        assert!(is_subset(&[], &[1]));
+        assert!(!is_subset(&[1], &[]));
+    }
+}

@@ -1,0 +1,140 @@
+//! Association rules from frequent itemsets (§2.2.1).
+//!
+//! `antecedent ⇒ consequent` rules scored by support, confidence and lift —
+//! the classical data-management vocabulary the tutorial connects to
+//! rule-based explanations.
+
+use crate::apriori::FrequentItemset;
+use crate::itemset::Item;
+use std::collections::HashMap;
+
+/// An association rule with its quality measures.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AssociationRule {
+    /// Left-hand side items (sorted).
+    pub antecedent: Vec<Item>,
+    /// Right-hand side items (sorted, disjoint from the antecedent).
+    pub consequent: Vec<Item>,
+    /// Support of the full itemset as a fraction of transactions.
+    pub support: f64,
+    /// `P(consequent | antecedent)`.
+    pub confidence: f64,
+    /// `confidence / P(consequent)`; > 1 means positive association.
+    pub lift: f64,
+}
+
+/// Derives all rules with confidence ≥ `min_confidence` from mined
+/// frequent itemsets.
+///
+/// `n_transactions` is the database size the itemsets were mined from.
+pub fn association_rules(
+    itemsets: &[FrequentItemset],
+    n_transactions: usize,
+    min_confidence: f64,
+) -> Vec<AssociationRule> {
+    assert!(n_transactions > 0, "empty database");
+    assert!((0.0..=1.0).contains(&min_confidence));
+    let support_of: HashMap<&[Item], usize> =
+        itemsets.iter().map(|f| (f.items.as_slice(), f.support)).collect();
+    let n = n_transactions as f64;
+    let mut rules = Vec::new();
+    for fis in itemsets.iter().filter(|f| f.items.len() >= 2) {
+        // Every non-empty proper subset as antecedent.
+        let k = fis.items.len();
+        for mask in 1..(1usize << k) - 1 {
+            let antecedent: Vec<Item> = (0..k)
+                .filter(|b| mask & (1 << b) != 0)
+                .map(|b| fis.items[b])
+                .collect();
+            let consequent: Vec<Item> = (0..k)
+                .filter(|b| mask & (1 << b) == 0)
+                .map(|b| fis.items[b])
+                .collect();
+            let Some(&ante_support) = support_of.get(antecedent.as_slice()) else {
+                continue; // antecedent below threshold ⇒ cannot certify confidence
+            };
+            let confidence = fis.support as f64 / ante_support as f64;
+            if confidence + 1e-12 < min_confidence {
+                continue;
+            }
+            let Some(&cons_support) = support_of.get(consequent.as_slice()) else {
+                continue;
+            };
+            let lift = confidence / (cons_support as f64 / n);
+            rules.push(AssociationRule {
+                antecedent,
+                consequent,
+                support: fis.support as f64 / n,
+                confidence,
+                lift,
+            });
+        }
+    }
+    rules.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .expect("NaN confidence")
+            .then(b.lift.partial_cmp(&a.lift).expect("NaN lift"))
+            .then(a.antecedent.cmp(&b.antecedent))
+    });
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::apriori;
+
+    fn market() -> Vec<Vec<Item>> {
+        vec![
+            vec![0, 1],
+            vec![0, 3, 2, 4],
+            vec![1, 3, 2],
+            vec![0, 1, 3, 2],
+            vec![0, 1, 3],
+        ]
+    }
+
+    #[test]
+    fn beer_diapers_rule() {
+        let fis = apriori(&market(), 2);
+        let rules = association_rules(&fis, 5, 0.9);
+        // beer(2) ⇒ diapers(3): support({2,3}) = 3, support({2}) = 3 ⇒ conf 1.0
+        let rule = rules
+            .iter()
+            .find(|r| r.antecedent == vec![2] && r.consequent == vec![3])
+            .expect("beer ⇒ diapers should be found");
+        assert!((rule.confidence - 1.0).abs() < 1e-12);
+        assert!((rule.support - 0.6).abs() < 1e-12);
+        // lift = 1.0 / (4/5) = 1.25
+        assert!((rule.lift - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_threshold_filters() {
+        let fis = apriori(&market(), 2);
+        let strict = association_rules(&fis, 5, 0.99);
+        let loose = association_rules(&fis, 5, 0.5);
+        assert!(strict.len() < loose.len());
+        assert!(strict.iter().all(|r| r.confidence >= 0.99 - 1e-12));
+    }
+
+    #[test]
+    fn antecedent_and_consequent_disjoint_and_sorted() {
+        let fis = apriori(&market(), 2);
+        for r in association_rules(&fis, 5, 0.5) {
+            assert!(r.antecedent.windows(2).all(|w| w[0] < w[1]));
+            assert!(r.consequent.windows(2).all(|w| w[0] < w[1]));
+            assert!(!r.antecedent.iter().any(|i| r.consequent.contains(i)));
+        }
+    }
+
+    #[test]
+    fn rules_sorted_by_confidence() {
+        let fis = apriori(&market(), 2);
+        let rules = association_rules(&fis, 5, 0.4);
+        for w in rules.windows(2) {
+            assert!(w[0].confidence >= w[1].confidence - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! FP-Growth frequent-itemset mining (Han, Pei & Yin, §2.2.1 \[27\]).
+//!
+//! Mines the same itemsets as Apriori without candidate generation: the
+//! database is compressed into an FP-tree (prefix tree ordered by item
+//! frequency) and mined recursively over conditional pattern bases.
+//! Experiment E21 checks output equality with Apriori and measures the
+//! runtime gap.
+
+use crate::apriori::FrequentItemset;
+use crate::itemset::Item;
+use std::collections::HashMap;
+
+#[derive(Debug)]
+struct FpNode {
+    item: Item,
+    count: usize,
+    parent: usize,
+    children: HashMap<Item, usize>,
+}
+
+struct FpTree {
+    nodes: Vec<FpNode>,
+    /// item → node ids holding that item.
+    header: HashMap<Item, Vec<usize>>,
+}
+
+impl FpTree {
+    fn new() -> Self {
+        let root = FpNode { item: usize::MAX, count: 0, parent: usize::MAX, children: HashMap::new() };
+        Self { nodes: vec![root], header: HashMap::new() }
+    }
+
+    fn insert(&mut self, path: &[Item], count: usize) {
+        let mut cur = 0usize;
+        for &item in path {
+            let next = match self.nodes[cur].children.get(&item) {
+                Some(&id) => {
+                    self.nodes[id].count += count;
+                    id
+                }
+                None => {
+                    let id = self.nodes.len();
+                    self.nodes.push(FpNode {
+                        item,
+                        count,
+                        parent: cur,
+                        children: HashMap::new(),
+                    });
+                    self.nodes[cur].children.insert(item, id);
+                    self.header.entry(item).or_default().push(id);
+                    id
+                }
+            };
+            cur = next;
+        }
+    }
+
+    /// Path from a node's parent up to the root (excluding the root).
+    fn prefix_path(&self, mut id: usize) -> Vec<Item> {
+        let mut path = Vec::new();
+        id = self.nodes[id].parent;
+        while id != usize::MAX && self.nodes[id].item != usize::MAX {
+            path.push(self.nodes[id].item);
+            id = self.nodes[id].parent;
+        }
+        path.reverse();
+        path
+    }
+}
+
+fn build_tree(weighted_txns: &[(Vec<Item>, usize)], min_support: usize) -> (FpTree, Vec<Item>) {
+    // Count item frequencies (items deduplicated within each transaction,
+    // matching Apriori's set semantics).
+    let mut counts: HashMap<Item, usize> = HashMap::new();
+    for (t, c) in weighted_txns {
+        let mut seen = t.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        for item in seen {
+            *counts.entry(item).or_insert(0) += c;
+        }
+    }
+    // Frequent items ordered by (count desc, item asc) for determinism.
+    let mut order: Vec<Item> = counts
+        .iter()
+        .filter(|(_, &c)| c >= min_support)
+        .map(|(&i, _)| i)
+        .collect();
+    order.sort_by(|&a, &b| counts[&b].cmp(&counts[&a]).then(a.cmp(&b)));
+    let rank: HashMap<Item, usize> = order.iter().enumerate().map(|(r, &i)| (i, r)).collect();
+
+    let mut tree = FpTree::new();
+    for (t, c) in weighted_txns {
+        let mut path: Vec<Item> = t.iter().copied().filter(|i| rank.contains_key(i)).collect();
+        path.sort_by_key(|i| rank[i]);
+        path.dedup();
+        if !path.is_empty() {
+            tree.insert(&path, *c);
+        }
+    }
+    (tree, order)
+}
+
+fn mine(
+    weighted_txns: &[(Vec<Item>, usize)],
+    min_support: usize,
+    suffix: &[Item],
+    out: &mut Vec<FrequentItemset>,
+) {
+    let (tree, order) = build_tree(weighted_txns, min_support);
+    // Mine items least-frequent first (reverse order) per the algorithm.
+    for &item in order.iter().rev() {
+        let support: usize = tree.header[&item].iter().map(|&id| tree.nodes[id].count).sum();
+        let mut items = suffix.to_vec();
+        items.push(item);
+        items.sort_unstable();
+        out.push(FrequentItemset { items: items.clone(), support });
+        // Conditional pattern base for this item.
+        let cond: Vec<(Vec<Item>, usize)> = tree.header[&item]
+            .iter()
+            .map(|&id| (tree.prefix_path(id), tree.nodes[id].count))
+            .filter(|(p, _)| !p.is_empty())
+            .collect();
+        if !cond.is_empty() {
+            let mut new_suffix = suffix.to_vec();
+            new_suffix.push(item);
+            mine(&cond, min_support, &new_suffix, out);
+        }
+    }
+}
+
+/// Mines all itemsets with support ≥ `min_support`; output is identical to
+/// [`crate::apriori::apriori`] (same sets, same supports, same order).
+pub fn fp_growth(transactions: &[Vec<Item>], min_support: usize) -> Vec<FrequentItemset> {
+    assert!(min_support >= 1, "support threshold must be positive");
+    let weighted: Vec<(Vec<Item>, usize)> = transactions.iter().map(|t| (t.clone(), 1)).collect();
+    let mut out = Vec::new();
+    mine(&weighted, min_support, &[], &mut out);
+    out.sort_by(|a, b| (a.items.len(), &a.items).cmp(&(b.items.len(), &b.items)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::apriori;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn market() -> Vec<Vec<Item>> {
+        vec![
+            vec![0, 1],
+            vec![0, 3, 2, 4],
+            vec![1, 3, 2],
+            vec![0, 1, 3, 2],
+            vec![0, 1, 3],
+        ]
+    }
+
+    #[test]
+    fn agrees_with_apriori_on_market_data() {
+        for min_support in [1, 2, 3, 4] {
+            let a = apriori(&market(), min_support);
+            let f = fp_growth(&market(), min_support);
+            assert_eq!(a, f, "divergence at min_support {min_support}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_apriori_on_random_databases() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for round in 0..10 {
+            let n_items = 8;
+            let txns: Vec<Vec<Item>> = (0..40)
+                .map(|_| {
+                    (0..n_items)
+                        .filter(|_| rng.gen::<f64>() < 0.35)
+                        .collect::<Vec<Item>>()
+                })
+                .collect();
+            for min_support in [2, 5, 10] {
+                let a = apriori(&txns, min_support);
+                let f = fp_growth(&txns, min_support);
+                assert_eq!(a, f, "divergence in round {round} at support {min_support}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_items_in_transaction_counted_once() {
+        let txns = vec![vec![1, 1, 2], vec![1, 2], vec![2]];
+        let f = fp_growth(&txns, 2);
+        let one = f.iter().find(|s| s.items == vec![1]).unwrap();
+        assert_eq!(one.support, 2);
+    }
+
+    #[test]
+    fn empty_database() {
+        assert!(fp_growth(&[], 1).is_empty());
+    }
+}

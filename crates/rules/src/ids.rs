@@ -1,0 +1,252 @@
+//! Interpretable decision sets (Lakkaraju, Bach & Leskovec, §2.2 \[43\]).
+//!
+//! A decision set is an *unordered* collection of independent if-then
+//! rules plus a default class. Following the paper, candidate rules are
+//! mined from the data (frequent itemsets per class) and a subset is
+//! selected by greedily optimizing a joint objective balancing accuracy
+//! (precision, recall via coverage) against interpretability (few rules,
+//! short rules, little overlap) — the greedy works because the objective
+//! is monotone submodular up to the penalty terms.
+
+// Greedy selection scans matches/labels/coverage by row id.
+#![allow(clippy::needless_range_loop)]
+use crate::apriori::apriori;
+use crate::itemset::{Item, ItemVocabulary};
+use xai_core::RuleExplanation;
+use xai_data::Dataset;
+
+/// Configuration for [`DecisionSet::fit`].
+#[derive(Clone, Copy, Debug)]
+pub struct IdsConfig {
+    /// Minimum (fractional) support of candidate itemsets.
+    pub min_support: f64,
+    /// Maximum clauses per rule.
+    pub max_rule_length: usize,
+    /// Maximum rules in the set.
+    pub max_rules: usize,
+    /// Weight of the interpretability penalty (rule count + lengths).
+    pub lambda_size: f64,
+    /// Weight of the overlap penalty.
+    pub lambda_overlap: f64,
+}
+
+impl Default for IdsConfig {
+    fn default() -> Self {
+        Self {
+            min_support: 0.05,
+            max_rule_length: 3,
+            max_rules: 8,
+            lambda_size: 0.01,
+            lambda_overlap: 0.5,
+        }
+    }
+}
+
+/// One selected rule: items plus the class it predicts.
+#[derive(Clone, Debug)]
+struct SetRule {
+    items: Vec<Item>,
+    class: f64,
+    /// Row mask of training rows matched.
+    matches: Vec<bool>,
+    precision: f64,
+    coverage: f64,
+}
+
+/// A fitted interpretable decision set.
+#[derive(Clone, Debug)]
+pub struct DecisionSet {
+    rules: Vec<SetRule>,
+    vocab: ItemVocabulary,
+    default_class: f64,
+    /// Training accuracy of the final set.
+    pub train_accuracy: f64,
+}
+
+impl DecisionSet {
+    /// Learns a decision set directly from labeled data (the intrinsic
+    /// usage) or from black-box labels (the distillation usage — pass the
+    /// model's predictions as `y`).
+    pub fn fit(data: &Dataset, y: &[f64], config: IdsConfig) -> Self {
+        assert_eq!(data.n_rows(), y.len());
+        let n = data.n_rows();
+        let vocab = ItemVocabulary::build(data);
+        let txns = vocab.transactions(data);
+        let min_support = ((config.min_support * n as f64).ceil() as usize).max(2);
+        let mined = apriori(&txns, min_support);
+
+        // Candidate rules: frequent itemsets up to the length cap, assigned
+        // their majority class, scored by precision.
+        let mut candidates: Vec<SetRule> = Vec::new();
+        for fis in mined.iter().filter(|f| f.items.len() <= config.max_rule_length) {
+            let matches: Vec<bool> = (0..n)
+                .map(|i| {
+                    fis.items
+                        .iter()
+                        .all(|&it| vocab.predicate(it).matches(data.row(i)))
+                })
+                .collect();
+            let covered = matches.iter().filter(|&&m| m).count();
+            if covered == 0 {
+                continue;
+            }
+            let pos = matches.iter().zip(y).filter(|(m, yv)| **m && **yv >= 0.5).count();
+            let frac_pos = pos as f64 / covered as f64;
+            let (class, precision) = if frac_pos >= 0.5 { (1.0, frac_pos) } else { (0.0, 1.0 - frac_pos) };
+            candidates.push(SetRule {
+                items: fis.items.clone(),
+                class,
+                matches,
+                precision,
+                coverage: covered as f64 / n as f64,
+            });
+        }
+
+        // Default class: training majority.
+        let pos_rate = y.iter().filter(|&&v| v >= 0.5).count() as f64 / n.max(1) as f64;
+        let default_class = f64::from(pos_rate >= 0.5);
+
+        // Greedy selection maximizing the gain in correctly-covered rows
+        // minus interpretability penalties.
+        let mut selected: Vec<SetRule> = Vec::new();
+        let mut covered = vec![false; n];
+        for _ in 0..config.max_rules {
+            let mut best: Option<(usize, f64)> = None;
+            for (ci, cand) in candidates.iter().enumerate() {
+                if selected.iter().any(|s| s.items == cand.items) {
+                    continue;
+                }
+                let mut gain = 0.0;
+                for i in 0..n {
+                    if !cand.matches[i] {
+                        continue;
+                    }
+                    let correct = (y[i] >= 0.5) == (cand.class >= 0.5);
+                    if covered[i] {
+                        // Overlap penalty: double-covering rows is discouraged.
+                        gain -= config.lambda_overlap;
+                    } else {
+                        let default_correct = (y[i] >= 0.5) == (default_class >= 0.5);
+                        gain += f64::from(correct) - f64::from(default_correct);
+                    }
+                }
+                gain -= config.lambda_size * (1.0 + cand.items.len() as f64) * n as f64 / 100.0;
+                if best.is_none_or(|(_, g)| gain > g) {
+                    best = Some((ci, gain));
+                }
+            }
+            match best {
+                Some((ci, gain)) if gain > 0.0 => {
+                    let rule = candidates[ci].clone();
+                    for i in 0..n {
+                        if rule.matches[i] {
+                            covered[i] = true;
+                        }
+                    }
+                    selected.push(rule);
+                }
+                _ => break,
+            }
+        }
+
+        let mut set = Self { rules: selected, vocab, default_class, train_accuracy: 0.0 };
+        let correct = (0..n)
+            .filter(|&i| (set.predict_one(data.row(i)) >= 0.5) == (y[i] >= 0.5))
+            .count();
+        set.train_accuracy = correct as f64 / n.max(1) as f64;
+        set
+    }
+
+    /// Predicts by the highest-precision matching rule, falling back to the
+    /// default class.
+    pub fn predict_one(&self, row: &[f64]) -> f64 {
+        let mut best: Option<&SetRule> = None;
+        for rule in &self.rules {
+            if rule
+                .items
+                .iter()
+                .all(|&it| self.vocab.predicate(it).matches(row))
+                && best.is_none_or(|b| rule.precision > b.precision) {
+                    best = Some(rule);
+                }
+        }
+        best.map_or(self.default_class, |r| r.class)
+    }
+
+    /// Number of rules.
+    pub fn n_rules(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// The default class.
+    pub fn default_class(&self) -> f64 {
+        self.default_class
+    }
+
+    /// The rules rendered as [`RuleExplanation`]s.
+    pub fn rules(&self) -> Vec<RuleExplanation> {
+        self.rules
+            .iter()
+            .map(|r| RuleExplanation {
+                conditions: r.items.iter().flat_map(|&it| self.vocab.conditions(it)).collect(),
+                prediction: r.class,
+                precision: r.precision,
+                coverage: r.coverage,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xai_data::metrics::accuracy;
+    use xai_data::synth::german_credit;
+    use xai_models::{Classifier, Gbdt, GbdtConfig};
+
+    #[test]
+    fn learns_compact_accurate_set_on_credit_data() {
+        let data = german_credit(900, 61);
+        let set = DecisionSet::fit(&data, data.y(), IdsConfig::default());
+        assert!(set.n_rules() >= 1, "should select at least one rule");
+        assert!(set.n_rules() <= 8);
+        for rule in set.rules() {
+            assert!(rule.len() <= 6, "rules must stay short: {rule}");
+        }
+        // Better than the majority-class baseline.
+        let majority = data.positive_rate().max(1.0 - data.positive_rate());
+        assert!(
+            set.train_accuracy > majority + 0.01,
+            "decision set {} must beat majority {majority}",
+            set.train_accuracy
+        );
+    }
+
+    #[test]
+    fn distills_a_black_box() {
+        let data = german_credit(700, 63);
+        let gbdt = Gbdt::fit(data.x(), data.y(), GbdtConfig { n_rounds: 40, ..GbdtConfig::default() });
+        let preds = Classifier::predict(&gbdt, data.x());
+        let set = DecisionSet::fit(&data, &preds, IdsConfig::default());
+        // Agreement of decision set with the black box it was distilled from.
+        let set_preds: Vec<f64> = (0..data.n_rows()).map(|i| set.predict_one(data.row(i))).collect();
+        let agreement = accuracy(&preds, &set_preds);
+        assert!(agreement > 0.7, "distillation agreement {agreement}");
+    }
+
+    #[test]
+    fn default_class_is_majority() {
+        let data = german_credit(400, 67);
+        let set = DecisionSet::fit(&data, data.y(), IdsConfig::default());
+        let expected = f64::from(data.positive_rate() >= 0.5);
+        assert_eq!(set.default_class(), expected);
+    }
+
+    #[test]
+    fn max_rules_respected() {
+        let data = german_credit(500, 71);
+        let cfg = IdsConfig { max_rules: 2, ..IdsConfig::default() };
+        let set = DecisionSet::fit(&data, data.y(), cfg);
+        assert!(set.n_rules() <= 2);
+    }
+}

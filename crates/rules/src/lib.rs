@@ -1,0 +1,36 @@
+//! # xai-rules
+//!
+//! Rule-based explanations (tutorial §2.2) and the data-management mining
+//! substrate they build on (§2.2.1):
+//!
+//! - [`itemset`] — dataset discretization into transactions over a stable
+//!   item vocabulary;
+//! - [`mod@apriori`] / [`fpgrowth`] — frequent-itemset mining, two algorithms,
+//!   provably identical output (experiment E21);
+//! - [`assoc`] — association rules with support/confidence/lift;
+//! - [`anchors`] — high-precision model-agnostic rules searched with the
+//!   KL-LUCB bandit;
+//! - [`ids`] — interpretable decision sets (joint accuracy +
+//!   interpretability objective, greedy submodular selection);
+//! - [`logic`] — sufficient reasons / prime implicants on decision trees
+//!   with Monte-Carlo necessity & sufficiency scores (§2.2.2).
+
+pub mod anchors;
+pub mod apriori;
+pub mod assoc;
+pub mod fpgrowth;
+pub mod ids;
+pub mod itemset;
+pub mod logic;
+pub mod rule_list;
+
+pub use anchors::{AnchorsConfig, AnchorsExplainer};
+pub use apriori::{apriori, FrequentItemset};
+pub use assoc::{association_rules, AssociationRule};
+pub use fpgrowth::fp_growth;
+pub use ids::{DecisionSet, IdsConfig};
+pub use itemset::{Item, ItemPredicate, ItemVocabulary};
+pub use rule_list::{RuleList, RuleListConfig};
+pub use logic::{
+    is_sufficient, necessity_score, sufficiency_score, sufficient_reason, SufficientReason,
+};

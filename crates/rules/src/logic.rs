@@ -1,0 +1,310 @@
+//! Logic-based explanations: sufficient reasons / prime implicants
+//! (Shih, Choi & Darwiche; Darwiche & Hirth; §2.2.2 \[65, 12\]).
+//!
+//! For a decision tree — a small logical circuit — a **sufficient reason**
+//! for a prediction is a minimal set of feature assignments that *forces*
+//! the prediction: fixing those features to the instance's values
+//! guarantees the same class no matter what the remaining features do.
+//! Per the tutorial, such a set has a *sufficiency score of exactly 1*;
+//! minimality makes it a prime implicant of the decision function.
+//!
+//! Monte-Carlo necessity/sufficiency scores are provided for arbitrary
+//! (possibly non-forced) feature sets, connecting to the probabilistic
+//! notions of §2.1.3 \[20, 75\].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xai_core::{Condition, Op};
+use xai_linalg::Matrix;
+use xai_models::{DecisionTree, TreeNode};
+
+/// Checks whether fixing `fixed` features at `x`'s values forces the tree's
+/// class: every leaf reachable while branching freely on non-fixed features
+/// must agree with the prediction at `x`.
+pub fn is_sufficient(tree: &DecisionTree, x: &[f64], fixed: &[bool]) -> bool {
+    let target = tree.predict_value(x) >= 0.5;
+    fn rec(nodes: &[TreeNode], x: &[f64], fixed: &[bool], id: usize, target: bool) -> bool {
+        let node = &nodes[id];
+        match (node.left, node.right) {
+            (Some(l), Some(r)) => {
+                if fixed[node.feature] {
+                    let next = if x[node.feature] <= node.threshold { l } else { r };
+                    rec(nodes, x, fixed, next, target)
+                } else {
+                    rec(nodes, x, fixed, l, target) && rec(nodes, x, fixed, r, target)
+                }
+            }
+            _ => (node.value >= 0.5) == target,
+        }
+    }
+    rec(tree.nodes(), x, fixed, 0, target)
+}
+
+/// A sufficient reason: the minimal fixed-feature set and its rendering.
+#[derive(Clone, Debug)]
+pub struct SufficientReason {
+    /// The features that must be fixed (a prime implicant support).
+    pub features: Vec<usize>,
+    /// Readable conditions (the root-to-leaf constraints implied by the
+    /// fixed features along the instance's path).
+    pub conditions: Vec<Condition>,
+    /// The class being forced.
+    pub prediction: f64,
+}
+
+/// Computes a sufficient reason (prime implicant) for the tree's
+/// prediction on `x` by greedy elimination: start from all features used
+/// on the instance's decision path, drop any whose removal keeps the
+/// prediction forced.
+///
+/// Greedy elimination yields a *minimal* (irreducible) set — every retained
+/// feature is necessary — though not necessarily a minimum-cardinality one
+/// (that problem is NP-hard in general).
+pub fn sufficient_reason(
+    tree: &DecisionTree,
+    x: &[f64],
+    feature_names: &[&str],
+) -> SufficientReason {
+    let d = x.len();
+    let mut fixed = vec![false; d];
+    // Start from the features actually tested on the decision path.
+    for &node_id in &tree.decision_path(x) {
+        let node = &tree.nodes()[node_id];
+        if !node.is_leaf() {
+            fixed[node.feature] = true;
+        }
+    }
+    debug_assert!(is_sufficient(tree, x, &fixed), "the full path always forces the leaf");
+    // Greedy elimination in reverse feature order (deterministic).
+    for j in (0..d).rev() {
+        if fixed[j] {
+            fixed[j] = false;
+            if !is_sufficient(tree, x, &fixed) {
+                fixed[j] = true;
+            }
+        }
+    }
+    let features: Vec<usize> = (0..d).filter(|&j| fixed[j]).collect();
+
+    // Render: collect the tightest interval per fixed feature along the path.
+    let mut conditions = Vec::new();
+    for &j in &features {
+        let mut lo = f64::NEG_INFINITY;
+        let mut hi = f64::INFINITY;
+        for &node_id in &tree.decision_path(x) {
+            let node = &tree.nodes()[node_id];
+            if node.is_leaf() || node.feature != j {
+                continue;
+            }
+            if x[j] <= node.threshold {
+                hi = hi.min(node.threshold);
+            } else {
+                lo = lo.max(node.threshold);
+            }
+        }
+        if lo.is_finite() {
+            conditions.push(Condition {
+                feature: j,
+                feature_name: feature_names[j].to_string(),
+                op: Op::Gt,
+                value: lo,
+            });
+        }
+        if hi.is_finite() {
+            conditions.push(Condition {
+                feature: j,
+                feature_name: feature_names[j].to_string(),
+                op: Op::Le,
+                value: hi,
+            });
+        }
+    }
+    SufficientReason {
+        features,
+        conditions,
+        prediction: f64::from(tree.predict_value(x) >= 0.5),
+    }
+}
+
+/// Monte-Carlo sufficiency score of fixing `features` at `x`'s values:
+/// `P(f(x_S, B_{\bar S}) = f(x))` over background completions. Equals 1 for
+/// any sufficient reason.
+pub fn sufficiency_score(
+    model: &dyn Fn(&[f64]) -> f64,
+    x: &[f64],
+    features: &[usize],
+    background: &Matrix,
+    n_samples: usize,
+    seed: u64,
+) -> f64 {
+    assert!(background.rows() > 0 && n_samples > 0);
+    let target = model(x) >= 0.5;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hits = 0usize;
+    let mut probe = vec![0.0; x.len()];
+    for _ in 0..n_samples {
+        let b = rng.gen_range(0..background.rows());
+        probe.copy_from_slice(background.row(b));
+        for &j in features {
+            probe[j] = x[j];
+        }
+        if (model(&probe) >= 0.5) == target {
+            hits += 1;
+        }
+    }
+    hits as f64 / n_samples as f64
+}
+
+/// Monte-Carlo necessity score of `features`:
+/// `P(f(B_S, x_{\bar S}) ≠ f(x))` — how often randomizing *only* those
+/// features flips the prediction.
+pub fn necessity_score(
+    model: &dyn Fn(&[f64]) -> f64,
+    x: &[f64],
+    features: &[usize],
+    background: &Matrix,
+    n_samples: usize,
+    seed: u64,
+) -> f64 {
+    assert!(background.rows() > 0 && n_samples > 0);
+    let target = model(x) >= 0.5;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut flips = 0usize;
+    let mut probe = x.to_vec();
+    for _ in 0..n_samples {
+        let b = rng.gen_range(0..background.rows());
+        for &j in features {
+            probe[j] = background[(b, j)];
+        }
+        if (model(&probe) >= 0.5) != target {
+            flips += 1;
+        }
+        probe.copy_from_slice(x);
+    }
+    flips as f64 / n_samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xai_data::synth::{circles, german_credit};
+    use xai_models::{proba_fn, Classifier, TreeConfig};
+
+    fn credit_tree() -> (DecisionTree, xai_data::Dataset) {
+        let data = german_credit(600, 81);
+        let tree = DecisionTree::fit(
+            data.x(),
+            data.y(),
+            TreeConfig { max_depth: 5, min_samples_leaf: 10, ..TreeConfig::default() },
+        );
+        (tree, data)
+    }
+
+    #[test]
+    fn reason_forces_the_prediction_exhaustively() {
+        let (tree, data) = credit_tree();
+        let names: Vec<&str> = data.schema().names();
+        for i in 0..15 {
+            let x = data.row(i);
+            let reason = sufficient_reason(&tree, x, &names);
+            let mut fixed = vec![false; data.n_features()];
+            for &j in &reason.features {
+                fixed[j] = true;
+            }
+            assert!(is_sufficient(&tree, x, &fixed), "reason must force (instance {i})");
+        }
+    }
+
+    #[test]
+    fn reason_is_minimal() {
+        let (tree, data) = credit_tree();
+        let names: Vec<&str> = data.schema().names();
+        for i in 0..10 {
+            let x = data.row(i);
+            let reason = sufficient_reason(&tree, x, &names);
+            let mut fixed = vec![false; data.n_features()];
+            for &j in &reason.features {
+                fixed[j] = true;
+            }
+            // Removing any single retained feature must break forcing.
+            for &j in &reason.features {
+                fixed[j] = false;
+                assert!(
+                    !is_sufficient(&tree, x, &fixed),
+                    "feature {j} is redundant in the reason for instance {i}"
+                );
+                fixed[j] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn sufficiency_score_is_one_for_sufficient_reasons() {
+        let (tree, data) = credit_tree();
+        let names: Vec<&str> = data.schema().names();
+        let f = proba_fn(&tree);
+        for i in 0..5 {
+            let x = data.row(i);
+            let reason = sufficient_reason(&tree, x, &names);
+            let s = sufficiency_score(&f, x, &reason.features, data.x(), 500, 3);
+            assert!(
+                (s - 1.0).abs() < 1e-12,
+                "sufficient reason must score exactly 1, got {s} (instance {i})"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_set_scores_base_rate_not_one() {
+        let data = circles(500, 91, 0.15);
+        let tree = DecisionTree::fit(data.x(), data.y(), TreeConfig { max_depth: 7, ..TreeConfig::default() });
+        let f = proba_fn(&tree);
+        let x = data.row(0);
+        let s_empty = sufficiency_score(&f, x, &[], data.x(), 800, 5);
+        assert!(s_empty < 0.95, "empty set should not force on mixed data: {s_empty}");
+        let all: Vec<usize> = (0..data.n_features()).collect();
+        let s_all = sufficiency_score(&f, x, &all, data.x(), 100, 5);
+        assert!((s_all - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn necessity_of_reason_features_exceeds_random_features() {
+        let (tree, data) = credit_tree();
+        let names: Vec<&str> = data.schema().names();
+        let f = proba_fn(&tree);
+        let mut reason_nec = 0.0;
+        let mut complement_nec = 0.0;
+        let mut count = 0.0;
+        for i in 0..10 {
+            let x = data.row(i);
+            let reason = sufficient_reason(&tree, x, &names);
+            if reason.features.is_empty() {
+                continue;
+            }
+            let complement: Vec<usize> =
+                (0..data.n_features()).filter(|j| !reason.features.contains(j)).collect();
+            reason_nec += necessity_score(&f, x, &reason.features, data.x(), 400, 7);
+            complement_nec += necessity_score(&f, x, &complement, data.x(), 400, 7);
+            count += 1.0;
+        }
+        assert!(count > 0.0);
+        assert!(
+            reason_nec / count > complement_nec / count,
+            "reason features should be more necessary: {} vs {}",
+            reason_nec / count,
+            complement_nec / count
+        );
+    }
+
+    #[test]
+    fn rendered_conditions_hold_on_the_instance() {
+        let (tree, data) = credit_tree();
+        let names: Vec<&str> = data.schema().names();
+        let x = data.row(3);
+        let reason = sufficient_reason(&tree, x, &names);
+        for c in &reason.conditions {
+            assert!(c.matches(x), "condition {c} must hold on the instance");
+        }
+        assert_eq!(reason.prediction, f64::from(Classifier::predict_one(&tree, x) >= 0.5));
+    }
+}

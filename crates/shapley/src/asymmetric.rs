@@ -1,0 +1,209 @@
+//! Asymmetric Shapley values (Frye, Rowat & Feige, §2.1.3 \[18\]).
+//!
+//! Vanilla Shapley values average marginal contributions over *all* `n!`
+//! feature orderings. ASV incorporates causal knowledge by averaging only
+//! over orderings consistent with a causal partial order (ancestors before
+//! descendants) — deliberately sacrificing the symmetry axiom to credit
+//! causally-upstream features for the effects they transmit.
+
+use crate::game::CooperativeGame;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A precedence constraint: `before` must appear before `after` in every
+/// admissible ordering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Precedence {
+    /// The causally-upstream player.
+    pub before: usize,
+    /// The downstream player.
+    pub after: usize,
+}
+
+fn consistent(perm: &[usize], constraints: &[Precedence]) -> bool {
+    let mut pos = vec![0usize; perm.len()];
+    for (p, &player) in perm.iter().enumerate() {
+        pos[player] = p;
+    }
+    constraints.iter().all(|c| pos[c.before] < pos[c.after])
+}
+
+fn marginals_along(game: &dyn CooperativeGame, perm: &[usize], phi: &mut [f64], weight: f64) {
+    let mut coalition = vec![false; perm.len()];
+    let mut prev = game.value(&coalition);
+    for &player in perm {
+        coalition[player] = true;
+        let cur = game.value(&coalition);
+        phi[player] += weight * (cur - prev);
+        prev = cur;
+    }
+}
+
+/// Exact asymmetric Shapley values by enumerating all admissible orderings.
+///
+/// # Panics
+/// Panics for more than 9 players (enumeration is `n!`) or when the
+/// constraints admit no ordering (cyclic precedence).
+pub fn asymmetric_shapley_exact(game: &dyn CooperativeGame, constraints: &[Precedence]) -> Vec<f64> {
+    let n = game.n_players();
+    assert!(n <= 9, "exact ASV enumerates n! orderings; use the sampled variant");
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut phi = vec![0.0; n];
+    let mut count = 0usize;
+    // Heap's algorithm, iterative.
+    let mut c = vec![0usize; n];
+    if consistent(&perm, constraints) {
+        marginals_along(game, &perm, &mut phi, 1.0);
+        count += 1;
+    }
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                perm.swap(0, i);
+            } else {
+                perm.swap(c[i], i);
+            }
+            if consistent(&perm, constraints) {
+                marginals_along(game, &perm, &mut phi, 1.0);
+                count += 1;
+            }
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    assert!(count > 0, "precedence constraints admit no ordering");
+    for p in phi.iter_mut() {
+        *p /= count as f64;
+    }
+    phi
+}
+
+/// Sampled asymmetric Shapley values via uniformly random linear extensions
+/// of the precedence relation (random priority shuffle + Kahn topological
+/// sort with shuffled ready-set ordering).
+pub fn asymmetric_shapley_sampled(
+    game: &dyn CooperativeGame,
+    constraints: &[Precedence],
+    samples: usize,
+    seed: u64,
+) -> Vec<f64> {
+    assert!(samples > 0);
+    let n = game.n_players();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut phi = vec![0.0; n];
+    for _ in 0..samples {
+        let perm = random_linear_extension(n, constraints, &mut rng);
+        marginals_along(game, &perm, &mut phi, 1.0 / samples as f64);
+    }
+    phi
+}
+
+/// Draws a random topological order consistent with the constraints.
+fn random_linear_extension(n: usize, constraints: &[Precedence], rng: &mut StdRng) -> Vec<usize> {
+    let mut indegree = vec![0usize; n];
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for c in constraints {
+        indegree[c.after] += 1;
+        out[c.before].push(c.after);
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while !ready.is_empty() {
+        ready.shuffle(rng);
+        let next = ready.pop().expect("non-empty");
+        order.push(next);
+        for &child in &out[next] {
+            indegree[child] -= 1;
+            if indegree[child] == 0 {
+                ready.push(child);
+            }
+        }
+    }
+    assert_eq!(order.len(), n, "precedence constraints are cyclic");
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_shapley;
+    use crate::game::TableGame;
+
+    /// Game where players 0 and 1 are perfectly redundant: either alone
+    /// yields the full value 1.
+    fn redundant_game() -> TableGame {
+        let mut values = vec![0.0; 4];
+        for mask in 0..4usize {
+            values[mask] = f64::from(mask != 0);
+        }
+        TableGame::new(2, values)
+    }
+
+    #[test]
+    fn no_constraints_reduces_to_shapley() {
+        let game = TableGame::glove();
+        let sym = exact_shapley(&game);
+        let asv = asymmetric_shapley_exact(&game, &[]);
+        for (a, b) in asv.iter().zip(&sym) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn causal_ordering_credits_the_upstream_feature() {
+        // Symmetric Shapley splits the redundant credit 50/50; requiring
+        // player 0 first gives it everything — the ASV headline behaviour.
+        let game = redundant_game();
+        let sym = exact_shapley(&game);
+        assert!((sym[0] - 0.5).abs() < 1e-12);
+        let asv = asymmetric_shapley_exact(&game, &[Precedence { before: 0, after: 1 }]);
+        assert!((asv[0] - 1.0).abs() < 1e-12, "upstream gets full credit, got {}", asv[0]);
+        assert!(asv[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_preserved_under_constraints() {
+        let game = TableGame::new(3, vec![0.0, 1.0, 0.5, 2.0, 0.2, 1.5, 1.0, 3.0]);
+        let asv = asymmetric_shapley_exact(&game, &[Precedence { before: 2, after: 0 }]);
+        let total: f64 = asv.iter().sum();
+        assert!((total - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_matches_exact() {
+        let game = TableGame::glove();
+        let constraints = [Precedence { before: 0, after: 2 }];
+        let exact = asymmetric_shapley_exact(&game, &constraints);
+        let sampled = asymmetric_shapley_sampled(&game, &constraints, 4000, 7);
+        for (a, b) in sampled.iter().zip(&exact) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cyclic")]
+    fn cyclic_constraints_rejected_in_sampling() {
+        let game = redundant_game();
+        let cyc = [
+            Precedence { before: 0, after: 1 },
+            Precedence { before: 1, after: 0 },
+        ];
+        asymmetric_shapley_sampled(&game, &cyc, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "admit no ordering")]
+    fn cyclic_constraints_rejected_in_exact() {
+        let game = redundant_game();
+        let cyc = [
+            Precedence { before: 0, after: 1 },
+            Precedence { before: 1, after: 0 },
+        ];
+        asymmetric_shapley_exact(&game, &cyc);
+    }
+}

@@ -1,0 +1,177 @@
+//! From local explanations to global understanding (§2.1.2, \[46\]).
+//!
+//! TreeSHAP's headline application: aggregate per-instance Shapley values
+//! over a dataset into global feature importances, keeping the local
+//! additivity that permutation-importance style summaries lose.
+
+use xai_core::FeatureAttribution;
+use xai_data::Dataset;
+use xai_linalg::Matrix;
+
+/// Global importance summary aggregated from local attributions.
+#[derive(Clone, Debug)]
+pub struct GlobalImportance {
+    /// Feature names.
+    pub feature_names: Vec<String>,
+    /// Mean |φ| per feature over the explained rows.
+    pub mean_abs: Vec<f64>,
+    /// Mean signed φ per feature (direction of average influence).
+    pub mean_signed: Vec<f64>,
+    /// Number of rows explained.
+    pub rows: usize,
+}
+
+impl GlobalImportance {
+    /// Features sorted by mean |φ| descending.
+    pub fn ranking(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.mean_abs.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.mean_abs[b]
+                .partial_cmp(&self.mean_abs[a])
+                .expect("NaN importance")
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+
+    /// The `k` most important `(name, mean |φ|)` pairs.
+    pub fn top_k(&self, k: usize) -> Vec<(&str, f64)> {
+        self.ranking()
+            .into_iter()
+            .take(k)
+            .map(|i| (self.feature_names[i].as_str(), self.mean_abs[i]))
+            .collect()
+    }
+}
+
+/// Aggregates any per-row attribution function over (a subsample of) a
+/// dataset. `explain_row` returns the φ vector for one row.
+pub fn aggregate_local(
+    data: &Dataset,
+    max_rows: usize,
+    mut explain_row: impl FnMut(&[f64]) -> Vec<f64>,
+) -> GlobalImportance {
+    let rows = data.n_rows().min(max_rows.max(1));
+    let d = data.n_features();
+    let mut mean_abs = vec![0.0; d];
+    let mut mean_signed = vec![0.0; d];
+    for i in 0..rows {
+        let phi = explain_row(data.row(i));
+        assert_eq!(phi.len(), d, "attribution arity mismatch");
+        for j in 0..d {
+            mean_abs[j] += phi[j].abs() / rows as f64;
+            mean_signed[j] += phi[j] / rows as f64;
+        }
+    }
+    GlobalImportance {
+        feature_names: data.schema().names().iter().map(|s| s.to_string()).collect(),
+        mean_abs,
+        mean_signed,
+        rows,
+    }
+}
+
+/// Global TreeSHAP importance for a GBDT over a dataset.
+pub fn gbdt_global_importance(model: &xai_models::Gbdt, data: &Dataset, max_rows: usize) -> GlobalImportance {
+    aggregate_local(data, max_rows, |row| crate::tree::gbdt_shap(model, row).phi)
+}
+
+/// Wraps a Kernel SHAP run into a named [`FeatureAttribution`] for
+/// reporting.
+pub fn kernel_shap_attribution(
+    model: &dyn Fn(&[f64]) -> f64,
+    instance: &[f64],
+    background: &Matrix,
+    feature_names: &[&str],
+    config: crate::kernel::KernelShapConfig,
+) -> FeatureAttribution {
+    let game = crate::game::PredictionGame::new(model, instance, background);
+    let ks = crate::kernel::kernel_shap(&game, config);
+    FeatureAttribution::new(
+        feature_names.iter().map(|s| s.to_string()).collect(),
+        ks.phi,
+        ks.base_value,
+        model(instance),
+    )
+}
+
+/// Wraps a GBDT TreeSHAP run into a named [`FeatureAttribution`]
+/// (attributing the raw margin).
+pub fn tree_shap_attribution(
+    model: &xai_models::Gbdt,
+    instance: &[f64],
+    feature_names: &[&str],
+) -> FeatureAttribution {
+    let exp = crate::tree::gbdt_shap(model, instance);
+    FeatureAttribution::new(
+        feature_names.iter().map(|s| s.to_string()).collect(),
+        exp.phi,
+        exp.expected_value,
+        model.margin(instance),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xai_data::synth::friedman1;
+    use xai_models::{Gbdt, GbdtConfig, GbdtLoss};
+
+    #[test]
+    fn friedman_global_ranking_finds_relevant_features() {
+        let data = friedman1(1200, 23, 0.2);
+        let model = Gbdt::fit(
+            data.x(),
+            data.y(),
+            GbdtConfig { n_rounds: 60, loss: GbdtLoss::Squared, ..GbdtConfig::default() },
+        );
+        let gi = gbdt_global_importance(&model, &data, 120);
+        assert_eq!(gi.rows, 120);
+        let top5: std::collections::HashSet<usize> = gi.ranking().into_iter().take(5).collect();
+        // Ground truth: features 0-4 are the relevant ones.
+        let hits = (0..5).filter(|i| top5.contains(i)).count();
+        assert!(hits >= 4, "top-5 should recover the relevant features, got {top5:?}");
+    }
+
+    #[test]
+    fn kernel_attribution_has_local_accuracy() {
+        let model = |x: &[f64]| x[0] * 2.0 + x[1];
+        let background = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]);
+        let fa = kernel_shap_attribution(
+            &model,
+            &[2.0, 3.0],
+            &background,
+            &["a", "b"],
+            Default::default(),
+        );
+        assert!(fa.efficiency_gap() < 1e-9);
+        assert_eq!(fa.feature_names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn tree_attribution_explains_margin() {
+        let data = friedman1(300, 29, 0.2);
+        // Regression GBDT: margin == prediction.
+        let model = Gbdt::fit(
+            data.x(),
+            data.y(),
+            GbdtConfig { n_rounds: 20, loss: GbdtLoss::Squared, ..GbdtConfig::default() },
+        );
+        let names: Vec<&str> = data.schema().names();
+        let fa = tree_shap_attribution(&model, data.row(0), &names);
+        assert!(fa.efficiency_gap() < 1e-8);
+    }
+
+    #[test]
+    fn top_k_is_sorted() {
+        let gi = GlobalImportance {
+            feature_names: vec!["a".into(), "b".into(), "c".into()],
+            mean_abs: vec![0.1, 0.7, 0.3],
+            mean_signed: vec![0.1, -0.7, 0.3],
+            rows: 1,
+        };
+        let top = gi.top_k(2);
+        assert_eq!(top[0].0, "b");
+        assert_eq!(top[1].0, "c");
+    }
+}

@@ -1,0 +1,206 @@
+//! Shapley interaction indices.
+//!
+//! The tutorial's criticism list for Shapley-based attributions includes
+//! their "inability … to capture the indirect influences of features"
+//! (§2.1.2 \[40\]) — single φ values average interactions away. The
+//! Shapley *interaction* index (Grabisch & Roubens; popularized for trees
+//! by Lundberg et al. \[46\]) attributes to *pairs*:
+//!
+//! `Φ_{ij} = Σ_{S ⊆ N∖{i,j}} w(|S|) · Δ_{ij}(S)`,
+//! `Δ_{ij}(S) = v(S∪{i,j}) − v(S∪{i}) − v(S∪{j}) + v(S)`,
+//! with `w(s) = s!(n−s−2)!/(2(n−1)!)`,
+//!
+//! and the main effect of `i` is `φ_i − Σ_{j≠i} Φ_{ij}` (off-diagonal
+//! entries split evenly, following the SHAP-interaction convention so the
+//! full matrix sums to `v(N) − v(∅)`).
+
+use crate::game::{mask_to_coalition, CooperativeGame};
+use xai_linalg::Matrix;
+
+/// The full SHAP-interaction matrix.
+#[derive(Clone, Debug)]
+pub struct InteractionMatrix {
+    /// Symmetric matrix; `[i][j]` (i≠j) is half the pairwise interaction
+    /// `Φ_{ij}` (so that row sums recover φ), `[i][i]` the main effect.
+    pub matrix: Matrix,
+    /// The plain Shapley values (row sums of `matrix`).
+    pub phi: Vec<f64>,
+}
+
+impl InteractionMatrix {
+    /// The pairwise interaction `Φ_{ij}` (full strength, both halves).
+    pub fn pairwise(&self, i: usize, j: usize) -> f64 {
+        assert_ne!(i, j, "use main_effect for the diagonal");
+        2.0 * self.matrix[(i, j)]
+    }
+
+    /// The main (interaction-free) effect of feature `i`.
+    pub fn main_effect(&self, i: usize) -> f64 {
+        self.matrix[(i, i)]
+    }
+
+    /// Total attribution mass: equals `v(N) − v(∅)`.
+    pub fn total(&self) -> f64 {
+        let n = self.matrix.rows();
+        let mut t = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                t += self.matrix[(i, j)];
+            }
+        }
+        t
+    }
+}
+
+/// Computes the exact SHAP-interaction matrix by coalition enumeration
+/// (`O(2^n)` game evaluations, each reused across all pairs).
+///
+/// # Panics
+/// Panics when `n > 20` or `n < 2`.
+pub fn exact_interactions(game: &dyn CooperativeGame) -> InteractionMatrix {
+    let n = game.n_players();
+    assert!((2..=20).contains(&n), "interaction enumeration needs 2 ≤ n ≤ 20");
+    let size = 1usize << n;
+    let mut values = Vec::with_capacity(size);
+    for mask in 0..size {
+        values.push(game.value(&mask_to_coalition(mask, n)));
+    }
+
+    // Interaction weights w(s) = s!(n-s-2)!/(2(n-1)!) for s = |S|.
+    let mut factorial = vec![1.0f64; n + 1];
+    for i in 1..=n {
+        factorial[i] = factorial[i - 1] * i as f64;
+    }
+    let w: Vec<f64> = (0..n - 1)
+        .map(|s| factorial[s] * factorial[n - s - 2] / (2.0 * factorial[n - 1]))
+        .collect();
+
+    let mut matrix = Matrix::zeros(n, n);
+    for mask in 0..size {
+        let s = mask.count_ones() as usize;
+        for i in 0..n {
+            if mask & (1 << i) != 0 {
+                continue;
+            }
+            for j in i + 1..n {
+                if mask & (1 << j) != 0 {
+                    continue;
+                }
+                let v_s = values[mask];
+                let v_si = values[mask | (1 << i)];
+                let v_sj = values[mask | (1 << j)];
+                let v_sij = values[mask | (1 << i) | (1 << j)];
+                let delta = v_sij - v_si - v_sj + v_s;
+                let contrib = w[s] * delta;
+                // Store half on each symmetric entry.
+                matrix[(i, j)] += contrib;
+                matrix[(j, i)] += contrib;
+            }
+        }
+    }
+
+    // Diagonal: main effects so that rows sum to φ.
+    let phi = crate::exact::shapley_from_table(n, &values);
+    for i in 0..n {
+        let off: f64 = (0..n).filter(|&j| j != i).map(|j| matrix[(i, j)]).sum();
+        matrix[(i, i)] = phi[i] - off;
+    }
+    InteractionMatrix { matrix, phi }
+}
+
+/// Convenience: exact interactions of the prediction game for a black-box
+/// model (marginal-expectation semantics, like Kernel SHAP).
+pub fn model_interactions(
+    model: &dyn Fn(&[f64]) -> f64,
+    instance: &[f64],
+    background: &Matrix,
+) -> InteractionMatrix {
+    let game = crate::game::PredictionGame::new(model, instance, background);
+    exact_interactions(&game)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_shapley;
+    use crate::game::TableGame;
+
+    #[test]
+    fn additive_game_has_zero_interactions() {
+        // v(S) = Σ_{i∈S} (i+1): purely additive.
+        let n = 4;
+        let values: Vec<f64> = (0..1usize << n)
+            .map(|mask| (0..n).filter(|i| mask & (1 << i) != 0).map(|i| (i + 1) as f64).sum())
+            .collect();
+        let im = exact_interactions(&TableGame::new(n, values));
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    assert!(im.matrix[(i, j)].abs() < 1e-12, "({i},{j})");
+                }
+            }
+            assert!((im.main_effect(i) - (i + 1) as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pure_interaction_game_puts_everything_on_the_pair() {
+        // v(S) = 1 iff {0,1} ⊆ S: the 2-player unanimity game embedded in 3.
+        let n = 3;
+        let values: Vec<f64> = (0..8usize)
+            .map(|mask| f64::from(mask & 0b11 == 0b11))
+            .collect();
+        let im = exact_interactions(&TableGame::new(n, values));
+        assert!((im.pairwise(0, 1) - 1.0).abs() < 1e-12, "Φ01 = {}", im.pairwise(0, 1));
+        assert!(im.main_effect(0).abs() < 1e-12);
+        assert!(im.main_effect(1).abs() < 1e-12);
+        assert!(im.pairwise(0, 2).abs() < 1e-12);
+        // φ_i = 1/2 each for the pair.
+        assert!((im.phi[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_sum_to_shapley_and_total_to_grand_value() {
+        let game = TableGame::new(4, (0..16).map(|m: usize| (m.count_ones() as f64).powi(2) + f64::from(m & 1 != 0)).collect());
+        let im = exact_interactions(&game);
+        let exact = exact_shapley(&game);
+        for i in 0..4 {
+            let row: f64 = (0..4).map(|j| im.matrix[(i, j)]).sum();
+            assert!((row - exact[i]).abs() < 1e-10, "row {i}: {row} vs {}", exact[i]);
+        }
+        assert!((im.total() - (game.grand_value() - game.empty_value())).abs() < 1e-10);
+    }
+
+    #[test]
+    fn multiplicative_model_interaction_detected() {
+        // f(x) = x0·x1 + x2 with a symmetric background: the (0,1)
+        // interaction carries the product term.
+        let model = |x: &[f64]| x[0] * x[1] + x[2];
+        let background = Matrix::from_rows(&[
+            vec![1.0, 1.0, 0.0],
+            vec![1.0, -1.0, 0.0],
+            vec![-1.0, 1.0, 0.0],
+            vec![-1.0, -1.0, 0.0],
+        ]);
+        let instance = [1.0, 1.0, 2.0];
+        let im = model_interactions(&model, &instance, &background);
+        assert!(im.pairwise(0, 1) > 0.5, "Φ01 = {}", im.pairwise(0, 1));
+        assert!(im.pairwise(0, 2).abs() < 1e-9);
+        assert!((im.main_effect(2) - 2.0).abs() < 1e-9, "x2 is purely additive");
+    }
+
+    #[test]
+    fn symmetry_of_the_matrix() {
+        let game = TableGame::glove();
+        let im = exact_interactions(&game);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((im.matrix[(i, j)] - im.matrix[(j, i)]).abs() < 1e-12);
+            }
+        }
+        // Glove: lefts interact negatively with each other (substitutes),
+        // positively with the right glove (complements).
+        assert!(im.pairwise(0, 1) < 0.0);
+        assert!(im.pairwise(0, 2) > 0.0);
+    }
+}

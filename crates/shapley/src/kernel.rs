@@ -1,0 +1,229 @@
+//! Kernel SHAP (Lundberg & Lee 2017, §2.1.2 \[47\]).
+//!
+//! Shapley values are recovered as the solution of a *weighted linear
+//! regression*: fit an additive model `g(z) = φ₀ + Σ φⱼ zⱼ` to coalition
+//! values under the Shapley kernel weights
+//! `π(z) = (n−1) / (C(n,|z|)·|z|·(n−|z|))`, subject to the efficiency
+//! constraint `φ₀ = v(∅)` and `Σφ = v(N) − v(∅)` (the infinite-weight
+//! endpoints). The constraint is eliminated by substitution, leaving an
+//! ordinary weighted least-squares problem.
+
+use crate::game::{mask_to_coalition, CooperativeGame};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xai_linalg::distr::categorical;
+use xai_linalg::{weighted_least_squares, Matrix};
+
+/// Configuration for [`kernel_shap`].
+#[derive(Clone, Copy, Debug)]
+pub struct KernelShapConfig {
+    /// Maximum number of coalition evaluations. When `2^n − 2` fits within
+    /// this budget every coalition is enumerated (the estimate is then
+    /// exact); otherwise coalitions are sampled from the kernel
+    /// distribution.
+    pub max_coalitions: usize,
+    /// Ridge stabilizer for the regression.
+    pub ridge: f64,
+    /// RNG seed (used only in sampling mode).
+    pub seed: u64,
+}
+
+impl Default for KernelShapConfig {
+    fn default() -> Self {
+        Self { max_coalitions: 2048, ridge: 1e-9, seed: 0 }
+    }
+}
+
+/// Result of a Kernel SHAP run.
+#[derive(Clone, Debug)]
+pub struct KernelShap {
+    /// Shapley value estimates.
+    pub phi: Vec<f64>,
+    /// Baseline `v(∅)` (the φ₀ of the additive model).
+    pub base_value: f64,
+    /// Coalitions actually evaluated (excluding the two endpoints).
+    pub coalitions_used: usize,
+    /// True when every proper coalition was enumerated (exact mode).
+    pub exact: bool,
+}
+
+/// Runs Kernel SHAP on any cooperative game.
+pub fn kernel_shap(game: &dyn CooperativeGame, config: KernelShapConfig) -> KernelShap {
+    let n = game.n_players();
+    assert!(n >= 1, "need at least one player");
+    let v0 = game.empty_value();
+    let vn = game.grand_value();
+    let delta = vn - v0;
+    if n == 1 {
+        return KernelShap { phi: vec![delta], base_value: v0, coalitions_used: 0, exact: true };
+    }
+
+    // Collect (membership mask, weight, value) triples.
+    let total_proper = (1usize << n) - 2;
+    let exact = n < 63 && total_proper <= config.max_coalitions;
+    let mut masks: Vec<Vec<bool>> = Vec::new();
+    let mut weights: Vec<f64> = Vec::new();
+    if exact {
+        for mask in 1..(1usize << n) - 1 {
+            let coalition = mask_to_coalition(mask, n);
+            let s = mask.count_ones() as usize;
+            masks.push(coalition);
+            weights.push(shapley_kernel_weight(n, s));
+        }
+    } else {
+        // Sample sizes from the kernel's size distribution, then a uniform
+        // subset of that size; the kernel weight is absorbed into the
+        // sampling density, so each draw gets unit weight.
+        let size_weights: Vec<f64> = (1..n)
+            .map(|s| (n - 1) as f64 / (s * (n - s)) as f64)
+            .collect();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        for _ in 0..config.max_coalitions {
+            let s = 1 + categorical(&mut rng, &size_weights);
+            let mut coalition = vec![false; n];
+            // Reservoir-free subset draw: Floyd's algorithm.
+            let mut chosen = std::collections::HashSet::with_capacity(s);
+            for j in n - s..n {
+                let t = rng.gen_range(0..=j);
+                if !chosen.insert(t) {
+                    chosen.insert(j);
+                }
+            }
+            for &i in &chosen {
+                coalition[i] = true;
+            }
+            masks.push(coalition);
+            weights.push(1.0);
+        }
+    }
+
+    let m = masks.len();
+    // Regression with the efficiency constraint eliminated:
+    // target t_i = v(z_i) − v0 − z_{i,n−1}·Δ,
+    // design d_ij = z_ij − z_{i,n−1} for j < n−1.
+    let mut design = Matrix::zeros(m, n - 1);
+    let mut target = Vec::with_capacity(m);
+    for (row_idx, coalition) in masks.iter().enumerate() {
+        let v = game.value(coalition);
+        let last = f64::from(coalition[n - 1]);
+        target.push(v - v0 - last * delta);
+        let drow = design.row_mut(row_idx);
+        for j in 0..n - 1 {
+            drow[j] = f64::from(coalition[j]) - last;
+        }
+    }
+    let head = weighted_least_squares(&design, &target, &weights, config.ridge)
+        .expect("kernel SHAP regression is full rank under ridge");
+    let mut phi = head;
+    let tail = delta - phi.iter().sum::<f64>();
+    phi.push(tail);
+    KernelShap { phi, base_value: v0, coalitions_used: m, exact }
+}
+
+/// The Shapley kernel weight for a coalition of size `s` out of `n`.
+pub fn shapley_kernel_weight(n: usize, s: usize) -> f64 {
+    assert!(s >= 1 && s < n, "kernel weight undefined at the endpoints");
+    let binom = binomial(n, s);
+    (n - 1) as f64 / (binom * (s * (n - s)) as f64)
+}
+
+fn binomial(n: usize, k: usize) -> f64 {
+    let k = k.min(n - k);
+    let mut r = 1.0f64;
+    for i in 0..k {
+        r = r * (n - i) as f64 / (i + 1) as f64;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_shapley;
+    use crate::game::{PredictionGame, TableGame};
+
+    #[test]
+    fn exact_mode_matches_exact_shapley() {
+        let game = TableGame::new(4, (0..16).map(|m: usize| (m.count_ones() as f64).sqrt() + f64::from(m & 1 != 0)).collect());
+        let exact = exact_shapley(&game);
+        let ks = kernel_shap(&game, KernelShapConfig::default());
+        assert!(ks.exact);
+        for (a, b) in ks.phi.iter().zip(&exact) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn efficiency_holds_by_construction() {
+        let game = TableGame::glove();
+        for max in [4, 6] {
+            let ks = kernel_shap(&game, KernelShapConfig { max_coalitions: max, ..Default::default() });
+            let total: f64 = ks.phi.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "efficiency violated at budget {max}");
+        }
+    }
+
+    #[test]
+    fn sampling_mode_approximates_exact() {
+        // 12 players: 4094 proper coalitions; budget forces sampling.
+        struct Additive;
+        impl CooperativeGame for Additive {
+            fn n_players(&self) -> usize {
+                12
+            }
+            fn value(&self, coalition: &[bool]) -> f64 {
+                coalition
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &b)| b)
+                    .map(|(i, _)| (i + 1) as f64)
+                    .sum()
+            }
+        }
+        let ks = kernel_shap(&Additive, KernelShapConfig { max_coalitions: 1500, seed: 5, ..Default::default() });
+        assert!(!ks.exact);
+        // Additive game ⇒ φ_i = i + 1 exactly, and the regression recovers it.
+        for (i, p) in ks.phi.iter().enumerate() {
+            assert!((p - (i + 1) as f64).abs() < 0.25, "phi[{i}] = {p}");
+        }
+    }
+
+    #[test]
+    fn single_player_short_circuit() {
+        let game = TableGame::new(1, vec![0.5, 2.0]);
+        let ks = kernel_shap(&game, KernelShapConfig::default());
+        assert_eq!(ks.phi, vec![1.5]);
+        assert_eq!(ks.base_value, 0.5);
+    }
+
+    #[test]
+    fn kernel_weights_symmetric_and_positive() {
+        for n in [3usize, 6, 9] {
+            for s in 1..n {
+                let w = shapley_kernel_weight(n, s);
+                assert!(w > 0.0);
+                assert!((w - shapley_kernel_weight(n, n - s)).abs() < 1e-12);
+            }
+        }
+        // Extremes get the largest weights (they pin the constraint).
+        assert!(shapley_kernel_weight(8, 1) > shapley_kernel_weight(8, 4));
+    }
+
+    #[test]
+    fn agrees_with_exact_on_prediction_game() {
+        let model = |x: &[f64]| x[0] * x[1] + 2.0 * x[2] - x[3];
+        let background = Matrix::from_rows(&[
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![1.0, 1.0, 1.0, 1.0],
+            vec![0.5, -0.5, 2.0, 0.0],
+        ]);
+        let instance = [2.0, 1.0, -1.0, 0.5];
+        let game = PredictionGame::new(&model, &instance, &background);
+        let exact = exact_shapley(&game);
+        let ks = kernel_shap(&game, KernelShapConfig::default());
+        for (a, b) in ks.phi.iter().zip(&exact) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        assert!((ks.base_value - game.empty_value()).abs() < 1e-12);
+    }
+}

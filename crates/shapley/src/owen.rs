@@ -1,0 +1,167 @@
+//! Owen values: Shapley values under a coalition structure.
+//!
+//! When features come in natural groups — the one-hot columns of one
+//! categorical attribute, or a block of correlated measurements — plain
+//! Shapley values fragment the group's credit across its members. The
+//! Owen value restricts the orderings to those where each group enters
+//! *contiguously* (a two-level game: Shapley across groups, Shapley
+//! within the entering group), giving both a per-group and a per-player
+//! attribution that respect the structure. With singleton groups it
+//! reduces exactly to the Shapley value — asserted in the tests.
+
+use crate::game::CooperativeGame;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Result of an Owen-value computation.
+#[derive(Clone, Debug)]
+pub struct OwenValues {
+    /// Per-player values (aligned with the game's players).
+    pub player_values: Vec<f64>,
+    /// Per-group totals, aligned with the input partition.
+    pub group_values: Vec<f64>,
+}
+
+/// Monte-Carlo Owen values: sample a random ordering of groups and a
+/// random ordering within each group, walk the concatenation, record
+/// marginal contributions.
+///
+/// # Panics
+/// Panics when the partition does not cover every player exactly once.
+pub fn owen_values(
+    game: &dyn CooperativeGame,
+    groups: &[Vec<usize>],
+    samples: usize,
+    seed: u64,
+) -> OwenValues {
+    let n = game.n_players();
+    assert!(samples >= 1);
+    // Validate the partition.
+    {
+        let mut seen = vec![false; n];
+        for g in groups {
+            for &p in g {
+                assert!(p < n, "player {p} out of range");
+                assert!(!seen[p], "player {p} appears in two groups");
+                seen[p] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "partition must cover every player");
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut player_values = vec![0.0; n];
+    let mut group_order: Vec<usize> = (0..groups.len()).collect();
+    let mut coalition = vec![false; n];
+    for _ in 0..samples {
+        group_order.shuffle(&mut rng);
+        coalition.iter_mut().for_each(|c| *c = false);
+        let mut prev = game.value(&coalition);
+        for &g in &group_order {
+            let mut members = groups[g].clone();
+            members.shuffle(&mut rng);
+            for &p in &members {
+                coalition[p] = true;
+                let cur = game.value(&coalition);
+                player_values[p] += (cur - prev) / samples as f64;
+                prev = cur;
+            }
+        }
+    }
+    let group_values = groups
+        .iter()
+        .map(|g| g.iter().map(|&p| player_values[p]).sum())
+        .collect();
+    OwenValues { player_values, group_values }
+}
+
+/// Builds the canonical one-hot grouping from a
+/// [`xai_data::OneHotEncoder`] layout: each raw feature's encoded columns
+/// form one group.
+pub fn one_hot_groups(encoder: &xai_data::OneHotEncoder, n_raw_features: usize) -> Vec<Vec<usize>> {
+    (0..n_raw_features)
+        .map(|j| encoder.columns_of(j).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_shapley;
+    use crate::game::TableGame;
+
+    #[test]
+    fn singleton_groups_reduce_to_shapley() {
+        let game = TableGame::glove();
+        let groups: Vec<Vec<usize>> = (0..3).map(|i| vec![i]).collect();
+        let owen = owen_values(&game, &groups, 20_000, 7);
+        let shap = exact_shapley(&game);
+        for (a, b) in owen.player_values.iter().zip(&shap) {
+            assert!((a - b).abs() < 0.02, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn efficiency_holds() {
+        let game = TableGame::new(4, (0..16).map(|m: usize| (m.count_ones() as f64).powi(2)).collect());
+        let groups = vec![vec![0, 1], vec![2, 3]];
+        let owen = owen_values(&game, &groups, 500, 3);
+        let total: f64 = owen.player_values.iter().sum();
+        assert!((total - (game.grand_value() - game.empty_value())).abs() < 1e-9);
+        let gtotal: f64 = owen.group_values.iter().sum();
+        assert!((gtotal - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grouping_protects_redundant_members_from_dilution() {
+        // Players 0 and 1 are duplicates of one "signal" (either suffices
+        // for value 1); player 2 independently adds 1.
+        let mut values = vec![0.0; 8];
+        for mask in 0..8usize {
+            let signal = f64::from(mask & 0b11 != 0);
+            let solo = f64::from(mask & 0b100 != 0);
+            values[mask] = signal + solo;
+        }
+        let game = TableGame::new(3, values);
+        // Ungrouped Shapley: the duplicate pair shares its unit of credit
+        // (~0.5 each), player 2 gets 1.
+        let shap = exact_shapley(&game);
+        assert!((shap[2] - 1.0).abs() < 1e-9);
+        // Grouped: the {0,1} block gets 1 as a *group* — the group view
+        // reports the signal's full worth regardless of internal
+        // redundancy.
+        let owen = owen_values(&game, &[vec![0, 1], vec![2]], 4000, 11);
+        assert!((owen.group_values[0] - 1.0).abs() < 0.03, "group {}", owen.group_values[0]);
+        assert!((owen.group_values[1] - 1.0).abs() < 0.03);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition must cover")]
+    fn incomplete_partition_rejected() {
+        let game = TableGame::glove();
+        owen_values(&game, &[vec![0, 1]], 10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears in two groups")]
+    fn overlapping_partition_rejected() {
+        let game = TableGame::glove();
+        owen_values(&game, &[vec![0, 1], vec![1, 2]], 10, 0);
+    }
+
+    #[test]
+    fn one_hot_groups_follow_encoder_layout() {
+        use xai_data::synth::german_credit;
+        use xai_data::OneHotEncoder;
+        let data = german_credit(50, 3);
+        let enc = OneHotEncoder::fit(data.schema());
+        let groups = one_hot_groups(&enc, data.n_features());
+        assert_eq!(groups.len(), data.n_features());
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, enc.encoded_width());
+        // Categorical features map to multi-column groups.
+        let housing = data.schema().index_of("housing").unwrap();
+        assert_eq!(groups[housing].len(), 3);
+    }
+}

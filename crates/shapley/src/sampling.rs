@@ -1,0 +1,178 @@
+//! Monte-Carlo Shapley estimation by permutation sampling.
+//!
+//! The classic unbiased estimator (Castro et al.; the engine behind
+//! Quantitative Input Influence's Shapley variant, §2.1.2 \[14\]): draw a
+//! random feature ordering, walk it, and record each player's marginal
+//! contribution when it joins. Cost per permutation is `n + 1` game
+//! evaluations; the estimate converges at the Monte-Carlo `1/√m` rate —
+//! experiment E2's subject.
+
+use crate::game::{random_permutation, CooperativeGame};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Result of a permutation-sampling run.
+#[derive(Clone, Debug)]
+pub struct SampledShapley {
+    /// The Shapley estimates.
+    pub phi: Vec<f64>,
+    /// Per-player standard error estimates (σ̂/√m).
+    pub std_err: Vec<f64>,
+    /// Number of permutations drawn.
+    pub permutations: usize,
+}
+
+/// Estimates Shapley values from `permutations` random orderings.
+pub fn permutation_shapley(
+    game: &dyn CooperativeGame,
+    permutations: usize,
+    seed: u64,
+) -> SampledShapley {
+    assert!(permutations > 0, "need at least one permutation");
+    let n = game.n_players();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sum = vec![0.0; n];
+    let mut sum_sq = vec![0.0; n];
+    let mut coalition = vec![false; n];
+    for _ in 0..permutations {
+        let perm = random_permutation(&mut rng, n);
+        coalition.iter_mut().for_each(|c| *c = false);
+        let mut prev = game.value(&coalition);
+        for &player in &perm {
+            coalition[player] = true;
+            let cur = game.value(&coalition);
+            let marginal = cur - prev;
+            sum[player] += marginal;
+            sum_sq[player] += marginal * marginal;
+            prev = cur;
+        }
+    }
+    let m = permutations as f64;
+    let phi: Vec<f64> = sum.iter().map(|s| s / m).collect();
+    let std_err = sum_sq
+        .iter()
+        .zip(&phi)
+        .map(|(&sq, &mean)| {
+            if permutations < 2 {
+                f64::INFINITY
+            } else {
+                let var = (sq / m - mean * mean).max(0.0) * m / (m - 1.0);
+                (var / m).sqrt()
+            }
+        })
+        .collect();
+    SampledShapley { phi, std_err, permutations }
+}
+
+/// Antithetic variant: pairs each permutation with its reverse, which
+/// cancels first-order noise for near-additive games.
+pub fn antithetic_permutation_shapley(
+    game: &dyn CooperativeGame,
+    pairs: usize,
+    seed: u64,
+) -> SampledShapley {
+    assert!(pairs > 0);
+    let n = game.n_players();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sum = vec![0.0; n];
+    let mut sum_sq = vec![0.0; n];
+    let mut coalition = vec![false; n];
+    let walk = |perm: &[usize], sum: &mut [f64], sum_sq: &mut [f64], coalition: &mut [bool]| {
+        coalition.iter_mut().for_each(|c| *c = false);
+        let mut prev = game.value(coalition);
+        for &player in perm {
+            coalition[player] = true;
+            let cur = game.value(coalition);
+            let marginal = cur - prev;
+            sum[player] += marginal;
+            sum_sq[player] += marginal * marginal;
+            prev = cur;
+        }
+    };
+    for _ in 0..pairs {
+        let perm = random_permutation(&mut rng, n);
+        walk(&perm, &mut sum, &mut sum_sq, &mut coalition);
+        let rev: Vec<usize> = perm.iter().rev().copied().collect();
+        walk(&rev, &mut sum, &mut sum_sq, &mut coalition);
+    }
+    let m = (2 * pairs) as f64;
+    let phi: Vec<f64> = sum.iter().map(|s| s / m).collect();
+    let std_err = sum_sq
+        .iter()
+        .zip(&phi)
+        .map(|(&sq, &mean)| (((sq / m - mean * mean).max(0.0)) / m).sqrt())
+        .collect();
+    SampledShapley { phi, std_err, permutations: 2 * pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_shapley;
+    use crate::game::TableGame;
+    use xai_linalg::norm2;
+    use xai_linalg::vsub;
+
+    #[test]
+    fn converges_to_exact_on_glove() {
+        let game = TableGame::glove();
+        let exact = exact_shapley(&game);
+        let est = permutation_shapley(&game, 4000, 7);
+        for (e, x) in est.phi.iter().zip(&exact) {
+            assert!((e - x).abs() < 0.03, "{e} vs {x}");
+        }
+    }
+
+    #[test]
+    fn error_shrinks_with_more_permutations() {
+        let game = TableGame::new(4, (0..16).map(|m: usize| (m.count_ones() as f64).powi(2)).collect());
+        let exact = exact_shapley(&game);
+        let small = permutation_shapley(&game, 20, 3);
+        let large = permutation_shapley(&game, 2000, 3);
+        let err_small = norm2(&vsub(&small.phi, &exact));
+        let err_large = norm2(&vsub(&large.phi, &exact));
+        assert!(
+            err_large <= err_small + 1e-9,
+            "error must not grow: {err_small} -> {err_large}"
+        );
+    }
+
+    #[test]
+    fn estimates_preserve_efficiency_exactly() {
+        // Every permutation walk telescopes to v(N) − v(∅), so the estimate
+        // satisfies efficiency for any sample size.
+        let game = TableGame::new(3, vec![1.0, 2.0, 0.0, 4.0, 3.0, 5.0, 2.0, 9.0]);
+        let est = permutation_shapley(&game, 13, 5);
+        let total: f64 = est.phi.iter().sum();
+        assert!((total - (game.grand_value() - game.empty_value())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let game = TableGame::glove();
+        let a = permutation_shapley(&game, 50, 11);
+        let b = permutation_shapley(&game, 50, 11);
+        assert_eq!(a.phi, b.phi);
+        let c = permutation_shapley(&game, 50, 12);
+        assert_ne!(a.phi, c.phi);
+    }
+
+    #[test]
+    fn antithetic_matches_exact_too() {
+        let game = TableGame::glove();
+        let exact = exact_shapley(&game);
+        let est = antithetic_permutation_shapley(&game, 2000, 9);
+        for (e, x) in est.phi.iter().zip(&exact) {
+            assert!((e - x).abs() < 0.03);
+        }
+        assert_eq!(est.permutations, 4000);
+    }
+
+    #[test]
+    fn std_err_reported_and_finite() {
+        let game = TableGame::glove();
+        let est = permutation_shapley(&game, 100, 2);
+        assert_eq!(est.std_err.len(), 3);
+        assert!(est.std_err.iter().all(|s| s.is_finite()));
+    }
+}

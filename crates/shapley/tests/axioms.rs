@@ -1,0 +1,97 @@
+//! Property-based tests: the Shapley axioms and estimator agreements hold
+//! on randomly generated cooperative games.
+
+use proptest::prelude::*;
+use xai_shapley::{
+    exact_shapley, kernel_shap, permutation_shapley, shapley_from_table, KernelShapConfig,
+    TableGame,
+};
+
+/// Random 3–5 player game with bounded values and v(∅)=0.
+fn game_strategy() -> impl Strategy<Value = (usize, Vec<f64>)> {
+    (3..=5usize).prop_flat_map(|n| {
+        prop::collection::vec(-10.0..10.0f64, 1 << n).prop_map(move |mut v| {
+            v[0] = 0.0;
+            (n, v)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn efficiency((n, values) in game_strategy()) {
+        let game = TableGame::new(n, values.clone());
+        let phi = exact_shapley(&game);
+        let total: f64 = phi.iter().sum();
+        let expected = values[(1 << n) - 1] - values[0];
+        prop_assert!((total - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linearity((n, v1) in game_strategy(), scale in -3.0..3.0f64) {
+        // φ(a·v) = a·φ(v) and φ(v+w) = φ(v) + φ(w).
+        let scaled: Vec<f64> = v1.iter().map(|x| x * scale).collect();
+        let p1 = shapley_from_table(n, &v1);
+        let ps = shapley_from_table(n, &scaled);
+        for (a, b) in p1.iter().zip(&ps) {
+            prop_assert!((a * scale - b).abs() < 1e-9);
+        }
+        let doubled: Vec<f64> = v1.iter().map(|x| x + x).collect();
+        let pd = shapley_from_table(n, &doubled);
+        for (a, b) in p1.iter().zip(&pd) {
+            prop_assert!((2.0 * a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dummy_player((n, mut values) in game_strategy()) {
+        // Make player 0 a dummy: v(S ∪ {0}) = v(S) for every S.
+        let size = 1usize << n;
+        for mask in 0..size {
+            if mask & 1 != 0 {
+                values[mask] = values[mask & !1];
+            }
+        }
+        let phi = shapley_from_table(n, &values);
+        prop_assert!(phi[0].abs() < 1e-12, "dummy got {}", phi[0]);
+    }
+
+    #[test]
+    fn symmetry((n, mut values) in game_strategy()) {
+        // Make players 0 and 1 symmetric by averaging their roles.
+        let size = 1usize << n;
+        let swap01 = |mask: usize| -> usize {
+            let b0 = (mask >> 0) & 1;
+            let b1 = (mask >> 1) & 1;
+            (mask & !0b11) | (b0 << 1) | b1
+        };
+        let orig = values.clone();
+        for mask in 0..size {
+            values[mask] = 0.5 * (orig[mask] + orig[swap01(mask)]);
+        }
+        let phi = shapley_from_table(n, &values);
+        prop_assert!((phi[0] - phi[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_shap_matches_exact((n, values) in game_strategy()) {
+        let game = TableGame::new(n, values);
+        let exact = exact_shapley(&game);
+        let ks = kernel_shap(&game, KernelShapConfig::default());
+        prop_assert!(ks.exact);
+        for (a, b) in ks.phi.iter().zip(&exact) {
+            prop_assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn permutation_sampling_preserves_efficiency((n, values) in game_strategy(), seed in 0u64..1000) {
+        let game = TableGame::new(n, values.clone());
+        let est = permutation_shapley(&game, 7, seed);
+        let total: f64 = est.phi.iter().sum();
+        let expected = values[(1 << n) - 1] - values[0];
+        prop_assert!((total - expected).abs() < 1e-9);
+    }
+}

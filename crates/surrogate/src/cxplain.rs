@@ -1,0 +1,199 @@
+//! CXPlain-style amortized explanation (Schwab & Karlen, §2.1.3 \[61\]).
+//!
+//! Instead of optimizing a fresh surrogate per instance (LIME), CXPlain
+//! *trains an explanation model once*: the teacher signal for feature `j`
+//! on instance `x` is the Granger-style masking delta
+//! `Δⱼ(x) = loss(f(x with xⱼ masked)) − loss(f(x))` — how much error
+//! removing the feature causes — normalized over features; a student
+//! regressor then learns `x ↦ Δ(x)` and explains *new* instances with a
+//! single forward pass. We use one small GBDT per feature as the student.
+
+use xai_core::FeatureAttribution;
+use xai_data::Dataset;
+use xai_linalg::Matrix;
+use xai_models::{Gbdt, GbdtConfig, GbdtLoss, Regressor, SplitCriterion, TreeConfig};
+
+/// Configuration for [`CxPlain::train`].
+#[derive(Clone, Copy, Debug)]
+pub struct CxPlainConfig {
+    /// Boosting rounds of each per-feature student.
+    pub student_rounds: usize,
+    /// Student tree depth.
+    pub student_depth: usize,
+}
+
+impl Default for CxPlainConfig {
+    fn default() -> Self {
+        Self { student_rounds: 40, student_depth: 3 }
+    }
+}
+
+/// A trained amortized explainer.
+pub struct CxPlain {
+    students: Vec<Gbdt>,
+    feature_names: Vec<String>,
+    masks: Vec<f64>,
+    /// Teacher/student agreement (R², averaged over features) on the
+    /// training probes.
+    pub train_agreement: f64,
+}
+
+impl CxPlain {
+    /// The masking deltas that form the teacher signal: per instance, the
+    /// increase in squared error when feature `j` is replaced by its mean.
+    pub fn teacher_deltas(model: &dyn Fn(&[f64]) -> f64, data: &Dataset, masks: &[f64]) -> Matrix {
+        let n = data.n_rows();
+        let d = data.n_features();
+        let mut deltas = Matrix::zeros(n, d);
+        let mut probe = vec![0.0; d];
+        for i in 0..n {
+            let x = data.row(i);
+            let y = data.y()[i];
+            let base_loss = (model(x) - y).powi(2);
+            for j in 0..d {
+                probe.copy_from_slice(x);
+                probe[j] = masks[j];
+                let masked_loss = (model(&probe) - y).powi(2);
+                deltas[(i, j)] = (masked_loss - base_loss).max(0.0);
+            }
+            // Normalize to a distribution over features (CXPlain's output).
+            let total: f64 = deltas.row(i).iter().sum();
+            if total > 1e-12 {
+                for v in deltas.row_mut(i) {
+                    *v /= total;
+                }
+            }
+        }
+        deltas
+    }
+
+    /// Trains the explanation model against a black box on labeled probes.
+    pub fn train(model: &dyn Fn(&[f64]) -> f64, data: &Dataset, config: CxPlainConfig) -> Self {
+        let d = data.n_features();
+        let masks: Vec<f64> = (0..d)
+            .map(|j| xai_linalg::stats::mean(&data.x().col(j)))
+            .collect();
+        let deltas = Self::teacher_deltas(model, data, &masks);
+        let student_config = GbdtConfig {
+            n_rounds: config.student_rounds,
+            loss: GbdtLoss::Squared,
+            tree: TreeConfig {
+                max_depth: config.student_depth,
+                criterion: SplitCriterion::Variance,
+                min_samples_leaf: 5,
+                ..TreeConfig::default()
+            },
+            ..GbdtConfig::default()
+        };
+        let mut students = Vec::with_capacity(d);
+        let mut agreement = 0.0;
+        for j in 0..d {
+            let target = deltas.col(j);
+            let student = Gbdt::fit(data.x(), &target, student_config);
+            let preds = Regressor::predict(&student, data.x());
+            agreement += xai_linalg::r_squared(&target, &preds) / d as f64;
+            students.push(student);
+        }
+        Self {
+            students,
+            feature_names: data.schema().names().iter().map(|s| s.to_string()).collect(),
+            masks,
+            train_agreement: agreement,
+        }
+    }
+
+    /// Explains a new instance with one forward pass per feature —
+    /// no sampling, no optimization.
+    pub fn explain(&self, x: &[f64]) -> FeatureAttribution {
+        let mut values: Vec<f64> = self
+            .students
+            .iter()
+            .map(|s| Regressor::predict_one(s, x).max(0.0))
+            .collect();
+        let total: f64 = values.iter().sum();
+        if total > 1e-12 {
+            for v in values.iter_mut() {
+                *v /= total;
+            }
+        }
+        FeatureAttribution::new(self.feature_names.clone(), values, 0.0, 1.0)
+    }
+
+    /// The mask (mean-imputation) values used for the teacher signal.
+    pub fn masks(&self) -> &[f64] {
+        &self.masks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xai_data::synth::friedman1;
+    use xai_models::{proba_fn, LogisticConfig, LogisticRegression};
+
+    #[test]
+    fn teacher_deltas_identify_relevant_features_of_a_linear_model() {
+        let data = xai_data::synth::linear_gaussian(500, &[3.0, 0.0], 0.0, 5);
+        let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+        let f = proba_fn(&model);
+        let masks = vec![0.0, 0.0];
+        let deltas = CxPlain::teacher_deltas(&f, &data, &masks);
+        let mean0 = xai_linalg::stats::mean(&deltas.col(0));
+        let mean1 = xai_linalg::stats::mean(&deltas.col(1));
+        assert!(mean0 > 3.0 * mean1, "relevant {mean0} vs irrelevant {mean1}");
+    }
+
+    #[test]
+    fn amortized_explanations_generalize_to_held_out_data() {
+        let data = friedman1(800, 7, 0.2);
+        let (train, test) = data.train_test_split(0.3, 1);
+        let gbdt = Gbdt::fit(
+            train.x(),
+            train.y(),
+            GbdtConfig { n_rounds: 60, loss: GbdtLoss::Squared, ..GbdtConfig::default() },
+        );
+        let f = |x: &[f64]| Regressor::predict_one(&gbdt, x);
+        let cx = CxPlain::train(&f, &train, CxPlainConfig::default());
+        assert!(cx.train_agreement > 0.3, "student agreement {}", cx.train_agreement);
+        // On unseen rows, relevant features (0–4) should dominate noise (5–9).
+        let mut relevant = 0.0;
+        let mut noise = 0.0;
+        for i in 0..test.n_rows().min(60) {
+            let e = cx.explain(test.row(i));
+            relevant += e.values[..5].iter().sum::<f64>();
+            noise += e.values[5..].iter().sum::<f64>();
+        }
+        assert!(relevant > 2.0 * noise, "relevant {relevant} vs noise {noise}");
+    }
+
+    #[test]
+    fn explanations_are_normalized_distributions() {
+        let data = friedman1(300, 9, 0.2);
+        let model = |x: &[f64]| x[3];
+        let cx = CxPlain::train(&model, &data, CxPlainConfig::default());
+        for i in 0..10 {
+            let e = cx.explain(data.row(i));
+            let total: f64 = e.values.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9 || total.abs() < 1e-9);
+            assert!(e.values.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn explanation_latency_is_sampling_free() {
+        // Not a timing assertion (flaky) — a structural one: explaining
+        // must not call the black box at all.
+        use std::cell::Cell;
+        let calls = Cell::new(0usize);
+        let data = friedman1(300, 11, 0.2);
+        let model = |x: &[f64]| {
+            calls.set(calls.get() + 1);
+            x[3] + x[4]
+        };
+        let cx = CxPlain::train(&model, &data, CxPlainConfig::default());
+        let during_training = calls.get();
+        let _ = cx.explain(data.row(0));
+        let _ = cx.explain(data.row(1));
+        assert_eq!(calls.get(), during_training, "explain() must be model-free");
+    }
+}

@@ -1,0 +1,126 @@
+//! Global surrogate models (§2.1.1): approximate the whole black box with
+//! an inherently interpretable model and report how faithful the
+//! approximation is.
+
+use xai_data::Dataset;
+use xai_linalg::r_squared;
+use xai_models::{
+    DecisionTree, LinearConfig, LinearRegression, Regressor, SplitCriterion, TreeConfig,
+};
+
+/// A fitted global surrogate with its measured fidelity.
+#[derive(Clone, Debug)]
+pub struct GlobalSurrogate<M> {
+    /// The interpretable stand-in model.
+    pub surrogate: M,
+    /// R² of the surrogate against the black box on the training probes.
+    pub train_fidelity: f64,
+}
+
+/// Distills the black box into a depth-limited decision tree by fitting the
+/// tree to the model's outputs (not the labels!) on the provided dataset.
+pub fn tree_surrogate(
+    model: &dyn Fn(&[f64]) -> f64,
+    data: &Dataset,
+    max_depth: usize,
+) -> GlobalSurrogate<DecisionTree> {
+    let outputs: Vec<f64> = (0..data.n_rows()).map(|i| model(data.row(i))).collect();
+    let tree = DecisionTree::fit(
+        data.x(),
+        &outputs,
+        TreeConfig {
+            max_depth,
+            criterion: SplitCriterion::Variance,
+            min_samples_leaf: 5,
+            ..TreeConfig::default()
+        },
+    );
+    let preds = Regressor::predict(&tree, data.x());
+    GlobalSurrogate { surrogate: tree, train_fidelity: r_squared(&outputs, &preds) }
+}
+
+/// Distills the black box into a single linear model (the crudest global
+/// surrogate — its fidelity on a non-linear model quantifies how wrong the
+/// "one linear explanation for everything" assumption is).
+pub fn linear_surrogate(
+    model: &dyn Fn(&[f64]) -> f64,
+    data: &Dataset,
+) -> GlobalSurrogate<LinearRegression> {
+    let outputs: Vec<f64> = (0..data.n_rows()).map(|i| model(data.row(i))).collect();
+    let lin = LinearRegression::fit(data.x(), &outputs, LinearConfig::default())
+        .expect("ridge regression is well-posed");
+    let preds = Regressor::predict(&lin, data.x());
+    GlobalSurrogate { surrogate: lin, train_fidelity: r_squared(&outputs, &preds) }
+}
+
+/// Fidelity of any surrogate on held-out probe rows.
+pub fn holdout_fidelity<M: Regressor>(
+    model: &dyn Fn(&[f64]) -> f64,
+    surrogate: &M,
+    probes: &Dataset,
+) -> f64 {
+    let truth: Vec<f64> = (0..probes.n_rows()).map(|i| model(probes.row(i))).collect();
+    let preds = surrogate.predict(probes.x());
+    r_squared(&truth, &preds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xai_data::synth::circles;
+    use xai_models::{proba_fn, ForestConfig, RandomForest};
+
+    #[test]
+    fn tree_surrogate_beats_linear_on_nonlinear_model() {
+        let data = circles(700, 3, 0.15);
+        let forest = RandomForest::fit(
+            data.x(),
+            data.y(),
+            ForestConfig { n_trees: 30, seed: 5, ..Default::default() },
+        );
+        let f = proba_fn(&forest);
+        let tree = tree_surrogate(&f, &data, 6);
+        let linear = linear_surrogate(&f, &data);
+        assert!(
+            tree.train_fidelity > 0.7,
+            "tree surrogate fidelity {}",
+            tree.train_fidelity
+        );
+        assert!(
+            linear.train_fidelity < 0.3,
+            "a linear surrogate cannot mimic rings: {}",
+            linear.train_fidelity
+        );
+        assert!(tree.train_fidelity > linear.train_fidelity + 0.3);
+    }
+
+    #[test]
+    fn holdout_fidelity_close_to_train() {
+        let data = circles(900, 7, 0.15);
+        let (train, test) = data.train_test_split(0.3, 1);
+        let forest = RandomForest::fit(
+            train.x(),
+            train.y(),
+            ForestConfig { n_trees: 30, seed: 2, ..Default::default() },
+        );
+        let f = proba_fn(&forest);
+        let sur = tree_surrogate(&f, &train, 7);
+        let ho = holdout_fidelity(&f, &sur.surrogate, &test);
+        assert!(ho > 0.5, "holdout fidelity {ho}");
+        assert!(sur.train_fidelity >= ho - 0.05);
+    }
+
+    #[test]
+    fn deeper_surrogates_are_more_faithful() {
+        let data = circles(600, 9, 0.2);
+        let forest = RandomForest::fit(
+            data.x(),
+            data.y(),
+            ForestConfig { n_trees: 25, seed: 3, ..Default::default() },
+        );
+        let f = proba_fn(&forest);
+        let shallow = tree_surrogate(&f, &data, 2);
+        let deep = tree_surrogate(&f, &data, 8);
+        assert!(deep.train_fidelity > shallow.train_fidelity);
+    }
+}

@@ -1,0 +1,181 @@
+//! Linear model trees (Lahiri & Edakunni, §2.1.1 \[42\]): a shallow
+//! partitioning tree whose leaves hold *linear* models fitted to the black
+//! box.
+//!
+//! This addresses the "one linear model can't be faithful everywhere"
+//! problem of plain LIME by giving each region of the input space its own
+//! contextual linear explanation, while staying globally consistent
+//! (every instance maps to exactly one leaf model).
+
+use xai_core::FeatureAttribution;
+use xai_data::Dataset;
+use xai_linalg::r_squared;
+use xai_models::{
+    DecisionTree, LinearConfig, LinearRegression, Regressor, SplitCriterion, TreeConfig,
+};
+
+/// A linear model tree distilled from a black box.
+#[derive(Clone, Debug)]
+pub struct LinearModelTree {
+    tree: DecisionTree,
+    /// One linear model per tree node id (only leaf entries are used).
+    leaf_models: Vec<Option<LinearRegression>>,
+    feature_names: Vec<String>,
+    /// R² against the black box on the training probes.
+    pub train_fidelity: f64,
+}
+
+/// Configuration for [`LinearModelTree::distill`].
+#[derive(Clone, Copy, Debug)]
+pub struct LmtConfig {
+    /// Depth of the partitioning tree.
+    pub max_depth: usize,
+    /// Minimum probes per leaf — keeps leaf regressions well-posed.
+    pub min_samples_leaf: usize,
+    /// Ridge penalty of the leaf models.
+    pub ridge: f64,
+}
+
+impl Default for LmtConfig {
+    fn default() -> Self {
+        Self { max_depth: 3, min_samples_leaf: 20, ridge: 1e-3 }
+    }
+}
+
+impl LinearModelTree {
+    /// Distills `model` over the probe dataset.
+    pub fn distill(model: &dyn Fn(&[f64]) -> f64, data: &Dataset, config: LmtConfig) -> Self {
+        let outputs: Vec<f64> = (0..data.n_rows()).map(|i| model(data.row(i))).collect();
+        let tree = DecisionTree::fit(
+            data.x(),
+            &outputs,
+            TreeConfig {
+                max_depth: config.max_depth,
+                criterion: SplitCriterion::Variance,
+                min_samples_leaf: config.min_samples_leaf,
+                min_samples_split: config.min_samples_leaf * 2,
+                ..TreeConfig::default()
+            },
+        );
+        // Group training rows by leaf, fit a ridge regression per leaf.
+        let n_nodes = tree.nodes().len();
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_nodes];
+        for i in 0..data.n_rows() {
+            members[tree.leaf_of(data.row(i))].push(i);
+        }
+        let mut leaf_models: Vec<Option<LinearRegression>> = vec![None; n_nodes];
+        for (node_id, idx) in members.iter().enumerate() {
+            if idx.is_empty() {
+                continue;
+            }
+            let x = data.x().select_rows(idx);
+            let y: Vec<f64> = idx.iter().map(|&i| outputs[i]).collect();
+            let lin = LinearRegression::fit(&x, &y, LinearConfig { ridge: config.ridge, intercept: true })
+                .expect("leaf ridge regression is well-posed");
+            leaf_models[node_id] = Some(lin);
+        }
+        let mut lmt = Self {
+            tree,
+            leaf_models,
+            feature_names: data.schema().names().iter().map(|s| s.to_string()).collect(),
+            train_fidelity: 0.0,
+        };
+        let preds: Vec<f64> = (0..data.n_rows()).map(|i| lmt.predict_one(data.row(i))).collect();
+        lmt.train_fidelity = r_squared(&outputs, &preds);
+        lmt
+    }
+
+    /// Leaf-model prediction for one row.
+    pub fn predict_one(&self, x: &[f64]) -> f64 {
+        let leaf = self.tree.leaf_of(x);
+        match &self.leaf_models[leaf] {
+            Some(m) => m.predict_one(x),
+            // Leaves that received no probes fall back to the tree value.
+            None => self.tree.nodes()[leaf].value,
+        }
+    }
+
+    /// The contextual linear explanation at `x`: the leaf model's
+    /// coefficients as a feature attribution.
+    pub fn explain(&self, x: &[f64]) -> FeatureAttribution {
+        let leaf = self.tree.leaf_of(x);
+        let (intercept, coef) = match &self.leaf_models[leaf] {
+            Some(m) => (m.intercept(), m.coef().to_vec()),
+            None => (self.tree.nodes()[leaf].value, vec![0.0; self.feature_names.len()]),
+        };
+        FeatureAttribution::new(
+            self.feature_names.clone(),
+            coef,
+            intercept,
+            self.predict_one(x),
+        )
+    }
+
+    /// Number of leaf regions (distinct local explanations).
+    pub fn n_regions(&self) -> usize {
+        self.tree.n_leaves()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xai_data::synth::{circles, friedman1};
+    use xai_models::{proba_fn, ForestConfig, Gbdt, GbdtConfig, GbdtLoss, RandomForest};
+
+    #[test]
+    fn beats_single_linear_surrogate_on_nonlinear_model() {
+        let data = circles(800, 13, 0.15);
+        let forest = RandomForest::fit(
+            data.x(),
+            data.y(),
+            ForestConfig { n_trees: 30, seed: 4, ..Default::default() },
+        );
+        let f = proba_fn(&forest);
+        let lmt = LinearModelTree::distill(&f, &data, LmtConfig::default());
+        let single = crate::global::linear_surrogate(&f, &data);
+        assert!(
+            lmt.train_fidelity > single.train_fidelity + 0.2,
+            "LMT {} vs single linear {}",
+            lmt.train_fidelity,
+            single.train_fidelity
+        );
+        assert!(lmt.n_regions() > 1);
+    }
+
+    #[test]
+    fn explanations_vary_across_regions() {
+        let data = friedman1(900, 15, 0.1);
+        let gbdt = Gbdt::fit(
+            data.x(),
+            data.y(),
+            GbdtConfig { n_rounds: 40, loss: GbdtLoss::Squared, ..GbdtConfig::default() },
+        );
+        let f = |x: &[f64]| xai_models::Regressor::predict_one(&gbdt, x);
+        let lmt = LinearModelTree::distill(&f, &data, LmtConfig::default());
+        // Find two rows in different leaves; their explanations differ.
+        let e0 = lmt.explain(data.row(0));
+        let mut found_different = false;
+        for i in 1..data.n_rows() {
+            let e = lmt.explain(data.row(i));
+            if e.values != e0.values {
+                found_different = true;
+                break;
+            }
+        }
+        assert!(found_different, "contextual explanations must differ between regions");
+    }
+
+    #[test]
+    fn prediction_matches_leaf_model() {
+        let data = friedman1(400, 21, 0.1);
+        let f = |x: &[f64]| 3.0 * x[3] + x[4];
+        let lmt = LinearModelTree::distill(&f, &data, LmtConfig::default());
+        // The target is globally linear: fidelity should be ~1 and each
+        // leaf model should recover the function.
+        assert!(lmt.train_fidelity > 0.99, "fidelity {}", lmt.train_fidelity);
+        let e = lmt.explain(data.row(0));
+        assert!((e.value_of("x3").unwrap() - 3.0).abs() < 0.1);
+        assert!((e.value_of("x4").unwrap() - 1.0).abs() < 0.1);
+    }
+}

@@ -1,0 +1,164 @@
+//! ROAR: RemOve And Retrain (Hooker et al.) — the retraining-based
+//! faithfulness benchmark for feature attributions.
+//!
+//! §3 "User study and evaluation" asks how explanation techniques should
+//! be evaluated; deletion curves (see `xai-core::eval`) perturb inputs of
+//! a *fixed* model, which conflates attribution quality with
+//! off-manifold model behaviour. ROAR instead **retrains** after removing
+//! the top-attributed features: if the attribution found truly
+//! informative features, accuracy after retraining must drop faster than
+//! under random removal.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use xai_data::metrics::accuracy;
+use xai_data::Dataset;
+use xai_linalg::Matrix;
+use xai_models::{Classifier, LogisticConfig, LogisticRegression};
+
+/// One ROAR curve: accuracy after removing the `k` top-ranked features.
+#[derive(Clone, Debug)]
+pub struct RoarCurve {
+    /// `(features removed, retrained test accuracy)` points, starting at 0.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl RoarCurve {
+    /// Area under the curve (lower = attribution found the signal).
+    pub fn auc(&self) -> f64 {
+        if self.points.len() < 2 {
+            return self.points.first().map_or(0.0, |p| p.1);
+        }
+        self.points.windows(2).map(|w| 0.5 * (w[0].1 + w[1].1)).sum::<f64>()
+            / (self.points.len() - 1) as f64
+    }
+}
+
+fn mask_columns(x: &Matrix, cols: &[usize], fill: &[f64]) -> Matrix {
+    let mut out = x.clone();
+    for i in 0..out.rows() {
+        for &j in cols {
+            out[(i, j)] = fill[j];
+        }
+    }
+    out
+}
+
+/// Runs ROAR with a logistic probe model: features are removed in the
+/// given ranking order (most important first, replaced by their training
+/// means), the probe is retrained at each step, and held-out accuracy is
+/// recorded.
+pub fn roar_curve(
+    train: &Dataset,
+    test: &Dataset,
+    ranking: &[usize],
+    steps: usize,
+    config: LogisticConfig,
+) -> RoarCurve {
+    assert_eq!(ranking.len(), train.n_features(), "ranking must cover all features");
+    assert!(steps >= 1);
+    let means: Vec<f64> = (0..train.n_features())
+        .map(|j| xai_linalg::stats::mean(&train.x().col(j)))
+        .collect();
+    let eval = |removed: &[usize]| -> f64 {
+        let xt = mask_columns(train.x(), removed, &means);
+        let xs = mask_columns(test.x(), removed, &means);
+        let model = LogisticRegression::fit(&xt, train.y(), config);
+        accuracy(test.y(), &{
+            let m = xs;
+            Classifier::predict(&model, &m)
+        })
+    };
+    let mut points = vec![(0usize, eval(&[]))];
+    let per_step = (train.n_features() as f64 / steps as f64).ceil() as usize;
+    let mut removed: Vec<usize> = Vec::new();
+    for chunk in ranking.chunks(per_step.max(1)) {
+        removed.extend_from_slice(chunk);
+        points.push((removed.len(), eval(&removed)));
+        if removed.len() >= train.n_features() {
+            break;
+        }
+    }
+    RoarCurve { points }
+}
+
+/// Convenience baseline: a seeded random feature ranking.
+pub fn random_ranking(n_features: usize, seed: u64) -> Vec<usize> {
+    let mut r: Vec<usize> = (0..n_features).collect();
+    r.shuffle(&mut StdRng::seed_from_u64(seed));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xai_data::synth::linear_gaussian;
+    use xai_models::proba_fn;
+
+    fn setup() -> (Dataset, Dataset) {
+        // Features 0 and 1 carry all the signal; 2–5 are noise.
+        let train = linear_gaussian(900, &[2.5, -2.0, 0.0, 0.0, 0.0, 0.0], 0.0, 141);
+        let test = linear_gaussian(500, &[2.5, -2.0, 0.0, 0.0, 0.0, 0.0], 0.0, 142);
+        (train, test)
+    }
+
+    #[test]
+    fn informed_ranking_collapses_accuracy_faster_than_random() {
+        let (train, test) = setup();
+        let informed = vec![0usize, 1, 2, 3, 4, 5];
+        let anti = vec![5usize, 4, 3, 2, 1, 0];
+        let cfg = LogisticConfig::default();
+        let roar_informed = roar_curve(&train, &test, &informed, 6, cfg);
+        let roar_anti = roar_curve(&train, &test, &anti, 6, cfg);
+        assert!(
+            roar_informed.auc() < roar_anti.auc() - 0.05,
+            "informed {} vs anti-informed {}",
+            roar_informed.auc(),
+            roar_anti.auc()
+        );
+        // Removing the two signal features drops accuracy to ~chance.
+        assert!(roar_informed.points[2].1 < 0.62, "{:?}", roar_informed.points);
+    }
+
+    #[test]
+    fn shap_ranking_beats_random_under_roar() {
+        let (train, test) = setup();
+        let model = LogisticRegression::fit(train.x(), train.y(), LogisticConfig::default());
+        let f = proba_fn(&model);
+        // Global SHAP ranking via mean |phi| over a few rows.
+        let background = train.x().select_rows(&(0..16).collect::<Vec<_>>());
+        let mut mean_abs = vec![0.0; train.n_features()];
+        for i in 0..20 {
+            let game = xai_shapley::PredictionGame::new(&f, train.row(i), &background);
+            let phi = xai_shapley::exact_shapley(&game);
+            for (m, p) in mean_abs.iter_mut().zip(&phi) {
+                *m += p.abs();
+            }
+        }
+        let mut shap_rank: Vec<usize> = (0..train.n_features()).collect();
+        shap_rank.sort_by(|&a, &b| mean_abs[b].partial_cmp(&mean_abs[a]).unwrap());
+
+        let cfg = LogisticConfig::default();
+        let shap_roar = roar_curve(&train, &test, &shap_rank, 6, cfg);
+        let rand_roar = roar_curve(&train, &test, &random_ranking(6, 3), 6, cfg);
+        assert!(
+            shap_roar.auc() <= rand_roar.auc() + 0.01,
+            "shap {} vs random {}",
+            shap_roar.auc(),
+            rand_roar.auc()
+        );
+    }
+
+    #[test]
+    fn curve_starts_full_and_ends_at_chance() {
+        let (train, test) = setup();
+        let cfg = LogisticConfig::default();
+        let curve = roar_curve(&train, &test, &[0, 1, 2, 3, 4, 5], 3, cfg);
+        assert_eq!(curve.points[0].0, 0);
+        assert!(curve.points[0].1 > 0.8, "full model is strong");
+        let last = curve.points.last().unwrap();
+        assert_eq!(last.0, 6);
+        assert!(last.1 < 0.62, "all features removed ⇒ chance-level");
+    }
+}

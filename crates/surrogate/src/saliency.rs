@@ -1,0 +1,235 @@
+//! Gradient-based attributions: saliency, gradient × input, integrated
+//! gradients, and SmoothGrad.
+//!
+//! §2.4 of the tutorial surveys "sensitivity map, saliency map, …
+//! gradient-based attribution methods" for differentiable models, and
+//! §2.1.1's reliability critiques (\[2, 22\]: saliency maps can be "fragile
+//! and unreliable") motivate the axiomatic variant. These methods are
+//! *model-specific* (they need `∂f/∂x`); here they run against any
+//! [`Differentiable`] model — the workspace's [`xai_models::Mlp`]
+//! implements it, and a closed-form impl for linear models anchors the
+//! tests.
+//!
+//! Integrated gradients satisfies **completeness**:
+//! `Σⱼ IGⱼ = f(x) − f(baseline)` — checked by the tests and by
+//! experiment E23.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xai_core::FeatureAttribution;
+use xai_linalg::distr::normal;
+use xai_models::{Classifier, LogisticRegression, Mlp};
+
+/// A model exposing output gradients with respect to its input.
+pub trait Differentiable {
+    /// The scalar model output at `x`.
+    fn output(&self, x: &[f64]) -> f64;
+    /// `∂ output / ∂ x` at `x`.
+    fn input_gradient(&self, x: &[f64]) -> Vec<f64>;
+}
+
+impl Differentiable for Mlp {
+    fn output(&self, x: &[f64]) -> f64 {
+        self.proba_one(x)
+    }
+    fn input_gradient(&self, x: &[f64]) -> Vec<f64> {
+        Mlp::input_gradient(self, x)
+    }
+}
+
+impl Differentiable for LogisticRegression {
+    fn output(&self, x: &[f64]) -> f64 {
+        self.proba_one(x)
+    }
+    fn input_gradient(&self, x: &[f64]) -> Vec<f64> {
+        let p = self.proba_one(x);
+        let scale = p * (1.0 - p);
+        self.coef().iter().map(|w| w * scale).collect()
+    }
+}
+
+/// Plain saliency: `|∂f/∂xⱼ|`.
+pub fn saliency<M: Differentiable>(model: &M, x: &[f64]) -> Vec<f64> {
+    model.input_gradient(x).into_iter().map(f64::abs).collect()
+}
+
+/// Gradient × input: `xⱼ · ∂f/∂xⱼ` (signed; exact for linear raw models).
+pub fn gradient_times_input<M: Differentiable>(model: &M, x: &[f64]) -> Vec<f64> {
+    model
+        .input_gradient(x)
+        .into_iter()
+        .zip(x)
+        .map(|(g, &v)| g * v)
+        .collect()
+}
+
+/// Integrated gradients along the straight path from `baseline` to `x`
+/// with a midpoint Riemann sum of `steps` segments.
+pub fn integrated_gradients<M: Differentiable>(
+    model: &M,
+    x: &[f64],
+    baseline: &[f64],
+    steps: usize,
+) -> FeatureAttribution {
+    assert_eq!(x.len(), baseline.len());
+    assert!(steps >= 1);
+    let d = x.len();
+    let mut acc = vec![0.0; d];
+    let mut point = vec![0.0; d];
+    for s in 0..steps {
+        let alpha = (s as f64 + 0.5) / steps as f64;
+        for j in 0..d {
+            point[j] = baseline[j] + alpha * (x[j] - baseline[j]);
+        }
+        let g = model.input_gradient(&point);
+        for j in 0..d {
+            acc[j] += g[j] * (x[j] - baseline[j]) / steps as f64;
+        }
+    }
+    FeatureAttribution::new(
+        (0..d).map(|j| format!("x{j}")).collect(),
+        acc,
+        model.output(baseline),
+        model.output(x),
+    )
+}
+
+/// SmoothGrad: the mean gradient over `samples` Gaussian-jittered copies
+/// of `x` — the standard response to the fragility critique \[22\].
+pub fn smooth_grad<M: Differentiable>(
+    model: &M,
+    x: &[f64],
+    noise_std: f64,
+    samples: usize,
+    seed: u64,
+) -> Vec<f64> {
+    assert!(samples >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = x.len();
+    let mut acc = vec![0.0; d];
+    let mut probe = vec![0.0; d];
+    for _ in 0..samples {
+        for j in 0..d {
+            probe[j] = x[j] + normal(&mut rng, 0.0, noise_std);
+        }
+        let g = model.input_gradient(&probe);
+        for j in 0..d {
+            acc[j] += g[j] / samples as f64;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xai_data::synth::{circles, linear_gaussian};
+    use xai_models::{LogisticConfig, MlpConfig};
+
+    fn mlp_on_rings() -> (Mlp, xai_data::Dataset) {
+        let data = circles(600, 3, 0.1);
+        let mlp = Mlp::fit(
+            data.x(),
+            data.y(),
+            MlpConfig { hidden: 24, epochs: 120, learning_rate: 0.1, ..MlpConfig::default() },
+        );
+        (mlp, data)
+    }
+
+    #[test]
+    fn integrated_gradients_completeness() {
+        let (mlp, data) = mlp_on_rings();
+        for i in 0..5 {
+            let x = data.row(i);
+            let baseline = vec![0.0; 2];
+            let ig = integrated_gradients(&mlp, x, &baseline, 256);
+            // Completeness: Σ IG = f(x) − f(baseline).
+            assert!(
+                ig.efficiency_gap() < 5e-3,
+                "completeness gap {} at instance {i}",
+                ig.efficiency_gap()
+            );
+        }
+    }
+
+    #[test]
+    fn more_steps_tighten_completeness() {
+        let (mlp, data) = mlp_on_rings();
+        let x = data.row(0);
+        let baseline = vec![0.0; 2];
+        let coarse = integrated_gradients(&mlp, x, &baseline, 4).efficiency_gap();
+        let fine = integrated_gradients(&mlp, x, &baseline, 512).efficiency_gap();
+        assert!(fine <= coarse + 1e-9, "coarse {coarse} vs fine {fine}");
+    }
+
+    #[test]
+    fn logistic_gradient_matches_finite_differences() {
+        let data = linear_gaussian(400, &[2.0, -1.0], 0.3, 7);
+        let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+        let x = data.row(0);
+        let g = model.input_gradient(x);
+        for j in 0..2 {
+            let mut xp = x.to_vec();
+            xp[j] += 1e-6;
+            let fd = (model.output(&xp) - model.output(x)) / 1e-6;
+            assert!((g[j] - fd).abs() < 1e-4, "grad[{j}] {} vs fd {fd}", g[j]);
+        }
+    }
+
+    #[test]
+    fn saliency_ranks_relevant_features() {
+        let data = linear_gaussian(2000, &[3.0, 0.0], 0.0, 9);
+        let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+        let mut s0 = 0.0;
+        let mut s1 = 0.0;
+        for i in 0..100 {
+            let s = saliency(&model, data.row(i));
+            s0 += s[0];
+            s1 += s[1];
+        }
+        assert!(s0 > 5.0 * s1, "relevant {s0} vs irrelevant {s1}");
+    }
+
+    #[test]
+    fn smoothgrad_limits() {
+        let (mlp, data) = mlp_on_rings();
+        let x = data.row(0).to_vec();
+        // Vanishing noise recovers the raw gradient.
+        let tiny = smooth_grad(&mlp, &x, 1e-6, 50, 1);
+        let raw = mlp.input_gradient(&x);
+        for (a, b) in tiny.iter().zip(&raw) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        // Deterministic under seed, stochastic across seeds.
+        assert_eq!(smooth_grad(&mlp, &x, 0.3, 50, 7), smooth_grad(&mlp, &x, 0.3, 50, 7));
+        assert_ne!(smooth_grad(&mlp, &x, 0.3, 50, 7), smooth_grad(&mlp, &x, 0.3, 50, 8));
+    }
+
+    #[test]
+    fn smoothgrad_estimates_stabilize_with_more_samples() {
+        // The variance-reduction claim, measured across seeds: the spread
+        // of SmoothGrad estimates shrinks as the sample count grows.
+        let (mlp, data) = mlp_on_rings();
+        let x = data.row(0).to_vec();
+        let spread = |samples: usize| -> f64 {
+            let estimates: Vec<Vec<f64>> =
+                (0..6).map(|s| smooth_grad(&mlp, &x, 0.3, samples, s)).collect();
+            let mut total = 0.0;
+            for j in 0..x.len() {
+                let vals: Vec<f64> = estimates.iter().map(|e| e[j]).collect();
+                total += xai_linalg::stats::std_dev(&vals);
+            }
+            total
+        };
+        let small = spread(5);
+        let large = spread(200);
+        assert!(large < small, "spread must shrink: {small} -> {large}");
+    }
+
+    #[test]
+    fn gradient_times_input_zero_at_zero_input() {
+        let (mlp, _) = mlp_on_rings();
+        let gxi = gradient_times_input(&mlp, &[0.0, 0.0]);
+        assert!(gxi.iter().all(|v| v.abs() < 1e-12));
+    }
+}

@@ -1,0 +1,81 @@
+//! Quickstart: one model, five kinds of explanation.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use xai::prelude::*;
+use xai::surrogate::lime::LimeExplainer as Lime;
+
+fn main() {
+    // 1. Data + model: a gradient-boosted classifier on synthetic German
+    //    Credit.
+    let data = xai::data::synth::german_credit(1200, 42);
+    let (train, test) = data.train_test_split(0.25, 1);
+    let model = Gbdt::fit(train.x(), train.y(), GbdtConfig { n_rounds: 60, ..GbdtConfig::default() });
+    let auc = xai::data::metrics::auc_roc(test.y(), &model.proba(test.x()));
+    println!("model: GBDT, test AUC = {auc:.3}\n");
+
+    // The applicant we will explain.
+    let applicant = test.row(0);
+    println!("applicant: {}", test.render_row(0));
+    println!("P(good credit) = {:.3}\n", model.proba_one(applicant));
+    let names = data.schema().names();
+
+    // 2. Feature attribution via TreeSHAP (model-specific, exact, fast).
+    let shap = tree_shap_attribution(&model, applicant, &names);
+    println!("— TreeSHAP (attributes the log-odds margin) —");
+    for (name, value) in shap.top_k(4) {
+        println!("  {name:>18}: {value:+.4}");
+    }
+    println!("  efficiency gap: {:.2e}\n", shap.efficiency_gap());
+
+    // 3. Feature attribution via LIME (model-agnostic surrogate).
+    let lime = Lime::fit(&train);
+    let f = proba_fn(&model);
+    let exp = lime.explain(&f, applicant, LimeConfig::default(), 7);
+    println!("— LIME (local weighted-linear surrogate) —");
+    for (name, value) in exp.attribution.top_k(4) {
+        println!("  {name:>18}: {value:+.4}");
+    }
+    println!("  local fidelity R² = {:.3}\n", exp.local_fidelity);
+
+    // 4. A high-precision rule via Anchors.
+    let anchors = AnchorsExplainer::fit(&train);
+    let rule = anchors.explain(&f, applicant, AnchorsConfig::default(), 7);
+    println!("— Anchor rule —\n  {rule}\n");
+
+    // 5. Counterfactuals via DiCE.
+    let dice = DiceExplainer::fit(&train);
+    let cfs = dice.generate(&f, applicant, DiceConfig { k: 2, ..DiceConfig::default() }, 7);
+    println!("— Diverse counterfactuals —");
+    for (i, cf) in cfs.iter().enumerate() {
+        println!(
+            "  cf#{i}: flips to {:.3} by changing {} feature(s), distance {:.2}",
+            cf.counterfactual_output,
+            cf.sparsity(),
+            cf.distance
+        );
+        for &j in &cf.changed_features {
+            println!(
+                "       {} : {} -> {}",
+                names[j],
+                data.schema().feature(j).render(cf.original[j]),
+                data.schema().feature(j).render(cf.counterfactual[j]),
+            );
+        }
+    }
+    println!();
+
+    // 6. Which training points mattered? Exact KNN-Shapley valuation.
+    let values = knn_shapley(&train, &test, 5);
+    let best = values.ranking_desc();
+    println!("— Training-data valuation (exact 5-NN Shapley) —");
+    for &i in best.iter().take(3) {
+        println!("  value {:+.5}  {}", values.values[i], train.render_row(i));
+    }
+
+    // 7. Everything exports as JSON for audit trails.
+    println!("\n— JSON report of the TreeSHAP explanation —");
+    println!("{}", shap.to_report().to_json());
+}

@@ -1,0 +1,123 @@
+//! Explanations in databases (§3): provenance, tuple Shapley values, and
+//! complaint-driven debugging of a query over model predictions.
+//!
+//! ```sh
+//! cargo run --release --example sql_debugging
+//! ```
+
+use xai::prelude::*;
+use xai::provenance::{
+    complaint_influence, top_suspects, tuple_shapley_exact, Aggregate, Complaint,
+    IncrementalRidge, PredicateCountQuery, Relation, Value,
+};
+
+fn main() {
+    // ── 1. Provenance through a query ─────────────────────────────────
+    // orders(cust, item, qty) ⋈ customers(cust, city), then "which cities
+    // ordered disks?"
+    let (orders, next) = Relation::base(
+        "orders",
+        &["cust", "item", "qty"],
+        vec![
+            vec![Value::Str("ann".into()), Value::Str("disk".into()), Value::Int(2)],
+            vec![Value::Str("bob".into()), Value::Str("disk".into()), Value::Int(1)],
+            vec![Value::Str("cat".into()), Value::Str("cpu".into()), Value::Int(4)],
+            vec![Value::Str("dan".into()), Value::Str("disk".into()), Value::Int(3)],
+        ],
+        0,
+    );
+    let (customers, _) = Relation::base(
+        "customers",
+        &["cust", "city"],
+        vec![
+            vec![Value::Str("ann".into()), Value::Str("paris".into())],
+            vec![Value::Str("bob".into()), Value::Str("paris".into())],
+            vec![Value::Str("cat".into()), Value::Str("rome".into())],
+            vec![Value::Str("dan".into()), Value::Str("oslo".into())],
+        ],
+        next,
+    );
+    let disk_cities = orders
+        .select(|v| v[1] == Value::Str("disk".into()))
+        .join(&customers)
+        .project(&["city"]);
+    println!("Q: which cities ordered disks?");
+    for t in &disk_cities.tuples {
+        println!(
+            "  {}  (lineage: base tuples {:?}, {} derivation(s))",
+            t.values[0],
+            t.provenance.lineage(),
+            t.provenance.n_derivations()
+        );
+    }
+
+    // ── 2. Tuple Shapley: why is "paris" an answer? ───────────────────
+    let paris = disk_cities
+        .tuples
+        .iter()
+        .find(|t| t.values[0] == Value::Str("paris".into()))
+        .expect("paris answers");
+    let endo = paris.provenance.lineage();
+    let phi = tuple_shapley_exact(&paris.provenance, &endo);
+    println!("\nShapley responsibility of base tuples for answer 'paris':");
+    for (v, p) in endo.iter().zip(&phi) {
+        println!("  tuple #{v}: {p:.3}");
+    }
+    println!("  (two independent witnesses through ann and bob share credit)");
+
+    // ── 3. Complaint-driven debugging of a Query-2.0 aggregate ────────
+    // A model predicts loan approval; the query counts approvals. The
+    // auditor complains the count is inflated — because someone corrupted
+    // training labels. Influence analysis finds them.
+    let mut train = xai::data::synth::linear_gaussian(300, &[2.0, -1.0], 0.0, 31);
+    let serving = xai::data::synth::linear_gaussian(400, &[2.0, -1.0], 0.0, 32);
+    // Corrupt: flip 30 negatives to positive.
+    let corrupted = {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut zeros: Vec<usize> = (0..train.n_rows()).filter(|&i| train.y()[i] < 0.5).collect();
+        zeros.shuffle(&mut rng);
+        zeros.truncate(30);
+        for &i in &zeros {
+            train.set_label(i, 1.0);
+        }
+        zeros
+    };
+    let model = LogisticRegression::fit(train.x(), train.y(), LogisticConfig { l2: 1e-2, ..Default::default() });
+    let query = PredicateCountQuery::new(&serving, |_| true);
+    println!(
+        "\nSELECT count(*) FROM serving WHERE M(x)=1  ⇒  {} (relaxed {:.1})",
+        query.hard_value(&model),
+        query.relaxed_value(&model)
+    );
+    let att = complaint_influence(&model, &train, &query, Complaint::TooHigh);
+    let suspects = top_suspects(&att, 30);
+    let hits = suspects.iter().filter(|s| corrupted.contains(s)).count();
+    println!("complaint('too high') → top-30 suspects contain {hits}/30 truly corrupted tuples");
+    let cleaned = train.without(&suspects);
+    let refit = LogisticRegression::fit(cleaned.x(), cleaned.y(), LogisticConfig { l2: 1e-2, ..Default::default() });
+    println!(
+        "after deleting suspects: count {} -> {}",
+        query.hard_value(&model),
+        query.hard_value(&refit)
+    );
+
+    // ── 4. PrIU: deleting tuples without retraining ───────────────────
+    let x = train.x().with_intercept();
+    let mut inc = IncrementalRidge::fit(&x, train.y(), 1e-3);
+    println!("\nPrIU-style incremental deletion of the 30 suspect tuples:");
+    let before = inc.coef();
+    for &i in &suspects {
+        inc.remove_row(x.row(i), train.y()[i]);
+    }
+    let after = inc.coef();
+    println!("  coef[1]: {:+.4} -> {:+.4} (O(d²) per deletion, no retraining)", before[1], after[1]);
+
+    // ── 5. Aggregate provenance in the engine itself ──────────────────
+    let per_city = orders.join(&customers).aggregate(&["city"], Some("qty"), Aggregate::Sum);
+    println!("\nper-city quantities with lineage:");
+    for t in &per_city.tuples {
+        println!("  {} = {} (from base tuples {:?})", t.values[0], t.values[1], t.provenance.lineage());
+    }
+}

@@ -1,0 +1,57 @@
+//! A programmatic tour of the tutorial's taxonomy (§1–§2).
+//!
+//! The tutorial organizes XAI along three dimensions: intrinsic vs
+//! post-hoc, model-agnostic vs model-specific, local vs global (vs
+//! training-data). This workspace makes that organization executable:
+//! every implemented method carries a `MethodCard`, and the registry
+//! answers the tutorial's own classification questions.
+//!
+//! ```sh
+//! cargo run --release --example taxonomy_tour
+//! ```
+
+use xai::core::{workspace_registry, Access, Scope, Stage};
+
+fn main() {
+    let registry = workspace_registry();
+    println!("{} methods implemented across the tutorial's sections\n", registry.cards().len());
+
+    // Walk the tutorial's structure section by section.
+    for (section, title) in [
+        ("2.1.1", "Surrogate explainability"),
+        ("2.1.2", "Methods based on Shapley values"),
+        ("2.1.3", "Causal approaches"),
+        ("2.1.4", "Counterfactuals and algorithmic recourse"),
+        ("2.2", "Rule-based explanations"),
+        ("2.3.1", "Data valuation explanations"),
+        ("2.3.2", "Influence-based explanations"),
+        ("2.4", "Explanations for unstructured data (gradient methods)"),
+        ("3", "Opportunities for data management research"),
+    ] {
+        let methods = registry.by_section(section);
+        println!("§{section} {title}:");
+        for card in methods {
+            println!(
+                "   {:<32} [{:?}/{:?}/{:?}]  — {}",
+                card.name, card.stage, card.access, card.scope, card.citation
+            );
+        }
+        println!();
+    }
+
+    // The tutorial's classification questions, answered by query.
+    println!("Q: which methods work on ANY black box and explain ONE prediction?");
+    for card in registry.query(None, Some(Access::ModelAgnostic), Some(Scope::Local)) {
+        println!("   {}", card.name);
+    }
+
+    println!("\nQ: which methods are interpretable BY DESIGN (intrinsic)?");
+    for card in registry.query(Some(Stage::Intrinsic), None, None) {
+        println!("   {}", card.name);
+    }
+
+    println!("\nQ: which methods attribute to TRAINING DATA rather than features?");
+    for card in registry.query(None, None, Some(Scope::TrainingData)) {
+        println!("   {}", card.name);
+    }
+}

@@ -1,0 +1,84 @@
+//! # xai — a unified explainable-AI toolkit in Rust
+//!
+//! A from-scratch implementation of the XAI landscape surveyed in
+//! *"Explainable AI: Foundations, Applications, Opportunities for Data
+//! Management Research"* (Pradhan, Lahiri, Galhotra & Salimi, SIGMOD '22
+//! tutorial): feature attributions (LIME, the Shapley family, TreeSHAP,
+//! causal variants), rule-based explanations (Anchors, decision sets,
+//! sufficient reasons), counterfactuals and recourse (DiCE, GeCo, LEWIS),
+//! training-data valuations (Data Shapley, influence functions), and the
+//! data-management directions of §3 (provenance semirings, tuple Shapley,
+//! complaint-driven debugging, incremental model updates).
+//!
+//! Every substrate — linear algebra, datasets, models, causal models, a
+//! relational engine — is implemented in this workspace with no external
+//! numeric dependencies.
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`linalg`] | matrices, factorizations, WLS, CG, statistics, RNG |
+//! | [`data`] | datasets, schemas, encoders, metrics, synthetic generators, SCMs |
+//! | [`models`] | linear/logistic regression, CART, forests, GBDT, kNN, NB, MLP |
+//! | [`core`] | explanation types, the executable taxonomy, evaluation, JSON |
+//! | [`shapley`] | exact/sampled/Kernel/Tree SHAP, QII, asymmetric/causal, flow |
+//! | [`surrogate`] | LIME, stability indices, global surrogates, LMTs, attacks |
+//! | [`rules`] | Apriori/FP-Growth, association rules, Anchors, IDS, logic |
+//! | [`counterfactual`] | DiCE, GeCo, actionable recourse, LEWIS |
+//! | [`datavalue`] | LOO, Data Shapley, KNN-Shapley, influence functions |
+//! | [`provenance`] | semirings, relational engine, tuple Shapley, Rain, PrIU |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xai::prelude::*;
+//!
+//! // Train a model on a synthetic credit dataset…
+//! let data = xai::data::synth::german_credit(400, 7);
+//! let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+//!
+//! // …and explain one decision with Kernel SHAP.
+//! let f = proba_fn(&model);
+//! let names = data.schema().names();
+//! let attribution = xai::shapley::kernel_shap_attribution(
+//!     &f, data.row(0), data.x(), &names, Default::default());
+//! assert!(attribution.efficiency_gap() < 1e-6);
+//! ```
+
+pub use xai_core as core;
+pub use xai_counterfactual as counterfactual;
+pub use xai_data as data;
+pub use xai_datavalue as datavalue;
+pub use xai_linalg as linalg;
+pub use xai_models as models;
+pub use xai_provenance as provenance;
+pub use xai_rules as rules;
+pub use xai_shapley as shapley;
+pub use xai_surrogate as surrogate;
+
+/// The most commonly used items, importable in one line.
+pub mod prelude {
+    pub use xai_core::{
+        workspace_registry, Counterfactual, DataAttribution, FeatureAttribution, Json,
+        RuleExplanation, ToReport,
+    };
+    pub use xai_counterfactual::{
+        geco, linear_recourse, DiceConfig, DiceExplainer, GecoConfig, Lewis, Plaf, RecourseConfig,
+    };
+    pub use xai_data::{Dataset, Schema, Task};
+    pub use xai_datavalue::{
+        influence_on_test_loss, knn_shapley, tmc_shapley, LogisticUtility, Solver, TmcConfig,
+        Utility,
+    };
+    pub use xai_models::{
+        proba_fn, regress_fn, Classifier, DecisionTree, Gbdt, GbdtConfig, Knn, LinearRegression,
+        LogisticConfig, LogisticRegression, Model, RandomForest, Regressor, TreeConfig,
+    };
+    pub use xai_rules::{AnchorsConfig, AnchorsExplainer, DecisionSet, IdsConfig};
+    pub use xai_shapley::{
+        exact_shapley, gbdt_shap, kernel_shap, kernel_shap_attribution, tree_shap_attribution,
+        CooperativeGame, KernelShapConfig, PredictionGame,
+    };
+    pub use xai_surrogate::{LimeConfig, LimeExplainer};
+}

@@ -1,0 +1,126 @@
+//! Cross-method consistency: different estimators of the same quantity
+//! must agree, and causal/marginal methods must coincide exactly when the
+//! causal structure is trivial.
+
+use xai::prelude::*;
+use xai::shapley::{
+    asymmetric_shapley_exact, causal_shapley, permutation_shapley, shapley_qii,
+};
+
+#[test]
+fn four_estimators_agree_on_one_prediction_game() {
+    let data = xai::data::synth::german_credit(300, 9);
+    let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+    let f = proba_fn(&model);
+    let background = data.x().select_rows(&(0..40).collect::<Vec<_>>());
+    let instance = data.row(50);
+    let game = PredictionGame::new(&f, instance, &background);
+
+    let exact = exact_shapley(&game);
+    let kernel = kernel_shap(&game, KernelShapConfig::default());
+    let perms = permutation_shapley(&game, 6000, 3);
+    let qii = shapley_qii(&f, instance, &background, 6000, 3);
+
+    for j in 0..instance.len() {
+        assert!(
+            (kernel.phi[j] - exact[j]).abs() < 1e-6,
+            "kernel vs exact at {j}: {} vs {}",
+            kernel.phi[j],
+            exact[j]
+        );
+        assert!(
+            (perms.phi[j] - exact[j]).abs() < 0.02,
+            "permutation vs exact at {j}: {} vs {}",
+            perms.phi[j],
+            exact[j]
+        );
+        assert!(
+            (qii.phi[j] - exact[j]).abs() < 0.02,
+            "QII vs exact at {j}: {} vs {}",
+            qii.phi[j],
+            exact[j]
+        );
+    }
+}
+
+#[test]
+fn causal_equals_marginal_when_features_are_independent() {
+    use xai::data::{Mechanism, Node, Scm, LabeledScm};
+    // Three independent exogenous features + a Bernoulli label.
+    let scm = Scm::new(vec![
+        Node { name: "a".into(), mechanism: Mechanism::Exogenous { mean: 0.0, std: 1.0 } },
+        Node { name: "b".into(), mechanism: Mechanism::Exogenous { mean: 1.0, std: 0.5 } },
+        Node { name: "c".into(), mechanism: Mechanism::Exogenous { mean: -1.0, std: 2.0 } },
+        Node {
+            name: "y".into(),
+            mechanism: Mechanism::Bernoulli { parents: vec![0, 1, 2], weights: vec![1.0, -1.0, 0.5], bias: 0.0 },
+        },
+    ])
+    .unwrap();
+    let labeled = LabeledScm { scm, feature_nodes: vec![0, 1, 2], label_node: 3 };
+    let model = |x: &[f64]| xai::data::sigmoid(1.0 * x[0] - 1.0 * x[1] + 0.5 * x[2]);
+    let instance = [1.5, 0.5, -2.0];
+
+    // Causal (interventional) Shapley on the SCM.
+    let causal = causal_shapley(&model, &labeled, &instance, 3000, 5);
+
+    // Marginal Shapley with an SCM-sampled background.
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let (xs, _) = labeled.sample_examples(&mut rng, 3000);
+    let background = xai::linalg::Matrix::from_rows(&xs);
+    let game = PredictionGame::new(&model, &instance, &background);
+    let marginal = exact_shapley(&game);
+
+    // With no causal edges among the features, do(X_S = x_S) and
+    // replacement sampling coincide — the values must match.
+    for j in 0..3 {
+        assert!(
+            (causal[j] - marginal[j]).abs() < 0.03,
+            "independent features: causal {} vs marginal {} at {j}",
+            causal[j],
+            marginal[j]
+        );
+    }
+}
+
+#[test]
+fn asymmetric_with_empty_order_is_plain_shapley_on_models_too() {
+    // A 4-feature model keeps the n!-ordering enumeration cheap.
+    let data = xai::data::synth::linear_gaussian(200, &[1.5, -1.0, 0.5, 0.0], 0.2, 17);
+    let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+    let f = proba_fn(&model);
+    let background = data.x().select_rows(&(0..25).collect::<Vec<_>>());
+    let instance = data.row(3);
+    let game = PredictionGame::new(&f, instance, &background);
+    let asv = asymmetric_shapley_exact(&game, &[]);
+    let exact = exact_shapley(&game);
+    for (a, b) in asv.iter().zip(&exact) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn treeshap_matches_kernel_shap_on_the_same_conditional_game() {
+    // TreeSHAP plays the path-dependent game; Kernel SHAP run *on that
+    // same game* must agree (they differ only in estimator).
+    use xai::shapley::{kernel_shap, PathDependentGame};
+    let data = xai::data::synth::friedman1(400, 21, 0.2);
+    let tree = DecisionTree::fit(
+        data.x(),
+        data.y(),
+        TreeConfig {
+            max_depth: 4,
+            criterion: xai::models::SplitCriterion::Variance,
+            min_samples_leaf: 5,
+            ..TreeConfig::default()
+        },
+    );
+    let x = data.row(0);
+    let fast = xai::shapley::tree_shap(&tree, x);
+    let game = PathDependentGame::new(&tree, x);
+    let ks = kernel_shap(&game, KernelShapConfig { max_coalitions: 1 << 12, ..Default::default() });
+    for (a, b) in fast.iter().zip(&ks.phi) {
+        assert!((a - b).abs() < 1e-5, "treeshap {a} vs kernel {b}");
+    }
+}

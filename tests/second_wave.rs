@@ -1,0 +1,130 @@
+//! Integration tests for the extension waves: persistence, conditional
+//! SHAP, Owen values, unlearning, ROAR, rule lists, CSV, and the JSON
+//! round trip — exercised together as a user would.
+
+use xai::core::parse_json;
+use xai::data::{load_csv, Task};
+use xai::models::Persist;
+use xai::prelude::*;
+use xai::provenance::LogisticUnlearner;
+
+#[test]
+fn persisted_model_explains_identically() {
+    let data = xai::data::synth::german_credit(400, 7);
+    let model = Gbdt::fit(data.x(), data.y(), GbdtConfig { n_rounds: 20, ..GbdtConfig::default() });
+    let restored = Gbdt::load(&parse_json(&model.save().to_json()).unwrap()).unwrap();
+    // TreeSHAP of the restored model is bit-identical.
+    let names = data.schema().names();
+    for i in 0..10 {
+        let a = tree_shap_attribution(&model, data.row(i), &names);
+        let b = tree_shap_attribution(&restored, data.row(i), &names);
+        assert_eq!(a.values, b.values);
+    }
+}
+
+#[test]
+fn csv_to_counterfactual_pipeline() {
+    let csv = "\
+x0,x1,y
+1.2,0.3,1
+-0.8,1.1,0
+2.1,-0.4,1
+-1.5,0.9,0
+0.9,0.2,1
+-0.7,1.4,0
+1.8,-0.1,1
+-1.1,0.8,0
+1.4,0.5,1
+-0.9,1.2,0
+1.1,0.1,1
+-1.3,0.7,0
+";
+    let data = load_csv(csv, "y", Task::BinaryClassification).unwrap();
+    let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+    let f = proba_fn(&model);
+    let idx = (0..data.n_rows()).find(|&i| f(data.row(i)) < 0.5).unwrap();
+    let dice = DiceExplainer::fit(&data);
+    let cfs = dice.generate(&f, data.row(idx), DiceConfig { k: 1, ..DiceConfig::default() }, 3);
+    assert!(!cfs.is_empty() && cfs[0].is_valid());
+}
+
+#[test]
+fn unlearning_changes_downstream_explanations() {
+    let mut train = xai::data::synth::linear_gaussian(400, &[3.0, 0.0], 0.0, 31);
+    let flipped = xai::data::inject_label_noise(&mut train, 0.2, 9);
+    let config = LogisticConfig { l2: 1e-2, ..LogisticConfig::default() };
+    let mut unlearner = LogisticUnlearner::fit(&train, config);
+    let x = [1.0, 0.0];
+    let before = unlearner.model().proba_one(&x);
+    unlearner.forget(&flipped);
+    let after = unlearner.model().proba_one(&x);
+    // Removing upward-flipped noise sharpens the signal feature.
+    assert!(after > before, "{before} -> {after}");
+    // The unlearned model matches a fresh retrain.
+    let truth = unlearner.retrain_ground_truth();
+    for (a, b) in unlearner.model().weights().iter().zip(truth.weights()) {
+        assert!((a - b).abs() < 1e-2);
+    }
+}
+
+#[test]
+fn owen_and_interactions_agree_with_shapley_totals() {
+    use xai::shapley::{exact_interactions, exact_shapley, owen_values, PredictionGame};
+    let data = xai::data::synth::linear_gaussian(300, &[1.0, -2.0, 0.5, 0.0], 0.1, 41);
+    let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+    let f = proba_fn(&model);
+    let background = data.x().select_rows(&(0..30).collect::<Vec<_>>());
+    let instance = data.row(9);
+    let game = PredictionGame::new(&f, instance, &background);
+    let phi = exact_shapley(&game);
+
+    // Interactions: rows sum to phi.
+    let im = exact_interactions(&game);
+    for i in 0..4 {
+        let row: f64 = (0..4).map(|j| im.matrix[(i, j)]).sum();
+        assert!((row - phi[i]).abs() < 1e-9);
+    }
+    // Owen with pairs: group totals partition the same total.
+    let owen = owen_values(&game, &[vec![0, 1], vec![2, 3]], 800, 3);
+    let grand = phi.iter().sum::<f64>();
+    assert!((owen.group_values.iter().sum::<f64>() - grand).abs() < 1e-9);
+}
+
+#[test]
+fn rule_list_and_decision_set_tell_consistent_stories() {
+    use xai::rules::{RuleList, RuleListConfig};
+    let data = xai::data::synth::german_credit(700, 51);
+    let gbdt = Gbdt::fit(data.x(), data.y(), GbdtConfig { n_rounds: 30, ..GbdtConfig::default() });
+    let preds = Classifier::predict(&gbdt, data.x());
+    let list = RuleList::fit(&data, &preds, RuleListConfig::default());
+    let set = DecisionSet::fit(&data, &preds, IdsConfig::default());
+    // Both distillations agree with the model on a solid majority of rows.
+    let agree = |p: &dyn Fn(&[f64]) -> f64| -> f64 {
+        let hits = (0..data.n_rows())
+            .filter(|&i| (p(data.row(i)) >= 0.5) == (preds[i] >= 0.5))
+            .count();
+        hits as f64 / data.n_rows() as f64
+    };
+    assert!(agree(&|r| list.predict_one(r)) > 0.65);
+    assert!(agree(&|r| set.predict_one(r)) > 0.65);
+}
+
+#[test]
+fn roar_validates_the_workspace_attributions() {
+    use xai::surrogate::{random_ranking, roar_curve};
+    let train = xai::data::synth::linear_gaussian(700, &[2.5, -2.0, 0.0, 0.0], 0.0, 61);
+    let test = xai::data::synth::linear_gaussian(400, &[2.5, -2.0, 0.0, 0.0], 0.0, 62);
+    let model = Gbdt::fit(train.x(), train.y(), GbdtConfig { n_rounds: 30, ..GbdtConfig::default() });
+    let gi = xai::shapley::gbdt_global_importance(&model, &train, 100);
+    let cfg = LogisticConfig::default();
+    let shap = roar_curve(&train, &test, &gi.ranking(), 4, cfg);
+    let anti: Vec<usize> = gi.ranking().into_iter().rev().collect();
+    let anti_curve = roar_curve(&train, &test, &anti, 4, cfg);
+    assert!(
+        shap.auc() < anti_curve.auc(),
+        "informed {} vs anti-informed {}",
+        shap.auc(),
+        anti_curve.auc()
+    );
+    let _ = random_ranking(4, 1);
+}

@@ -1,0 +1,130 @@
+//! Integration: data-valuation methods against their ground truths, and
+//! the §3 provenance workflow end to end.
+
+use xai::datavalue::{
+    exact_data_shapley, influence_on_test_loss, leave_one_out, retraining_ground_truth,
+    tmc_shapley, LogisticUtility, Solver, TmcConfig, Utility,
+};
+use xai::prelude::*;
+use xai::provenance::{tuple_shapley_exact, IncrementalRidge, Polynomial, Relation, Value};
+
+#[test]
+fn tmc_approaches_exact_shapley_on_real_utilities() {
+    // Tiny training set so the 2^n exact computation is feasible.
+    let train = xai::data::synth::linear_gaussian(10, &[2.0], 0.0, 71);
+    let test = xai::data::synth::linear_gaussian(120, &[2.0], 0.0, 72);
+    let u = LogisticUtility::new(&train, &test, LogisticConfig::default());
+    let exact = exact_data_shapley(&u);
+    let tmc = tmc_shapley(&u, TmcConfig { permutations: 800, truncation_tolerance: 0.0, seed: 3 });
+    for (a, b) in tmc.attribution.values.iter().zip(&exact.values) {
+        assert!((a - b).abs() < 0.05, "{a} vs {b}");
+    }
+    // Spearman agreement of rankings.
+    let rho = xai::linalg::stats::spearman(&tmc.attribution.values, &exact.values);
+    assert!(rho > 0.8, "rank agreement {rho}");
+}
+
+#[test]
+fn loo_and_influence_agree_on_who_is_harmful() {
+    let mut train = xai::data::synth::linear_gaussian(70, &[2.5, -1.0], 0.0, 81);
+    let test = xai::data::synth::linear_gaussian(200, &[2.5, -1.0], 0.0, 82);
+    let flipped = xai::data::inject_label_noise(&mut train, 0.1, 5);
+    let config = LogisticConfig { l2: 1e-2, ..LogisticConfig::default() };
+    let model = LogisticRegression::fit(train.x(), train.y(), config);
+
+    let inf = influence_on_test_loss(&model, &train, &test, Solver::Cholesky);
+    let truth = retraining_ground_truth(&model, &train, &test, config);
+    let rho = xai::linalg::stats::spearman(&inf.values, &truth.values);
+    assert!(rho > 0.75, "influence/retraining agreement {rho}");
+
+    // Both should nominate the flipped points as harmful.
+    let inf_p = inf.precision_at_k(&flipped, flipped.len());
+    assert!(inf_p > 0.4, "influence precision {inf_p}");
+    let _ = leave_one_out(&LogisticUtility::new(&train, &test, config));
+}
+
+#[test]
+fn utility_interface_is_consistent_across_methods() {
+    let train = xai::data::synth::linear_gaussian(40, &[2.0], 0.0, 91);
+    let test = xai::data::synth::linear_gaussian(100, &[2.0], 0.0, 92);
+    let u = LogisticUtility::new(&train, &test, LogisticConfig::default());
+    let all: Vec<usize> = (0..train.n_rows()).collect();
+    let full = u.eval(&all);
+    // Efficiency of TMC: values sum to U(D) − U(∅) up to truncation.
+    let tmc = tmc_shapley(&u, TmcConfig { permutations: 150, truncation_tolerance: 0.0, seed: 7 });
+    let total: f64 = tmc.attribution.values.iter().sum();
+    assert!(
+        (total - (full - u.base_score())).abs() < 0.05,
+        "TMC efficiency: {total} vs {}",
+        full - u.base_score()
+    );
+}
+
+#[test]
+fn provenance_lineage_equals_shapley_support() {
+    // Tuples with zero Shapley value are exactly those outside the lineage.
+    let p = Polynomial::var(0)
+        .times(&Polynomial::var(1))
+        .plus(&Polynomial::var(2));
+    let endo = [0, 1, 2, 3, 4];
+    let phi = tuple_shapley_exact(&p, &endo);
+    for (i, &v) in endo.iter().enumerate() {
+        let in_lineage = p.lineage().contains(&v);
+        assert_eq!(
+            phi[i].abs() > 1e-12,
+            in_lineage,
+            "tuple {v}: shapley {} vs lineage {in_lineage}",
+            phi[i]
+        );
+    }
+}
+
+#[test]
+fn query_then_explain_then_delete_workflow() {
+    // Build a relation, run a query, explain an answer, delete the most
+    // responsible tuple, and verify the answer disappears.
+    let (r, _) = Relation::base(
+        "events",
+        &["user", "kind"],
+        vec![
+            vec![Value::Str("u1".into()), Value::Str("click".into())],
+            vec![Value::Str("u1".into()), Value::Str("buy".into())],
+            vec![Value::Str("u2".into()), Value::Str("click".into())],
+        ],
+        0,
+    );
+    let buyers = r.select(|v| v[1] == Value::Str("buy".into())).project(&["user"]);
+    assert_eq!(buyers.len(), 1);
+    let u1 = &buyers.tuples[0];
+    let endo = u1.provenance.lineage();
+    let phi = tuple_shapley_exact(&u1.provenance, &endo);
+    let top = endo[phi
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0];
+    // Deleting the top-responsibility tuple kills the answer.
+    assert!(!u1.provenance.present(&|v| v != top));
+}
+
+#[test]
+fn priu_supports_the_unlearning_workflow() {
+    // GDPR-style deletion: remove a user's rows incrementally, match the
+    // full retrain.
+    let data = xai::data::synth::linear_gaussian(150, &[1.0, -2.0, 0.5], 0.0, 99);
+    let x = data.x().with_intercept();
+    let y: Vec<f64> = data.y().to_vec();
+    let mut inc = IncrementalRidge::fit(&x, &y, 1e-3);
+    let forget: Vec<usize> = vec![3, 77, 120, 121];
+    for &i in &forget {
+        inc.remove_row(x.row(i), y[i]);
+    }
+    let keep: Vec<usize> = (0..150).filter(|i| !forget.contains(i)).collect();
+    let xk = x.select_rows(&keep);
+    let yk: Vec<f64> = keep.iter().map(|&i| y[i]).collect();
+    let truth = xai::provenance::retrain_ridge(&xk, &yk, 1e-3);
+    for (a, b) in inc.coef().iter().zip(&truth) {
+        assert!((a - b).abs() < 1e-7);
+    }
+}
