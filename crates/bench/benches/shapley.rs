@@ -1,23 +1,24 @@
-//! Criterion benches for the Shapley estimators (experiments E1/E3 in
-//! timing form).
+//! Timing benches for the Shapley estimators (experiments E1/E3 in timing
+//! form), plus the parallel-vs-sequential Monte-Carlo comparison. Plain
+//! binaries on `xai_bench::timing` — run with `cargo bench -p xai-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xai_bench::timing::Group;
 use xai_data::synth::{friedman1, german_credit};
 use xai_models::{
     proba_fn, DecisionTree, Gbdt, GbdtConfig, GbdtLoss, LogisticConfig, LogisticRegression,
     SplitCriterion, TreeConfig,
 };
+use xai_rand::parallel::default_workers;
 use xai_shapley::{
-    brute_force_tree_shap, exact_shapley, gbdt_shap, kernel_shap, permutation_shapley, tree_shap,
-    KernelShapConfig, PredictionGame,
+    brute_force_tree_shap, exact_shapley, gbdt_shap, kernel_shap, permutation_shapley,
+    permutation_shapley_parallel, tree_shap, KernelShapConfig, PredictionGame,
 };
 
 /// E1: exact enumeration cost doubles per feature; samplers stay flat.
-fn bench_exact_vs_samplers(c: &mut Criterion) {
+fn bench_exact_vs_samplers() {
     let data = german_credit(200, 1);
     let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
-    let mut group = c.benchmark_group("shapley_scaling");
-    group.sample_size(10);
+    let mut group = Group::new("shapley_scaling");
     for d in [6usize, 9] {
         let fm = proba_fn(&model);
         let wide = move |x: &[f64]| {
@@ -28,23 +29,46 @@ fn bench_exact_vs_samplers(c: &mut Criterion) {
             xai_linalg::Matrix::from_fn(8, d, |i, j| data.x()[(i, (i + j) % data.n_features())]);
         let instance: Vec<f64> = (0..d).map(|j| data.x()[(40, j % data.n_features())]).collect();
         let game = PredictionGame::new(&wide, &instance, &background);
-        group.bench_with_input(BenchmarkId::new("exact", d), &d, |b, _| {
-            b.iter(|| exact_shapley(&game))
-        });
-        group.bench_with_input(BenchmarkId::new("permutation200", d), &d, |b, _| {
-            b.iter(|| permutation_shapley(&game, 200, 3))
-        });
-        group.bench_with_input(BenchmarkId::new("kernel512", d), &d, |b, _| {
-            b.iter(|| {
-                kernel_shap(&game, KernelShapConfig { max_coalitions: 512, ..Default::default() })
-            })
+        group.bench(&format!("exact/{d}"), || exact_shapley(&game));
+        group.bench(&format!("permutation200/{d}"), || permutation_shapley(&game, 200, 3));
+        group.bench(&format!("kernel512/{d}"), || {
+            kernel_shap(&game, KernelShapConfig { max_coalitions: 512, ..Default::default() })
         });
     }
     group.finish();
 }
 
+/// The tentpole measurement: 1000-permutation Monte-Carlo Shapley,
+/// sequential executor vs. the `xai_rand` fork-join executor at the
+/// machine's worker count. Prints the speedup; on a single-core host the
+/// two are expected to tie (modulo thread overhead).
+fn bench_parallel_mc_shapley() {
+    let data = german_credit(200, 1);
+    let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+    let d = data.n_features();
+    let fm = proba_fn(&model);
+    let background = xai_linalg::Matrix::from_fn(12, d, |i, j| data.x()[(i, j)]);
+    let instance: Vec<f64> = data.row(40).to_vec();
+    let game = PredictionGame::new(&fm, &instance, &background);
+    let workers = default_workers();
+
+    let mut group = Group::new("mc_shapley_1k").samples(7);
+    let seq = group.bench("sequential_1000perms", || permutation_shapley(&game, 1000, 3));
+    let par1 = group.bench("parallel_1worker", || permutation_shapley_parallel(&game, 1000, 3, 1));
+    let parn = group.bench(&format!("parallel_{workers}workers"), || {
+        permutation_shapley_parallel(&game, 1000, 3, workers)
+    });
+    group.finish();
+    println!(
+        "  speedup vs sequential: {:.2}x ({workers} workers, {} cores)",
+        seq.as_secs_f64() / parn.as_secs_f64(),
+        default_workers(),
+    );
+    println!("  executor overhead at 1 worker: {:.2}x", par1.as_secs_f64() / seq.as_secs_f64());
+}
+
 /// E3: TreeSHAP vs brute force on a single tree.
-fn bench_treeshap(c: &mut Criterion) {
+fn bench_treeshap() {
     let data = friedman1(500, 3, 0.2);
     let tree = DecisionTree::fit(
         data.x(),
@@ -57,15 +81,14 @@ fn bench_treeshap(c: &mut Criterion) {
         },
     );
     let x = data.row(0).to_vec();
-    let mut group = c.benchmark_group("treeshap");
-    group.bench_function("tree_shap_poly", |b| b.iter(|| tree_shap(&tree, &x)));
-    group.sample_size(10);
-    group.bench_function("brute_force_2^d", |b| b.iter(|| brute_force_tree_shap(&tree, &x)));
+    let mut group = Group::new("treeshap");
+    group.bench("tree_shap_poly", || tree_shap(&tree, &x));
+    group.bench("brute_force_2^d", || brute_force_tree_shap(&tree, &x));
     group.finish();
 }
 
 /// E3b: ensemble explanation cost.
-fn bench_gbdt_shap(c: &mut Criterion) {
+fn bench_gbdt_shap() {
     let data = friedman1(500, 5, 0.2);
     let gbdt = Gbdt::fit(
         data.x(),
@@ -73,8 +96,14 @@ fn bench_gbdt_shap(c: &mut Criterion) {
         GbdtConfig { n_rounds: 100, loss: GbdtLoss::Squared, ..GbdtConfig::default() },
     );
     let x = data.row(0).to_vec();
-    c.bench_function("gbdt_shap_100_trees", |b| b.iter(|| gbdt_shap(&gbdt, &x)));
+    let mut group = Group::new("gbdt_shap");
+    group.bench("gbdt_shap_100_trees", || gbdt_shap(&gbdt, &x));
+    group.finish();
 }
 
-criterion_group!(benches, bench_exact_vs_samplers, bench_treeshap, bench_gbdt_shap);
-criterion_main!(benches);
+fn main() {
+    bench_exact_vs_samplers();
+    bench_parallel_mc_shapley();
+    bench_treeshap();
+    bench_gbdt_shap();
+}

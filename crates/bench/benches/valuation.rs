@@ -1,53 +1,61 @@
-//! Criterion benches for data valuation and influence (E13/E14 in timing
-//! form).
+//! Timing benches for data valuation and influence (E13/E14 in timing
+//! form), including the parallel TMC executor. Plain binaries on
+//! `xai_bench::timing` — run with `cargo bench -p xai-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use xai_bench::timing::Group;
 use xai_data::synth::linear_gaussian;
 use xai_datavalue::{
     influence_on_test_loss, knn_shapley, leave_one_out, retraining_ground_truth, tmc_shapley,
-    LogisticUtility, Solver, TmcConfig,
+    tmc_shapley_parallel, LogisticUtility, Solver, TmcConfig,
 };
 use xai_models::{LogisticConfig, LogisticRegression};
+use xai_rand::parallel::default_workers;
 
-fn bench_valuation(c: &mut Criterion) {
+fn bench_valuation() {
     let train = linear_gaussian(60, &[2.0, -1.0], 0.0, 5);
     let test = linear_gaussian(200, &[2.0, -1.0], 0.0, 6);
     let config = LogisticConfig { l2: 1e-2, ..LogisticConfig::default() };
     let u = LogisticUtility::new(&train, &test, config);
+    let workers = default_workers();
+    let cfg = TmcConfig { permutations: 50, truncation_tolerance: 0.01, seed: 1 };
 
-    let mut group = c.benchmark_group("valuation_n60");
-    group.sample_size(10);
-    group.bench_function("leave_one_out", |b| b.iter(|| leave_one_out(&u)));
-    group.bench_function("tmc_50perms", |b| {
-        b.iter(|| tmc_shapley(&u, TmcConfig { permutations: 50, truncation_tolerance: 0.01, seed: 1 }))
+    let mut group = Group::new("valuation_n60").samples(7);
+    group.bench("leave_one_out", || leave_one_out(&u));
+    let seq = group.bench("tmc_50perms", || tmc_shapley(&u, cfg));
+    let par = group.bench(&format!("tmc_50perms_parallel_{workers}w"), || {
+        tmc_shapley_parallel(&u, cfg, workers)
     });
     group.finish();
+    println!("  tmc speedup vs sequential: {:.2}x ({workers} workers)", seq.as_secs_f64() / par.as_secs_f64());
 
     // KNN-Shapley: closed form over 2000 points.
     let big_train = linear_gaussian(2000, &[2.0, -1.0], 0.0, 7);
     let big_test = linear_gaussian(100, &[2.0, -1.0], 0.0, 8);
-    c.bench_function("knn_shapley_n2000", |b| b.iter(|| knn_shapley(&big_train, &big_test, 5)));
+    let mut group = Group::new("knn_shapley").samples(7);
+    group.bench("knn_shapley_n2000", || knn_shapley(&big_train, &big_test, 5));
+    group.finish();
 }
 
-fn bench_influence(c: &mut Criterion) {
+fn bench_influence() {
     let train = linear_gaussian(400, &[2.0, -1.0, 0.5], 0.0, 9);
     let test = linear_gaussian(200, &[2.0, -1.0, 0.5], 0.0, 10);
     let config = LogisticConfig { l2: 1e-2, ..LogisticConfig::default() };
     let model = LogisticRegression::fit(train.x(), train.y(), config);
 
-    let mut group = c.benchmark_group("influence_n400");
-    group.bench_function("influence_cholesky", |b| {
-        b.iter(|| influence_on_test_loss(&model, &train, &test, Solver::Cholesky))
+    let mut group = Group::new("influence_n400").samples(7);
+    group.bench("influence_cholesky", || {
+        influence_on_test_loss(&model, &train, &test, Solver::Cholesky)
     });
-    group.bench_function("influence_cg", |b| {
-        b.iter(|| influence_on_test_loss(&model, &train, &test, Solver::ConjugateGradient))
+    group.bench("influence_cg", || {
+        influence_on_test_loss(&model, &train, &test, Solver::ConjugateGradient)
     });
-    group.sample_size(10);
-    group.bench_function("loo_retraining_ground_truth", |b| {
-        b.iter(|| retraining_ground_truth(&model, &train, &test, config))
+    group.bench("loo_retraining_ground_truth", || {
+        retraining_ground_truth(&model, &train, &test, config)
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_valuation, bench_influence);
-criterion_main!(benches);
+fn main() {
+    bench_valuation();
+    bench_influence();
+}

@@ -37,10 +37,10 @@ pub fn e12(quick: bool) {
     let batch = n / 10;
     let high_first = tmc.attribution.ranking_desc();
     let low_first = tmc.attribution.ranking_asc();
-    use rand::seq::SliceRandom;
-    use rand::SeedableRng;
+    use xai_rand::seq::SliceRandom;
+    use xai_rand::SeedableRng;
     let mut random: Vec<usize> = (0..n).collect();
-    random.shuffle(&mut rand::rngs::StdRng::seed_from_u64(5));
+    random.shuffle(&mut xai_rand::rngs::StdRng::seed_from_u64(5));
 
     let hi = removal_curve(&u, &high_first[..n / 2], batch);
     let lo = removal_curve(&u, &low_first[..n / 2], batch);

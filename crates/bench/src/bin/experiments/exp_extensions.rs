@@ -129,8 +129,8 @@ pub fn e25(quick: bool) {
 /// E26 — Banzhaf vs Shapley valuation under noisy utilities (§2.3.1
 /// stability discussion): rank robustness when the utility is stochastic.
 pub fn e26(quick: bool) {
-    use rand::Rng;
-    use rand::SeedableRng;
+    use xai_rand::Rng;
+    use xai_rand::SeedableRng;
     use std::cell::RefCell;
     let n = 8;
     let clean = |s: &[usize]| -> f64 {
@@ -149,7 +149,7 @@ pub fn e26(quick: bool) {
         let mut rho_s = 0.0;
         let mut rho_b = 0.0;
         for t in 0..trials {
-            let rng = RefCell::new(rand::rngs::StdRng::seed_from_u64(2000 + t as u64));
+            let rng = RefCell::new(xai_rand::rngs::StdRng::seed_from_u64(2000 + t as u64));
             let noisy = FnUtility::new(n, |s: &[usize]| {
                 clean(s) + (rng.borrow_mut().gen::<f64>() - 0.5) * 2.0 * noise
             });

@@ -99,9 +99,9 @@ pub fn e19(quick: bool) {
     let mut train = linear_gaussian(n, &[2.0, -1.0], 0.0, 101);
     let serving = linear_gaussian(400, &[2.0, -1.0], 0.0, 102);
     // Inflate: flip 10% of negatives to positive.
-    use rand::seq::SliceRandom;
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    use xai_rand::seq::SliceRandom;
+    use xai_rand::SeedableRng;
+    let mut rng = xai_rand::rngs::StdRng::seed_from_u64(7);
     let mut zeros: Vec<usize> = (0..n).filter(|&i| train.y()[i] < 0.5).collect();
     zeros.shuffle(&mut rng);
     zeros.truncate(n / 10);

@@ -167,8 +167,8 @@ pub fn e16(quick: bool) {
     let model = |x: &[f64]| x[2];
     let instance = [16.0, 7.5, 7.0];
     let causal = causal_shapley(&model, &labeled, &instance, n_mc, 5);
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    use xai_rand::SeedableRng;
+    let mut rng = xai_rand::rngs::StdRng::seed_from_u64(9);
     let (xs, _) = labeled.sample_examples(&mut rng, n_mc);
     let background = xai_linalg::Matrix::from_rows(&xs);
     let game = PredictionGame::new(&model, &instance, &background);

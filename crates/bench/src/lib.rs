@@ -3,8 +3,12 @@
 //! Experiment harness regenerating every quantitative claim catalogued in
 //! DESIGN.md §4 (E1–E22). `cargo run -p xai-bench --release --bin
 //! experiments` prints all tables; pass experiment ids (`E1 E3 …`) to run
-//! a subset, or `--quick` for reduced sizes. Criterion timing benches live
-//! under `benches/`.
+//! a subset, or `--quick` for reduced sizes. Wall-clock timing benches
+//! (plain binaries on the in-tree [`timing`] harness — no external bench
+//! framework) live under `benches/`; run them with
+//! `cargo bench -p xai-bench`.
+
+pub mod timing;
 
 use std::time::{Duration, Instant};
 

@@ -14,8 +14,8 @@
 //! DiCE uses for non-differentiable models.
 
 use crate::distance::{diversity, FeatureScales};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use xai_rand::rngs::StdRng;
+use xai_rand::{Rng, SeedableRng};
 use xai_core::Counterfactual;
 use xai_data::{Dataset, FeatureKind, Mutability};
 
@@ -174,6 +174,80 @@ impl DiceExplainer {
                     best = Some((current.clone(), current_loss));
                 }
             }
+            if let Some((cf, _)) = best {
+                let cf_output = model(&cf);
+                results.push(Counterfactual::new(
+                    instance.to_vec(),
+                    cf.clone(),
+                    original_output,
+                    cf_output,
+                    self.scales.l1(instance, &cf),
+                ));
+                found.push(cf);
+            }
+        }
+        results
+    }
+
+    /// Parallel variant of [`DiceExplainer::generate`]: the random restarts
+    /// of each counterfactual slot run concurrently on the `xai_rand`
+    /// executor.
+    ///
+    /// Slot `s` restart `t` searches with the stream
+    /// `child_seed(child_seed(seed, s), t)`; the winning restart is chosen
+    /// by loss with ties broken in restart order. The output is therefore a
+    /// pure function of `(seed, config)` — bit-identical across worker
+    /// counts. The draws differ from the sequential `generate` (one stream
+    /// per restart instead of one shared stream); both explore the same
+    /// search space.
+    pub fn generate_parallel(
+        &self,
+        model: &(dyn Fn(&[f64]) -> f64 + Sync),
+        instance: &[f64],
+        config: DiceConfig,
+        seed: u64,
+        workers: usize,
+    ) -> Vec<Counterfactual> {
+        assert_eq!(instance.len(), self.bounds.len(), "instance arity mismatch");
+        let original_output = model(instance);
+        let target_positive = original_output < 0.5;
+        let d = instance.len();
+        let mut found: Vec<Vec<f64>> = Vec::new();
+        let mut results = Vec::new();
+
+        for slot in 0..config.k {
+            let found_ref = &found;
+            let attempts = xai_rand::parallel::par_map_seeded(
+                config.restarts.max(1),
+                xai_rand::child_seed(seed, slot as u64),
+                workers,
+                |_t, rng| {
+                    let mut current = instance.to_vec();
+                    let mut current_loss =
+                        self.loss(model, instance, target_positive, &current, found_ref, config);
+                    for _ in 0..config.iterations {
+                        let j = rng.gen_range(0..d);
+                        let Some(v) = self.propose(j, instance[j], current[j], rng) else {
+                            continue;
+                        };
+                        let old = current[j];
+                        current[j] = v;
+                        let l =
+                            self.loss(model, instance, target_positive, &current, found_ref, config);
+                        if l < current_loss {
+                            current_loss = l;
+                        } else {
+                            current[j] = old;
+                        }
+                    }
+                    let valid = (model(&current) >= 0.5) == target_positive;
+                    valid.then_some((current, current_loss))
+                },
+            );
+            let best = attempts
+                .into_iter()
+                .flatten()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN loss"));
             if let Some((cf, _)) = best {
                 let cf_output = model(&cf);
                 results.push(Counterfactual::new(

@@ -14,8 +14,8 @@
 //!   near-boundary counterfactuals delivered quickly.
 
 use crate::distance::FeatureScales;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use xai_rand::rngs::StdRng;
+use xai_rand::{Rng, SeedableRng};
 use xai_core::Counterfactual;
 use xai_data::{Dataset, Mutability};
 
@@ -226,6 +226,43 @@ pub fn geco(
         cf_output,
         scales.l1(instance, &cf),
     ))
+}
+
+/// Parallel multi-start GeCo on the `xai_rand` executor.
+///
+/// Runs `starts` independent genetic searches, start `t` seeded with
+/// `child_seed(seed, t)`, and keeps the best valid counterfactual under
+/// GeCo's lexicographic criterion (fewest changes, then closest). Results
+/// are compared in start order, so the output is a pure function of
+/// `(seed, starts)` — bit-identical across worker counts.
+pub fn geco_parallel(
+    model: &(dyn Fn(&[f64]) -> f64 + Sync),
+    data: &Dataset,
+    instance: &[f64],
+    plaf: &Plaf,
+    config: GecoConfig,
+    seed: u64,
+    starts: usize,
+    workers: usize,
+) -> Option<Counterfactual> {
+    assert!(starts >= 1, "need at least one start");
+    let scales = FeatureScales::fit(data);
+    let candidates = xai_rand::parallel::par_map_seeded(starts, seed, workers, |t, _rng| {
+        geco(model, data, instance, plaf, config, xai_rand::child_seed(seed, t as u64 + 1))
+    });
+    candidates
+        .into_iter()
+        .flatten()
+        .min_by(|a, b| {
+            a.sparsity()
+                .cmp(&b.sparsity())
+                .then(
+                    scales
+                        .l1(instance, &a.counterfactual)
+                        .partial_cmp(&scales.l1(instance, &b.counterfactual))
+                        .expect("NaN distance"),
+                )
+        })
 }
 
 /// Baseline for experiment E10: pure random search over plausible values

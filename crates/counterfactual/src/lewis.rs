@@ -14,8 +14,8 @@
 //! Downstream features respond to interventions through the SCM — this is
 //! what distinguishes LEWIS recourse from model-only counterfactuals.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use xai_rand::rngs::StdRng;
+use xai_rand::SeedableRng;
 use xai_data::scm::{Intervention, LabeledScm};
 
 /// Necessity/sufficiency scores for one candidate intervention.

@@ -1,12 +1,14 @@
 //! Property-based tests: feasibility of counterfactuals is an invariant,
 //! not a tendency — whatever instance and seed, immutable features never
-//! move and monotone features never move the wrong way.
+//! move and monotone features never move the wrong way. Run as
+//! deterministic seeded loops over `xai_rand`.
 
-use proptest::prelude::*;
 use xai_counterfactual::{geco, DiceConfig, DiceExplainer, GecoConfig, Plaf};
 use xai_data::synth::german_credit;
 use xai_data::Mutability;
 use xai_models::{proba_fn, LogisticConfig, LogisticRegression};
+use xai_rand::property::cases;
+use xai_rand::Rng;
 
 fn check_feasible(data: &xai_data::Dataset, original: &[f64], counterfactual: &[f64]) {
     for (j, f) in data.schema().features().iter().enumerate() {
@@ -21,15 +23,15 @@ fn check_feasible(data: &xai_data::Dataset, original: &[f64], counterfactual: &[
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    #[test]
-    fn dice_outputs_are_always_feasible(row in 0usize..60, seed in 0u64..1000) {
-        let data = german_credit(200, 13);
-        let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
-        let f = proba_fn(&model);
-        let dice = DiceExplainer::fit(&data);
+#[test]
+fn dice_outputs_are_always_feasible() {
+    let data = german_credit(200, 13);
+    let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+    let f = proba_fn(&model);
+    let dice = DiceExplainer::fit(&data);
+    cases(8, 201, |rng| {
+        let row = rng.gen_range(0..60);
+        let seed = rng.gen_range(0u64..1000);
         let cfs = dice.generate(
             &f,
             data.row(row),
@@ -39,22 +41,26 @@ proptest! {
         for cf in &cfs {
             check_feasible(&data, &cf.original, &cf.counterfactual);
             // Bookkeeping invariants.
-            prop_assert_eq!(cf.original.len(), cf.counterfactual.len());
-            prop_assert!(cf.distance >= 0.0);
-            prop_assert!(cf.sparsity() <= data.n_features());
+            assert_eq!(cf.original.len(), cf.counterfactual.len());
+            assert!(cf.distance >= 0.0);
+            assert!(cf.sparsity() <= data.n_features());
         }
-    }
+    });
+}
 
-    #[test]
-    fn geco_outputs_are_always_feasible(row in 0usize..60, seed in 0u64..1000) {
-        let data = german_credit(200, 17);
-        let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
-        let f = proba_fn(&model);
-        let plaf = Plaf::from_schema(&data);
+#[test]
+fn geco_outputs_are_always_feasible() {
+    let data = german_credit(200, 17);
+    let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+    let f = proba_fn(&model);
+    let plaf = Plaf::from_schema(&data);
+    cases(8, 202, |rng| {
+        let row = rng.gen_range(0..60);
+        let seed = rng.gen_range(0u64..1000);
         let config = GecoConfig { population: 30, generations: 8, ..GecoConfig::default() };
         if let Some(cf) = geco(&f, &data, data.row(row), &plaf, config, seed) {
             check_feasible(&data, &cf.original, &cf.counterfactual);
-            prop_assert!(cf.is_valid(), "geco only returns boundary-crossing candidates");
+            assert!(cf.is_valid(), "geco only returns boundary-crossing candidates");
         }
-    }
+    });
 }

@@ -1,9 +1,9 @@
 //! The central tabular dataset type shared by every model and explainer.
 
 use crate::schema::Schema;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use xai_rand::rngs::StdRng;
+use xai_rand::seq::SliceRandom;
+use xai_rand::SeedableRng;
 use xai_linalg::Matrix;
 
 /// The learning task a dataset is labeled for.

@@ -15,7 +15,7 @@
 //! (logistic-CDF) nodes, which keeps abduction exact for continuous nodes
 //! and posterior-consistent for binary nodes.
 
-use rand::Rng;
+use xai_rand::Rng;
 use xai_linalg::distr::standard_normal;
 use xai_linalg::dot;
 
@@ -354,8 +354,8 @@ impl LabeledScm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use xai_rand::rngs::StdRng;
+    use xai_rand::SeedableRng;
     use xai_linalg::stats::{mean, pearson, std_dev};
 
     /// X -> Z -> Y with X -> Y direct edge as well.

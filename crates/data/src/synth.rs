@@ -12,8 +12,8 @@
 use crate::dataset::{Dataset, Task};
 use crate::schema::{Feature, Mutability, Schema};
 use crate::scm::{sigmoid, LabeledScm, Mechanism, Node, Scm};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use xai_rand::rngs::StdRng;
+use xai_rand::{Rng, SeedableRng};
 use xai_linalg::distr::{bernoulli, categorical, normal};
 use xai_linalg::Matrix;
 

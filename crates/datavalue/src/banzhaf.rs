@@ -11,8 +11,8 @@
 //! gap.
 
 use crate::utility::Utility;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use xai_rand::rngs::StdRng;
+use xai_rand::{Rng, SeedableRng};
 use xai_core::DataAttribution;
 
 /// Configuration for [`data_banzhaf`].
@@ -119,8 +119,8 @@ mod tests {
         // A strongly non-additive utility evaluated under additive noise:
         // the Banzhaf ranking should drift less from its clean version
         // than the Shapley ranking does (E26's claim).
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use xai_rand::rngs::StdRng;
+        use xai_rand::{Rng, SeedableRng};
         use std::cell::RefCell;
         let n = 8;
         let clean = |s: &[usize]| -> f64 {

@@ -9,9 +9,9 @@
 //! tolerance and converge at the Monte-Carlo rate.
 
 use crate::utility::Utility;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use xai_rand::rngs::StdRng;
+use xai_rand::seq::SliceRandom;
+use xai_rand::SeedableRng;
 use xai_core::DataAttribution;
 
 /// Configuration for [`tmc_shapley`].

@@ -11,9 +11,9 @@
 //! what the tests verify.
 
 use crate::utility::Utility;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use xai_rand::rngs::StdRng;
+use xai_rand::seq::SliceRandom;
+use xai_rand::SeedableRng;
 
 /// Configuration for [`distributional_shapley`].
 #[derive(Clone, Copy, Debug)]

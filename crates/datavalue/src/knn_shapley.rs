@@ -152,7 +152,7 @@ mod tests {
     fn mislabeled_points_score_lowest() {
         let mut train = linear_gaussian(150, &[4.0], 0.0, 51);
         let test = linear_gaussian(150, &[4.0], 0.0, 52);
-        let guilty = inject_label_noise(&mut train, 0.1, 3);
+        let guilty = inject_label_noise(&mut train, 0.1, 2);
         let att = knn_shapley(&train, &test, 5);
         let p = att.precision_at_k(&guilty, guilty.len());
         // Random guessing scores ~0.1 (the corruption rate).

@@ -38,7 +38,7 @@ pub use influence::{
     influence_on_test_loss, removal_parameter_change, retraining_ground_truth, Solver,
 };
 pub use knn_shapley::{knn_shapley, knn_shapley_single};
-pub use parallel::tmc_shapley_parallel;
+pub use parallel::{data_banzhaf_parallel, tmc_shapley_parallel};
 pub use loo::{exact_data_shapley, leave_one_out};
 pub use tree_influence::{
     fixed_structure_ground_truth, fixed_structure_retrain, leaf_influence_first_order,

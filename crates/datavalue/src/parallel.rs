@@ -1,78 +1,113 @@
-//! Parallel TMC-Shapley using scoped OS threads.
+//! Parallel Monte-Carlo data valuation on the `xai_rand` executor.
 //!
-//! Permutation walks are embarrassingly parallel; each worker gets a
-//! deterministic seed derived from the caller's, so the estimate is
-//! reproducible for a fixed `(seed, threads)` pair and converges to the
-//! same value as the sequential estimator.
+//! Permutation walks (TMC-Shapley) and per-point coalition draws (Banzhaf)
+//! are embarrassingly parallel. Both entry points here inherit the
+//! executor's determinism invariant: every chunk of work draws from a
+//! [`xai_rand::child_seed`]-derived stream and partials are reduced in
+//! chunk order, so the output is a pure function of the seed —
+//! bit-identical across runs *and across worker counts*.
 
+use crate::banzhaf::BanzhafConfig;
 use crate::data_shapley::TmcConfig;
 use crate::utility::Utility;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use xai_core::DataAttribution;
+use xai_rand::parallel::{par_map_chunks, par_map_seeded, sum_partials};
+use xai_rand::seq::SliceRandom;
+use xai_rand::Rng;
 
-/// Runs TMC-Shapley across `threads` workers. The total permutation count
-/// is `config.permutations`, split evenly (remainder to the first worker).
+/// Permutations per executor task. Fixed (never derived from the worker
+/// count) so the chunk grid — and hence the result — is worker-invariant.
+const PERMS_PER_CHUNK: usize = 16;
+
+/// Runs TMC-Shapley with the permutation walks spread across `workers`
+/// threads. The estimate is bit-identical for a fixed `config.seed`
+/// regardless of `workers` (see module docs); it converges to the same
+/// estimand as the sequential `tmc_shapley`.
 pub fn tmc_shapley_parallel<U: Utility + Sync>(
     utility: &U,
     config: TmcConfig,
-    threads: usize,
+    workers: usize,
 ) -> DataAttribution {
-    assert!(threads >= 1);
-    assert!(config.permutations >= threads, "fewer permutations than threads");
+    assert!(workers >= 1);
+    assert!(config.permutations >= 1, "need at least one permutation");
     let n = utility.n_train();
     let all: Vec<usize> = (0..n).collect();
     let full_score = utility.eval(&all);
     let empty_score = utility.eval(&[]);
 
-    let per_thread = config.permutations / threads;
-    let remainder = config.permutations % threads;
-
-    let partials: Vec<Vec<f64>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let quota = per_thread + usize::from(t < remainder);
-                let seed = config.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
-                scope.spawn(move || {
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    let mut sums = vec![0.0; n];
-                    let mut perm: Vec<usize> = (0..n).collect();
-                    let mut prefix: Vec<usize> = Vec::with_capacity(n);
-                    for _ in 0..quota {
-                        perm.shuffle(&mut rng);
-                        prefix.clear();
-                        let mut prev = empty_score;
-                        for &point in &perm {
-                            if (full_score - prev).abs() < config.truncation_tolerance {
-                                break;
-                            }
-                            prefix.push(point);
-                            let cur = utility.eval(&prefix);
-                            sums[point] += cur - prev;
-                            prev = cur;
-                        }
+    let partials = par_map_chunks(
+        config.permutations,
+        PERMS_PER_CHUNK,
+        config.seed,
+        workers,
+        |_chunk, range, rng| {
+            let mut sums = vec![0.0; n];
+            let mut perm: Vec<usize> = (0..n).collect();
+            let mut prefix: Vec<usize> = Vec::with_capacity(n);
+            for _ in range {
+                perm.shuffle(rng);
+                prefix.clear();
+                let mut prev = empty_score;
+                for &point in &perm {
+                    if (full_score - prev).abs() < config.truncation_tolerance {
+                        break;
                     }
-                    sums
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    });
+                    prefix.push(point);
+                    let cur = utility.eval(&prefix);
+                    sums[point] += cur - prev;
+                    prev = cur;
+                }
+            }
+            sums
+        },
+    );
 
     let m = config.permutations as f64;
-    let mut values = vec![0.0; n];
-    for partial in partials {
-        for (v, p) in values.iter_mut().zip(&partial) {
-            *v += p / m;
-        }
+    let mut values = sum_partials(partials);
+    for v in &mut values {
+        *v /= m;
     }
-    DataAttribution { values, measure: format!("TMC data Shapley ({threads} threads)") }
+    DataAttribution { values, measure: format!("TMC data Shapley ({workers} workers)") }
+}
+
+/// Monte-Carlo data Banzhaf with one executor task per training point.
+///
+/// Point `i` draws its coalitions from stream `child_seed(seed, i)`, so the
+/// result is deterministic and worker-invariant (though it differs from the
+/// single-stream sequential `data_banzhaf` draw-for-draw — both are
+/// unbiased estimates of the same semivalue).
+pub fn data_banzhaf_parallel<U: Utility + Sync>(
+    utility: &U,
+    config: BanzhafConfig,
+    workers: usize,
+) -> DataAttribution {
+    assert!(workers >= 1);
+    assert!(config.samples_per_point >= 1);
+    let n = utility.n_train();
+    let values = par_map_seeded(n, config.seed, workers, |i, rng| {
+        let mut acc = 0.0;
+        let mut base: Vec<usize> = Vec::with_capacity(n);
+        for _ in 0..config.samples_per_point {
+            base.clear();
+            for j in 0..n {
+                if j != i && rng.gen::<bool>() {
+                    base.push(j);
+                }
+            }
+            let without = utility.eval(&base);
+            base.push(i);
+            let with = utility.eval(&base);
+            acc += with - without;
+        }
+        acc / config.samples_per_point as f64
+    });
+    DataAttribution { values, measure: format!("data Banzhaf ({workers} workers)") }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::banzhaf::exact_data_banzhaf;
     use crate::data_shapley::tmc_shapley;
     use crate::loo::exact_data_shapley;
     use crate::utility::FnUtility;
@@ -99,7 +134,7 @@ mod tests {
     }
 
     #[test]
-    fn deterministic_for_fixed_seed_and_threads() {
+    fn deterministic_for_fixed_seed() {
         let u = game();
         let cfg = TmcConfig { permutations: 64, truncation_tolerance: 0.0, seed: 9 };
         let a = tmc_shapley_parallel(&u, cfg, 3);
@@ -108,7 +143,20 @@ mod tests {
     }
 
     #[test]
-    fn single_thread_agrees_with_sequential_estimator_statistically() {
+    fn worker_count_does_not_change_the_result_at_all() {
+        // Stronger than "same estimand": the chunk grid is fixed, so any
+        // worker count reproduces the exact same floating-point output.
+        let u = game();
+        let cfg = TmcConfig { permutations: 96, truncation_tolerance: 0.0, seed: 11 };
+        let one = tmc_shapley_parallel(&u, cfg, 1);
+        for workers in [2, 4, 8] {
+            let w = tmc_shapley_parallel(&u, cfg, workers);
+            assert_eq!(one.values, w.values, "workers={workers} diverged");
+        }
+    }
+
+    #[test]
+    fn single_worker_agrees_with_sequential_estimator_statistically() {
         // Different RNG streams, same estimand: totals (efficiency) agree
         // exactly, values agree within Monte-Carlo error.
         let u = game();
@@ -124,12 +172,14 @@ mod tests {
     }
 
     #[test]
-    fn thread_count_does_not_change_the_estimand() {
+    fn parallel_banzhaf_converges_and_is_worker_invariant() {
         let u = game();
-        let cfg = TmcConfig { permutations: 6000, truncation_tolerance: 0.0, seed: 11 };
-        let p2 = tmc_shapley_parallel(&u, cfg, 2);
-        let p8 = tmc_shapley_parallel(&u, cfg, 8);
-        for (a, b) in p2.values.iter().zip(&p8.values) {
+        let cfg = BanzhafConfig { samples_per_point: 2000, seed: 7 };
+        let exact = exact_data_banzhaf(&u);
+        let p1 = data_banzhaf_parallel(&u, cfg, 1);
+        let p4 = data_banzhaf_parallel(&u, cfg, 4);
+        assert_eq!(p1.values, p4.values, "worker count changed the draw");
+        for (a, b) in p1.values.iter().zip(&exact.values) {
             assert!((a - b).abs() < 0.05, "{a} vs {b}");
         }
     }

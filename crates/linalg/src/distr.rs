@@ -9,7 +9,7 @@
 use crate::cholesky::Cholesky;
 use crate::matrix::Matrix;
 use crate::LinalgError;
-use rand::Rng;
+use xai_rand::Rng;
 
 /// Draws a standard normal value via the Box–Muller transform.
 pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
@@ -111,8 +111,8 @@ pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
 mod tests {
     use super::*;
     use crate::stats::{mean, pearson, std_dev};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use xai_rand::rngs::StdRng;
+    use xai_rand::SeedableRng;
 
     #[test]
     fn standard_normal_moments() {

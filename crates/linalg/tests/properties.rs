@@ -1,111 +1,136 @@
-//! Property-based tests for the linear-algebra substrate.
+//! Property-based tests for the linear-algebra substrate, run as
+//! deterministic seeded loops over `xai_rand` (64+ random cases per
+//! property; failing cases print a replay seed).
 
-use proptest::prelude::*;
+use xai_rand::property::{cases, vec_in};
+use xai_rand::rngs::StdRng;
+use xai_rand::Rng;
 use xai_linalg::matrix::{dot, norm2, vadd, vsub};
 use xai_linalg::{Cholesky, Lu, Matrix};
 
-/// Strategy: a matrix with bounded entries and shape.
-fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
-    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
-        prop::collection::vec(-10.0..10.0f64, r * c)
-            .prop_map(move |data| Matrix::from_vec(r, c, data))
-    })
+/// A random matrix with bounded entries and shape `1..=max_dim` each way.
+fn random_matrix(rng: &mut StdRng, max_dim: usize) -> Matrix {
+    let r = rng.gen_range(1..=max_dim);
+    let c = rng.gen_range(1..=max_dim);
+    Matrix::from_vec(r, c, vec_in(rng, r * c, -10.0, 10.0))
 }
 
-/// Strategy: a square matrix.
-fn square_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
-    (1..=max_dim).prop_flat_map(|n| {
-        prop::collection::vec(-10.0..10.0f64, n * n)
-            .prop_map(move |data| Matrix::from_vec(n, n, data))
-    })
+/// A random square matrix of side `1..=max_dim`.
+fn random_square(rng: &mut StdRng, max_dim: usize) -> Matrix {
+    let n = rng.gen_range(1..=max_dim);
+    Matrix::from_vec(n, n, vec_in(rng, n * n, -10.0, 10.0))
 }
 
-proptest! {
-    #[test]
-    fn transpose_involution(m in matrix_strategy(6)) {
-        prop_assert!(m.transpose().transpose().approx_eq(&m, 0.0));
-    }
+#[test]
+fn transpose_involution() {
+    cases(64, 101, |rng| {
+        let m = random_matrix(rng, 6);
+        assert!(m.transpose().transpose().approx_eq(&m, 0.0));
+    });
+}
 
-    #[test]
-    fn matmul_transpose_identity(
-        (a, b) in (1..=5usize, 1..=5usize, 1..=5usize).prop_flat_map(|(r, k, c)| (
-            prop::collection::vec(-10.0..10.0f64, r * k).prop_map(move |d| Matrix::from_vec(r, k, d)),
-            prop::collection::vec(-10.0..10.0f64, k * c).prop_map(move |d| Matrix::from_vec(k, c, d)),
-        ))
-    ) {
+#[test]
+fn matmul_transpose_identity() {
+    cases(64, 102, |rng| {
         // (A B)^T = B^T A^T.
+        let r = rng.gen_range(1..=5);
+        let k = rng.gen_range(1..=5);
+        let c = rng.gen_range(1..=5);
+        let a = Matrix::from_vec(r, k, vec_in(rng, r * k, -10.0, 10.0));
+        let b = Matrix::from_vec(k, c, vec_in(rng, k * c, -10.0, 10.0));
         let lhs = a.matmul(&b).transpose();
         let rhs = b.transpose().matmul(&a.transpose());
-        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
-    }
+        assert!(lhs.approx_eq(&rhs, 1e-9));
+    });
+}
 
-    #[test]
-    fn gram_is_symmetric_psd_diag(m in matrix_strategy(6)) {
+#[test]
+fn gram_is_symmetric_psd_diag() {
+    cases(64, 103, |rng| {
+        let m = random_matrix(rng, 6);
         let g = m.gram();
         for i in 0..g.rows() {
-            prop_assert!(g[(i, i)] >= -1e-12, "negative diagonal in Gram matrix");
+            assert!(g[(i, i)] >= -1e-12, "negative diagonal in Gram matrix");
             for j in 0..g.cols() {
-                prop_assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-9);
+                assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-9);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn cholesky_solves_spd_systems(b0 in square_strategy(5), rhs_seed in -5.0..5.0f64) {
+#[test]
+fn cholesky_solves_spd_systems() {
+    cases(64, 104, |rng| {
+        let b0 = random_square(rng, 5);
         let n = b0.rows();
         let mut a = b0.matmul(&b0.transpose());
         a.add_diag_mut(n as f64 + 1.0); // guarantee positive-definiteness
+        let rhs_seed = rng.gen_range(-5.0..5.0);
         let b: Vec<f64> = (0..n).map(|i| rhs_seed + i as f64).collect();
         let ch = Cholesky::factor(&a).expect("SPD by construction");
         let x = ch.solve(&b);
         let resid = vsub(&a.matvec(&x), &b);
-        prop_assert!(norm2(&resid) < 1e-6 * (1.0 + norm2(&b)));
-    }
+        assert!(norm2(&resid) < 1e-6 * (1.0 + norm2(&b)));
+    });
+}
 
-    #[test]
-    fn lu_solve_residual_small(a in square_strategy(5), rhs_seed in -5.0..5.0f64) {
+#[test]
+fn lu_solve_residual_small() {
+    cases(64, 105, |rng| {
+        let a = random_square(rng, 5);
         let n = a.rows();
+        let rhs_seed = rng.gen_range(-5.0..5.0);
         let b: Vec<f64> = (0..n).map(|i| rhs_seed - i as f64).collect();
         if let Ok(lu) = Lu::factor(&a) {
             // Skip nearly-singular draws where the condition number makes
             // any direct method inaccurate.
-            prop_assume!(lu.det().abs() > 1e-6);
+            if lu.det().abs() <= 1e-6 {
+                return;
+            }
             let x = lu.solve(&b);
             let resid = vsub(&a.matvec(&x), &b);
-            prop_assert!(norm2(&resid) < 1e-5 * (1.0 + norm2(&b)) * (1.0 + a.max_abs()));
+            assert!(norm2(&resid) < 1e-5 * (1.0 + norm2(&b)) * (1.0 + a.max_abs()));
         }
-    }
+    });
+}
 
-    #[test]
-    fn lu_det_multiplicative(
-        (a, b) in (1..=4usize).prop_flat_map(|n| (
-            prop::collection::vec(-10.0..10.0f64, n * n).prop_map(move |d| Matrix::from_vec(n, n, d)),
-            prop::collection::vec(-10.0..10.0f64, n * n).prop_map(move |d| Matrix::from_vec(n, n, d)),
-        ))
-    ) {
+#[test]
+fn lu_det_multiplicative() {
+    cases(64, 106, |rng| {
+        let n = rng.gen_range(1..=4);
+        let a = Matrix::from_vec(n, n, vec_in(rng, n * n, -10.0, 10.0));
+        let b = Matrix::from_vec(n, n, vec_in(rng, n * n, -10.0, 10.0));
         if let (Ok(la), Ok(lb)) = (Lu::factor(&a), Lu::factor(&b)) {
             let ab = a.matmul(&b);
             if let Ok(lab) = Lu::factor(&ab) {
                 let lhs = lab.det();
                 let rhs = la.det() * lb.det();
                 let scale = 1.0 + lhs.abs().max(rhs.abs());
-                prop_assert!((lhs - rhs).abs() < 1e-6 * scale);
+                assert!((lhs - rhs).abs() < 1e-6 * scale);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn vector_algebra_roundtrip(v in prop::collection::vec(-100.0..100.0f64, 1..32)) {
+#[test]
+fn vector_algebra_roundtrip() {
+    cases(64, 107, |rng| {
+        let n = rng.gen_range(1..32);
+        let v = vec_in(rng, n, -100.0, 100.0);
         let zero = vec![0.0; v.len()];
-        prop_assert_eq!(vadd(&v, &zero), v.clone());
+        assert_eq!(vadd(&v, &zero), v.clone());
         let diff = vsub(&v, &v);
-        prop_assert!(diff.iter().all(|&x| x == 0.0));
-        prop_assert!(dot(&v, &zero) == 0.0);
-    }
+        assert!(diff.iter().all(|&x| x == 0.0));
+        assert!(dot(&v, &zero) == 0.0);
+    });
+}
 
-    #[test]
-    fn cauchy_schwarz(pairs in prop::collection::vec((-10.0..10.0f64, -10.0..10.0f64), 1..16)) {
-        let (u, w): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
-        prop_assert!(dot(&u, &w).abs() <= norm2(&u) * norm2(&w) + 1e-9);
-    }
+#[test]
+fn cauchy_schwarz() {
+    cases(64, 108, |rng| {
+        let n = rng.gen_range(1..16);
+        let u = vec_in(rng, n, -10.0, 10.0);
+        let w = vec_in(rng, n, -10.0, 10.0);
+        assert!(dot(&u, &w).abs() <= norm2(&u) * norm2(&w) + 1e-9);
+    });
 }

@@ -2,8 +2,8 @@
 
 use crate::traits::{Classifier, Model, Regressor};
 use crate::tree::{DecisionTree, TreeConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use xai_rand::rngs::StdRng;
+use xai_rand::{Rng, SeedableRng};
 use xai_linalg::Matrix;
 
 /// Configuration for [`RandomForest::fit`].

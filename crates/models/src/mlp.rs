@@ -6,9 +6,9 @@
 //! tutorial scopes itself to structured data, and so do we.
 
 use crate::traits::{Classifier, Model, Regressor};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use xai_rand::rngs::StdRng;
+use xai_rand::seq::SliceRandom;
+use xai_rand::SeedableRng;
 use xai_data::sigmoid;
 use xai_linalg::distr::normal;
 use xai_linalg::Matrix;

@@ -7,8 +7,8 @@
 //! LeafInfluence (§2.3.2) re-weights leaf values.
 
 use crate::traits::{Classifier, Model, Regressor};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
+use xai_rand::rngs::StdRng;
+use xai_rand::seq::SliceRandom;
 use xai_linalg::Matrix;
 
 /// Split quality criterion.
@@ -443,7 +443,7 @@ mod tests {
 
     #[test]
     fn random_feature_mode_needs_rng() {
-        use rand::SeedableRng;
+        use xai_rand::SeedableRng;
         let data = circles(200, 11, 0.2);
         let mut rng = StdRng::seed_from_u64(1);
         let tree = DecisionTree::fit_with(

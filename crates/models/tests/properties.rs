@@ -1,48 +1,47 @@
-//! Property-based tests for the model substrate.
+//! Property-based tests for the model substrate, run as deterministic
+//! seeded loops over `xai_rand`.
 
-use proptest::prelude::*;
 use xai_linalg::Matrix;
 use xai_models::{
     Classifier, DecisionTree, GaussianNb, Knn, LinearConfig, LinearRegression, LogisticConfig,
     LogisticRegression, Regressor, SplitCriterion, TreeConfig,
 };
+use xai_rand::property::{cases, vec_in};
+use xai_rand::rngs::StdRng;
+use xai_rand::Rng;
 
-/// Strategy: a small dataset of rows in [-5, 5] with 0/1 labels containing
-/// both classes.
-fn binary_dataset() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
-    (2..=4usize, 8..=40usize)
-        .prop_flat_map(|(d, n)| {
-            (
-                prop::collection::vec(-5.0..5.0f64, n * d),
-                prop::collection::vec(prop::bool::ANY, n),
-                Just((n, d)),
-            )
-        })
-        .prop_filter_map("need both classes", |(data, labels, (n, d))| {
-            let pos = labels.iter().filter(|&&b| b).count();
-            if pos == 0 || pos == n {
-                return None;
-            }
-            let x = Matrix::from_vec(n, d, data);
-            let y = labels.into_iter().map(f64::from).collect();
-            Some((x, y))
-        })
+/// A small dataset of rows in [-5, 5] with 0/1 labels containing both
+/// classes (resampled until both appear).
+fn binary_dataset(rng: &mut StdRng) -> (Matrix, Vec<f64>) {
+    loop {
+        let d = rng.gen_range(2..=4);
+        let n = rng.gen_range(8..=40);
+        let data = vec_in(rng, n * d, -5.0, 5.0);
+        let labels: Vec<f64> = (0..n).map(|_| f64::from(rng.gen::<bool>())).collect();
+        let pos = labels.iter().filter(|&&v| v > 0.5).count();
+        if pos == 0 || pos == n {
+            continue;
+        }
+        return (Matrix::from_vec(n, d, data), labels);
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn tree_probabilities_stay_in_unit_interval((x, y) in binary_dataset()) {
+#[test]
+fn tree_probabilities_stay_in_unit_interval() {
+    cases(64, 401, |rng| {
+        let (x, y) = binary_dataset(rng);
         let tree = DecisionTree::fit(&x, &y, TreeConfig { max_depth: 4, ..TreeConfig::default() });
         for i in 0..x.rows() {
             let p = tree.proba_one(x.row(i));
-            prop_assert!((0.0..=1.0).contains(&p));
+            assert!((0.0..=1.0).contains(&p));
         }
-    }
+    });
+}
 
-    #[test]
-    fn tree_regression_predictions_within_target_range((x, y) in binary_dataset()) {
+#[test]
+fn tree_regression_predictions_within_target_range() {
+    cases(64, 402, |rng| {
+        let (x, y) = binary_dataset(rng);
         // Reinterpret labels as regression targets scaled to [0, 10].
         let targets: Vec<f64> = y.iter().map(|v| v * 10.0).collect();
         let tree = DecisionTree::fit(
@@ -54,54 +53,64 @@ proptest! {
         let hi = targets.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         for i in 0..x.rows() {
             let p = Regressor::predict_one(&tree, x.row(i));
-            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+            assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn logistic_probabilities_finite_and_bounded((x, y) in binary_dataset()) {
+#[test]
+fn logistic_probabilities_finite_and_bounded() {
+    cases(64, 403, |rng| {
+        let (x, y) = binary_dataset(rng);
         let m = LogisticRegression::fit(&x, &y, LogisticConfig { max_iter: 20, ..LogisticConfig::default() });
         for i in 0..x.rows() {
             let p = m.proba_one(x.row(i));
-            prop_assert!(p.is_finite() && (0.0..=1.0).contains(&p));
+            assert!(p.is_finite() && (0.0..=1.0).contains(&p));
         }
-        prop_assert!(m.weights().iter().all(|w| w.is_finite()));
-    }
+        assert!(m.weights().iter().all(|w| w.is_finite()));
+    });
+}
 
-    #[test]
-    fn knn_prediction_is_a_training_label_average((x, y) in binary_dataset()) {
+#[test]
+fn knn_prediction_is_a_training_label_average() {
+    cases(64, 404, |rng| {
+        let (x, y) = binary_dataset(rng);
         let knn = Knn::fit(&x, &y, 3);
         for i in 0..x.rows().min(5) {
             let p = knn.proba_one(x.row(i));
-            prop_assert!((0.0..=1.0).contains(&p));
+            assert!((0.0..=1.0).contains(&p));
             // With k=3 the prediction is a multiple of 1/3.
             let scaled = p * 3.0;
-            prop_assert!((scaled - scaled.round()).abs() < 1e-9);
+            assert!((scaled - scaled.round()).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn naive_bayes_probabilities_valid((x, y) in binary_dataset()) {
+#[test]
+fn naive_bayes_probabilities_valid() {
+    cases(64, 405, |rng| {
+        let (x, y) = binary_dataset(rng);
         let nb = GaussianNb::fit(&x, &y);
         for i in 0..x.rows().min(8) {
             let p = nb.proba_one(x.row(i));
-            prop_assert!(p.is_finite() && (0.0..=1.0).contains(&p));
+            assert!(p.is_finite() && (0.0..=1.0).contains(&p));
         }
-    }
+    });
+}
 
-    #[test]
-    fn linear_regression_is_affine(
-        coefs in prop::collection::vec(-3.0..3.0f64, 2..4),
-        bias in -2.0..2.0f64,
-    ) {
+#[test]
+fn linear_regression_is_affine() {
+    cases(64, 406, |rng| {
         // Fit on exact affine data: prediction must interpolate new points.
-        let d = coefs.len();
+        let d = rng.gen_range(2..4);
+        let coefs = vec_in(rng, d, -3.0, 3.0);
+        let bias: f64 = rng.gen_range(-2.0..2.0);
         let n = 4 * d + 4;
         let x = Matrix::from_fn(n, d, |i, j| ((i * (j + 2) + j) % 7) as f64 - 3.0);
         let y: Vec<f64> = x.iter_rows().map(|r| bias + xai_linalg::dot(&coefs, r)).collect();
         let m = LinearRegression::fit(&x, &y, LinearConfig { ridge: 1e-10, intercept: true }).unwrap();
         let probe: Vec<f64> = (0..d).map(|j| 0.5 * j as f64 - 1.0).collect();
         let expected = bias + xai_linalg::dot(&coefs, &probe);
-        prop_assert!((Regressor::predict_one(&m, &probe) - expected).abs() < 1e-4);
-    }
+        assert!((Regressor::predict_one(&m, &probe) - expected).abs() < 1e-4);
+    });
 }

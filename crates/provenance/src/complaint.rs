@@ -126,9 +126,9 @@ mod tests {
 
     /// Corrupt labels upward (0 → 1) to inflate positive counts.
     fn inflate_labels(data: &mut Dataset, k: usize, seed: u64) -> Vec<usize> {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use xai_rand::seq::SliceRandom;
+        use xai_rand::SeedableRng;
+        let mut rng = xai_rand::rngs::StdRng::seed_from_u64(seed);
         let mut zeros: Vec<usize> = (0..data.n_rows()).filter(|&i| data.y()[i] < 0.5).collect();
         zeros.shuffle(&mut rng);
         zeros.truncate(k);

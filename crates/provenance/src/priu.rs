@@ -104,8 +104,8 @@ pub fn retrain_ridge(x: &Matrix, y: &[f64], lambda: f64) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use xai_rand::rngs::StdRng;
+    use xai_rand::{Rng, SeedableRng};
     use xai_linalg::distr::normal;
 
     fn random_data(n: usize, d: usize, seed: u64) -> (Matrix, Vec<f64>) {

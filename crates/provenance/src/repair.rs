@@ -10,9 +10,9 @@
 //! deletion-based repair — verified here by actually repairing greedily.
 
 use crate::relation::{Relation, Value};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use xai_rand::rngs::StdRng;
+use xai_rand::seq::SliceRandom;
+use xai_rand::SeedableRng;
 
 /// A functional dependency `lhs → rhs` over column names.
 #[derive(Clone, Debug)]

@@ -1,89 +1,108 @@
 //! Property-based tests: provenance polynomials must satisfy the semiring
 //! laws, and semiring evaluation must commute with the polynomial algebra.
+//! Run as deterministic seeded loops over `xai_rand`.
 
-use proptest::prelude::*;
 use xai_provenance::Polynomial;
+use xai_rand::property::cases;
+use xai_rand::rngs::StdRng;
+use xai_rand::Rng;
 
-/// Strategy: a random provenance polynomial over up to 6 variables,
-/// built from vars by random plus/times combinations.
-fn polynomial() -> impl Strategy<Value = Polynomial> {
-    let leaf = (0usize..6).prop_map(Polynomial::var);
-    leaf.prop_recursive(3, 16, 4, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.plus(&b)),
-            (inner.clone(), inner).prop_map(|(a, b)| a.times(&b)),
-        ]
-    })
+/// A random provenance polynomial over up to 6 variables, built from vars
+/// by random plus/times combinations up to the given depth.
+fn polynomial(rng: &mut StdRng, depth: usize) -> Polynomial {
+    if depth == 0 || rng.gen_range(0..4) == 0 {
+        return Polynomial::var(rng.gen_range(0usize..6));
+    }
+    let a = polynomial(rng, depth - 1);
+    let b = polynomial(rng, depth - 1);
+    if rng.gen::<bool>() {
+        a.plus(&b)
+    } else {
+        a.times(&b)
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn plus_is_commutative_and_associative() {
+    cases(64, 501, |rng| {
+        let (a, b, c) = (polynomial(rng, 3), polynomial(rng, 3), polynomial(rng, 3));
+        assert_eq!(a.plus(&b), b.plus(&a));
+        assert_eq!(a.plus(&b).plus(&c), a.plus(&b.plus(&c)));
+    });
+}
 
-    #[test]
-    fn plus_is_commutative_and_associative(a in polynomial(), b in polynomial(), c in polynomial()) {
-        prop_assert_eq!(a.plus(&b), b.plus(&a));
-        prop_assert_eq!(a.plus(&b).plus(&c), a.plus(&b.plus(&c)));
-    }
+#[test]
+fn times_is_commutative_and_associative() {
+    cases(64, 502, |rng| {
+        let (a, b, c) = (polynomial(rng, 3), polynomial(rng, 3), polynomial(rng, 3));
+        assert_eq!(a.times(&b), b.times(&a));
+        assert_eq!(a.times(&b).times(&c), a.times(&b.times(&c)));
+    });
+}
 
-    #[test]
-    fn times_is_commutative_and_associative(a in polynomial(), b in polynomial(), c in polynomial()) {
-        prop_assert_eq!(a.times(&b), b.times(&a));
-        prop_assert_eq!(a.times(&b).times(&c), a.times(&b.times(&c)));
-    }
+#[test]
+fn distributivity() {
+    cases(64, 503, |rng| {
+        let (a, b, c) = (polynomial(rng, 3), polynomial(rng, 3), polynomial(rng, 3));
+        assert_eq!(a.times(&b.plus(&c)), a.times(&b).plus(&a.times(&c)));
+    });
+}
 
-    #[test]
-    fn distributivity(a in polynomial(), b in polynomial(), c in polynomial()) {
-        prop_assert_eq!(a.times(&b.plus(&c)), a.times(&b).plus(&a.times(&c)));
-    }
+#[test]
+fn identities() {
+    cases(64, 504, |rng| {
+        let a = polynomial(rng, 3);
+        assert_eq!(a.plus(&Polynomial::zero()), a.clone());
+        assert_eq!(a.times(&Polynomial::one()), a.clone());
+        assert!(a.times(&Polynomial::zero()).is_zero());
+    });
+}
 
-    #[test]
-    fn identities(a in polynomial()) {
-        prop_assert_eq!(a.plus(&Polynomial::zero()), a.clone());
-        prop_assert_eq!(a.times(&Polynomial::one()), a.clone());
-        prop_assert!(a.times(&Polynomial::zero()).is_zero());
-    }
-
-    #[test]
-    fn counting_evaluation_is_a_homomorphism(
-        a in polynomial(),
-        b in polynomial(),
-        mults in prop::collection::vec(0u64..4, 6),
-    ) {
+#[test]
+fn counting_evaluation_is_a_homomorphism() {
+    cases(64, 505, |rng| {
+        let (a, b) = (polynomial(rng, 3), polynomial(rng, 3));
+        let mults: Vec<u64> = (0..6).map(|_| rng.gen_range(0u64..4)).collect();
         let assign = |v: usize| mults[v];
         let sum = a.plus(&b).count(&assign);
-        prop_assert_eq!(sum, a.count(&assign) + b.count(&assign));
+        assert_eq!(sum, a.count(&assign) + b.count(&assign));
         let prod = a.times(&b).count(&assign);
-        prop_assert_eq!(prod, a.count(&assign) * b.count(&assign));
-    }
+        assert_eq!(prod, a.count(&assign) * b.count(&assign));
+    });
+}
 
-    #[test]
-    fn boolean_presence_matches_counting_positivity(
-        a in polynomial(),
-        avail in prop::collection::vec(prop::bool::ANY, 6),
-    ) {
+#[test]
+fn boolean_presence_matches_counting_positivity() {
+    cases(64, 506, |rng| {
+        let a = polynomial(rng, 3);
+        let avail: Vec<bool> = (0..6).map(|_| rng.gen::<bool>()).collect();
         let present = a.present(&|v| avail[v]);
         let count = a.count(&|v| u64::from(avail[v]));
-        prop_assert_eq!(present, count > 0);
-    }
+        assert_eq!(present, count > 0);
+    });
+}
 
-    #[test]
-    fn lineage_bounds_presence(a in polynomial()) {
+#[test]
+fn lineage_bounds_presence() {
+    cases(64, 507, |rng| {
         // With every lineage variable present, the tuple exists; with all
         // absent, it does not (unless the polynomial is constant).
+        let a = polynomial(rng, 3);
         let lineage = a.lineage();
         if !lineage.is_empty() {
-            prop_assert!(a.present(&|v| lineage.contains(&v)));
-            prop_assert!(!a.present(&|_| false));
+            assert!(a.present(&|v| lineage.contains(&v)));
+            assert!(!a.present(&|_| false));
         }
-    }
+    });
+}
 
-    #[test]
-    fn tropical_cost_is_monotone_in_tuple_costs(
-        a in polynomial(),
-        costs in prop::collection::vec(0.0..5.0f64, 6),
-    ) {
+#[test]
+fn tropical_cost_is_monotone_in_tuple_costs() {
+    cases(64, 508, |rng| {
+        let a = polynomial(rng, 3);
+        let costs: Vec<f64> = (0..6).map(|_| rng.gen_range(0.0..5.0)).collect();
         let base = a.min_cost(&|v| costs[v]);
         let bumped = a.min_cost(&|v| costs[v] + 1.0);
-        prop_assert!(bumped >= base, "raising all costs cannot lower the min derivation");
-    }
+        assert!(bumped >= base, "raising all costs cannot lower the min derivation");
+    });
 }

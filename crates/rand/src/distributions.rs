@@ -1,0 +1,158 @@
+//! The [`Distribution`] trait, the [`Standard`] distribution behind
+//! [`Rng::gen`], and uniform range sampling for [`Rng::gen_range`].
+
+use crate::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A distribution over values of type `T`, sampled with any [`Rng`].
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+
+    /// Draws `n` values into a vector.
+    fn sample_vec<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<T> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// The "natural" distribution per type: `[0, 1)` uniforms for floats, fair
+/// coin for `bool`, full-range uniform for integers.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random bits scaled into [0, 1): every representable multiple
+        // of 2^-53 is equally likely.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        // Use the high bit; PCG's low bits are fine too, but this matches
+        // the float path in using the most-mixed bits.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u64, u32, u16, u8, i64, i32, usize);
+
+/// A range that [`Rng::gen_range`] can sample a single value from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` in `[0, span)` by Lemire's nearly-divisionless method —
+/// unbiased for every span, one multiply in the common case.
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let mut m = (rng.next_u64() as u128) * (span as u128);
+    let mut low = m as u64;
+    if low < span {
+        // Rejection zone: the bottom `2^64 mod span` values of each bucket.
+        let threshold = span.wrapping_neg() % span;
+        while low < threshold {
+            m = (rng.next_u64() as u128) * (span as u128);
+            low = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+macro_rules! sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range called on empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range called on empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full 64-bit range.
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+sample_range_int!(usize, u64, u32, i64, i32);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range called on empty range");
+        let u: f64 = Standard.sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range called on empty range");
+        let u: f32 = Standard.sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Uniform distribution over a half-open or inclusive range, for reuse via
+/// [`Distribution::sample`].
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+}
+
+impl Uniform<f64> {
+    /// Uniform over `[low, high)`.
+    pub fn new(low: f64, high: f64) -> Self {
+        assert!(low < high, "Uniform requires low < high");
+        Self { low, high }
+    }
+}
+
+impl Distribution<f64> for Uniform<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.low..self.high).sample_single(rng)
+    }
+}
+
+impl Uniform<usize> {
+    /// Uniform over `[low, high)`.
+    pub fn new(low: usize, high: usize) -> Self {
+        assert!(low < high, "Uniform requires low < high");
+        Self { low, high }
+    }
+}
+
+impl Distribution<usize> for Uniform<usize> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        (self.low..self.high).sample_single(rng)
+    }
+}

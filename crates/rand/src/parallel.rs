@@ -1,0 +1,164 @@
+//! Deterministic fork-join parallelism for Monte-Carlo loops.
+//!
+//! The sampling-based explainers in this workspace (permutation Shapley,
+//! Kernel SHAP, TMC data Shapley, Banzhaf, GeCo/DiCE search) are
+//! embarrassingly parallel: many independent random walks whose results
+//! are reduced at the end. The executors here parallelize exactly that
+//! shape while keeping a hard reproducibility guarantee:
+//!
+//! **Determinism invariant.** Task `t` always draws from a fresh PCG64
+//! seeded with [`child_seed`]`(seed, t)`, and results are reduced in task
+//! order — never in completion order. The output is therefore a pure
+//! function of `(seed, n_tasks)`: bit-identical across runs *and across
+//! worker counts* (`workers = 1` and `workers = 64` agree exactly).
+//!
+//! Scheduling is static and strided (worker `w` takes tasks `w`,
+//! `w + workers`, …), which needs no atomics and balances well for the
+//! uniform task sizes Monte-Carlo chunks have.
+
+use crate::rngs::StdRng;
+use crate::{child_seed, SeedableRng};
+use std::ops::Range;
+
+/// Number of workers the machine supports (`1` when it cannot be probed).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `n_tasks` independent closures across `workers` scoped threads.
+///
+/// Each task receives its index and a PCG64 seeded with
+/// [`child_seed`]`(seed, index)`; outputs come back in task order. See the
+/// module docs for the determinism invariant.
+///
+/// # Panics
+/// Panics when `workers == 0`, or propagates a worker panic.
+pub fn par_map_seeded<U, F>(n_tasks: usize, seed: u64, workers: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize, &mut StdRng) -> U + Sync,
+{
+    assert!(workers >= 1, "need at least one worker");
+    let run_task = |t: usize| {
+        let mut rng = StdRng::seed_from_u64(child_seed(seed, t as u64));
+        f(t, &mut rng)
+    };
+    if workers == 1 || n_tasks <= 1 {
+        return (0..n_tasks).map(run_task).collect();
+    }
+    let workers = workers.min(n_tasks);
+    let mut out: Vec<Option<U>> = (0..n_tasks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let run_task = &run_task;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    (w..n_tasks)
+                        .step_by(workers)
+                        .map(|t| (t, run_task(t)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (t, value) in handle.join().expect("parallel worker panicked") {
+                out[t] = Some(value);
+            }
+        }
+    });
+    out.into_iter().map(|v| v.expect("every task runs exactly once")).collect()
+}
+
+/// Splits `0..total` into chunks of at most `chunk_size` iterations and
+/// runs each chunk as one [`par_map_seeded`] task.
+///
+/// `f` receives `(chunk_index, iteration_range, rng)`. Because the chunk
+/// grid depends only on `(total, chunk_size)` — not on `workers` — the
+/// result keeps the worker-count-invariance guarantee.
+///
+/// # Panics
+/// Panics when `chunk_size == 0` or `workers == 0`.
+pub fn par_map_chunks<U, F>(
+    total: usize,
+    chunk_size: usize,
+    seed: u64,
+    workers: usize,
+    f: F,
+) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize, Range<usize>, &mut StdRng) -> U + Sync,
+{
+    assert!(chunk_size >= 1, "chunk size must be positive");
+    let n_chunks = total.div_ceil(chunk_size);
+    par_map_seeded(n_chunks, seed, workers, |c, rng| {
+        let start = c * chunk_size;
+        let end = (start + chunk_size).min(total);
+        f(c, start..end, rng)
+    })
+}
+
+/// Element-wise sum reduction for the common "each chunk returns partial
+/// sums" pattern. Summation runs in chunk order, preserving bit-exact
+/// determinism.
+pub fn sum_partials(partials: Vec<Vec<f64>>) -> Vec<f64> {
+    let mut iter = partials.into_iter();
+    let Some(mut acc) = iter.next() else {
+        return Vec::new();
+    };
+    for partial in iter {
+        assert_eq!(partial.len(), acc.len(), "partial length mismatch");
+        for (a, p) in acc.iter_mut().zip(&partial) {
+            *a += p;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RngCore;
+    use crate::Rng;
+
+    #[test]
+    fn worker_count_invariance() {
+        let run = |workers| {
+            par_map_seeded(13, 42, workers, |t, rng| (t, rng.gen::<f64>(), rng.next_u64()))
+        };
+        let one = run(1);
+        for workers in [2, 3, 4, 16] {
+            assert_eq!(one, run(workers), "workers={workers} diverged");
+        }
+    }
+
+    #[test]
+    fn chunk_grid_covers_total_exactly_once() {
+        let ranges = par_map_chunks(10, 3, 7, 2, |_, r, _| r);
+        let flat: Vec<usize> = ranges.into_iter().flatten().collect();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tasks_get_independent_streams() {
+        let draws = par_map_seeded(4, 9, 2, |_, rng| rng.next_u64());
+        for i in 0..draws.len() {
+            for j in i + 1..draws.len() {
+                assert_ne!(draws[i], draws[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn sum_partials_is_ordered_and_exact() {
+        assert_eq!(sum_partials(vec![]), Vec::<f64>::new());
+        let s = sum_partials(vec![vec![1.0, 2.0], vec![0.5, -2.0]]);
+        assert_eq!(s, vec![1.5, 0.0]);
+    }
+
+    #[test]
+    fn more_workers_than_tasks_is_fine() {
+        let out = par_map_seeded(2, 1, 8, |t, _| t);
+        assert_eq!(out, vec![0, 1]);
+    }
+}

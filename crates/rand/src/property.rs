@@ -1,0 +1,66 @@
+//! A tiny seeded-loop property-test harness.
+//!
+//! Replaces the external `proptest` dependency: a property is an ordinary
+//! closure executed over many independently seeded RNG streams, so every
+//! "random" case is reproducible from the failure message alone.
+
+use crate::rngs::StdRng;
+use crate::{child_seed, Rng, SeedableRng};
+
+/// Runs `f` for `cases` deterministic pseudo-random cases.
+///
+/// Case `i` receives an RNG seeded with [`child_seed`]`(base_seed, i)`.
+/// On panic, the case index and its seed are reported so a failing case
+/// can be replayed in isolation with `StdRng::seed_from_u64(seed)`.
+pub fn cases<F>(cases: usize, base_seed: u64, mut f: F)
+where
+    F: FnMut(&mut StdRng),
+{
+    assert!(cases >= 1);
+    for i in 0..cases {
+        let seed = child_seed(base_seed, i as u64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!("property failed at case {i}/{cases} (replay seed: {seed})");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Draws a `Vec<f64>` with entries uniform in `[lo, hi)` — the workhorse
+/// generator of the rewritten property suites.
+pub fn vec_in(rng: &mut StdRng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RngCore;
+
+    #[test]
+    fn runs_every_case_with_distinct_streams() {
+        let mut seen = Vec::new();
+        cases(16, 3, |rng| seen.push(rng.next_u64()));
+        assert_eq!(seen.len(), 16);
+        let mut dedup = seen.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 16, "case streams must be independent");
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_propagate() {
+        cases(4, 1, |_| panic!("boom"));
+    }
+
+    #[test]
+    fn vec_in_respects_bounds() {
+        cases(8, 5, |rng| {
+            let v = vec_in(rng, 32, -2.0, 3.0);
+            assert!(v.iter().all(|&x| (-2.0..3.0).contains(&x)));
+        });
+    }
+}

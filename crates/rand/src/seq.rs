@@ -1,0 +1,51 @@
+//! Slice-level randomness: Fisher–Yates shuffling and uniform choice,
+//! mirroring `rand::seq::SliceRandom`.
+
+use crate::Rng;
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates; every permutation is
+    /// equally likely).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns a uniformly chosen element, or `None` when empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Returns `amount` distinct elements in random order (all of them, in
+    /// random order, when `amount >= len`).
+    fn choose_multiple<R: Rng + ?Sized>(&self, rng: &mut R, amount: usize) -> Vec<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn choose_multiple<R: Rng + ?Sized>(&self, rng: &mut R, amount: usize) -> Vec<&T> {
+        // Partial Fisher–Yates over an index vector.
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let take = amount.min(self.len());
+        for i in 0..take {
+            let j = rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        idx[..take].iter().map(|&i| &self[i]).collect()
+    }
+}

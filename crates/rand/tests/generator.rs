@@ -1,0 +1,170 @@
+//! Integration tests for the in-tree PRNG: known-answer snapshots, range
+//! correctness, uniformity, permutation validity, and stream independence.
+
+use xai_rand::parallel::par_map_seeded;
+use xai_rand::rngs::StdRng;
+use xai_rand::seq::SliceRandom;
+use xai_rand::{child_seed, Rng, RngCore, SeedableRng};
+
+/// Snapshot of the PCG64 output stream for two fixed seeds. These values
+/// pin the generator: any change to the seeding scheme, the LCG constants,
+/// or the XSL-RR output function fails this test, which would silently
+/// invalidate every seeded test and experiment in the workspace.
+#[test]
+fn known_answer_pcg64_streams() {
+    let mut r = StdRng::seed_from_u64(42);
+    let got: Vec<u64> = (0..6).map(|_| r.next_u64()).collect();
+    assert_eq!(
+        got,
+        [
+            12224675290135233790,
+            9860423973401327721,
+            4778247438621736158,
+            9359529024939162348,
+            5773768942572903939,
+            14756301573821094206,
+        ]
+    );
+    let mut r = StdRng::seed_from_u64(0);
+    let got: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+    assert_eq!(
+        got,
+        [
+            5751847760125744135,
+            11407444520975392719,
+            4260351627862701322,
+            3881254725000550827,
+        ]
+    );
+}
+
+#[test]
+fn known_answer_f64_stream() {
+    let mut r = StdRng::seed_from_u64(42);
+    let got: Vec<f64> = (0..4).map(|_| r.gen::<f64>()).collect();
+    let want = [0.6627009753747242, 0.5345346546794935, 0.2590293126813491, 0.5073810851140087];
+    assert_eq!(got, want, "f64 conversion must stay bit-stable");
+}
+
+#[test]
+fn known_answer_child_seeds() {
+    assert_eq!(child_seed(42, 0), 13679457532755275413);
+    assert_eq!(child_seed(42, 1), 2949826092126892291);
+}
+
+#[test]
+fn gen_range_respects_bounds_for_every_range_shape() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..2000 {
+        let a: usize = rng.gen_range(3..17);
+        assert!((3..17).contains(&a));
+        let b: usize = rng.gen_range(5..=5);
+        assert_eq!(b, 5);
+        let c: i64 = rng.gen_range(-20..-10);
+        assert!((-20..-10).contains(&c));
+        let d: f64 = rng.gen_range(-1.5..2.5);
+        assert!((-1.5..2.5).contains(&d));
+        let e: u64 = rng.gen_range(0..2);
+        assert!(e < 2);
+    }
+}
+
+/// Chi-squared uniformity smoke test: 16 buckets, 16k draws. The 99.9%
+/// critical value for 15 degrees of freedom is ≈ 37.7; a healthy uniform
+/// generator sits far below it.
+#[test]
+fn gen_range_is_uniform_chi_squared() {
+    let mut rng = StdRng::seed_from_u64(99);
+    const BUCKETS: usize = 16;
+    const DRAWS: usize = 16_384;
+    let mut counts = [0usize; BUCKETS];
+    for _ in 0..DRAWS {
+        counts[rng.gen_range(0..BUCKETS)] += 1;
+    }
+    let expected = DRAWS as f64 / BUCKETS as f64;
+    let chi2: f64 =
+        counts.iter().map(|&c| (c as f64 - expected).powi(2) / expected).sum();
+    assert!(chi2 < 37.7, "chi-squared statistic too large: {chi2} (counts {counts:?})");
+}
+
+#[test]
+fn f64_draws_live_in_unit_interval_with_sane_mean() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let n = 8192;
+    let mut sum = 0.0;
+    for _ in 0..n {
+        let x: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&x));
+        sum += x;
+    }
+    let mean = sum / n as f64;
+    assert!((mean - 0.5).abs() < 0.02, "mean suspiciously far from 1/2: {mean}");
+}
+
+#[test]
+fn shuffle_produces_valid_permutations_and_mixes() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let identity: Vec<usize> = (0..50).collect();
+    let mut moved = 0;
+    for _ in 0..50 {
+        let mut v = identity.clone();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, identity, "shuffle must be a permutation");
+        if v != identity {
+            moved += 1;
+        }
+    }
+    assert_eq!(moved, 50, "a 50-element shuffle virtually never returns identity");
+}
+
+#[test]
+fn shuffle_visits_every_position_uniformly_enough() {
+    // Track where element 0 lands across many shuffles of a 8-vector; each
+    // slot should be hit roughly n/8 times.
+    let mut rng = StdRng::seed_from_u64(22);
+    let mut landings = [0usize; 8];
+    let n = 8000;
+    for _ in 0..n {
+        let mut v: Vec<usize> = (0..8).collect();
+        v.shuffle(&mut rng);
+        let pos = v.iter().position(|&x| x == 0).unwrap();
+        landings[pos] += 1;
+    }
+    let expected = n as f64 / 8.0;
+    for (slot, &c) in landings.iter().enumerate() {
+        assert!(
+            (c as f64 - expected).abs() < expected * 0.15,
+            "slot {slot} hit {c} times (expected ≈ {expected})"
+        );
+    }
+}
+
+#[test]
+fn child_seed_streams_are_pairwise_distinct_and_uncorrelated() {
+    // 64 child streams: no collisions in their first draws, and no child
+    // reproduces the parent's stream.
+    let base = 1234;
+    let mut firsts = std::collections::HashSet::new();
+    let mut parent = StdRng::seed_from_u64(base);
+    let parent_first = parent.next_u64();
+    for i in 0..64 {
+        let mut child = StdRng::seed_from_u64(child_seed(base, i));
+        let first = child.next_u64();
+        assert_ne!(first, parent_first, "child {i} reproduced the parent stream");
+        assert!(firsts.insert(first), "child {i} collided with an earlier child");
+    }
+}
+
+#[test]
+fn executor_child_streams_match_direct_child_seeding() {
+    // The executor must seed task t with child_seed(seed, t) — nothing
+    // else. This pins the contract that makes parallel results independent
+    // of worker count.
+    let direct: Vec<u64> = (0..5)
+        .map(|t| StdRng::seed_from_u64(child_seed(77, t)).next_u64())
+        .collect();
+    let from_executor = par_map_seeded(5, 77, 3, |_, rng| rng.next_u64());
+    assert_eq!(direct, from_executor);
+}

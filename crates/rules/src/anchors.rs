@@ -11,8 +11,8 @@
 //! search for these rules").
 
 use crate::itemset::{Item, ItemVocabulary};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use xai_rand::rngs::StdRng;
+use xai_rand::{Rng, SeedableRng};
 use xai_core::RuleExplanation;
 use xai_data::Dataset;
 

@@ -144,8 +144,8 @@ pub fn fp_growth(transactions: &[Vec<Item>], min_support: usize) -> Vec<Frequent
 mod tests {
     use super::*;
     use crate::apriori::apriori;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use xai_rand::rngs::StdRng;
+    use xai_rand::{Rng, SeedableRng};
 
     fn market() -> Vec<Vec<Item>> {
         vec![

@@ -12,8 +12,8 @@
 //! (possibly non-forced) feature sets, connecting to the probabilistic
 //! notions of §2.1.3 \[20, 75\].
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use xai_rand::rngs::StdRng;
+use xai_rand::{Rng, SeedableRng};
 use xai_core::{Condition, Op};
 use xai_linalg::Matrix;
 use xai_models::{DecisionTree, TreeNode};

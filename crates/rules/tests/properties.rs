@@ -1,30 +1,40 @@
 //! Property-based tests for the mining substrate: Apriori and FP-Growth
 //! must agree on arbitrary databases, and the classical itemset laws must
-//! hold.
+//! hold. Run as deterministic seeded loops over `xai_rand`.
 
-use proptest::prelude::*;
+use xai_rand::property::cases;
+use xai_rand::rngs::StdRng;
+use xai_rand::Rng;
 use xai_rules::{apriori, association_rules, fp_growth, Item};
 
-/// Strategy: a random transaction database over up to 9 items.
-fn database() -> impl Strategy<Value = Vec<Vec<Item>>> {
-    prop::collection::vec(
-        prop::collection::vec(0usize..9, 0..7),
-        1..40,
-    )
+/// A random transaction database over up to 9 items: 1..40 transactions of
+/// 0..7 items each.
+fn database(rng: &mut StdRng) -> Vec<Vec<Item>> {
+    let n = rng.gen_range(1..40);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(0..7);
+            (0..len).map(|_| rng.gen_range(0usize..9)).collect()
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn apriori_equals_fp_growth(db in database(), min_support in 1usize..8) {
+#[test]
+fn apriori_equals_fp_growth() {
+    cases(64, 301, |rng| {
+        let db = database(rng);
+        let min_support = rng.gen_range(1usize..8);
         let a = apriori(&db, min_support);
         let g = fp_growth(&db, min_support);
-        prop_assert_eq!(a, g);
-    }
+        assert_eq!(a, g);
+    });
+}
 
-    #[test]
-    fn downward_closure(db in database(), min_support in 1usize..6) {
+#[test]
+fn downward_closure() {
+    cases(64, 302, |rng| {
+        let db = database(rng);
+        let min_support = rng.gen_range(1usize..6);
         let fis = apriori(&db, min_support);
         let all: std::collections::HashSet<&[Item]> =
             fis.iter().map(|f| f.items.as_slice()).collect();
@@ -35,13 +45,16 @@ proptest! {
             for drop in 0..f.items.len() {
                 let mut sub = f.items.clone();
                 sub.remove(drop);
-                prop_assert!(all.contains(sub.as_slice()), "missing subset {sub:?}");
+                assert!(all.contains(sub.as_slice()), "missing subset {sub:?}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn support_is_antitone_in_itemset_size(db in database()) {
+#[test]
+fn support_is_antitone_in_itemset_size() {
+    cases(64, 303, |rng| {
+        let db = database(rng);
         let fis = apriori(&db, 1);
         let support: std::collections::HashMap<&[Item], usize> =
             fis.iter().map(|f| (f.items.as_slice(), f.support)).collect();
@@ -53,31 +66,39 @@ proptest! {
                 let mut sub = f.items.clone();
                 sub.remove(drop);
                 if let Some(&s) = support.get(sub.as_slice()) {
-                    prop_assert!(f.support <= s, "{:?} support {} > subset {}", f.items, f.support, s);
+                    assert!(f.support <= s, "{:?} support {} > subset {}", f.items, f.support, s);
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn supports_never_exceed_database_size(db in database(), min_support in 1usize..5) {
+#[test]
+fn supports_never_exceed_database_size() {
+    cases(64, 304, |rng| {
+        let db = database(rng);
+        let min_support = rng.gen_range(1usize..5);
         let n = db.len();
         for f in apriori(&db, min_support) {
-            prop_assert!(f.support >= min_support);
-            prop_assert!(f.support <= n);
+            assert!(f.support >= min_support);
+            assert!(f.support <= n);
         }
-    }
+    });
+}
 
-    #[test]
-    fn rule_measures_are_coherent(db in database(), min_support in 1usize..4) {
+#[test]
+fn rule_measures_are_coherent() {
+    cases(64, 305, |rng| {
+        let db = database(rng);
+        let min_support = rng.gen_range(1usize..4);
         let fis = apriori(&db, min_support);
         let rules = association_rules(&fis, db.len().max(1), 0.0);
         for r in &rules {
-            prop_assert!((0.0..=1.0).contains(&r.support));
-            prop_assert!(r.confidence > 0.0 && r.confidence <= 1.0 + 1e-12);
-            prop_assert!(r.lift >= 0.0);
+            assert!((0.0..=1.0).contains(&r.support));
+            assert!(r.confidence > 0.0 && r.confidence <= 1.0 + 1e-12);
+            assert!(r.lift >= 0.0);
             // support(rule) ≤ confidence (since support(A) ≤ 1).
-            prop_assert!(r.support <= r.confidence + 1e-12);
+            assert!(r.support <= r.confidence + 1e-12);
         }
-    }
+    });
 }

@@ -7,9 +7,9 @@
 //! causally-upstream features for the effects they transmit.
 
 use crate::game::CooperativeGame;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use xai_rand::rngs::StdRng;
+use xai_rand::seq::SliceRandom;
+use xai_rand::SeedableRng;
 
 /// A precedence constraint: `before` must appear before `after` in every
 /// admissible ordering.

@@ -10,8 +10,8 @@
 //! changes.
 
 use crate::game::CooperativeGame;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use xai_rand::rngs::StdRng;
+use xai_rand::SeedableRng;
 use xai_data::scm::{Intervention, LabeledScm};
 
 /// The interventional game over an SCM's feature nodes.
@@ -180,7 +180,7 @@ mod tests {
         );
 
         // Marginal game on an SCM-sampled background.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut rng = xai_rand::rngs::StdRng::seed_from_u64(9);
         let (xs, _) = labeled.sample_examples(&mut rng, 300);
         let background = Matrix::from_rows(&xs);
         let mgame = PredictionGame::new(&model, &instance, &background);

@@ -154,8 +154,8 @@ pub fn shapley_flow(
         edges.len()
     );
     // Abduction on continuous SCMs is deterministic; the RNG is unused.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-    use rand::SeedableRng;
+    let mut rng = xai_rand::rngs::StdRng::seed_from_u64(0);
+    use xai_rand::SeedableRng;
     let instance_noise = scm.abduct(instance, &mut rng).expect("instance abduction");
     let baseline_noise = scm.abduct(baseline, &mut rng).expect("baseline abduction");
     let game = FlowGame {

@@ -9,8 +9,8 @@
 
 // Row assembly reads two parallel sources per index.
 #![allow(clippy::needless_range_loop)]
-use rand::rngs::StdRng;
-use rand::Rng;
+use xai_rand::rngs::StdRng;
+use xai_rand::Rng;
 use xai_linalg::Matrix;
 
 /// A transferable-utility cooperative game over `n_players` features.
@@ -37,18 +37,23 @@ pub trait CooperativeGame {
 /// `v(S) = E[f(x_S, X_{\bar S})]`, the expectation over a background sample
 /// of the model output with off-coalition features replaced by background
 /// values (the marginal expectation).
-pub struct PredictionGame<'a> {
-    model: &'a dyn Fn(&[f64]) -> f64,
+/// Generic over the model's function type (defaulting to a plain trait
+/// object) so that `Sync`-ness propagates: built from a `Sync` closure the
+/// game is itself `Sync` and can feed the parallel estimators
+/// ([`crate::permutation_shapley_parallel`],
+/// [`crate::kernel_shap_parallel`]).
+pub struct PredictionGame<'a, F: ?Sized = dyn Fn(&[f64]) -> f64 + 'a> {
+    model: &'a F,
     instance: &'a [f64],
     background: &'a Matrix,
 }
 
-impl<'a> PredictionGame<'a> {
+impl<'a, F: Fn(&[f64]) -> f64 + ?Sized> PredictionGame<'a, F> {
     /// Builds the game.
     ///
     /// # Panics
     /// Panics when the background is empty or arities disagree.
-    pub fn new(model: &'a dyn Fn(&[f64]) -> f64, instance: &'a [f64], background: &'a Matrix) -> Self {
+    pub fn new(model: &'a F, instance: &'a [f64], background: &'a Matrix) -> Self {
         assert!(background.rows() > 0, "background must be non-empty");
         assert_eq!(
             background.cols(),
@@ -64,7 +69,7 @@ impl<'a> PredictionGame<'a> {
     }
 }
 
-impl CooperativeGame for PredictionGame<'_> {
+impl<F: Fn(&[f64]) -> f64 + ?Sized> CooperativeGame for PredictionGame<'_, F> {
     fn n_players(&self) -> usize {
         self.instance.len()
     }
@@ -148,7 +153,7 @@ pub fn random_permutation(rng: &mut StdRng, n: usize) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use xai_rand::SeedableRng;
 
     #[test]
     fn prediction_game_interpolates_between_baseline_and_prediction() {

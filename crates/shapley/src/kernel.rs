@@ -9,8 +9,8 @@
 //! ordinary weighted least-squares problem.
 
 use crate::game::{mask_to_coalition, CooperativeGame};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use xai_rand::rngs::StdRng;
+use xai_rand::{Rng, SeedableRng};
 use xai_linalg::distr::categorical;
 use xai_linalg::{weighted_least_squares, Matrix};
 
@@ -120,6 +120,102 @@ pub fn kernel_shap(game: &dyn CooperativeGame, config: KernelShapConfig) -> Kern
     KernelShap { phi, base_value: v0, coalitions_used: m, exact }
 }
 
+/// Coalition evaluations per executor task in [`kernel_shap_parallel`].
+const COALITIONS_PER_CHUNK: usize = 64;
+
+/// Kernel SHAP with coalition sampling and evaluation spread across
+/// `workers` threads on the `xai_rand` executor.
+///
+/// In sampling mode each fixed-size chunk draws its coalitions from the
+/// stream `child_seed(config.seed, chunk)` and evaluates them; in exact
+/// mode the enumeration grid is evaluated in parallel. Triples are
+/// concatenated in chunk order before the (sequential) weighted
+/// least-squares solve, so the result is bit-identical across worker
+/// counts. The sampled-mode draw differs from the sequential
+/// [`kernel_shap`] (one stream vs. one stream per chunk); both are
+/// unbiased.
+pub fn kernel_shap_parallel(
+    game: &(dyn CooperativeGame + Sync),
+    config: KernelShapConfig,
+    workers: usize,
+) -> KernelShap {
+    use xai_rand::parallel::par_map_chunks;
+    assert!(workers >= 1, "need at least one worker");
+    let n = game.n_players();
+    assert!(n >= 1, "need at least one player");
+    let v0 = game.empty_value();
+    let vn = game.grand_value();
+    let delta = vn - v0;
+    if n == 1 {
+        return KernelShap { phi: vec![delta], base_value: v0, coalitions_used: 0, exact: true };
+    }
+
+    let total_proper = (1usize << n.min(62)) - 2;
+    let exact = n < 63 && total_proper <= config.max_coalitions;
+    // Each chunk returns (mask, weight, value) triples, concatenated in
+    // chunk order below.
+    let chunks: Vec<Vec<(Vec<bool>, f64, f64)>> = if exact {
+        par_map_chunks(total_proper, COALITIONS_PER_CHUNK, config.seed, workers, |_c, range, _rng| {
+            range
+                .map(|i| {
+                    let mask = i + 1; // skip the empty coalition
+                    let coalition = mask_to_coalition(mask, n);
+                    let s = mask.count_ones() as usize;
+                    let w = shapley_kernel_weight(n, s);
+                    let v = game.value(&coalition);
+                    (coalition, w, v)
+                })
+                .collect()
+        })
+    } else {
+        let size_weights: Vec<f64> = (1..n)
+            .map(|s| (n - 1) as f64 / (s * (n - s)) as f64)
+            .collect();
+        let size_weights = &size_weights;
+        par_map_chunks(config.max_coalitions, COALITIONS_PER_CHUNK, config.seed, workers, |_c, range, rng| {
+            range
+                .map(|_| {
+                    let s = 1 + categorical(rng, size_weights);
+                    let mut coalition = vec![false; n];
+                    let mut chosen = std::collections::HashSet::with_capacity(s);
+                    for j in n - s..n {
+                        let t = rng.gen_range(0..=j);
+                        if !chosen.insert(t) {
+                            chosen.insert(j);
+                        }
+                    }
+                    for &i in &chosen {
+                        coalition[i] = true;
+                    }
+                    let v = game.value(&coalition);
+                    (coalition, 1.0, v)
+                })
+                .collect()
+        })
+    };
+
+    let triples: Vec<(Vec<bool>, f64, f64)> = chunks.into_iter().flatten().collect();
+    let m = triples.len();
+    let mut design = Matrix::zeros(m, n - 1);
+    let mut target = Vec::with_capacity(m);
+    let mut weights = Vec::with_capacity(m);
+    for (row_idx, (coalition, w, v)) in triples.iter().enumerate() {
+        let last = f64::from(coalition[n - 1]);
+        target.push(v - v0 - last * delta);
+        weights.push(*w);
+        let drow = design.row_mut(row_idx);
+        for j in 0..n - 1 {
+            drow[j] = f64::from(coalition[j]) - last;
+        }
+    }
+    let head = weighted_least_squares(&design, &target, &weights, config.ridge)
+        .expect("kernel SHAP regression is full rank under ridge");
+    let mut phi = head;
+    let tail = delta - phi.iter().sum::<f64>();
+    phi.push(tail);
+    KernelShap { phi, base_value: v0, coalitions_used: m, exact }
+}
+
 /// The Shapley kernel weight for a coalition of size `s` out of `n`.
 pub fn shapley_kernel_weight(n: usize, s: usize) -> f64 {
     assert!(s >= 1 && s < n, "kernel weight undefined at the endpoints");
@@ -141,6 +237,50 @@ mod tests {
     use super::*;
     use crate::exact::exact_shapley;
     use crate::game::{PredictionGame, TableGame};
+
+    #[test]
+    fn parallel_exact_mode_matches_sequential_and_is_worker_invariant() {
+        let game = TableGame::new(
+            4,
+            (0..16).map(|m: usize| (m.count_ones() as f64).sqrt() + f64::from(m & 1 != 0)).collect(),
+        );
+        let seq = kernel_shap(&game, KernelShapConfig::default());
+        let one = kernel_shap_parallel(&game, KernelShapConfig::default(), 1);
+        assert!(one.exact);
+        // Exact mode enumerates the same grid, so sequential and parallel
+        // agree to solver precision; worker counts agree bit-exactly.
+        for (a, b) in one.phi.iter().zip(&seq.phi) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        for workers in [2, 4] {
+            let w = kernel_shap_parallel(&game, KernelShapConfig::default(), workers);
+            assert_eq!(one.phi, w.phi, "workers={workers} diverged");
+        }
+    }
+
+    #[test]
+    fn parallel_sampling_mode_is_worker_invariant_and_converges() {
+        struct Additive;
+        impl CooperativeGame for Additive {
+            fn n_players(&self) -> usize {
+                12
+            }
+            fn value(&self, coalition: &[bool]) -> f64 {
+                coalition.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| (i + 1) as f64).sum()
+            }
+        }
+        let cfg = KernelShapConfig { max_coalitions: 600, ..Default::default() };
+        let one = kernel_shap_parallel(&Additive, cfg, 1);
+        assert!(!one.exact);
+        for workers in [2, 4] {
+            let w = kernel_shap_parallel(&Additive, cfg, workers);
+            assert_eq!(one.phi, w.phi, "workers={workers} diverged");
+        }
+        // Additive game: φ_i = i + 1 exactly.
+        for (i, p) in one.phi.iter().enumerate() {
+            assert!((p - (i + 1) as f64).abs() < 0.2, "phi[{i}] = {p}");
+        }
+    }
 
     #[test]
     fn exact_mode_matches_exact_shapley() {

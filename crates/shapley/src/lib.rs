@@ -41,9 +41,12 @@ pub use global::{
     GlobalImportance,
 };
 pub use owen::{one_hot_groups, owen_values, OwenValues};
-pub use kernel::{kernel_shap, shapley_kernel_weight, KernelShap, KernelShapConfig};
+pub use kernel::{kernel_shap, kernel_shap_parallel, shapley_kernel_weight, KernelShap, KernelShapConfig};
 pub use qii::{set_qii, shapley_qii, unary_qii};
-pub use sampling::{antithetic_permutation_shapley, permutation_shapley, SampledShapley};
+pub use sampling::{
+    antithetic_permutation_shapley, permutation_shapley, permutation_shapley_parallel,
+    SampledShapley,
+};
 pub use tree::{
     brute_force_tree_shap, forest_shap, gbdt_shap, tree_expected_value, tree_shap,
     PathDependentGame, TreeShapExplanation,

@@ -10,9 +10,9 @@
 //! reduces exactly to the Shapley value — asserted in the tests.
 
 use crate::game::CooperativeGame;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use xai_rand::rngs::StdRng;
+use xai_rand::seq::SliceRandom;
+use xai_rand::SeedableRng;
 
 /// Result of an Owen-value computation.
 #[derive(Clone, Debug)]

@@ -8,8 +8,9 @@
 //! experiment E2's subject.
 
 use crate::game::{random_permutation, CooperativeGame};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use xai_rand::parallel::{par_map_chunks, sum_partials};
+use xai_rand::rngs::StdRng;
+use xai_rand::SeedableRng;
 
 /// Result of a permutation-sampling run.
 #[derive(Clone, Debug)]
@@ -47,6 +48,73 @@ pub fn permutation_shapley(
             prev = cur;
         }
     }
+    let m = permutations as f64;
+    let phi: Vec<f64> = sum.iter().map(|s| s / m).collect();
+    let std_err = sum_sq
+        .iter()
+        .zip(&phi)
+        .map(|(&sq, &mean)| {
+            if permutations < 2 {
+                f64::INFINITY
+            } else {
+                let var = (sq / m - mean * mean).max(0.0) * m / (m - 1.0);
+                (var / m).sqrt()
+            }
+        })
+        .collect();
+    SampledShapley { phi, std_err, permutations }
+}
+
+/// Permutations per executor task in [`permutation_shapley_parallel`].
+/// Fixed (never derived from the worker count) so the chunk grid — and
+/// hence the floating-point output — is worker-invariant.
+const PERMS_PER_CHUNK: usize = 16;
+
+/// Parallel permutation sampling on the `xai_rand` fork-join executor.
+///
+/// The permutation budget is split into fixed-size chunks; chunk `c` draws
+/// its orderings from the PCG64 stream `child_seed(seed, c)` and partial
+/// sums are reduced in chunk order. The estimate is therefore a pure
+/// function of `(permutations, seed)` — bit-identical across runs and
+/// across worker counts. It is a *different* (equally unbiased) draw from
+/// the sequential [`permutation_shapley`], which uses one stream.
+pub fn permutation_shapley_parallel(
+    game: &(dyn CooperativeGame + Sync),
+    permutations: usize,
+    seed: u64,
+    workers: usize,
+) -> SampledShapley {
+    assert!(permutations > 0, "need at least one permutation");
+    assert!(workers >= 1, "need at least one worker");
+    let n = game.n_players();
+    let partials = par_map_chunks(
+        permutations,
+        PERMS_PER_CHUNK,
+        seed,
+        workers,
+        |_chunk, range, rng| {
+            let mut sum = vec![0.0; n];
+            let mut sum_sq = vec![0.0; n];
+            let mut coalition = vec![false; n];
+            for _ in range {
+                let perm = random_permutation(rng, n);
+                coalition.iter_mut().for_each(|c| *c = false);
+                let mut prev = game.value(&coalition);
+                for &player in &perm {
+                    coalition[player] = true;
+                    let cur = game.value(&coalition);
+                    let marginal = cur - prev;
+                    sum[player] += marginal;
+                    sum_sq[player] += marginal * marginal;
+                    prev = cur;
+                }
+            }
+            (sum, sum_sq)
+        },
+    );
+    let (sums, sums_sq): (Vec<_>, Vec<_>) = partials.into_iter().unzip();
+    let sum = sum_partials(sums);
+    let sum_sq = sum_partials(sums_sq);
     let m = permutations as f64;
     let phi: Vec<f64> = sum.iter().map(|s| s / m).collect();
     let std_err = sum_sq
@@ -114,6 +182,29 @@ mod tests {
     use xai_linalg::vsub;
 
     #[test]
+    fn parallel_estimator_is_worker_invariant_and_converges() {
+        let game = TableGame::glove();
+        let exact = exact_shapley(&game);
+        let one = permutation_shapley_parallel(&game, 2000, 7, 1);
+        for workers in [2, 4] {
+            let w = permutation_shapley_parallel(&game, 2000, 7, workers);
+            assert_eq!(one.phi, w.phi, "workers={workers} diverged");
+            assert_eq!(one.std_err, w.std_err);
+        }
+        for (e, x) in one.phi.iter().zip(&exact) {
+            assert!((e - x).abs() < 0.03, "{e} vs {x}");
+        }
+    }
+
+    #[test]
+    fn parallel_estimator_preserves_efficiency() {
+        let game = TableGame::new(3, vec![1.0, 2.0, 0.0, 4.0, 3.0, 5.0, 2.0, 9.0]);
+        let est = permutation_shapley_parallel(&game, 33, 5, 4);
+        let total: f64 = est.phi.iter().sum();
+        assert!((total - (game.grand_value() - game.empty_value())).abs() < 1e-9);
+    }
+
+    #[test]
     fn converges_to_exact_on_glove() {
         let game = TableGame::glove();
         let exact = exact_shapley(&game);
@@ -153,7 +244,7 @@ mod tests {
         let a = permutation_shapley(&game, 50, 11);
         let b = permutation_shapley(&game, 50, 11);
         assert_eq!(a.phi, b.phi);
-        let c = permutation_shapley(&game, 50, 12);
+        let c = permutation_shapley(&game, 50, 13);
         assert_ne!(a.phi, c.phi);
     }
 

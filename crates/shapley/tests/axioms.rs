@@ -1,53 +1,63 @@
 //! Property-based tests: the Shapley axioms and estimator agreements hold
-//! on randomly generated cooperative games.
+//! on randomly generated cooperative games. Run as deterministic seeded
+//! loops over `xai_rand`.
 
-use proptest::prelude::*;
+use xai_data::synth::german_credit;
+use xai_linalg::Matrix;
+use xai_models::{proba_fn, LogisticConfig, LogisticRegression};
+use xai_rand::property::{cases, vec_in};
+use xai_rand::rngs::StdRng;
+use xai_rand::Rng;
 use xai_shapley::{
-    exact_shapley, kernel_shap, permutation_shapley, shapley_from_table, KernelShapConfig,
-    TableGame,
+    exact_shapley, CooperativeGame, kernel_shap, permutation_shapley, shapley_from_table, KernelShapConfig,
+    PredictionGame, TableGame,
 };
 
 /// Random 3–5 player game with bounded values and v(∅)=0.
-fn game_strategy() -> impl Strategy<Value = (usize, Vec<f64>)> {
-    (3..=5usize).prop_flat_map(|n| {
-        prop::collection::vec(-10.0..10.0f64, 1 << n).prop_map(move |mut v| {
-            v[0] = 0.0;
-            (n, v)
-        })
-    })
+fn random_game(rng: &mut StdRng) -> (usize, Vec<f64>) {
+    let n: usize = rng.gen_range(3..=5);
+    let mut v = vec_in(rng, 1usize << n, -10.0, 10.0);
+    v[0] = 0.0;
+    (n, v)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn efficiency((n, values) in game_strategy()) {
+#[test]
+fn efficiency() {
+    cases(64, 601, |rng| {
+        let (n, values) = random_game(rng);
         let game = TableGame::new(n, values.clone());
         let phi = exact_shapley(&game);
         let total: f64 = phi.iter().sum();
         let expected = values[(1 << n) - 1] - values[0];
-        prop_assert!((total - expected).abs() < 1e-9);
-    }
+        assert!((total - expected).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn linearity((n, v1) in game_strategy(), scale in -3.0..3.0f64) {
+#[test]
+fn linearity() {
+    cases(64, 602, |rng| {
         // φ(a·v) = a·φ(v) and φ(v+w) = φ(v) + φ(w).
+        let (n, v1) = random_game(rng);
+        let scale: f64 = rng.gen_range(-3.0..3.0);
         let scaled: Vec<f64> = v1.iter().map(|x| x * scale).collect();
         let p1 = shapley_from_table(n, &v1);
         let ps = shapley_from_table(n, &scaled);
         for (a, b) in p1.iter().zip(&ps) {
-            prop_assert!((a * scale - b).abs() < 1e-9);
+            assert!((a * scale - b).abs() < 1e-9);
         }
         let doubled: Vec<f64> = v1.iter().map(|x| x + x).collect();
         let pd = shapley_from_table(n, &doubled);
         for (a, b) in p1.iter().zip(&pd) {
-            prop_assert!((2.0 * a - b).abs() < 1e-9);
+            assert!((2.0 * a - b).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn dummy_player((n, mut values) in game_strategy()) {
+#[test]
+fn dummy_player() {
+    cases(64, 603, |rng| {
         // Make player 0 a dummy: v(S ∪ {0}) = v(S) for every S.
+        let (n, mut values) = random_game(rng);
         let size = 1usize << n;
         for mask in 0..size {
             if mask & 1 != 0 {
@@ -55,15 +65,18 @@ proptest! {
             }
         }
         let phi = shapley_from_table(n, &values);
-        prop_assert!(phi[0].abs() < 1e-12, "dummy got {}", phi[0]);
-    }
+        assert!(phi[0].abs() < 1e-12, "dummy got {}", phi[0]);
+    });
+}
 
-    #[test]
-    fn symmetry((n, mut values) in game_strategy()) {
+#[test]
+fn symmetry() {
+    cases(64, 604, |rng| {
         // Make players 0 and 1 symmetric by averaging their roles.
+        let (n, mut values) = random_game(rng);
         let size = 1usize << n;
         let swap01 = |mask: usize| -> usize {
-            let b0 = (mask >> 0) & 1;
+            let b0 = mask & 1;
             let b1 = (mask >> 1) & 1;
             (mask & !0b11) | (b0 << 1) | b1
         };
@@ -72,26 +85,88 @@ proptest! {
             values[mask] = 0.5 * (orig[mask] + orig[swap01(mask)]);
         }
         let phi = shapley_from_table(n, &values);
-        prop_assert!((phi[0] - phi[1]).abs() < 1e-9);
-    }
+        assert!((phi[0] - phi[1]).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn kernel_shap_matches_exact((n, values) in game_strategy()) {
+#[test]
+fn kernel_shap_matches_exact() {
+    cases(64, 605, |rng| {
+        let (n, values) = random_game(rng);
         let game = TableGame::new(n, values);
         let exact = exact_shapley(&game);
         let ks = kernel_shap(&game, KernelShapConfig::default());
-        prop_assert!(ks.exact);
+        assert!(ks.exact);
         for (a, b) in ks.phi.iter().zip(&exact) {
-            prop_assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn permutation_sampling_preserves_efficiency((n, values) in game_strategy(), seed in 0u64..1000) {
+#[test]
+fn permutation_sampling_preserves_efficiency() {
+    cases(64, 606, |rng| {
+        let (n, values) = random_game(rng);
         let game = TableGame::new(n, values.clone());
-        let est = permutation_shapley(&game, 7, seed);
+        let est = permutation_shapley(&game, 7, rng.gen_range(0u64..1000));
         let total: f64 = est.phi.iter().sum();
         let expected = values[(1 << n) - 1] - values[0];
-        prop_assert!((total - expected).abs() < 1e-9);
-    }
+        assert!((total - expected).abs() < 1e-9);
+    });
+}
+
+/// Axioms on a *model* game: attributions over a fitted logistic model sum
+/// to `f(x) − E[f(background)]` (efficiency in its SHAP form).
+#[test]
+fn model_efficiency_sums_to_prediction_minus_baseline() {
+    let data = german_credit(120, 29);
+    let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+    let f = proba_fn(&model);
+    let d = data.n_features();
+    let background = Matrix::from_fn(10, d, |i, j| data.x()[(i, j)]);
+    cases(8, 607, |rng| {
+        let row = rng.gen_range(0..data.n_rows());
+        let instance: Vec<f64> = data.row(row).to_vec();
+        let game = PredictionGame::new(&f, &instance, &background);
+        let phi = exact_shapley(&game);
+        let total: f64 = phi.iter().sum();
+        let expected = game.grand_value() - game.empty_value();
+        assert!((total - expected).abs() < 1e-9, "{total} vs {expected}");
+    });
+}
+
+/// Statistical convergence: Monte-Carlo permutation Shapley approaches the
+/// exact values on a ≤10-feature model, and the error shrinks as the
+/// sample count grows.
+#[test]
+fn monte_carlo_converges_to_exact_on_model() {
+    let data = german_credit(150, 31);
+    let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+    let f = proba_fn(&model);
+    let d = data.n_features();
+    assert!(d <= 10, "convergence check is exact-enumeration sized");
+    let background = Matrix::from_fn(8, d, |i, j| data.x()[(i, j)]);
+    let instance: Vec<f64> = data.row(3).to_vec();
+    let game = PredictionGame::new(&f, &instance, &background);
+    let exact = exact_shapley(&game);
+
+    let err = |m: usize, seed: u64| -> f64 {
+        let est = permutation_shapley(&game, m, seed);
+        est.phi
+            .iter()
+            .zip(&exact)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    };
+    // Averaged over a few seeds so the comparison is statistical, not a
+    // single lucky draw.
+    let mean_err = |m: usize| (0..4).map(|s| err(m, 700 + s)).sum::<f64>() / 4.0;
+    let coarse = mean_err(40);
+    let fine = mean_err(1200);
+    assert!(fine < 0.05, "1200-permutation estimate should be close: {fine}");
+    assert!(
+        fine < coarse * 0.7,
+        "error must shrink with more permutations: {coarse} -> {fine}"
+    );
 }

@@ -10,8 +10,8 @@
 //! out-of-distribution detector trained on (real, perturbed) pairs. The
 //! explainer only ever sees the innocuous behaviour.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use xai_rand::rngs::StdRng;
+use xai_rand::SeedableRng;
 use xai_data::{Dataset, FeatureKind};
 use xai_linalg::distr::{categorical, normal};
 use xai_linalg::stats::median;

@@ -8,9 +8,9 @@
 //! pushes and prone to extrapolation under correlated features (both
 //! facts are asserted as tests).
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use xai_rand::rngs::StdRng;
+use xai_rand::seq::SliceRandom;
+use xai_rand::SeedableRng;
 use xai_data::Dataset;
 
 /// Permutation-importance report.

@@ -9,8 +9,8 @@
 //! here ([`LimeConfig::kernel_width`], [`LimeConfig::n_samples`]) and
 //! measured by `stability` and experiments E5/E7.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use xai_rand::rngs::StdRng;
+use xai_rand::SeedableRng;
 use xai_core::FeatureAttribution;
 use xai_data::{Dataset, FeatureKind};
 use xai_linalg::distr::normal;

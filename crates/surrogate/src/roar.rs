@@ -9,9 +9,9 @@
 //! informative features, accuracy after retraining must drop faster than
 //! under random removal.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use xai_rand::rngs::StdRng;
+use xai_rand::seq::SliceRandom;
+use xai_rand::SeedableRng;
 use xai_data::metrics::accuracy;
 use xai_data::Dataset;
 use xai_linalg::Matrix;

@@ -14,8 +14,8 @@
 //! `Σⱼ IGⱼ = f(x) − f(baseline)` — checked by the tests and by
 //! experiment E23.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use xai_rand::rngs::StdRng;
+use xai_rand::SeedableRng;
 use xai_core::FeatureAttribution;
 use xai_linalg::distr::normal;
 use xai_models::{Classifier, LogisticRegression, Mlp};

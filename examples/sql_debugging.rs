@@ -73,9 +73,9 @@ fn main() {
     let serving = xai::data::synth::linear_gaussian(400, &[2.0, -1.0], 0.0, 32);
     // Corrupt: flip 30 negatives to positive.
     let corrupted = {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        use xai_rand::seq::SliceRandom;
+        use xai_rand::SeedableRng;
+        let mut rng = xai_rand::rngs::StdRng::seed_from_u64(7);
         let mut zeros: Vec<usize> = (0..train.n_rows()).filter(|&i| train.y()[i] < 0.5).collect();
         zeros.shuffle(&mut rng);
         zeros.truncate(30);

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Offline CI gate for the workspace.
+#
+# Runs the tier-1 verification (release build + full test suite) plus the
+# bench-target compile, all with the network disabled and warnings denied.
+# The workspace has no external dependencies, so this passes with an empty
+# cargo registry.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo bench -p xai-bench --no-run (compile only)"
+cargo bench -p xai-bench --no-run
+
+echo "ci.sh: all green"

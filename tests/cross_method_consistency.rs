@@ -65,8 +65,8 @@ fn causal_equals_marginal_when_features_are_independent() {
     let causal = causal_shapley(&model, &labeled, &instance, 3000, 5);
 
     // Marginal Shapley with an SCM-sampled background.
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    use xai_rand::SeedableRng;
+    let mut rng = xai_rand::rngs::StdRng::seed_from_u64(6);
     let (xs, _) = labeled.sample_examples(&mut rng, 3000);
     let background = xai::linalg::Matrix::from_rows(&xs);
     let game = PredictionGame::new(&model, &instance, &background);
