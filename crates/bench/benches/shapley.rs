@@ -5,13 +5,14 @@
 use xai_bench::timing::Group;
 use xai_data::synth::{friedman1, german_credit};
 use xai_models::{
-    proba_fn, DecisionTree, Gbdt, GbdtConfig, GbdtLoss, LogisticConfig, LogisticRegression,
-    SplitCriterion, TreeConfig,
+    proba_fn, Classifier, DecisionTree, Gbdt, GbdtConfig, GbdtLoss, LogisticConfig,
+    LogisticRegression, SplitCriterion, TreeConfig,
 };
 use xai_rand::parallel::default_workers;
 use xai_shapley::{
-    brute_force_tree_shap, exact_shapley, gbdt_shap, kernel_shap, permutation_shapley,
-    permutation_shapley_parallel, tree_shap, KernelShapConfig, PredictionGame,
+    brute_force_tree_shap, exact_shapley, gbdt_shap, kernel_shap, kernel_shap_batched,
+    permutation_shapley, permutation_shapley_parallel, tree_shap, BatchPredictionGame, CachedGame,
+    KernelShapConfig, PredictionGame,
 };
 
 /// E1: exact enumeration cost doubles per feature; samplers stay flat.
@@ -36,6 +37,61 @@ fn bench_exact_vs_samplers() {
         });
     }
     group.finish();
+}
+
+/// Scalar vs. batched Kernel SHAP on the same wide-folded-logistic
+/// configuration as `shapley_scaling`'s `kernel512` entries. The batched
+/// path materializes each coalition round into one matrix and runs the
+/// model through the blocked `xai_linalg` kernels; the cached variant adds
+/// the coalition memo on top. Emits `kernel_shap_batched.json`.
+fn bench_kernel_shap_batched() {
+    let data = german_credit(200, 1);
+    let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+    let n_features = data.n_features();
+    let mut group = Group::new("kernel_shap_batched");
+    let mut speedups = Vec::new();
+    for d in [6usize, 9] {
+        let fm = proba_fn(&model);
+        let wide = move |x: &[f64]| {
+            let folded: Vec<f64> = (0..9).map(|j| x[j % x.len()]).collect();
+            fm(&folded)
+        };
+        let model_ref = &model;
+        let wide_batched = move |m: &xai_linalg::Matrix| {
+            // `wide` above, vectorized: fold each row to 9 dims (a memcpy of
+            // the first d columns plus the wrapped remainder). At d = 9 the
+            // fold is the identity, so the probe matrix passes through.
+            if d == 9 {
+                return model_ref.proba_batch(m);
+            }
+            let mut folded = xai_linalg::Matrix::zeros(m.rows(), 9);
+            for i in 0..m.rows() {
+                let src = m.row(i);
+                let dst = folded.row_mut(i);
+                dst[..d].copy_from_slice(src);
+                for j in d..9 {
+                    dst[j] = src[j % d];
+                }
+            }
+            model_ref.proba_batch(&folded)
+        };
+        let background =
+            xai_linalg::Matrix::from_fn(8, d, |i, j| data.x()[(i, (i + j) % n_features)]);
+        let instance: Vec<f64> = (0..d).map(|j| data.x()[(40, j % n_features)]).collect();
+        let game = PredictionGame::new(&wide, &instance, &background);
+        let batch_game = BatchPredictionGame::new(&wide_batched, &instance, &background);
+        let cfg = KernelShapConfig { max_coalitions: 512, ..Default::default() };
+        let scalar = group.bench(&format!("scalar/{d}"), || kernel_shap(&game, cfg));
+        let batched = group.bench(&format!("batched/{d}"), || kernel_shap_batched(&batch_game, cfg));
+        // Warm memo across samples: after the first run every coalition hits.
+        let cached_game = CachedGame::new(&batch_game);
+        group.bench(&format!("batched_cached/{d}"), || kernel_shap_batched(&cached_game, cfg));
+        speedups.push((d, scalar.as_secs_f64() / batched.as_secs_f64()));
+    }
+    group.finish();
+    for (d, s) in speedups {
+        println!("  batched vs scalar at d={d}: {s:.2}x");
+    }
 }
 
 /// The tentpole measurement: 1000-permutation Monte-Carlo Shapley,
@@ -103,6 +159,7 @@ fn bench_gbdt_shap() {
 
 fn main() {
     bench_exact_vs_samplers();
+    bench_kernel_shap_batched();
     bench_parallel_mc_shapley();
     bench_treeshap();
     bench_gbdt_shap();

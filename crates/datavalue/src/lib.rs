@@ -43,4 +43,4 @@ pub use loo::{exact_data_shapley, leave_one_out};
 pub use tree_influence::{
     fixed_structure_ground_truth, fixed_structure_retrain, leaf_influence_first_order,
 };
-pub use utility::{FnUtility, KnnUtility, LogisticUtility, Utility};
+pub use utility::{CachedUtility, FnUtility, KnnUtility, LogisticUtility, Utility};

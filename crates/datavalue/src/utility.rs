@@ -131,6 +131,92 @@ impl Utility for KnnUtility<'_> {
     }
 }
 
+/// A memoizing [`Utility`] wrapper keyed on the subset's membership
+/// bitmask (so at most 64 training points). TMC and Banzhaf sampling
+/// revisit subsets — every permutation walk re-scores the empty and grand
+/// coalitions, truncation replays prefixes — and training a model per
+/// subset dwarfs a hash lookup.
+///
+/// The subset is *canonicalized* (sorted) before the first evaluation, so
+/// two index orders of the same set share one entry. Utilities whose score
+/// depends on index order — e.g. ones summing f64 scores in subset order —
+/// would see the canonical order's bits on a hit; all utilities in this
+/// crate are set functions, for which caching is exact.
+pub struct CachedUtility<'a, U: Utility + ?Sized> {
+    inner: &'a U,
+    state: std::sync::Mutex<CachedUtilityState>,
+}
+
+struct CachedUtilityState {
+    memo: std::collections::HashMap<u64, f64>,
+    hits: usize,
+    misses: usize,
+}
+
+impl<'a, U: Utility + ?Sized> CachedUtility<'a, U> {
+    /// Wraps a utility; panics when the training set exceeds the 64-point
+    /// bitmask capacity.
+    pub fn new(inner: &'a U) -> Self {
+        assert!(
+            inner.n_train() <= 64,
+            "CachedUtility is limited to 64 training points (bitmask key)"
+        );
+        Self {
+            inner,
+            state: std::sync::Mutex::new(CachedUtilityState {
+                memo: std::collections::HashMap::new(),
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (usize, usize) {
+        let s = self.state.lock().expect("utility cache poisoned");
+        (s.hits, s.misses)
+    }
+
+    /// Number of distinct subsets evaluated so far.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("utility cache poisoned").memo.len()
+    }
+
+    /// True when no subset has been evaluated yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<U: Utility + ?Sized> Utility for CachedUtility<'_, U> {
+    fn eval(&self, subset: &[usize]) -> f64 {
+        let mut mask = 0u64;
+        for &i in subset {
+            debug_assert!(i < self.inner.n_train(), "index {i} out of range");
+            mask |= 1u64 << i;
+        }
+        {
+            let mut s = self.state.lock().expect("utility cache poisoned");
+            if let Some(&v) = s.memo.get(&mask) {
+                s.hits += 1;
+                return v;
+            }
+            s.misses += 1;
+        }
+        // Evaluate outside the lock: subset utilities are deterministic, so
+        // a racing duplicate evaluation returns the same value.
+        let mut canonical = subset.to_vec();
+        canonical.sort_unstable();
+        let v = self.inner.eval(&canonical);
+        self.state.lock().expect("utility cache poisoned").memo.insert(mask, v);
+        v
+    }
+
+    fn n_train(&self) -> usize {
+        self.inner.n_train()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +250,38 @@ mod tests {
         let u = FnUtility::new(10, |s: &[usize]| s.len() as f64);
         assert_eq!(u.eval(&[1, 2, 3]), 3.0);
         assert_eq!(u.n_train(), 10);
+    }
+
+    #[test]
+    fn cached_utility_memoizes_by_set_not_order() {
+        use std::cell::Cell;
+        let calls = Cell::new(0usize);
+        let u = FnUtility::new(8, |s: &[usize]| {
+            calls.set(calls.get() + 1);
+            s.iter().map(|&i| (i * i) as f64).sum()
+        });
+        let cached = CachedUtility::new(&u);
+        assert!(cached.is_empty());
+        let a = cached.eval(&[3, 1, 5]);
+        let b = cached.eval(&[1, 3, 5]);
+        let c = cached.eval(&[5, 1, 3]);
+        assert_eq!(a, 35.0);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(calls.get(), 1, "one inner evaluation for three orderings");
+        assert_eq!(cached.stats(), (2, 1));
+        assert_eq!(cached.len(), 1);
+        assert_eq!(cached.eval(&[]), 0.0);
+        assert_eq!(cached.n_train(), 8);
+        assert_eq!(cached.len(), 2);
+    }
+
+    #[test]
+    fn cached_utility_rejects_large_training_sets() {
+        let u = FnUtility::new(65, |s: &[usize]| s.len() as f64);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            CachedUtility::new(&u)
+        }));
+        assert!(err.is_err(), "65 points must exceed the bitmask capacity");
     }
 }

@@ -1,0 +1,221 @@
+//! Blocked kernels for batched model inference.
+//!
+//! The batched prediction paths in `xai-models` funnel through these three
+//! kernels. They are *cache-blocked* — several output values are produced
+//! per pass over the shared operand, so the right-hand side stays in
+//! registers/L1 — but the **reduction dimension is never tiled or
+//! reordered**. Each output is accumulated in ascending index order,
+//! exactly like the naive [`crate::dot`] loop, so every result is
+//! bit-identical to the corresponding scalar expression. That contract is
+//! what lets the batched explainer paths in `xai-shapley` / `xai-surrogate`
+//! promise bit-identical output to their scalar counterparts
+//! (`tests/batch_equivalence.rs` enforces it end to end).
+
+use crate::matrix::{dot, Matrix};
+
+/// Rows of output produced per pass over the shared right-hand operand.
+const ROW_BLOCK: usize = 4;
+
+/// Blocked matrix–vector product: `out[i] = dot(a.row(i), v)`.
+///
+/// Processes [`ROW_BLOCK`] rows per pass with one independent accumulator
+/// each (instruction-level parallelism; `v` is read once per block from
+/// cache). Each accumulator runs over `k` in ascending order starting from
+/// `0.0`, so `out[i]` is bit-identical to `dot(a.row(i), v)`.
+pub fn matvec_blocked(a: &Matrix, v: &[f64]) -> Vec<f64> {
+    assert_eq!(a.cols(), v.len(), "matvec arity mismatch");
+    let m = a.rows();
+    let mut out = vec![0.0; m];
+    let mut i = 0;
+    while i + ROW_BLOCK <= m {
+        let (r0, r1, r2, r3) = (a.row(i), a.row(i + 1), a.row(i + 2), a.row(i + 3));
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+        for (k, &vk) in v.iter().enumerate() {
+            s0 += r0[k] * vk;
+            s1 += r1[k] * vk;
+            s2 += r2[k] * vk;
+            s3 += r3[k] * vk;
+        }
+        out[i] = s0;
+        out[i + 1] = s1;
+        out[i + 2] = s2;
+        out[i + 3] = s3;
+        i += ROW_BLOCK;
+    }
+    while i < m {
+        out[i] = dot(a.row(i), v);
+        i += 1;
+    }
+    out
+}
+
+/// Blocked affine map with *bias-first* accumulation:
+/// `out[i] = ((bias + row[0]·v[0]) + row[1]·v[1]) + …`.
+///
+/// This is the association produced by an augmented dot product
+/// `dot([bias, v], [1, row])` — the shape of a logistic-regression margin —
+/// which differs in floating point from `bias + dot(row, v)` (sum first,
+/// bias last). Models whose scalar path folds the intercept *into* the
+/// accumulation must use this kernel to stay bit-identical.
+pub fn affine_fold(a: &Matrix, v: &[f64], bias: f64) -> Vec<f64> {
+    assert_eq!(a.cols(), v.len(), "affine arity mismatch");
+    let m = a.rows();
+    let mut out = vec![0.0; m];
+    let mut i = 0;
+    while i + ROW_BLOCK <= m {
+        let (r0, r1, r2, r3) = (a.row(i), a.row(i + 1), a.row(i + 2), a.row(i + 3));
+        let (mut s0, mut s1, mut s2, mut s3) = (bias, bias, bias, bias);
+        for (k, &vk) in v.iter().enumerate() {
+            s0 += r0[k] * vk;
+            s1 += r1[k] * vk;
+            s2 += r2[k] * vk;
+            s3 += r3[k] * vk;
+        }
+        out[i] = s0;
+        out[i + 1] = s1;
+        out[i + 2] = s2;
+        out[i + 3] = s3;
+        i += ROW_BLOCK;
+    }
+    while i < m {
+        let row = a.row(i);
+        let mut s = bias;
+        for (k, &vk) in v.iter().enumerate() {
+            s += row[k] * vk;
+        }
+        out[i] = s;
+        i += 1;
+    }
+    out
+}
+
+/// Columns of output produced per pass in [`gemm_nt`].
+const COL_BLOCK: usize = 4;
+
+/// Blocked `A·Bᵀ`: `out[(i, j)] = dot(a.row(i), b.row(j))`.
+///
+/// `a` is `m×k`, `b` is `n×k`; the result is `m×n`. The kernel blocks over
+/// [`COL_BLOCK`] rows of `b` (output columns) with one accumulator each, so
+/// a panel of `b` is streamed once per `a`-row; the `k` loop always runs in
+/// ascending order from `0.0`, keeping every entry bit-identical to the
+/// naive dot product. This is the MLP hidden-layer kernel (`X·W₁ᵀ`).
+pub fn gemm_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "gemm_nt inner-dimension mismatch");
+    let (m, n, kk) = (a.rows(), b.rows(), a.cols());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let orow = out.row_mut(i);
+        let mut j = 0;
+        while j + COL_BLOCK <= n {
+            let (b0, b1, b2, b3) = (b.row(j), b.row(j + 1), b.row(j + 2), b.row(j + 3));
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+            for k in 0..kk {
+                let av = arow[k];
+                s0 += av * b0[k];
+                s1 += av * b1[k];
+                s2 += av * b2[k];
+                s3 += av * b3[k];
+            }
+            orow[j] = s0;
+            orow[j + 1] = s1;
+            orow[j + 2] = s2;
+            orow[j + 3] = s3;
+            j += COL_BLOCK;
+        }
+        while j < n {
+            orow[j] = dot(arow, b.row(j));
+            j += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(rows: usize, cols: usize, salt: u64) -> Matrix {
+        // Deterministic awkward values: irrational-ish magnitudes so any
+        // accumulation reorder would change low-order bits.
+        Matrix::from_fn(rows, cols, |i, j| {
+            let t = (i * cols + j) as f64 + salt as f64 * 0.618;
+            (t * 1.414_213_562_373_095).sin() * 3.0 + 0.1
+        })
+    }
+
+    #[test]
+    fn matvec_blocked_is_bit_identical_to_dot() {
+        for rows in [0usize, 1, 3, 4, 5, 8, 11] {
+            let a = probe(rows, 7, 1);
+            let v: Vec<f64> = (0..7).map(|k| ((k * k) as f64).sqrt() - 1.2).collect();
+            let blocked = matvec_blocked(&a, &v);
+            let naive: Vec<f64> = (0..rows).map(|i| dot(a.row(i), &v)).collect();
+            assert_eq!(blocked, naive, "rows={rows}");
+        }
+    }
+
+    #[test]
+    fn matvec_blocked_matches_matrix_matvec() {
+        let a = probe(9, 5, 2);
+        let v = vec![0.3, -1.7, 2.2, 0.0, 5.5];
+        assert_eq!(matvec_blocked(&a, &v), a.matvec(&v));
+    }
+
+    #[test]
+    fn affine_fold_reproduces_augmented_dot() {
+        let a = probe(10, 6, 3);
+        let w: Vec<f64> = (0..7).map(|k| (k as f64 - 2.5) * 0.317).collect();
+        let folded = affine_fold(&a, &w[1..], w[0]);
+        for i in 0..a.rows() {
+            let mut aug = vec![1.0];
+            aug.extend_from_slice(a.row(i));
+            assert_eq!(folded[i], dot(&w, &aug), "row {i}");
+        }
+    }
+
+    #[test]
+    fn affine_fold_differs_from_bias_last_in_general() {
+        // Sanity check of the doc claim: bias-first and bias-last are
+        // different FP associations (they agree only by coincidence).
+        let a = probe(64, 9, 4);
+        let v: Vec<f64> = (0..9).map(|k| ((k + 1) as f64).ln() - 0.9).collect();
+        let first = affine_fold(&a, &v, 0.123_456_789);
+        let last: Vec<f64> = matvec_blocked(&a, &v)
+            .into_iter()
+            .map(|s| 0.123_456_789 + s)
+            .collect();
+        assert!(
+            first.iter().zip(&last).any(|(x, y)| x != y),
+            "expected at least one low-order-bit difference"
+        );
+        // ... while staying equal to ~1e-15 relative.
+        for (x, y) in first.iter().zip(&last) {
+            assert!((x - y).abs() <= 1e-12 * x.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn gemm_nt_is_bit_identical_to_dot_grid() {
+        for (m, n, k) in [(0, 3, 4), (5, 0, 4), (1, 1, 1), (6, 7, 5), (8, 4, 9), (3, 10, 2)] {
+            let a = probe(m, k, 5);
+            let b = probe(n, k, 6);
+            let c = gemm_nt(&a, &b);
+            assert_eq!(c.shape(), (m, n));
+            for i in 0..m {
+                for j in 0..n {
+                    assert_eq!(c[(i, j)], dot(a.row(i), b.row(j)), "({i},{j}) of {m}x{n}x{k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nt_matches_matmul_with_transpose() {
+        let a = probe(6, 4, 7);
+        let b = probe(5, 4, 8);
+        let via_t = a.matmul(&b.transpose());
+        let direct = gemm_nt(&a, &b);
+        assert!(direct.approx_eq(&via_t, 1e-12));
+    }
+}

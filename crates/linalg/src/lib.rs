@@ -5,6 +5,8 @@
 //! libraries; everything they need lives here:
 //!
 //! - [`matrix::Matrix`] — dense row-major matrices with the usual products;
+//! - [`batch`] — blocked mat-vec / `A·Bᵀ` kernels for batched model
+//!   inference, bit-identical to the naive dot-product loops;
 //! - [`cholesky`] / [`lu`] — direct factorizations for SPD and general
 //!   square systems;
 //! - [`solve`] — (weighted) least squares and conjugate gradients, the
@@ -16,6 +18,7 @@
 //!
 //! Everything is deterministic given the caller's RNG; no global state.
 
+pub mod batch;
 pub mod cholesky;
 pub mod distr;
 pub mod lu;
@@ -23,6 +26,7 @@ pub mod matrix;
 pub mod solve;
 pub mod stats;
 
+pub use batch::{affine_fold, gemm_nt, matvec_blocked};
 pub use cholesky::{solve_spd, Cholesky};
 pub use lu::Lu;
 pub use matrix::{dot, norm1, norm2, vadd, vaxpy, vscale, vsub, Matrix};

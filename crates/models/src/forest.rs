@@ -73,6 +73,23 @@ impl RandomForest {
         let total: f64 = self.trees.iter().map(|t| t.predict_value(x)).sum();
         total / self.trees.len() as f64
     }
+
+    /// Batched ensemble average: each tree routes the whole batch at once,
+    /// and per-row accumulation runs in tree order — the same summation
+    /// order as [`RandomForest::predict_value`], hence bit-identical.
+    pub fn predict_values(&self, x: &Matrix) -> Vec<f64> {
+        let mut acc = vec![0.0; x.rows()];
+        for tree in &self.trees {
+            for (a, v) in acc.iter_mut().zip(tree.predict_values(x)) {
+                *a += v;
+            }
+        }
+        let n = self.trees.len() as f64;
+        for a in &mut acc {
+            *a /= n;
+        }
+        acc
+    }
 }
 
 impl Model for RandomForest {
@@ -85,11 +102,19 @@ impl Regressor for RandomForest {
     fn predict_one(&self, x: &[f64]) -> f64 {
         self.predict_value(x)
     }
+
+    fn predict_batch(&self, x: &Matrix) -> Vec<f64> {
+        self.predict_values(x)
+    }
 }
 
 impl Classifier for RandomForest {
     fn proba_one(&self, x: &[f64]) -> f64 {
         self.predict_value(x)
+    }
+
+    fn proba_batch(&self, x: &Matrix) -> Vec<f64> {
+        self.predict_values(x)
     }
 }
 

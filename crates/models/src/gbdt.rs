@@ -142,6 +142,22 @@ impl Gbdt {
         self.base_score + self.learning_rate * tree_sum
     }
 
+    /// Margins for every row: each tree routes the whole batch at once,
+    /// accumulating per row in boosting order (the same summation order as
+    /// [`Gbdt::margin`], hence bit-identical).
+    pub fn margin_batch(&self, x: &Matrix) -> Vec<f64> {
+        let mut tree_sums = vec![0.0; x.rows()];
+        for tree in &self.trees {
+            for (a, v) in tree_sums.iter_mut().zip(tree.predict_values(x)) {
+                *a += v;
+            }
+        }
+        tree_sums
+            .into_iter()
+            .map(|s| self.base_score + self.learning_rate * s)
+            .collect()
+    }
+
     /// The fitted trees in boosting order.
     pub fn trees(&self) -> &[DecisionTree] {
         &self.trees
@@ -181,6 +197,14 @@ impl Regressor for Gbdt {
             GbdtLoss::Logistic => sigmoid(self.margin(x)),
         }
     }
+
+    fn predict_batch(&self, x: &Matrix) -> Vec<f64> {
+        let margins = self.margin_batch(x);
+        match self.loss {
+            GbdtLoss::Squared => margins,
+            GbdtLoss::Logistic => margins.into_iter().map(sigmoid).collect(),
+        }
+    }
 }
 
 impl Classifier for Gbdt {
@@ -188,6 +212,14 @@ impl Classifier for Gbdt {
         match self.loss {
             GbdtLoss::Squared => self.margin(x).clamp(0.0, 1.0),
             GbdtLoss::Logistic => sigmoid(self.margin(x)),
+        }
+    }
+
+    fn proba_batch(&self, x: &Matrix) -> Vec<f64> {
+        let margins = self.margin_batch(x);
+        match self.loss {
+            GbdtLoss::Squared => margins.into_iter().map(|m| m.clamp(0.0, 1.0)).collect(),
+            GbdtLoss::Logistic => margins.into_iter().map(sigmoid).collect(),
         }
     }
 }

@@ -11,7 +11,11 @@
 //! Model-agnostic explainers see only a `Fn(&[f64]) -> f64` closure built
 //! with [`proba_fn`] / [`regress_fn`] — the tutorial's model-agnostic vs
 //! model-dependent boundary (§1 dimension (b)) is enforced by the type
-//! system.
+//! system. Their batched hot paths see the matching
+//! `Fn(&Matrix) -> Vec<f64>` surface ([`batch_proba_fn`] /
+//! [`batch_regress_fn`], with [`batch_from_scalar`] as the row-loop
+//! fallback); every vectorized `predict_batch` override is bit-identical
+//! to the scalar row loop.
 
 pub mod forest;
 pub mod gbdt;
@@ -32,5 +36,8 @@ pub use logistic::{LogisticConfig, LogisticRegression};
 pub use mlp::{Mlp, MlpConfig, MlpTask};
 pub use naive_bayes::GaussianNb;
 pub use persist::{Persist, PersistError};
-pub use traits::{proba_fn, regress_fn, Classifier, Model, PredictFn, Regressor};
+pub use traits::{
+    batch_from_scalar, batch_proba_fn, batch_regress_fn, proba_fn, regress_fn, BatchPredictFn,
+    Classifier, Model, PredictFn, Regressor,
+};
 pub use tree::{DecisionTree, SplitCriterion, TreeConfig, TreeNode};

@@ -85,6 +85,17 @@ impl Regressor for LinearRegression {
         debug_assert_eq!(x.len(), self.coef.len());
         self.intercept + dot(&self.coef, x)
     }
+
+    /// Blocked mat-vec fast path. The scalar form sums the products first
+    /// and adds the intercept last, so the batch form does the same —
+    /// bit-identical per row.
+    fn predict_batch(&self, x: &Matrix) -> Vec<f64> {
+        let mut out = xai_linalg::matvec_blocked(x, &self.coef);
+        for o in &mut out {
+            *o += self.intercept;
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -166,6 +166,15 @@ impl LogisticRegression {
         dot(&self.w, &augment(x))
     }
 
+    /// Margins for every row in one blocked pass, with no per-row
+    /// [`augment`] allocation. The scalar margin accumulates the intercept
+    /// *first* (`w[0]·1` is the leading term of the augmented dot), so this
+    /// uses the bias-first [`xai_linalg::affine_fold`] kernel and is
+    /// bit-identical to [`LogisticRegression::margin`] per row.
+    pub fn margin_batch(&self, x: &Matrix) -> Vec<f64> {
+        xai_linalg::affine_fold(x, &self.w[1..], self.w[0])
+    }
+
     /// Per-example loss `ℓ(w; x, y)` (no regularization term).
     pub fn example_loss(&self, x: &[f64], y: f64) -> f64 {
         let p = self.proba_one(x).clamp(1e-12, 1.0 - 1e-12);
@@ -236,6 +245,10 @@ impl Model for LogisticRegression {
 impl Classifier for LogisticRegression {
     fn proba_one(&self, x: &[f64]) -> f64 {
         sigmoid(self.margin(x))
+    }
+
+    fn proba_batch(&self, x: &Matrix) -> Vec<f64> {
+        self.margin_batch(x).into_iter().map(sigmoid).collect()
     }
 }
 

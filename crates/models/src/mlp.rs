@@ -138,6 +138,25 @@ impl Mlp {
         out
     }
 
+    /// Raw (pre-head) outputs for every row. The hidden pre-activations
+    /// come from one blocked `X·W₁ᵀ` GEMM ([`xai_linalg::gemm_nt`], whose
+    /// entries are bit-identical to the per-row dot products), and the
+    /// output accumulation runs over hidden units in the same order as
+    /// [`Mlp::raw`] — so each entry is bit-identical to the scalar path.
+    pub fn raw_batch(&self, x: &Matrix) -> Vec<f64> {
+        let hidden = xai_linalg::gemm_nt(x, &self.w1);
+        (0..x.rows())
+            .map(|i| {
+                let hrow = hidden.row(i);
+                let mut out = self.b2;
+                for k in 0..self.w2.len() {
+                    out += self.w2[k] * (hrow[k] + self.b1[k]).tanh();
+                }
+                out
+            })
+            .collect()
+    }
+
     /// Gradient of the *model output* (probability or value) with respect to
     /// the input — the basis of saliency-style attributions.
     pub fn input_gradient(&self, x: &[f64]) -> Vec<f64> {
@@ -174,6 +193,14 @@ impl Regressor for Mlp {
             MlpTask::Classification => sigmoid(self.raw(x)),
         }
     }
+
+    fn predict_batch(&self, x: &Matrix) -> Vec<f64> {
+        let raws = self.raw_batch(x);
+        match self.task {
+            MlpTask::Regression => raws,
+            MlpTask::Classification => raws.into_iter().map(sigmoid).collect(),
+        }
+    }
 }
 
 impl Classifier for Mlp {
@@ -181,6 +208,14 @@ impl Classifier for Mlp {
         match self.task {
             MlpTask::Regression => self.raw(x).clamp(0.0, 1.0),
             MlpTask::Classification => sigmoid(self.raw(x)),
+        }
+    }
+
+    fn proba_batch(&self, x: &Matrix) -> Vec<f64> {
+        let raws = self.raw_batch(x);
+        match self.task {
+            MlpTask::Regression => raws.into_iter().map(|r| r.clamp(0.0, 1.0)).collect(),
+            MlpTask::Classification => raws.into_iter().map(sigmoid).collect(),
         }
     }
 }

@@ -1,8 +1,16 @@
 //! Common model interfaces.
 //!
 //! Model-agnostic explainers (dimension (b) of the tutorial's taxonomy)
-//! only ever see [`PredictFn`]-shaped closures; these traits give the
-//! concrete models a uniform surface from which those closures are built.
+//! only ever see [`PredictFn`]- or [`BatchPredictFn`]-shaped closures;
+//! these traits give the concrete models a uniform surface from which
+//! those closures are built.
+//!
+//! Every trait has two surfaces: a scalar one (`*_one`) and a batched one
+//! (`*_batch`) taking a whole [`Matrix`] of rows. The batched defaults are
+//! the **canonical row loops** — `predict` / `proba` are thin delegations
+//! to them — and every vectorized override in this crate is required to be
+//! bit-identical to that row loop (enforced by the seeded property tests
+//! and by `tests/batch_equivalence.rs` at the explainer level).
 
 use xai_linalg::Matrix;
 
@@ -17,9 +25,17 @@ pub trait Regressor: Model {
     /// Predicts a single row.
     fn predict_one(&self, x: &[f64]) -> f64;
 
-    /// Predicts every row of a matrix.
+    /// Predicts every row of a matrix in one call.
+    ///
+    /// The default is the canonical scalar fallback; vectorized overrides
+    /// must return bit-identical values for every row.
+    fn predict_batch(&self, x: &Matrix) -> Vec<f64> {
+        x.iter_rows().map(|r| self.predict_one(r)).collect()
+    }
+
+    /// Predicts every row of a matrix (alias for the batch surface).
     fn predict(&self, x: &Matrix) -> Vec<f64> {
-        (0..x.rows()).map(|i| self.predict_one(x.row(i))).collect()
+        self.predict_batch(x)
     }
 }
 
@@ -28,9 +44,17 @@ pub trait Classifier: Model {
     /// Probability of the positive class for a single row.
     fn proba_one(&self, x: &[f64]) -> f64;
 
-    /// Probabilities for every row.
+    /// Probabilities for every row of a matrix in one call.
+    ///
+    /// The default is the canonical scalar fallback; vectorized overrides
+    /// must return bit-identical values for every row.
+    fn proba_batch(&self, x: &Matrix) -> Vec<f64> {
+        x.iter_rows().map(|r| self.proba_one(r)).collect()
+    }
+
+    /// Probabilities for every row (alias for the batch surface).
     fn proba(&self, x: &Matrix) -> Vec<f64> {
-        (0..x.rows()).map(|i| self.proba_one(x.row(i))).collect()
+        self.proba_batch(x)
     }
 
     /// Hard 0/1 prediction at the 0.5 threshold.
@@ -38,15 +62,20 @@ pub trait Classifier: Model {
         f64::from(self.proba_one(x) >= 0.5)
     }
 
-    /// Hard predictions for every row.
+    /// Hard predictions for every row, thresholding the batch surface.
     fn predict(&self, x: &Matrix) -> Vec<f64> {
-        (0..x.rows()).map(|i| Classifier::predict_one(self, x.row(i))).collect()
+        self.proba_batch(x).into_iter().map(|p| f64::from(p >= 0.5)).collect()
     }
 }
 
 /// The single-output prediction function surface consumed by model-agnostic
 /// explainers: probability for classifiers, value for regressors.
 pub type PredictFn<'a> = dyn Fn(&[f64]) -> f64 + 'a;
+
+/// The batched prediction surface: a whole matrix of rows in, one output
+/// per row out. Explainer hot loops materialize their perturbed rows into
+/// one [`Matrix`] and make a single call through this type.
+pub type BatchPredictFn<'a> = dyn Fn(&Matrix) -> Vec<f64> + 'a;
 
 /// Wraps a classifier as a probability closure.
 pub fn proba_fn<C: Classifier>(model: &C) -> impl Fn(&[f64]) -> f64 + '_ {
@@ -56,6 +85,23 @@ pub fn proba_fn<C: Classifier>(model: &C) -> impl Fn(&[f64]) -> f64 + '_ {
 /// Wraps a regressor as a value closure.
 pub fn regress_fn<R: Regressor>(model: &R) -> impl Fn(&[f64]) -> f64 + '_ {
     move |x| model.predict_one(x)
+}
+
+/// Wraps a classifier as a batched probability closure.
+pub fn batch_proba_fn<C: Classifier>(model: &C) -> impl Fn(&Matrix) -> Vec<f64> + '_ {
+    move |x| model.proba_batch(x)
+}
+
+/// Wraps a regressor as a batched value closure.
+pub fn batch_regress_fn<R: Regressor>(model: &R) -> impl Fn(&Matrix) -> Vec<f64> + '_ {
+    move |x| model.predict_batch(x)
+}
+
+/// Adapts any scalar prediction closure to the batched surface by looping
+/// over rows — the fallback that lets batched explainer entry points accept
+/// models that only exist as a [`PredictFn`].
+pub fn batch_from_scalar<'a, F: Fn(&[f64]) -> f64 + 'a>(f: F) -> impl Fn(&Matrix) -> Vec<f64> + 'a {
+    move |x: &Matrix| x.iter_rows().map(&f).collect()
 }
 
 #[cfg(test)]
@@ -74,6 +120,18 @@ mod tests {
         }
     }
 
+    struct Affine;
+    impl Model for Affine {
+        fn n_features(&self) -> usize {
+            2
+        }
+    }
+    impl Regressor for Affine {
+        fn predict_one(&self, x: &[f64]) -> f64 {
+            1.0 + 2.0 * x[0] - x[1]
+        }
+    }
+
     #[test]
     fn default_threshold_and_batching() {
         let hi = Constant(0.9);
@@ -82,8 +140,25 @@ mod tests {
         assert_eq!(Classifier::predict_one(&lo, &[0.0, 0.0]), 0.0);
         let m = Matrix::zeros(3, 2);
         assert_eq!(hi.proba(&m), vec![0.9; 3]);
+        assert_eq!(hi.proba_batch(&m), vec![0.9; 3]);
         assert_eq!(Classifier::predict(&lo, &m), vec![0.0; 3]);
         let f = proba_fn(&hi);
         assert_eq!(f(&[1.0, 2.0]), 0.9);
+    }
+
+    #[test]
+    fn batch_closures_and_scalar_adapter_agree() {
+        let m = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 3.0]]);
+        let model = Affine;
+        let batched = batch_regress_fn(&model);
+        assert_eq!(batched(&m), vec![1.0, 0.0]);
+        let scalar = regress_fn(&model);
+        let adapted = batch_from_scalar(scalar);
+        assert_eq!(adapted(&m), batched(&m));
+        let hi = Constant(0.9);
+        let bp = batch_proba_fn(&hi);
+        assert_eq!(bp(&m), vec![0.9, 0.9]);
+        // Empty batches are fine end to end.
+        assert_eq!(batched(&Matrix::zeros(0, 2)), Vec::<f64>::new());
     }
 }

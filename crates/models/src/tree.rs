@@ -305,6 +305,52 @@ impl DecisionTree {
     pub fn predict_value(&self, x: &[f64]) -> f64 {
         self.nodes[self.leaf_of(x)].value
     }
+
+    /// Leaf index for every row of `x`, by node-at-a-time traversal: the
+    /// row set moves down the tree together, so each node's split is
+    /// loaded once per *batch* instead of once per row. Routing decisions
+    /// are the same comparisons as [`DecisionTree::leaf_of`], so the
+    /// assignment is identical.
+    pub fn leaves_of(&self, x: &Matrix) -> Vec<usize> {
+        let mut leaves = vec![0usize; x.rows()];
+        if x.rows() == 0 {
+            return leaves;
+        }
+        let mut frontier: Vec<(usize, Vec<usize>)> = vec![(0, (0..x.rows()).collect())];
+        while let Some((id, members)) = frontier.pop() {
+            let node = &self.nodes[id];
+            match (node.left, node.right) {
+                (Some(l), Some(r)) => {
+                    let mut left = Vec::new();
+                    let mut right = Vec::new();
+                    for i in members {
+                        if x.row(i)[node.feature] <= node.threshold {
+                            left.push(i);
+                        } else {
+                            right.push(i);
+                        }
+                    }
+                    if !left.is_empty() {
+                        frontier.push((l, left));
+                    }
+                    if !right.is_empty() {
+                        frontier.push((r, right));
+                    }
+                }
+                _ => {
+                    for i in members {
+                        leaves[i] = id;
+                    }
+                }
+            }
+        }
+        leaves
+    }
+
+    /// Raw value predictions for every row via [`DecisionTree::leaves_of`].
+    pub fn predict_values(&self, x: &Matrix) -> Vec<f64> {
+        self.leaves_of(x).into_iter().map(|leaf| self.nodes[leaf].value).collect()
+    }
 }
 
 impl Model for DecisionTree {
@@ -317,11 +363,19 @@ impl Regressor for DecisionTree {
     fn predict_one(&self, x: &[f64]) -> f64 {
         self.predict_value(x)
     }
+
+    fn predict_batch(&self, x: &Matrix) -> Vec<f64> {
+        self.predict_values(x)
+    }
 }
 
 impl Classifier for DecisionTree {
     fn proba_one(&self, x: &[f64]) -> f64 {
         self.predict_value(x)
+    }
+
+    fn proba_batch(&self, x: &Matrix) -> Vec<f64> {
+        self.predict_values(x)
     }
 }
 

@@ -3,8 +3,9 @@
 
 use xai_linalg::Matrix;
 use xai_models::{
-    Classifier, DecisionTree, GaussianNb, Knn, LinearConfig, LinearRegression, LogisticConfig,
-    LogisticRegression, Regressor, SplitCriterion, TreeConfig,
+    Classifier, DecisionTree, ForestConfig, GaussianNb, Gbdt, GbdtConfig, GbdtLoss, Knn,
+    LinearConfig, LinearRegression, LogisticConfig, LogisticRegression, Mlp, MlpConfig, MlpTask,
+    RandomForest, Regressor, SplitCriterion, TreeConfig,
 };
 use xai_rand::property::{cases, vec_in};
 use xai_rand::rngs::StdRng;
@@ -112,5 +113,103 @@ fn linear_regression_is_affine() {
         let probe: Vec<f64> = (0..d).map(|j| 0.5 * j as f64 - 1.0).collect();
         let expected = bias + xai_linalg::dot(&coefs, &probe);
         assert!((Regressor::predict_one(&m, &probe) - expected).abs() < 1e-4);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Batch/scalar equivalence: `predict_batch` / `proba_batch` must agree with
+// the row-by-row scalar path to *exact* (bitwise) equality for all eight
+// model families, including the empty-matrix and single-row edge cases.
+// This is the contract the batched explainer paths build on.
+// ---------------------------------------------------------------------------
+
+/// Probe matrices exercising the edge cases: empty, single row, and a
+/// block big enough to hit the blocked kernels' remainder handling.
+fn probe_batches(rng: &mut StdRng, d: usize) -> Vec<Matrix> {
+    let multi_rows = rng.gen_range(5..=13);
+    vec![
+        Matrix::zeros(0, d),
+        Matrix::from_vec(1, d, vec_in(rng, d, -6.0, 6.0)),
+        Matrix::from_vec(multi_rows, d, vec_in(rng, multi_rows * d, -6.0, 6.0)),
+    ]
+}
+
+fn assert_regressor_batch_exact<R: Regressor>(model: &R, probes: &[Matrix], name: &str) {
+    for m in probes {
+        let batched = model.predict_batch(m);
+        let scalar: Vec<f64> = m.iter_rows().map(|r| model.predict_one(r)).collect();
+        assert_eq!(batched, scalar, "{name}: predict_batch != predict_one loop ({} rows)", m.rows());
+        assert_eq!(model.predict(m), batched, "{name}: predict must route through the batch surface");
+    }
+}
+
+fn assert_classifier_batch_exact<C: Classifier>(model: &C, probes: &[Matrix], name: &str) {
+    for m in probes {
+        let batched = model.proba_batch(m);
+        let scalar: Vec<f64> = m.iter_rows().map(|r| model.proba_one(r)).collect();
+        assert_eq!(batched, scalar, "{name}: proba_batch != proba_one loop ({} rows)", m.rows());
+        let hard: Vec<f64> = batched.iter().map(|&p| f64::from(p >= 0.5)).collect();
+        assert_eq!(Classifier::predict(model, m), hard, "{name}: hard predictions diverge");
+    }
+}
+
+#[test]
+fn linear_and_logistic_batch_paths_are_bit_identical() {
+    cases(48, 407, |rng| {
+        let (x, y) = binary_dataset(rng);
+        let d = x.cols();
+        let probes = probe_batches(rng, d);
+        let linear = LinearRegression::fit(&x, &y, LinearConfig::default()).unwrap();
+        assert_regressor_batch_exact(&linear, &probes, "linear");
+        let logistic =
+            LogisticRegression::fit(&x, &y, LogisticConfig { max_iter: 15, ..LogisticConfig::default() });
+        assert_classifier_batch_exact(&logistic, &probes, "logistic");
+    });
+}
+
+#[test]
+fn tree_ensemble_batch_paths_are_bit_identical() {
+    cases(32, 408, |rng| {
+        let (x, y) = binary_dataset(rng);
+        let d = x.cols();
+        let probes = probe_batches(rng, d);
+        let tree = DecisionTree::fit(&x, &y, TreeConfig { max_depth: 5, ..TreeConfig::default() });
+        assert_regressor_batch_exact(&tree, &probes, "tree");
+        assert_classifier_batch_exact(&tree, &probes, "tree");
+        let forest = RandomForest::fit(
+            &x,
+            &y,
+            ForestConfig { n_trees: 7, seed: 3, ..ForestConfig::default() },
+        );
+        assert_regressor_batch_exact(&forest, &probes, "forest");
+        assert_classifier_batch_exact(&forest, &probes, "forest");
+        for loss in [GbdtLoss::Squared, GbdtLoss::Logistic] {
+            let gbdt = Gbdt::fit(&x, &y, GbdtConfig { n_rounds: 12, loss, ..GbdtConfig::default() });
+            assert_regressor_batch_exact(&gbdt, &probes, "gbdt");
+            assert_classifier_batch_exact(&gbdt, &probes, "gbdt");
+        }
+    });
+}
+
+#[test]
+fn knn_naive_bayes_and_mlp_batch_paths_are_bit_identical() {
+    cases(32, 409, |rng| {
+        let (x, y) = binary_dataset(rng);
+        let d = x.cols();
+        let probes = probe_batches(rng, d);
+        let knn = Knn::fit(&x, &y, 3);
+        assert_regressor_batch_exact(&knn, &probes, "knn");
+        assert_classifier_batch_exact(&knn, &probes, "knn");
+        let nb = GaussianNb::fit(&x, &y);
+        assert_classifier_batch_exact(&nb, &probes, "naive_bayes");
+        for task in [MlpTask::Regression, MlpTask::Classification] {
+            let mlp = Mlp::fit(
+                &x,
+                &y,
+                MlpConfig { hidden: 6, epochs: 4, task, seed: 11, ..MlpConfig::default() },
+            );
+            assert_regressor_batch_exact(&mlp, &probes, "mlp");
+            assert_classifier_batch_exact(&mlp, &probes, "mlp");
+        }
     });
 }

@@ -7,7 +7,16 @@
 //! constraint `φ₀ = v(∅)` and `Σφ = v(N) − v(∅)` (the infinite-weight
 //! endpoints). The constraint is eliminated by substitution, leaving an
 //! ordinary weighted least-squares problem.
+//!
+//! Four entry points share one draw/solve core: sequential and parallel,
+//! each in a scalar ([`CooperativeGame`]) and a batched
+//! ([`crate::batch::BatchGame`]) flavour. Coalitions are always drawn
+//! *before* any evaluation and evaluation consumes no randomness, so at
+//! the same seed the batched paths produce bit-identical output to their
+//! scalar counterparts (given a bit-exact batched model, which the
+//! `xai-models` kernels guarantee).
 
+use crate::batch::BatchGame;
 use crate::game::{mask_to_coalition, CooperativeGame};
 use xai_rand::rngs::StdRng;
 use xai_rand::{Rng, SeedableRng};
@@ -47,77 +56,141 @@ pub struct KernelShap {
     pub exact: bool,
 }
 
-/// Runs Kernel SHAP on any cooperative game.
-pub fn kernel_shap(game: &dyn CooperativeGame, config: KernelShapConfig) -> KernelShap {
+/// Shared preamble: endpoint values and the 1-player short circuit.
+struct Endpoints {
+    v0: f64,
+    delta: f64,
+}
+
+fn endpoints(game: &dyn CooperativeGame) -> (Endpoints, Option<KernelShap>) {
     let n = game.n_players();
     assert!(n >= 1, "need at least one player");
     let v0 = game.empty_value();
     let vn = game.grand_value();
     let delta = vn - v0;
-    if n == 1 {
-        return KernelShap { phi: vec![delta], base_value: v0, coalitions_used: 0, exact: true };
-    }
+    let short = (n == 1).then(|| KernelShap {
+        phi: vec![delta],
+        base_value: v0,
+        coalitions_used: 0,
+        exact: true,
+    });
+    (Endpoints { v0, delta }, short)
+}
 
-    // Collect (membership mask, weight, value) triples.
-    let total_proper = (1usize << n) - 2;
-    let exact = n < 63 && total_proper <= config.max_coalitions;
-    let mut masks: Vec<Vec<bool>> = Vec::new();
-    let mut weights: Vec<f64> = Vec::new();
-    if exact {
-        for mask in 1..(1usize << n) - 1 {
-            let coalition = mask_to_coalition(mask, n);
-            let s = mask.count_ones() as usize;
-            masks.push(coalition);
-            weights.push(shapley_kernel_weight(n, s));
-        }
-    } else {
-        // Sample sizes from the kernel's size distribution, then a uniform
-        // subset of that size; the kernel weight is absorbed into the
-        // sampling density, so each draw gets unit weight.
-        let size_weights: Vec<f64> = (1..n)
-            .map(|s| (n - 1) as f64 / (s * (n - s)) as f64)
-            .collect();
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        for _ in 0..config.max_coalitions {
-            let s = 1 + categorical(&mut rng, &size_weights);
-            let mut coalition = vec![false; n];
-            // Reservoir-free subset draw: Floyd's algorithm.
-            let mut chosen = std::collections::HashSet::with_capacity(s);
-            for j in n - s..n {
-                let t = rng.gen_range(0..=j);
-                if !chosen.insert(t) {
-                    chosen.insert(j);
-                }
-            }
-            for &i in &chosen {
-                coalition[i] = true;
-            }
-            masks.push(coalition);
-            weights.push(1.0);
+/// Whether the budget admits full enumeration of the proper coalitions.
+fn exact_mode(n: usize, max_coalitions: usize) -> bool {
+    n < 63 && (1usize << n.min(62)) - 2 <= max_coalitions
+}
+
+/// The kernel's coalition-size distribution (unnormalized).
+fn size_distribution(n: usize) -> Vec<f64> {
+    (1..n).map(|s| (n - 1) as f64 / (s * (n - s)) as f64).collect()
+}
+
+/// One sampled-mode draw: a size from the kernel distribution, then a
+/// uniform subset of that size by Floyd's algorithm. The kernel weight is
+/// absorbed into the sampling density, so each draw gets unit weight.
+/// Consumes the exact same RNG sequence wherever it is called from.
+fn draw_coalition(rng: &mut StdRng, n: usize, size_weights: &[f64]) -> Vec<bool> {
+    let s = 1 + categorical(rng, size_weights);
+    let mut coalition = vec![false; n];
+    let mut chosen = std::collections::HashSet::with_capacity(s);
+    for j in n - s..n {
+        let t = rng.gen_range(0..=j);
+        if !chosen.insert(t) {
+            chosen.insert(j);
         }
     }
+    for &i in &chosen {
+        coalition[i] = true;
+    }
+    coalition
+}
 
+/// Solves the constraint-eliminated weighted regression:
+/// target `t_i = v(z_i) − v0 − z_{i,n−1}·Δ`,
+/// design `d_ij = z_ij − z_{i,n−1}` for `j < n−1`, tail player by
+/// efficiency. `masks`, `weights` and `values` run in parallel.
+fn solve_kernel_regression(
+    n: usize,
+    ends: &Endpoints,
+    masks: &[Vec<bool>],
+    weights: &[f64],
+    values: &[f64],
+    ridge: f64,
+) -> Vec<f64> {
     let m = masks.len();
-    // Regression with the efficiency constraint eliminated:
-    // target t_i = v(z_i) − v0 − z_{i,n−1}·Δ,
-    // design d_ij = z_ij − z_{i,n−1} for j < n−1.
     let mut design = Matrix::zeros(m, n - 1);
     let mut target = Vec::with_capacity(m);
-    for (row_idx, coalition) in masks.iter().enumerate() {
-        let v = game.value(coalition);
+    for (row_idx, (coalition, &v)) in masks.iter().zip(values).enumerate() {
         let last = f64::from(coalition[n - 1]);
-        target.push(v - v0 - last * delta);
+        target.push(v - ends.v0 - last * ends.delta);
         let drow = design.row_mut(row_idx);
         for j in 0..n - 1 {
             drow[j] = f64::from(coalition[j]) - last;
         }
     }
-    let head = weighted_least_squares(&design, &target, &weights, config.ridge)
+    let head = weighted_least_squares(&design, &target, weights, ridge)
         .expect("kernel SHAP regression is full rank under ridge");
     let mut phi = head;
-    let tail = delta - phi.iter().sum::<f64>();
+    let tail = ends.delta - phi.iter().sum::<f64>();
     phi.push(tail);
-    KernelShap { phi, base_value: v0, coalitions_used: m, exact }
+    phi
+}
+
+/// Draws the sequential coalition grid: full enumeration in exact mode,
+/// one-stream kernel-distribution sampling otherwise.
+fn sequential_coalitions(n: usize, config: KernelShapConfig) -> (Vec<Vec<bool>>, Vec<f64>, bool) {
+    let exact = exact_mode(n, config.max_coalitions);
+    let mut masks: Vec<Vec<bool>> = Vec::new();
+    let mut weights: Vec<f64> = Vec::new();
+    if exact {
+        for mask in 1..(1usize << n) - 1 {
+            masks.push(mask_to_coalition(mask, n));
+            weights.push(shapley_kernel_weight(n, mask.count_ones() as usize));
+        }
+    } else {
+        let size_weights = size_distribution(n);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        for _ in 0..config.max_coalitions {
+            masks.push(draw_coalition(&mut rng, n, &size_weights));
+            weights.push(1.0);
+        }
+    }
+    (masks, weights, exact)
+}
+
+/// Runs Kernel SHAP on any cooperative game.
+pub fn kernel_shap(game: &dyn CooperativeGame, config: KernelShapConfig) -> KernelShap {
+    let (ends, short) = endpoints(game);
+    if let Some(s) = short {
+        return s;
+    }
+    let n = game.n_players();
+    let (masks, weights, exact) = sequential_coalitions(n, config);
+    let values: Vec<f64> = masks.iter().map(|c| game.value(c)).collect();
+    let phi = solve_kernel_regression(n, &ends, &masks, &weights, &values, config.ridge);
+    KernelShap { phi, base_value: ends.v0, coalitions_used: masks.len(), exact }
+}
+
+/// Kernel SHAP with every coalition of a sampling round materialized into
+/// **one batched game call** — the fast path for
+/// [`crate::batch::BatchPredictionGame`] over a vectorized model, and the
+/// natural host for a [`crate::batch::CachedGame`] memo.
+///
+/// Coalition draws are identical to [`kernel_shap`] (randomness is drawn
+/// up front; evaluation consumes none), so at the same seed the result is
+/// bit-identical to the scalar path.
+pub fn kernel_shap_batched(game: &dyn BatchGame, config: KernelShapConfig) -> KernelShap {
+    let (ends, short) = endpoints(game);
+    if let Some(s) = short {
+        return s;
+    }
+    let n = game.n_players();
+    let (masks, weights, exact) = sequential_coalitions(n, config);
+    let values = game.values(&masks);
+    let phi = solve_kernel_regression(n, &ends, &masks, &weights, &values, config.ridge);
+    KernelShap { phi, base_value: ends.v0, coalitions_used: masks.len(), exact }
 }
 
 /// Coalition evaluations per executor task in [`kernel_shap_parallel`].
@@ -141,79 +214,109 @@ pub fn kernel_shap_parallel(
 ) -> KernelShap {
     use xai_rand::parallel::par_map_chunks;
     assert!(workers >= 1, "need at least one worker");
-    let n = game.n_players();
-    assert!(n >= 1, "need at least one player");
-    let v0 = game.empty_value();
-    let vn = game.grand_value();
-    let delta = vn - v0;
-    if n == 1 {
-        return KernelShap { phi: vec![delta], base_value: v0, coalitions_used: 0, exact: true };
+    let (ends, short) = endpoints(game);
+    if let Some(s) = short {
+        return s;
     }
-
-    let total_proper = (1usize << n.min(62)) - 2;
-    let exact = n < 63 && total_proper <= config.max_coalitions;
+    let n = game.n_players();
+    let exact = exact_mode(n, config.max_coalitions);
     // Each chunk returns (mask, weight, value) triples, concatenated in
     // chunk order below.
     let chunks: Vec<Vec<(Vec<bool>, f64, f64)>> = if exact {
+        let total_proper = (1usize << n) - 2;
         par_map_chunks(total_proper, COALITIONS_PER_CHUNK, config.seed, workers, |_c, range, _rng| {
             range
                 .map(|i| {
                     let mask = i + 1; // skip the empty coalition
                     let coalition = mask_to_coalition(mask, n);
-                    let s = mask.count_ones() as usize;
-                    let w = shapley_kernel_weight(n, s);
+                    let w = shapley_kernel_weight(n, mask.count_ones() as usize);
                     let v = game.value(&coalition);
                     (coalition, w, v)
                 })
                 .collect()
         })
     } else {
-        let size_weights: Vec<f64> = (1..n)
-            .map(|s| (n - 1) as f64 / (s * (n - s)) as f64)
-            .collect();
+        let size_weights = size_distribution(n);
         let size_weights = &size_weights;
         par_map_chunks(config.max_coalitions, COALITIONS_PER_CHUNK, config.seed, workers, |_c, range, rng| {
             range
                 .map(|_| {
-                    let s = 1 + categorical(rng, size_weights);
-                    let mut coalition = vec![false; n];
-                    let mut chosen = std::collections::HashSet::with_capacity(s);
-                    for j in n - s..n {
-                        let t = rng.gen_range(0..=j);
-                        if !chosen.insert(t) {
-                            chosen.insert(j);
-                        }
-                    }
-                    for &i in &chosen {
-                        coalition[i] = true;
-                    }
+                    let coalition = draw_coalition(rng, n, size_weights);
                     let v = game.value(&coalition);
                     (coalition, 1.0, v)
                 })
                 .collect()
         })
     };
+    finish_parallel(n, &ends, chunks, config.ridge, exact)
+}
 
-    let triples: Vec<(Vec<bool>, f64, f64)> = chunks.into_iter().flatten().collect();
-    let m = triples.len();
-    let mut design = Matrix::zeros(m, n - 1);
-    let mut target = Vec::with_capacity(m);
-    let mut weights = Vec::with_capacity(m);
-    for (row_idx, (coalition, w, v)) in triples.iter().enumerate() {
-        let last = f64::from(coalition[n - 1]);
-        target.push(v - v0 - last * delta);
-        weights.push(*w);
-        let drow = design.row_mut(row_idx);
-        for j in 0..n - 1 {
-            drow[j] = f64::from(coalition[j]) - last;
-        }
+/// Parallel Kernel SHAP where **each worker batches its chunk**: a chunk
+/// draws (or enumerates) its 64 coalitions, then makes a single
+/// [`BatchGame::values`] call for all of them. Same chunk grid, same
+/// per-chunk RNG streams and same chunk-order reduction as
+/// [`kernel_shap_parallel`] — output is bit-identical to it at every
+/// worker count.
+pub fn kernel_shap_batched_parallel(
+    game: &(dyn BatchGame + Sync),
+    config: KernelShapConfig,
+    workers: usize,
+) -> KernelShap {
+    use xai_rand::parallel::par_map_chunks;
+    assert!(workers >= 1, "need at least one worker");
+    let (ends, short) = endpoints(game);
+    if let Some(s) = short {
+        return s;
     }
-    let head = weighted_least_squares(&design, &target, &weights, config.ridge)
-        .expect("kernel SHAP regression is full rank under ridge");
-    let mut phi = head;
-    let tail = delta - phi.iter().sum::<f64>();
-    phi.push(tail);
-    KernelShap { phi, base_value: v0, coalitions_used: m, exact }
+    let n = game.n_players();
+    let exact = exact_mode(n, config.max_coalitions);
+    let chunks: Vec<Vec<(Vec<bool>, f64, f64)>> = if exact {
+        let total_proper = (1usize << n) - 2;
+        par_map_chunks(total_proper, COALITIONS_PER_CHUNK, config.seed, workers, |_c, range, _rng| {
+            let masks: Vec<Vec<bool>> =
+                range.clone().map(|i| mask_to_coalition(i + 1, n)).collect();
+            let values = game.values(&masks);
+            masks
+                .into_iter()
+                .zip(range)
+                .zip(values)
+                .map(|((coalition, i), v)| {
+                    let w = shapley_kernel_weight(n, (i + 1).count_ones() as usize);
+                    (coalition, w, v)
+                })
+                .collect()
+        })
+    } else {
+        let size_weights = size_distribution(n);
+        let size_weights = &size_weights;
+        par_map_chunks(config.max_coalitions, COALITIONS_PER_CHUNK, config.seed, workers, |_c, range, rng| {
+            let masks: Vec<Vec<bool>> =
+                range.map(|_| draw_coalition(rng, n, size_weights)).collect();
+            let values = game.values(&masks);
+            masks.into_iter().zip(values).map(|(coalition, v)| (coalition, 1.0, v)).collect()
+        })
+    };
+    finish_parallel(n, &ends, chunks, config.ridge, exact)
+}
+
+/// Concatenates chunk triples in order and solves.
+fn finish_parallel(
+    n: usize,
+    ends: &Endpoints,
+    chunks: Vec<Vec<(Vec<bool>, f64, f64)>>,
+    ridge: f64,
+    exact: bool,
+) -> KernelShap {
+    let mut masks = Vec::new();
+    let mut weights = Vec::new();
+    let mut values = Vec::new();
+    for (coalition, w, v) in chunks.into_iter().flatten() {
+        masks.push(coalition);
+        weights.push(w);
+        values.push(v);
+    }
+    let phi = solve_kernel_regression(n, ends, &masks, &weights, &values, ridge);
+    KernelShap { phi, base_value: ends.v0, coalitions_used: masks.len(), exact }
 }
 
 /// The Shapley kernel weight for a coalition of size `s` out of `n`.
@@ -235,6 +338,7 @@ fn binomial(n: usize, k: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch::{BatchPredictionGame, CachedGame};
     use crate::exact::exact_shapley;
     use crate::game::{PredictionGame, TableGame};
 
@@ -334,6 +438,8 @@ mod tests {
         let ks = kernel_shap(&game, KernelShapConfig::default());
         assert_eq!(ks.phi, vec![1.5]);
         assert_eq!(ks.base_value, 0.5);
+        let kb = kernel_shap_batched(&game, KernelShapConfig::default());
+        assert_eq!(kb.phi, vec![1.5]);
     }
 
     #[test]
@@ -365,5 +471,63 @@ mod tests {
             assert!((a - b).abs() < 1e-6);
         }
         assert!((ks.base_value - game.empty_value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_matches_scalar_bitwise_in_both_modes() {
+        // Exact mode (table game through the default batch loop).
+        let table = TableGame::new(
+            4,
+            (0..16).map(|m: usize| (m.count_ones() as f64).powi(2) * 0.31 - 0.4).collect(),
+        );
+        let cfg = KernelShapConfig::default();
+        assert_eq!(kernel_shap(&table, cfg).phi, kernel_shap_batched(&table, cfg).phi);
+
+        // Sampling mode over a prediction game: scalar vs. materialized.
+        let model = |x: &[f64]| (x[0] - 0.3 * x[1]).tanh() + 0.25 * x[2] * x[2];
+        let batched_model = |m: &Matrix| -> Vec<f64> { m.iter_rows().map(model).collect() };
+        let background = Matrix::from_rows(&[
+            vec![0.1, -0.2, 0.5],
+            vec![1.0, 0.4, -1.1],
+            vec![-0.6, 2.0, 0.0],
+        ]);
+        let instance = [0.9, -1.4, 2.2];
+        let scalar_game = PredictionGame::new(&model, &instance, &background);
+        let batch_game = BatchPredictionGame::new(&batched_model, &instance, &background);
+        let cfg = KernelShapConfig { max_coalitions: 5, seed: 9, ..Default::default() };
+        let a = kernel_shap(&scalar_game, cfg);
+        let b = kernel_shap_batched(&batch_game, cfg);
+        assert!(!a.exact);
+        assert_eq!(a.phi, b.phi);
+        assert_eq!(a.base_value, b.base_value);
+
+        // ... and through the memo cache, which must not perturb bits. A
+        // second identical run replays the same draws entirely from cache.
+        let cached = CachedGame::new(&batch_game);
+        let c = kernel_shap_batched(&cached, cfg);
+        assert_eq!(a.phi, c.phi);
+        let (_, misses_first) = cached.stats();
+        let c2 = kernel_shap_batched(&cached, cfg);
+        assert_eq!(a.phi, c2.phi);
+        let (hits, misses) = cached.stats();
+        assert_eq!(misses, misses_first, "second run must be served from cache");
+        assert!(hits >= 5 + 2, "5 coalitions + 2 endpoints must all hit");
+    }
+
+    #[test]
+    fn batched_parallel_matches_scalar_parallel_bitwise() {
+        let model = |x: &[f64]| (0.7 * x[0] + x[1] * x[2]).sin();
+        let batched_model = |m: &Matrix| -> Vec<f64> { m.iter_rows().map(model).collect() };
+        let background =
+            Matrix::from_rows(&[vec![0.0, 0.3, -0.1], vec![0.8, -0.9, 1.2]]);
+        let instance = [1.5, 0.2, -0.7];
+        let scalar_game = PredictionGame::new(&model, &instance, &background);
+        let batch_game = BatchPredictionGame::new(&batched_model, &instance, &background);
+        let cfg = KernelShapConfig { max_coalitions: 5, seed: 4, ..Default::default() };
+        let reference = kernel_shap_parallel(&scalar_game, cfg, 1);
+        for workers in [1, 2, 4] {
+            let b = kernel_shap_batched_parallel(&batch_game, cfg, workers);
+            assert_eq!(reference.phi, b.phi, "workers={workers}");
+        }
     }
 }

@@ -15,7 +15,13 @@
 //! | [`causal`] | causal (interventional) Shapley values on an SCM | `O(2^n)` · MC |
 //! | [`flow`] | edge-level Shapley credit on the causal DAG | `O(2^E)` |
 //! | [`global`] | local→global aggregation | linear |
+//! | [`batch`] | batched coalition evaluation + memo cache | — |
+//!
+//! The Monte-Carlo estimators each have a `*_batched` twin that accepts a
+//! [`batch::BatchGame`] and materializes whole sampling rounds into single
+//! model calls; at the same seed the twins are bit-identical.
 pub mod asymmetric;
+pub mod batch;
 pub mod causal;
 pub mod conditional;
 pub mod exact;
@@ -30,6 +36,7 @@ pub mod sampling;
 pub mod tree;
 
 pub use asymmetric::{asymmetric_shapley_exact, asymmetric_shapley_sampled, Precedence};
+pub use batch::{BatchGame, BatchPredictionGame, CachedGame};
 pub use conditional::{conditional_shapley, ConditionalGame};
 pub use causal::{causal_shapley, effect_decomposition, CausalGame, EffectDecomposition};
 pub use exact::{exact_banzhaf, exact_shapley, shapley_from_table, MAX_EXACT_PLAYERS};
@@ -41,11 +48,14 @@ pub use global::{
     GlobalImportance,
 };
 pub use owen::{one_hot_groups, owen_values, OwenValues};
-pub use kernel::{kernel_shap, kernel_shap_parallel, shapley_kernel_weight, KernelShap, KernelShapConfig};
+pub use kernel::{
+    kernel_shap, kernel_shap_batched, kernel_shap_batched_parallel, kernel_shap_parallel,
+    shapley_kernel_weight, KernelShap, KernelShapConfig,
+};
 pub use qii::{set_qii, shapley_qii, unary_qii};
 pub use sampling::{
-    antithetic_permutation_shapley, permutation_shapley, permutation_shapley_parallel,
-    SampledShapley,
+    antithetic_permutation_shapley, permutation_shapley, permutation_shapley_batched,
+    permutation_shapley_batched_parallel, permutation_shapley_parallel, SampledShapley,
 };
 pub use tree::{
     brute_force_tree_shap, forest_shap, gbdt_shap, tree_expected_value, tree_shap,

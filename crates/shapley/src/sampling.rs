@@ -7,6 +7,7 @@
 //! evaluations; the estimate converges at the Monte-Carlo `1/√m` rate —
 //! experiment E2's subject.
 
+use crate::batch::BatchGame;
 use crate::game::{random_permutation, CooperativeGame};
 use xai_rand::parallel::{par_map_chunks, sum_partials};
 use xai_rand::rngs::StdRng;
@@ -48,6 +49,115 @@ pub fn permutation_shapley(
             prev = cur;
         }
     }
+    finish_sampled(sum, sum_sq, permutations)
+}
+
+/// Permutations per executor task in [`permutation_shapley_parallel`],
+/// and the materialization round size of the batched estimators. Fixed
+/// (never derived from the worker count) so the chunk grid — and hence
+/// the floating-point output — is worker-invariant.
+const PERMS_PER_CHUNK: usize = 16;
+
+/// Materializes the `n + 1` walk coalitions of each permutation in a
+/// round — `[∅, {p₀}, {p₀,p₁}, …, N]` — as one coalition list for a
+/// single [`BatchGame::values`] call, then replays the walks against the
+/// returned values. Accumulation runs perm-by-perm in walk order exactly
+/// like the scalar loop, so the partial sums are bit-identical to it.
+fn walk_round(
+    game: &dyn BatchGame,
+    perms: &[Vec<usize>],
+    n: usize,
+    sum: &mut [f64],
+    sum_sq: &mut [f64],
+) {
+    let mut coalitions: Vec<Vec<bool>> = Vec::with_capacity(perms.len() * (n + 1));
+    for perm in perms {
+        let mut coalition = vec![false; n];
+        coalitions.push(coalition.clone());
+        for &player in perm {
+            coalition[player] = true;
+            coalitions.push(coalition.clone());
+        }
+    }
+    let vals = game.values(&coalitions);
+    for (p, perm) in perms.iter().enumerate() {
+        let base = p * (n + 1);
+        let mut prev = vals[base];
+        for (t, &player) in perm.iter().enumerate() {
+            let cur = vals[base + t + 1];
+            let marginal = cur - prev;
+            sum[player] += marginal;
+            sum_sq[player] += marginal * marginal;
+            prev = cur;
+        }
+    }
+}
+
+/// Batched permutation sampling: permutations are processed in rounds of
+/// [`PERMS_PER_CHUNK`], each round's walk coalitions materialized into a
+/// single [`BatchGame::values`] call.
+///
+/// The walks consume no randomness, so drawing a round's permutations up
+/// front leaves the RNG stream identical to the interleaved scalar loop —
+/// at the same seed this is bit-identical to [`permutation_shapley`]
+/// (given a bit-exact batched game).
+pub fn permutation_shapley_batched(
+    game: &dyn BatchGame,
+    permutations: usize,
+    seed: u64,
+) -> SampledShapley {
+    assert!(permutations > 0, "need at least one permutation");
+    let n = game.n_players();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sum = vec![0.0; n];
+    let mut sum_sq = vec![0.0; n];
+    let mut done = 0;
+    while done < permutations {
+        let round = PERMS_PER_CHUNK.min(permutations - done);
+        let perms: Vec<Vec<usize>> =
+            (0..round).map(|_| random_permutation(&mut rng, n)).collect();
+        walk_round(game, &perms, n, &mut sum, &mut sum_sq);
+        done += round;
+    }
+    finish_sampled(sum, sum_sq, permutations)
+}
+
+/// Parallel batched permutation sampling: same fixed chunk grid and
+/// per-chunk PCG64 streams as [`permutation_shapley_parallel`], but each
+/// worker materializes its chunk's walk coalitions into one
+/// [`BatchGame::values`] call. Bit-identical to the scalar parallel
+/// estimator at every worker count.
+pub fn permutation_shapley_batched_parallel(
+    game: &(dyn BatchGame + Sync),
+    permutations: usize,
+    seed: u64,
+    workers: usize,
+) -> SampledShapley {
+    assert!(permutations > 0, "need at least one permutation");
+    assert!(workers >= 1, "need at least one worker");
+    let n = game.n_players();
+    let partials = par_map_chunks(
+        permutations,
+        PERMS_PER_CHUNK,
+        seed,
+        workers,
+        |_chunk, range, rng| {
+            let mut sum = vec![0.0; n];
+            let mut sum_sq = vec![0.0; n];
+            let perms: Vec<Vec<usize>> =
+                range.map(|_| random_permutation(rng, n)).collect();
+            walk_round(game, &perms, n, &mut sum, &mut sum_sq);
+            (sum, sum_sq)
+        },
+    );
+    let (sums, sums_sq): (Vec<_>, Vec<_>) = partials.into_iter().unzip();
+    let sum = sum_partials(sums);
+    let sum_sq = sum_partials(sums_sq);
+    finish_sampled(sum, sum_sq, permutations)
+}
+
+/// Shared mean / standard-error epilogue of the permutation estimators.
+fn finish_sampled(sum: Vec<f64>, sum_sq: Vec<f64>, permutations: usize) -> SampledShapley {
     let m = permutations as f64;
     let phi: Vec<f64> = sum.iter().map(|s| s / m).collect();
     let std_err = sum_sq
@@ -64,11 +174,6 @@ pub fn permutation_shapley(
         .collect();
     SampledShapley { phi, std_err, permutations }
 }
-
-/// Permutations per executor task in [`permutation_shapley_parallel`].
-/// Fixed (never derived from the worker count) so the chunk grid — and
-/// hence the floating-point output — is worker-invariant.
-const PERMS_PER_CHUNK: usize = 16;
 
 /// Parallel permutation sampling on the `xai_rand` fork-join executor.
 ///
@@ -115,21 +220,7 @@ pub fn permutation_shapley_parallel(
     let (sums, sums_sq): (Vec<_>, Vec<_>) = partials.into_iter().unzip();
     let sum = sum_partials(sums);
     let sum_sq = sum_partials(sums_sq);
-    let m = permutations as f64;
-    let phi: Vec<f64> = sum.iter().map(|s| s / m).collect();
-    let std_err = sum_sq
-        .iter()
-        .zip(&phi)
-        .map(|(&sq, &mean)| {
-            if permutations < 2 {
-                f64::INFINITY
-            } else {
-                let var = (sq / m - mean * mean).max(0.0) * m / (m - 1.0);
-                (var / m).sqrt()
-            }
-        })
-        .collect();
-    SampledShapley { phi, std_err, permutations }
+    finish_sampled(sum, sum_sq, permutations)
 }
 
 /// Antithetic variant: pairs each permutation with its reverse, which
@@ -257,6 +348,57 @@ mod tests {
             assert!((e - x).abs() < 0.03);
         }
         assert_eq!(est.permutations, 4000);
+    }
+
+    #[test]
+    fn batched_matches_scalar_bitwise() {
+        use crate::batch::{BatchPredictionGame, CachedGame};
+        use crate::game::PredictionGame;
+        use xai_linalg::Matrix;
+
+        // Table game through the default batch loop, round-boundary sizes.
+        let game = TableGame::glove();
+        for perms in [1, 15, 16, 17, 40] {
+            let a = permutation_shapley(&game, perms, 21);
+            let b = permutation_shapley_batched(&game, perms, 21);
+            assert_eq!(a.phi, b.phi, "perms={perms}");
+            assert_eq!(a.std_err, b.std_err, "perms={perms}");
+        }
+
+        // Prediction game: scalar loop vs. materialized probe matrix.
+        let model = |x: &[f64]| (x[0] * 0.4 - x[1]).exp() / (1.0 + x[2].abs());
+        let batched_model = |m: &Matrix| -> Vec<f64> { m.iter_rows().map(model).collect() };
+        let background =
+            Matrix::from_rows(&[vec![0.2, -0.1, 1.0], vec![1.3, 0.6, -0.4]]);
+        let instance = [0.5, 1.1, -2.0];
+        let scalar_game = PredictionGame::new(&model, &instance, &background);
+        let batch_game = BatchPredictionGame::new(&batched_model, &instance, &background);
+        let a = permutation_shapley(&scalar_game, 25, 3);
+        let b = permutation_shapley_batched(&batch_game, 25, 3);
+        assert_eq!(a.phi, b.phi);
+        assert_eq!(a.std_err, b.std_err);
+
+        // The memo cache must not perturb bits either, and walks repeat
+        // the empty/grand coalitions every permutation, so it must hit.
+        let cached = CachedGame::new(&batch_game);
+        let c = permutation_shapley_batched(&cached, 25, 3);
+        assert_eq!(a.phi, c.phi);
+        let (hits, misses) = cached.stats();
+        assert!(hits > 0 && misses < 25 * 4, "hits={hits} misses={misses}");
+    }
+
+    #[test]
+    fn batched_parallel_matches_scalar_parallel_bitwise() {
+        let game = TableGame::new(
+            4,
+            (0..16).map(|m: usize| (m.count_ones() as f64).powi(2) * 0.5 - 1.0).collect(),
+        );
+        let reference = permutation_shapley_parallel(&game, 70, 13, 1);
+        for workers in [1, 2, 4] {
+            let b = permutation_shapley_batched_parallel(&game, 70, 13, workers);
+            assert_eq!(reference.phi, b.phi, "workers={workers}");
+            assert_eq!(reference.std_err, b.std_err, "workers={workers}");
+        }
     }
 
     #[test]

@@ -129,23 +129,26 @@ impl LimeExplainer {
             .collect()
     }
 
-    /// Explains one prediction of a black-box model.
-    pub fn explain(
+    /// Draws the whole neighbourhood up front: the raw probe rows as one
+    /// matrix (ready for a single batched model call), the interpretable
+    /// design matrix (intercept in column 0), and the locality weights.
+    /// Perturbation draws consume the RNG in the same per-feature order as
+    /// the historical interleaved loop, and model evaluation consumes no
+    /// randomness, so both the scalar and the batched paths see identical
+    /// neighbourhoods at the same seed.
+    fn neighbourhood(
         &self,
-        model: &dyn Fn(&[f64]) -> f64,
         instance: &[f64],
         config: LimeConfig,
         seed: u64,
-    ) -> LimeExplanation {
+    ) -> (Matrix, Matrix, Vec<f64>, f64) {
         assert_eq!(instance.len(), self.n_features(), "instance arity mismatch");
         assert!(config.n_samples >= 8, "need a non-trivial neighbourhood");
         let d = instance.len();
         let width = config.kernel_width.unwrap_or(0.75 * (d as f64).sqrt()).max(1e-9);
         let mut rng = StdRng::seed_from_u64(seed);
-
-        // Design matrix in interpretable space, with intercept column.
+        let mut raws = Matrix::zeros(config.n_samples, d);
         let mut design = Matrix::zeros(config.n_samples, d + 1);
-        let mut targets = Vec::with_capacity(config.n_samples);
         let mut weights = Vec::with_capacity(config.n_samples);
         let origin = self.instance_interp(instance);
         for i in 0..config.n_samples {
@@ -156,12 +159,61 @@ impl LimeExplainer {
                 .map(|(a, b)| (a - b) * (a - b))
                 .sum();
             weights.push((-dist2 / (width * width)).exp());
-            targets.push(model(&raw));
+            raws.row_mut(i).copy_from_slice(&raw);
             let row = design.row_mut(i);
             row[0] = 1.0;
             row[1..].copy_from_slice(&interp);
         }
+        (raws, design, weights, width)
+    }
 
+    /// Explains one prediction of a black-box model, one probe row per
+    /// model call.
+    pub fn explain(
+        &self,
+        model: &dyn Fn(&[f64]) -> f64,
+        instance: &[f64],
+        config: LimeConfig,
+        seed: u64,
+    ) -> LimeExplanation {
+        let (raws, design, weights, width) = self.neighbourhood(instance, config, seed);
+        let targets: Vec<f64> = raws.iter_rows().map(|r| model(r)).collect();
+        let prediction = model(instance);
+        self.fit_surrogate(design, targets, weights, width, prediction, config)
+    }
+
+    /// Explains one prediction through a *batched* model surface: the whole
+    /// neighbourhood is materialized as one probe matrix and evaluated in a
+    /// single call (`xai_models::batch_proba_fn` / `batch_regress_fn`
+    /// produce suitable closures). Bit-identical to [`LimeExplainer::explain`]
+    /// at the same seed when the batched model matches the scalar one
+    /// row-for-row — which the `xai-models` vectorized kernels guarantee.
+    pub fn explain_batched(
+        &self,
+        model: &dyn Fn(&Matrix) -> Vec<f64>,
+        instance: &[f64],
+        config: LimeConfig,
+        seed: u64,
+    ) -> LimeExplanation {
+        let (raws, design, weights, width) = self.neighbourhood(instance, config, seed);
+        let targets = model(&raws);
+        assert_eq!(targets.len(), config.n_samples, "batched model returned wrong arity");
+        let prediction = model(&Matrix::from_rows(&[instance.to_vec()]))[0];
+        self.fit_surrogate(design, targets, weights, width, prediction, config)
+    }
+
+    /// The surrogate fit shared by the scalar and batched paths: weighted
+    /// ridge regression, optional top-k refit, fidelity scoring.
+    fn fit_surrogate(
+        &self,
+        design: Matrix,
+        targets: Vec<f64>,
+        weights: Vec<f64>,
+        width: f64,
+        prediction: f64,
+        config: LimeConfig,
+    ) -> LimeExplanation {
+        let d = self.n_features();
         let full = weighted_least_squares(&design, &targets, &weights, config.ridge)
             .expect("LIME ridge regression is well-posed");
         let (coef, intercept) = (full[1..].to_vec(), full[0]);
@@ -197,7 +249,6 @@ impl LimeExplainer {
             .collect();
         let local_fidelity = weighted_r_squared(&targets, &surrogate_preds, &weights);
 
-        let prediction = model(instance);
         // LIME does not satisfy the efficiency axiom, so `baseline` is the
         // surrogate intercept and `efficiency_gap()` is expected to be
         // non-zero — one of the §2.1.2 contrasts with SHAP.
@@ -306,6 +357,24 @@ mod tests {
         assert_eq!(a.attribution.values, b.attribution.values);
         let c = lime.explain(&f, data.row(0), LimeConfig::default(), 2);
         assert_ne!(a.attribution.values, c.attribution.values);
+    }
+
+    #[test]
+    fn batched_explain_matches_scalar_bitwise() {
+        use xai_models::batch_proba_fn;
+        let (model, data) = credit_model_and_data();
+        let lime = LimeExplainer::fit(&data);
+        let f = proba_fn(&model);
+        let bf = batch_proba_fn(&model);
+        for (seed, max_features) in [(1, None), (8, Some(3))] {
+            let cfg = LimeConfig { n_samples: 300, max_features, ..LimeConfig::default() };
+            let scalar = lime.explain(&f, data.row(0), cfg, seed);
+            let batched = lime.explain_batched(&bf, data.row(0), cfg, seed);
+            assert_eq!(scalar.attribution.values, batched.attribution.values);
+            assert_eq!(scalar.attribution.baseline, batched.attribution.baseline);
+            assert_eq!(scalar.attribution.prediction, batched.attribution.prediction);
+            assert_eq!(scalar.local_fidelity, batched.local_fidelity);
+        }
     }
 
     #[test]

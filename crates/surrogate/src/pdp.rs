@@ -98,6 +98,48 @@ pub fn partial_dependence(
     PartialDependence { grid: grid.to_vec(), pdp, ice, feature }
 }
 
+/// PDP/ICE through a *batched* model surface: all `rows × grid` probe rows
+/// are materialized as one matrix (row-major in `(instance, grid-point)`
+/// order) and evaluated in a single model call. The accumulation loops run
+/// in the same order as [`partial_dependence`], so the result is
+/// bit-identical to it when the batched model matches the scalar one
+/// row-for-row.
+pub fn partial_dependence_batched(
+    model: &dyn Fn(&xai_linalg::Matrix) -> Vec<f64>,
+    data: &Dataset,
+    feature: usize,
+    grid: &[f64],
+    max_rows: usize,
+    keep_ice: bool,
+) -> PartialDependence {
+    assert!(feature < data.n_features());
+    assert!(!grid.is_empty());
+    let rows = data.n_rows().min(max_rows.max(1));
+    let d = data.n_features();
+    let mut probes = xai_linalg::Matrix::zeros(rows * grid.len(), d);
+    for i in 0..rows {
+        for (g, &v) in grid.iter().enumerate() {
+            let row = probes.row_mut(i * grid.len() + g);
+            row.copy_from_slice(data.row(i));
+            row[feature] = v;
+        }
+    }
+    let outs = model(&probes);
+    assert_eq!(outs.len(), rows * grid.len(), "batched model returned wrong arity");
+    let mut pdp = vec![0.0; grid.len()];
+    let mut ice = if keep_ice { Some(Vec::with_capacity(rows)) } else { None };
+    for i in 0..rows {
+        let block = &outs[i * grid.len()..(i + 1) * grid.len()];
+        for (g, &out) in block.iter().enumerate() {
+            pdp[g] += out / rows as f64;
+        }
+        if let Some(ice) = ice.as_mut() {
+            ice.push(block.to_vec());
+        }
+    }
+    PartialDependence { grid: grid.to_vec(), pdp, ice, feature }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +206,28 @@ mod tests {
         for g in 0..grid.len() {
             let mean: f64 = ice.iter().map(|c| c[g]).sum::<f64>() / ice.len() as f64;
             assert!((mean - pd.pdp[g]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn batched_pdp_matches_scalar_bitwise() {
+        let data = friedman1(120, 21, 0.1);
+        let gbdt = Gbdt::fit(
+            data.x(),
+            data.y(),
+            GbdtConfig { n_rounds: 25, loss: GbdtLoss::Squared, ..GbdtConfig::default() },
+        );
+        let f = |x: &[f64]| Regressor::predict_one(&gbdt, x);
+        let bf = xai_models::batch_regress_fn(&gbdt);
+        for keep_ice in [false, true] {
+            for feature in [0, 3] {
+                let grid = feature_grid(&data, feature, 7);
+                let scalar = partial_dependence(&f, &data, feature, &grid, 80, keep_ice);
+                let batched = partial_dependence_batched(&bf, &data, feature, &grid, 80, keep_ice);
+                assert_eq!(scalar.pdp, batched.pdp);
+                assert_eq!(scalar.ice, batched.ice);
+                assert_eq!(scalar.grid, batched.grid);
+            }
         }
     }
 

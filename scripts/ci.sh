@@ -18,6 +18,17 @@ cargo build --release --workspace
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+# The equivalence and oracle suites are part of the workspace run above;
+# invoke them by name too so a filtered or partial run can't skip them.
+echo "==> cargo test -q --test batch_equivalence"
+cargo test -q --test batch_equivalence
+
+echo "==> cargo test -q -p xai-shapley --test golden_oracle"
+cargo test -q -p xai-shapley --test golden_oracle
+
+echo "==> cargo test -q -p xai-models --test properties"
+cargo test -q -p xai-models --test properties
+
 echo "==> cargo bench -p xai-bench --no-run (compile only)"
 cargo bench -p xai-bench --no-run
 

@@ -1,0 +1,238 @@
+//! Batched-path equivalence harness.
+//!
+//! The batched inference path (`predict_batch` → `BatchPredictionGame` /
+//! `explain_batched` / `partial_dependence_batched`) is a *performance*
+//! feature: it must change wall-clock time and nothing else. This suite
+//! pins that contract for every model family × Monte-Carlo explainer
+//! pair — the batched estimate is **bit-identical** to the scalar one at
+//! the same seed and at every worker count, with and without the
+//! coalition memo cache.
+
+use xai_data::synth::german_credit;
+use xai_data::Dataset;
+use xai_datavalue::{
+    data_banzhaf, data_banzhaf_parallel, tmc_shapley, tmc_shapley_parallel, BanzhafConfig,
+    CachedUtility, FnUtility, TmcConfig,
+};
+use xai_linalg::Matrix;
+use xai_models::{
+    batch_from_scalar, batch_proba_fn, batch_regress_fn, proba_fn, regress_fn, DecisionTree,
+    ForestConfig, GaussianNb, Gbdt, GbdtConfig, GbdtLoss, Knn, LinearConfig, LinearRegression,
+    LogisticConfig, LogisticRegression, Mlp, MlpConfig, MlpTask, RandomForest, TreeConfig,
+};
+use xai_shapley::{
+    kernel_shap, kernel_shap_batched, kernel_shap_batched_parallel, kernel_shap_parallel,
+    permutation_shapley, permutation_shapley_batched, permutation_shapley_batched_parallel,
+    permutation_shapley_parallel, BatchPredictionGame, CachedGame, KernelShapConfig,
+    PredictionGame,
+};
+use xai_surrogate::{
+    feature_grid, partial_dependence, partial_dependence_batched, LimeConfig, LimeExplainer,
+};
+
+fn credit() -> Dataset {
+    german_credit(90, 5)
+}
+
+fn background(data: &Dataset) -> Matrix {
+    Matrix::from_fn(6, data.n_features(), |i, j| data.x()[(i, (i + j) % data.n_features())])
+}
+
+/// Runs every Shapley Monte-Carlo estimator against one model through the
+/// scalar and the batched game and demands bitwise equality: sequential
+/// and parallel, exact and sampling kernel modes, with and without the
+/// coalition memo cache, across worker counts.
+fn assert_explainers_bit_identical<F, B>(name: &str, f: &F, bf: &B, instance: &[f64], bg: &Matrix)
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+    B: Fn(&Matrix) -> Vec<f64> + Sync,
+{
+    let scalar_game = PredictionGame::new(f, instance, bg);
+    let batch_game = BatchPredictionGame::new(bf, instance, bg);
+    let cached = CachedGame::new(&batch_game);
+
+    // Kernel SHAP, exact mode (n = 9 → 510 coalitions) and sampling mode.
+    for cfg in [
+        KernelShapConfig { seed: 3, ..KernelShapConfig::default() },
+        KernelShapConfig { max_coalitions: 48, seed: 3, ..KernelShapConfig::default() },
+    ] {
+        let a = kernel_shap(&scalar_game, cfg);
+        let b = kernel_shap_batched(&batch_game, cfg);
+        assert_eq!(a.phi, b.phi, "{name}: batched kernel SHAP diverged");
+        assert_eq!(a.base_value, b.base_value, "{name}: base value diverged");
+        let c = kernel_shap_batched(&cached, cfg);
+        assert_eq!(a.phi, c.phi, "{name}: cached kernel SHAP diverged");
+        let reference = kernel_shap_parallel(&scalar_game, cfg, 1);
+        for workers in [1, 2, 4] {
+            let p = kernel_shap_batched_parallel(&batch_game, cfg, workers);
+            assert_eq!(
+                reference.phi, p.phi,
+                "{name}: parallel batched kernel SHAP diverged at {workers} workers"
+            );
+        }
+    }
+
+    // Permutation Shapley, sequential and parallel.
+    let a = permutation_shapley(&scalar_game, 20, 7);
+    let b = permutation_shapley_batched(&batch_game, 20, 7);
+    assert_eq!(a.phi, b.phi, "{name}: batched permutation Shapley diverged");
+    assert_eq!(a.std_err, b.std_err, "{name}: std_err diverged");
+    let c = permutation_shapley_batched(&cached, 20, 7);
+    assert_eq!(a.phi, c.phi, "{name}: cached permutation Shapley diverged");
+    let reference = permutation_shapley_parallel(&scalar_game, 24, 7, 1);
+    for workers in [1, 2, 4] {
+        let p = permutation_shapley_batched_parallel(&batch_game, 24, 7, workers);
+        assert_eq!(
+            reference.phi, p.phi,
+            "{name}: parallel batched permutation Shapley diverged at {workers} workers"
+        );
+        assert_eq!(reference.std_err, p.std_err, "{name}: parallel std_err diverged");
+    }
+
+    // Every permutation walk revisits ∅ and N, so the memo must have hit.
+    let (hits, _) = cached.stats();
+    assert!(hits > 0, "{name}: memo cache never hit");
+}
+
+/// LIME and PDP through the batched model surface, bit-identical to the
+/// scalar loops.
+fn assert_surrogates_bit_identical<F, B>(name: &str, f: &F, bf: &B, data: &Dataset)
+where
+    F: Fn(&[f64]) -> f64,
+    B: Fn(&Matrix) -> Vec<f64>,
+{
+    let lime = LimeExplainer::fit(data);
+    let cfg = LimeConfig { n_samples: 120, ..LimeConfig::default() };
+    let a = lime.explain(f, data.row(4), cfg, 13);
+    let b = lime.explain_batched(bf, data.row(4), cfg, 13);
+    assert_eq!(a.attribution.values, b.attribution.values, "{name}: batched LIME diverged");
+    assert_eq!(a.attribution.prediction, b.attribution.prediction, "{name}: LIME prediction");
+    assert_eq!(a.local_fidelity, b.local_fidelity, "{name}: LIME fidelity diverged");
+
+    let grid = feature_grid(data, 1, 5);
+    let pa = partial_dependence(f, data, 1, &grid, 40, true);
+    let pb = partial_dependence_batched(bf, data, 1, &grid, 40, true);
+    assert_eq!(pa.pdp, pb.pdp, "{name}: batched PDP diverged");
+    assert_eq!(pa.ice, pb.ice, "{name}: batched ICE diverged");
+}
+
+#[test]
+fn linear_and_logistic_batched_explainers_are_bit_identical() {
+    let data = credit();
+    let bg = background(&data);
+    let instance = data.row(11);
+
+    let linear = LinearRegression::fit(data.x(), data.y(), LinearConfig::default()).unwrap();
+    let f = regress_fn(&linear);
+    let bf = batch_regress_fn(&linear);
+    assert_explainers_bit_identical("linear", &f, &bf, instance, &bg);
+    assert_surrogates_bit_identical("linear", &f, &bf, &data);
+
+    let logistic = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+    let f = proba_fn(&logistic);
+    let bf = batch_proba_fn(&logistic);
+    assert_explainers_bit_identical("logistic", &f, &bf, instance, &bg);
+    assert_surrogates_bit_identical("logistic", &f, &bf, &data);
+}
+
+#[test]
+fn tree_ensemble_batched_explainers_are_bit_identical() {
+    let data = credit();
+    let bg = background(&data);
+    let instance = data.row(11);
+
+    let tree = DecisionTree::fit(data.x(), data.y(), TreeConfig { max_depth: 5, ..Default::default() });
+    let f = proba_fn(&tree);
+    let bf = batch_proba_fn(&tree);
+    assert_explainers_bit_identical("tree", &f, &bf, instance, &bg);
+
+    let forest =
+        RandomForest::fit(data.x(), data.y(), ForestConfig { n_trees: 8, seed: 2, ..Default::default() });
+    let f = proba_fn(&forest);
+    let bf = batch_proba_fn(&forest);
+    assert_explainers_bit_identical("forest", &f, &bf, instance, &bg);
+    assert_surrogates_bit_identical("forest", &f, &bf, &data);
+
+    let gbdt = Gbdt::fit(
+        data.x(),
+        data.y(),
+        GbdtConfig { n_rounds: 10, loss: GbdtLoss::Logistic, ..Default::default() },
+    );
+    let f = proba_fn(&gbdt);
+    let bf = batch_proba_fn(&gbdt);
+    assert_explainers_bit_identical("gbdt", &f, &bf, instance, &bg);
+}
+
+#[test]
+fn knn_naive_bayes_and_mlp_batched_explainers_are_bit_identical() {
+    let data = credit();
+    let bg = background(&data);
+    let instance = data.row(11);
+
+    let knn = Knn::fit(data.x(), data.y(), 3);
+    let f = proba_fn(&knn);
+    let bf = batch_proba_fn(&knn);
+    assert_explainers_bit_identical("knn", &f, &bf, instance, &bg);
+
+    let nb = GaussianNb::fit(data.x(), data.y());
+    let f = proba_fn(&nb);
+    let bf = batch_proba_fn(&nb);
+    assert_explainers_bit_identical("naive_bayes", &f, &bf, instance, &bg);
+
+    let mlp = Mlp::fit(
+        data.x(),
+        data.y(),
+        MlpConfig { hidden: 6, epochs: 3, task: MlpTask::Classification, seed: 4, ..Default::default() },
+    );
+    let f = proba_fn(&mlp);
+    let bf = batch_proba_fn(&mlp);
+    assert_explainers_bit_identical("mlp", &f, &bf, instance, &bg);
+    assert_surrogates_bit_identical("mlp", &f, &bf, &data);
+}
+
+#[test]
+fn scalar_fallback_adapter_is_equivalent_to_the_scalar_path() {
+    // A model with no vectorized override still rides the batched
+    // explainer entry points through `batch_from_scalar`.
+    let data = credit();
+    let bg = background(&data);
+    let instance = data.row(3);
+    let f = |x: &[f64]| (x[0] * 0.01 - x[3] * 0.0002).tanh() + x[6] * 0.1;
+    let bf = batch_from_scalar(f);
+    assert_explainers_bit_identical("closure", &f, &bf, instance, &bg);
+}
+
+#[test]
+fn cached_utility_preserves_tmc_and_banzhaf_bits() {
+    // The memoized utility must be invisible to the estimators. The inner
+    // utility accumulates in integer arithmetic, so its score is exactly
+    // permutation-invariant and the cache's canonical (sorted) evaluation
+    // order cannot perturb bits.
+    let n = 14;
+    let utility = FnUtility::new(n, |s: &[usize]| {
+        s.iter().map(|&i| (i * i + 3 * i + 1) as u64).sum::<u64>() as f64 / 64.0
+    });
+    let cached = CachedUtility::new(&utility);
+
+    let tmc_cfg = TmcConfig { permutations: 30, truncation_tolerance: 0.0, seed: 5 };
+    let plain = tmc_shapley(&utility, tmc_cfg);
+    let memo = tmc_shapley(&cached, tmc_cfg);
+    assert_eq!(plain.attribution.values, memo.attribution.values, "TMC diverged under memo");
+    let (hits, misses) = cached.stats();
+    assert!(hits > 0, "TMC revisits the empty/grand coalitions every walk");
+    assert!(misses < plain.utility_calls, "memo must absorb repeat evaluations");
+
+    let bz_cfg = BanzhafConfig { samples_per_point: 12, seed: 8 };
+    let plain_bz = data_banzhaf(&utility, bz_cfg);
+    let memo_bz = data_banzhaf(&cached, bz_cfg);
+    assert_eq!(plain_bz.values, memo_bz.values, "Banzhaf diverged under memo");
+
+    // Parallel estimators accept the cached wrapper too (Mutex ⇒ Sync) and
+    // stay worker-invariant.
+    let p1 = tmc_shapley_parallel(&cached, tmc_cfg, 1);
+    let p4 = tmc_shapley_parallel(&cached, tmc_cfg, 4);
+    assert_eq!(p1.values, p4.values, "parallel TMC not worker-invariant under memo");
+    let b1 = data_banzhaf_parallel(&cached, bz_cfg, 1);
+    let b4 = data_banzhaf_parallel(&cached, bz_cfg, 4);
+    assert_eq!(b1.values, b4.values, "parallel Banzhaf not worker-invariant under memo");
+}
