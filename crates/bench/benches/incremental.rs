@@ -1,0 +1,47 @@
+//! Timing benches for the incremental-training utility engine (E33):
+//! rank-one model updates versus retraining from scratch inside the
+//! valuation drivers, at the acceptance scale n = 200, d = 10. Plain
+//! binaries on `xai_bench::timing` — run with `cargo bench -p xai-bench`.
+
+use xai_bench::timing::Group;
+use xai_data::synth::linear_gaussian;
+use xai_datavalue::{
+    leave_one_out, leave_one_out_incremental, tmc_shapley, tmc_shapley_incremental,
+    IncrementalUtility, RidgeUtility, RidgeValuationModel, TmcConfig,
+};
+
+const N: usize = 200;
+const LAMBDA: f64 = 1e-3;
+
+fn main() {
+    // d = 10 features; a compact test set keeps scoring from drowning out
+    // the training cost under measurement (both paths score identically).
+    let weights = [2.0, -1.0, 0.5, 1.5, -0.75, 0.25, -1.25, 0.8, -0.4, 1.1];
+    let train = linear_gaussian(N, &weights, 0.0, 5);
+    let test = linear_gaussian(40, &weights, 0.0, 6);
+    let cfg = TmcConfig { permutations: 8, truncation_tolerance: 0.0, seed: 7 };
+
+    let scratch = RidgeUtility::new(&train, &test, LAMBDA);
+
+    let mut group = Group::new("valuation_incremental").samples(5);
+    let retrain = group.bench("tmc_shapley_retrain_n200_d10", || tmc_shapley(&scratch, cfg));
+    let incremental = group.bench("tmc_shapley_incremental_n200_d10", || {
+        let inc = IncrementalUtility::new(RidgeValuationModel::new(&train, &test, LAMBDA));
+        tmc_shapley_incremental(&inc, cfg)
+    });
+    let loo_retrain = group.bench("leave_one_out_retrain_n200_d10", || leave_one_out(&scratch));
+    let loo_incremental = group.bench("leave_one_out_incremental_n200_d10", || {
+        let inc = IncrementalUtility::new(RidgeValuationModel::new(&train, &test, LAMBDA));
+        leave_one_out_incremental(&inc)
+    });
+    group.finish();
+
+    let tmc_speedup = retrain.as_secs_f64() / incremental.as_secs_f64();
+    let loo_speedup = loo_retrain.as_secs_f64() / loo_incremental.as_secs_f64();
+    println!("  tmc speedup incremental vs retrain: {tmc_speedup:.2}x");
+    println!("  loo speedup incremental vs retrain: {loo_speedup:.2}x");
+    assert!(
+        tmc_speedup >= 10.0,
+        "acceptance: incremental TMC must be ≥10x over retraining, got {tmc_speedup:.2}x"
+    );
+}

@@ -12,6 +12,9 @@
 //!   resampling;
 //! - [`influence`] — Koh–Liang influence functions (Cholesky and
 //!   conjugate-gradient paths) with retraining validation;
+//! - [`incremental`] — the incremental-training utility engine: one live
+//!   model mutated by rank-one add/remove-row deltas instead of retrained
+//!   per subset;
 //! - [`group`] — first-order vs curvature-aware group influence;
 //! - [`tree_influence`] — LeafInfluence-style attribution for GBDTs with
 //!   fixed structure.
@@ -20,6 +23,7 @@ pub mod banzhaf;
 pub mod data_shapley;
 pub mod distributional;
 pub mod group;
+pub mod incremental;
 pub mod influence;
 pub mod knn_shapley;
 pub mod loo;
@@ -34,12 +38,17 @@ pub use group::{
     group_influence_first_order, group_influence_newton, group_removal_ground_truth,
     relative_error,
 };
+pub use incremental::{
+    data_banzhaf_incremental, leave_one_out_incremental, tmc_shapley_incremental,
+    IncrementalModel, IncrementalStats, IncrementalUtility, RidgeUtility, RidgeValuationModel,
+    WarmLogisticModel,
+};
 pub use influence::{
     influence_on_test_loss, removal_parameter_change, retraining_ground_truth, Solver,
 };
 pub use knn_shapley::{knn_shapley, knn_shapley_single};
 pub use parallel::{data_banzhaf_parallel, tmc_shapley_parallel};
-pub use loo::{exact_data_shapley, leave_one_out};
+pub use loo::{exact_data_shapley, leave_one_out, leave_one_out_parallel};
 pub use tree_influence::{
     fixed_structure_ground_truth, fixed_structure_retrain, leaf_influence_first_order,
 };

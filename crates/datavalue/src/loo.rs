@@ -9,19 +9,63 @@
 
 use crate::utility::Utility;
 use xai_core::DataAttribution;
+use xai_rand::parallel::par_map_chunks;
+
+/// Points handled per executor task in [`leave_one_out_parallel`]. Fixed
+/// (never derived from the worker count) so the chunk grid — and hence the
+/// result — is worker-invariant.
+const POINTS_PER_CHUNK: usize = 8;
+
+/// Walks `without` from `D ∖ {i}` to `D ∖ {i + 1}` in place: position `i`
+/// holds `i + 1`, and overwriting it with `i` shifts the hole right while
+/// keeping the buffer sorted.
+fn advance_hole(without: &mut [usize], i: usize) {
+    debug_assert_eq!(without[i], i + 1);
+    without[i] = i;
+}
 
 /// Leave-one-out values: `v_i = U(D) − U(D ∖ {i})`. Costs `n + 1` model
-/// retrainings.
+/// retrainings. All `n` subset evaluations share **one** scratch buffer:
+/// `D ∖ {i}` differs from `D ∖ {i + 1}` in a single slot, so the buffer is
+/// mutated in place instead of reallocated per point.
 pub fn leave_one_out(utility: &dyn Utility) -> DataAttribution {
     let n = utility.n_train();
     let all: Vec<usize> = (0..n).collect();
     let full = utility.eval(&all);
-    let values = (0..n)
-        .map(|i| {
-            let without: Vec<usize> = (0..n).filter(|&j| j != i).collect();
-            full - utility.eval(&without)
-        })
-        .collect();
+    let mut without: Vec<usize> = (1..n).collect();
+    let mut values = Vec::with_capacity(n);
+    for i in 0..n {
+        values.push(full - utility.eval(&without));
+        if i + 1 < n {
+            advance_hole(&mut without, i);
+        }
+    }
+    DataAttribution { values, measure: "leave-one-out utility change".into() }
+}
+
+/// [`leave_one_out`] with the per-point retrainings spread across
+/// `workers` threads. Points are split into fixed-size chunks; each chunk
+/// walks its own in-place scratch buffer exactly like the sequential path
+/// and chunk results are concatenated in order, so the output is
+/// bit-identical to [`leave_one_out`] for every worker count.
+pub fn leave_one_out_parallel<U: Utility + Sync>(utility: &U, workers: usize) -> DataAttribution {
+    assert!(workers >= 1, "need at least one worker");
+    let n = utility.n_train();
+    let all: Vec<usize> = (0..n).collect();
+    let full = utility.eval(&all);
+    // LOO draws no randomness; the executor is used purely for fork-join.
+    let chunks = par_map_chunks(n, POINTS_PER_CHUNK, 0, workers, |_chunk, range, _rng| {
+        let mut without: Vec<usize> = (0..n).filter(|&j| j != range.start).collect();
+        let mut values = Vec::with_capacity(range.len());
+        for i in range {
+            values.push(full - utility.eval(&without));
+            if i + 1 < n {
+                advance_hole(&mut without, i);
+            }
+        }
+        values
+    });
+    let values: Vec<f64> = chunks.into_iter().flatten().collect();
     DataAttribution { values, measure: "leave-one-out utility change".into() }
 }
 
@@ -62,6 +106,39 @@ mod tests {
         let loo = leave_one_out(&u);
         assert_eq!(loo.values, vec![0.0, 0.0, 1.0, 0.0]);
         assert_eq!(loo.ranking_desc()[0], 2);
+    }
+
+    #[test]
+    fn loo_scratch_buffer_always_holds_the_exact_complement() {
+        // The in-place hole walk must hand the utility a sorted D ∖ {i}
+        // on every call, for every n (including n = 1).
+        for n in 1..12usize {
+            let u = FnUtility::new(n, move |s: &[usize]| {
+                if s.len() == n {
+                    return 0.0; // the full-set call
+                }
+                assert_eq!(s.len(), n - 1, "complement has n-1 points");
+                assert!(s.windows(2).all(|w| w[0] < w[1]), "must stay sorted");
+                let missing: usize = (0..n).sum::<usize>() - s.iter().sum::<usize>();
+                -(missing as f64)
+            });
+            let loo = leave_one_out(&u);
+            for (i, v) in loo.values.iter().enumerate() {
+                assert_eq!(*v, i as f64, "n={n}: wrong complement for point {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_loo_is_bit_identical_across_worker_counts() {
+        let u = FnUtility::new(21, |s: &[usize]| {
+            s.iter().map(|&i| ((i * i) as f64).sqrt()).sum::<f64>().sin()
+        });
+        let seq = leave_one_out(&u);
+        for workers in [1, 2, 4, 7] {
+            let par = leave_one_out_parallel(&u, workers);
+            assert_eq!(seq.values, par.values, "workers={workers} diverged");
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use xai_data::metrics::accuracy;
 use xai_data::Dataset;
+use xai_linalg::Matrix;
 use xai_models::{Classifier, Knn, LogisticConfig, LogisticRegression};
 
 /// A subset utility: maps training-index subsets to a test score.
@@ -51,13 +52,28 @@ pub struct LogisticUtility<'a> {
     test: &'a Dataset,
     config: LogisticConfig,
     base: f64,
+    /// Row-gather buffers reused across evaluations so that scoring a
+    /// subset does not allocate a fresh design matrix every time.
+    scratch: std::sync::Mutex<GatherScratch>,
+}
+
+#[derive(Default)]
+struct GatherScratch {
+    x: Vec<f64>,
+    y: Vec<f64>,
 }
 
 impl<'a> LogisticUtility<'a> {
     /// Builds the utility.
     pub fn new(train: &'a Dataset, test: &'a Dataset, config: LogisticConfig) -> Self {
         let pos = test.positive_rate();
-        Self { train, test, config, base: pos.max(1.0 - pos) }
+        Self {
+            train,
+            test,
+            config,
+            base: pos.max(1.0 - pos),
+            scratch: std::sync::Mutex::new(GatherScratch::default()),
+        }
     }
 
     /// The degenerate-subset score.
@@ -71,12 +87,31 @@ impl Utility for LogisticUtility<'_> {
         if subset.len() < 2 {
             return self.base;
         }
-        let sub = self.train.subset(subset);
-        let pos = sub.y().iter().filter(|&&v| v >= 0.5).count();
-        if pos == 0 || pos == sub.n_rows() {
+        // Reuse the shared gather scratch when it is free; under parallel
+        // drivers a contended evaluation falls back to a private buffer so
+        // evaluations never serialize on the lock.
+        let mut fallback = GatherScratch::default();
+        let mut guard = self.scratch.try_lock().ok();
+        let GatherScratch { x, y } = guard.as_deref_mut().unwrap_or(&mut fallback);
+        x.clear();
+        y.clear();
+        let mut pos = 0usize;
+        for &i in subset {
+            x.extend_from_slice(self.train.row(i));
+            let yi = self.train.y()[i];
+            if yi >= 0.5 {
+                pos += 1;
+            }
+            y.push(yi);
+        }
+        if pos == 0 || pos == subset.len() {
             return self.base;
         }
-        let model = LogisticRegression::fit(sub.x(), sub.y(), self.config);
+        // Shuttle the buffer through Matrix (from_vec/into_vec are
+        // zero-copy) so the fit sees a real design matrix.
+        let xm = Matrix::from_vec(subset.len(), self.train.n_features(), std::mem::take(x));
+        let model = LogisticRegression::fit(&xm, y, self.config);
+        *x = xm.into_vec();
         accuracy(self.test.y(), &Classifier::predict(&model, self.test.x()))
     }
 

@@ -3,6 +3,12 @@
 //! Used throughout the workspace to solve normal equations (linear and ridge
 //! regression, the weighted least-squares cores of LIME and Kernel SHAP) and
 //! to sample from multivariate Gaussians in the SCM module.
+//!
+//! Besides the `O(d³)` factorization, the factor supports **rank-one
+//! updates and downdates** ([`cholupdate`] / [`choldowndate`]): an SPD
+//! factor of `XᵀX + λI` absorbs or sheds one training row in `O(d²)`,
+//! which is the kernel the incremental-training engines (PrIU-style
+//! deletions, incremental data-valuation utilities) are built on.
 
 // Triangular solves index several arrays by the same running bound;
 // zipped iterators would obscure the textbook forms.
@@ -53,27 +59,39 @@ impl Cholesky {
 
     /// Solves `A x = b` via forward then backward substitution.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = Vec::new();
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// Allocation-free [`Cholesky::solve`]: writes the solution into `out`
+    /// (resized to fit), so hot loops can reuse one buffer across solves.
+    pub fn solve_into(&self, b: &[f64], out: &mut Vec<f64>) {
         let n = self.l.rows();
         assert_eq!(b.len(), n, "rhs length mismatch");
-        // Forward: L y = b
-        let mut y = vec![0.0; n];
+        out.clear();
+        out.resize(n, 0.0);
+        // Forward: L y = b (y lives in `out`; row i only reads y[0..i]).
         for i in 0..n {
+            let row = self.l.row(i);
             let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.l[(i, k)] * y[k];
+            for (&lik, &yk) in row[..i].iter().zip(out.iter()) {
+                sum -= lik * yk;
             }
-            y[i] = sum / self.l[(i, i)];
+            out[i] = sum / row[i];
         }
-        // Backward: Lᵀ x = y
-        let mut x = vec![0.0; n];
+        // Backward: Lᵀ x = y by elimination — column i of Lᵀ is row i of
+        // L, so once x[i] is known, x[i]·L[i, ..i] leaves the right-hand
+        // side. Touches only contiguous row prefixes.
         for i in (0..n).rev() {
-            let mut sum = y[i];
-            for k in i + 1..n {
-                sum -= self.l[(k, i)] * x[k];
+            let row = self.l.row(i);
+            let xi = out[i] / row[i];
+            out[i] = xi;
+            let (front, _) = out.split_at_mut(i);
+            for (o, &lik) in front.iter_mut().zip(row) {
+                *o -= lik * xi;
             }
-            x[i] = sum / self.l[(i, i)];
         }
-        x
     }
 
     /// Solves `A X = B` column by column.
@@ -95,6 +113,125 @@ impl Cholesky {
     pub fn log_det(&self) -> f64 {
         (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
     }
+
+    /// Factor of `λI` — the natural starting point for incrementally-built
+    /// ridge statistics (`XᵀX + λI` with no rows absorbed yet).
+    ///
+    /// # Panics
+    /// Panics when `lambda <= 0` (the factor would not be positive-definite).
+    pub fn scaled_identity(n: usize, lambda: f64) -> Self {
+        assert!(lambda > 0.0, "λ must be positive for an SPD factor");
+        Self { l: Matrix::diag(&vec![lambda.sqrt(); n]) }
+    }
+
+    /// Rank-one **update**: rewrites the factor in place so that `L Lᵀ`
+    /// becomes `A + x xᵀ`, in `O(d²)` instead of the `O(d³)` of a fresh
+    /// factorization. The classic hyperbolic-rotation sweep (LINPACK
+    /// `dchud`): each column `k` is rotated so the updated factor stays
+    /// lower-triangular with a positive diagonal.
+    ///
+    /// # Panics
+    /// Panics when `x.len()` does not match the factor dimension.
+    pub fn rank_one_update(&mut self, x: &[f64]) {
+        let n = self.l.rows();
+        assert_eq!(x.len(), n, "update vector length mismatch");
+        // Row-oriented sweep: rotation `k` is determined at row `k`'s
+        // diagonal and applied lazily to later rows, so the factor is
+        // touched one contiguous row prefix at a time instead of walking
+        // strided columns. Element-wise the arithmetic (and its order) is
+        // identical to the classic column sweep.
+        let mut stack = [(0.0f64, 0.0f64); ROT_STACK];
+        let mut heap = Vec::new();
+        let rot = rot_buffer(&mut stack, &mut heap, n);
+        for i in 0..n {
+            let row = self.l.row_mut(i);
+            let mut wi = x[i];
+            for (lik, &(c, s)) in row[..i].iter_mut().zip(rot.iter()) {
+                let new = (*lik + s * wi) / c;
+                wi = c * wi - s * new;
+                *lik = new;
+            }
+            let lii = row[i];
+            // Factor diagonals and update rows are far from the overflow
+            // range, so the naive norm beats the libm `hypot` call.
+            let r = (lii * lii + wi * wi).sqrt();
+            rot[i] = (r / lii, wi / lii);
+            row[i] = r;
+        }
+    }
+
+    /// Rank-one **downdate**: rewrites the factor so that `L Lᵀ` becomes
+    /// `A − x xᵀ`, in `O(d²)`. Fails with
+    /// [`LinalgError::NotPositiveDefinite`] when the downdated matrix would
+    /// be singular or indefinite (e.g. shedding a row that was never
+    /// absorbed); on failure the factor is left **unchanged**, so callers
+    /// can fall back to a full refactorization.
+    ///
+    /// # Panics
+    /// Panics when `x.len()` does not match the factor dimension.
+    pub fn rank_one_downdate(&mut self, x: &[f64]) -> Result<(), LinalgError> {
+        let n = self.l.rows();
+        assert_eq!(x.len(), n, "downdate vector length mismatch");
+        // Sweep a copy; commit only on success (strong exception safety).
+        // Row-oriented like `rank_one_update`; see there.
+        let mut l = self.l.clone();
+        let mut stack = [(0.0f64, 0.0f64); ROT_STACK];
+        let mut heap = Vec::new();
+        let rot = rot_buffer(&mut stack, &mut heap, n);
+        for i in 0..n {
+            let row = l.row_mut(i);
+            let mut wi = x[i];
+            for (lik, &(c, s)) in row[..i].iter_mut().zip(rot.iter()) {
+                let new = (*lik - s * wi) / c;
+                wi = c * wi - s * new;
+                *lik = new;
+            }
+            let lii = row[i];
+            let r2 = (lii - wi) * (lii + wi);
+            // Reject while the pivot still has relative headroom: past this
+            // point the downdated factor is numerically meaningless.
+            if r2 <= lii * lii * 1e-14 || !r2.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: i, value: r2 });
+            }
+            let r = r2.sqrt();
+            rot[i] = (r / lii, wi / lii);
+            row[i] = r;
+        }
+        self.l = l;
+        Ok(())
+    }
+}
+
+/// Rotation buffers up to this dimension live on the stack — rank-one
+/// sweeps on the small factors the valuation hot loops maintain then run
+/// allocation-free.
+const ROT_STACK: usize = 32;
+
+/// Returns a `(c, s)` rotation slice of length `n`, borrowing the stack
+/// array when it fits and spilling to the heap vector otherwise.
+fn rot_buffer<'a>(
+    stack: &'a mut [(f64, f64); ROT_STACK],
+    heap: &'a mut Vec<(f64, f64)>,
+    n: usize,
+) -> &'a mut [(f64, f64)] {
+    if n <= ROT_STACK {
+        &mut stack[..n]
+    } else {
+        heap.resize(n, (0.0, 0.0));
+        heap
+    }
+}
+
+/// Free-function spelling of [`Cholesky::rank_one_update`] (MATLAB's
+/// `cholupdate(R, x, '+')`).
+pub fn cholupdate(factor: &mut Cholesky, x: &[f64]) {
+    factor.rank_one_update(x);
+}
+
+/// Free-function spelling of [`Cholesky::rank_one_downdate`] (MATLAB's
+/// `cholupdate(R, x, '-')`).
+pub fn choldowndate(factor: &mut Cholesky, x: &[f64]) -> Result<(), LinalgError> {
+    factor.rank_one_downdate(x)
 }
 
 /// Solves a symmetric positive-definite system, adding `ridge * I` first.
@@ -171,6 +308,68 @@ mod tests {
     fn non_square_rejected() {
         let a = Matrix::zeros(2, 3);
         assert!(matches!(Cholesky::factor(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn rank_one_update_matches_fresh_factorization() {
+        let a = spd3();
+        let x = [0.7, -1.3, 0.4];
+        let mut ch = Cholesky::factor(&a).unwrap();
+        ch.rank_one_update(&x);
+        let mut updated = a.clone();
+        for i in 0..3 {
+            for j in 0..3 {
+                updated[(i, j)] += x[i] * x[j];
+            }
+        }
+        let fresh = Cholesky::factor(&updated).unwrap();
+        assert!(ch.l().approx_eq(fresh.l(), 1e-10), "factors diverged");
+    }
+
+    #[test]
+    fn rank_one_downdate_inverts_update() {
+        let a = spd3();
+        let x = [1.1, 0.2, -0.8];
+        let reference = Cholesky::factor(&a).unwrap();
+        let mut ch = reference.clone();
+        ch.rank_one_update(&x);
+        ch.rank_one_downdate(&x).unwrap();
+        assert!(ch.l().approx_eq(reference.l(), 1e-9));
+    }
+
+    #[test]
+    fn downdate_to_singular_rejected_and_factor_preserved() {
+        // λI + xxᵀ minus (1+ε)·xxᵀ-worth of x is indefinite.
+        let lambda = 1e-6;
+        let x = [2.0, -1.0, 3.0];
+        let mut ch = Cholesky::scaled_identity(3, lambda);
+        ch.rank_one_update(&x);
+        let before = ch.l().clone();
+        let too_much: Vec<f64> = x.iter().map(|v| v * 1.001).collect();
+        assert!(matches!(
+            ch.rank_one_downdate(&too_much),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+        assert!(ch.l().approx_eq(&before, 0.0), "failed downdate must not corrupt the factor");
+    }
+
+    #[test]
+    fn scaled_identity_is_the_ridge_prior_factor() {
+        let ch = Cholesky::scaled_identity(4, 0.25);
+        let rec = ch.l().matmul(&ch.l().transpose());
+        assert!(rec.approx_eq(&Matrix::diag(&vec![0.25; 4]), 1e-15));
+        let x = ch.solve(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(x, vec![4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn free_function_spellings_delegate() {
+        let a = spd3();
+        let x = [0.3, 0.9, -0.2];
+        let mut ch = Cholesky::factor(&a).unwrap();
+        cholupdate(&mut ch, &x);
+        choldowndate(&mut ch, &x).unwrap();
+        assert!(ch.l().approx_eq(Cholesky::factor(&a).unwrap().l(), 1e-9));
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod solve;
 pub mod stats;
 
 pub use batch::{affine_fold, gemm_nt, matvec_blocked};
-pub use cholesky::{solve_spd, Cholesky};
+pub use cholesky::{choldowndate, cholupdate, solve_spd, Cholesky};
 pub use lu::Lu;
 pub use matrix::{dot, norm1, norm2, vadd, vaxpy, vscale, vsub, Matrix};
 pub use solve::{

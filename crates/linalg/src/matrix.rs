@@ -57,6 +57,13 @@ impl Matrix {
         Self { rows, cols, data: vec![0.0; rows * cols] }
     }
 
+    /// Consumes the matrix, returning its row-major backing storage.
+    /// Together with [`Matrix::from_vec`] this lets hot paths shuttle a
+    /// scratch buffer in and out of matrix form without reallocating.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
     /// Matrix filled with a constant.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
         Self { rows, cols, data: vec![value; rows * cols] }

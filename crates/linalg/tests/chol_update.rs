@@ -1,0 +1,133 @@
+//! Seeded property suite for the rank-one Cholesky kernels.
+//!
+//! The contract under test: updating a factor (`cholupdate`) must agree
+//! with factorizing the updated matrix, downdating (`choldowndate`) must
+//! agree with factorizing the downdated matrix, and a downdate that would
+//! leave the matrix singular or indefinite must be rejected without
+//! corrupting the factor. Lower-triangular Cholesky factors with positive
+//! diagonals are unique, so agreement is checked element-wise on `L`.
+
+use xai_linalg::{choldowndate, cholupdate, Cholesky, LinalgError, Matrix};
+use xai_rand::property::{cases, vec_in};
+use xai_rand::rngs::StdRng;
+use xai_rand::Rng;
+
+/// Random SPD matrix `B Bᵀ + (0.5 + u) I` of the given size.
+fn random_spd(rng: &mut StdRng, n: usize) -> Matrix {
+    let b = Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+    let mut a = b.matmul(&b.transpose());
+    a.add_diag_mut(0.5 + rng.gen::<f64>());
+    a
+}
+
+fn rank_one_added(a: &Matrix, x: &[f64], sign: f64) -> Matrix {
+    let mut out = a.clone();
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            out[(i, j)] += sign * x[i] * x[j];
+        }
+    }
+    out
+}
+
+#[test]
+fn update_agrees_with_factor_of_updated_matrix() {
+    cases(64, 0xC401, |rng| {
+        let n = rng.gen_range(1..8);
+        let a = random_spd(rng, n);
+        let x = vec_in(rng, n, -2.0, 2.0);
+        let mut updated_factor = Cholesky::factor(&a).unwrap();
+        cholupdate(&mut updated_factor, &x);
+        let factor_of_updated = Cholesky::factor(&rank_one_added(&a, &x, 1.0)).unwrap();
+        assert!(
+            updated_factor.l().approx_eq(factor_of_updated.l(), 1e-9),
+            "n={n}: updated factor diverged from factor of updated matrix"
+        );
+    });
+}
+
+#[test]
+fn downdate_agrees_with_factor_of_downdated_matrix() {
+    cases(64, 0xC402, |rng| {
+        let n = rng.gen_range(1..8);
+        let a = random_spd(rng, n);
+        let x = vec_in(rng, n, -2.0, 2.0);
+        // A + xxᵀ is safely downdatable by x; the result must match the
+        // factor of A itself.
+        let mut f = Cholesky::factor(&rank_one_added(&a, &x, 1.0)).unwrap();
+        choldowndate(&mut f, &x).unwrap();
+        let truth = Cholesky::factor(&a).unwrap();
+        assert!(
+            f.l().approx_eq(truth.l(), 1e-8),
+            "n={n}: downdated factor diverged from factor of downdated matrix"
+        );
+    });
+}
+
+#[test]
+fn update_downdate_roundtrip_is_identity_over_long_sequences() {
+    cases(32, 0xC403, |rng| {
+        let n = rng.gen_range(2..7);
+        let a = random_spd(rng, n);
+        let reference = Cholesky::factor(&a).unwrap();
+        let mut f = reference.clone();
+        // Absorb a batch of rows, then shed them in reverse order.
+        let rows: Vec<Vec<f64>> = (0..12).map(|_| vec_in(rng, n, -1.5, 1.5)).collect();
+        for r in &rows {
+            cholupdate(&mut f, r);
+        }
+        for r in rows.iter().rev() {
+            choldowndate(&mut f, r).unwrap();
+        }
+        assert!(
+            f.l().approx_eq(reference.l(), 1e-7),
+            "n={n}: 12-deep update/downdate roundtrip drifted"
+        );
+    });
+}
+
+#[test]
+fn solves_through_updated_factor_match_direct_solves() {
+    cases(32, 0xC404, |rng| {
+        let n = rng.gen_range(1..7);
+        let a = random_spd(rng, n);
+        let x = vec_in(rng, n, -2.0, 2.0);
+        let b = vec_in(rng, n, -3.0, 3.0);
+        let mut f = Cholesky::factor(&a).unwrap();
+        cholupdate(&mut f, &x);
+        let via_update = f.solve(&b);
+        let direct = Cholesky::factor(&rank_one_added(&a, &x, 1.0)).unwrap().solve(&b);
+        for (u, d) in via_update.iter().zip(&direct) {
+            assert!((u - d).abs() < 1e-8, "n={n}: {u} vs {d}");
+        }
+    });
+}
+
+#[test]
+fn downdate_to_near_singular_is_rejected_and_preserves_the_factor() {
+    cases(64, 0xC405, |rng| {
+        let n = rng.gen_range(1..7);
+        // λI + xxᵀ downdated by (1+δ)x leaves λI − (2δ+δ²)xxᵀ, indefinite
+        // whenever (2δ+δ²)‖x‖² > λ; the bounds below guarantee that.
+        let lambda = 10f64.powf(rng.gen_range(-9.0..-3.0));
+        let x = vec_in(rng, n, 0.5, 2.0);
+        let mut f = Cholesky::scaled_identity(n, lambda);
+        cholupdate(&mut f, &x);
+        let before = f.l().clone();
+        let overshoot: Vec<f64> = x.iter().map(|v| v * 1.01).collect();
+        match f.rank_one_downdate(&overshoot) {
+            Err(LinalgError::NotPositiveDefinite { .. }) => {}
+            other => panic!("overshoot downdate must be rejected, got {other:?}"),
+        }
+        assert!(
+            f.l().approx_eq(&before, 0.0),
+            "rejected downdate must leave the factor bit-identical"
+        );
+        // The exact vector is still removable: we land back on λI. The
+        // update's 1-ulp rounding is amplified by the λ ≪ ‖x‖² roundtrip
+        // (r² − w² cancels to λ), so the bound is loose in absolute terms
+        // while still ~1e-4-relative to the √λ diagonal.
+        choldowndate(&mut f, &x).unwrap();
+        assert!(f.l().approx_eq(Cholesky::scaled_identity(n, lambda).l(), 1e-4 * lambda.sqrt().max(1e-9)));
+    });
+}

@@ -4,18 +4,23 @@
 //!
 //! Deleting training tuples should not require retraining from scratch:
 //! for ridge regression the sufficient statistics are `XᵀX + λI` and
-//! `Xᵀy`, and a deletion is a rank-one *downdate* — maintained here with
-//! the Sherman–Morrison identity so each deletion costs `O(d²)` instead of
-//! a full `O(n·d²)` refit. Experiment E18 measures the speedup and checks
-//! the parameters match the retrained model to machine precision.
+//! `Xᵀy`, and a deletion is a rank-one *downdate*. The statistics are kept
+//! as a **Cholesky factor** maintained through the shared
+//! [`xai_linalg::cholupdate`]/[`xai_linalg::choldowndate`] kernels — the
+//! same `O(d²)` engine the incremental data-valuation utilities ride — so
+//! each deletion costs `O(d²)` instead of a full `O(n·d²)` refit, and the
+//! factored form is numerically stabler than the Sherman–Morrison inverse
+//! it replaced. Experiment E18 measures the speedup and checks the
+//! parameters match the retrained model to machine precision.
 
-use xai_linalg::{dot, Lu, Matrix};
+use xai_linalg::{Cholesky, Matrix};
 
 /// Ridge regression with incrementally-maintained sufficient statistics.
 #[derive(Clone, Debug)]
 pub struct IncrementalRidge {
-    /// `(XᵀX + λI)⁻¹`, maintained by Sherman–Morrison updates.
-    inv: Matrix,
+    /// Cholesky factor of `XᵀX + λI`, maintained by rank-one
+    /// updates/downdates.
+    factor: Cholesky,
     /// `Xᵀy`.
     xty: Vec<f64>,
     /// Number of rows currently incorporated.
@@ -32,13 +37,26 @@ impl IncrementalRidge {
         assert!(lambda > 0.0, "λ > 0 keeps the statistics invertible under deletions");
         let mut gram = x.gram();
         gram.add_diag_mut(lambda);
-        let inv = Lu::factor(&gram).expect("ridge Gram is invertible").inverse();
-        Self { inv, xty: x.t_matvec(y), n_rows: x.rows(), lambda }
+        let factor = Cholesky::factor(&gram).expect("ridge Gram is SPD for λ > 0");
+        Self { factor, xty: x.t_matvec(y), n_rows: x.rows(), lambda }
+    }
+
+    /// Statistics of the empty design: `λI` and a zero moment vector.
+    /// Absorbing rows one by one from here costs the same `O(n·d²)` as
+    /// [`IncrementalRidge::fit`] but never materializes the Gram matrix.
+    pub fn empty(d: usize, lambda: f64) -> Self {
+        assert!(lambda > 0.0, "λ > 0 keeps the statistics invertible under deletions");
+        Self { factor: Cholesky::scaled_identity(d, lambda), xty: vec![0.0; d], n_rows: 0, lambda }
     }
 
     /// Current coefficient vector `(XᵀX + λI)⁻¹ Xᵀy`.
     pub fn coef(&self) -> Vec<f64> {
-        self.inv.matvec(&self.xty)
+        self.factor.solve(&self.xty)
+    }
+
+    /// The maintained factor of `XᵀX + λI`.
+    pub fn factor(&self) -> &Cholesky {
+        &self.factor
     }
 
     /// Rows currently incorporated.
@@ -51,48 +69,36 @@ impl IncrementalRidge {
         self.lambda
     }
 
-    /// Incorporates one row (Sherman–Morrison *update*): `O(d²)`.
+    /// Incorporates one row (rank-one Cholesky *update*): `O(d²)`.
     pub fn add_row(&mut self, x: &[f64], y: f64) {
-        self.rank_one(x, 1.0);
+        self.factor.rank_one_update(x);
         for (a, &xi) in self.xty.iter_mut().zip(x) {
             *a += y * xi;
         }
         self.n_rows += 1;
     }
 
-    /// Removes one previously-incorporated row (Sherman–Morrison
+    /// Removes one previously-incorporated row (rank-one Cholesky
     /// *downdate*): `O(d²)`.
     ///
     /// # Panics
     /// Panics when the downdate would make the statistics singular (e.g.
-    /// removing a row that was never added).
+    /// removing a row that was never added). [`IncrementalRidge::try_remove_row`]
+    /// is the non-panicking form.
     pub fn remove_row(&mut self, x: &[f64], y: f64) {
+        self.try_remove_row(x, y).expect("rank-one downdate would make the statistics singular");
+    }
+
+    /// Removes one row, reporting failure instead of panicking; on failure
+    /// the statistics are left unchanged so the caller can refit.
+    pub fn try_remove_row(&mut self, x: &[f64], y: f64) -> Result<(), xai_linalg::LinalgError> {
         assert!(self.n_rows > 0, "no rows left to remove");
-        self.rank_one(x, -1.0);
+        self.factor.rank_one_downdate(x)?;
         for (a, &xi) in self.xty.iter_mut().zip(x) {
             *a -= y * xi;
         }
         self.n_rows -= 1;
-    }
-
-    /// Sherman–Morrison for `A ± xxᵀ`:
-    /// `(A ± xxᵀ)⁻¹ = A⁻¹ ∓ (A⁻¹x)(A⁻¹x)ᵀ / (1 ± xᵀA⁻¹x)`.
-    fn rank_one(&mut self, x: &[f64], sign: f64) {
-        let ax = self.inv.matvec(x);
-        let denom = 1.0 + sign * dot(x, &ax);
-        assert!(
-            denom.abs() > 1e-12,
-            "rank-one downdate is singular (denominator {denom})"
-        );
-        let scale = sign / denom;
-        let d = x.len();
-        for i in 0..d {
-            let axi = ax[i];
-            let row = self.inv.row_mut(i);
-            for (j, r) in row.iter_mut().enumerate() {
-                *r -= scale * axi * ax[j];
-            }
-        }
+        Ok(())
     }
 }
 
@@ -107,6 +113,7 @@ mod tests {
     use xai_rand::rngs::StdRng;
     use xai_rand::{Rng, SeedableRng};
     use xai_linalg::distr::normal;
+    use xai_linalg::dot;
 
     fn random_data(n: usize, d: usize, seed: u64) -> (Matrix, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);

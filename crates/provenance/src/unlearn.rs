@@ -12,7 +12,6 @@
 //! past a threshold.
 
 use xai_data::Dataset;
-use xai_linalg::{solve_spd, Matrix};
 use xai_models::{LogisticConfig, LogisticRegression};
 
 /// A logistic model supporting fast deletion requests.
@@ -76,23 +75,11 @@ impl LogisticUnlearner {
         g
     }
 
-    fn newton_step(&mut self) {
-        let g = self.reduced_gradient();
-        let h: Matrix = self.model.hessian(self.remaining.x(), self.remaining.y());
-        let step = solve_spd(&h, &g, 0.0).expect("PD Hessian");
-        let new_w: Vec<f64> = self
-            .model
-            .weights()
-            .iter()
-            .zip(&step)
-            .map(|(w, s)| w - s)
-            .collect();
-        self.model = LogisticRegression::from_parameters(new_w[0], &new_w[1..], self.model.l2());
-    }
-
     /// Deletes the listed rows (indices into the *current* remaining set)
-    /// with one Newton step; falls back to a full refit when the
-    /// post-step gradient norm exceeds [`Self::refit_threshold`].
+    /// with one warm-started Newton step through the shared incremental
+    /// engine ([`LogisticRegression::fit_warm`] capped at one iteration);
+    /// falls back to a full refit when the post-step gradient norm exceeds
+    /// [`Self::refit_threshold`].
     pub fn forget(&mut self, rows: &[usize]) {
         assert!(
             rows.iter().all(|&r| r < self.remaining.n_rows()),
@@ -103,7 +90,13 @@ impl LogisticUnlearner {
             "cannot forget the entire training set"
         );
         self.remaining = self.remaining.without(rows);
-        self.newton_step();
+        let one_step = LogisticConfig { max_iter: 1, ..self.config };
+        self.model = LogisticRegression::fit_warm(
+            self.remaining.x(),
+            self.remaining.y(),
+            one_step,
+            self.model.weights(),
+        );
         self.fast_deletions += 1;
         if self.gradient_norm() > self.refit_threshold {
             self.model =

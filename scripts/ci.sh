@@ -23,6 +23,12 @@ cargo test -q --workspace
 echo "==> cargo test -q --test batch_equivalence"
 cargo test -q --test batch_equivalence
 
+echo "==> cargo test -q --test incremental_equivalence"
+cargo test -q --test incremental_equivalence
+
+echo "==> cargo test -q -p xai-linalg --test chol_update"
+cargo test -q -p xai-linalg --test chol_update
+
 echo "==> cargo test -q -p xai-shapley --test golden_oracle"
 cargo test -q -p xai-shapley --test golden_oracle
 
