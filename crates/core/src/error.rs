@@ -1,0 +1,298 @@
+//! The workspace-wide error layer: one taxonomy for every way an
+//! explanation pipeline can fail.
+//!
+//! Explainers are fragile by construction — they probe models with
+//! perturbed inputs, fit local regressions on sampled neighbourhoods, and
+//! retrain models on data subsets. Each of those steps can hit degenerate
+//! data (NaN features, constant backgrounds), singular linear systems,
+//! non-convergent optimizers, misbehaving models, or a worker panic. The
+//! `try_*` twins of every entry point report those failures as
+//! [`XaiError`] values instead of panicking or leaking NaN; the original
+//! panicking APIs remain as thin wrappers for callers that prefer to
+//! crash.
+//!
+//! Mapping rules (see `DESIGN.md` §8 for the full taxonomy):
+//! - NaN/±Inf found in caller-supplied data → [`XaiError::NonFiniteInput`];
+//! - NaN/±Inf produced by the *model under explanation* →
+//!   [`XaiError::ModelFault`];
+//! - a linear system that stays singular after ridge escalation →
+//!   [`XaiError::SingularSystem`];
+//! - an iterative fitter exhausting its iteration budget without meeting
+//!   its tolerance → [`XaiError::ConvergenceFailure`];
+//! - a [`SampleBudget`] expiring before *any* sample completed →
+//!   [`XaiError::BudgetExceeded`] (partial progress is returned as a
+//!   best-effort estimate instead, flagged on the result);
+//! - a panic inside a parallel task → [`XaiError::WorkerPanic`].
+
+use xai_data::csv::CsvError;
+use xai_linalg::LinalgError;
+use xai_rand::parallel::TaskPanic;
+
+/// `Result` alias used by every fallible (`try_*`) API in the workspace.
+pub type XaiResult<T> = Result<T, XaiError>;
+
+/// Unified error type for the explanation pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum XaiError {
+    /// Caller-supplied data (instance, background, training set, labels)
+    /// contained NaN or ±Inf, or was degenerate in a way that makes the
+    /// method meaningless (e.g. a background identical to the instance).
+    NonFiniteInput {
+        /// Which input failed validation, and how.
+        context: String,
+    },
+    /// A linear system at the heart of the method was singular and could
+    /// not be recovered by ridge escalation.
+    SingularSystem {
+        /// Which solve failed.
+        context: String,
+    },
+    /// An iterative fitter ran out of iterations without meeting its
+    /// tolerance; the would-be result is withheld rather than returned as
+    /// garbage.
+    ConvergenceFailure {
+        /// Which fit failed to converge.
+        context: String,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The model under explanation returned NaN/±Inf from a prediction.
+    ModelFault {
+        /// Which evaluation produced the fault.
+        context: String,
+    },
+    /// A [`SampleBudget`] expired before a single sample completed, so not
+    /// even a partial estimate exists.
+    BudgetExceeded {
+        /// Which estimator ran out of budget.
+        context: String,
+        /// Samples completed before exhaustion (always 0 today; kept so
+        /// richer budget policies can report partial counts).
+        completed: usize,
+    },
+    /// A parallel worker task panicked; the lowest-indexed panicking task
+    /// is reported, independent of worker count and thread timing.
+    WorkerPanic {
+        /// Index of the panicking task.
+        task: usize,
+        /// The captured panic message.
+        message: String,
+    },
+    /// An I/O operation (model/dataset file read or write) failed.
+    Io {
+        /// Path and OS error.
+        context: String,
+    },
+    /// Persisted or textual input (CSV, JSON model files) failed to parse.
+    Parse {
+        /// What failed to parse, and where.
+        context: String,
+    },
+}
+
+impl std::fmt::Display for XaiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XaiError::NonFiniteInput { context } => write!(f, "non-finite input: {context}"),
+            XaiError::SingularSystem { context } => write!(f, "singular system: {context}"),
+            XaiError::ConvergenceFailure { context, iterations } => {
+                write!(f, "failed to converge after {iterations} iterations: {context}")
+            }
+            XaiError::ModelFault { context } => write!(f, "model fault: {context}"),
+            XaiError::BudgetExceeded { context, completed } => {
+                write!(f, "sample budget exhausted after {completed} samples: {context}")
+            }
+            XaiError::WorkerPanic { task, message } => {
+                write!(f, "worker task {task} panicked: {message}")
+            }
+            XaiError::Io { context } => write!(f, "io error: {context}"),
+            XaiError::Parse { context } => write!(f, "parse error: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for XaiError {}
+
+impl From<LinalgError> for XaiError {
+    fn from(e: LinalgError) -> Self {
+        match e {
+            LinalgError::NonFinite { .. } => {
+                XaiError::NonFiniteInput { context: e.to_string() }
+            }
+            LinalgError::NotSquare { .. }
+            | LinalgError::NotPositiveDefinite { .. }
+            | LinalgError::Singular { .. } => XaiError::SingularSystem { context: e.to_string() },
+        }
+    }
+}
+
+impl From<TaskPanic> for XaiError {
+    fn from(e: TaskPanic) -> Self {
+        XaiError::WorkerPanic { task: e.task, message: e.message }
+    }
+}
+
+impl From<CsvError> for XaiError {
+    fn from(e: CsvError) -> Self {
+        match e {
+            CsvError::Io { .. } => XaiError::Io { context: e.to_string() },
+            _ => XaiError::Parse { context: format!("csv: {e}") },
+        }
+    }
+}
+
+impl From<crate::json_parse::ParseError> for XaiError {
+    fn from(e: crate::json_parse::ParseError) -> Self {
+        XaiError::Parse { context: format!("json: {e}") }
+    }
+}
+
+/// Runs a model/game/utility evaluation with panic isolation: a panic
+/// inside `f` (a misbehaving model, an assert in user code) becomes
+/// [`XaiError::ModelFault`] instead of unwinding through the explainer.
+/// This is the sequential sibling of `try_par_map_seeded`'s per-task
+/// `catch_unwind`.
+pub fn catch_model<T>(context: &str, f: impl FnOnce() -> T) -> XaiResult<T> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(|payload| {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        XaiError::ModelFault { context: format!("{context}: panicked: {message}") }
+    })
+}
+
+/// Resource budget for Monte-Carlo estimators: a cap on model/utility
+/// evaluations, a wall-clock deadline, or both.
+///
+/// Budgeted estimators stop drawing new samples once the budget is
+/// exhausted and return a **best-effort partial estimate** built from the
+/// samples that did complete, tagging the result with how many samples it
+/// rests on. Only when the budget expires before the *first* sample does
+/// the estimator fail with [`XaiError::BudgetExceeded`].
+///
+/// The eval cap is deterministic (same cap ⇒ same samples ⇒ bit-identical
+/// result); the wall-clock deadline is inherently machine-dependent and
+/// trades reproducibility for latency control.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SampleBudget {
+    /// Maximum number of model/utility evaluations (`None` = unlimited).
+    pub max_evals: Option<usize>,
+    /// Wall-clock deadline measured from the estimator's start
+    /// (`None` = unlimited).
+    pub max_duration: Option<std::time::Duration>,
+}
+
+impl SampleBudget {
+    /// A budget that never expires (the default).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Caps model/utility evaluations.
+    pub fn with_max_evals(n: usize) -> Self {
+        Self { max_evals: Some(n), max_duration: None }
+    }
+
+    /// Caps wall-clock time.
+    pub fn with_deadline(d: std::time::Duration) -> Self {
+        Self { max_evals: None, max_duration: Some(d) }
+    }
+
+    /// True when neither cap is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_evals.is_none() && self.max_duration.is_none()
+    }
+
+    /// Starts metering against this budget.
+    pub fn start(&self) -> BudgetMeter {
+        BudgetMeter { budget: *self, started: std::time::Instant::now(), evals: 0 }
+    }
+}
+
+/// Running meter for one estimator invocation; see [`SampleBudget`].
+#[derive(Clone, Debug)]
+pub struct BudgetMeter {
+    budget: SampleBudget,
+    started: std::time::Instant,
+    evals: usize,
+}
+
+impl BudgetMeter {
+    /// Records `n` completed evaluations.
+    pub fn record(&mut self, n: usize) {
+        self.evals += n;
+    }
+
+    /// Evaluations recorded so far.
+    pub fn evals(&self) -> usize {
+        self.evals
+    }
+
+    /// True once either cap is hit; estimators check this between samples.
+    pub fn exhausted(&self) -> bool {
+        if let Some(cap) = self.budget.max_evals {
+            if self.evals >= cap {
+                return true;
+            }
+        }
+        if let Some(deadline) = self.budget.max_duration {
+            if self.started.elapsed() >= deadline {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linalg_errors_map_onto_the_taxonomy() {
+        let e: XaiError = LinalgError::NonFinite { row: 1, col: 2 }.into();
+        assert!(matches!(e, XaiError::NonFiniteInput { .. }));
+        let e: XaiError = LinalgError::Singular { pivot: 0 }.into();
+        assert!(matches!(e, XaiError::SingularSystem { .. }));
+        let e: XaiError = LinalgError::NotPositiveDefinite { pivot: 1, value: -0.5 }.into();
+        assert!(matches!(e, XaiError::SingularSystem { .. }));
+    }
+
+    #[test]
+    fn task_panics_map_to_worker_panic() {
+        let e: XaiError = TaskPanic { task: 3, message: "boom".into() }.into();
+        assert_eq!(e, XaiError::WorkerPanic { task: 3, message: "boom".into() });
+        assert!(e.to_string().contains("task 3"));
+    }
+
+    #[test]
+    fn eval_budget_meters_deterministically() {
+        let budget = SampleBudget::with_max_evals(10);
+        assert!(!budget.is_unlimited());
+        let mut meter = budget.start();
+        assert!(!meter.exhausted());
+        meter.record(9);
+        assert!(!meter.exhausted());
+        meter.record(1);
+        assert!(meter.exhausted());
+        assert_eq!(meter.evals(), 10);
+    }
+
+    #[test]
+    fn deadline_budget_expires() {
+        let budget = SampleBudget::with_deadline(std::time::Duration::ZERO);
+        let meter = budget.start();
+        assert!(meter.exhausted());
+        assert!(SampleBudget::unlimited().start().exhausted() == false);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = XaiError::ConvergenceFailure { context: "logistic fit".into(), iterations: 50 };
+        assert_eq!(e.to_string(), "failed to converge after 50 iterations: logistic fit");
+    }
+}

@@ -12,14 +12,21 @@
 //! - [`eval`] — automated faithfulness (deletion/insertion), fidelity and
 //!   stability protocols;
 //! - [`report`] — a dependency-free JSON writer so explanations can leave
-//!   the process.
+//!   the process;
+//! - [`error`] — the unified [`XaiError`] taxonomy behind every fallible
+//!   `try_*` entry point, plus [`SampleBudget`] for best-effort
+//!   Monte-Carlo estimation;
+//! - [`validate`] — up-front NaN/Inf and degenerate-background rejection.
 
+pub mod error;
 pub mod eval;
 pub mod json_parse;
 pub mod explanation;
 pub mod report;
 pub mod taxonomy;
+pub mod validate;
 
+pub use error::{catch_model, BudgetMeter, SampleBudget, XaiError, XaiResult};
 pub use explanation::{
     Condition, Counterfactual, DataAttribution, FeatureAttribution, Op, RuleExplanation,
 };

@@ -1,0 +1,103 @@
+//! Up-front input validation shared by every `try_*` entry point.
+//!
+//! Perturbation-based explainers amplify bad inputs: one NaN feature
+//! poisons every coalition evaluation, and a background identical to the
+//! instance makes the induced game constant (so the kernel regression is
+//! singular by construction). These checks reject such inputs at the API
+//! boundary with a precise [`XaiError::NonFiniteInput`] instead of letting
+//! them surface later as a mystery NaN attribution or a solver panic.
+
+use crate::error::{XaiError, XaiResult};
+use xai_linalg::Matrix;
+
+/// Rejects NaN/±Inf scalars.
+pub fn finite_scalar(context: &str, v: f64) -> XaiResult<()> {
+    if v.is_finite() {
+        Ok(())
+    } else {
+        Err(XaiError::NonFiniteInput { context: format!("{context}: value is {v}") })
+    }
+}
+
+/// Rejects slices containing NaN/±Inf, naming the offending index.
+pub fn finite_slice(context: &str, v: &[f64]) -> XaiResult<()> {
+    if let Some(i) = v.iter().position(|x| !x.is_finite()) {
+        return Err(XaiError::NonFiniteInput {
+            context: format!("{context}: entry {i} is {}", v[i]),
+        });
+    }
+    Ok(())
+}
+
+/// Rejects matrices containing NaN/±Inf, naming the offending cell.
+pub fn finite_matrix(context: &str, m: &Matrix) -> XaiResult<()> {
+    for i in 0..m.rows() {
+        if let Some(j) = m.row(i).iter().position(|x| !x.is_finite()) {
+            return Err(XaiError::NonFiniteInput {
+                context: format!("{context}: entry ({i}, {j}) is {}", m.row(i)[j]),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Validates a background dataset against the instance being explained:
+/// matching arity, finite entries, at least one row, and not *degenerate*
+/// (every background row identical to the instance — masking features
+/// would then change nothing, the induced game is constant, and the
+/// kernel regression singular by construction).
+pub fn background(context: &str, instance: &[f64], background: &Matrix) -> XaiResult<()> {
+    finite_slice(&format!("{context}: instance"), instance)?;
+    if background.rows() == 0 {
+        return Err(XaiError::NonFiniteInput {
+            context: format!("{context}: background has no rows"),
+        });
+    }
+    if background.cols() != instance.len() {
+        return Err(XaiError::NonFiniteInput {
+            context: format!(
+                "{context}: background has {} features, instance has {}",
+                background.cols(),
+                instance.len()
+            ),
+        });
+    }
+    finite_matrix(&format!("{context}: background"), background)?;
+    let degenerate = (0..background.rows()).all(|i| background.row(i) == instance);
+    if degenerate {
+        return Err(XaiError::NonFiniteInput {
+            context: format!(
+                "{context}: degenerate background (every row equals the instance)"
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_checks_accept_clean_and_name_the_culprit() {
+        assert!(finite_scalar("x", 1.5).is_ok());
+        assert!(finite_slice("v", &[0.0, -3.0]).is_ok());
+        let err = finite_slice("v", &[0.0, f64::NAN]).unwrap_err();
+        assert!(err.to_string().contains("entry 1"), "{err}");
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, f64::INFINITY]]);
+        let err = finite_matrix("m", &m).unwrap_err();
+        assert!(err.to_string().contains("(1, 1)"), "{err}");
+    }
+
+    #[test]
+    fn background_rejects_arity_mismatch_and_degeneracy() {
+        let bg = Matrix::from_rows(&[vec![1.0, 2.0], vec![1.0, 2.0]]);
+        assert!(background("shap", &[1.0, 2.0, 3.0], &bg).is_err());
+        // All rows equal to the instance: the game is constant.
+        assert!(background("shap", &[1.0, 2.0], &bg).is_err());
+        // One differing row is enough structure to explain against.
+        let ok = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 2.0]]);
+        assert!(background("shap", &[1.0, 2.0], &ok).is_ok());
+        assert!(background("shap", &[], &Matrix::zeros(0, 0)).is_err());
+    }
+}

@@ -16,7 +16,7 @@
 use crate::distance::{diversity, FeatureScales};
 use xai_rand::rngs::StdRng;
 use xai_rand::{Rng, SeedableRng};
-use xai_core::Counterfactual;
+use xai_core::{catch_model, validate, Counterfactual, XaiError, XaiResult};
 use xai_data::{Dataset, FeatureKind, Mutability};
 
 /// Configuration for [`DiceExplainer::generate`].
@@ -247,7 +247,7 @@ impl DiceExplainer {
             let best = attempts
                 .into_iter()
                 .flatten()
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN loss"));
+                .min_by(|a, b| a.1.total_cmp(&b.1));
             if let Some((cf, _)) = best {
                 let cf_output = model(&cf);
                 results.push(Counterfactual::new(
@@ -262,6 +262,120 @@ impl DiceExplainer {
         }
         results
     }
+
+    /// Fallible twin of [`DiceExplainer::generate`]: non-finite inputs
+    /// yield [`XaiError::NonFiniteInput`], a panicking model or non-finite
+    /// counterfactuals yield [`XaiError::ModelFault`], and an empty result
+    /// set reports [`XaiError::ConvergenceFailure`]. A partial set
+    /// (fewer than `k`) is still `Ok` — best-effort, like the plain API.
+    pub fn try_generate(
+        &self,
+        model: &dyn Fn(&[f64]) -> f64,
+        instance: &[f64],
+        config: DiceConfig,
+        seed: u64,
+    ) -> XaiResult<Vec<Counterfactual>> {
+        validate::finite_slice("DiCE instance", instance)?;
+        let cfs = catch_model("DiCE local search", || self.generate(model, instance, config, seed))?;
+        certify_set(cfs, "DiCE local search", config)
+    }
+
+    /// Fallible twin of [`DiceExplainer::generate_parallel`]: a panic
+    /// inside one restart yields [`XaiError::WorkerPanic`] naming the
+    /// lowest-indexed panicking restart; other failures as in
+    /// [`DiceExplainer::try_generate`].
+    pub fn try_generate_parallel(
+        &self,
+        model: &(dyn Fn(&[f64]) -> f64 + Sync),
+        instance: &[f64],
+        config: DiceConfig,
+        seed: u64,
+        workers: usize,
+    ) -> XaiResult<Vec<Counterfactual>> {
+        validate::finite_slice("DiCE instance", instance)?;
+        assert_eq!(instance.len(), self.bounds.len(), "instance arity mismatch");
+        let original_output =
+            catch_model("DiCE original prediction", || model(instance))?;
+        let target_positive = original_output < 0.5;
+        let d = instance.len();
+        let mut found: Vec<Vec<f64>> = Vec::new();
+        let mut results = Vec::new();
+
+        for slot in 0..config.k {
+            let found_ref = &found;
+            let attempts = xai_rand::parallel::try_par_map_seeded(
+                config.restarts.max(1),
+                xai_rand::child_seed(seed, slot as u64),
+                workers,
+                |_t, rng| {
+                    let mut current = instance.to_vec();
+                    let mut current_loss =
+                        self.loss(model, instance, target_positive, &current, found_ref, config);
+                    for _ in 0..config.iterations {
+                        let j = rng.gen_range(0..d);
+                        let Some(v) = self.propose(j, instance[j], current[j], rng) else {
+                            continue;
+                        };
+                        let old = current[j];
+                        current[j] = v;
+                        let l =
+                            self.loss(model, instance, target_positive, &current, found_ref, config);
+                        if l < current_loss {
+                            current_loss = l;
+                        } else {
+                            current[j] = old;
+                        }
+                    }
+                    let valid = (model(&current) >= 0.5) == target_positive;
+                    valid.then_some((current, current_loss))
+                },
+            )
+            .map_err(XaiError::from)?;
+            let best = attempts
+                .into_iter()
+                .flatten()
+                .min_by(|a, b| a.1.total_cmp(&b.1));
+            if let Some((cf, _)) = best {
+                let cf_output = model(&cf);
+                results.push(Counterfactual::new(
+                    instance.to_vec(),
+                    cf.clone(),
+                    original_output,
+                    cf_output,
+                    self.scales.l1(instance, &cf),
+                ));
+                found.push(cf);
+            }
+        }
+        certify_set(results, "parallel DiCE search", config)
+    }
+}
+
+/// Shared certification epilogue of the fallible DiCE paths: an empty set
+/// is a convergence failure, a non-finite member is a model fault.
+fn certify_set(
+    cfs: Vec<Counterfactual>,
+    what: &str,
+    config: DiceConfig,
+) -> XaiResult<Vec<Counterfactual>> {
+    if cfs.is_empty() {
+        return Err(XaiError::ConvergenceFailure {
+            context: format!("{what} found no valid counterfactual"),
+            iterations: config.k * config.restarts.max(1) * config.iterations,
+        });
+    }
+    for cf in &cfs {
+        if !cf.counterfactual_output.is_finite()
+            || !cf.original_output.is_finite()
+            || !cf.distance.is_finite()
+            || cf.counterfactual.iter().any(|v| !v.is_finite())
+        {
+            return Err(XaiError::ModelFault {
+                context: format!("{what} produced a non-finite counterfactual"),
+            });
+        }
+    }
+    Ok(cfs)
 }
 
 #[cfg(test)]

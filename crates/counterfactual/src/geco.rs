@@ -16,7 +16,7 @@
 use crate::distance::FeatureScales;
 use xai_rand::rngs::StdRng;
 use xai_rand::{Rng, SeedableRng};
-use xai_core::Counterfactual;
+use xai_core::{catch_model, validate, Counterfactual, XaiError, XaiResult};
 use xai_data::{Dataset, Mutability};
 
 /// One PLAF constraint.
@@ -178,7 +178,7 @@ pub fn geco(
             b.1 .0
                 .cmp(&a.1 .0)
                 .then(a.1 .1.cmp(&b.1 .1))
-                .then(a.1 .2.partial_cmp(&b.1 .2).expect("NaN distance"))
+                .then(a.1 .2.total_cmp(&b.1 .2))
         });
         let n_elite = ((config.population as f64) * config.elite_fraction).ceil() as usize;
         let elites: Vec<Vec<f64>> = scored.iter().take(n_elite.max(2)).map(|(c, _)| c.clone()).collect();
@@ -215,7 +215,7 @@ pub fn geco(
         .min_by(|a, b| {
             a.1 .1
                 .cmp(&b.1 .1)
-                .then(a.1 .2.partial_cmp(&b.1 .2).expect("NaN distance"))
+                .then(a.1 .2.total_cmp(&b.1 .2))
         })?;
     let (cf, _) = best;
     let cf_output = model(&cf);
@@ -226,6 +226,51 @@ pub fn geco(
         cf_output,
         scales.l1(instance, &cf),
     ))
+}
+
+/// Certifies a search outcome: maps "no counterfactual found" to
+/// [`XaiError::ConvergenceFailure`] and a non-finite result (a NaN model
+/// can score garbage candidates "valid") to [`XaiError::ModelFault`].
+fn certify_counterfactual(
+    found: Option<Counterfactual>,
+    what: &str,
+    iterations: usize,
+) -> XaiResult<Counterfactual> {
+    let Some(cf) = found else {
+        return Err(XaiError::ConvergenceFailure {
+            context: format!("{what} found no valid counterfactual"),
+            iterations,
+        });
+    };
+    if !cf.counterfactual_output.is_finite()
+        || !cf.distance.is_finite()
+        || !cf.original_output.is_finite()
+        || cf.counterfactual.iter().any(|v| !v.is_finite())
+    {
+        return Err(XaiError::ModelFault {
+            context: format!("{what} produced a non-finite counterfactual"),
+        });
+    }
+    Ok(cf)
+}
+
+/// Fallible twin of [`geco`]: non-finite inputs yield
+/// [`XaiError::NonFiniteInput`], a panicking model or a non-finite result
+/// yields [`XaiError::ModelFault`], and an empty-handed search reports
+/// [`XaiError::ConvergenceFailure`] (the plain API returns `None` there).
+pub fn try_geco(
+    model: &dyn Fn(&[f64]) -> f64,
+    data: &Dataset,
+    instance: &[f64],
+    plaf: &Plaf,
+    config: GecoConfig,
+    seed: u64,
+) -> XaiResult<Counterfactual> {
+    validate::finite_matrix("GeCo training data", data.x())?;
+    validate::finite_slice("GeCo instance", instance)?;
+    let found =
+        catch_model("GeCo genetic search", || geco(model, data, instance, plaf, config, seed))?;
+    certify_counterfactual(found, "GeCo genetic search", config.generations)
 }
 
 /// Parallel multi-start GeCo on the `xai_rand` executor.
@@ -259,10 +304,41 @@ pub fn geco_parallel(
                 .then(
                     scales
                         .l1(instance, &a.counterfactual)
-                        .partial_cmp(&scales.l1(instance, &b.counterfactual))
-                        .expect("NaN distance"),
+                        .total_cmp(&scales.l1(instance, &b.counterfactual)),
                 )
         })
+}
+
+/// Fallible twin of [`geco_parallel`]: a panic inside one search start
+/// yields [`XaiError::WorkerPanic`] naming the lowest-indexed panicking
+/// start; other failures as in [`try_geco`].
+pub fn try_geco_parallel(
+    model: &(dyn Fn(&[f64]) -> f64 + Sync),
+    data: &Dataset,
+    instance: &[f64],
+    plaf: &Plaf,
+    config: GecoConfig,
+    seed: u64,
+    starts: usize,
+    workers: usize,
+) -> XaiResult<Counterfactual> {
+    assert!(starts >= 1, "need at least one start");
+    validate::finite_matrix("GeCo training data", data.x())?;
+    validate::finite_slice("GeCo instance", instance)?;
+    let scales = FeatureScales::fit(data);
+    let candidates =
+        xai_rand::parallel::try_par_map_seeded(starts, seed, workers, |t, _rng| {
+            geco(model, data, instance, plaf, config, xai_rand::child_seed(seed, t as u64 + 1))
+        })
+        .map_err(XaiError::from)?;
+    let found = candidates.into_iter().flatten().min_by(|a, b| {
+        a.sparsity().cmp(&b.sparsity()).then(
+            scales
+                .l1(instance, &a.counterfactual)
+                .total_cmp(&scales.l1(instance, &b.counterfactual)),
+        )
+    });
+    certify_counterfactual(found, "parallel GeCo search", starts * config.generations)
 }
 
 /// Baseline for experiment E10: pure random search over plausible values

@@ -22,7 +22,10 @@ pub mod wachter;
 
 pub use dice::{DiceConfig, DiceExplainer};
 pub use distance::{diversity, implausibility, FeatureScales};
-pub use geco::{geco, geco_parallel, random_search_counterfactual, GecoConfig, Plaf, PlafRule};
+pub use geco::{
+    geco, geco_parallel, random_search_counterfactual, try_geco, try_geco_parallel, GecoConfig,
+    Plaf, PlafRule,
+};
 pub use lewis::{CausationScores, Lewis};
-pub use wachter::{wachter_counterfactual, GradientModel, WachterConfig};
+pub use wachter::{try_wachter_counterfactual, wachter_counterfactual, GradientModel, WachterConfig};
 pub use recourse::{linear_recourse, Action, Recourse, RecourseConfig};

@@ -12,7 +12,7 @@
 //! keeps its own minimal gradient surface to avoid a crate cycle.
 
 use crate::distance::FeatureScales;
-use xai_core::Counterfactual;
+use xai_core::{catch_model, validate, Counterfactual, XaiError, XaiResult};
 use xai_data::Dataset;
 
 /// The gradient surface Wachter search needs.
@@ -121,6 +121,46 @@ pub fn wachter_counterfactual<M: GradientModel>(
     })
 }
 
+/// Fallible twin of [`wachter_counterfactual`]: non-finite inputs yield
+/// [`XaiError::NonFiniteInput`], a model that panics or scores the
+/// original instance non-finite yields [`XaiError::ModelFault`], and a
+/// search that never crosses the boundary reports
+/// [`XaiError::ConvergenceFailure`] (the plain API returns `None` there).
+/// A returned counterfactual is guaranteed finite and valid.
+pub fn try_wachter_counterfactual<M: GradientModel>(
+    model: &M,
+    data: &Dataset,
+    instance: &[f64],
+    config: WachterConfig,
+) -> XaiResult<Counterfactual> {
+    validate::finite_matrix("Wachter training data", data.x())?;
+    validate::finite_slice("Wachter instance", instance)?;
+    let original_output = catch_model("Wachter original prediction", || model.output(instance))?;
+    if !original_output.is_finite() {
+        return Err(XaiError::ModelFault {
+            context: format!("Wachter: model scored the instance {original_output}"),
+        });
+    }
+    let found = catch_model("Wachter gradient search", || {
+        wachter_counterfactual(model, data, instance, config)
+    })?;
+    let Some(cf) = found else {
+        return Err(XaiError::ConvergenceFailure {
+            context: "Wachter search never crossed the decision boundary".into(),
+            iterations: config.stages * config.steps_per_stage,
+        });
+    };
+    if !cf.counterfactual_output.is_finite()
+        || !cf.distance.is_finite()
+        || cf.counterfactual.iter().any(|v| !v.is_finite())
+    {
+        return Err(XaiError::ModelFault {
+            context: "Wachter search produced a non-finite counterfactual".into(),
+        });
+    }
+    Ok(cf)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,7 +202,7 @@ mod tests {
             .max_by(|&&a, &&b| {
                 let ia = (model.coef()[a] * (cf.counterfactual[a] - cf.original[a])).abs();
                 let ib = (model.coef()[b] * (cf.counterfactual[b] - cf.original[b])).abs();
-                ia.partial_cmp(&ib).unwrap()
+                ia.total_cmp(&ib)
             })
             .copied()
             .expect("something changed");

@@ -37,6 +37,13 @@ pub enum CsvError {
         /// 1-based line number where the field started.
         line: usize,
     },
+    /// Reading or writing a CSV file failed.
+    Io {
+        /// The file path involved.
+        path: String,
+        /// The OS error message.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for CsvError {
@@ -51,6 +58,7 @@ impl std::fmt::Display for CsvError {
                 write!(f, "line {line}: label '{value}' is not binary")
             }
             CsvError::UnterminatedQuote { line } => write!(f, "line {line}: unterminated quote"),
+            CsvError::Io { path, message } => write!(f, "{path}: {message}"),
         }
     }
 }
@@ -116,8 +124,15 @@ pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
     Ok(records)
 }
 
-fn is_numeric(values: &[&str]) -> bool {
-    values.iter().all(|v| v.trim().parse::<f64>().is_ok())
+/// Parses a column as finite numbers, or `None` when any value fails —
+/// the column is then treated as categorical. Textual NaN/Inf spellings
+/// deliberately fail the numeric parse: a loaded [`Dataset`] never carries
+/// non-finite values into the explainers.
+fn parse_numeric_column(values: &[&str]) -> Option<Vec<f64>> {
+    values
+        .iter()
+        .map(|v| v.trim().parse::<f64>().ok().filter(|x| x.is_finite()))
+        .collect()
 }
 
 /// Loads a dataset from CSV text: the first record is the header, the
@@ -143,40 +158,49 @@ pub fn load_csv(text: &str, target: &str, task: Task) -> Result<Dataset, CsvErro
     let feature_cols: Vec<usize> = (0..expected).filter(|&j| j != target_idx).collect();
     let rows = &records[1..];
 
-    // Infer per-column kinds and build features.
+    // Infer per-column kinds, parsing each column exactly once: the codes
+    // produced here ARE the matrix entries, so there is no second pass
+    // that could disagree with inference.
     let mut features = Vec::with_capacity(feature_cols.len());
-    let mut categories: Vec<Option<Vec<String>>> = Vec::with_capacity(feature_cols.len());
+    let mut columns: Vec<Vec<f64>> = Vec::with_capacity(feature_cols.len());
     for &j in &feature_cols {
         let col: Vec<&str> = rows.iter().map(|r| r[j].as_str()).collect();
-        if is_numeric(&col) {
-            let nums: Vec<f64> = col.iter().map(|v| v.trim().parse().expect("checked")).collect();
+        if let Some(nums) = parse_numeric_column(&col) {
             let lo = nums.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             // Pad bounds so counterfactual search has head-room.
             let pad = (hi - lo).abs().max(1.0) * 0.5;
             features.push(Feature::numeric(&header[j], lo - pad, hi + pad));
-            categories.push(None);
+            columns.push(nums);
         } else {
             let mut cats: Vec<String> = col.iter().map(|s| s.trim().to_string()).collect();
             cats.sort();
             cats.dedup();
+            let codes = col
+                .iter()
+                .map(|raw| {
+                    let trimmed = raw.trim();
+                    // Binary search against the sorted, deduped list built
+                    // from these very values — membership is guaranteed,
+                    // and the fallback (first category) keeps the no-NaN
+                    // invariant without a panic site.
+                    cats.binary_search_by(|c| c.as_str().cmp(trimmed))
+                        .map_or(0.0, |p| p as f64)
+                })
+                .collect();
             let refs: Vec<&str> = cats.iter().map(|s| s.as_str()).collect();
             features.push(Feature::categorical(&header[j], &refs));
-            categories.push(Some(cats));
+            columns.push(codes);
         }
     }
     let schema = Schema::new(features, target);
 
-    // Build the matrix and targets.
+    // Assemble the matrix from the parsed columns and read the targets.
     let mut x = Matrix::zeros(rows.len(), feature_cols.len());
     let mut y = Vec::with_capacity(rows.len());
     for (i, r) in rows.iter().enumerate() {
-        for (out_j, &j) in feature_cols.iter().enumerate() {
-            let raw = r[j].trim();
-            x[(i, out_j)] = match &categories[out_j] {
-                None => raw.parse().expect("checked numeric"),
-                Some(cats) => cats.iter().position(|c| c == raw).expect("seen category") as f64,
-            };
+        for (out_j, col) in columns.iter().enumerate() {
+            x[(i, out_j)] = col[i];
         }
         let label_raw = r[target_idx].trim();
         let label = match task {
@@ -195,6 +219,32 @@ pub fn load_csv(text: &str, target: &str, task: Task) -> Result<Dataset, CsvErro
         y.push(label);
     }
     Ok(Dataset::new(schema, x, y, task))
+}
+
+/// Loads a dataset from a CSV file on disk. I/O failures (missing file,
+/// permission, truncation mid-read) come back as [`CsvError::Io`] instead
+/// of aborting the process; parse failures report line numbers as in
+/// [`load_csv`].
+pub fn load_csv_file(
+    path: impl AsRef<std::path::Path>,
+    target: &str,
+    task: Task,
+) -> Result<Dataset, CsvError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| CsvError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    load_csv(&text, target, task)
+}
+
+/// Writes a dataset to a CSV file on disk (the [`to_csv`] rendering).
+pub fn save_csv_file(data: &Dataset, path: impl AsRef<std::path::Path>) -> Result<(), CsvError> {
+    let path = path.as_ref();
+    std::fs::write(path, to_csv(data)).map_err(|e| CsvError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })
 }
 
 /// Renders a dataset back to CSV (inverse of [`load_csv`] up to float
@@ -297,6 +347,36 @@ mod tests {
         let records = parse_csv(text).unwrap();
         assert_eq!(records[1][0], "she said \"hi\"");
         assert_eq!(records[2][0], "two\nlines");
+    }
+
+    #[test]
+    fn textual_nan_demotes_column_to_categorical() {
+        // "NaN"/"inf" parse as f64 but would poison every explainer; the
+        // loader treats such columns as categorical so the matrix stays
+        // finite.
+        let text = "a,b,y\nNaN,1.0,0\n2.0,inf,1\n";
+        let d = load_csv(text, "y", Task::BinaryClassification).unwrap();
+        assert!(d.schema().feature(0).is_categorical());
+        assert!(d.schema().feature(1).is_categorical());
+        assert!(d.x().as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_error_not_a_panic() {
+        let err = load_csv_file("/nonexistent/definitely/not/here.csv", "y", Task::Regression)
+            .expect_err("missing file");
+        assert!(matches!(err, CsvError::Io { .. }));
+        assert!(err.to_string().contains("not/here.csv"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let d = load_csv(SAMPLE, "approved", Task::BinaryClassification).unwrap();
+        let path = std::env::temp_dir().join("xai_csv_roundtrip_test.csv");
+        save_csv_file(&d, &path).unwrap();
+        let d2 = load_csv_file(&path, "approved", Task::BinaryClassification).unwrap();
+        assert_eq!(d.y(), d2.y());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod schema;
 pub mod scm;
 pub mod synth;
 
-pub use csv::{load_csv, parse_csv, to_csv, CsvError};
+pub use csv::{load_csv, load_csv_file, parse_csv, save_csv_file, to_csv, CsvError};
 pub use dataset::{inject_label_noise, Dataset, Task};
 pub use encode::{OneHotEncoder, Standardizer};
 pub use schema::{Feature, FeatureKind, Mutability, Schema};

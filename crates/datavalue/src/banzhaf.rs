@@ -10,10 +10,10 @@
 //! `xai-shapley::exact_banzhaf`). Experiment E26 measures the robustness
 //! gap.
 
-use crate::utility::Utility;
+use crate::utility::{check_finite_values, Utility};
 use xai_rand::rngs::StdRng;
 use xai_rand::{Rng, SeedableRng};
-use xai_core::DataAttribution;
+use xai_core::{catch_model, DataAttribution, XaiResult};
 
 /// Configuration for [`data_banzhaf`].
 #[derive(Clone, Copy, Debug)]
@@ -55,6 +55,15 @@ pub fn data_banzhaf(utility: &dyn Utility, config: BanzhafConfig) -> DataAttribu
         *value = acc / config.samples_per_point as f64;
     }
     DataAttribution { values, measure: "data Banzhaf (MC)".into() }
+}
+
+/// Fallible twin of [`data_banzhaf`]: a utility that panics or returns
+/// non-finite scores yields [`xai_core::XaiError::ModelFault`] instead of
+/// unwinding or leaking NaN values.
+pub fn try_data_banzhaf(utility: &dyn Utility, config: BanzhafConfig) -> XaiResult<DataAttribution> {
+    let att = catch_model("data Banzhaf evaluation", || data_banzhaf(utility, config))?;
+    check_finite_values(&att.values, "data Banzhaf")?;
+    Ok(att)
 }
 
 /// Exact data Banzhaf by subset enumeration (tiny `n` only).

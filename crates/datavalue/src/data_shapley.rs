@@ -8,11 +8,11 @@
 //! points then contribute ~0). Estimates are unbiased up to the truncation
 //! tolerance and converge at the Monte-Carlo rate.
 
-use crate::utility::Utility;
+use crate::utility::{check_finite_values, Utility};
 use xai_rand::rngs::StdRng;
 use xai_rand::seq::SliceRandom;
 use xai_rand::SeedableRng;
-use xai_core::DataAttribution;
+use xai_core::{catch_model, DataAttribution, SampleBudget, XaiError, XaiResult};
 
 /// Configuration for [`tmc_shapley`].
 #[derive(Clone, Copy, Debug)]
@@ -42,41 +42,100 @@ pub struct TmcResult {
 }
 
 /// Runs TMC-Shapley.
+///
+/// # Panics
+/// Panics when the utility panics or returns non-finite scores; use
+/// [`try_tmc_shapley`] for typed errors.
 pub fn tmc_shapley(utility: &dyn Utility, config: TmcConfig) -> TmcResult {
+    try_tmc_shapley(utility, config).expect("TMC-Shapley failed; try_tmc_shapley recovers this")
+}
+
+/// Fallible twin of [`tmc_shapley`]: a utility that panics or returns
+/// non-finite scores yields [`XaiError::ModelFault`] instead of unwinding
+/// or leaking NaN into the estimate.
+pub fn try_tmc_shapley(utility: &dyn Utility, config: TmcConfig) -> XaiResult<TmcResult> {
+    try_tmc_shapley_budgeted(utility, config, SampleBudget::unlimited())
+}
+
+/// Budget-aware fallible TMC-Shapley: stops drawing permutation walks
+/// once `budget` is exhausted (metered in utility evaluations, including
+/// the two endpoint evaluations) and returns the **best-effort partial
+/// estimate** built from the walks that did complete — averaged over that
+/// count. Fails with [`XaiError::BudgetExceeded`] only when the budget
+/// expires before the first walk. With an eval cap the truncation point
+/// is deterministic; with a wall-clock deadline it is machine-dependent.
+pub fn try_tmc_shapley_budgeted(
+    utility: &dyn Utility,
+    config: TmcConfig,
+    budget: SampleBudget,
+) -> XaiResult<TmcResult> {
     assert!(config.permutations > 0);
     let n = utility.n_train();
     let all: Vec<usize> = (0..n).collect();
-    let full_score = utility.eval(&all);
-    let empty_score = utility.eval(&[]);
+    let (full_score, empty_score) = catch_model("TMC endpoint evaluation", || {
+        (utility.eval(&all), utility.eval(&[]))
+    })?;
+    if !full_score.is_finite() || !empty_score.is_finite() {
+        return Err(XaiError::ModelFault {
+            context: format!("TMC endpoints: U(D) = {full_score}, U(∅) = {empty_score}"),
+        });
+    }
 
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut sums = vec![0.0; n];
     let mut calls = 2usize;
     let mut perm: Vec<usize> = (0..n).collect();
     let mut prefix: Vec<usize> = Vec::with_capacity(n);
+    let mut meter = budget.start();
+    meter.record(2);
+    let mut done = 0usize;
     for _ in 0..config.permutations {
-        perm.shuffle(&mut rng);
-        prefix.clear();
-        let mut prev = empty_score;
-        for &point in &perm {
-            // Truncation: once the prefix utility has converged to the
-            // full-data utility, remaining marginals are ~0.
-            if (full_score - prev).abs() < config.truncation_tolerance {
-                break;
-            }
-            prefix.push(point);
-            let cur = utility.eval(&prefix);
-            calls += 1;
-            sums[point] += cur - prev;
-            prev = cur;
+        if meter.exhausted() {
+            break;
         }
+        perm.shuffle(&mut rng);
+        // Each point joins a walk at most once, so per-point marginals can
+        // be collected under panic isolation and accumulated afterwards
+        // without changing the floating-point result.
+        let (marginals, walk_calls) = catch_model("TMC permutation walk", || {
+            prefix.clear();
+            let mut marg = vec![0.0; n];
+            let mut walk_calls = 0usize;
+            let mut prev = empty_score;
+            for &point in &perm {
+                // Truncation: once the prefix utility has converged to the
+                // full-data utility, remaining marginals are ~0.
+                if (full_score - prev).abs() < config.truncation_tolerance {
+                    break;
+                }
+                prefix.push(point);
+                let cur = utility.eval(&prefix);
+                walk_calls += 1;
+                marg[point] = cur - prev;
+                prev = cur;
+            }
+            (marg, walk_calls)
+        })?;
+        check_finite_values(&marginals, "TMC permutation walk")?;
+        for (point, &m) in marginals.iter().enumerate() {
+            sums[point] += m;
+        }
+        calls += walk_calls;
+        meter.record(walk_calls);
+        done += 1;
     }
-    let m = config.permutations as f64;
+    if done == 0 {
+        return Err(XaiError::BudgetExceeded {
+            context: "TMC-Shapley: budget expired before the first permutation walk".into(),
+            completed: 0,
+        });
+    }
+    let m = done as f64;
     let values = sums.into_iter().map(|s| s / m).collect();
-    TmcResult {
+    Ok(TmcResult {
         attribution: DataAttribution { values, measure: "TMC data Shapley".into() },
         utility_calls: calls,
-    }
+    })
 }
 
 /// Point-removal curve: remove training points in the given order,

@@ -47,12 +47,12 @@
 //!   converging in 1–2 steps; a cold refit is the fallback whenever the
 //!   warm fit misses the gradient tolerance.
 
-use crate::banzhaf::{data_banzhaf, BanzhafConfig};
-use crate::data_shapley::{tmc_shapley, TmcConfig, TmcResult};
-use crate::loo::leave_one_out;
+use crate::banzhaf::{data_banzhaf, try_data_banzhaf, BanzhafConfig};
+use crate::data_shapley::{tmc_shapley, try_tmc_shapley, TmcConfig, TmcResult};
+use crate::loo::{leave_one_out, try_leave_one_out};
 use crate::utility::{CachedUtility, Utility};
 use std::sync::Mutex;
-use xai_core::DataAttribution;
+use xai_core::{DataAttribution, XaiResult};
 use xai_data::metrics::accuracy;
 use xai_data::Dataset;
 use xai_linalg::{dot, Cholesky, Matrix};
@@ -508,6 +508,15 @@ pub fn leave_one_out_incremental<M: IncrementalModel>(
     leave_one_out(utility)
 }
 
+/// Fallible twin of [`leave_one_out_incremental`]: delegates to
+/// [`try_leave_one_out`], so engine panics and non-finite scores surface
+/// as typed errors.
+pub fn try_leave_one_out_incremental<M: IncrementalModel>(
+    utility: &IncrementalUtility<M>,
+) -> XaiResult<DataAttribution> {
+    try_leave_one_out(utility)
+}
+
 /// TMC data Shapley through the incremental engine: each permutation walk
 /// grows its prefix by one rank-one update per step (`n` updates per
 /// permutation instead of `n` retrains); the jump to the next permutation
@@ -517,6 +526,16 @@ pub fn tmc_shapley_incremental<M: IncrementalModel>(
     config: TmcConfig,
 ) -> TmcResult {
     tmc_shapley(utility, config)
+}
+
+/// Fallible twin of [`tmc_shapley_incremental`]: delegates to
+/// [`try_tmc_shapley`], so engine panics and non-finite scores surface as
+/// typed errors.
+pub fn try_tmc_shapley_incremental<M: IncrementalModel>(
+    utility: &IncrementalUtility<M>,
+    config: TmcConfig,
+) -> XaiResult<TmcResult> {
+    try_tmc_shapley(utility, config)
 }
 
 /// Monte-Carlo data Banzhaf through the incremental engine. Coalition
@@ -533,6 +552,21 @@ pub fn data_banzhaf_incremental<M: IncrementalModel>(
         data_banzhaf(&cached, config)
     } else {
         data_banzhaf(utility, config)
+    }
+}
+
+/// Fallible twin of [`data_banzhaf_incremental`]: same memo layering,
+/// delegating to [`try_data_banzhaf`] so engine panics and non-finite
+/// scores surface as typed errors.
+pub fn try_data_banzhaf_incremental<M: IncrementalModel>(
+    utility: &IncrementalUtility<M>,
+    config: BanzhafConfig,
+) -> XaiResult<DataAttribution> {
+    if utility.n_train() <= 64 {
+        let cached = CachedUtility::new(utility);
+        try_data_banzhaf(&cached, config)
+    } else {
+        try_data_banzhaf(utility, config)
     }
 }
 

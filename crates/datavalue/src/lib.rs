@@ -31,8 +31,10 @@ pub mod parallel;
 pub mod tree_influence;
 pub mod utility;
 
-pub use banzhaf::{data_banzhaf, exact_data_banzhaf, BanzhafConfig};
-pub use data_shapley::{removal_curve, tmc_shapley, TmcConfig, TmcResult};
+pub use banzhaf::{data_banzhaf, exact_data_banzhaf, try_data_banzhaf, BanzhafConfig};
+pub use data_shapley::{
+    removal_curve, tmc_shapley, try_tmc_shapley, try_tmc_shapley_budgeted, TmcConfig, TmcResult,
+};
 pub use distributional::{distributional_shapley, DistributionalConfig};
 pub use group::{
     group_influence_first_order, group_influence_newton, group_removal_ground_truth,
@@ -40,6 +42,7 @@ pub use group::{
 };
 pub use incremental::{
     data_banzhaf_incremental, leave_one_out_incremental, tmc_shapley_incremental,
+    try_data_banzhaf_incremental, try_leave_one_out_incremental, try_tmc_shapley_incremental,
     IncrementalModel, IncrementalStats, IncrementalUtility, RidgeUtility, RidgeValuationModel,
     WarmLogisticModel,
 };
@@ -47,8 +50,14 @@ pub use influence::{
     influence_on_test_loss, removal_parameter_change, retraining_ground_truth, Solver,
 };
 pub use knn_shapley::{knn_shapley, knn_shapley_single};
-pub use parallel::{data_banzhaf_parallel, tmc_shapley_parallel};
-pub use loo::{exact_data_shapley, leave_one_out, leave_one_out_parallel};
+pub use parallel::{
+    data_banzhaf_parallel, tmc_shapley_parallel, try_data_banzhaf_parallel,
+    try_tmc_shapley_parallel,
+};
+pub use loo::{
+    exact_data_shapley, leave_one_out, leave_one_out_parallel, try_leave_one_out,
+    try_leave_one_out_parallel,
+};
 pub use tree_influence::{
     fixed_structure_ground_truth, fixed_structure_retrain, leaf_influence_first_order,
 };

@@ -7,9 +7,9 @@
 //! computations, kept because every approximation in this crate is
 //! validated against them (experiments E12–E14).
 
-use crate::utility::Utility;
-use xai_core::DataAttribution;
-use xai_rand::parallel::par_map_chunks;
+use crate::utility::{check_finite_values, Utility};
+use xai_core::{catch_model, DataAttribution, XaiError, XaiResult};
+use xai_rand::parallel::{par_map_chunks, try_par_map_chunks};
 
 /// Points handled per executor task in [`leave_one_out_parallel`]. Fixed
 /// (never derived from the worker count) so the chunk grid — and hence the
@@ -43,6 +43,15 @@ pub fn leave_one_out(utility: &dyn Utility) -> DataAttribution {
     DataAttribution { values, measure: "leave-one-out utility change".into() }
 }
 
+/// Fallible twin of [`leave_one_out`]: a utility that panics (a retrain
+/// blowing up) or returns non-finite scores yields
+/// [`XaiError::ModelFault`] instead of unwinding or leaking NaN values.
+pub fn try_leave_one_out(utility: &dyn Utility) -> XaiResult<DataAttribution> {
+    let att = catch_model("leave-one-out retraining", || leave_one_out(utility))?;
+    check_finite_values(&att.values, "leave-one-out")?;
+    Ok(att)
+}
+
 /// [`leave_one_out`] with the per-point retrainings spread across
 /// `workers` threads. Points are split into fixed-size chunks; each chunk
 /// walks its own in-place scratch buffer exactly like the sequential path
@@ -67,6 +76,35 @@ pub fn leave_one_out_parallel<U: Utility + Sync>(utility: &U, workers: usize) ->
     });
     let values: Vec<f64> = chunks.into_iter().flatten().collect();
     DataAttribution { values, measure: "leave-one-out utility change".into() }
+}
+
+/// Fallible twin of [`leave_one_out_parallel`]: a panic inside a worker
+/// chunk yields [`XaiError::WorkerPanic`] naming the lowest-indexed
+/// panicking chunk (worker-count invariant); non-finite scores yield
+/// [`XaiError::ModelFault`].
+pub fn try_leave_one_out_parallel<U: Utility + Sync>(
+    utility: &U,
+    workers: usize,
+) -> XaiResult<DataAttribution> {
+    assert!(workers >= 1, "need at least one worker");
+    let n = utility.n_train();
+    let all: Vec<usize> = (0..n).collect();
+    let full = catch_model("leave-one-out full-set retraining", || utility.eval(&all))?;
+    let chunks = try_par_map_chunks(n, POINTS_PER_CHUNK, 0, workers, |_chunk, range, _rng| {
+        let mut without: Vec<usize> = (0..n).filter(|&j| j != range.start).collect();
+        let mut values = Vec::with_capacity(range.len());
+        for i in range {
+            values.push(full - utility.eval(&without));
+            if i + 1 < n {
+                advance_hole(&mut without, i);
+            }
+        }
+        values
+    })
+    .map_err(XaiError::from)?;
+    let values: Vec<f64> = chunks.into_iter().flatten().collect();
+    check_finite_values(&values, "leave-one-out")?;
+    Ok(DataAttribution { values, measure: "leave-one-out utility change".into() })
 }
 
 /// Exact Data Shapley by full subset enumeration — `O(2^n)` retrainings,

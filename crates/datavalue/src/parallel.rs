@@ -9,9 +9,9 @@
 
 use crate::banzhaf::BanzhafConfig;
 use crate::data_shapley::TmcConfig;
-use crate::utility::Utility;
-use xai_core::DataAttribution;
-use xai_rand::parallel::{par_map_chunks, par_map_seeded, sum_partials};
+use crate::utility::{check_finite_values, Utility};
+use xai_core::{catch_model, DataAttribution, XaiError, XaiResult};
+use xai_rand::parallel::{sum_partials, try_par_map_chunks, try_par_map_seeded};
 use xai_rand::seq::SliceRandom;
 use xai_rand::Rng;
 
@@ -23,19 +23,43 @@ const PERMS_PER_CHUNK: usize = 16;
 /// threads. The estimate is bit-identical for a fixed `config.seed`
 /// regardless of `workers` (see module docs); it converges to the same
 /// estimand as the sequential `tmc_shapley`.
+///
+/// # Panics
+/// Panics when the utility panics or returns non-finite scores; use
+/// [`try_tmc_shapley_parallel`] for typed errors.
 pub fn tmc_shapley_parallel<U: Utility + Sync>(
     utility: &U,
     config: TmcConfig,
     workers: usize,
 ) -> DataAttribution {
+    try_tmc_shapley_parallel(utility, config, workers)
+        .expect("parallel TMC-Shapley failed; try_tmc_shapley_parallel recovers this")
+}
+
+/// Fallible twin of [`tmc_shapley_parallel`]: a panic inside a worker
+/// chunk yields [`XaiError::WorkerPanic`] naming the lowest-indexed
+/// panicking chunk (worker-count invariant); non-finite utility scores
+/// yield [`XaiError::ModelFault`]. Fault-free runs are bit-identical to
+/// [`tmc_shapley_parallel`].
+pub fn try_tmc_shapley_parallel<U: Utility + Sync>(
+    utility: &U,
+    config: TmcConfig,
+    workers: usize,
+) -> XaiResult<DataAttribution> {
     assert!(workers >= 1);
     assert!(config.permutations >= 1, "need at least one permutation");
     let n = utility.n_train();
     let all: Vec<usize> = (0..n).collect();
-    let full_score = utility.eval(&all);
-    let empty_score = utility.eval(&[]);
+    let (full_score, empty_score) = catch_model("TMC endpoint evaluation", || {
+        (utility.eval(&all), utility.eval(&[]))
+    })?;
+    if !full_score.is_finite() || !empty_score.is_finite() {
+        return Err(XaiError::ModelFault {
+            context: format!("TMC endpoints: U(D) = {full_score}, U(∅) = {empty_score}"),
+        });
+    }
 
-    let partials = par_map_chunks(
+    let partials = try_par_map_chunks(
         config.permutations,
         PERMS_PER_CHUNK,
         config.seed,
@@ -60,14 +84,18 @@ pub fn tmc_shapley_parallel<U: Utility + Sync>(
             }
             sums
         },
-    );
+    )
+    .map_err(XaiError::from)?;
 
     let m = config.permutations as f64;
     let mut values = sum_partials(partials);
     for v in &mut values {
         *v /= m;
     }
-    DataAttribution { values, measure: format!("TMC data Shapley ({workers} workers)") }
+    // Any non-finite utility score poisons its point's sum (NaN/±Inf are
+    // absorbing under +), so checking the reduced values suffices.
+    check_finite_values(&values, "parallel TMC data Shapley")?;
+    Ok(DataAttribution { values, measure: format!("TMC data Shapley ({workers} workers)") })
 }
 
 /// Monte-Carlo data Banzhaf with one executor task per training point.
@@ -76,15 +104,33 @@ pub fn tmc_shapley_parallel<U: Utility + Sync>(
 /// result is deterministic and worker-invariant (though it differs from the
 /// single-stream sequential `data_banzhaf` draw-for-draw — both are
 /// unbiased estimates of the same semivalue).
+///
+/// # Panics
+/// Panics when the utility panics or returns non-finite scores; use
+/// [`try_data_banzhaf_parallel`] for typed errors.
 pub fn data_banzhaf_parallel<U: Utility + Sync>(
     utility: &U,
     config: BanzhafConfig,
     workers: usize,
 ) -> DataAttribution {
+    try_data_banzhaf_parallel(utility, config, workers)
+        .expect("parallel data Banzhaf failed; try_data_banzhaf_parallel recovers this")
+}
+
+/// Fallible twin of [`data_banzhaf_parallel`]: a panic inside a worker
+/// task yields [`XaiError::WorkerPanic`] naming the lowest-indexed
+/// panicking task (worker-count invariant); non-finite utility scores
+/// yield [`XaiError::ModelFault`]. Fault-free runs are bit-identical to
+/// [`data_banzhaf_parallel`].
+pub fn try_data_banzhaf_parallel<U: Utility + Sync>(
+    utility: &U,
+    config: BanzhafConfig,
+    workers: usize,
+) -> XaiResult<DataAttribution> {
     assert!(workers >= 1);
     assert!(config.samples_per_point >= 1);
     let n = utility.n_train();
-    let values = par_map_seeded(n, config.seed, workers, |i, rng| {
+    let values = try_par_map_seeded(n, config.seed, workers, |i, rng| {
         let mut acc = 0.0;
         let mut base: Vec<usize> = Vec::with_capacity(n);
         for _ in 0..config.samples_per_point {
@@ -100,8 +146,10 @@ pub fn data_banzhaf_parallel<U: Utility + Sync>(
             acc += with - without;
         }
         acc / config.samples_per_point as f64
-    });
-    DataAttribution { values, measure: format!("data Banzhaf ({workers} workers)") }
+    })
+    .map_err(XaiError::from)?;
+    check_finite_values(&values, "parallel data Banzhaf")?;
+    Ok(DataAttribution { values, measure: format!("data Banzhaf ({workers} workers)") })
 }
 
 #[cfg(test)]

@@ -12,6 +12,18 @@ use xai_data::Dataset;
 use xai_linalg::Matrix;
 use xai_models::{Classifier, Knn, LogisticConfig, LogisticRegression};
 
+/// Rejects non-finite valuation results: the utility (a retrained model's
+/// test score) produced them, so they map to
+/// [`xai_core::XaiError::ModelFault`].
+pub(crate) fn check_finite_values(values: &[f64], what: &str) -> xai_core::XaiResult<()> {
+    if let Some(i) = values.iter().position(|v| !v.is_finite()) {
+        return Err(xai_core::XaiError::ModelFault {
+            context: format!("{what}: point {i} valued {}", values[i]),
+        });
+    }
+    Ok(())
+}
+
 /// A subset utility: maps training-index subsets to a test score.
 pub trait Utility {
     /// Evaluates `U(S)`; `subset` holds distinct train indices.

@@ -26,11 +26,14 @@ impl Cholesky {
     /// Factorizes a symmetric positive-definite matrix.
     ///
     /// Returns [`LinalgError::NotPositiveDefinite`] when a non-positive pivot
-    /// is encountered (the matrix is singular or indefinite).
+    /// is encountered (the matrix is singular or indefinite) and
+    /// [`LinalgError::NonFinite`] when any entry is NaN/±Inf, so a factor is
+    /// never built from poisoned input.
     pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
         if !a.is_square() {
             return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
         }
+        crate::check_finite_matrix(a)?;
         let n = a.rows();
         let mut l = Matrix::zeros(n, n);
         for i in 0..n {
@@ -239,6 +242,7 @@ pub fn choldowndate(factor: &mut Cholesky, x: &[f64]) -> Result<(), LinalgError>
 /// This is the standard entry point for normal-equation solves:
 /// `solve_spd(&x.gram(), &x.t_matvec(&y), 1e-8)`.
 pub fn solve_spd(a: &Matrix, b: &[f64], ridge: f64) -> Result<Vec<f64>, LinalgError> {
+    crate::check_finite_slice(b)?;
     let mut a = a.clone();
     if ridge > 0.0 {
         a.add_diag_mut(ridge);

@@ -57,6 +57,14 @@ pub enum LinalgError {
         /// Index of the failing pivot.
         pivot: usize,
     },
+    /// An input matrix or vector contained NaN or ±Inf. Factorizations
+    /// reject these up front rather than propagating NaN into the factors.
+    NonFinite {
+        /// Row of the first offending entry (0 for plain vectors).
+        row: usize,
+        /// Column of the first offending entry (the index, for vectors).
+        col: usize,
+    },
 }
 
 impl std::fmt::Display for LinalgError {
@@ -71,8 +79,32 @@ impl std::fmt::Display for LinalgError {
             LinalgError::Singular { pivot } => {
                 write!(f, "matrix is singular (zero pivot at column {pivot})")
             }
+            LinalgError::NonFinite { row, col } => {
+                write!(f, "input contains a non-finite value at ({row}, {col})")
+            }
         }
     }
 }
 
 impl std::error::Error for LinalgError {}
+
+/// Checks every entry of a matrix, reporting the first NaN/±Inf position.
+pub fn check_finite_matrix(a: &matrix::Matrix) -> Result<(), LinalgError> {
+    for i in 0..a.rows() {
+        for (j, v) in a.row(i).iter().enumerate() {
+            if !v.is_finite() {
+                return Err(LinalgError::NonFinite { row: i, col: j });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks every entry of a vector, reporting the first NaN/±Inf index as
+/// the column of a row-0 `NonFinite` error.
+pub fn check_finite_slice(v: &[f64]) -> Result<(), LinalgError> {
+    match v.iter().position(|x| !x.is_finite()) {
+        Some(col) => Err(LinalgError::NonFinite { row: 0, col }),
+        None => Ok(()),
+    }
+}

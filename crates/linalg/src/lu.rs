@@ -21,11 +21,14 @@ pub struct Lu {
 }
 
 impl Lu {
-    /// Factorizes a general square matrix.
+    /// Factorizes a general square matrix. Non-finite inputs are rejected
+    /// up front: partial pivoting only inspects one column per step, so a
+    /// NaN elsewhere would otherwise survive into the factors.
     pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
         if !a.is_square() {
             return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
         }
+        crate::check_finite_matrix(a)?;
         let n = a.rows();
         let mut lu = a.clone();
         let mut perm: Vec<usize> = (0..n).collect();
@@ -115,8 +118,10 @@ impl Lu {
     }
 }
 
-/// Convenience: factor-and-solve a general square system.
+/// Convenience: factor-and-solve a general square system. Rejects
+/// non-finite right-hand sides so the solution never carries NaN.
 pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    crate::check_finite_slice(b)?;
     Ok(Lu::factor(a)?.solve(b))
 }
 

@@ -15,6 +15,7 @@ use crate::LinalgError;
 /// Solves `min_w ||X w - y||² + ridge ||w||²` via the normal equations.
 pub fn least_squares(x: &Matrix, y: &[f64], ridge: f64) -> Result<Vec<f64>, LinalgError> {
     assert_eq!(x.rows(), y.len(), "row/target count mismatch");
+    crate::check_finite_slice(y)?;
     let gram = x.gram();
     let rhs = x.t_matvec(y);
     solve_spd(&gram, &rhs, ridge.max(0.0))
@@ -32,6 +33,8 @@ pub fn weighted_least_squares(
 ) -> Result<Vec<f64>, LinalgError> {
     assert_eq!(x.rows(), y.len(), "row/target count mismatch");
     assert_eq!(x.rows(), weights.len(), "row/weight count mismatch");
+    crate::check_finite_slice(y)?;
+    crate::check_finite_slice(weights)?;
     let d = x.cols();
     let mut gram = Matrix::zeros(d, d);
     let mut rhs = vec![0.0; d];

@@ -1,0 +1,107 @@
+//! Direct coverage for the failure paths of the factorizations: singular
+//! and non-finite systems must come back as typed errors, never as NaN
+//! factors or panics.
+
+use xai_linalg::{
+    least_squares, solve_spd, weighted_least_squares, Cholesky, LinalgError, Lu, Matrix,
+};
+
+fn nan_matrix(at: (usize, usize)) -> Matrix {
+    let mut a = Matrix::from_rows(&[vec![4.0, 1.0, 0.0], vec![1.0, 3.0, 1.0], vec![0.0, 1.0, 2.0]]);
+    a[(at.0, at.1)] = f64::NAN;
+    a
+}
+
+#[test]
+fn lu_rejects_singular() {
+    let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+    assert!(matches!(Lu::factor(&a), Err(LinalgError::Singular { .. })));
+    let zero = Matrix::zeros(3, 3);
+    assert!(matches!(Lu::factor(&zero), Err(LinalgError::Singular { pivot: 0 })));
+}
+
+#[test]
+fn lu_rejects_non_finite_anywhere() {
+    // A NaN off the pivot column would survive partial pivoting's
+    // column-local scan; the up-front check must catch it regardless of
+    // position.
+    for at in [(0, 0), (0, 2), (1, 1), (2, 0)] {
+        let err = Lu::factor(&nan_matrix(at)).expect_err("NaN input must be rejected");
+        assert_eq!(err, LinalgError::NonFinite { row: at.0, col: at.1 });
+    }
+    let mut inf = Matrix::identity(2);
+    inf[(1, 0)] = f64::INFINITY;
+    assert!(matches!(Lu::factor(&inf), Err(LinalgError::NonFinite { row: 1, col: 0 })));
+}
+
+#[test]
+fn lu_solve_rejects_non_finite_rhs() {
+    let a = Matrix::identity(2);
+    let err = xai_linalg::lu::solve(&a, &[1.0, f64::NAN]).expect_err("NaN rhs");
+    assert_eq!(err, LinalgError::NonFinite { row: 0, col: 1 });
+}
+
+#[test]
+fn cholesky_rejects_singular_and_indefinite() {
+    // Rank-one ⇒ singular.
+    let singular = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+    assert!(matches!(
+        Cholesky::factor(&singular),
+        Err(LinalgError::NotPositiveDefinite { .. })
+    ));
+    // Indefinite.
+    let indefinite = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
+    assert!(matches!(
+        Cholesky::factor(&indefinite),
+        Err(LinalgError::NotPositiveDefinite { .. })
+    ));
+}
+
+#[test]
+fn cholesky_rejects_non_finite_without_building_a_factor() {
+    for at in [(0, 0), (2, 1), (1, 2)] {
+        let err = Cholesky::factor(&nan_matrix(at)).expect_err("NaN input must be rejected");
+        assert_eq!(err, LinalgError::NonFinite { row: at.0, col: at.1 });
+    }
+}
+
+#[test]
+fn solve_spd_rejects_non_finite_rhs() {
+    let a = Matrix::identity(3);
+    let err = solve_spd(&a, &[0.0, f64::INFINITY, 1.0], 0.0).expect_err("Inf rhs");
+    assert_eq!(err, LinalgError::NonFinite { row: 0, col: 1 });
+}
+
+#[test]
+fn least_squares_rejects_non_finite_targets_and_weights() {
+    let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0]]);
+    assert!(matches!(
+        least_squares(&x, &[0.0, f64::NAN, 2.0], 1e-8),
+        Err(LinalgError::NonFinite { .. })
+    ));
+    assert!(matches!(
+        weighted_least_squares(&x, &[0.0, 1.0, 2.0], &[1.0, f64::NAN, 1.0], 1e-8),
+        Err(LinalgError::NonFinite { .. })
+    ));
+    // A NaN hidden in the design matrix surfaces through the normal
+    // equations as a typed error too — never as NaN coefficients.
+    let mut bad = x.clone();
+    bad[(1, 1)] = f64::NAN;
+    let res = least_squares(&bad, &[0.0, 1.0, 2.0], 1e-8);
+    match res {
+        Err(_) => {}
+        Ok(w) => panic!("poisoned design must not yield coefficients: {w:?}"),
+    }
+}
+
+#[test]
+fn degenerate_least_squares_recovers_under_ridge() {
+    // Duplicate columns: the unridged normal equations are singular, but a
+    // positive ridge restores solvability — the degradation path KernelSHAP
+    // relies on.
+    let x = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
+    let y = [1.0, 2.0, 3.0];
+    assert!(least_squares(&x, &y, 0.0).is_err());
+    let w = least_squares(&x, &y, 1e-6).expect("ridge makes the system SPD");
+    assert!(w.iter().all(|v| v.is_finite()));
+}

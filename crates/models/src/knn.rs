@@ -44,12 +44,10 @@ impl Knn {
     pub fn neighbours_sorted(&self, q: &[f64]) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.x.rows()).collect();
         let dists: Vec<f64> = idx.iter().map(|&i| self.dist_sq(q, i)).collect();
-        idx.sort_by(|&a, &b| {
-            dists[a]
-                .partial_cmp(&dists[b])
-                .expect("NaN distance")
-                .then(a.cmp(&b))
-        });
+        // total_cmp keeps the sort well-defined even if a NaN query slips
+        // through: NaN distances sort last instead of panicking or, worse,
+        // corrupting the comparator's transitivity.
+        idx.sort_by(|&a, &b| dists[a].total_cmp(&dists[b]).then(a.cmp(&b)));
         idx
     }
 

@@ -10,6 +10,7 @@
 //! where `ℓ` is the binary cross-entropy and `sᵢ` optional sample weights.
 
 use crate::traits::{Classifier, Model};
+use xai_core::{validate, XaiError, XaiResult};
 use xai_data::sigmoid;
 use xai_linalg::{dot, solve_spd, Matrix};
 
@@ -86,6 +87,69 @@ impl LogisticRegression {
         config: LogisticConfig,
         init: &[f64],
     ) -> Self {
+        Self::newton_fit(x, y, sample_weights, config, init)
+            .expect("Hessian is PD for l2 > 0")
+    }
+
+    /// Fallible twin of [`Self::fit`]: rejects non-finite inputs up front,
+    /// reports a singular Hessian as [`XaiError::SingularSystem`] and a
+    /// fit that exhausts `max_iter` without meeting the gradient tolerance
+    /// as [`XaiError::ConvergenceFailure`] — never a silent garbage model.
+    pub fn try_fit(x: &Matrix, y: &[f64], config: LogisticConfig) -> XaiResult<Self> {
+        Self::try_fit_weighted(x, y, &vec![1.0; y.len()], config)
+    }
+
+    /// Fallible twin of [`Self::fit_weighted`]; see [`Self::try_fit`].
+    pub fn try_fit_weighted(
+        x: &Matrix,
+        y: &[f64],
+        sample_weights: &[f64],
+        config: LogisticConfig,
+    ) -> XaiResult<Self> {
+        let cold = vec![0.0; x.cols() + 1];
+        Self::try_fit_weighted_warm(x, y, sample_weights, config, &cold)
+    }
+
+    /// Fallible twin of [`Self::fit_warm`]; see [`Self::try_fit`].
+    pub fn try_fit_warm(
+        x: &Matrix,
+        y: &[f64],
+        config: LogisticConfig,
+        init: &[f64],
+    ) -> XaiResult<Self> {
+        Self::try_fit_weighted_warm(x, y, &vec![1.0; y.len()], config, init)
+    }
+
+    /// Fallible twin of [`Self::fit_weighted_warm`]; see [`Self::try_fit`].
+    pub fn try_fit_weighted_warm(
+        x: &Matrix,
+        y: &[f64],
+        sample_weights: &[f64],
+        config: LogisticConfig,
+        init: &[f64],
+    ) -> XaiResult<Self> {
+        validate::finite_matrix("logistic fit: design matrix", x)?;
+        validate::finite_slice("logistic fit: targets", y)?;
+        validate::finite_slice("logistic fit: sample weights", sample_weights)?;
+        validate::finite_slice("logistic fit: warm-start weights", init)?;
+        let model = Self::newton_fit(x, y, sample_weights, config, init)?;
+        if !model.converged {
+            return Err(XaiError::ConvergenceFailure {
+                context: "logistic Newton fit missed the gradient tolerance".into(),
+                iterations: model.iterations,
+            });
+        }
+        Ok(model)
+    }
+
+    /// The damped-Newton loop shared by the panicking and `try_` fits.
+    fn newton_fit(
+        x: &Matrix,
+        y: &[f64],
+        sample_weights: &[f64],
+        config: LogisticConfig,
+        init: &[f64],
+    ) -> XaiResult<Self> {
         assert_eq!(x.rows(), y.len(), "row/target mismatch");
         assert_eq!(x.rows(), sample_weights.len(), "row/weight mismatch");
         assert!(config.l2 > 0.0, "l2 must be positive for a strictly convex objective");
@@ -131,7 +195,7 @@ impl LogisticRegression {
                 converged = true;
                 break;
             }
-            let step = solve_spd(&hess, &grad, 0.0).expect("Hessian is PD for l2 > 0");
+            let step = solve_spd(&hess, &grad, 0.0).map_err(XaiError::from)?;
             // Damped update: halve until the step is finite and bounded.
             let mut alpha = 1.0;
             loop {
@@ -146,7 +210,7 @@ impl LogisticRegression {
                 }
             }
         }
-        Self { w, l2: config.l2, iterations, converged }
+        Ok(Self { w, l2: config.l2, iterations, converged })
     }
 
     /// Builds a model from explicit parameters (intercept first).
@@ -424,6 +488,29 @@ mod tests {
         let warm = LogisticRegression::fit_warm(data.x(), data.y(), config, &[0.0; 3]);
         assert_eq!(cold.weights(), warm.weights());
         assert_eq!(cold.iterations(), warm.iterations());
+    }
+
+    #[test]
+    fn try_fit_matches_fit_and_types_failures() {
+        let data = linear_gaussian(200, &[1.0, -2.0], 0.0, 7);
+        let config = LogisticConfig::default();
+        let plain = LogisticRegression::fit(data.x(), data.y(), config);
+        let tried = LogisticRegression::try_fit(data.x(), data.y(), config).expect("clean fit");
+        assert_eq!(plain.weights(), tried.weights());
+
+        // NaN feature → NonFiniteInput.
+        let mut bad = data.x().clone();
+        bad[(3, 1)] = f64::NAN;
+        let err = LogisticRegression::try_fit(&bad, data.y(), config).unwrap_err();
+        assert!(matches!(err, xai_core::XaiError::NonFiniteInput { .. }), "{err}");
+
+        // One iteration cannot meet the tolerance → certified non-convergence.
+        let starved = LogisticConfig { max_iter: 1, ..config };
+        let err = LogisticRegression::try_fit(data.x(), data.y(), starved).unwrap_err();
+        assert!(
+            matches!(err, xai_core::XaiError::ConvergenceFailure { iterations: 1, .. }),
+            "{err}"
+        );
     }
 
     #[test]

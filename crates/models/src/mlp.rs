@@ -67,6 +67,28 @@ pub struct Mlp {
 }
 
 impl Mlp {
+    /// Fallible twin of [`Mlp::fit`]: rejects non-finite training data up
+    /// front and reports SGD divergence (non-finite weights after
+    /// training, e.g. from an exploding learning rate) as
+    /// [`xai_core::XaiError::ConvergenceFailure`] instead of handing back
+    /// a NaN network.
+    pub fn try_fit(x: &Matrix, y: &[f64], config: MlpConfig) -> xai_core::XaiResult<Self> {
+        xai_core::validate::finite_matrix("mlp fit: design matrix", x)?;
+        xai_core::validate::finite_slice("mlp fit: targets", y)?;
+        let model = Self::fit(x, y, config);
+        let finite = model.b2.is_finite()
+            && model.b1.iter().all(|v| v.is_finite())
+            && model.w2.iter().all(|v| v.is_finite())
+            && (0..model.w1.rows()).all(|k| model.w1.row(k).iter().all(|v| v.is_finite()));
+        if !finite {
+            return Err(xai_core::XaiError::ConvergenceFailure {
+                context: "mlp SGD diverged to non-finite weights".into(),
+                iterations: config.epochs,
+            });
+        }
+        Ok(model)
+    }
+
     /// Trains the network.
     pub fn fit(x: &Matrix, y: &[f64], config: MlpConfig) -> Self {
         assert_eq!(x.rows(), y.len(), "row/target mismatch");
@@ -278,6 +300,34 @@ mod tests {
         let m1 = Mlp::fit(data.x(), data.y(), cfg);
         let m2 = Mlp::fit(data.x(), data.y(), cfg);
         assert_eq!(m1.proba(data.x()), m2.proba(data.x()));
+    }
+
+    #[test]
+    fn try_fit_rejects_poisoned_data_and_divergence() {
+        let data = linear_gaussian(100, &[1.0, -1.0], 0.0, 3);
+        let cfg = MlpConfig { epochs: 5, ..MlpConfig::default() };
+        assert!(Mlp::try_fit(data.x(), data.y(), cfg).is_ok());
+        let mut bad = data.x().clone();
+        bad[(0, 0)] = f64::INFINITY;
+        assert!(matches!(
+            Mlp::try_fit(&bad, data.y(), cfg),
+            Err(xai_core::XaiError::NonFiniteInput { .. })
+        ));
+        // An absurd learning rate on a regression head explodes tanh-free
+        // output weights to non-finite values.
+        let x = Matrix::from_fn(50, 1, |i, _| i as f64);
+        let y: Vec<f64> = (0..50).map(|i| 1e6 * i as f64).collect();
+        let diverging = MlpConfig {
+            task: MlpTask::Regression,
+            learning_rate: 1e12,
+            epochs: 50,
+            hidden: 4,
+            ..MlpConfig::default()
+        };
+        assert!(matches!(
+            Mlp::try_fit(&x, &y, diverging),
+            Err(xai_core::XaiError::ConvergenceFailure { .. })
+        ));
     }
 
     #[test]

@@ -24,6 +24,36 @@ impl std::fmt::Display for PersistError {
 
 impl std::error::Error for PersistError {}
 
+impl From<PersistError> for xai_core::XaiError {
+    fn from(e: PersistError) -> Self {
+        xai_core::XaiError::Parse { context: e.to_string() }
+    }
+}
+
+/// Saves a model to a JSON file, propagating I/O failures as
+/// [`xai_core::XaiError::Io`].
+pub fn save_to_file<M: Persist>(
+    model: &M,
+    path: impl AsRef<std::path::Path>,
+) -> xai_core::XaiResult<()> {
+    let path = path.as_ref();
+    std::fs::write(path, model.save().to_json()).map_err(|e| xai_core::XaiError::Io {
+        context: format!("{}: {e}", path.display()),
+    })
+}
+
+/// Loads a model from a JSON file. A missing file comes back as
+/// [`xai_core::XaiError::Io`]; a truncated or malformed document as
+/// [`xai_core::XaiError::Parse`] — never a process abort.
+pub fn load_from_file<M: Persist>(path: impl AsRef<std::path::Path>) -> xai_core::XaiResult<M> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| xai_core::XaiError::Io {
+        context: format!("{}: {e}", path.display()),
+    })?;
+    let json = xai_core::parse_json(&text)?;
+    Ok(M::load(&json)?)
+}
+
 fn field<'a>(j: &'a Json, key: &str) -> Result<&'a Json, PersistError> {
     j.get(key).ok_or_else(|| PersistError(format!("missing field '{key}'")))
 }
@@ -265,6 +295,26 @@ mod tests {
         }
         assert_eq!(m.base_score(), restored.base_score());
         assert_eq!(m.loss(), restored.loss());
+    }
+
+    #[test]
+    fn file_roundtrip_and_truncation_are_typed_errors() {
+        let data = friedman1(100, 3, 0.2);
+        let m = LinearRegression::fit(data.x(), data.y(), LinearConfig::default()).unwrap();
+        let path = std::env::temp_dir().join("xai_persist_test_model.json");
+        save_to_file(&m, &path).unwrap();
+        let restored: LinearRegression = load_from_file(&path).unwrap();
+        assert_eq!(m.predict_one(data.row(0)), restored.predict_one(data.row(0)));
+
+        // Truncate the file mid-document: Parse error, not a panic.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        let err = load_from_file::<LinearRegression>(&path).unwrap_err();
+        assert!(matches!(err, xai_core::XaiError::Parse { .. }), "{err}");
+
+        let _ = std::fs::remove_file(&path);
+        let err = load_from_file::<LinearRegression>(&path).unwrap_err();
+        assert!(matches!(err, xai_core::XaiError::Io { .. }), "{err}");
     }
 
     #[test]

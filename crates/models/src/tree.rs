@@ -174,11 +174,9 @@ impl<'a> Builder<'a> {
         for &feature in &candidates {
             order.clear();
             order.extend_from_slice(idx);
-            order.sort_by(|&a, &b| {
-                self.x[(a, feature)]
-                    .partial_cmp(&self.x[(b, feature)])
-                    .expect("NaN feature value")
-            });
+            // total_cmp: a NaN feature value sorts last (and `xnext <= xv`
+            // then refuses to split on it) instead of panicking mid-fit.
+            order.sort_by(|&a, &b| self.x[(a, feature)].total_cmp(&self.x[(b, feature)]));
             let mut lsum = 0.0;
             let mut lsq = 0.0;
             let total_sum: f64 = order.iter().map(|&i| self.y[i]).sum();

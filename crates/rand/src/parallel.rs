@@ -19,10 +19,44 @@
 use crate::rngs::StdRng;
 use crate::{child_seed, SeedableRng};
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Number of workers the machine supports (`1` when it cannot be probed).
 pub fn default_workers() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A panic captured from one task of a `try_par_map_*` run.
+///
+/// The lowest-indexed panicking task is reported, regardless of which
+/// worker hit it first on the wall clock — fault reporting obeys the same
+/// task-order determinism as the results themselves.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Index of the panicking task.
+    pub task: usize,
+    /// The panic payload, when it was a string (the common case); a
+    /// placeholder otherwise.
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parallel task {} panicked: {}", self.task, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Extracts a human-readable message from a `catch_unwind` payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Runs `n_tasks` independent closures across `workers` scoped threads.
@@ -69,6 +103,64 @@ where
     out.into_iter().map(|v| v.expect("every task runs exactly once")).collect()
 }
 
+/// [`par_map_seeded`] with per-task panic isolation.
+///
+/// Each task body runs under `catch_unwind`, so a panicking task aborts
+/// only itself — the other tasks (including ones scheduled on the same
+/// worker thread) still run to completion. On success the output is
+/// **bit-identical** to [`par_map_seeded`] for every worker count: the
+/// seeding, the strided schedule, and the task-order reduction are all
+/// unchanged. On failure the error names the lowest-indexed panicking
+/// task, again independent of worker count and thread timing.
+///
+/// # Panics
+/// Panics when `workers == 0`. Task panics are returned, not propagated.
+pub fn try_par_map_seeded<U, F>(
+    n_tasks: usize,
+    seed: u64,
+    workers: usize,
+    f: F,
+) -> Result<Vec<U>, TaskPanic>
+where
+    U: Send,
+    F: Fn(usize, &mut StdRng) -> U + Sync,
+{
+    assert!(workers >= 1, "need at least one worker");
+    let run_task = |t: usize| -> Result<U, TaskPanic> {
+        catch_unwind(AssertUnwindSafe(|| {
+            let mut rng = StdRng::seed_from_u64(child_seed(seed, t as u64));
+            f(t, &mut rng)
+        }))
+        .map_err(|payload| TaskPanic { task: t, message: panic_message(payload) })
+    };
+    if workers == 1 || n_tasks <= 1 {
+        return (0..n_tasks).map(run_task).collect();
+    }
+    let workers = workers.min(n_tasks);
+    let mut out: Vec<Option<Result<U, TaskPanic>>> = (0..n_tasks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let run_task = &run_task;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    (w..n_tasks)
+                        .step_by(workers)
+                        .map(|t| (t, run_task(t)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            // Worker threads never panic themselves — every task body is
+            // caught — so this join only fails on executor bugs.
+            for (t, value) in handle.join().expect("worker bodies are panic-free") {
+                out[t] = Some(value);
+            }
+        }
+    });
+    out.into_iter().map(|v| v.expect("every task runs exactly once")).collect()
+}
+
 /// Splits `0..total` into chunks of at most `chunk_size` iterations and
 /// runs each chunk as one [`par_map_seeded`] task.
 ///
@@ -92,6 +184,32 @@ where
     assert!(chunk_size >= 1, "chunk size must be positive");
     let n_chunks = total.div_ceil(chunk_size);
     par_map_seeded(n_chunks, seed, workers, |c, rng| {
+        let start = c * chunk_size;
+        let end = (start + chunk_size).min(total);
+        f(c, start..end, rng)
+    })
+}
+
+/// [`par_map_chunks`] with per-task panic isolation; see
+/// [`try_par_map_seeded`] for the fault-reporting contract.
+///
+/// # Panics
+/// Panics when `chunk_size == 0` or `workers == 0`. Chunk panics are
+/// returned, not propagated.
+pub fn try_par_map_chunks<U, F>(
+    total: usize,
+    chunk_size: usize,
+    seed: u64,
+    workers: usize,
+    f: F,
+) -> Result<Vec<U>, TaskPanic>
+where
+    U: Send,
+    F: Fn(usize, Range<usize>, &mut StdRng) -> U + Sync,
+{
+    assert!(chunk_size >= 1, "chunk size must be positive");
+    let n_chunks = total.div_ceil(chunk_size);
+    try_par_map_seeded(n_chunks, seed, workers, |c, rng| {
         let start = c * chunk_size;
         let end = (start + chunk_size).min(total);
         f(c, start..end, rng)
@@ -160,5 +278,53 @@ mod tests {
     fn more_workers_than_tasks_is_fine() {
         let out = par_map_seeded(2, 1, 8, |t, _| t);
         assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn try_variant_is_bit_identical_when_fault_free() {
+        for workers in [1, 2, 4] {
+            let plain =
+                par_map_seeded(13, 42, workers, |t, rng| (t, rng.gen::<f64>(), rng.next_u64()));
+            let tried =
+                try_par_map_seeded(13, 42, workers, |t, rng| (t, rng.gen::<f64>(), rng.next_u64()))
+                    .expect("fault-free run");
+            assert_eq!(plain, tried, "workers={workers} diverged");
+        }
+    }
+
+    #[test]
+    fn try_variant_reports_lowest_panicking_task() {
+        for workers in [1, 2, 4] {
+            let err = try_par_map_seeded(9, 3, workers, |t, _| {
+                if t == 5 || t == 7 {
+                    panic!("task {t} exploded");
+                }
+                t
+            })
+            .expect_err("tasks 5 and 7 panic");
+            assert_eq!(err.task, 5, "workers={workers}: lowest task wins");
+            assert_eq!(err.message, "task 5 exploded");
+        }
+    }
+
+    #[test]
+    fn try_chunks_match_plain_chunks() {
+        let plain = par_map_chunks(10, 3, 7, 2, |_, r, rng| (r, rng.next_u64()));
+        let tried = try_par_map_chunks(10, 3, 7, 2, |_, r, rng| (r, rng.next_u64()))
+            .expect("fault-free run");
+        assert_eq!(plain, tried);
+    }
+
+    #[test]
+    fn panicking_task_does_not_poison_its_worker_siblings() {
+        // With 2 workers, tasks 0, 2, 4 share a thread; task 0's panic
+        // must not take tasks 2 and 4 down with it.
+        let err = try_par_map_seeded(5, 1, 2, |t, _| {
+            assert!(t != 0, "task 0 exploded");
+            t
+        })
+        .expect_err("task 0 panics");
+        assert_eq!(err.task, 0);
+        assert!(err.message.contains("task 0 exploded"));
     }
 }

@@ -4,7 +4,7 @@
 //! over a dataset into global feature importances, keeping the local
 //! additivity that permutation-importance style summaries lose.
 
-use xai_core::FeatureAttribution;
+use xai_core::{validate, FeatureAttribution, XaiResult};
 use xai_data::Dataset;
 use xai_linalg::Matrix;
 
@@ -25,12 +25,7 @@ impl GlobalImportance {
     /// Features sorted by mean |φ| descending.
     pub fn ranking(&self) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.mean_abs.len()).collect();
-        idx.sort_by(|&a, &b| {
-            self.mean_abs[b]
-                .partial_cmp(&self.mean_abs[a])
-                .expect("NaN importance")
-                .then(a.cmp(&b))
-        });
+        idx.sort_by(|&a, &b| self.mean_abs[b].total_cmp(&self.mean_abs[a]).then(a.cmp(&b)));
         idx
     }
 
@@ -93,6 +88,31 @@ pub fn kernel_shap_attribution(
         ks.base_value,
         model(instance),
     )
+}
+
+/// Fallible twin of [`kernel_shap_attribution`]: validates the
+/// instance/background pair up front (finiteness, arity, non-degenerate
+/// background), then runs [`crate::kernel::try_kernel_shap`]. A ridge-
+/// escalated (degraded) regression still returns `Ok` — inspect
+/// [`crate::kernel::KernelShap::degraded`] via [`crate::kernel::try_kernel_shap`]
+/// directly when that distinction matters.
+pub fn try_kernel_shap_attribution(
+    model: &dyn Fn(&[f64]) -> f64,
+    instance: &[f64],
+    background: &Matrix,
+    feature_names: &[&str],
+    config: crate::kernel::KernelShapConfig,
+) -> XaiResult<FeatureAttribution> {
+    validate::background("kernel SHAP", instance, background)?;
+    let game = crate::game::PredictionGame::new(model, instance, background);
+    let ks = crate::kernel::try_kernel_shap(&game, config)?;
+    let prediction = xai_core::catch_model("kernel SHAP instance prediction", || model(instance))?;
+    Ok(FeatureAttribution::new(
+        feature_names.iter().map(|s| s.to_string()).collect(),
+        ks.phi,
+        ks.base_value,
+        prediction,
+    ))
 }
 
 /// Wraps a GBDT TreeSHAP run into a named [`FeatureAttribution`]

@@ -18,6 +18,7 @@
 
 use crate::batch::BatchGame;
 use crate::game::{mask_to_coalition, CooperativeGame};
+use xai_core::{XaiError, XaiResult};
 use xai_rand::rngs::StdRng;
 use xai_rand::{Rng, SeedableRng};
 use xai_linalg::distr::categorical;
@@ -54,6 +55,12 @@ pub struct KernelShap {
     pub coalitions_used: usize,
     /// True when every proper coalition was enumerated (exact mode).
     pub exact: bool,
+    /// True when the kernel regression was singular at the configured
+    /// ridge and the estimate comes from an escalated-ridge fallback
+    /// solve. Degraded estimates are finite and efficiency still holds by
+    /// construction, but the extra regularization biases the attribution
+    /// toward zero — treat it as best-effort.
+    pub degraded: bool,
 }
 
 /// Shared preamble: endpoint values and the 1-player short circuit.
@@ -62,19 +69,37 @@ struct Endpoints {
     delta: f64,
 }
 
-fn endpoints(game: &dyn CooperativeGame) -> (Endpoints, Option<KernelShap>) {
+fn endpoints(game: &dyn CooperativeGame) -> XaiResult<(Endpoints, Option<KernelShap>)> {
     let n = game.n_players();
     assert!(n >= 1, "need at least one player");
-    let v0 = game.empty_value();
-    let vn = game.grand_value();
+    let (v0, vn) = xai_core::catch_model("kernel SHAP endpoint evaluation", || {
+        (game.empty_value(), game.grand_value())
+    })?;
+    if !v0.is_finite() || !vn.is_finite() {
+        return Err(XaiError::ModelFault {
+            context: format!("kernel SHAP endpoints: v(∅) = {v0}, v(N) = {vn}"),
+        });
+    }
     let delta = vn - v0;
     let short = (n == 1).then(|| KernelShap {
         phi: vec![delta],
         base_value: v0,
         coalitions_used: 0,
         exact: true,
+        degraded: false,
     });
-    (Endpoints { v0, delta }, short)
+    Ok((Endpoints { v0, delta }, short))
+}
+
+/// Rejects non-finite coalition values: the model (not the caller's data)
+/// produced them, so they map to [`XaiError::ModelFault`].
+fn check_values(values: &[f64]) -> XaiResult<()> {
+    if let Some(i) = values.iter().position(|v| !v.is_finite()) {
+        return Err(XaiError::ModelFault {
+            context: format!("coalition evaluation {i} returned {}", values[i]),
+        });
+    }
+    Ok(())
 }
 
 /// Whether the budget admits full enumeration of the proper coalitions.
@@ -107,10 +132,21 @@ fn draw_coalition(rng: &mut StdRng, n: usize, size_weights: &[f64]) -> Vec<bool>
     coalition
 }
 
+/// Ridge escalation ladder for degraded solves: when the regression is
+/// singular at the configured ridge (degenerate background, duplicate
+/// coalition columns), each rung adds more regularization until the
+/// system becomes solvable. A solve that needed any rung is flagged
+/// degraded.
+const RIDGE_LADDER: [f64; 3] = [1e-6, 1e-4, 1e-2];
+
 /// Solves the constraint-eliminated weighted regression:
 /// target `t_i = v(z_i) − v0 − z_{i,n−1}·Δ`,
 /// design `d_ij = z_ij − z_{i,n−1}` for `j < n−1`, tail player by
-/// efficiency. `masks`, `weights` and `values` run in parallel.
+/// efficiency. `masks`, `weights` and `values` run in parallel. Returns
+/// the estimate plus a degraded flag; fails with
+/// [`XaiError::SingularSystem`] only when even the top of the ridge
+/// ladder cannot stabilize the system, and with [`XaiError::ModelFault`]
+/// when a coalition value is non-finite.
 fn solve_kernel_regression(
     n: usize,
     ends: &Endpoints,
@@ -118,7 +154,8 @@ fn solve_kernel_regression(
     weights: &[f64],
     values: &[f64],
     ridge: f64,
-) -> Vec<f64> {
+) -> XaiResult<(Vec<f64>, bool)> {
+    check_values(values)?;
     let m = masks.len();
     let mut design = Matrix::zeros(m, n - 1);
     let mut target = Vec::with_capacity(m);
@@ -130,12 +167,36 @@ fn solve_kernel_regression(
             drow[j] = f64::from(coalition[j]) - last;
         }
     }
-    let head = weighted_least_squares(&design, &target, weights, ridge)
-        .expect("kernel SHAP regression is full rank under ridge");
+    let mut solve_err = None;
+    let mut solved = None;
+    match weighted_least_squares(&design, &target, weights, ridge) {
+        Ok(head) => solved = Some((head, false)),
+        Err(first) => {
+            for rung in RIDGE_LADDER {
+                if rung <= ridge {
+                    continue;
+                }
+                if let Ok(head) = weighted_least_squares(&design, &target, weights, rung) {
+                    solved = Some((head, true));
+                    break;
+                }
+            }
+            solve_err = Some(first);
+        }
+    }
+    let Some((head, degraded)) = solved else {
+        return Err(XaiError::SingularSystem {
+            context: format!(
+                "kernel SHAP regression unsolvable even at ridge {:?}: {}",
+                RIDGE_LADDER.last(),
+                solve_err.map_or_else(String::new, |e| e.to_string())
+            ),
+        });
+    };
     let mut phi = head;
     let tail = ends.delta - phi.iter().sum::<f64>();
     phi.push(tail);
-    phi
+    Ok((phi, degraded))
 }
 
 /// Draws the sequential coalition grid: full enumeration in exact mode,
@@ -161,16 +222,31 @@ fn sequential_coalitions(n: usize, config: KernelShapConfig) -> (Vec<Vec<bool>>,
 }
 
 /// Runs Kernel SHAP on any cooperative game.
+///
+/// # Panics
+/// Panics when the game produces non-finite values or the regression is
+/// unrecoverably singular; use [`try_kernel_shap`] for typed errors.
 pub fn kernel_shap(game: &dyn CooperativeGame, config: KernelShapConfig) -> KernelShap {
-    let (ends, short) = endpoints(game);
+    try_kernel_shap(game, config).expect("kernel SHAP failed; try_kernel_shap recovers this")
+}
+
+/// Fallible twin of [`kernel_shap`]: model faults (NaN values, panics
+/// during evaluation) and unrecoverably singular regressions come back as
+/// [`XaiError`]; a regression that needed ridge escalation comes back
+/// `Ok` with `degraded = true`.
+pub fn try_kernel_shap(game: &dyn CooperativeGame, config: KernelShapConfig) -> XaiResult<KernelShap> {
+    let (ends, short) = endpoints(game)?;
     if let Some(s) = short {
-        return s;
+        return Ok(s);
     }
     let n = game.n_players();
     let (masks, weights, exact) = sequential_coalitions(n, config);
-    let values: Vec<f64> = masks.iter().map(|c| game.value(c)).collect();
-    let phi = solve_kernel_regression(n, &ends, &masks, &weights, &values, config.ridge);
-    KernelShap { phi, base_value: ends.v0, coalitions_used: masks.len(), exact }
+    let values: Vec<f64> =
+        xai_core::catch_model("kernel SHAP coalition evaluation", || {
+            masks.iter().map(|c| game.value(c)).collect()
+        })?;
+    let (phi, degraded) = solve_kernel_regression(n, &ends, &masks, &weights, &values, config.ridge)?;
+    Ok(KernelShap { phi, base_value: ends.v0, coalitions_used: masks.len(), exact, degraded })
 }
 
 /// Kernel SHAP with every coalition of a sampling round materialized into
@@ -182,15 +258,25 @@ pub fn kernel_shap(game: &dyn CooperativeGame, config: KernelShapConfig) -> Kern
 /// up front; evaluation consumes none), so at the same seed the result is
 /// bit-identical to the scalar path.
 pub fn kernel_shap_batched(game: &dyn BatchGame, config: KernelShapConfig) -> KernelShap {
-    let (ends, short) = endpoints(game);
+    try_kernel_shap_batched(game, config)
+        .expect("kernel SHAP failed; try_kernel_shap_batched recovers this")
+}
+
+/// Fallible twin of [`kernel_shap_batched`]; see [`try_kernel_shap`].
+pub fn try_kernel_shap_batched(
+    game: &dyn BatchGame,
+    config: KernelShapConfig,
+) -> XaiResult<KernelShap> {
+    let (ends, short) = endpoints(game)?;
     if let Some(s) = short {
-        return s;
+        return Ok(s);
     }
     let n = game.n_players();
     let (masks, weights, exact) = sequential_coalitions(n, config);
-    let values = game.values(&masks);
-    let phi = solve_kernel_regression(n, &ends, &masks, &weights, &values, config.ridge);
-    KernelShap { phi, base_value: ends.v0, coalitions_used: masks.len(), exact }
+    let values =
+        xai_core::catch_model("kernel SHAP batched evaluation", || game.values(&masks))?;
+    let (phi, degraded) = solve_kernel_regression(n, &ends, &masks, &weights, &values, config.ridge)?;
+    Ok(KernelShap { phi, base_value: ends.v0, coalitions_used: masks.len(), exact, degraded })
 }
 
 /// Coalition evaluations per executor task in [`kernel_shap_parallel`].
@@ -212,11 +298,24 @@ pub fn kernel_shap_parallel(
     config: KernelShapConfig,
     workers: usize,
 ) -> KernelShap {
-    use xai_rand::parallel::par_map_chunks;
+    try_kernel_shap_parallel(game, config, workers)
+        .expect("kernel SHAP failed; try_kernel_shap_parallel recovers this")
+}
+
+/// Fallible twin of [`kernel_shap_parallel`]: a panic inside a worker
+/// chunk surfaces as [`XaiError::WorkerPanic`] naming the lowest-indexed
+/// panicking chunk (worker-count invariant); other failures as in
+/// [`try_kernel_shap`].
+pub fn try_kernel_shap_parallel(
+    game: &(dyn CooperativeGame + Sync),
+    config: KernelShapConfig,
+    workers: usize,
+) -> XaiResult<KernelShap> {
+    use xai_rand::parallel::try_par_map_chunks;
     assert!(workers >= 1, "need at least one worker");
-    let (ends, short) = endpoints(game);
+    let (ends, short) = endpoints(game)?;
     if let Some(s) = short {
-        return s;
+        return Ok(s);
     }
     let n = game.n_players();
     let exact = exact_mode(n, config.max_coalitions);
@@ -224,7 +323,7 @@ pub fn kernel_shap_parallel(
     // chunk order below.
     let chunks: Vec<Vec<(Vec<bool>, f64, f64)>> = if exact {
         let total_proper = (1usize << n) - 2;
-        par_map_chunks(total_proper, COALITIONS_PER_CHUNK, config.seed, workers, |_c, range, _rng| {
+        try_par_map_chunks(total_proper, COALITIONS_PER_CHUNK, config.seed, workers, |_c, range, _rng| {
             range
                 .map(|i| {
                     let mask = i + 1; // skip the empty coalition
@@ -238,7 +337,7 @@ pub fn kernel_shap_parallel(
     } else {
         let size_weights = size_distribution(n);
         let size_weights = &size_weights;
-        par_map_chunks(config.max_coalitions, COALITIONS_PER_CHUNK, config.seed, workers, |_c, range, rng| {
+        try_par_map_chunks(config.max_coalitions, COALITIONS_PER_CHUNK, config.seed, workers, |_c, range, rng| {
             range
                 .map(|_| {
                     let coalition = draw_coalition(rng, n, size_weights);
@@ -247,7 +346,8 @@ pub fn kernel_shap_parallel(
                 })
                 .collect()
         })
-    };
+    }
+    .map_err(XaiError::from)?;
     finish_parallel(n, &ends, chunks, config.ridge, exact)
 }
 
@@ -262,17 +362,28 @@ pub fn kernel_shap_batched_parallel(
     config: KernelShapConfig,
     workers: usize,
 ) -> KernelShap {
-    use xai_rand::parallel::par_map_chunks;
+    try_kernel_shap_batched_parallel(game, config, workers)
+        .expect("kernel SHAP failed; try_kernel_shap_batched_parallel recovers this")
+}
+
+/// Fallible twin of [`kernel_shap_batched_parallel`]; failure semantics as
+/// in [`try_kernel_shap_parallel`].
+pub fn try_kernel_shap_batched_parallel(
+    game: &(dyn BatchGame + Sync),
+    config: KernelShapConfig,
+    workers: usize,
+) -> XaiResult<KernelShap> {
+    use xai_rand::parallel::try_par_map_chunks;
     assert!(workers >= 1, "need at least one worker");
-    let (ends, short) = endpoints(game);
+    let (ends, short) = endpoints(game)?;
     if let Some(s) = short {
-        return s;
+        return Ok(s);
     }
     let n = game.n_players();
     let exact = exact_mode(n, config.max_coalitions);
     let chunks: Vec<Vec<(Vec<bool>, f64, f64)>> = if exact {
         let total_proper = (1usize << n) - 2;
-        par_map_chunks(total_proper, COALITIONS_PER_CHUNK, config.seed, workers, |_c, range, _rng| {
+        try_par_map_chunks(total_proper, COALITIONS_PER_CHUNK, config.seed, workers, |_c, range, _rng| {
             let masks: Vec<Vec<bool>> =
                 range.clone().map(|i| mask_to_coalition(i + 1, n)).collect();
             let values = game.values(&masks);
@@ -289,13 +400,14 @@ pub fn kernel_shap_batched_parallel(
     } else {
         let size_weights = size_distribution(n);
         let size_weights = &size_weights;
-        par_map_chunks(config.max_coalitions, COALITIONS_PER_CHUNK, config.seed, workers, |_c, range, rng| {
+        try_par_map_chunks(config.max_coalitions, COALITIONS_PER_CHUNK, config.seed, workers, |_c, range, rng| {
             let masks: Vec<Vec<bool>> =
                 range.map(|_| draw_coalition(rng, n, size_weights)).collect();
             let values = game.values(&masks);
             masks.into_iter().zip(values).map(|(coalition, v)| (coalition, 1.0, v)).collect()
         })
-    };
+    }
+    .map_err(XaiError::from)?;
     finish_parallel(n, &ends, chunks, config.ridge, exact)
 }
 
@@ -306,7 +418,7 @@ fn finish_parallel(
     chunks: Vec<Vec<(Vec<bool>, f64, f64)>>,
     ridge: f64,
     exact: bool,
-) -> KernelShap {
+) -> XaiResult<KernelShap> {
     let mut masks = Vec::new();
     let mut weights = Vec::new();
     let mut values = Vec::new();
@@ -315,8 +427,8 @@ fn finish_parallel(
         weights.push(w);
         values.push(v);
     }
-    let phi = solve_kernel_regression(n, ends, &masks, &weights, &values, ridge);
-    KernelShap { phi, base_value: ends.v0, coalitions_used: masks.len(), exact }
+    let (phi, degraded) = solve_kernel_regression(n, ends, &masks, &weights, &values, ridge)?;
+    Ok(KernelShap { phi, base_value: ends.v0, coalitions_used: masks.len(), exact, degraded })
 }
 
 /// The Shapley kernel weight for a coalition of size `s` out of `n`.

@@ -44,18 +44,23 @@ pub use flow::{shapley_flow, FlowEdge, ShapleyFlow};
 pub use game::{CooperativeGame, PredictionGame, TableGame};
 pub use interaction::{exact_interactions, model_interactions, InteractionMatrix};
 pub use global::{
-    aggregate_local, gbdt_global_importance, kernel_shap_attribution, tree_shap_attribution,
+    aggregate_local, gbdt_global_importance, kernel_shap_attribution,
+    try_kernel_shap_attribution, tree_shap_attribution,
     GlobalImportance,
 };
 pub use owen::{one_hot_groups, owen_values, OwenValues};
 pub use kernel::{
     kernel_shap, kernel_shap_batched, kernel_shap_batched_parallel, kernel_shap_parallel,
-    shapley_kernel_weight, KernelShap, KernelShapConfig,
+    shapley_kernel_weight, try_kernel_shap, try_kernel_shap_batched,
+    try_kernel_shap_batched_parallel, try_kernel_shap_parallel, KernelShap, KernelShapConfig,
 };
 pub use qii::{set_qii, shapley_qii, unary_qii};
 pub use sampling::{
     antithetic_permutation_shapley, permutation_shapley, permutation_shapley_batched,
-    permutation_shapley_batched_parallel, permutation_shapley_parallel, SampledShapley,
+    permutation_shapley_batched_parallel, permutation_shapley_parallel,
+    try_antithetic_permutation_shapley, try_permutation_shapley, try_permutation_shapley_batched,
+    try_permutation_shapley_batched_parallel, try_permutation_shapley_budgeted,
+    try_permutation_shapley_parallel, SampledShapley,
 };
 pub use tree::{
     brute_force_tree_shap, forest_shap, gbdt_shap, tree_expected_value, tree_shap,

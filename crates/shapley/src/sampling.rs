@@ -9,7 +9,8 @@
 
 use crate::batch::BatchGame;
 use crate::game::{random_permutation, CooperativeGame};
-use xai_rand::parallel::{par_map_chunks, sum_partials};
+use xai_core::{catch_model, SampleBudget, XaiError, XaiResult};
+use xai_rand::parallel::{sum_partials, try_par_map_chunks};
 use xai_rand::rngs::StdRng;
 use xai_rand::SeedableRng;
 
@@ -25,31 +26,101 @@ pub struct SampledShapley {
 }
 
 /// Estimates Shapley values from `permutations` random orderings.
+///
+/// # Panics
+/// Panics when the game evaluates to non-finite values or panics itself;
+/// use [`try_permutation_shapley`] for typed errors.
 pub fn permutation_shapley(
     game: &dyn CooperativeGame,
     permutations: usize,
     seed: u64,
 ) -> SampledShapley {
+    try_permutation_shapley(game, permutations, seed)
+        .expect("permutation Shapley failed; try_permutation_shapley recovers this")
+}
+
+/// Fallible twin of [`permutation_shapley`]: a game that panics or
+/// produces non-finite values yields [`XaiError::ModelFault`] instead of
+/// unwinding or leaking NaN into the estimate.
+pub fn try_permutation_shapley(
+    game: &dyn CooperativeGame,
+    permutations: usize,
+    seed: u64,
+) -> XaiResult<SampledShapley> {
+    try_permutation_shapley_budgeted(game, permutations, seed, SampleBudget::unlimited())
+}
+
+/// One fallible permutation walk: evaluates the `n + 1` walk coalitions
+/// under panic isolation and returns the per-player marginals (each
+/// player joins exactly once, so accumulation order within a walk cannot
+/// change the sums).
+fn try_walk(
+    game: &dyn CooperativeGame,
+    perm: &[usize],
+    coalition: &mut [bool],
+) -> XaiResult<Vec<f64>> {
+    let n = coalition.len();
+    let marginals = catch_model("permutation Shapley walk evaluation", || {
+        coalition.iter_mut().for_each(|c| *c = false);
+        let mut prev = game.value(coalition);
+        let mut marg = vec![0.0; n];
+        for &player in perm {
+            coalition[player] = true;
+            let cur = game.value(coalition);
+            marg[player] = cur - prev;
+            prev = cur;
+        }
+        marg
+    })?;
+    if let Some(p) = marginals.iter().position(|m| !m.is_finite()) {
+        return Err(XaiError::ModelFault {
+            context: format!("permutation Shapley walk produced marginal {} for player {p}", marginals[p]),
+        });
+    }
+    Ok(marginals)
+}
+
+/// Budget-aware fallible permutation sampling: stops drawing walks once
+/// `budget` is exhausted (each walk costs `n + 1` evaluations) and
+/// returns the **best-effort partial estimate** from the walks that did
+/// complete — `result.permutations` reports how many that was. Fails with
+/// [`XaiError::BudgetExceeded`] only when the budget expires before the
+/// first walk. With an eval cap the truncation point is deterministic;
+/// with a wall-clock deadline it is machine-dependent.
+pub fn try_permutation_shapley_budgeted(
+    game: &dyn CooperativeGame,
+    permutations: usize,
+    seed: u64,
+    budget: SampleBudget,
+) -> XaiResult<SampledShapley> {
     assert!(permutations > 0, "need at least one permutation");
     let n = game.n_players();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut sum = vec![0.0; n];
     let mut sum_sq = vec![0.0; n];
     let mut coalition = vec![false; n];
+    let mut meter = budget.start();
+    let mut done = 0;
     for _ in 0..permutations {
-        let perm = random_permutation(&mut rng, n);
-        coalition.iter_mut().for_each(|c| *c = false);
-        let mut prev = game.value(&coalition);
-        for &player in &perm {
-            coalition[player] = true;
-            let cur = game.value(&coalition);
-            let marginal = cur - prev;
-            sum[player] += marginal;
-            sum_sq[player] += marginal * marginal;
-            prev = cur;
+        if meter.exhausted() {
+            break;
         }
+        let perm = random_permutation(&mut rng, n);
+        let marginals = try_walk(game, &perm, &mut coalition)?;
+        for (player, &m) in marginals.iter().enumerate() {
+            sum[player] += m;
+            sum_sq[player] += m * m;
+        }
+        meter.record(n + 1);
+        done += 1;
     }
-    finish_sampled(sum, sum_sq, permutations)
+    if done == 0 {
+        return Err(XaiError::BudgetExceeded {
+            context: "permutation Shapley: budget expired before the first walk".into(),
+            completed: 0,
+        });
+    }
+    Ok(finish_sampled(sum, sum_sq, done))
 }
 
 /// Permutations per executor task in [`permutation_shapley_parallel`],
@@ -93,6 +164,19 @@ fn walk_round(
     }
 }
 
+/// Rejects partial sums poisoned by non-finite game values. Any ±Inf or
+/// NaN game value necessarily leaves at least one non-finite per-player
+/// sum (Inf−Inf is NaN and NaN is absorbing), so checking the reduced
+/// sums is enough to guarantee no NaN reaches the estimate.
+fn check_sampled_sums(sum: &[f64]) -> XaiResult<()> {
+    if let Some(p) = sum.iter().position(|s| !s.is_finite()) {
+        return Err(XaiError::ModelFault {
+            context: format!("permutation Shapley: player {p} accumulated marginal sum {}", sum[p]),
+        });
+    }
+    Ok(())
+}
+
 /// Batched permutation sampling: permutations are processed in rounds of
 /// [`PERMS_PER_CHUNK`], each round's walk coalitions materialized into a
 /// single [`BatchGame::values`] call.
@@ -106,6 +190,17 @@ pub fn permutation_shapley_batched(
     permutations: usize,
     seed: u64,
 ) -> SampledShapley {
+    try_permutation_shapley_batched(game, permutations, seed)
+        .expect("permutation Shapley failed; try_permutation_shapley_batched recovers this")
+}
+
+/// Fallible twin of [`permutation_shapley_batched`]; failure semantics as
+/// in [`try_permutation_shapley`].
+pub fn try_permutation_shapley_batched(
+    game: &dyn BatchGame,
+    permutations: usize,
+    seed: u64,
+) -> XaiResult<SampledShapley> {
     assert!(permutations > 0, "need at least one permutation");
     let n = game.n_players();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -116,10 +211,13 @@ pub fn permutation_shapley_batched(
         let round = PERMS_PER_CHUNK.min(permutations - done);
         let perms: Vec<Vec<usize>> =
             (0..round).map(|_| random_permutation(&mut rng, n)).collect();
-        walk_round(game, &perms, n, &mut sum, &mut sum_sq);
+        catch_model("permutation Shapley batched evaluation", || {
+            walk_round(game, &perms, n, &mut sum, &mut sum_sq);
+        })?;
         done += round;
     }
-    finish_sampled(sum, sum_sq, permutations)
+    check_sampled_sums(&sum)?;
+    Ok(finish_sampled(sum, sum_sq, permutations))
 }
 
 /// Parallel batched permutation sampling: same fixed chunk grid and
@@ -133,10 +231,22 @@ pub fn permutation_shapley_batched_parallel(
     seed: u64,
     workers: usize,
 ) -> SampledShapley {
+    try_permutation_shapley_batched_parallel(game, permutations, seed, workers)
+        .expect("permutation Shapley failed; try_permutation_shapley_batched_parallel recovers this")
+}
+
+/// Fallible twin of [`permutation_shapley_batched_parallel`]; failure
+/// semantics as in [`try_permutation_shapley_parallel`].
+pub fn try_permutation_shapley_batched_parallel(
+    game: &(dyn BatchGame + Sync),
+    permutations: usize,
+    seed: u64,
+    workers: usize,
+) -> XaiResult<SampledShapley> {
     assert!(permutations > 0, "need at least one permutation");
     assert!(workers >= 1, "need at least one worker");
     let n = game.n_players();
-    let partials = par_map_chunks(
+    let partials = try_par_map_chunks(
         permutations,
         PERMS_PER_CHUNK,
         seed,
@@ -149,11 +259,13 @@ pub fn permutation_shapley_batched_parallel(
             walk_round(game, &perms, n, &mut sum, &mut sum_sq);
             (sum, sum_sq)
         },
-    );
+    )
+    .map_err(XaiError::from)?;
     let (sums, sums_sq): (Vec<_>, Vec<_>) = partials.into_iter().unzip();
     let sum = sum_partials(sums);
     let sum_sq = sum_partials(sums_sq);
-    finish_sampled(sum, sum_sq, permutations)
+    check_sampled_sums(&sum)?;
+    Ok(finish_sampled(sum, sum_sq, permutations))
 }
 
 /// Shared mean / standard-error epilogue of the permutation estimators.
@@ -189,10 +301,24 @@ pub fn permutation_shapley_parallel(
     seed: u64,
     workers: usize,
 ) -> SampledShapley {
+    try_permutation_shapley_parallel(game, permutations, seed, workers)
+        .expect("permutation Shapley failed; try_permutation_shapley_parallel recovers this")
+}
+
+/// Fallible twin of [`permutation_shapley_parallel`]: a panic inside a
+/// worker chunk yields [`XaiError::WorkerPanic`] naming the lowest-indexed
+/// panicking chunk (worker-count invariant); non-finite game values yield
+/// [`XaiError::ModelFault`].
+pub fn try_permutation_shapley_parallel(
+    game: &(dyn CooperativeGame + Sync),
+    permutations: usize,
+    seed: u64,
+    workers: usize,
+) -> XaiResult<SampledShapley> {
     assert!(permutations > 0, "need at least one permutation");
     assert!(workers >= 1, "need at least one worker");
     let n = game.n_players();
-    let partials = par_map_chunks(
+    let partials = try_par_map_chunks(
         permutations,
         PERMS_PER_CHUNK,
         seed,
@@ -216,15 +342,21 @@ pub fn permutation_shapley_parallel(
             }
             (sum, sum_sq)
         },
-    );
+    )
+    .map_err(XaiError::from)?;
     let (sums, sums_sq): (Vec<_>, Vec<_>) = partials.into_iter().unzip();
     let sum = sum_partials(sums);
     let sum_sq = sum_partials(sums_sq);
-    finish_sampled(sum, sum_sq, permutations)
+    check_sampled_sums(&sum)?;
+    Ok(finish_sampled(sum, sum_sq, permutations))
 }
 
 /// Antithetic variant: pairs each permutation with its reverse, which
 /// cancels first-order noise for near-additive games.
+///
+/// # Panics
+/// Panics when the game panics or produces non-finite values; use
+/// [`try_antithetic_permutation_shapley`] for typed errors.
 pub fn antithetic_permutation_shapley(
     game: &dyn CooperativeGame,
     pairs: usize,
@@ -262,6 +394,24 @@ pub fn antithetic_permutation_shapley(
         .map(|(&sq, &mean)| (((sq / m - mean * mean).max(0.0)) / m).sqrt())
         .collect();
     SampledShapley { phi, std_err, permutations: 2 * pairs }
+}
+
+/// Fallible twin of [`antithetic_permutation_shapley`]; failure semantics
+/// as in [`try_permutation_shapley`].
+pub fn try_antithetic_permutation_shapley(
+    game: &dyn CooperativeGame,
+    pairs: usize,
+    seed: u64,
+) -> XaiResult<SampledShapley> {
+    let est = catch_model("antithetic permutation Shapley evaluation", || {
+        antithetic_permutation_shapley(game, pairs, seed)
+    })?;
+    if let Some(p) = est.phi.iter().position(|v| !v.is_finite()) {
+        return Err(XaiError::ModelFault {
+            context: format!("antithetic permutation Shapley: player {p} estimate is {}", est.phi[p]),
+        });
+    }
+    Ok(est)
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 
 use xai_rand::rngs::StdRng;
 use xai_rand::SeedableRng;
-use xai_core::FeatureAttribution;
+use xai_core::{catch_model, validate, FeatureAttribution, XaiError, XaiResult};
 use xai_data::{Dataset, FeatureKind};
 use xai_linalg::distr::normal;
 use xai_linalg::solve::weighted_r_squared;
@@ -60,6 +60,10 @@ pub struct LimeExplanation {
     pub local_fidelity: f64,
     /// The kernel width actually used.
     pub kernel_width: f64,
+    /// True when the surrogate regression was singular at the configured
+    /// ridge and the coefficients come from an escalated-ridge fallback
+    /// solve; treat the attribution as best-effort.
+    pub degraded: bool,
 }
 
 impl LimeExplainer {
@@ -169,6 +173,11 @@ impl LimeExplainer {
 
     /// Explains one prediction of a black-box model, one probe row per
     /// model call.
+    ///
+    /// # Panics
+    /// Panics when the model misbehaves (panics, returns non-finite
+    /// outputs) or the surrogate regression is unrecoverably singular;
+    /// use [`LimeExplainer::try_explain`] for typed errors.
     pub fn explain(
         &self,
         model: &dyn Fn(&[f64]) -> f64,
@@ -176,10 +185,31 @@ impl LimeExplainer {
         config: LimeConfig,
         seed: u64,
     ) -> LimeExplanation {
+        self.try_explain(model, instance, config, seed)
+            .expect("LIME failed; try_explain recovers this")
+    }
+
+    /// Fallible twin of [`LimeExplainer::explain`]: a non-finite instance
+    /// yields [`XaiError::NonFiniteInput`], a panicking or NaN-producing
+    /// model yields [`XaiError::ModelFault`], and a surrogate regression
+    /// that needed ridge escalation comes back `Ok` with
+    /// `degraded = true`.
+    pub fn try_explain(
+        &self,
+        model: &dyn Fn(&[f64]) -> f64,
+        instance: &[f64],
+        config: LimeConfig,
+        seed: u64,
+    ) -> XaiResult<LimeExplanation> {
+        validate::finite_slice("LIME instance", instance)?;
         let (raws, design, weights, width) = self.neighbourhood(instance, config, seed);
-        let targets: Vec<f64> = raws.iter_rows().map(|r| model(r)).collect();
-        let prediction = model(instance);
-        self.fit_surrogate(design, targets, weights, width, prediction, config)
+        let (targets, prediction) = catch_model("LIME neighbourhood evaluation", || {
+            let t: Vec<f64> = raws.iter_rows().map(|r| model(r)).collect();
+            let p = model(instance);
+            (t, p)
+        })?;
+        check_targets(&targets, prediction)?;
+        self.try_fit_surrogate(design, targets, weights, width, prediction, config)
     }
 
     /// Explains one prediction through a *batched* model surface: the whole
@@ -195,16 +225,43 @@ impl LimeExplainer {
         config: LimeConfig,
         seed: u64,
     ) -> LimeExplanation {
+        self.try_explain_batched(model, instance, config, seed)
+            .expect("LIME failed; try_explain_batched recovers this")
+    }
+
+    /// Fallible twin of [`LimeExplainer::explain_batched`]; failure
+    /// semantics as in [`LimeExplainer::try_explain`].
+    pub fn try_explain_batched(
+        &self,
+        model: &dyn Fn(&Matrix) -> Vec<f64>,
+        instance: &[f64],
+        config: LimeConfig,
+        seed: u64,
+    ) -> XaiResult<LimeExplanation> {
+        validate::finite_slice("LIME instance", instance)?;
         let (raws, design, weights, width) = self.neighbourhood(instance, config, seed);
-        let targets = model(&raws);
-        assert_eq!(targets.len(), config.n_samples, "batched model returned wrong arity");
-        let prediction = model(&Matrix::from_rows(&[instance.to_vec()]))[0];
-        self.fit_surrogate(design, targets, weights, width, prediction, config)
+        let (targets, prediction) = catch_model("LIME batched neighbourhood evaluation", || {
+            let t = model(&raws);
+            let p = model(&Matrix::from_rows(&[instance.to_vec()]))[0];
+            (t, p)
+        })?;
+        if targets.len() != config.n_samples {
+            return Err(XaiError::ModelFault {
+                context: format!(
+                    "LIME batched model returned {} outputs for {} probes",
+                    targets.len(),
+                    config.n_samples
+                ),
+            });
+        }
+        check_targets(&targets, prediction)?;
+        self.try_fit_surrogate(design, targets, weights, width, prediction, config)
     }
 
     /// The surrogate fit shared by the scalar and batched paths: weighted
-    /// ridge regression, optional top-k refit, fidelity scoring.
-    fn fit_surrogate(
+    /// ridge regression (with ridge escalation on singular systems),
+    /// optional top-k refit, fidelity scoring.
+    fn try_fit_surrogate(
         &self,
         design: Matrix,
         targets: Vec<f64>,
@@ -212,21 +269,22 @@ impl LimeExplainer {
         width: f64,
         prediction: f64,
         config: LimeConfig,
-    ) -> LimeExplanation {
+    ) -> XaiResult<LimeExplanation> {
         let d = self.n_features();
-        let full = weighted_least_squares(&design, &targets, &weights, config.ridge)
-            .expect("LIME ridge regression is well-posed");
+        let (full, mut degraded) =
+            solve_surrogate(&design, &targets, &weights, config.ridge, "LIME surrogate fit")?;
         let (coef, intercept) = (full[1..].to_vec(), full[0]);
 
         // Optional feature selection: keep top-k by |coefficient|, refit.
         let (coef, intercept) = if let Some(k) = config.max_features.filter(|&k| k < d) {
             let mut idx: Vec<usize> = (0..d).collect();
-            idx.sort_by(|&a, &b| coef[b].abs().partial_cmp(&coef[a].abs()).expect("NaN coef"));
+            idx.sort_by(|&a, &b| coef[b].abs().total_cmp(&coef[a].abs()));
             idx.truncate(k.max(1));
             let cols: Vec<usize> = std::iter::once(0).chain(idx.iter().map(|&j| j + 1)).collect();
             let sub = design.select(&(0..config.n_samples).collect::<Vec<_>>(), &cols);
-            let w = weighted_least_squares(&sub, &targets, &weights, config.ridge)
-                .expect("LIME refit is well-posed");
+            let (w, refit_degraded) =
+                solve_surrogate(&sub, &targets, &weights, config.ridge, "LIME top-k refit")?;
+            degraded |= refit_degraded;
             let mut selected = vec![0.0; d];
             for (pos, &j) in idx.iter().enumerate() {
                 selected[j] = w[pos + 1];
@@ -258,7 +316,59 @@ impl LimeExplainer {
             intercept,
             prediction,
         );
-        LimeExplanation { attribution, local_fidelity, kernel_width: width }
+        Ok(LimeExplanation { attribution, local_fidelity, kernel_width: width, degraded })
+    }
+}
+
+/// Rejects non-finite model outputs on the neighbourhood — the model (not
+/// the caller's data) produced them, so they map to
+/// [`XaiError::ModelFault`].
+fn check_targets(targets: &[f64], prediction: f64) -> XaiResult<()> {
+    if let Some(i) = targets.iter().position(|t| !t.is_finite()) {
+        return Err(XaiError::ModelFault {
+            context: format!("LIME probe {i} returned {}", targets[i]),
+        });
+    }
+    if !prediction.is_finite() {
+        return Err(XaiError::ModelFault {
+            context: format!("LIME instance prediction is {prediction}"),
+        });
+    }
+    Ok(())
+}
+
+/// Ridge escalation ladder for degraded surrogate solves (mirrors kernel
+/// SHAP's): rungs at or below the configured ridge are skipped.
+const RIDGE_LADDER: [f64; 3] = [1e-6, 1e-4, 1e-2];
+
+/// Weighted least squares with ridge escalation: `Ok((solution, false))`
+/// at the configured ridge, `Ok((solution, true))` when a ladder rung was
+/// needed, [`XaiError::SingularSystem`] when even the top rung fails.
+fn solve_surrogate(
+    design: &Matrix,
+    targets: &[f64],
+    weights: &[f64],
+    ridge: f64,
+    what: &str,
+) -> XaiResult<(Vec<f64>, bool)> {
+    match weighted_least_squares(design, targets, weights, ridge) {
+        Ok(sol) => Ok((sol, false)),
+        Err(first) => {
+            for rung in RIDGE_LADDER {
+                if rung <= ridge {
+                    continue;
+                }
+                if let Ok(sol) = weighted_least_squares(design, targets, weights, rung) {
+                    return Ok((sol, true));
+                }
+            }
+            Err(XaiError::SingularSystem {
+                context: format!(
+                    "{what} unsolvable even at ridge {:?}: {first}",
+                    RIDGE_LADDER.last()
+                ),
+            })
+        }
     }
 }
 

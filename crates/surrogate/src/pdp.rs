@@ -8,6 +8,7 @@
 //! per-instance curves that the expectation averages (and can hide —
 //! heterogeneous ICE curves with a flat PDP signal interactions).
 
+use xai_core::{catch_model, validate, XaiError, XaiResult};
 use xai_data::Dataset;
 use xai_linalg::stats::quantile;
 
@@ -66,6 +67,10 @@ pub fn feature_grid(data: &Dataset, feature: usize, points: usize) -> Vec<f64> {
 
 /// Computes PDP (and optionally ICE) for one feature over (a subsample
 /// of) the dataset.
+///
+/// # Panics
+/// Panics when the model misbehaves; use [`try_partial_dependence`] for
+/// typed errors.
 pub fn partial_dependence(
     model: &dyn Fn(&[f64]) -> f64,
     data: &Dataset,
@@ -96,6 +101,66 @@ pub fn partial_dependence(
         }
     }
     PartialDependence { grid: grid.to_vec(), pdp, ice, feature }
+}
+
+/// Fallible twin of [`partial_dependence`]: a non-finite grid yields
+/// [`XaiError::NonFiniteInput`]; a model that panics or produces
+/// non-finite outputs yields [`XaiError::ModelFault`]. The returned
+/// curves are guaranteed finite.
+pub fn try_partial_dependence(
+    model: &dyn Fn(&[f64]) -> f64,
+    data: &Dataset,
+    feature: usize,
+    grid: &[f64],
+    max_rows: usize,
+    keep_ice: bool,
+) -> XaiResult<PartialDependence> {
+    validate::finite_slice("PDP grid", grid)?;
+    validate::finite_matrix("PDP dataset", data.x())?;
+    let pd = catch_model("PDP model evaluation", || {
+        partial_dependence(model, data, feature, grid, max_rows, keep_ice)
+    })?;
+    check_curves(&pd)?;
+    Ok(pd)
+}
+
+/// Fallible twin of [`partial_dependence_batched`]; failure semantics as
+/// in [`try_partial_dependence`].
+pub fn try_partial_dependence_batched(
+    model: &dyn Fn(&xai_linalg::Matrix) -> Vec<f64>,
+    data: &Dataset,
+    feature: usize,
+    grid: &[f64],
+    max_rows: usize,
+    keep_ice: bool,
+) -> XaiResult<PartialDependence> {
+    validate::finite_slice("PDP grid", grid)?;
+    validate::finite_matrix("PDP dataset", data.x())?;
+    let pd = catch_model("PDP batched model evaluation", || {
+        partial_dependence_batched(model, data, feature, grid, max_rows, keep_ice)
+    })?;
+    check_curves(&pd)?;
+    Ok(pd)
+}
+
+/// Rejects non-finite PDP/ICE points — the model produced them, so they
+/// map to [`XaiError::ModelFault`].
+fn check_curves(pd: &PartialDependence) -> XaiResult<()> {
+    if let Some(g) = pd.pdp.iter().position(|v| !v.is_finite()) {
+        return Err(XaiError::ModelFault {
+            context: format!("PDP grid point {g} averaged to {}", pd.pdp[g]),
+        });
+    }
+    if let Some(ice) = pd.ice.as_ref() {
+        for (i, curve) in ice.iter().enumerate() {
+            if let Some(g) = curve.iter().position(|v| !v.is_finite()) {
+                return Err(XaiError::ModelFault {
+                    context: format!("ICE curve {i} is {} at grid point {g}", curve[g]),
+                });
+            }
+        }
+    }
+    Ok(())
 }
 
 /// PDP/ICE through a *batched* model surface: all `rows × grid` probe rows
