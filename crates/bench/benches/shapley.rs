@@ -1,6 +1,9 @@
 //! Timing benches for the Shapley estimators (experiments E1/E3 in timing
 //! form), plus the parallel-vs-sequential Monte-Carlo comparison. Plain
 //! binaries on `xai_bench::timing` — run with `cargo bench -p xai-bench`.
+// The legacy twin entry points stay under test until removal: this file
+// is their bit-identity oracle against the unified layer.
+#![allow(deprecated)]
 
 use xai_bench::timing::Group;
 use xai_data::synth::{friedman1, german_credit};

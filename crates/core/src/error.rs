@@ -88,6 +88,15 @@ pub enum XaiError {
         /// What failed to parse, and where.
         context: String,
     },
+    /// The request cannot be served as posed: a required request field is
+    /// missing (no instance for a local method, no utility for a
+    /// valuation), the model lacks a capability the method needs
+    /// (gradients, tree internals), or the `RunConfig` combines switches
+    /// the method does not support (e.g. a budget on a parallel path).
+    Unsupported {
+        /// What was asked for and why it cannot be done.
+        context: String,
+    },
 }
 
 impl std::fmt::Display for XaiError {
@@ -107,6 +116,7 @@ impl std::fmt::Display for XaiError {
             }
             XaiError::Io { context } => write!(f, "io error: {context}"),
             XaiError::Parse { context } => write!(f, "parse error: {context}"),
+            XaiError::Unsupported { context } => write!(f, "unsupported request: {context}"),
         }
     }
 }

@@ -42,11 +42,7 @@ impl FeatureAttribution {
     pub fn ranking(&self) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.values.len()).collect();
         idx.sort_by(|&a, &b| {
-            self.values[b]
-                .abs()
-                .partial_cmp(&self.values[a].abs())
-                .expect("NaN attribution")
-                .then(a.cmp(&b))
+            self.values[b].abs().total_cmp(&self.values[a].abs()).then(a.cmp(&b))
         });
         idx
     }
@@ -253,10 +249,7 @@ impl DataAttribution {
     pub fn ranking_desc(&self) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.values.len()).collect();
         idx.sort_by(|&a, &b| {
-            self.values[b]
-                .partial_cmp(&self.values[a])
-                .expect("NaN data attribution")
-                .then(a.cmp(&b))
+            self.values[b].total_cmp(&self.values[a]).then(a.cmp(&b))
         });
         idx
     }

@@ -7,6 +7,10 @@
 //!   post-hoc, model-agnostic vs model-specific, local vs global vs
 //!   training-data) as types, plus a queryable [`taxonomy::Registry`] of
 //!   all implemented methods;
+//! - [`explainer`] — the unified layer (DESIGN.md §9): the object-safe
+//!   [`explainer::Explainer`] trait, the [`explainer::RunConfig`] execution
+//!   plan, and the [`explainer::ModelOracle`] model surface that every
+//!   method family is driven through;
 //! - [`explanation`] — the four output forms: feature attributions, rules,
 //!   counterfactuals, and data attributions;
 //! - [`eval`] — automated faithfulness (deletion/insertion), fidelity and
@@ -20,6 +24,7 @@
 
 pub mod error;
 pub mod eval;
+pub mod explainer;
 pub mod json_parse;
 pub mod explanation;
 pub mod report;
@@ -27,11 +32,16 @@ pub mod taxonomy;
 pub mod validate;
 
 pub use error::{catch_model, BudgetMeter, SampleBudget, XaiError, XaiResult};
+pub use explainer::{
+    CurveExplanation, DegradationPolicy, ExecPlan, ExplainRequest, Explainer, Explanation,
+    FnOracle, ModelOracle, RunConfig, Utility,
+};
 pub use explanation::{
     Condition, Counterfactual, DataAttribution, FeatureAttribution, Op, RuleExplanation,
 };
 pub use json_parse::{parse_json, ParseError};
 pub use report::{Json, ToReport};
 pub use taxonomy::{
-    workspace_registry, Access, Described, ExplanationForm, MethodCard, Registry, Scope, Stage,
+    method_card, workspace_registry, Access, ExplanationForm, MethodCard, Registry, Scope,
+    SharedExplainer, Stage, WORKSPACE_CARDS,
 };

@@ -13,9 +13,20 @@
 //!   ([`Scope::TrainingData`] — the tutorial's §2.3 axis).
 //!
 //! The [`Registry`] answers the kinds of questions the tutorial poses
-//! ("which model-agnostic local methods exist?") programmatically.
+//! ("which model-agnostic local methods exist?") programmatically — and,
+//! since the unified explainer layer (DESIGN.md §9), it can also *run* the
+//! methods it catalogues: [`Registry::register_explainer`] attaches a live
+//! [`Explainer`](crate::explainer::Explainer) to a card, and
+//! [`Registry::resolve`] hands runnable trait objects back by taxonomy
+//! position.
 
 use std::fmt;
+use std::sync::Arc;
+
+use crate::explainer::Explainer;
+
+/// How runnable explainers are shared out of the [`Registry`].
+pub type SharedExplainer = Arc<dyn Explainer>;
 
 /// When explainability is achieved (tutorial dimension (a)).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -91,16 +102,25 @@ impl fmt::Display for MethodCard {
     }
 }
 
-/// Implemented by every explainer type in the workspace.
-pub trait Described {
-    /// This method's taxonomy card.
-    fn card(&self) -> MethodCard;
-}
-
-/// A queryable catalogue of method cards.
-#[derive(Clone, Debug, Default)]
+/// A queryable catalogue of method cards, optionally paired with live,
+/// runnable [`Explainer`](crate::explainer::Explainer) implementations.
+///
+/// Metadata-only entries (surveyed methods without a workspace
+/// implementation) and runnable entries share one catalogue; `runners`
+/// stays parallel to `cards` by index.
+#[derive(Clone, Default)]
 pub struct Registry {
     cards: Vec<MethodCard>,
+    runners: Vec<Option<SharedExplainer>>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field("cards", &self.cards)
+            .field("runnable", &self.runnable_names())
+            .finish()
+    }
 }
 
 impl Registry {
@@ -109,12 +129,36 @@ impl Registry {
         Self::default()
     }
 
-    /// Registers a card (duplicate names are rejected).
+    /// Registers a metadata-only card (duplicate names are rejected).
     pub fn register(&mut self, card: MethodCard) -> Result<(), String> {
         if self.cards.iter().any(|c| c.name == card.name) {
             return Err(format!("method '{}' already registered", card.name));
         }
         self.cards.push(card);
+        self.runners.push(None);
+        Ok(())
+    }
+
+    /// Registers a runnable explainer under its own card. If a
+    /// metadata-only card with the same name is already catalogued, the
+    /// explainer is attached to it; attaching twice is rejected.
+    pub fn register_explainer(&mut self, explainer: SharedExplainer) -> Result<(), String> {
+        let card = explainer.card();
+        if let Some(i) = self.cards.iter().position(|c| c.name == card.name) {
+            if self.runners[i].is_some() {
+                return Err(format!("explainer '{}' already registered", card.name));
+            }
+            if self.cards[i] != card {
+                return Err(format!(
+                    "explainer '{}' disagrees with its catalogued card",
+                    card.name
+                ));
+            }
+            self.runners[i] = Some(explainer);
+        } else {
+            self.cards.push(card);
+            self.runners.push(Some(explainer));
+        }
         Ok(())
     }
 
@@ -148,13 +192,52 @@ impl Registry {
     pub fn by_section(&self, prefix: &str) -> Vec<&MethodCard> {
         self.cards.iter().filter(|c| c.section.starts_with(prefix)).collect()
     }
+
+    /// The runnable explainer registered under `name`, if any.
+    pub fn get_explainer(&self, name: &str) -> Option<SharedExplainer> {
+        let i = self.cards.iter().position(|c| c.name == name)?;
+        self.runners[i].clone()
+    }
+
+    /// True when `name` is catalogued *and* runnable.
+    pub fn is_runnable(&self, name: &str) -> bool {
+        self.get_explainer(name).is_some()
+    }
+
+    /// Live explainers at the given taxonomy position, in registration
+    /// order — the tutorial's "which model-agnostic local methods exist?"
+    /// answered with runnable code instead of metadata.
+    pub fn resolve(&self, scope: Scope, access: Access) -> Vec<SharedExplainer> {
+        self.cards
+            .iter()
+            .zip(&self.runners)
+            .filter(|(c, _)| c.scope == scope && c.access == access)
+            .filter_map(|(_, r)| r.clone())
+            .collect()
+    }
+
+    /// All runnable explainers, in registration order.
+    pub fn runnable(&self) -> Vec<SharedExplainer> {
+        self.runners.iter().flatten().cloned().collect()
+    }
+
+    /// Names of the runnable entries, in registration order.
+    pub fn runnable_names(&self) -> Vec<&'static str> {
+        self.cards
+            .iter()
+            .zip(&self.runners)
+            .filter(|(_, r)| r.is_some())
+            .map(|(c, _)| c.name)
+            .collect()
+    }
 }
 
-/// Builds the registry pre-populated with every method implemented in this
-/// workspace, in tutorial order.
-pub fn workspace_registry() -> Registry {
-    let mut r = Registry::new();
-    for card in [
+/// The static catalogue behind [`workspace_registry`]: every method
+/// implemented in this workspace, in tutorial order. Method crates fetch
+/// their own card from here via [`method_card`], so the metadata lives in
+/// exactly one place and an `Explainer` impl can never drift from the
+/// catalogue.
+pub const WORKSPACE_CARDS: &[MethodCard] = &[
         MethodCard {
             name: "LIME",
             section: "2.1.1",
@@ -343,6 +426,15 @@ pub fn workspace_registry() -> Registry {
             scope: Scope::Local,
             form: ExplanationForm::Rules,
             citation: "Shih et al. 2018 [65]; Darwiche & Hirth 2020 [12]",
+        },
+        MethodCard {
+            name: "Leave-one-out",
+            section: "2.3.1",
+            stage: Stage::PostHoc,
+            access: Access::ModelAgnostic,
+            scope: Scope::TrainingData,
+            form: ExplanationForm::DataValuation,
+            citation: "Cook 1977; the §2.3 valuation baseline",
         },
         MethodCard {
             name: "Data Shapley (TMC)",
@@ -560,8 +652,29 @@ pub fn workspace_registry() -> Registry {
             form: ExplanationForm::Provenance,
             citation: "Meliou et al., MUD 2010 [49]",
         },
-    ] {
-        r.register(card).expect("workspace registry has unique names");
+];
+
+/// The catalogued card for `name`.
+///
+/// # Panics
+/// Panics when `name` is not in [`WORKSPACE_CARDS`] — `Explainer` impls
+/// call this with literal names, so a miss is a wiring bug, caught by the
+/// registry-completeness suite.
+pub fn method_card(name: &str) -> MethodCard {
+    WORKSPACE_CARDS
+        .iter()
+        .find(|c| c.name == name)
+        .unwrap_or_else(|| panic!("method '{name}' is not in WORKSPACE_CARDS"))
+        .clone()
+}
+
+/// Builds the registry pre-populated with every method implemented in this
+/// workspace, in tutorial order (metadata only; the top-level `xai` crate
+/// attaches the runnable explainers).
+pub fn workspace_registry() -> Registry {
+    let mut r = Registry::new();
+    for card in WORKSPACE_CARDS {
+        r.register(card.clone()).expect("workspace registry has unique names");
     }
     r
 }
@@ -615,5 +728,58 @@ mod tests {
         let r = workspace_registry();
         let s = r.get("LIME").unwrap().to_string();
         assert!(s.contains("LIME") && s.contains("2.1.1") && s.contains("Ribeiro"));
+    }
+
+    #[test]
+    fn method_card_looks_up_the_catalogue() {
+        assert_eq!(method_card("Kernel SHAP").section, "2.1.2");
+        assert_eq!(method_card("Leave-one-out").scope, Scope::TrainingData);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in WORKSPACE_CARDS")]
+    fn method_card_rejects_unknown_names() {
+        let _ = method_card("not a method");
+    }
+
+    #[test]
+    fn registry_attaches_and_resolves_runnable_explainers() {
+        use crate::explainer::{ExplainRequest, Explanation, ModelOracle};
+        use std::sync::Arc;
+
+        struct Dummy;
+        impl Explainer for Dummy {
+            fn card(&self) -> MethodCard {
+                method_card("LIME")
+            }
+            fn explain(
+                &self,
+                _model: &dyn ModelOracle,
+                _req: &ExplainRequest<'_>,
+            ) -> crate::XaiResult<Explanation> {
+                Ok(Explanation::Rules(vec![]))
+            }
+        }
+
+        let mut r = workspace_registry();
+        assert!(!r.is_runnable("LIME"));
+        assert!(r.resolve(Scope::Local, Access::ModelAgnostic).is_empty());
+
+        r.register_explainer(Arc::new(Dummy)).unwrap();
+        assert!(r.is_runnable("LIME"));
+        // Attaching to an existing card must not duplicate it.
+        assert_eq!(r.cards().len(), WORKSPACE_CARDS.len());
+        // Double registration is rejected.
+        assert!(r.register_explainer(Arc::new(Dummy)).is_err());
+
+        let live = r.resolve(Scope::Local, Access::ModelAgnostic);
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].card().name, "LIME");
+        assert_eq!(r.runnable_names(), vec!["LIME"]);
+        assert!(r.get_explainer("LIME").is_some());
+        assert!(r.get_explainer("TreeSHAP").is_none());
+        // Debug output lists the runnable subset without requiring
+        // `dyn Explainer: Debug`.
+        assert!(format!("{r:?}").contains("LIME"));
     }
 }

@@ -200,6 +200,8 @@ impl DiceExplainer {
     /// counts. The draws differ from the sequential `generate` (one stream
     /// per restart instead of one shared stream); both explore the same
     /// search space.
+    #[deprecated(note = "superseded by the unified explainer layer: use DiceMethod with a RunConfig (DESIGN.md §9)")]
+    #[allow(deprecated)] // the twins forward to each other until removal
     pub fn generate_parallel(
         &self,
         model: &(dyn Fn(&[f64]) -> f64 + Sync),
@@ -284,6 +286,8 @@ impl DiceExplainer {
     /// inside one restart yields [`XaiError::WorkerPanic`] naming the
     /// lowest-indexed panicking restart; other failures as in
     /// [`DiceExplainer::try_generate`].
+    #[deprecated(note = "superseded by the unified explainer layer: use DiceMethod with a RunConfig (DESIGN.md §9)")]
+    #[allow(deprecated)] // the twins forward to each other until removal
     pub fn try_generate_parallel(
         &self,
         model: &(dyn Fn(&[f64]) -> f64 + Sync),

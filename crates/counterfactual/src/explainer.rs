@@ -1,0 +1,213 @@
+//! Unified-layer `Explainer` impls for the counterfactual family
+//! (DESIGN.md §9): Wachter gradient descent, GeCo's genetic search under
+//! plausibility/feasibility constraints, and DiCE's diverse set.
+//!
+//! Dispatch contract: `workers > 1` selects the fixed-chunk parallel
+//! multi-start twins for GeCo and DiCE (worker-count-invariant but a
+//! different search schedule than `workers == 1`, matching the legacy
+//! functions); Wachter is deterministic gradient descent, so `seed` /
+//! `workers` / `batched` are no-ops. None of the searches has a batched
+//! or budgeted twin; a `SampleBudget` is rejected as
+//! [`XaiError::Unsupported`].
+// This module is the blessed call site of the deprecated legacy twins:
+// the unified dispatch below is what replaces them.
+#![allow(deprecated)]
+
+use xai_core::taxonomy::method_card;
+use xai_core::{
+    ExplainRequest, Explainer, Explanation, MethodCard, ModelOracle, XaiError, XaiResult,
+};
+
+use crate::dice::{DiceConfig, DiceExplainer};
+use crate::geco::{try_geco, try_geco_parallel, GecoConfig, Plaf};
+use crate::wachter::{try_wachter_counterfactual, GradientModel, WachterConfig};
+
+fn reject_budget(method: &str, req: &ExplainRequest<'_>) -> XaiResult<()> {
+    if req.plan.budgeted() {
+        return Err(XaiError::Unsupported {
+            context: format!("{method} has no budgeted execution path; clear RunConfig::budget"),
+        });
+    }
+    Ok(())
+}
+
+/// Adapter: the Wachter gradient surface over any oracle that advertises
+/// a gradient.
+struct OracleGradient<'a>(&'a dyn ModelOracle);
+
+impl GradientModel for OracleGradient<'_> {
+    fn output(&self, x: &[f64]) -> f64 {
+        self.0.predict(x)
+    }
+    fn gradient(&self, x: &[f64]) -> Vec<f64> {
+        self.0.gradient(x).expect("gradient availability checked before dispatch")
+    }
+}
+
+/// Wachter-style gradient counterfactuals (§2.1.4) through the unified
+/// layer; needs a differentiable model.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WachterMethod {
+    /// Annealing schedule and step sizes.
+    pub config: WachterConfig,
+}
+
+impl Explainer for WachterMethod {
+    fn card(&self) -> MethodCard {
+        method_card("Wachter counterfactuals")
+    }
+
+    fn explain(&self, model: &dyn ModelOracle, req: &ExplainRequest<'_>) -> XaiResult<Explanation> {
+        reject_budget("Wachter counterfactuals", req)?;
+        let instance = req.need_instance("Wachter counterfactuals")?;
+        if model.gradient(instance).is_none() {
+            return Err(XaiError::Unsupported {
+                context: "Wachter counterfactual search needs a differentiable model; \
+                          this oracle offers no gradient"
+                    .into(),
+            });
+        }
+        let adapter = OracleGradient(model);
+        let cf = try_wachter_counterfactual(&adapter, req.data, instance, self.config)?;
+        Ok(Explanation::Counterfactuals(vec![cf]))
+    }
+}
+
+/// GeCo genetic counterfactual search (§2.1.4) through the unified
+/// layer; feasibility rules come from the dataset schema's mutability
+/// annotations ([`Plaf::from_schema`]).
+#[derive(Clone, Copy, Debug)]
+pub struct GecoMethod {
+    /// Population / generation schedule.
+    pub config: GecoConfig,
+    /// Restarts for the parallel multi-start twin (`workers > 1`).
+    pub starts: usize,
+}
+
+impl Default for GecoMethod {
+    fn default() -> Self {
+        Self { config: GecoConfig::default(), starts: 4 }
+    }
+}
+
+impl Explainer for GecoMethod {
+    fn card(&self) -> MethodCard {
+        method_card("GeCo")
+    }
+
+    fn explain(&self, model: &dyn ModelOracle, req: &ExplainRequest<'_>) -> XaiResult<Explanation> {
+        reject_budget("GeCo", req)?;
+        let instance = req.need_instance("GeCo")?;
+        let plaf = Plaf::from_schema(req.data);
+        let f = |x: &[f64]| model.predict(x);
+        let cf = if req.plan.parallel() {
+            try_geco_parallel(
+                &f,
+                req.data,
+                instance,
+                &plaf,
+                self.config,
+                req.plan.seed,
+                self.starts,
+                req.plan.workers,
+            )?
+        } else {
+            try_geco(&f, req.data, instance, &plaf, self.config, req.plan.seed)?
+        };
+        Ok(Explanation::Counterfactuals(vec![cf]))
+    }
+}
+
+/// DiCE diverse counterfactuals (§2.1.4) through the unified layer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DiceMethod {
+    /// Set size, diversity/proximity trade-off and search schedule.
+    pub config: DiceConfig,
+}
+
+impl Explainer for DiceMethod {
+    fn card(&self) -> MethodCard {
+        method_card("DiCE")
+    }
+
+    fn explain(&self, model: &dyn ModelOracle, req: &ExplainRequest<'_>) -> XaiResult<Explanation> {
+        reject_budget("DiCE", req)?;
+        let instance = req.need_instance("DiCE")?;
+        let explainer = DiceExplainer::fit(req.data);
+        let f = |x: &[f64]| model.predict(x);
+        let cfs = if req.plan.parallel() {
+            explainer.try_generate_parallel(
+                &f,
+                instance,
+                self.config,
+                req.plan.seed,
+                req.plan.workers,
+            )?
+        } else {
+            explainer.try_generate(&f, instance, self.config, req.plan.seed)?
+        };
+        Ok(Explanation::Counterfactuals(cfs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xai_core::taxonomy::{Access, Scope};
+    use xai_core::{ExplanationForm, RunConfig};
+    use xai_data::synth::german_credit;
+    use xai_models::{LogisticConfig, LogisticRegression};
+
+    fn rejected_row(data: &xai_data::Dataset, model: &LogisticRegression) -> Vec<f64> {
+        use xai_models::Classifier;
+        (0..data.n_rows())
+            .map(|i| data.row(i))
+            .find(|r| model.proba_one(r) < 0.5)
+            .expect("some rejected applicant exists")
+            .to_vec()
+    }
+
+    #[test]
+    fn cards_come_from_the_catalogue() {
+        assert_eq!(WachterMethod::default().card().access, Access::ModelSpecific);
+        assert_eq!(GecoMethod::default().card().scope, Scope::Local);
+        assert_eq!(DiceMethod::default().card().form, ExplanationForm::Counterfactual);
+    }
+
+    #[test]
+    fn all_three_searches_flip_a_rejection() {
+        let data = german_credit(150, 31);
+        let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+        let row = rejected_row(&data, &model);
+        let req = ExplainRequest::new(&data).instance(&row).plan(RunConfig::seeded(5));
+
+        for method in [
+            &WachterMethod::default() as &dyn Explainer,
+            &GecoMethod::default(),
+            &DiceMethod::default(),
+        ] {
+            let e = method.explain(&model, &req).unwrap();
+            let cfs = e.as_counterfactuals().unwrap();
+            assert!(!cfs.is_empty(), "{} found no counterfactual", method.card().name);
+            for cf in cfs {
+                assert!(
+                    cf.counterfactual_output >= 0.5,
+                    "{} returned a non-flipping counterfactual",
+                    method.card().name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wachter_requires_a_gradient_surface() {
+        let data = german_credit(60, 32);
+        let gbdt = xai_models::Gbdt::fit(data.x(), data.y(), xai_models::GbdtConfig::default());
+        let row = data.row(0).to_vec();
+        let req = ExplainRequest::new(&data).instance(&row);
+        assert!(matches!(
+            WachterMethod::default().explain(&gbdt, &req),
+            Err(XaiError::Unsupported { .. })
+        ));
+    }
+}

@@ -280,6 +280,8 @@ pub fn try_geco(
 /// GeCo's lexicographic criterion (fewest changes, then closest). Results
 /// are compared in start order, so the output is a pure function of
 /// `(seed, starts)` — bit-identical across worker counts.
+#[deprecated(note = "superseded by the unified explainer layer: use GecoMethod with a RunConfig (DESIGN.md §9)")]
+#[allow(deprecated)] // the twins forward to each other until removal
 pub fn geco_parallel(
     model: &(dyn Fn(&[f64]) -> f64 + Sync),
     data: &Dataset,
@@ -312,6 +314,8 @@ pub fn geco_parallel(
 /// Fallible twin of [`geco_parallel`]: a panic inside one search start
 /// yields [`XaiError::WorkerPanic`] naming the lowest-indexed panicking
 /// start; other failures as in [`try_geco`].
+#[deprecated(note = "superseded by the unified explainer layer: use GecoMethod with a RunConfig (DESIGN.md §9)")]
+#[allow(deprecated)] // the twins forward to each other until removal
 pub fn try_geco_parallel(
     model: &(dyn Fn(&[f64]) -> f64 + Sync),
     data: &Dataset,

@@ -15,6 +15,7 @@
 
 pub mod dice;
 pub mod distance;
+pub mod explainer;
 pub mod geco;
 pub mod lewis;
 pub mod recourse;
@@ -22,6 +23,8 @@ pub mod wachter;
 
 pub use dice::{DiceConfig, DiceExplainer};
 pub use distance::{diversity, implausibility, FeatureScales};
+pub use explainer::{DiceMethod, GecoMethod, WachterMethod};
+#[allow(deprecated)] // re-export keeps the legacy twins reachable during migration
 pub use geco::{
     geco, geco_parallel, random_search_counterfactual, try_geco, try_geco_parallel, GecoConfig,
     Plaf, PlafRule,

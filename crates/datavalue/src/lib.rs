@@ -22,6 +22,7 @@
 pub mod banzhaf;
 pub mod data_shapley;
 pub mod distributional;
+pub mod explainer;
 pub mod group;
 pub mod incremental;
 pub mod influence;
@@ -35,6 +36,7 @@ pub use banzhaf::{data_banzhaf, exact_data_banzhaf, try_data_banzhaf, BanzhafCon
 pub use data_shapley::{
     removal_curve, tmc_shapley, try_tmc_shapley, try_tmc_shapley_budgeted, TmcConfig, TmcResult,
 };
+pub use explainer::{BanzhafMethod, LooMethod, TmcMethod};
 pub use distributional::{distributional_shapley, DistributionalConfig};
 pub use group::{
     group_influence_first_order, group_influence_newton, group_removal_ground_truth,
@@ -50,10 +52,12 @@ pub use influence::{
     influence_on_test_loss, removal_parameter_change, retraining_ground_truth, Solver,
 };
 pub use knn_shapley::{knn_shapley, knn_shapley_single};
+#[allow(deprecated)] // re-export keeps the legacy twins reachable during migration
 pub use parallel::{
     data_banzhaf_parallel, tmc_shapley_parallel, try_data_banzhaf_parallel,
     try_tmc_shapley_parallel,
 };
+#[allow(deprecated)] // re-export keeps the legacy twins reachable during migration
 pub use loo::{
     exact_data_shapley, leave_one_out, leave_one_out_parallel, try_leave_one_out,
     try_leave_one_out_parallel,

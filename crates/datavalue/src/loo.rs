@@ -57,6 +57,8 @@ pub fn try_leave_one_out(utility: &dyn Utility) -> XaiResult<DataAttribution> {
 /// walks its own in-place scratch buffer exactly like the sequential path
 /// and chunk results are concatenated in order, so the output is
 /// bit-identical to [`leave_one_out`] for every worker count.
+#[deprecated(note = "superseded by the unified explainer layer: use LooMethod with a RunConfig (DESIGN.md §9)")]
+#[allow(deprecated)] // the twins forward to each other until removal
 pub fn leave_one_out_parallel<U: Utility + Sync>(utility: &U, workers: usize) -> DataAttribution {
     assert!(workers >= 1, "need at least one worker");
     let n = utility.n_train();
@@ -82,6 +84,8 @@ pub fn leave_one_out_parallel<U: Utility + Sync>(utility: &U, workers: usize) ->
 /// chunk yields [`XaiError::WorkerPanic`] naming the lowest-indexed
 /// panicking chunk (worker-count invariant); non-finite scores yield
 /// [`XaiError::ModelFault`].
+#[deprecated(note = "superseded by the unified explainer layer: use LooMethod with a RunConfig (DESIGN.md §9)")]
+#[allow(deprecated)] // the twins forward to each other until removal
 pub fn try_leave_one_out_parallel<U: Utility + Sync>(
     utility: &U,
     workers: usize,
@@ -133,6 +137,7 @@ pub fn exact_data_shapley(utility: &dyn Utility) -> DataAttribution {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the twins stay under test until removal
 mod tests {
     use super::*;
     use crate::utility::FnUtility;

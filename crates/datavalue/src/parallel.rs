@@ -27,6 +27,8 @@ const PERMS_PER_CHUNK: usize = 16;
 /// # Panics
 /// Panics when the utility panics or returns non-finite scores; use
 /// [`try_tmc_shapley_parallel`] for typed errors.
+#[deprecated(note = "superseded by the unified explainer layer: use TmcMethod with a RunConfig (DESIGN.md §9)")]
+#[allow(deprecated)] // the twins forward to each other until removal
 pub fn tmc_shapley_parallel<U: Utility + Sync>(
     utility: &U,
     config: TmcConfig,
@@ -41,6 +43,8 @@ pub fn tmc_shapley_parallel<U: Utility + Sync>(
 /// panicking chunk (worker-count invariant); non-finite utility scores
 /// yield [`XaiError::ModelFault`]. Fault-free runs are bit-identical to
 /// [`tmc_shapley_parallel`].
+#[deprecated(note = "superseded by the unified explainer layer: use TmcMethod with a RunConfig (DESIGN.md §9)")]
+#[allow(deprecated)] // the twins forward to each other until removal
 pub fn try_tmc_shapley_parallel<U: Utility + Sync>(
     utility: &U,
     config: TmcConfig,
@@ -108,6 +112,8 @@ pub fn try_tmc_shapley_parallel<U: Utility + Sync>(
 /// # Panics
 /// Panics when the utility panics or returns non-finite scores; use
 /// [`try_data_banzhaf_parallel`] for typed errors.
+#[deprecated(note = "superseded by the unified explainer layer: use BanzhafMethod with a RunConfig (DESIGN.md §9)")]
+#[allow(deprecated)] // the twins forward to each other until removal
 pub fn data_banzhaf_parallel<U: Utility + Sync>(
     utility: &U,
     config: BanzhafConfig,
@@ -122,6 +128,8 @@ pub fn data_banzhaf_parallel<U: Utility + Sync>(
 /// panicking task (worker-count invariant); non-finite utility scores
 /// yield [`XaiError::ModelFault`]. Fault-free runs are bit-identical to
 /// [`data_banzhaf_parallel`].
+#[deprecated(note = "superseded by the unified explainer layer: use BanzhafMethod with a RunConfig (DESIGN.md §9)")]
+#[allow(deprecated)] // the twins forward to each other until removal
 pub fn try_data_banzhaf_parallel<U: Utility + Sync>(
     utility: &U,
     config: BanzhafConfig,
@@ -153,6 +161,7 @@ pub fn try_data_banzhaf_parallel<U: Utility + Sync>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the twins stay under test until removal
 mod tests {
     use super::*;
     use crate::banzhaf::exact_data_banzhaf;

@@ -25,13 +25,12 @@ pub(crate) fn check_finite_values(values: &[f64], what: &str) -> xai_core::XaiRe
 }
 
 /// A subset utility: maps training-index subsets to a test score.
-pub trait Utility {
-    /// Evaluates `U(S)`; `subset` holds distinct train indices.
-    fn eval(&self, subset: &[usize]) -> f64;
-
-    /// Number of training points.
-    fn n_train(&self) -> usize;
-}
+///
+/// The trait itself now lives in the unified explainer layer
+/// (`xai_core::explainer`) so `ExplainRequest` can carry a utility
+/// without a crate cycle; this re-export keeps every existing
+/// `xai_datavalue::Utility` caller working unchanged.
+pub use xai_core::explainer::Utility;
 
 /// Utility backed by an arbitrary closure.
 pub struct FnUtility<F: Fn(&[usize]) -> f64> {

@@ -16,6 +16,11 @@
 //! [`batch_regress_fn`], with [`batch_from_scalar`] as the row-loop
 //! fallback); every vectorized `predict_batch` override is bit-identical
 //! to the scalar row loop.
+//!
+//! The unified explainer layer sees the same boundary through one object:
+//! every model here implements `xai_core::ModelOracle` ([`oracle`]), with
+//! optional gradient and downcast capabilities for the model-specific
+//! methods.
 
 pub mod forest;
 pub mod gbdt;
@@ -24,6 +29,7 @@ pub mod linear;
 pub mod logistic;
 pub mod mlp;
 pub mod naive_bayes;
+pub mod oracle;
 pub mod persist;
 pub mod traits;
 pub mod tree;

@@ -1,0 +1,167 @@
+//! [`ModelOracle`] implementations for every concrete model: the bridge
+//! between this crate and the unified explainer layer (DESIGN.md §9).
+//!
+//! `xai-core` cannot depend on this crate (we depend on it), so the
+//! oracle trait lives there and the impls live here. Conventions match
+//! the legacy adapters exactly, so the trait path is bit-identical to the
+//! free-function path:
+//!
+//! - classifiers expose their positive-class probability
+//!   (`Classifier::proba_one` / `proba_batch`, the `proba_fn` /
+//!   `batch_proba_fn` convention); models implementing both surfaces
+//!   (trees, forests, GBDTs, k-NN, MLPs) side with the classifier view,
+//!   which is what every existing example and test explains;
+//! - `LinearRegression` exposes `Regressor::predict_one` / `predict_batch`
+//!   (the `regress_fn` convention);
+//! - `predict_batch` overrides route through each model's vectorized
+//!   kernels, so `RunConfig { batched: true, .. }` hits the same code the
+//!   `*_batched` twins did;
+//! - `gradient` is provided exactly where the workspace already had a
+//!   gradient surface (`xai_surrogate::Differentiable`,
+//!   `xai_counterfactual::GradientModel`): logistic regression and MLPs,
+//!   plus the trivially constant linear-regression gradient;
+//! - `as_any` returns `Some` for every model so structure-walking methods
+//!   (TreeSHAP, provenance interventions) can downcast.
+
+use std::any::Any;
+
+use xai_core::ModelOracle;
+use xai_linalg::Matrix;
+
+use crate::traits::{Classifier, Model, Regressor};
+use crate::{
+    DecisionTree, GaussianNb, Gbdt, Knn, LinearRegression, LogisticRegression, Mlp, RandomForest,
+};
+
+macro_rules! classifier_oracle {
+    ($ty:ty) => {
+        impl ModelOracle for $ty {
+            fn n_features(&self) -> usize {
+                Model::n_features(self)
+            }
+            fn predict(&self, x: &[f64]) -> f64 {
+                Classifier::proba_one(self, x)
+            }
+            fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
+                Classifier::proba_batch(self, rows)
+            }
+            fn as_any(&self) -> Option<&dyn Any> {
+                Some(self)
+            }
+        }
+    };
+}
+
+classifier_oracle!(DecisionTree);
+classifier_oracle!(RandomForest);
+classifier_oracle!(Gbdt);
+classifier_oracle!(Knn);
+classifier_oracle!(GaussianNb);
+
+impl ModelOracle for LinearRegression {
+    fn n_features(&self) -> usize {
+        Model::n_features(self)
+    }
+    fn predict(&self, x: &[f64]) -> f64 {
+        Regressor::predict_one(self, x)
+    }
+    fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
+        Regressor::predict_batch(self, rows)
+    }
+    fn gradient(&self, _x: &[f64]) -> Option<Vec<f64>> {
+        Some(self.coef().to_vec())
+    }
+    fn as_any(&self) -> Option<&dyn Any> {
+        Some(self)
+    }
+}
+
+impl ModelOracle for LogisticRegression {
+    fn n_features(&self) -> usize {
+        Model::n_features(self)
+    }
+    fn predict(&self, x: &[f64]) -> f64 {
+        Classifier::proba_one(self, x)
+    }
+    fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
+        Classifier::proba_batch(self, rows)
+    }
+    /// `∂p/∂x = p(1−p)·w` — the same formula the Wachter and saliency
+    /// adapters use, so gradient methods are bit-identical either way.
+    fn gradient(&self, x: &[f64]) -> Option<Vec<f64>> {
+        let p = Classifier::proba_one(self, x);
+        let s = p * (1.0 - p);
+        Some(self.coef().iter().map(|w| w * s).collect())
+    }
+    fn as_any(&self) -> Option<&dyn Any> {
+        Some(self)
+    }
+}
+
+impl ModelOracle for Mlp {
+    fn n_features(&self) -> usize {
+        Model::n_features(self)
+    }
+    fn predict(&self, x: &[f64]) -> f64 {
+        Classifier::proba_one(self, x)
+    }
+    fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
+        Classifier::proba_batch(self, rows)
+    }
+    fn gradient(&self, x: &[f64]) -> Option<Vec<f64>> {
+        Some(self.input_gradient(x))
+    }
+    fn as_any(&self) -> Option<&dyn Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GbdtConfig, LogisticConfig, TreeConfig};
+    use xai_data::synth::german_credit;
+
+    #[test]
+    fn oracle_matches_the_legacy_adapters() {
+        let data = german_credit(80, 11);
+        let x = data.row(0);
+
+        let logit = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+        let oracle: &dyn ModelOracle = &logit;
+        assert_eq!(oracle.n_features(), data.x().cols());
+        assert_eq!(oracle.predict(x), logit.proba_one(x));
+        assert_eq!(oracle.predict_batch(data.x()), logit.proba_batch(data.x()));
+
+        let tree = DecisionTree::fit(data.x(), data.y(), TreeConfig::default());
+        let oracle: &dyn ModelOracle = &tree;
+        assert_eq!(oracle.predict(x), tree.predict_value(x));
+        assert_eq!(oracle.predict_batch(data.x()), tree.predict_values(data.x()));
+    }
+
+    #[test]
+    fn gradients_match_the_existing_surfaces() {
+        let data = german_credit(80, 12);
+        let x = data.row(3);
+
+        let logit = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+        let g = ModelOracle::gradient(&logit, x).unwrap();
+        let p = logit.proba_one(x);
+        for (gj, wj) in g.iter().zip(logit.coef()) {
+            assert!((gj - wj * p * (1.0 - p)).abs() < 1e-12);
+        }
+
+        let gbdt = Gbdt::fit(data.x(), data.y(), GbdtConfig::default());
+        assert!(ModelOracle::gradient(&gbdt, x).is_none(), "trees have no gradient");
+    }
+
+    #[test]
+    fn as_any_downcasts_to_the_concrete_model() {
+        let data = german_credit(60, 13);
+        let gbdt = Gbdt::fit(data.x(), data.y(), GbdtConfig::default());
+        let oracle: &dyn ModelOracle = &gbdt;
+        let any = oracle.as_any().unwrap();
+        assert!(any.downcast_ref::<Gbdt>().is_some());
+        assert!(any.downcast_ref::<Mlp>().is_none());
+    }
+}

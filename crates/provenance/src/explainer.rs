@@ -1,0 +1,103 @@
+//! Unified-layer `Explainer` impl for provenance-based intervention
+//! (DESIGN.md §3/§9): Rain-style complaint-driven debugging, ranking
+//! training tuples by the influence of their removal on a relaxed
+//! aggregate query over model predictions.
+//!
+//! The influence computation is closed-form linear algebra (one Hessian
+//! solve), so `seed`, `workers` and `batched` are all no-ops; a
+//! `SampleBudget` is rejected as [`XaiError::Unsupported`]. The method is
+//! model-specific: the oracle must downcast (via [`ModelOracle::as_any`])
+//! to the workspace [`LogisticRegression`], whose Hessian the influence
+//! machinery differentiates through.
+
+use xai_core::taxonomy::method_card;
+use xai_core::{
+    catch_model, ExplainRequest, Explainer, Explanation, MethodCard, ModelOracle, XaiError,
+    XaiResult,
+};
+use xai_models::LogisticRegression;
+
+use crate::complaint::{complaint_influence, Complaint, PredicateCountQuery};
+
+/// Complaint-driven training-data debugging (§3) through the unified
+/// layer: explains `COUNT(*) WHERE M(x) = 1` over the request dataset.
+#[derive(Clone, Copy, Debug)]
+pub struct ComplaintMethod {
+    /// Direction of the complaint the ranking should resolve.
+    pub complaint: Complaint,
+}
+
+impl Default for ComplaintMethod {
+    fn default() -> Self {
+        Self { complaint: Complaint::TooHigh }
+    }
+}
+
+impl Explainer for ComplaintMethod {
+    fn card(&self) -> MethodCard {
+        method_card("Complaint-driven debugging")
+    }
+
+    fn explain(&self, model: &dyn ModelOracle, req: &ExplainRequest<'_>) -> XaiResult<Explanation> {
+        if req.plan.budgeted() {
+            return Err(XaiError::Unsupported {
+                context: "Complaint-driven debugging has no budgeted execution path; \
+                          clear RunConfig::budget"
+                    .into(),
+            });
+        }
+        let Some(lr) = model.as_any().and_then(|a| a.downcast_ref::<LogisticRegression>())
+        else {
+            return Err(XaiError::Unsupported {
+                context: "Complaint-driven debugging differentiates through the logistic \
+                          training objective; the oracle is not a LogisticRegression"
+                    .into(),
+            });
+        };
+        let query = PredicateCountQuery::new(req.data, |_| true);
+        let att = catch_model("complaint influence solve", || {
+            complaint_influence(lr, req.data, &query, self.complaint)
+        })?;
+        Ok(Explanation::DataValuation(att))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xai_core::taxonomy::{Access, Scope};
+    use xai_core::RunConfig;
+    use xai_data::synth::german_credit;
+    use xai_models::{LogisticConfig, LogisticRegression};
+
+    #[test]
+    fn card_comes_from_the_catalogue() {
+        let card = ComplaintMethod::default().card();
+        assert_eq!(card.access, Access::ModelSpecific);
+        assert_eq!(card.scope, Scope::TrainingData);
+    }
+
+    #[test]
+    fn trait_path_matches_the_legacy_free_function_and_ignores_workers() {
+        let data = german_credit(80, 17);
+        let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+        let query = PredicateCountQuery::new(&data, |_| true);
+        let legacy = complaint_influence(&model, &data, &query, Complaint::TooHigh);
+        for workers in [1usize, 4] {
+            let req =
+                ExplainRequest::new(&data).plan(RunConfig::seeded(1).with_workers(workers));
+            let e = ComplaintMethod::default().explain(&model, &req).unwrap();
+            assert_eq!(e.as_valuation().unwrap().values, legacy.values);
+        }
+    }
+
+    #[test]
+    fn non_logistic_oracles_are_rejected() {
+        let data = german_credit(60, 18);
+        let gbdt = xai_models::Gbdt::fit(data.x(), data.y(), xai_models::GbdtConfig::default());
+        assert!(matches!(
+            ComplaintMethod::default().explain(&gbdt, &ExplainRequest::new(&data)),
+            Err(XaiError::Unsupported { .. })
+        ));
+    }
+}

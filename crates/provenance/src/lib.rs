@@ -16,6 +16,7 @@
 //!   accountability by ablation.
 
 pub mod complaint;
+pub mod explainer;
 pub mod pipeline;
 pub mod priu;
 pub mod relation;
@@ -26,6 +27,7 @@ pub mod unlearn;
 pub mod whynot;
 
 pub use complaint::{complaint_influence, top_suspects, Complaint, PredicateCountQuery};
+pub use explainer::ComplaintMethod;
 pub use pipeline::{
     attribute_error_to_stages, inject_sentinels, FilterStage, ImputeStage, Pipeline, ScaleStage,
     Stage, StageRecord,

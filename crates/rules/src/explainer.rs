@@ -1,0 +1,144 @@
+//! Unified-layer `Explainer` impls for the rule family (DESIGN.md §9):
+//! Anchors (local sufficient rules) and interpretable decision sets fit
+//! as a global rule surrogate of the model under explanation.
+//!
+//! Both searches are sequential; `workers` and `batched` are no-ops (the
+//! result equals the `workers == 1` result bit-for-bit) and a
+//! `SampleBudget` is rejected as [`XaiError::Unsupported`].
+
+use xai_core::taxonomy::method_card;
+use xai_core::{
+    catch_model, validate, ExplainRequest, Explainer, Explanation, MethodCard, ModelOracle,
+    XaiError, XaiResult,
+};
+
+use crate::anchors::{AnchorsConfig, AnchorsExplainer};
+use crate::ids::{DecisionSet, IdsConfig};
+
+fn reject_budget(method: &str, req: &ExplainRequest<'_>) -> XaiResult<()> {
+    if req.plan.budgeted() {
+        return Err(XaiError::Unsupported {
+            context: format!("{method} has no budgeted execution path; clear RunConfig::budget"),
+        });
+    }
+    Ok(())
+}
+
+/// Anchors (§2.2) through the unified layer: a high-precision sufficient
+/// rule for one prediction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnchorsMethod {
+    /// Precision target, confidence and length cap of the bandit search.
+    pub config: AnchorsConfig,
+}
+
+impl Explainer for AnchorsMethod {
+    fn card(&self) -> MethodCard {
+        method_card("Anchors")
+    }
+
+    fn explain(&self, model: &dyn ModelOracle, req: &ExplainRequest<'_>) -> XaiResult<Explanation> {
+        reject_budget("Anchors", req)?;
+        let instance = req.need_instance("Anchors")?;
+        validate::finite_slice("Anchors instance", instance)?;
+        validate::finite_matrix("Anchors dataset", req.data.x())?;
+        let explainer = AnchorsExplainer::fit(req.data);
+        let f = |x: &[f64]| model.predict(x);
+        let rule = catch_model("Anchors bandit search", || {
+            explainer.explain(&f, instance, self.config, req.plan.seed)
+        })?;
+        Ok(Explanation::Rules(vec![rule]))
+    }
+}
+
+/// Interpretable decision sets (§2.2) through the unified layer, fit as
+/// a *global rule surrogate*: the model's own hard labels over the
+/// request dataset become the target, so the mined rules describe the
+/// model rather than the raw data.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DecisionSetMethod {
+    /// Support, length and set-size caps of the mining step.
+    pub config: IdsConfig,
+}
+
+impl Explainer for DecisionSetMethod {
+    fn card(&self) -> MethodCard {
+        method_card("Interpretable decision sets")
+    }
+
+    fn explain(&self, model: &dyn ModelOracle, req: &ExplainRequest<'_>) -> XaiResult<Explanation> {
+        reject_budget("Interpretable decision sets", req)?;
+        validate::finite_matrix("decision set dataset", req.data.x())?;
+        let rules = catch_model("decision set surrogate fit", || {
+            let labels: Vec<f64> = (0..req.data.n_rows())
+                .map(|i| f64::from(model.predict(req.data.row(i)) >= 0.5))
+                .collect();
+            DecisionSet::fit(req.data, &labels, self.config).rules()
+        })?;
+        Ok(Explanation::Rules(rules))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xai_core::taxonomy::{Scope, Stage};
+    use xai_core::{ExplanationForm, RunConfig};
+    use xai_data::synth::german_credit;
+    use xai_models::{LogisticConfig, LogisticRegression};
+
+    #[test]
+    fn cards_come_from_the_catalogue() {
+        assert_eq!(AnchorsMethod::default().card().scope, Scope::Local);
+        assert_eq!(AnchorsMethod::default().card().form, ExplanationForm::Rules);
+        assert_eq!(DecisionSetMethod::default().card().stage, Stage::Intrinsic);
+    }
+
+    #[test]
+    fn anchors_trait_path_yields_a_rule_for_the_instance() {
+        let data = german_credit(120, 41);
+        let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+        let row = data.row(0).to_vec();
+        let req = ExplainRequest::new(&data).instance(&row).plan(RunConfig::seeded(2));
+        let e = AnchorsMethod::default().explain(&model, &req).unwrap();
+        let rules = e.as_rules().unwrap();
+        assert_eq!(rules.len(), 1);
+        assert!(rules[0].matches(&row), "anchor must cover its own instance");
+    }
+
+    #[test]
+    fn decision_set_describes_the_model_not_the_labels() {
+        let data = german_credit(150, 42);
+        let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+        let req = ExplainRequest::new(&data);
+        let e = DecisionSetMethod::default().explain(&model, &req).unwrap();
+        let rules = e.as_rules().unwrap();
+        assert!(!rules.is_empty(), "surrogate mined no rules");
+        // The mined rules must agree with the model's own labels more
+        // often than chance on the training rows.
+        use xai_models::Classifier;
+        let ds = {
+            let labels: Vec<f64> = (0..data.n_rows())
+                .map(|i| f64::from(model.proba_one(data.row(i)) >= 0.5))
+                .collect();
+            crate::ids::DecisionSet::fit(&data, &labels, IdsConfig::default())
+        };
+        let agree = (0..data.n_rows())
+            .filter(|&i| {
+                (ds.predict_one(data.row(i)) >= 0.5)
+                    == (model.proba_one(data.row(i)) >= 0.5)
+            })
+            .count();
+        assert!(agree * 2 > data.n_rows(), "agreement {agree}/{}", data.n_rows());
+    }
+
+    #[test]
+    fn anchors_demands_an_instance() {
+        let data = german_credit(50, 43);
+        let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+        assert!(matches!(
+            AnchorsMethod::default().explain(&model, &ExplainRequest::new(&data)),
+            Err(XaiError::Unsupported { .. })
+        ));
+    }
+}

@@ -18,6 +18,7 @@
 pub mod anchors;
 pub mod apriori;
 pub mod assoc;
+pub mod explainer;
 pub mod fpgrowth;
 pub mod ids;
 pub mod itemset;
@@ -26,6 +27,7 @@ pub mod rule_list;
 
 pub use anchors::{AnchorsConfig, AnchorsExplainer};
 pub use apriori::{apriori, FrequentItemset};
+pub use explainer::{AnchorsMethod, DecisionSetMethod};
 pub use assoc::{association_rules, AssociationRule};
 pub use fpgrowth::fp_growth;
 pub use ids::{DecisionSet, IdsConfig};

@@ -1,0 +1,395 @@
+//! Unified-layer `Explainer` impls for the Shapley family (DESIGN.md §9):
+//! exact enumeration, permutation sampling, Kernel SHAP and TreeSHAP, all
+//! driven through `xai_core::Explainer::explain` with one `RunConfig`.
+//!
+//! Dispatch contract (enforced by `tests/unified_api.rs`): each
+//! `(workers, batched)` combination selects exactly the legacy twin that
+//! previously served it, so the trait path is bit-identical to the old
+//! free functions at the same seed. A `SampleBudget` is honoured only by
+//! permutation sampling (the one Shapley estimator with a budgeted twin)
+//! and only on the sequential scalar path; other combinations report
+//! [`XaiError::Unsupported`] rather than silently ignoring the cap.
+// This module is the blessed call site of the deprecated legacy twins:
+// the unified dispatch below is what replaces them.
+#![allow(deprecated)]
+
+use xai_core::taxonomy::method_card;
+use xai_core::{
+    catch_model, validate, DegradationPolicy, ExplainRequest, Explainer, Explanation,
+    FeatureAttribution, MethodCard, ModelOracle, XaiError, XaiResult,
+};
+use xai_linalg::Matrix;
+use xai_models::{DecisionTree, Gbdt, RandomForest};
+
+use crate::batch::BatchPredictionGame;
+use crate::exact::{exact_shapley, MAX_EXACT_PLAYERS};
+use crate::game::PredictionGame;
+use crate::kernel::{
+    try_kernel_shap, try_kernel_shap_batched, try_kernel_shap_batched_parallel,
+    try_kernel_shap_parallel, KernelShap, KernelShapConfig,
+};
+use crate::sampling::{
+    try_permutation_shapley, try_permutation_shapley_batched,
+    try_permutation_shapley_batched_parallel, try_permutation_shapley_budgeted,
+    try_permutation_shapley_parallel,
+};
+use crate::tree::{forest_shap, gbdt_shap, tree_expected_value, tree_shap};
+
+/// Feature names from the request schema when the arity matches, else
+/// positional `x{j}` names (the request's dataset may describe a
+/// different space than a caller-supplied background).
+fn names_for(req: &ExplainRequest<'_>, n: usize) -> Vec<String> {
+    let names = req.feature_names();
+    if names.len() == n {
+        names
+    } else {
+        (0..n).map(|j| format!("x{j}")).collect()
+    }
+}
+
+/// Baseline (mean background prediction) and instance prediction under
+/// panic isolation, with model-fault checks on both.
+fn endpoints(
+    model: &dyn ModelOracle,
+    instance: &[f64],
+    background: &Matrix,
+) -> XaiResult<(f64, f64)> {
+    let (base, pred) = catch_model("Shapley endpoint evaluation", || {
+        let preds = model.predict_batch(background);
+        let base = preds.iter().sum::<f64>() / preds.len().max(1) as f64;
+        (base, model.predict(instance))
+    })?;
+    if !base.is_finite() || !pred.is_finite() {
+        return Err(XaiError::ModelFault {
+            context: format!("Shapley endpoints evaluated to base {base}, prediction {pred}"),
+        });
+    }
+    Ok((base, pred))
+}
+
+fn reject_budget(method: &str, req: &ExplainRequest<'_>) -> XaiResult<()> {
+    if req.plan.budgeted() {
+        return Err(XaiError::Unsupported {
+            context: format!("{method} has no budgeted execution path; clear RunConfig::budget"),
+        });
+    }
+    Ok(())
+}
+
+/// Exact Shapley values by coalition enumeration (§2.1.2) through the
+/// unified layer. Enumeration is deterministic, so `seed`, `workers` and
+/// `batched` do not change the result.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExactShapleyMethod;
+
+impl Explainer for ExactShapleyMethod {
+    fn card(&self) -> MethodCard {
+        method_card("Exact Shapley")
+    }
+
+    fn explain(&self, model: &dyn ModelOracle, req: &ExplainRequest<'_>) -> XaiResult<Explanation> {
+        reject_budget("exact Shapley", req)?;
+        let instance = req.need_instance("exact Shapley")?;
+        let background = req.background_or_data();
+        validate::background("exact Shapley", instance, background)?;
+        let n = instance.len();
+        if n > MAX_EXACT_PLAYERS {
+            return Err(XaiError::Unsupported {
+                context: format!(
+                    "exact Shapley enumerates 2^n coalitions; {n} features exceeds the cap of {MAX_EXACT_PLAYERS}"
+                ),
+            });
+        }
+        let f = |x: &[f64]| model.predict(x);
+        let game = PredictionGame::new(&f, instance, background);
+        let phi = catch_model("exact Shapley enumeration", || exact_shapley(&game))?;
+        validate::finite_slice("exact Shapley attribution", &phi).map_err(|_| {
+            XaiError::ModelFault { context: "exact Shapley produced non-finite values".into() }
+        })?;
+        let (base, pred) = endpoints(model, instance, background)?;
+        Ok(Explanation::Attribution(FeatureAttribution::new(
+            names_for(req, n),
+            phi,
+            base,
+            pred,
+        )))
+    }
+}
+
+/// Permutation-sampling Monte-Carlo Shapley (§2.1.2) through the unified
+/// layer; the one Shapley estimator that honours `RunConfig::budget`
+/// (sequential scalar path only, matching the legacy budgeted twin).
+#[derive(Clone, Copy, Debug)]
+pub struct PermutationShapleyMethod {
+    /// Permutation walks to draw.
+    pub permutations: usize,
+}
+
+impl Default for PermutationShapleyMethod {
+    fn default() -> Self {
+        Self { permutations: 200 }
+    }
+}
+
+impl Explainer for PermutationShapleyMethod {
+    fn card(&self) -> MethodCard {
+        method_card("Permutation sampling Shapley")
+    }
+
+    fn explain(&self, model: &dyn ModelOracle, req: &ExplainRequest<'_>) -> XaiResult<Explanation> {
+        let instance = req.need_instance("permutation Shapley")?;
+        let background = req.background_or_data();
+        validate::background("permutation Shapley", instance, background)?;
+        let plan = req.plan;
+        let f = |x: &[f64]| model.predict(x);
+        let fb = |m: &Matrix| model.predict_batch(m);
+        let sampled = if plan.budgeted() {
+            if plan.parallel() || plan.batched {
+                return Err(XaiError::Unsupported {
+                    context: "budgeted permutation Shapley is sequential and scalar; \
+                              set workers = 1 and batched = false"
+                        .into(),
+                });
+            }
+            let game = PredictionGame::new(&f, instance, background);
+            try_permutation_shapley_budgeted(&game, self.permutations, plan.seed, plan.budget)?
+        } else {
+            match (plan.parallel(), plan.batched) {
+                (false, false) => {
+                    let game = PredictionGame::new(&f, instance, background);
+                    try_permutation_shapley(&game, self.permutations, plan.seed)?
+                }
+                (false, true) => {
+                    let game = BatchPredictionGame::new(&fb, instance, background);
+                    try_permutation_shapley_batched(&game, self.permutations, plan.seed)?
+                }
+                (true, false) => {
+                    let game = PredictionGame::new(&f, instance, background);
+                    try_permutation_shapley_parallel(
+                        &game,
+                        self.permutations,
+                        plan.seed,
+                        plan.workers,
+                    )?
+                }
+                (true, true) => {
+                    let game = BatchPredictionGame::new(&fb, instance, background);
+                    try_permutation_shapley_batched_parallel(
+                        &game,
+                        self.permutations,
+                        plan.seed,
+                        plan.workers,
+                    )?
+                }
+            }
+        };
+        let (base, pred) = endpoints(model, instance, background)?;
+        Ok(Explanation::Attribution(FeatureAttribution::new(
+            names_for(req, sampled.phi.len()),
+            sampled.phi,
+            base,
+            pred,
+        )))
+    }
+}
+
+/// Kernel SHAP weighted regression (§2.1.2) through the unified layer.
+/// `RunConfig::degradation == Strict` refuses ridge-escalated solves that
+/// the legacy path returned with a `degraded` flag.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelShapMethod {
+    /// Coalition budget / ridge / seed defaults; `RunConfig::seed`
+    /// overrides the seed at explain time.
+    pub config: KernelShapConfig,
+}
+
+impl KernelShapMethod {
+    /// Runs the configured dispatch and returns the raw estimator output.
+    fn run(
+        &self,
+        model: &dyn ModelOracle,
+        instance: &[f64],
+        background: &Matrix,
+        plan: &xai_core::RunConfig,
+    ) -> XaiResult<KernelShap> {
+        let config = KernelShapConfig { seed: plan.seed, ..self.config };
+        let f = |x: &[f64]| model.predict(x);
+        let fb = |m: &Matrix| model.predict_batch(m);
+        match (plan.parallel(), plan.batched) {
+            (false, false) => {
+                let game = PredictionGame::new(&f, instance, background);
+                try_kernel_shap(&game, config)
+            }
+            (false, true) => {
+                let game = BatchPredictionGame::new(&fb, instance, background);
+                try_kernel_shap_batched(&game, config)
+            }
+            (true, false) => {
+                let game = PredictionGame::new(&f, instance, background);
+                try_kernel_shap_parallel(&game, config, plan.workers)
+            }
+            (true, true) => {
+                let game = BatchPredictionGame::new(&fb, instance, background);
+                try_kernel_shap_batched_parallel(&game, config, plan.workers)
+            }
+        }
+    }
+}
+
+impl Explainer for KernelShapMethod {
+    fn card(&self) -> MethodCard {
+        method_card("Kernel SHAP")
+    }
+
+    fn explain(&self, model: &dyn ModelOracle, req: &ExplainRequest<'_>) -> XaiResult<Explanation> {
+        reject_budget("Kernel SHAP", req)?;
+        let instance = req.need_instance("Kernel SHAP")?;
+        let background = req.background_or_data();
+        validate::background("kernel SHAP", instance, background)?;
+        let ks = self.run(model, instance, background, &req.plan)?;
+        if ks.degraded && req.plan.degradation == DegradationPolicy::Strict {
+            return Err(XaiError::SingularSystem {
+                context: "kernel SHAP solve needed ridge escalation; \
+                          strict degradation policy refuses the estimate"
+                    .into(),
+            });
+        }
+        let pred = catch_model("kernel SHAP instance prediction", || model.predict(instance))?;
+        Ok(Explanation::Attribution(FeatureAttribution::new(
+            names_for(req, ks.phi.len()),
+            ks.phi,
+            ks.base_value,
+            pred,
+        )))
+    }
+}
+
+/// TreeSHAP (§2.1.2) through the unified layer: downcasts the oracle to a
+/// tree-structured model (`Gbdt`, `RandomForest`, `DecisionTree`) and
+/// walks its structure. Polynomial and exact, so `seed` / `workers` /
+/// `batched` do not change the result; non-tree models report
+/// [`XaiError::Unsupported`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TreeShapMethod;
+
+impl Explainer for TreeShapMethod {
+    fn card(&self) -> MethodCard {
+        method_card("TreeSHAP")
+    }
+
+    fn explain(&self, model: &dyn ModelOracle, req: &ExplainRequest<'_>) -> XaiResult<Explanation> {
+        reject_budget("TreeSHAP", req)?;
+        let instance = req.need_instance("TreeSHAP")?;
+        validate::finite_slice("TreeSHAP instance", instance)?;
+        let any = model.as_any().ok_or_else(|| XaiError::Unsupported {
+            context: "TreeSHAP needs tree internals; the model oracle offers no downcast".into(),
+        })?;
+        let (phi, base, pred) = if let Some(g) = any.downcast_ref::<Gbdt>() {
+            let e = catch_model("TreeSHAP over GBDT", || gbdt_shap(g, instance))?;
+            let pred = g.margin(instance);
+            (e.phi, e.expected_value, pred)
+        } else if let Some(f) = any.downcast_ref::<RandomForest>() {
+            let e = catch_model("TreeSHAP over forest", || forest_shap(f, instance))?;
+            let pred = f.predict_value(instance);
+            (e.phi, e.expected_value, pred)
+        } else if let Some(t) = any.downcast_ref::<DecisionTree>() {
+            let phi = catch_model("TreeSHAP over tree", || tree_shap(t, instance))?;
+            let pred = t.predict_value(instance);
+            (phi, tree_expected_value(t), pred)
+        } else {
+            return Err(XaiError::Unsupported {
+                context: "TreeSHAP supports Gbdt, RandomForest and DecisionTree models".into(),
+            });
+        };
+        Ok(Explanation::Attribution(FeatureAttribution::new(
+            names_for(req, phi.len()),
+            phi,
+            base,
+            pred,
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xai_core::taxonomy::{Access, Scope};
+    use xai_core::RunConfig;
+    use xai_data::synth::german_credit;
+    use xai_models::{GbdtConfig, LogisticConfig, LogisticRegression};
+
+    #[test]
+    fn cards_come_from_the_catalogue() {
+        assert_eq!(ExactShapleyMethod.card().name, "Exact Shapley");
+        assert_eq!(KernelShapMethod::default().card().access, Access::ModelAgnostic);
+        assert_eq!(TreeShapMethod.card().access, Access::ModelSpecific);
+        assert_eq!(PermutationShapleyMethod::default().card().scope, Scope::Local);
+    }
+
+    #[test]
+    fn kernel_shap_trait_path_runs_and_checks_efficiency() {
+        let data = german_credit(60, 5);
+        let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+        let row = data.row(0).to_vec();
+        let req = ExplainRequest::new(&data).instance(&row).plan(RunConfig::seeded(9));
+        let e = KernelShapMethod::default().explain(&model, &req).unwrap();
+        let attr = e.as_attribution().unwrap();
+        assert_eq!(attr.values.len(), data.x().cols());
+        assert!(attr.efficiency_gap() < 1e-6, "gap {}", attr.efficiency_gap());
+    }
+
+    #[test]
+    fn local_methods_demand_an_instance() {
+        let data = german_credit(40, 6);
+        let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+        let req = ExplainRequest::new(&data);
+        for method in [
+            &ExactShapleyMethod as &dyn Explainer,
+            &PermutationShapleyMethod::default(),
+            &KernelShapMethod::default(),
+            &TreeShapMethod,
+        ] {
+            assert!(matches!(
+                method.explain(&model, &req),
+                Err(XaiError::Unsupported { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn tree_shap_requires_tree_internals() {
+        let data = german_credit(40, 7);
+        let row = data.row(1).to_vec();
+        let logit = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+        let req = ExplainRequest::new(&data).instance(&row);
+        assert!(matches!(
+            TreeShapMethod.explain(&logit, &req),
+            Err(XaiError::Unsupported { .. })
+        ));
+        let gbdt = xai_models::Gbdt::fit(data.x(), data.y(), GbdtConfig::default());
+        let e = TreeShapMethod.explain(&gbdt, &req).unwrap();
+        assert!(e.as_attribution().unwrap().efficiency_gap() < 1e-8);
+    }
+
+    #[test]
+    fn budget_on_a_parallel_permutation_plan_is_rejected() {
+        let data = german_credit(40, 8);
+        let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+        let row = data.row(0).to_vec();
+        let plan = RunConfig::seeded(1)
+            .with_workers(2)
+            .with_budget(xai_core::SampleBudget::with_max_evals(10));
+        let req = ExplainRequest::new(&data).instance(&row).plan(plan);
+        assert!(matches!(
+            PermutationShapleyMethod::default().explain(&model, &req),
+            Err(XaiError::Unsupported { .. })
+        ));
+        // And Kernel SHAP has no budget path at all.
+        let plan = RunConfig::seeded(1).with_budget(xai_core::SampleBudget::with_max_evals(10));
+        let req = ExplainRequest::new(&data).instance(&row).plan(plan);
+        assert!(matches!(
+            KernelShapMethod::default().explain(&model, &req),
+            Err(XaiError::Unsupported { .. })
+        ));
+    }
+}

@@ -257,12 +257,16 @@ pub fn try_kernel_shap(game: &dyn CooperativeGame, config: KernelShapConfig) -> 
 /// Coalition draws are identical to [`kernel_shap`] (randomness is drawn
 /// up front; evaluation consumes none), so at the same seed the result is
 /// bit-identical to the scalar path.
+#[deprecated(note = "superseded by the unified explainer layer: use KernelShapMethod with a RunConfig (DESIGN.md §9)")]
+#[allow(deprecated)] // the twins forward to each other until removal
 pub fn kernel_shap_batched(game: &dyn BatchGame, config: KernelShapConfig) -> KernelShap {
     try_kernel_shap_batched(game, config)
         .expect("kernel SHAP failed; try_kernel_shap_batched recovers this")
 }
 
 /// Fallible twin of [`kernel_shap_batched`]; see [`try_kernel_shap`].
+#[deprecated(note = "superseded by the unified explainer layer: use KernelShapMethod with a RunConfig (DESIGN.md §9)")]
+#[allow(deprecated)] // the twins forward to each other until removal
 pub fn try_kernel_shap_batched(
     game: &dyn BatchGame,
     config: KernelShapConfig,
@@ -293,6 +297,8 @@ const COALITIONS_PER_CHUNK: usize = 64;
 /// counts. The sampled-mode draw differs from the sequential
 /// [`kernel_shap`] (one stream vs. one stream per chunk); both are
 /// unbiased.
+#[deprecated(note = "superseded by the unified explainer layer: use KernelShapMethod with a RunConfig (DESIGN.md §9)")]
+#[allow(deprecated)] // the twins forward to each other until removal
 pub fn kernel_shap_parallel(
     game: &(dyn CooperativeGame + Sync),
     config: KernelShapConfig,
@@ -306,6 +312,8 @@ pub fn kernel_shap_parallel(
 /// chunk surfaces as [`XaiError::WorkerPanic`] naming the lowest-indexed
 /// panicking chunk (worker-count invariant); other failures as in
 /// [`try_kernel_shap`].
+#[deprecated(note = "superseded by the unified explainer layer: use KernelShapMethod with a RunConfig (DESIGN.md §9)")]
+#[allow(deprecated)] // the twins forward to each other until removal
 pub fn try_kernel_shap_parallel(
     game: &(dyn CooperativeGame + Sync),
     config: KernelShapConfig,
@@ -357,6 +365,8 @@ pub fn try_kernel_shap_parallel(
 /// per-chunk RNG streams and same chunk-order reduction as
 /// [`kernel_shap_parallel`] — output is bit-identical to it at every
 /// worker count.
+#[deprecated(note = "superseded by the unified explainer layer: use KernelShapMethod with a RunConfig (DESIGN.md §9)")]
+#[allow(deprecated)] // the twins forward to each other until removal
 pub fn kernel_shap_batched_parallel(
     game: &(dyn BatchGame + Sync),
     config: KernelShapConfig,
@@ -368,6 +378,8 @@ pub fn kernel_shap_batched_parallel(
 
 /// Fallible twin of [`kernel_shap_batched_parallel`]; failure semantics as
 /// in [`try_kernel_shap_parallel`].
+#[deprecated(note = "superseded by the unified explainer layer: use KernelShapMethod with a RunConfig (DESIGN.md §9)")]
+#[allow(deprecated)] // the twins forward to each other until removal
 pub fn try_kernel_shap_batched_parallel(
     game: &(dyn BatchGame + Sync),
     config: KernelShapConfig,
@@ -448,6 +460,7 @@ fn binomial(n: usize, k: usize) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the twins stay under test until removal
 mod tests {
     use super::*;
     use crate::batch::{BatchPredictionGame, CachedGame};

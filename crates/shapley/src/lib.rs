@@ -25,6 +25,7 @@ pub mod batch;
 pub mod causal;
 pub mod conditional;
 pub mod exact;
+pub mod explainer;
 pub mod flow;
 pub mod game;
 pub mod global;
@@ -40,6 +41,9 @@ pub use batch::{BatchGame, BatchPredictionGame, CachedGame};
 pub use conditional::{conditional_shapley, ConditionalGame};
 pub use causal::{causal_shapley, effect_decomposition, CausalGame, EffectDecomposition};
 pub use exact::{exact_banzhaf, exact_shapley, shapley_from_table, MAX_EXACT_PLAYERS};
+pub use explainer::{
+    ExactShapleyMethod, KernelShapMethod, PermutationShapleyMethod, TreeShapMethod,
+};
 pub use flow::{shapley_flow, FlowEdge, ShapleyFlow};
 pub use game::{CooperativeGame, PredictionGame, TableGame};
 pub use interaction::{exact_interactions, model_interactions, InteractionMatrix};
@@ -49,12 +53,14 @@ pub use global::{
     GlobalImportance,
 };
 pub use owen::{one_hot_groups, owen_values, OwenValues};
+#[allow(deprecated)] // re-export keeps the legacy twins reachable during migration
 pub use kernel::{
     kernel_shap, kernel_shap_batched, kernel_shap_batched_parallel, kernel_shap_parallel,
     shapley_kernel_weight, try_kernel_shap, try_kernel_shap_batched,
     try_kernel_shap_batched_parallel, try_kernel_shap_parallel, KernelShap, KernelShapConfig,
 };
 pub use qii::{set_qii, shapley_qii, unary_qii};
+#[allow(deprecated)] // re-export keeps the legacy twins reachable during migration
 pub use sampling::{
     antithetic_permutation_shapley, permutation_shapley, permutation_shapley_batched,
     permutation_shapley_batched_parallel, permutation_shapley_parallel,

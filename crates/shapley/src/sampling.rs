@@ -185,6 +185,8 @@ fn check_sampled_sums(sum: &[f64]) -> XaiResult<()> {
 /// front leaves the RNG stream identical to the interleaved scalar loop —
 /// at the same seed this is bit-identical to [`permutation_shapley`]
 /// (given a bit-exact batched game).
+#[deprecated(note = "superseded by the unified explainer layer: use PermutationShapleyMethod with a RunConfig (DESIGN.md §9)")]
+#[allow(deprecated)] // the twins forward to each other until removal
 pub fn permutation_shapley_batched(
     game: &dyn BatchGame,
     permutations: usize,
@@ -196,6 +198,8 @@ pub fn permutation_shapley_batched(
 
 /// Fallible twin of [`permutation_shapley_batched`]; failure semantics as
 /// in [`try_permutation_shapley`].
+#[deprecated(note = "superseded by the unified explainer layer: use PermutationShapleyMethod with a RunConfig (DESIGN.md §9)")]
+#[allow(deprecated)] // the twins forward to each other until removal
 pub fn try_permutation_shapley_batched(
     game: &dyn BatchGame,
     permutations: usize,
@@ -225,6 +229,8 @@ pub fn try_permutation_shapley_batched(
 /// worker materializes its chunk's walk coalitions into one
 /// [`BatchGame::values`] call. Bit-identical to the scalar parallel
 /// estimator at every worker count.
+#[deprecated(note = "superseded by the unified explainer layer: use PermutationShapleyMethod with a RunConfig (DESIGN.md §9)")]
+#[allow(deprecated)] // the twins forward to each other until removal
 pub fn permutation_shapley_batched_parallel(
     game: &(dyn BatchGame + Sync),
     permutations: usize,
@@ -237,6 +243,8 @@ pub fn permutation_shapley_batched_parallel(
 
 /// Fallible twin of [`permutation_shapley_batched_parallel`]; failure
 /// semantics as in [`try_permutation_shapley_parallel`].
+#[deprecated(note = "superseded by the unified explainer layer: use PermutationShapleyMethod with a RunConfig (DESIGN.md §9)")]
+#[allow(deprecated)] // the twins forward to each other until removal
 pub fn try_permutation_shapley_batched_parallel(
     game: &(dyn BatchGame + Sync),
     permutations: usize,
@@ -295,6 +303,8 @@ fn finish_sampled(sum: Vec<f64>, sum_sq: Vec<f64>, permutations: usize) -> Sampl
 /// function of `(permutations, seed)` — bit-identical across runs and
 /// across worker counts. It is a *different* (equally unbiased) draw from
 /// the sequential [`permutation_shapley`], which uses one stream.
+#[deprecated(note = "superseded by the unified explainer layer: use PermutationShapleyMethod with a RunConfig (DESIGN.md §9)")]
+#[allow(deprecated)] // the twins forward to each other until removal
 pub fn permutation_shapley_parallel(
     game: &(dyn CooperativeGame + Sync),
     permutations: usize,
@@ -309,6 +319,8 @@ pub fn permutation_shapley_parallel(
 /// worker chunk yields [`XaiError::WorkerPanic`] naming the lowest-indexed
 /// panicking chunk (worker-count invariant); non-finite game values yield
 /// [`XaiError::ModelFault`].
+#[deprecated(note = "superseded by the unified explainer layer: use PermutationShapleyMethod with a RunConfig (DESIGN.md §9)")]
+#[allow(deprecated)] // the twins forward to each other until removal
 pub fn try_permutation_shapley_parallel(
     game: &(dyn CooperativeGame + Sync),
     permutations: usize,
@@ -415,6 +427,7 @@ pub fn try_antithetic_permutation_shapley(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the twins stay under test until removal
 mod tests {
     use super::*;
     use crate::exact::exact_shapley;

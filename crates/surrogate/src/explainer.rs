@@ -1,0 +1,347 @@
+//! Unified-layer `Explainer` impls for the surrogate family (DESIGN.md
+//! §9): LIME, SP-LIME, PDP/ICE and integrated-gradients saliency.
+//!
+//! Dispatch contract: `RunConfig::batched` selects the batched legacy
+//! twin where one exists (LIME, PDP); none of these methods has a
+//! parallel sampling stream, so `workers` is a no-op (the result equals
+//! the `workers == 1` result bit-for-bit) and a `SampleBudget` is
+//! rejected as [`XaiError::Unsupported`] rather than silently ignored.
+// This module is the blessed call site of the deprecated legacy twins:
+// the unified dispatch below is what replaces them.
+#![allow(deprecated)]
+
+use xai_core::taxonomy::method_card;
+use xai_core::{
+    catch_model, validate, CurveExplanation, DegradationPolicy, ExplainRequest, Explainer,
+    Explanation, FeatureAttribution, MethodCard, ModelOracle, XaiError, XaiResult,
+};
+use xai_linalg::stats::mean;
+use xai_linalg::Matrix;
+
+use crate::lime::{LimeConfig, LimeExplainer};
+use crate::pdp::{feature_grid, try_partial_dependence, try_partial_dependence_batched};
+use crate::saliency::{integrated_gradients, Differentiable};
+use crate::sp_lime::sp_lime;
+
+fn reject_budget(method: &str, req: &ExplainRequest<'_>) -> XaiResult<()> {
+    if req.plan.budgeted() {
+        return Err(XaiError::Unsupported {
+            context: format!("{method} has no budgeted execution path; clear RunConfig::budget"),
+        });
+    }
+    Ok(())
+}
+
+/// LIME local surrogate regression (§2.1.1) through the unified layer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LimeMethod {
+    /// Neighbourhood size, kernel width, ridge and sparsity settings;
+    /// `RunConfig::seed` picks the perturbation stream.
+    pub config: LimeConfig,
+}
+
+impl Explainer for LimeMethod {
+    fn card(&self) -> MethodCard {
+        method_card("LIME")
+    }
+
+    fn explain(&self, model: &dyn ModelOracle, req: &ExplainRequest<'_>) -> XaiResult<Explanation> {
+        reject_budget("LIME", req)?;
+        let instance = req.need_instance("LIME")?;
+        let explainer = LimeExplainer::fit(req.data);
+        let f = |x: &[f64]| model.predict(x);
+        let fb = |m: &Matrix| model.predict_batch(m);
+        let exp = if req.plan.batched {
+            explainer.try_explain_batched(&fb, instance, self.config, req.plan.seed)?
+        } else {
+            explainer.try_explain(&f, instance, self.config, req.plan.seed)?
+        };
+        if exp.degraded && req.plan.degradation == DegradationPolicy::Strict {
+            return Err(XaiError::SingularSystem {
+                context: "LIME surrogate fit needed ridge escalation; \
+                          strict degradation policy refuses the estimate"
+                    .into(),
+            });
+        }
+        Ok(Explanation::Attribution(exp.attribution))
+    }
+}
+
+/// SP-LIME submodular pick (§2.1.1): a global view assembled from LIME
+/// explanations, reported as per-feature importance.
+#[derive(Clone, Copy, Debug)]
+pub struct SpLimeMethod {
+    /// Rows explained as candidates for the pick.
+    pub n_candidates: usize,
+    /// Instances the submodular pick may select.
+    pub picks: usize,
+    /// LIME settings used for every candidate explanation.
+    pub config: LimeConfig,
+}
+
+impl Default for SpLimeMethod {
+    fn default() -> Self {
+        Self { n_candidates: 50, picks: 5, config: LimeConfig::default() }
+    }
+}
+
+impl Explainer for SpLimeMethod {
+    fn card(&self) -> MethodCard {
+        method_card("SP-LIME")
+    }
+
+    fn explain(&self, model: &dyn ModelOracle, req: &ExplainRequest<'_>) -> XaiResult<Explanation> {
+        reject_budget("SP-LIME", req)?;
+        validate::finite_matrix("SP-LIME dataset", req.data.x())?;
+        let explainer = LimeExplainer::fit(req.data);
+        let f = |x: &[f64]| model.predict(x);
+        let pick = catch_model("SP-LIME candidate explanation", || {
+            sp_lime(
+                &explainer,
+                &f,
+                req.data,
+                self.n_candidates,
+                self.picks,
+                self.config,
+                req.plan.seed,
+            )
+        })?;
+        validate::finite_slice("SP-LIME feature importance", &pick.feature_importance).map_err(
+            |_| XaiError::ModelFault {
+                context: "SP-LIME produced non-finite feature importance".into(),
+            },
+        )?;
+        // Global importance has no single instance: baseline/prediction
+        // carry no meaning and are reported as zero.
+        Ok(Explanation::Attribution(FeatureAttribution::new(
+            req.feature_names(),
+            pick.feature_importance,
+            0.0,
+            0.0,
+        )))
+    }
+}
+
+/// Partial dependence / ICE curves (Molnar §2 framing) through the
+/// unified layer; needs `ExplainRequest::feature`.
+#[derive(Clone, Copy, Debug)]
+pub struct PdpMethod {
+    /// Grid resolution over the feature's 5–95 % quantile range.
+    pub points: usize,
+    /// Row subsample cap for the background average.
+    pub max_rows: usize,
+    /// Keep the per-row ICE curves alongside the mean PDP.
+    pub keep_ice: bool,
+}
+
+impl Default for PdpMethod {
+    fn default() -> Self {
+        Self { points: 20, max_rows: 200, keep_ice: true }
+    }
+}
+
+impl Explainer for PdpMethod {
+    fn card(&self) -> MethodCard {
+        method_card("Partial dependence / ICE")
+    }
+
+    fn explain(&self, model: &dyn ModelOracle, req: &ExplainRequest<'_>) -> XaiResult<Explanation> {
+        reject_budget("PDP/ICE", req)?;
+        let feature = req.feature.ok_or_else(|| XaiError::Unsupported {
+            context: "PDP/ICE sweeps one feature and needs ExplainRequest::feature".into(),
+        })?;
+        if feature >= req.data.n_features() {
+            return Err(XaiError::Unsupported {
+                context: format!(
+                    "PDP/ICE feature index {feature} out of range for {} features",
+                    req.data.n_features()
+                ),
+            });
+        }
+        let grid = feature_grid(req.data, feature, self.points);
+        let f = |x: &[f64]| model.predict(x);
+        let fb = |m: &Matrix| model.predict_batch(m);
+        let pd = if req.plan.batched {
+            try_partial_dependence_batched(
+                &fb,
+                req.data,
+                feature,
+                &grid,
+                self.max_rows,
+                self.keep_ice,
+            )?
+        } else {
+            try_partial_dependence(&f, req.data, feature, &grid, self.max_rows, self.keep_ice)?
+        };
+        Ok(Explanation::Curve(CurveExplanation {
+            feature: pd.feature,
+            grid: pd.grid,
+            values: pd.pdp,
+            ice: pd.ice,
+        }))
+    }
+}
+
+/// Adapter: the saliency family's gradient surface over any oracle that
+/// advertises a gradient.
+struct OracleDiff<'a>(&'a dyn ModelOracle);
+
+impl Differentiable for OracleDiff<'_> {
+    fn output(&self, x: &[f64]) -> f64 {
+        self.0.predict(x)
+    }
+    fn input_gradient(&self, x: &[f64]) -> Vec<f64> {
+        self.0.gradient(x).expect("gradient availability checked before dispatch")
+    }
+}
+
+/// Integrated gradients (§2.4 saliency) through the unified layer: path
+/// integral from the dataset's mean point to the instance. Deterministic
+/// given `steps`, so `seed` / `workers` / `batched` are no-ops; models
+/// without a gradient surface report [`XaiError::Unsupported`].
+#[derive(Clone, Copy, Debug)]
+pub struct IntegratedGradientsMethod {
+    /// Riemann steps along the straight-line path.
+    pub steps: usize,
+}
+
+impl Default for IntegratedGradientsMethod {
+    fn default() -> Self {
+        Self { steps: 50 }
+    }
+}
+
+impl Explainer for IntegratedGradientsMethod {
+    fn card(&self) -> MethodCard {
+        method_card("Integrated gradients")
+    }
+
+    fn explain(&self, model: &dyn ModelOracle, req: &ExplainRequest<'_>) -> XaiResult<Explanation> {
+        reject_budget("integrated gradients", req)?;
+        let instance = req.need_instance("integrated gradients")?;
+        validate::finite_slice("integrated gradients instance", instance)?;
+        if model.gradient(instance).is_none() {
+            return Err(XaiError::Unsupported {
+                context: "integrated gradients needs a differentiable model; \
+                          this oracle offers no gradient"
+                    .into(),
+            });
+        }
+        let background = req.background_or_data();
+        let baseline: Vec<f64> = (0..background.cols()).map(|j| mean(&background.col(j))).collect();
+        if baseline.len() != instance.len() {
+            return Err(XaiError::Unsupported {
+                context: format!(
+                    "integrated gradients baseline has {} features, instance {}",
+                    baseline.len(),
+                    instance.len()
+                ),
+            });
+        }
+        let diff = OracleDiff(model);
+        let attr = catch_model("integrated gradients path integral", || {
+            integrated_gradients(&diff, instance, &baseline, self.steps)
+        })?;
+        validate::finite_slice("integrated gradients attribution", &attr.values).map_err(|_| {
+            XaiError::ModelFault {
+                context: "integrated gradients produced non-finite values".into(),
+            }
+        })?;
+        // Re-label with schema names (the free function only knows `x{j}`).
+        let names = req.feature_names();
+        let attr = if names.len() == attr.values.len() {
+            FeatureAttribution::new(names, attr.values, attr.baseline, attr.prediction)
+        } else {
+            attr
+        };
+        Ok(Explanation::Attribution(attr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xai_core::taxonomy::Scope;
+    use xai_core::RunConfig;
+    use xai_data::synth::german_credit;
+    use xai_models::{LogisticConfig, LogisticRegression, Mlp, MlpConfig};
+
+    #[test]
+    fn cards_come_from_the_catalogue() {
+        assert_eq!(LimeMethod::default().card().name, "LIME");
+        assert_eq!(SpLimeMethod::default().card().scope, Scope::Global);
+        assert_eq!(PdpMethod::default().card().scope, Scope::Global);
+        assert_eq!(IntegratedGradientsMethod::default().card().section, "2.4");
+    }
+
+    #[test]
+    fn lime_trait_path_runs_batched_and_scalar_identically() {
+        let data = german_credit(80, 21);
+        let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+        let row = data.row(2).to_vec();
+        let config = LimeConfig { n_samples: 120, ..LimeConfig::default() };
+        let scalar = LimeMethod { config }
+            .explain(&model, &ExplainRequest::new(&data).instance(&row).plan(RunConfig::seeded(4)))
+            .unwrap();
+        let batched = LimeMethod { config }
+            .explain(
+                &model,
+                &ExplainRequest::new(&data)
+                    .instance(&row)
+                    .plan(RunConfig::seeded(4).with_batched(true)),
+            )
+            .unwrap();
+        assert_eq!(
+            scalar.as_attribution().unwrap().values,
+            batched.as_attribution().unwrap().values
+        );
+    }
+
+    #[test]
+    fn pdp_needs_a_feature_and_returns_a_curve() {
+        let data = german_credit(60, 22);
+        let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+        let req = ExplainRequest::new(&data);
+        assert!(matches!(
+            PdpMethod::default().explain(&model, &req),
+            Err(XaiError::Unsupported { .. })
+        ));
+        let e = PdpMethod::default().explain(&model, &req.feature(0)).unwrap();
+        let curve = e.as_curve().unwrap();
+        assert_eq!(curve.feature, 0);
+        assert_eq!(curve.grid.len(), curve.values.len());
+        assert!(curve.ice.is_some());
+    }
+
+    #[test]
+    fn integrated_gradients_needs_a_gradient_surface() {
+        let data = german_credit(60, 23);
+        let row = data.row(0).to_vec();
+        let req = ExplainRequest::new(&data).instance(&row);
+        let mlp = Mlp::fit(data.x(), data.y(), MlpConfig::default());
+        let e = IntegratedGradientsMethod::default().explain(&mlp, &req).unwrap();
+        assert_eq!(e.as_attribution().unwrap().values.len(), data.x().cols());
+
+        // Tree models advertise no gradient.
+        let gbdt = xai_models::Gbdt::fit(data.x(), data.y(), xai_models::GbdtConfig::default());
+        assert!(matches!(
+            IntegratedGradientsMethod::default().explain(&gbdt, &req),
+            Err(XaiError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn sp_lime_reports_global_importance() {
+        let data = german_credit(50, 24);
+        let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+        let method = SpLimeMethod {
+            n_candidates: 10,
+            picks: 3,
+            config: LimeConfig { n_samples: 60, ..LimeConfig::default() },
+        };
+        let e = method.explain(&model, &ExplainRequest::new(&data)).unwrap();
+        let attr = e.as_attribution().unwrap();
+        assert_eq!(attr.values.len(), data.x().cols());
+        assert!(attr.values.iter().all(|v| *v >= 0.0));
+    }
+}

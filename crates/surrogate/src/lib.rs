@@ -16,6 +16,7 @@
 
 pub mod attack;
 pub mod cxplain;
+pub mod explainer;
 pub mod global;
 pub mod importance;
 pub mod pdp;
@@ -27,11 +28,13 @@ pub mod sp_lime;
 pub mod stability;
 
 pub use cxplain::{CxPlain, CxPlainConfig};
+pub use explainer::{IntegratedGradientsMethod, LimeMethod, PdpMethod, SpLimeMethod};
 pub use saliency::{
     gradient_times_input, integrated_gradients, saliency, smooth_grad, Differentiable,
 };
 pub use attack::{lime_audit, AttackConfig, AuditResult, ScaffoldedModel};
 pub use importance::{permutation_importance, PermutationImportance};
+#[allow(deprecated)] // re-export keeps the legacy twins reachable during migration
 pub use pdp::{
     feature_grid, partial_dependence, partial_dependence_batched, try_partial_dependence,
     try_partial_dependence_batched, PartialDependence,

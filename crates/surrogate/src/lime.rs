@@ -218,6 +218,8 @@ impl LimeExplainer {
     /// produce suitable closures). Bit-identical to [`LimeExplainer::explain`]
     /// at the same seed when the batched model matches the scalar one
     /// row-for-row — which the `xai-models` vectorized kernels guarantee.
+    #[deprecated(note = "superseded by the unified explainer layer: use LimeMethod with a RunConfig (DESIGN.md §9)")]
+    #[allow(deprecated)] // the twins forward to each other until removal
     pub fn explain_batched(
         &self,
         model: &dyn Fn(&Matrix) -> Vec<f64>,
@@ -231,6 +233,8 @@ impl LimeExplainer {
 
     /// Fallible twin of [`LimeExplainer::explain_batched`]; failure
     /// semantics as in [`LimeExplainer::try_explain`].
+    #[deprecated(note = "superseded by the unified explainer layer: use LimeMethod with a RunConfig (DESIGN.md §9)")]
+    #[allow(deprecated)] // the twins forward to each other until removal
     pub fn try_explain_batched(
         &self,
         model: &dyn Fn(&Matrix) -> Vec<f64>,
@@ -373,6 +377,7 @@ fn solve_surrogate(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the twins stay under test until removal
 mod tests {
     use super::*;
     use xai_data::synth::{circles, german_credit, linear_gaussian};

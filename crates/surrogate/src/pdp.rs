@@ -126,6 +126,8 @@ pub fn try_partial_dependence(
 
 /// Fallible twin of [`partial_dependence_batched`]; failure semantics as
 /// in [`try_partial_dependence`].
+#[deprecated(note = "superseded by the unified explainer layer: use PdpMethod with a RunConfig (DESIGN.md §9)")]
+#[allow(deprecated)] // the twins forward to each other until removal
 pub fn try_partial_dependence_batched(
     model: &dyn Fn(&xai_linalg::Matrix) -> Vec<f64>,
     data: &Dataset,
@@ -169,6 +171,8 @@ fn check_curves(pd: &PartialDependence) -> XaiResult<()> {
 /// in the same order as [`partial_dependence`], so the result is
 /// bit-identical to it when the batched model matches the scalar one
 /// row-for-row.
+#[deprecated(note = "superseded by the unified explainer layer: use PdpMethod with a RunConfig (DESIGN.md §9)")]
+#[allow(deprecated)] // the twins forward to each other until removal
 pub fn partial_dependence_batched(
     model: &dyn Fn(&xai_linalg::Matrix) -> Vec<f64>,
     data: &Dataset,
@@ -206,6 +210,7 @@ pub fn partial_dependence_batched(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the twins stay under test until removal
 mod tests {
     use super::*;
     use xai_data::synth::friedman1;

@@ -2,19 +2,26 @@
 //!
 //! The tutorial organizes XAI along three dimensions: intrinsic vs
 //! post-hoc, model-agnostic vs model-specific, local vs global (vs
-//! training-data). This workspace makes that organization executable:
-//! every implemented method carries a `MethodCard`, and the registry
-//! answers the tutorial's own classification questions.
+//! training-data). This workspace makes that organization executable
+//! twice over: every implemented method carries a `MethodCard`, and the
+//! runnable registry attaches a live `Explainer` to each card it has an
+//! implementation for — `resolve` answers a classification question with
+//! objects you can call `explain` on.
 //!
 //! ```sh
 //! cargo run --release --example taxonomy_tour
 //! ```
 
-use xai::core::{workspace_registry, Access, Scope, Stage};
+use xai::core::taxonomy::{Access, Scope, Stage};
+use xai::prelude::*;
 
 fn main() {
-    let registry = workspace_registry();
-    println!("{} methods implemented across the tutorial's sections\n", registry.cards().len());
+    let registry = runnable_registry();
+    println!(
+        "{} methods catalogued across the tutorial's sections, {} runnable (▶)\n",
+        registry.cards().len(),
+        registry.runnable_names().len()
+    );
 
     // Walk the tutorial's structure section by section.
     for (section, title) in [
@@ -31,8 +38,9 @@ fn main() {
         let methods = registry.by_section(section);
         println!("§{section} {title}:");
         for card in methods {
+            let marker = if registry.is_runnable(card.name) { "▶" } else { " " };
             println!(
-                "   {:<32} [{:?}/{:?}/{:?}]  — {}",
+                " {marker} {:<32} [{:?}/{:?}/{:?}]  — {}",
                 card.name, card.stage, card.access, card.scope, card.citation
             );
         }
@@ -53,5 +61,27 @@ fn main() {
     println!("\nQ: which methods attribute to TRAINING DATA rather than features?");
     for card in registry.query(None, None, Some(Scope::TrainingData)) {
         println!("   {}", card.name);
+    }
+
+    // And because the registry is runnable, a classification answer is
+    // something you can execute: explain one decision with every
+    // model-agnostic local method.
+    let data = xai::data::synth::german_credit(200, 3);
+    let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+    let row = {
+        use xai_models::Classifier;
+        (0..data.n_rows())
+            .map(|i| data.row(i))
+            .find(|r| model.proba_one(r) < 0.5)
+            .expect("a rejected applicant exists")
+            .to_vec()
+    };
+    let req = ExplainRequest::new(&data).instance(&row).plan(RunConfig::seeded(3));
+    println!("\nrunning every (Local, ModelAgnostic) method on one applicant:");
+    for method in registry.resolve(Scope::Local, Access::ModelAgnostic) {
+        match method.explain(&model, &req) {
+            Ok(e) => println!("   {:<30} ok ({:?})", method.card().name, e.form()),
+            Err(err) => println!("   {:<30} {err}", method.card().name),
+        }
     }
 }

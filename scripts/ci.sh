@@ -20,6 +20,12 @@ cargo test -q --workspace
 
 # The equivalence and oracle suites are part of the workspace run above;
 # invoke them by name too so a filtered or partial run can't skip them.
+echo "==> cargo test -q --test unified_api"
+cargo test -q --test unified_api
+
+echo "==> cargo test -q --test registry_completeness"
+cargo test -q --test registry_completeness
+
 echo "==> cargo test -q --test batch_equivalence"
 cargo test -q --test batch_equivalence
 
@@ -40,6 +46,20 @@ cargo test -q -p xai-models --test properties
 
 echo "==> cargo bench -p xai-bench --no-run (compile only)"
 cargo bench -p xai-bench --no-run
+
+# The unified-layer example doubles as an end-to-end smoke test of the
+# runnable registry: every resolve() axis is exercised against a live
+# model, and the budgeted/strict plan path runs for real.
+echo "==> cargo run --release --example unified_api"
+cargo run --release --example unified_api >/dev/null
+
+# Advisory deprecation audit: the legacy batched/parallel twins are
+# deprecated in favour of the unified explainer layer (DESIGN.md §9).
+# The blessed call sites opt back in with #[allow(deprecated)], so any
+# warning here is a *new* caller reaching for a twin. Advisory only.
+echo "==> cargo check --workspace --all-targets (deprecation audit, warnings only)"
+RUSTFLAGS="-W deprecated" cargo check -q --workspace --all-targets \
+    || echo "ci.sh: deprecation audit reported issues (advisory only)"
 
 # Advisory unwrap/expect audit over the library crates' non-test code.
 # Warnings only, never a gate: the panicking convenience APIs are

@@ -21,29 +21,44 @@
 //! | [`linalg`] | matrices, factorizations, WLS, CG, statistics, RNG |
 //! | [`data`] | datasets, schemas, encoders, metrics, synthetic generators, SCMs |
 //! | [`models`] | linear/logistic regression, CART, forests, GBDT, kNN, NB, MLP |
-//! | [`core`] | explanation types, the executable taxonomy, evaluation, JSON |
+//! | [`core`] | explanation types, the executable taxonomy, the `Explainer` trait |
 //! | [`shapley`] | exact/sampled/Kernel/Tree SHAP, QII, asymmetric/causal, flow |
 //! | [`surrogate`] | LIME, stability indices, global surrogates, LMTs, attacks |
 //! | [`rules`] | Apriori/FP-Growth, association rules, Anchors, IDS, logic |
 //! | [`counterfactual`] | DiCE, GeCo, actionable recourse, LEWIS |
 //! | [`datavalue`] | LOO, Data Shapley, KNN-Shapley, influence functions |
 //! | [`provenance`] | semirings, relational engine, tuple Shapley, Rain, PrIU |
+//! | [`unified`] | the runnable registry: every method behind one trait |
 //!
 //! ## Quickstart
+//!
+//! Every method is an [`core::Explainer`]: build one [`core::ExplainRequest`]
+//! carrying the data, the instance and a [`core::RunConfig`] execution plan
+//! (seed, workers, batching, budget), then call `explain` on any method —
+//! or resolve methods by taxonomy coordinates from the
+//! [`unified::runnable_registry`].
 //!
 //! ```
 //! use xai::prelude::*;
 //!
 //! // Train a model on a synthetic credit dataset…
-//! let data = xai::data::synth::german_credit(400, 7);
+//! let data = xai::data::synth::german_credit(300, 7);
 //! let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
 //!
-//! // …and explain one decision with Kernel SHAP.
-//! let f = proba_fn(&model);
-//! let names = data.schema().names();
-//! let attribution = xai::shapley::kernel_shap_attribution(
-//!     &f, data.row(0), data.x(), &names, Default::default());
+//! // …and explain one decision with Kernel SHAP through the unified API.
+//! let row = data.row(0).to_vec();
+//! let req = ExplainRequest::new(&data)
+//!     .instance(&row)
+//!     .plan(RunConfig::seeded(7).with_workers(2).with_batched(true));
+//! let explanation = KernelShapMethod::default().explain(&model, &req).unwrap();
+//! let attribution = explanation.as_attribution().unwrap();
 //! assert!(attribution.efficiency_gap() < 1e-6);
+//!
+//! // The same request drives any other method in the registry.
+//! use xai::core::taxonomy::{Access, Scope};
+//! for method in runnable_registry().resolve(Scope::Local, Access::ModelAgnostic) {
+//!     method.explain(&model, &req).unwrap();
+//! }
 //! ```
 
 pub use xai_core as core;
@@ -57,28 +72,39 @@ pub use xai_rules as rules;
 pub use xai_shapley as shapley;
 pub use xai_surrogate as surrogate;
 
+pub mod unified;
+
 /// The most commonly used items, importable in one line.
 pub mod prelude {
+    pub use crate::unified::{all_explainers, runnable_registry};
     pub use xai_core::{
-        workspace_registry, Counterfactual, DataAttribution, FeatureAttribution, Json,
-        RuleExplanation, ToReport,
+        workspace_registry, Counterfactual, DataAttribution, DegradationPolicy, ExplainRequest,
+        Explainer, Explanation, FeatureAttribution, FnOracle, Json, MethodCard, ModelOracle,
+        Registry, RuleExplanation, RunConfig, SampleBudget, ToReport, XaiError, XaiResult,
     };
     pub use xai_counterfactual::{
-        geco, linear_recourse, DiceConfig, DiceExplainer, GecoConfig, Lewis, Plaf, RecourseConfig,
+        geco, linear_recourse, DiceConfig, DiceExplainer, DiceMethod, GecoConfig, GecoMethod,
+        Lewis, Plaf, RecourseConfig, WachterMethod,
     };
     pub use xai_data::{Dataset, Schema, Task};
     pub use xai_datavalue::{
-        influence_on_test_loss, knn_shapley, tmc_shapley, LogisticUtility, Solver, TmcConfig,
-        Utility,
+        influence_on_test_loss, knn_shapley, tmc_shapley, BanzhafMethod, LogisticUtility,
+        LooMethod, Solver, TmcConfig, TmcMethod, Utility,
     };
     pub use xai_models::{
         proba_fn, regress_fn, Classifier, DecisionTree, Gbdt, GbdtConfig, Knn, LinearRegression,
         LogisticConfig, LogisticRegression, Model, RandomForest, Regressor, TreeConfig,
     };
-    pub use xai_rules::{AnchorsConfig, AnchorsExplainer, DecisionSet, IdsConfig};
+    pub use xai_provenance::ComplaintMethod;
+    pub use xai_rules::{
+        AnchorsConfig, AnchorsExplainer, AnchorsMethod, DecisionSet, DecisionSetMethod, IdsConfig,
+    };
     pub use xai_shapley::{
         exact_shapley, gbdt_shap, kernel_shap, kernel_shap_attribution, tree_shap_attribution,
-        CooperativeGame, KernelShapConfig, PredictionGame,
+        CooperativeGame, ExactShapleyMethod, KernelShapConfig, KernelShapMethod,
+        PermutationShapleyMethod, PredictionGame, TreeShapMethod,
     };
-    pub use xai_surrogate::{LimeConfig, LimeExplainer};
+    pub use xai_surrogate::{
+        IntegratedGradientsMethod, LimeConfig, LimeExplainer, LimeMethod, PdpMethod, SpLimeMethod,
+    };
 }

@@ -1,0 +1,80 @@
+//! The unified explainer layer (DESIGN.md §9): one registry in which
+//! every runnable method in the workspace is attached to its taxonomy
+//! card, so `resolve(scope, access)` returns *live* trait objects rather
+//! than metadata.
+//!
+//! ```
+//! use xai::unified::runnable_registry;
+//! use xai::core::taxonomy::{Access, Scope};
+//!
+//! let registry = runnable_registry();
+//! let local = registry.resolve(Scope::Local, Access::ModelAgnostic);
+//! assert!(local.iter().any(|e| e.card().name == "Kernel SHAP"));
+//! ```
+
+use std::sync::Arc;
+
+use xai_core::{Registry, SharedExplainer};
+
+/// Every `Explainer` implementation in the workspace, as shared trait
+/// objects in catalogue order.
+pub fn all_explainers() -> Vec<SharedExplainer> {
+    vec![
+        // Shapley family (§2.1.2 / §2.1.3).
+        Arc::new(xai_shapley::ExactShapleyMethod),
+        Arc::new(xai_shapley::PermutationShapleyMethod::default()),
+        Arc::new(xai_shapley::KernelShapMethod::default()),
+        Arc::new(xai_shapley::TreeShapMethod),
+        // Surrogates, curves and gradients (§2.1.1 / §2.1.5).
+        Arc::new(xai_surrogate::LimeMethod::default()),
+        Arc::new(xai_surrogate::SpLimeMethod::default()),
+        Arc::new(xai_surrogate::PdpMethod::default()),
+        Arc::new(xai_surrogate::IntegratedGradientsMethod::default()),
+        // Counterfactuals and recourse (§2.1.4).
+        Arc::new(xai_counterfactual::WachterMethod::default()),
+        Arc::new(xai_counterfactual::GecoMethod::default()),
+        Arc::new(xai_counterfactual::DiceMethod::default()),
+        // Rules (§2.2).
+        Arc::new(xai_rules::AnchorsMethod::default()),
+        Arc::new(xai_rules::DecisionSetMethod::default()),
+        // Data valuation (§2.3.1).
+        Arc::new(xai_datavalue::LooMethod),
+        Arc::new(xai_datavalue::TmcMethod::default()),
+        Arc::new(xai_datavalue::BanzhafMethod::default()),
+        // Provenance-based intervention (§3).
+        Arc::new(xai_provenance::ComplaintMethod::default()),
+    ]
+}
+
+/// The full workspace taxonomy with every implemented method attached as
+/// a runnable [`xai_core::Explainer`]. Cards without an implementation
+/// (survey-only rows) stay resolvable as metadata but are skipped by
+/// [`Registry::resolve`].
+pub fn runnable_registry() -> Registry {
+    let mut registry = xai_core::workspace_registry();
+    for explainer in all_explainers() {
+        registry
+            .register_explainer(explainer)
+            .expect("workspace explainers attach to distinct catalogued cards");
+    }
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventeen_methods_are_runnable() {
+        let registry = runnable_registry();
+        assert_eq!(registry.runnable_names().len(), 17);
+    }
+
+    #[test]
+    fn every_attached_card_is_catalogued() {
+        for e in all_explainers() {
+            let card = e.card();
+            assert_eq!(card, xai_core::method_card(card.name));
+        }
+    }
+}

@@ -9,6 +9,9 @@
 //! final section pins the determinism contract: on fault-free inputs the
 //! `try_*` parallel paths are bit-identical to their panicking twins for
 //! every worker count.
+// The legacy twin entry points stay under test until removal: this file
+// is their bit-identity oracle against the unified layer.
+#![allow(deprecated)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -1,0 +1,131 @@
+//! Registry-completeness audit (DESIGN.md §9): every `Explainer` in the
+//! workspace is attached to its taxonomy card, every runnable card is
+//! reachable through `Registry::resolve`, cards agree bit-for-bit with
+//! the static catalogue (no metadata drift), and every runnable method
+//! actually produces an explanation of the form its card advertises.
+
+use xai::prelude::*;
+use xai::unified::runnable_registry;
+use xai_core::taxonomy::method_card;
+
+/// The complete set of methods the unified layer must make runnable.
+const RUNNABLE: [&str; 17] = [
+    "Exact Shapley",
+    "Permutation sampling Shapley",
+    "Kernel SHAP",
+    "TreeSHAP",
+    "LIME",
+    "SP-LIME",
+    "Partial dependence / ICE",
+    "Integrated gradients",
+    "Wachter counterfactuals",
+    "GeCo",
+    "DiCE",
+    "Anchors",
+    "Interpretable decision sets",
+    "Leave-one-out",
+    "Data Shapley (TMC)",
+    "Data Banzhaf",
+    "Complaint-driven debugging",
+];
+
+#[test]
+fn every_expected_method_is_registered_and_no_extras() {
+    let registry = runnable_registry();
+    let names = registry.runnable_names();
+    for name in RUNNABLE {
+        assert!(names.contains(&name), "'{name}' is not runnable in the registry");
+        assert!(registry.is_runnable(name), "is_runnable('{name}') disagrees");
+    }
+    assert_eq!(names.len(), RUNNABLE.len(), "unexpected runnable methods: {names:?}");
+}
+
+#[test]
+fn attached_cards_agree_with_the_static_catalogue() {
+    let registry = runnable_registry();
+    for explainer in registry.runnable() {
+        let card = explainer.card();
+        assert_eq!(
+            card,
+            method_card(card.name),
+            "metadata drift between the Explainer impl and WORKSPACE_CARDS for '{}'",
+            card.name
+        );
+    }
+}
+
+#[test]
+fn resolve_returns_each_runnable_method_at_its_own_coordinates() {
+    let registry = runnable_registry();
+    for name in RUNNABLE {
+        let card = method_card(name);
+        let resolved = registry.resolve(card.scope, card.access);
+        assert!(
+            resolved.iter().any(|e| e.card().name == name),
+            "resolve({:?}, {:?}) does not return '{name}'",
+            card.scope,
+            card.access
+        );
+    }
+}
+
+#[test]
+fn survey_only_cards_stay_resolvable_as_metadata() {
+    let registry = runnable_registry();
+    let total = registry.cards().len();
+    assert!(
+        total > RUNNABLE.len(),
+        "the registry should keep survey-only cards alongside runnable ones"
+    );
+    for card in registry.cards() {
+        if !registry.is_runnable(card.name) {
+            assert!(registry.get_explainer(card.name).is_none());
+        }
+    }
+}
+
+#[test]
+fn every_runnable_method_explains_and_matches_its_advertised_form() {
+    let data = xai::data::synth::german_credit(60, 91);
+    let logit = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+    let gbdt = Gbdt::fit(data.x(), data.y(), GbdtConfig::default());
+    // A rejected instance, so the counterfactual searches have a
+    // decision to flip.
+    let row = {
+        use xai_models::Classifier;
+        (0..data.n_rows())
+            .map(|i| data.row(i))
+            .find(|r| logit.proba_one(r) < 0.5)
+            .expect("a rejected applicant exists")
+            .to_vec()
+    };
+    // A cheap additive utility keeps the valuation methods from
+    // retraining models inside this audit.
+    let utility =
+        xai::datavalue::FnUtility::new(data.n_rows(), |s: &[usize]| s.len() as f64);
+
+    let registry = runnable_registry();
+    for explainer in registry.runnable() {
+        let card = explainer.card();
+        let req = ExplainRequest::new(&data)
+            .instance(&row)
+            .feature(1)
+            .utility(&utility)
+            .plan(RunConfig::seeded(5));
+        // TreeSHAP walks tree internals; everything else runs on the
+        // logistic model (which also serves the gradient-based and
+        // model-specific methods).
+        let model: &dyn ModelOracle = if card.name == "TreeSHAP" { &gbdt } else { &logit };
+        let explanation = explainer
+            .explain(model, &req)
+            .unwrap_or_else(|e| panic!("'{}' failed to explain: {e}", card.name));
+        assert_eq!(
+            explanation.form(),
+            card.form,
+            "'{}' produced a {:?} but its card advertises {:?}",
+            card.name,
+            explanation.form(),
+            card.form
+        );
+    }
+}
