@@ -66,8 +66,10 @@ pub enum XaiError {
     BudgetExceeded {
         /// Which estimator ran out of budget.
         context: String,
-        /// Samples completed before exhaustion (always 0 today; kept so
-        /// richer budget policies can report partial counts).
+        /// Samples completed before exhaustion — 0 for estimators that
+        /// fail on the first sample, nonzero when a minimum sample count
+        /// exists (LIME needs a non-trivial neighbourhood) and the budget
+        /// expired between the first sample and that minimum.
         completed: usize,
     },
     /// A parallel worker task panicked; the lowest-indexed panicking task
@@ -97,6 +99,13 @@ pub enum XaiError {
         /// What was asked for and why it cannot be done.
         context: String,
     },
+    /// The serving engine's bounded submission queue was full, so
+    /// admission control rejected the request before it consumed any
+    /// compute. Retry later or raise the queue capacity.
+    QueueFull {
+        /// The queue's capacity at the moment of rejection.
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for XaiError {
@@ -117,6 +126,9 @@ impl std::fmt::Display for XaiError {
             XaiError::Io { context } => write!(f, "io error: {context}"),
             XaiError::Parse { context } => write!(f, "parse error: {context}"),
             XaiError::Unsupported { context } => write!(f, "unsupported request: {context}"),
+            XaiError::QueueFull { capacity } => {
+                write!(f, "submission rejected: serving queue full (capacity {capacity})")
+            }
         }
     }
 }

@@ -20,7 +20,10 @@
 //! - [`error`] — the unified [`XaiError`] taxonomy behind every fallible
 //!   `try_*` entry point, plus [`SampleBudget`] for best-effort
 //!   Monte-Carlo estimation;
-//! - [`validate`] — up-front NaN/Inf and degenerate-background rejection.
+//! - [`validate`] — up-front NaN/Inf and degenerate-background rejection;
+//! - [`serve`] — the explanation-serving engine (DESIGN.md §10): requests
+//!   as JSON data, a worker pool with admission control, and a
+//!   fingerprint-keyed LRU result cache.
 
 pub mod error;
 pub mod eval;
@@ -28,6 +31,7 @@ pub mod explainer;
 pub mod json_parse;
 pub mod explanation;
 pub mod report;
+pub mod serve;
 pub mod taxonomy;
 pub mod validate;
 
@@ -41,6 +45,9 @@ pub use explanation::{
 };
 pub use json_parse::{parse_json, ParseError};
 pub use report::{Json, ToReport};
+pub use serve::{
+    fingerprint_bytes, ExplanationService, ServeRequest, ServeResponse, ServeStats, ServiceConfig,
+};
 pub use taxonomy::{
     method_card, workspace_registry, Access, ExplanationForm, MethodCard, Registry, Scope,
     SharedExplainer, Stage, WORKSPACE_CARDS,

@@ -54,6 +54,22 @@ pub fn load_from_file<M: Persist>(path: impl AsRef<std::path::Path>) -> xai_core
     Ok(M::load(&json)?)
 }
 
+/// The model's canonical persisted byte representation: the compact JSON
+/// text of [`Persist::save`]. Two models with identical parameters
+/// produce identical bytes; these are the bytes the serving layer hashes
+/// into a model fingerprint.
+pub fn persisted_bytes<M: Persist>(model: &M) -> Vec<u8> {
+    model.save().to_json().into_bytes()
+}
+
+/// FNV-1a fingerprint of [`persisted_bytes`], as used by
+/// `xai_core::serve` result-cache keys: replacing a registered model
+/// changes the fingerprint, which unreachably strands every cached
+/// result of the old version.
+pub fn model_fingerprint<M: Persist>(model: &M) -> u64 {
+    xai_core::serve::fingerprint_bytes(&persisted_bytes(model))
+}
+
 fn field<'a>(j: &'a Json, key: &str) -> Result<&'a Json, PersistError> {
     j.get(key).ok_or_else(|| PersistError(format!("missing field '{key}'")))
 }

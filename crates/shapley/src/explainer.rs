@@ -5,10 +5,13 @@
 //! Dispatch contract (enforced by `tests/unified_api.rs`): each
 //! `(workers, batched)` combination selects exactly the legacy twin that
 //! previously served it, so the trait path is bit-identical to the old
-//! free functions at the same seed. A `SampleBudget` is honoured only by
-//! permutation sampling (the one Shapley estimator with a budgeted twin)
-//! and only on the sequential scalar path; other combinations report
-//! [`XaiError::Unsupported`] rather than silently ignoring the cap.
+//! free functions at the same seed. A `SampleBudget` is honoured by
+//! permutation sampling and by Kernel SHAP (each on the sequential
+//! scalar path only — budgeted Kernel SHAP at eval cap `k` equals an
+//! unbudgeted run with `max_coalitions = k` bit for bit); deterministic
+//! enumerators (exact Shapley, TreeSHAP) and budget + parallel/batched
+//! combinations report [`XaiError::Unsupported`] rather than silently
+//! ignoring the cap.
 // This module is the blessed call site of the deprecated legacy twins:
 // the unified dispatch below is what replaces them.
 #![allow(deprecated)]
@@ -26,7 +29,7 @@ use crate::exact::{exact_shapley, MAX_EXACT_PLAYERS};
 use crate::game::PredictionGame;
 use crate::kernel::{
     try_kernel_shap, try_kernel_shap_batched, try_kernel_shap_batched_parallel,
-    try_kernel_shap_parallel, KernelShap, KernelShapConfig,
+    try_kernel_shap_budgeted, try_kernel_shap_parallel, KernelShap, KernelShapConfig,
 };
 use crate::sampling::{
     try_permutation_shapley, try_permutation_shapley_batched,
@@ -215,6 +218,17 @@ impl KernelShapMethod {
         let config = KernelShapConfig { seed: plan.seed, ..self.config };
         let f = |x: &[f64]| model.predict(x);
         let fb = |m: &Matrix| model.predict_batch(m);
+        if plan.budgeted() {
+            if plan.parallel() || plan.batched {
+                return Err(XaiError::Unsupported {
+                    context: "budgeted Kernel SHAP is sequential and scalar; \
+                              set workers = 1 and batched = false"
+                        .into(),
+                });
+            }
+            let game = PredictionGame::new(&f, instance, background);
+            return try_kernel_shap_budgeted(&game, config, plan.budget);
+        }
         match (plan.parallel(), plan.batched) {
             (false, false) => {
                 let game = PredictionGame::new(&f, instance, background);
@@ -242,7 +256,6 @@ impl Explainer for KernelShapMethod {
     }
 
     fn explain(&self, model: &dyn ModelOracle, req: &ExplainRequest<'_>) -> XaiResult<Explanation> {
-        reject_budget("Kernel SHAP", req)?;
         let instance = req.need_instance("Kernel SHAP")?;
         let background = req.background_or_data();
         validate::background("kernel SHAP", instance, background)?;
@@ -372,7 +385,7 @@ mod tests {
     }
 
     #[test]
-    fn budget_on_a_parallel_permutation_plan_is_rejected() {
+    fn budget_on_a_parallel_plan_is_rejected() {
         let data = german_credit(40, 8);
         let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
         let row = data.row(0).to_vec();
@@ -384,12 +397,43 @@ mod tests {
             PermutationShapleyMethod::default().explain(&model, &req),
             Err(XaiError::Unsupported { .. })
         ));
-        // And Kernel SHAP has no budget path at all.
-        let plan = RunConfig::seeded(1).with_budget(xai_core::SampleBudget::with_max_evals(10));
-        let req = ExplainRequest::new(&data).instance(&row).plan(plan);
+        // Kernel SHAP's budget path is likewise sequential-scalar only.
         assert!(matches!(
             KernelShapMethod::default().explain(&model, &req),
             Err(XaiError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn budgeted_kernel_shap_equals_a_shorter_unbudgeted_run() {
+        let data = german_credit(40, 8);
+        let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+        let row = data.row(0).to_vec();
+        // Sampling mode (max_coalitions well under 2^9 - 2): capping the
+        // eval budget at 24 must consume exactly the first 24 draws of
+        // the seed-11 stream, i.e. equal max_coalitions = 24 bit for bit.
+        let capped = KernelShapMethod {
+            config: KernelShapConfig { max_coalitions: 200, ..KernelShapConfig::default() },
+        };
+        let plan = RunConfig::seeded(11).with_budget(xai_core::SampleBudget::with_max_evals(24));
+        let req = ExplainRequest::new(&data).instance(&row).plan(plan);
+        let budgeted = capped.explain(&model, &req).unwrap();
+        let short = KernelShapMethod {
+            config: KernelShapConfig { max_coalitions: 24, ..KernelShapConfig::default() },
+        };
+        let req = ExplainRequest::new(&data).instance(&row).plan(RunConfig::seeded(11));
+        let unbudgeted = short.explain(&model, &req).unwrap();
+        assert_eq!(
+            budgeted.as_attribution().unwrap().values,
+            unbudgeted.as_attribution().unwrap().values
+        );
+
+        // A budget that cannot admit even one coalition is typed.
+        let plan = RunConfig::seeded(11).with_budget(xai_core::SampleBudget::with_max_evals(0));
+        let req = ExplainRequest::new(&data).instance(&row).plan(plan);
+        assert!(matches!(
+            capped.explain(&model, &req),
+            Err(XaiError::BudgetExceeded { completed: 0, .. })
         ));
     }
 }

@@ -18,7 +18,7 @@
 
 use crate::batch::BatchGame;
 use crate::game::{mask_to_coalition, CooperativeGame};
-use xai_core::{XaiError, XaiResult};
+use xai_core::{SampleBudget, XaiError, XaiResult};
 use xai_rand::rngs::StdRng;
 use xai_rand::{Rng, SeedableRng};
 use xai_linalg::distr::categorical;
@@ -247,6 +247,81 @@ pub fn try_kernel_shap(game: &dyn CooperativeGame, config: KernelShapConfig) -> 
         })?;
     let (phi, degraded) = solve_kernel_regression(n, &ends, &masks, &weights, &values, config.ridge)?;
     Ok(KernelShap { phi, base_value: ends.v0, coalitions_used: masks.len(), exact, degraded })
+}
+
+/// Budgeted twin of [`try_kernel_shap`]: coalition evaluations are
+/// metered against `budget` and the estimate is built from whatever
+/// prefix of the coalition grid completed — graceful degradation instead
+/// of an all-or-nothing timeout.
+///
+/// Semantics:
+/// - the two endpoint evaluations (`v(∅)`, `v(N)`) are mandatory
+///   bookkeeping and are **not** metered; the meter counts proper
+///   coalition evaluations only;
+/// - the coalition stream is the sequential one: in sampling mode an
+///   eval cap of `k` consumes exactly the first `k` draws of the
+///   `seed_from_u64(config.seed)` stream, so the result is
+///   **bit-identical** to an unbudgeted run with `max_coalitions = k`;
+/// - in exact mode a cap below `2^n − 2` truncates the enumeration and
+///   clears the `exact` flag on the result;
+/// - a budget that expires before the *first* coalition evaluation is
+///   [`XaiError::BudgetExceeded`] — there is nothing to estimate from.
+///
+/// Only the sequential scalar path is budgeted; the unified layer
+/// rejects budget + parallel/batched plans as
+/// [`XaiError::Unsupported`].
+pub fn try_kernel_shap_budgeted(
+    game: &dyn CooperativeGame,
+    config: KernelShapConfig,
+    budget: SampleBudget,
+) -> XaiResult<KernelShap> {
+    let (ends, short) = endpoints(game)?;
+    if let Some(s) = short {
+        return Ok(s);
+    }
+    let n = game.n_players();
+    let exact = exact_mode(n, config.max_coalitions);
+    let planned = if exact { (1usize << n) - 2 } else { config.max_coalitions };
+    let mut meter = budget.start();
+    let (masks, weights, values) =
+        xai_core::catch_model("kernel SHAP coalition evaluation", move || {
+            let size_weights = size_distribution(n);
+            let mut rng = StdRng::seed_from_u64(config.seed);
+            let mut masks: Vec<Vec<bool>> = Vec::new();
+            let mut weights: Vec<f64> = Vec::new();
+            let mut values: Vec<f64> = Vec::new();
+            for i in 0..planned {
+                if meter.exhausted() {
+                    break;
+                }
+                let (coalition, weight) = if exact {
+                    let mask = i + 1;
+                    (mask_to_coalition(mask, n), shapley_kernel_weight(n, mask.count_ones() as usize))
+                } else {
+                    (draw_coalition(&mut rng, n, &size_weights), 1.0)
+                };
+                values.push(game.value(&coalition));
+                meter.record(1);
+                masks.push(coalition);
+                weights.push(weight);
+            }
+            (masks, weights, values)
+        })?;
+    if values.is_empty() {
+        return Err(XaiError::BudgetExceeded {
+            context: "kernel SHAP: budget expired before the first coalition evaluation".into(),
+            completed: 0,
+        });
+    }
+    let truncated = values.len() < planned;
+    let (phi, degraded) = solve_kernel_regression(n, &ends, &masks, &weights, &values, config.ridge)?;
+    Ok(KernelShap {
+        phi,
+        base_value: ends.v0,
+        coalitions_used: masks.len(),
+        exact: exact && !truncated,
+        degraded,
+    })
 }
 
 /// Kernel SHAP with every coalition of a sampling round materialized into
@@ -509,6 +584,56 @@ mod tests {
         for (i, p) in one.phi.iter().enumerate() {
             assert!((p - (i + 1) as f64).abs() < 0.2, "phi[{i}] = {p}");
         }
+    }
+
+    #[test]
+    fn budgeted_prefix_is_bit_identical_to_a_shorter_run() {
+        let game = TableGame::glove();
+        // Force sampling mode (2^3 - 2 = 6 proper coalitions > cap 4 needs
+        // max_coalitions < 6): a 40-coalition run capped at 4 evals must
+        // equal an uncapped 4-coalition run draw for draw.
+        let long = KernelShapConfig { max_coalitions: 40, seed: 3, ..Default::default() };
+        let capped = try_kernel_shap_budgeted(
+            &game,
+            KernelShapConfig { max_coalitions: 5, seed: 3, ..Default::default() },
+            xai_core::SampleBudget::with_max_evals(4),
+        )
+        .unwrap();
+        let short =
+            try_kernel_shap(&game, KernelShapConfig { max_coalitions: 4, seed: 3, ..Default::default() })
+                .unwrap();
+        assert_eq!(capped.phi, short.phi);
+        assert_eq!(capped.coalitions_used, 4);
+        assert!(!capped.exact);
+        // Unlimited budget reproduces the plain run exactly.
+        let unlimited =
+            try_kernel_shap_budgeted(&game, long, xai_core::SampleBudget::unlimited()).unwrap();
+        assert_eq!(unlimited.phi, try_kernel_shap(&game, long).unwrap().phi);
+    }
+
+    #[test]
+    fn budget_truncates_exact_enumeration_and_clears_the_flag() {
+        let game = TableGame::new(
+            4,
+            (0..16).map(|m: usize| (m.count_ones() as f64).sqrt()).collect(),
+        );
+        let config = KernelShapConfig::default(); // 14 proper coalitions: exact mode
+        let full =
+            try_kernel_shap_budgeted(&game, config, xai_core::SampleBudget::unlimited()).unwrap();
+        assert!(full.exact);
+        assert_eq!(full.phi, try_kernel_shap(&game, config).unwrap().phi);
+        let truncated =
+            try_kernel_shap_budgeted(&game, config, xai_core::SampleBudget::with_max_evals(9))
+                .unwrap();
+        assert!(!truncated.exact);
+        assert_eq!(truncated.coalitions_used, 9);
+        // Zero-eval budgets fail typed: nothing to estimate from.
+        let starved =
+            try_kernel_shap_budgeted(&game, config, xai_core::SampleBudget::with_max_evals(0));
+        assert!(matches!(
+            starved,
+            Err(XaiError::BudgetExceeded { completed: 0, .. })
+        ));
     }
 
     #[test]

@@ -57,7 +57,8 @@ pub use owen::{one_hot_groups, owen_values, OwenValues};
 pub use kernel::{
     kernel_shap, kernel_shap_batched, kernel_shap_batched_parallel, kernel_shap_parallel,
     shapley_kernel_weight, try_kernel_shap, try_kernel_shap_batched,
-    try_kernel_shap_batched_parallel, try_kernel_shap_parallel, KernelShap, KernelShapConfig,
+    try_kernel_shap_batched_parallel, try_kernel_shap_budgeted, try_kernel_shap_parallel,
+    KernelShap, KernelShapConfig,
 };
 pub use qii::{set_qii, shapley_qii, unary_qii};
 #[allow(deprecated)] // re-export keeps the legacy twins reachable during migration

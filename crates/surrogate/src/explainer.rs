@@ -4,8 +4,11 @@
 //! Dispatch contract: `RunConfig::batched` selects the batched legacy
 //! twin where one exists (LIME, PDP); none of these methods has a
 //! parallel sampling stream, so `workers` is a no-op (the result equals
-//! the `workers == 1` result bit-for-bit) and a `SampleBudget` is
-//! rejected as [`XaiError::Unsupported`] rather than silently ignored.
+//! the `workers == 1` result bit-for-bit). A `SampleBudget` is honoured
+//! by LIME on the scalar path (an eval cap of `k` equals an unbudgeted
+//! run with `n_samples = k` bit for bit); SP-LIME, PDP/ICE and
+//! integrated gradients reject budgets as [`XaiError::Unsupported`]
+//! rather than silently ignoring the cap.
 // This module is the blessed call site of the deprecated legacy twins:
 // the unified dispatch below is what replaces them.
 #![allow(deprecated)]
@@ -46,12 +49,24 @@ impl Explainer for LimeMethod {
     }
 
     fn explain(&self, model: &dyn ModelOracle, req: &ExplainRequest<'_>) -> XaiResult<Explanation> {
-        reject_budget("LIME", req)?;
         let instance = req.need_instance("LIME")?;
         let explainer = LimeExplainer::fit(req.data);
         let f = |x: &[f64]| model.predict(x);
         let fb = |m: &Matrix| model.predict_batch(m);
-        let exp = if req.plan.batched {
+        let exp = if req.plan.budgeted() {
+            if req.plan.batched {
+                return Err(XaiError::Unsupported {
+                    context: "budgeted LIME is scalar; set batched = false".into(),
+                });
+            }
+            explainer.try_explain_budgeted(
+                &f,
+                instance,
+                self.config,
+                req.plan.seed,
+                req.plan.budget,
+            )?
+        } else if req.plan.batched {
             explainer.try_explain_batched(&fb, instance, self.config, req.plan.seed)?
         } else {
             explainer.try_explain(&f, instance, self.config, req.plan.seed)?

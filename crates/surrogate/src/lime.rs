@@ -11,7 +11,7 @@
 
 use xai_rand::rngs::StdRng;
 use xai_rand::SeedableRng;
-use xai_core::{catch_model, validate, FeatureAttribution, XaiError, XaiResult};
+use xai_core::{catch_model, validate, FeatureAttribution, SampleBudget, XaiError, XaiResult};
 use xai_data::{Dataset, FeatureKind};
 use xai_linalg::distr::normal;
 use xai_linalg::solve::weighted_r_squared;
@@ -212,6 +212,69 @@ impl LimeExplainer {
         self.try_fit_surrogate(design, targets, weights, width, prediction, config)
     }
 
+    /// Budgeted twin of [`LimeExplainer::try_explain`]: neighbourhood
+    /// probe evaluations are metered against `budget` and the surrogate
+    /// is fitted on whatever prefix of the neighbourhood completed.
+    ///
+    /// Semantics:
+    /// - the whole neighbourhood is still *drawn* up front (draws are
+    ///   model-free); only model evaluations are metered, and the
+    ///   instance's own prediction is mandatory bookkeeping outside the
+    ///   meter — so an eval cap of `k ≥ 8` produces a result
+    ///   **bit-identical** to [`LimeExplainer::try_explain`] with
+    ///   `n_samples = k` at the same seed (the probe stream is drawn
+    ///   per-probe from one seeded RNG, and the kernel width does not
+    ///   depend on the sample count);
+    /// - fewer than 8 completed probes is not a neighbourhood; the call
+    ///   fails with [`XaiError::BudgetExceeded`] carrying the completed
+    ///   count.
+    pub fn try_explain_budgeted(
+        &self,
+        model: &dyn Fn(&[f64]) -> f64,
+        instance: &[f64],
+        config: LimeConfig,
+        seed: u64,
+        budget: SampleBudget,
+    ) -> XaiResult<LimeExplanation> {
+        validate::finite_slice("LIME instance", instance)?;
+        let (raws, design, weights, width) = self.neighbourhood(instance, config, seed);
+        let mut meter = budget.start();
+        let (targets, prediction) = catch_model("LIME neighbourhood evaluation", move || {
+            let mut t: Vec<f64> = Vec::with_capacity(config.n_samples);
+            for r in raws.iter_rows() {
+                if meter.exhausted() {
+                    break;
+                }
+                t.push(model(r));
+                meter.record(1);
+            }
+            (t, model(instance))
+        })?;
+        let done = targets.len();
+        const MIN_PROBES: usize = 8; // the floor `neighbourhood` asserts on
+        if done < MIN_PROBES {
+            return Err(XaiError::BudgetExceeded {
+                context: format!(
+                    "LIME: budget admitted {done} of the minimum {MIN_PROBES} neighbourhood probes"
+                ),
+                completed: done,
+            });
+        }
+        check_targets(&targets, prediction)?;
+        if done == config.n_samples {
+            return self.try_fit_surrogate(design, targets, weights, width, prediction, config);
+        }
+        // Truncate the drawn neighbourhood to the completed prefix; the
+        // submatrix equals a fresh `n_samples = done` draw bit for bit.
+        let rows: Vec<usize> = (0..done).collect();
+        let cols: Vec<usize> = (0..design.cols()).collect();
+        let design = design.select(&rows, &cols);
+        let mut weights = weights;
+        weights.truncate(done);
+        let fit_config = LimeConfig { n_samples: done, ..config };
+        self.try_fit_surrogate(design, targets, weights, width, prediction, fit_config)
+    }
+
     /// Explains one prediction through a *batched* model surface: the whole
     /// neighbourhood is materialized as one probe matrix and evaluated in a
     /// single call (`xai_models::batch_proba_fn` / `batch_regress_fn`
@@ -387,6 +450,49 @@ mod tests {
         let data = german_credit(800, 3);
         let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
         (model, data)
+    }
+
+    #[test]
+    fn budgeted_prefix_is_bit_identical_to_a_smaller_neighbourhood() {
+        let (model, data) = credit_model_and_data();
+        let lime = LimeExplainer::fit(&data);
+        let f = proba_fn(&model);
+        let row = data.row(2);
+        // Cap 40 on a 200-probe config == plain run with n_samples = 40.
+        let wide = LimeConfig { n_samples: 200, ..LimeConfig::default() };
+        let budgeted = lime
+            .try_explain_budgeted(&f, row, wide, 13, SampleBudget::with_max_evals(40))
+            .unwrap();
+        let narrow = LimeConfig { n_samples: 40, ..LimeConfig::default() };
+        let short = lime.try_explain(&f, row, narrow, 13).unwrap();
+        assert_eq!(budgeted.attribution.values, short.attribution.values);
+        assert_eq!(budgeted.attribution.baseline, short.attribution.baseline);
+        assert_eq!(budgeted.local_fidelity, short.local_fidelity);
+        // An unlimited budget reproduces the plain run exactly.
+        let unlimited =
+            lime.try_explain_budgeted(&f, row, wide, 13, SampleBudget::unlimited()).unwrap();
+        let plain = lime.try_explain(&f, row, wide, 13).unwrap();
+        assert_eq!(unlimited.attribution.values, plain.attribution.values);
+    }
+
+    #[test]
+    fn starved_lime_budget_reports_completed_probes() {
+        let (model, data) = credit_model_and_data();
+        let lime = LimeExplainer::fit(&data);
+        let f = proba_fn(&model);
+        let err = lime
+            .try_explain_budgeted(
+                &f,
+                data.row(0),
+                LimeConfig::default(),
+                7,
+                SampleBudget::with_max_evals(5),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, XaiError::BudgetExceeded { completed: 5, .. }),
+            "{err:?}"
+        );
     }
 
     #[test]

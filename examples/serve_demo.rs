@@ -1,0 +1,118 @@
+//! The explanation-serving engine, end to end: a worker pool behind a
+//! bounded queue serves mixed JSON traffic from concurrent clients,
+//! with an LRU result cache keyed by (model fingerprint, canonical
+//! request hash) and typed admission control.
+//!
+//! ```sh
+//! cargo run --release --example serve_demo
+//! ```
+
+use std::sync::Arc;
+
+use xai::prelude::*;
+use xai_models::Classifier;
+
+fn main() {
+    // A service over the full workspace registry: 4 workers, a bounded
+    // queue, and room for 64 cached results.
+    let service = Arc::new(workspace_service(ServiceConfig {
+        workers: 4,
+        queue_capacity: 128,
+        cache_capacity: 64,
+    }));
+
+    // Register two models over the same credit data. Fingerprints come
+    // from the canonical persisted bytes, so a retrained model can never
+    // serve stale cached results.
+    let data = xai::data::synth::german_credit(200, 42);
+    let logistic = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+    let gbdt = Gbdt::fit(data.x(), data.y(), GbdtConfig::default());
+    let rejected = (0..data.n_rows())
+        .map(|i| data.row(i))
+        .find(|r| logistic.proba_one(r) < 0.5)
+        .expect("a rejected applicant exists")
+        .to_vec();
+    let fp_logistic = register_persist(&service, "credit", logistic, data.clone());
+    let fp_gbdt = register_persist(&service, "credit-gbdt", gbdt, data.clone());
+    println!("registered models:");
+    println!("  credit       {fp_logistic:016x}");
+    println!("  credit-gbdt  {fp_gbdt:016x}\n");
+
+    // Mixed traffic: local attributions, a curve, rules, recourse and a
+    // (small) training-data valuation, several of them duplicated so the
+    // cache has something to do.
+    let mut requests = vec![
+        ServeRequest::new("Kernel SHAP", "credit")
+            .with_instance(&rejected)
+            .with_plan(RunConfig::seeded(7)),
+        ServeRequest::new("LIME", "credit")
+            .with_instance(&rejected)
+            .with_plan(RunConfig::seeded(7)),
+        ServeRequest::new("TreeSHAP", "credit-gbdt")
+            .with_instance(&rejected)
+            .with_plan(RunConfig::seeded(7)),
+        ServeRequest::new("Integrated gradients", "credit")
+            .with_instance(&rejected)
+            .with_plan(RunConfig::seeded(7)),
+        ServeRequest::new("Partial dependence / ICE", "credit")
+            .with_feature(1)
+            .with_plan(RunConfig::seeded(7)),
+        ServeRequest::new("Anchors", "credit")
+            .with_instance(&rejected)
+            .with_plan(RunConfig::seeded(7)),
+        ServeRequest::new("Wachter counterfactuals", "credit")
+            .with_instance(&rejected)
+            .with_plan(RunConfig::seeded(7)),
+        ServeRequest::new("GeCo", "credit")
+            .with_instance(&rejected)
+            .with_plan(RunConfig::seeded(7)),
+        // A budgeted plan: the request carries its own sampling cap.
+        ServeRequest::new("Kernel SHAP", "credit")
+            .with_instance(&rejected)
+            .with_plan(RunConfig::seeded(7).with_budget(SampleBudget::with_max_evals(64))),
+    ];
+    // Duplicate the whole set: the second wave should be all cache hits.
+    requests.extend(requests.clone());
+
+    // Four client threads submit the traffic concurrently as JSON.
+    std::thread::scope(|scope| {
+        for client in 0..4 {
+            let service = Arc::clone(&service);
+            let requests = &requests;
+            scope.spawn(move || {
+                for (i, request) in requests.iter().enumerate() {
+                    if i % 4 != client {
+                        continue;
+                    }
+                    let wire = request.to_json_string();
+                    match service.submit_json(&wire) {
+                        Ok(_) => {}
+                        Err(e) => println!("  [client {client}] {} failed: {e}", request.method),
+                    }
+                }
+            });
+        }
+    });
+
+    // Replay one request: a warm hit, byte-equal to the cold result.
+    let warm = service.submit(&requests[0]).unwrap();
+    println!("warm replay of '{}': cached = {}", warm.method, warm.cached);
+    let attribution = warm.explanation().unwrap();
+    if let Some(a) = attribution.as_attribution() {
+        let top = a
+            .top_k(3)
+            .into_iter()
+            .map(|(n, v)| format!("{n} {v:+.3}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!("  top features: {top}");
+    }
+
+    // Admission control and validation stay typed at the front door.
+    let bad = ServeRequest::new("Kernel SHAP", "credit").with_instance(&[1.0, 2.0]);
+    println!("\nbad arity   -> {}", service.submit(&bad).unwrap_err());
+    let unknown = ServeRequest::new("Kernel SHAP", "no-such-model");
+    println!("bad model   -> {}", service.submit(&unknown).unwrap_err());
+
+    println!("\nservice counters: {}", service.stats().to_json().to_json());
+}

@@ -35,6 +35,15 @@ cargo test -q --test incremental_equivalence
 echo "==> cargo test -q --test fault_injection"
 cargo test -q --test fault_injection
 
+echo "==> cargo test -q --test serve_api"
+cargo test -q --test serve_api
+
+echo "==> cargo test -q --test serve_concurrency"
+cargo test -q --test serve_concurrency
+
+echo "==> cargo test -q --test serve_golden"
+cargo test -q --test serve_golden
+
 echo "==> cargo test -q -p xai-linalg --test chol_update"
 cargo test -q -p xai-linalg --test chol_update
 
@@ -52,6 +61,11 @@ cargo bench -p xai-bench --no-run
 # model, and the budgeted/strict plan path runs for real.
 echo "==> cargo run --release --example unified_api"
 cargo run --release --example unified_api >/dev/null
+
+# The serving demo smoke-tests the explanation-serving engine end to
+# end: concurrent JSON submission, cache hits, typed admission control.
+echo "==> cargo run --release --example serve_demo"
+cargo run --release --example serve_demo >/dev/null
 
 # Advisory deprecation audit: the legacy batched/parallel twins are
 # deprecated in favour of the unified explainer layer (DESIGN.md §9).

@@ -29,6 +29,7 @@
 //! | [`datavalue`] | LOO, Data Shapley, KNN-Shapley, influence functions |
 //! | [`provenance`] | semirings, relational engine, tuple Shapley, Rain, PrIU |
 //! | [`unified`] | the runnable registry: every method behind one trait |
+//! | [`serve`] | the explanation-serving engine: requests as JSON, worker pool, result cache |
 //!
 //! ## Quickstart
 //!
@@ -72,10 +73,15 @@ pub use xai_rules as rules;
 pub use xai_shapley as shapley;
 pub use xai_surrogate as surrogate;
 
+pub mod serve;
 pub mod unified;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
+    pub use crate::serve::{
+        register_persist, workspace_service, ExplanationService, ServeRequest, ServeResponse,
+        ServeStats, ServiceConfig,
+    };
     pub use crate::unified::{all_explainers, runnable_registry};
     pub use xai_core::{
         workspace_registry, Counterfactual, DataAttribution, DegradationPolicy, ExplainRequest,

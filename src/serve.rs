@@ -1,0 +1,60 @@
+//! The serving front end (DESIGN.md §10) wired to the full workspace:
+//! [`workspace_service`] builds an [`ExplanationService`] over
+//! [`crate::unified::runnable_registry`], and [`register_persist`]
+//! registers any persistable model with its fingerprint derived from the
+//! canonical persisted bytes.
+//!
+//! ```
+//! use xai::prelude::*;
+//! use xai::serve::{register_persist, workspace_service, ServeRequest, ServiceConfig};
+//!
+//! let data = xai::data::synth::german_credit(60, 7);
+//! let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+//!
+//! let service = workspace_service(ServiceConfig::default());
+//! register_persist(&service, "credit", model, data.clone());
+//!
+//! // A request is data: method + model + instance + plan, JSON-round-trippable.
+//! let request = ServeRequest::new("Kernel SHAP", "credit")
+//!     .with_instance(data.row(0))
+//!     .with_plan(RunConfig::seeded(7));
+//! let cold = service.submit(&request).unwrap();
+//! assert!(cold.explanation().unwrap().as_attribution().is_some());
+//!
+//! // Same canonical request again: a byte-equal cache hit.
+//! let warm = service.submit(&request).unwrap();
+//! assert!(warm.cached);
+//! assert_eq!(warm.payload, cold.payload);
+//! ```
+
+use std::sync::Arc;
+
+use xai_core::ModelOracle;
+use xai_data::Dataset;
+use xai_models::{persisted_bytes, Persist};
+
+pub use xai_core::serve::{
+    fingerprint_bytes, ExplanationService, ServeRequest, ServeResponse, ServeStats, ServiceConfig,
+};
+
+/// An [`ExplanationService`] over the full workspace registry: all 17
+/// runnable methods addressable by taxonomy card name.
+pub fn workspace_service(config: ServiceConfig) -> ExplanationService {
+    ExplanationService::new(crate::unified::runnable_registry(), config)
+}
+
+/// Registers a persistable model with `service`, deriving its
+/// fingerprint from the model's canonical persisted bytes
+/// (`xai_models::persisted_bytes`). Returns the fingerprint.
+pub fn register_persist<M>(
+    service: &ExplanationService,
+    name: &str,
+    model: M,
+    data: Dataset,
+) -> u64
+where
+    M: ModelOracle + Persist + Send + Sync + 'static,
+{
+    let bytes = persisted_bytes(&model);
+    service.register_model(name, Arc::new(model), data, &bytes)
+}

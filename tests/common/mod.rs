@@ -1,0 +1,141 @@
+//! Shared fixtures for the serving-engine integration suites
+//! (`serve_api`, `serve_concurrency`): a cheap-config registry covering
+//! all 17 runnable methods, a service with three registered models, and
+//! the direct `Explainer::explain` twin each served result is compared
+//! against bit-for-bit.
+#![allow(dead_code)]
+
+use std::sync::Arc;
+
+use xai::core::SharedExplainer;
+use xai::datavalue::BanzhafConfig;
+use xai::prelude::*;
+use xai_models::{persisted_bytes, Classifier};
+
+/// The same 17 cards as `xai::unified::all_explainers`, with sampling
+/// budgets sized for debug-mode test runs.
+pub fn cheap_explainers() -> Vec<SharedExplainer> {
+    let lime = LimeConfig { n_samples: 80, ..LimeConfig::default() };
+    vec![
+        Arc::new(ExactShapleyMethod),
+        Arc::new(PermutationShapleyMethod { permutations: 16 }),
+        Arc::new(KernelShapMethod {
+            config: KernelShapConfig { max_coalitions: 64, ..KernelShapConfig::default() },
+        }),
+        Arc::new(TreeShapMethod),
+        Arc::new(LimeMethod { config: lime }),
+        Arc::new(SpLimeMethod { n_candidates: 8, picks: 3, config: lime }),
+        Arc::new(PdpMethod { points: 6, max_rows: 40, keep_ice: true }),
+        Arc::new(IntegratedGradientsMethod { steps: 16 }),
+        Arc::new(WachterMethod::default()),
+        Arc::new(GecoMethod::default()),
+        Arc::new(DiceMethod::default()),
+        Arc::new(AnchorsMethod::default()),
+        Arc::new(DecisionSetMethod::default()),
+        Arc::new(LooMethod),
+        Arc::new(TmcMethod { config: TmcConfig { permutations: 4, ..TmcConfig::default() } }),
+        Arc::new(BanzhafMethod { config: BanzhafConfig { samples_per_point: 4, seed: 0 } }),
+        Arc::new(ComplaintMethod::default()),
+    ]
+}
+
+/// The full taxonomy with the cheap instances attached as runners.
+pub fn cheap_registry() -> Registry {
+    let mut registry = workspace_registry();
+    for explainer in cheap_explainers() {
+        registry.register_explainer(explainer).expect("cheap explainers attach to distinct cards");
+    }
+    registry
+}
+
+/// A service over [`cheap_registry`] plus everything needed to replay
+/// any served request directly against `Explainer::explain`.
+pub struct Fixture {
+    pub service: ExplanationService,
+    pub credit: Dataset,
+    pub credit_model: Arc<LogisticRegression>,
+    pub gbdt: Arc<Gbdt>,
+    pub tiny: Dataset,
+    pub tiny_model: Arc<LogisticRegression>,
+    /// An applicant the logistic model rejects — counterfactual methods
+    /// need a decision worth flipping.
+    pub rejected: Vec<f64>,
+}
+
+pub fn fixture_with(config: ServiceConfig) -> Fixture {
+    let credit = xai::data::synth::german_credit(60, 77);
+    let credit_model =
+        Arc::new(LogisticRegression::fit(credit.x(), credit.y(), LogisticConfig::default()));
+    let gbdt = Arc::new(Gbdt::fit(credit.x(), credit.y(), GbdtConfig::default()));
+    let tiny = xai::data::synth::german_credit(24, 78);
+    let tiny_model =
+        Arc::new(LogisticRegression::fit(tiny.x(), tiny.y(), LogisticConfig::default()));
+    let rejected = (0..credit.n_rows())
+        .map(|i| credit.row(i))
+        .find(|r| credit_model.proba_one(r) < 0.5)
+        .expect("a rejected applicant exists in the fixture data")
+        .to_vec();
+
+    let service = ExplanationService::new(cheap_registry(), config);
+    service.register_model(
+        "credit",
+        credit_model.clone(),
+        credit.clone(),
+        &persisted_bytes(&*credit_model),
+    );
+    service.register_model("credit-gbdt", gbdt.clone(), credit.clone(), &persisted_bytes(&*gbdt));
+    service.register_model("tiny", tiny_model.clone(), tiny.clone(), &persisted_bytes(&*tiny_model));
+    Fixture { service, credit, credit_model, gbdt, tiny, tiny_model, rejected }
+}
+
+/// The request each method is served with: TreeSHAP goes to the GBDT,
+/// valuation methods to the small training set (the default utility
+/// refits a logistic model per subset), curve methods sweep feature 1,
+/// local methods explain the rejected applicant.
+pub fn request_for(fx: &Fixture, method: &str, plan: RunConfig) -> ServeRequest {
+    match method {
+        "TreeSHAP" => {
+            ServeRequest::new(method, "credit-gbdt").with_instance(&fx.rejected).with_plan(plan)
+        }
+        "Leave-one-out" | "Data Shapley (TMC)" | "Data Banzhaf" => {
+            ServeRequest::new(method, "tiny").with_plan(plan)
+        }
+        "Partial dependence / ICE" => {
+            ServeRequest::new(method, "credit").with_feature(1).with_plan(plan)
+        }
+        "SP-LIME" | "Interpretable decision sets" | "Complaint-driven debugging" => {
+            ServeRequest::new(method, "credit").with_plan(plan)
+        }
+        _ => ServeRequest::new(method, "credit").with_instance(&fx.rejected).with_plan(plan),
+    }
+}
+
+/// The oracle and dataset a fixture model name resolves to.
+pub fn oracle_for<'a>(fx: &'a Fixture, model: &str) -> (&'a dyn ModelOracle, &'a Dataset) {
+    match model {
+        "credit" => (fx.credit_model.as_ref(), &fx.credit),
+        "credit-gbdt" => (fx.gbdt.as_ref(), &fx.credit),
+        "tiny" => (fx.tiny_model.as_ref(), &fx.tiny),
+        other => panic!("no fixture model named '{other}'"),
+    }
+}
+
+/// Replays `request` directly through `Explainer::explain` — the same
+/// method instance the service resolves, the same `ExplainRequest` its
+/// workers build — and returns the canonical payload bytes.
+pub fn direct_payload(fx: &Fixture, request: &ServeRequest) -> String {
+    let (oracle, data) = oracle_for(fx, &request.model);
+    let explainer =
+        fx.service.registry().get_explainer(&request.method).expect("method is runnable");
+    let mut req = ExplainRequest::new(data).plan(request.plan);
+    if let Some(x) = &request.instance {
+        req = req.instance(x);
+    }
+    if let Some(j) = request.feature {
+        req = req.feature(j);
+    }
+    explainer
+        .explain(oracle, &req)
+        .unwrap_or_else(|e| panic!("direct {} failed: {e}", request.method))
+        .to_json_string()
+}

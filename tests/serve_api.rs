@@ -1,0 +1,309 @@
+//! End-to-end suite for the explanation-serving engine (DESIGN.md §10).
+//!
+//! Every runnable method is submitted through `ExplanationService` as a
+//! JSON request, and the served payload is compared **bit-for-bit**
+//! against a direct `Explainer::explain` call with the same plan: the
+//! queue, the worker pool and the cache must be invisible in the bytes.
+//! Admission control (`QueueFull`), validation (`Parse` /
+//! `NonFiniteInput`) and budget exhaustion (`BudgetExceeded`) all
+//! surface as typed errors, never as strings or panics.
+
+mod common;
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use common::{direct_payload, fixture_with, request_for};
+use xai::prelude::*;
+
+/// Per-request plan workers — the *inner* deterministic parallelism of
+/// each method, independent of the service's pool size.
+const PLAN_WORKERS: [usize; 3] = [1, 2, 4];
+
+#[test]
+fn every_runnable_method_serves_bit_identically_to_direct_explain() {
+    let fx = fixture_with(ServiceConfig { workers: 2, queue_capacity: 64, cache_capacity: 256 });
+    let names = fx.service.registry().runnable_names();
+    assert_eq!(names.len(), 17, "the sweep must cover every runnable method");
+
+    for name in names {
+        for workers in PLAN_WORKERS {
+            let plan = RunConfig::seeded(7).with_workers(workers);
+            let request = request_for(&fx, name, plan);
+
+            // Serve what the wire carries: the request round-trips
+            // through JSON before submission.
+            let wire = ServeRequest::from_json_str(&request.to_json_string()).unwrap();
+            assert_eq!(wire, request, "{name}: JSON round-trip must be lossless");
+
+            let response = fx
+                .service
+                .submit(&wire)
+                .unwrap_or_else(|e| panic!("{name} (plan workers={workers}): {e}"));
+            assert!(!response.cached, "{name}: distinct plans must be cold misses");
+            assert_eq!(
+                response.payload,
+                direct_payload(&fx, &request),
+                "{name} diverged from direct explain at plan workers={workers}"
+            );
+
+            // The payload is itself canonical: it parses back and
+            // re-serializes to the same bytes.
+            let explanation = response.explanation().unwrap();
+            assert_eq!(explanation.to_json_string(), response.payload);
+        }
+    }
+
+    let stats = fx.service.stats();
+    assert_eq!(stats.submitted, 17 * PLAN_WORKERS.len() as u64);
+    assert_eq!(stats.completed, stats.submitted);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.cache_misses, stats.submitted);
+    assert_eq!(stats.cache_hits, 0);
+}
+
+#[test]
+fn cache_hits_are_byte_equal_to_their_cold_miss() {
+    let fx = fixture_with(ServiceConfig { workers: 2, queue_capacity: 64, cache_capacity: 64 });
+    let methods = [
+        "Kernel SHAP",
+        "LIME",
+        "Wachter counterfactuals",
+        "Partial dependence / ICE",
+        "Leave-one-out",
+    ];
+    for name in methods {
+        let request = request_for(&fx, name, RunConfig::seeded(5));
+        let cold = fx.service.submit(&request).unwrap();
+        let warm = fx.service.submit(&request).unwrap();
+        assert!(!cold.cached, "{name}: first submission must compute");
+        assert!(warm.cached, "{name}: second submission must hit the cache");
+        assert_eq!(warm.payload, cold.payload, "{name}: hit must be byte-equal to the miss");
+        assert_eq!(warm.fingerprint, cold.fingerprint);
+    }
+    let stats = fx.service.stats();
+    assert_eq!(stats.cache_hits, methods.len() as u64);
+    assert_eq!(stats.cache_misses, methods.len() as u64);
+    assert_eq!(stats.completed, 2 * methods.len() as u64);
+    assert_eq!(stats.failed, 0);
+}
+
+#[test]
+fn sparse_wire_requests_hit_the_cache_of_their_canonical_twin() {
+    let fx = fixture_with(ServiceConfig::default());
+    let request = request_for(&fx, "Kernel SHAP", RunConfig::default());
+    let cold = fx.service.submit(&request).unwrap();
+
+    // A hand-written sparse request — no feature, no plan — parses to
+    // the same canonical form and must be served from the cache.
+    let sparse = format!(
+        r#"{{"method": "Kernel SHAP", "model": "credit", "instance": {:?}}}"#,
+        fx.rejected
+    );
+    let wire = ServeRequest::from_json_str(&sparse).unwrap();
+    assert_eq!(wire.canonical_hash(), request.canonical_hash());
+    let warm = fx.service.submit(&wire).unwrap();
+    assert!(warm.cached, "sparse and canonical forms must share a cache entry");
+    assert_eq!(warm.payload, cold.payload);
+}
+
+#[test]
+fn validation_errors_are_typed_and_never_consume_queue_capacity() {
+    let fx = fixture_with(ServiceConfig::default());
+
+    let unknown_method = ServeRequest::new("Oracle SHAP", "credit");
+    assert!(matches!(fx.service.submit(&unknown_method), Err(XaiError::Parse { .. })));
+
+    // Catalogued in the taxonomy, but no runnable explainer attached.
+    let survey_only = ServeRequest::new("Global surrogate", "credit");
+    assert!(matches!(fx.service.submit(&survey_only), Err(XaiError::Unsupported { .. })));
+
+    let unknown_model = ServeRequest::new("Kernel SHAP", "nope");
+    assert!(matches!(fx.service.submit(&unknown_model), Err(XaiError::Parse { .. })));
+
+    let bad_arity =
+        ServeRequest::new("Kernel SHAP", "credit").with_instance(&[1.0, 2.0, 3.0]);
+    assert!(matches!(fx.service.submit(&bad_arity), Err(XaiError::Parse { .. })));
+
+    let mut poisoned = fx.rejected.clone();
+    poisoned[2] = f64::NAN;
+    let non_finite = ServeRequest::new("Kernel SHAP", "credit").with_instance(&poisoned);
+    assert!(matches!(fx.service.submit(&non_finite), Err(XaiError::NonFiniteInput { .. })));
+
+    let bad_feature =
+        ServeRequest::new("Partial dependence / ICE", "credit").with_feature(99);
+    assert!(matches!(fx.service.submit(&bad_feature), Err(XaiError::Parse { .. })));
+
+    // None of the rejected requests was admitted, executed or counted
+    // against the queue/cache.
+    let stats = fx.service.stats();
+    assert_eq!(stats.submitted, 0);
+    assert_eq!(stats.completed + stats.failed, 0);
+    assert_eq!(stats.cache_hits + stats.cache_misses, 0);
+}
+
+#[test]
+fn budgeted_requests_serve_partial_results_or_typed_exhaustion() {
+    let fx = fixture_with(ServiceConfig { workers: 1, queue_capacity: 16, cache_capacity: 16 });
+
+    // A budgeted Kernel SHAP request truncates the coalition stream and
+    // still matches the direct budgeted call byte-for-byte.
+    let plan = RunConfig::seeded(11).with_budget(SampleBudget::with_max_evals(24));
+    let request = request_for(&fx, "Kernel SHAP", plan);
+    let response = fx.service.submit(&request).unwrap();
+    assert_eq!(response.payload, direct_payload(&fx, &request));
+
+    // Same for LIME, whose budget meters neighbourhood probes.
+    let plan = RunConfig::seeded(11).with_budget(SampleBudget::with_max_evals(40));
+    let request = request_for(&fx, "LIME", plan);
+    let response = fx.service.submit(&request).unwrap();
+    assert_eq!(response.payload, direct_payload(&fx, &request));
+
+    // A starved budget surfaces as a typed BudgetExceeded, not a panic.
+    let starved =
+        request_for(&fx, "Kernel SHAP", RunConfig::seeded(11).with_budget(SampleBudget::with_max_evals(0)));
+    match fx.service.submit(&starved) {
+        Err(XaiError::BudgetExceeded { completed, .. }) => assert_eq!(completed, 0),
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+
+    // LIME reports how many probes it completed before starving.
+    let starved =
+        request_for(&fx, "LIME", RunConfig::seeded(11).with_budget(SampleBudget::with_max_evals(5)));
+    match fx.service.submit(&starved) {
+        Err(XaiError::BudgetExceeded { completed, .. }) => assert_eq!(completed, 5),
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+
+    // Budget + parallel plan is a typed Unsupported (budgets meter the
+    // sequential scalar path only).
+    let bad = request_for(
+        &fx,
+        "Kernel SHAP",
+        RunConfig::seeded(1).with_workers(2).with_budget(SampleBudget::with_max_evals(10)),
+    );
+    assert!(matches!(fx.service.submit(&bad), Err(XaiError::Unsupported { .. })));
+
+    // Failures were admitted and executed: the counters must balance.
+    let stats = fx.service.stats();
+    assert_eq!(stats.failed, 3);
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.cache_hits + stats.cache_misses, stats.completed + stats.failed);
+}
+
+#[test]
+fn queue_full_is_typed_admission_control() {
+    // One worker, queue capacity 1. The worker is parked inside a gated
+    // oracle, a second request fills the queue, and the third must be
+    // rejected with the typed QueueFull error — no sleeps, no races.
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let entered = Arc::new((Mutex::new(0usize), Condvar::new()));
+    let oracle = {
+        let gate = Arc::clone(&gate);
+        let entered = Arc::clone(&entered);
+        FnOracle::new(9, move |x: &[f64]| {
+            {
+                let (count, cond) = &*entered;
+                *count.lock().unwrap() += 1;
+                cond.notify_all();
+            }
+            let (open, cond) = &*gate;
+            let mut open = open.lock().unwrap();
+            while !*open {
+                open = cond.wait(open).unwrap();
+            }
+            x.iter().sum()
+        })
+    };
+
+    let data = xai::data::synth::german_credit(8, 1);
+    let service = Arc::new(ExplanationService::new(
+        common::cheap_registry(),
+        ServiceConfig { workers: 1, queue_capacity: 1, cache_capacity: 8 },
+    ));
+    service.register_model("gated", Arc::new(oracle), data.clone(), b"gated-model-v1");
+
+    let row = data.row(0).to_vec();
+    let request =
+        |seed: u64| ServeRequest::new("Kernel SHAP", "gated").with_instance(&row).with_plan(RunConfig::seeded(seed));
+
+    let first = {
+        let service = Arc::clone(&service);
+        let request = request(1);
+        std::thread::spawn(move || service.submit(&request))
+    };
+    // Wait until the worker is provably parked inside the model.
+    {
+        let (count, cond) = &*entered;
+        let mut count = count.lock().unwrap();
+        while *count == 0 {
+            count = cond.wait(count).unwrap();
+        }
+    }
+
+    let second = {
+        let service = Arc::clone(&service);
+        let request = request(2);
+        std::thread::spawn(move || service.submit(&request))
+    };
+    // Wait until the second request occupies the queue slot.
+    while service.stats().submitted < 2 {
+        std::thread::yield_now();
+    }
+
+    match service.submit(&request(3)) {
+        Err(XaiError::QueueFull { capacity }) => assert_eq!(capacity, 1),
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    assert_eq!(service.stats().rejected, 1);
+
+    // Open the gate: both admitted requests complete normally.
+    {
+        let (open, cond) = &*gate;
+        *open.lock().unwrap() = true;
+        cond.notify_all();
+    }
+    assert!(first.join().unwrap().is_ok());
+    assert!(second.join().unwrap().is_ok());
+    let stats = service.stats();
+    assert_eq!(stats.submitted, 2);
+    assert_eq!(stats.completed, 2);
+}
+
+#[test]
+fn submit_json_answers_with_the_response_envelope() {
+    let fx = fixture_with(ServiceConfig::default());
+    let request = request_for(&fx, "Integrated gradients", RunConfig::seeded(3));
+    let envelope = fx.service.submit_json(&request.to_json_string()).unwrap();
+
+    // The envelope carries the same payload a struct-level submit returns:
+    // the embedded explanation re-serializes to the exact cached bytes.
+    let response = fx.service.submit(&request).unwrap();
+    assert!(response.cached, "the JSON submission must have warmed the cache");
+    assert!(envelope.contains("\"cached\":false"));
+    assert!(envelope.contains(&format!("\"{:016x}\"", response.fingerprint)));
+    assert!(envelope.contains(&response.payload));
+}
+
+#[test]
+fn model_replacement_invalidates_cached_results() {
+    let fx = fixture_with(ServiceConfig::default());
+    let request = request_for(&fx, "Kernel SHAP", RunConfig::seeded(9));
+    let cold = fx.service.submit(&request).unwrap();
+    assert!(fx.service.submit(&request).unwrap().cached);
+
+    // Re-register the same name with a different model: the fingerprint
+    // changes, so the old cache entry can never be served again.
+    let retrained = Arc::new(LogisticRegression::fit(
+        fx.tiny.x(),
+        fx.tiny.y(),
+        LogisticConfig::default(),
+    ));
+    let bytes = xai_models::persisted_bytes(&*retrained);
+    let new_fp = fx.service.register_model("credit", retrained, fx.credit.clone(), &bytes);
+    assert_ne!(new_fp, cold.fingerprint);
+
+    let fresh = fx.service.submit(&request).unwrap();
+    assert!(!fresh.cached, "a replaced model must not serve stale cached bytes");
+    assert_eq!(fresh.fingerprint, new_fp);
+}

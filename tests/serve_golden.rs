@@ -1,0 +1,225 @@
+//! Golden-file serde suite for the serving wire format (DESIGN.md §10).
+//!
+//! The fixtures under `tests/fixtures/` are checked-in bytes: the
+//! canonical `ServeRequest` form is pinned exactly (a formatting change
+//! is a cache-key change and must show up in review), every
+//! `Explanation` kind round-trips byte-for-byte through its fixture,
+//! and each malformed fixture maps to its typed error.
+//!
+//! Regenerate the canonical fixtures after an intentional wire change:
+//!
+//! ```sh
+//! XAI_REGEN_GOLDEN=1 cargo test --test serve_golden -- --test-threads=1
+//! ```
+//!
+//! (single-threaded so the rewrite lands before the pinning tests read).
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use xai::core::{Condition, CurveExplanation, Op};
+use xai::prelude::*;
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(format!("{name}.json"))
+}
+
+fn read_fixture(name: &str) -> String {
+    let path = fixture_path(name);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {}: {e}; regenerate with \
+             XAI_REGEN_GOLDEN=1 cargo test --test serve_golden -- --test-threads=1",
+            path.display()
+        )
+    });
+    text.trim_end().to_string()
+}
+
+/// The fully-populated request the canonical fixture pins.
+fn golden_request() -> ServeRequest {
+    ServeRequest::new("Kernel SHAP", "credit")
+        .with_instance(&[1.5, -2.0, 0.25])
+        .with_feature(1)
+        .with_plan(RunConfig {
+            seed: 7,
+            workers: 2,
+            batched: true,
+            budget: SampleBudget {
+                max_evals: Some(500),
+                max_duration: Some(Duration::from_millis(250)),
+            },
+            degradation: DegradationPolicy::Strict,
+        })
+}
+
+/// One golden instance of every `Explanation` kind, with values chosen
+/// to be exactly representable so the fixtures are stable bytes.
+fn golden_explanations() -> Vec<(&'static str, Explanation)> {
+    vec![
+        (
+            "explanation_attribution",
+            Explanation::Attribution(FeatureAttribution::new(
+                vec!["age".into(), "income".into()],
+                vec![0.25, -0.5],
+                0.5,
+                0.25,
+            )),
+        ),
+        (
+            "explanation_rules",
+            Explanation::Rules(vec![RuleExplanation {
+                conditions: vec![
+                    Condition { feature: 0, feature_name: "age".into(), op: Op::Le, value: 40.0 },
+                    Condition {
+                        feature: 3,
+                        feature_name: "savings".into(),
+                        op: Op::Gt,
+                        value: 2.5,
+                    },
+                ],
+                prediction: 1.0,
+                precision: 0.96875,
+                coverage: 0.125,
+            }]),
+        ),
+        (
+            "explanation_counterfactuals",
+            Explanation::Counterfactuals(vec![Counterfactual {
+                original: vec![1.0, 2.0, 3.0],
+                counterfactual: vec![1.0, 3.5, 3.0],
+                original_output: 0.25,
+                counterfactual_output: 0.75,
+                changed_features: vec![1],
+                distance: 1.5,
+            }]),
+        ),
+        (
+            "explanation_valuation",
+            Explanation::DataValuation(DataAttribution {
+                values: vec![0.5, -0.25, 0.125],
+                measure: "leave-one-out".into(),
+            }),
+        ),
+        (
+            "explanation_curve",
+            Explanation::Curve(CurveExplanation {
+                feature: 1,
+                grid: vec![0.0, 0.5, 1.0],
+                values: vec![0.25, 0.5, 0.75],
+                ice: Some(vec![vec![0.0, 0.5, 1.0], vec![0.5, 0.5, 0.5]]),
+            }),
+        ),
+    ]
+}
+
+/// A sparse hand-written request: only the required fields on the wire.
+const SPARSE_REQUEST: (&str, &str) = ("serve_request_sparse", r#"{"method": "LIME", "model": "credit"}"#);
+
+/// Malformed requests that must parse to `XaiError::Parse`.
+const MALFORMED_PARSE: &[(&str, &str)] = &[
+    ("bad_unknown_field", r#"{"method": "LIME", "model": "credit", "surprise": 1}"#),
+    ("bad_workers_zero", r#"{"method": "LIME", "model": "credit", "plan": {"workers": 0}}"#),
+    ("bad_seed_overflow", r#"{"method": "LIME", "model": "credit", "plan": {"seed": 1e300}}"#),
+    ("bad_method_type", r#"{"method": 42, "model": "credit"}"#),
+];
+
+/// A request whose instance overflows f64 decimal parsing (`1e999` is
+/// +Inf) — the typed error is `NonFiniteInput`, not `Parse`.
+const NON_FINITE_REQUEST: (&str, &str) =
+    ("bad_non_finite_instance", r#"{"method": "LIME", "model": "credit", "instance": [1.0, 1e999]}"#);
+
+/// Malformed explanation payloads that must parse to `XaiError::Parse`.
+const MALFORMED_EXPLANATIONS: &[(&str, &str)] = &[
+    ("bad_explanation_kind", r#"{"kind": "sorcery"}"#),
+    (
+        "bad_attribution_arity",
+        r#"{"kind": "feature_attribution", "feature_names": ["a", "b"], "values": [1.0, 2.0, 3.0], "baseline": 0.0, "prediction": 0.0}"#,
+    ),
+];
+
+#[test]
+fn regenerate_fixtures_when_asked() {
+    if std::env::var_os("XAI_REGEN_GOLDEN").is_none() {
+        return;
+    }
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut files: Vec<(&str, String)> =
+        vec![("serve_request_full", golden_request().to_json_string())];
+    for (name, explanation) in golden_explanations() {
+        files.push((name, explanation.to_json_string()));
+    }
+    for (name, text) in [SPARSE_REQUEST, NON_FINITE_REQUEST]
+        .iter()
+        .chain(MALFORMED_PARSE)
+        .chain(MALFORMED_EXPLANATIONS)
+    {
+        files.push((name, (*text).to_string()));
+    }
+    for (name, text) in files {
+        std::fs::write(fixture_path(name), text + "\n").unwrap();
+    }
+}
+
+#[test]
+fn canonical_request_bytes_are_pinned() {
+    let fixture = read_fixture("serve_request_full");
+    assert_eq!(
+        golden_request().to_json_string(),
+        fixture,
+        "the canonical wire form changed — cache keys changed with it; \
+         regenerate the fixture only if the change is intentional"
+    );
+}
+
+#[test]
+fn canonical_request_fixture_parses_back_losslessly() {
+    let fixture = read_fixture("serve_request_full");
+    let parsed = ServeRequest::from_json_str(&fixture).unwrap();
+    assert_eq!(parsed, golden_request());
+    assert_eq!(parsed.canonical_hash(), golden_request().canonical_hash());
+}
+
+#[test]
+fn sparse_request_fixture_defaults_and_hashes_canonically() {
+    let parsed = ServeRequest::from_json_str(&read_fixture(SPARSE_REQUEST.0)).unwrap();
+    let canonical = ServeRequest::new("LIME", "credit");
+    assert_eq!(parsed, canonical);
+    assert_eq!(parsed.canonical_hash(), canonical.canonical_hash());
+    assert_eq!(parsed.plan, RunConfig::default());
+}
+
+#[test]
+fn every_explanation_kind_round_trips_through_its_fixture_byte_exactly() {
+    for (name, explanation) in golden_explanations() {
+        let fixture = read_fixture(name);
+        assert_eq!(explanation.to_json_string(), fixture, "{name}: serialization drifted");
+        let parsed = Explanation::from_json_str(&fixture).unwrap();
+        assert_eq!(parsed.to_json_string(), fixture, "{name}: round-trip is not byte-exact");
+    }
+}
+
+#[test]
+fn malformed_request_fixtures_map_to_typed_errors() {
+    for (name, _) in MALFORMED_PARSE {
+        match ServeRequest::from_json_str(&read_fixture(name)) {
+            Err(XaiError::Parse { .. }) => {}
+            other => panic!("{name}: expected Parse, got {other:?}"),
+        }
+    }
+    match ServeRequest::from_json_str(&read_fixture(NON_FINITE_REQUEST.0)) {
+        Err(XaiError::NonFiniteInput { .. }) => {}
+        other => panic!("non-finite instance: expected NonFiniteInput, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_explanation_fixtures_map_to_typed_errors() {
+    for (name, _) in MALFORMED_EXPLANATIONS {
+        match Explanation::from_json_str(&read_fixture(name)) {
+            Err(XaiError::Parse { .. }) => {}
+            other => panic!("{name}: expected Parse, got {other:?}"),
+        }
+    }
+}
