@@ -432,6 +432,14 @@ pub trait Explainer: Send + Sync {
 
     /// Runs the method against `model` as configured by `req.plan`.
     fn explain(&self, model: &dyn ModelOracle, req: &ExplainRequest<'_>) -> XaiResult<Explanation>;
+
+    /// The shard-plan view of this method, when its random draws
+    /// partition into deterministic shards (DESIGN.md §11). Methods with
+    /// a fixed chunk grid override this with `Some(self)`; the default
+    /// opts out.
+    fn as_shardable(&self) -> Option<&dyn crate::shard::ShardableExplainer> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -23,7 +23,11 @@
 //! - [`validate`] — up-front NaN/Inf and degenerate-background rejection;
 //! - [`serve`] — the explanation-serving engine (DESIGN.md §10): requests
 //!   as JSON data, a worker pool with admission control, and a
-//!   fingerprint-keyed LRU result cache.
+//!   fingerprint-keyed LRU result cache;
+//! - [`shard`] — deterministic shard plans (DESIGN.md §11): an
+//!   estimator's random draws partitioned into serializable
+//!   [`shard::ShardDescriptor`]s whose partials merge bit-identically to
+//!   the unsharded run, in-process or across worker processes.
 
 pub mod error;
 pub mod eval;
@@ -32,6 +36,7 @@ pub mod json_parse;
 pub mod explanation;
 pub mod report;
 pub mod serve;
+pub mod shard;
 pub mod taxonomy;
 pub mod validate;
 
@@ -47,6 +52,10 @@ pub use json_parse::{parse_json, ParseError};
 pub use report::{Json, ToReport};
 pub use serve::{
     fingerprint_bytes, ExplanationService, ServeRequest, ServeResponse, ServeStats, ServiceConfig,
+};
+pub use shard::{
+    build_descriptors, execute_descriptor, explain_sharded, merge_shard_results, shard_chunk_ranges,
+    DrawGrid, ShardDescriptor, ShardResult, ShardableExplainer,
 };
 pub use taxonomy::{
     method_card, workspace_registry, Access, ExplanationForm, MethodCard, Registry, Scope,

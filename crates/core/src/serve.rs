@@ -214,7 +214,6 @@ impl ServeRequest {
 
     /// Canonical JSON form: fixed field order, every field present.
     pub fn to_json(&self) -> Json {
-        let p = &self.plan;
         Json::obj(vec![
             ("method", Json::str(&*self.method)),
             ("model", Json::str(&*self.model)),
@@ -232,35 +231,7 @@ impl ServeRequest {
                     None => Json::Null,
                 },
             ),
-            (
-                "plan",
-                Json::obj(vec![
-                    ("seed", Json::Num(p.seed as f64)),
-                    ("workers", Json::Num(p.workers as f64)),
-                    ("batched", Json::Bool(p.batched)),
-                    (
-                        "max_evals",
-                        match p.budget.max_evals {
-                            Some(n) => Json::Num(n as f64),
-                            None => Json::Null,
-                        },
-                    ),
-                    (
-                        "max_duration_ms",
-                        match p.budget.max_duration {
-                            Some(d) => Json::Num(d.as_millis() as f64),
-                            None => Json::Null,
-                        },
-                    ),
-                    (
-                        "degradation",
-                        Json::str(match p.degradation {
-                            DegradationPolicy::BestEffort => "best_effort",
-                            DegradationPolicy::Strict => "strict",
-                        }),
-                    ),
-                ]),
-            ),
+            ("plan", plan_to_json(&self.plan)),
         ])
     }
 
@@ -341,7 +312,38 @@ impl ServeRequest {
     }
 }
 
-fn parse_plan(json: &Json) -> XaiResult<RunConfig> {
+/// Canonical JSON form of an execution plan: fixed field order, every
+/// field present. Shared by [`ServeRequest`] and the shard descriptors.
+pub(crate) fn plan_to_json(p: &RunConfig) -> Json {
+    Json::obj(vec![
+        ("seed", Json::Num(p.seed as f64)),
+        ("workers", Json::Num(p.workers as f64)),
+        ("batched", Json::Bool(p.batched)),
+        (
+            "max_evals",
+            match p.budget.max_evals {
+                Some(n) => Json::Num(n as f64),
+                None => Json::Null,
+            },
+        ),
+        (
+            "max_duration_ms",
+            match p.budget.max_duration {
+                Some(d) => Json::Num(d.as_millis() as f64),
+                None => Json::Null,
+            },
+        ),
+        (
+            "degradation",
+            Json::str(match p.degradation {
+                DegradationPolicy::BestEffort => "best_effort",
+                DegradationPolicy::Strict => "strict",
+            }),
+        ),
+    ])
+}
+
+pub(crate) fn parse_plan(json: &Json) -> XaiResult<RunConfig> {
     let Json::Obj(fields) = json else {
         return Err(perr("ServeRequest: 'plan' must be an object or null"));
     };

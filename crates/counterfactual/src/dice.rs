@@ -81,6 +81,12 @@ impl DiceExplainer {
         Self { scales, bounds, mutability, categorical }
     }
 
+    /// MAD-scaled L1 distance under the fitted feature scales — the
+    /// `distance` field of every counterfactual this generator reports.
+    pub(crate) fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.scales.l1(a, b)
+    }
+
     /// Whether a move of feature `j` from `from` to `to` is feasible.
     fn feasible(&self, j: usize, from: f64, to: f64) -> bool {
         if to < self.bounds[j].0 || to > self.bounds[j].1 {
@@ -265,6 +271,124 @@ impl DiceExplainer {
         results
     }
 
+    /// One candidate of the pooled search: an independent local search
+    /// against the *core* loss (validity, proximity, sparsity — diversity
+    /// enters at selection time, so candidates need no view of each
+    /// other). Returns the candidate and its core loss when the search
+    /// crossed the boundary, `None` otherwise.
+    ///
+    /// This is the unit the parallel and sharded DiCE paths tile:
+    /// candidate `c` runs this body with an RNG seeded
+    /// `child_seed(seed, c)`, so in-process fork-join execution and
+    /// cross-process shards reproduce each other bit for bit.
+    pub(crate) fn pool_candidate(
+        &self,
+        model: &dyn Fn(&[f64]) -> f64,
+        instance: &[f64],
+        target_positive: bool,
+        config: DiceConfig,
+        rng: &mut StdRng,
+    ) -> Option<(Vec<f64>, f64)> {
+        let d = instance.len();
+        let mut current = instance.to_vec();
+        let mut current_loss = self.loss(model, instance, target_positive, &current, &[], config);
+        for _ in 0..config.iterations {
+            let j = rng.gen_range(0..d);
+            let Some(v) = self.propose(j, instance[j], current[j], rng) else {
+                continue;
+            };
+            let old = current[j];
+            current[j] = v;
+            let l = self.loss(model, instance, target_positive, &current, &[], config);
+            if l < current_loss {
+                current_loss = l;
+            } else {
+                current[j] = old;
+            }
+        }
+        let valid = (model(&current) >= 0.5) == target_positive;
+        valid.then_some((current, current_loss))
+    }
+
+    /// The pool merge: greedily picks up to `k` valid candidates, each
+    /// round taking the one minimizing
+    /// `core_loss − diversity_weight · diversity(chosen ∪ {candidate})`.
+    /// Strict comparison breaks ties toward the lowest pool index, so the
+    /// selection is independent of evaluation order.
+    pub(crate) fn select_diverse(
+        &self,
+        candidates: &[Option<(Vec<f64>, f64)>],
+        config: DiceConfig,
+    ) -> Vec<Vec<f64>> {
+        let mut chosen: Vec<Vec<f64>> = Vec::new();
+        let mut used = vec![false; candidates.len()];
+        for _slot in 0..config.k {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, cand) in candidates.iter().enumerate() {
+                if used[i] {
+                    continue;
+                }
+                let Some((cf, core_loss)) = cand else {
+                    continue;
+                };
+                let mut set = chosen.clone();
+                set.push(cf.clone());
+                let score = core_loss - config.diversity_weight * diversity(&self.scales, &set);
+                if best.is_none_or(|(_, b)| score < b) {
+                    best = Some((i, score));
+                }
+            }
+            let Some((i, _)) = best else { break };
+            used[i] = true;
+            chosen.push(candidates[i].as_ref().expect("selected candidate exists").0.clone());
+        }
+        chosen
+    }
+
+    /// Pooled twin of [`DiceExplainer::try_generate`], used by the
+    /// unified parallel dispatch and the shard layer: `k · restarts`
+    /// independent candidates (candidate `c` at `child_seed(seed, c)`)
+    /// followed by the greedy diverse selection of `k`. The output is a
+    /// pure function of `(seed, config)` — bit-identical across worker
+    /// counts and shard splits. The draws differ from the sequential
+    /// `try_generate` (one stream per candidate, diversity applied at
+    /// selection instead of during search); both explore the same space.
+    pub fn try_generate_pool(
+        &self,
+        model: &(dyn Fn(&[f64]) -> f64 + Sync),
+        instance: &[f64],
+        config: DiceConfig,
+        seed: u64,
+        workers: usize,
+    ) -> XaiResult<Vec<Counterfactual>> {
+        validate::finite_slice("DiCE instance", instance)?;
+        assert_eq!(instance.len(), self.bounds.len(), "instance arity mismatch");
+        let original_output = catch_model("DiCE original prediction", || model(instance))?;
+        let target_positive = original_output < 0.5;
+        let pool = (config.k * config.restarts.max(1)).max(1);
+        let candidates = xai_rand::parallel::try_par_map_seeded(pool, seed, workers, |_c, rng| {
+            self.pool_candidate(model, instance, target_positive, config, rng)
+        })
+        .map_err(XaiError::from)?;
+        let chosen = self.select_diverse(&candidates, config);
+        let results = catch_model("DiCE counterfactual certification", || {
+            chosen
+                .into_iter()
+                .map(|cf| {
+                    let cf_output = model(&cf);
+                    Counterfactual::new(
+                        instance.to_vec(),
+                        cf.clone(),
+                        original_output,
+                        cf_output,
+                        self.scales.l1(instance, &cf),
+                    )
+                })
+                .collect::<Vec<_>>()
+        })?;
+        certify_set(results, "pooled DiCE search", config)
+    }
+
     /// Fallible twin of [`DiceExplainer::generate`]: non-finite inputs
     /// yield [`XaiError::NonFiniteInput`], a panicking model or non-finite
     /// counterfactuals yield [`XaiError::ModelFault`], and an empty result
@@ -357,7 +481,7 @@ impl DiceExplainer {
 
 /// Shared certification epilogue of the fallible DiCE paths: an empty set
 /// is a convergence failure, a non-finite member is a model fault.
-fn certify_set(
+pub(crate) fn certify_set(
     cfs: Vec<Counterfactual>,
     what: &str,
     config: DiceConfig,

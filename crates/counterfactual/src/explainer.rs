@@ -2,21 +2,32 @@
 //! (DESIGN.md §9): Wachter gradient descent, GeCo's genetic search under
 //! plausibility/feasibility constraints, and DiCE's diverse set.
 //!
-//! Dispatch contract: `workers > 1` selects the fixed-chunk parallel
-//! multi-start twins for GeCo and DiCE (worker-count-invariant but a
-//! different search schedule than `workers == 1`, matching the legacy
-//! functions); Wachter is deterministic gradient descent, so `seed` /
-//! `workers` / `batched` are no-ops. None of the searches has a batched
-//! or budgeted twin; a `SampleBudget` is rejected as
+//! Dispatch contract: `workers > 1` selects GeCo's fixed-chunk parallel
+//! multi-start twin and DiCE's candidate pool (`k · restarts`
+//! independent searches, candidate `c` at `child_seed(seed, c)`, merged
+//! by a greedy diverse selection) — both worker-count invariant though a
+//! different search schedule than `workers == 1`, and for DiCE the pool
+//! is the grid the shard layer partitions. Wachter is deterministic
+//! gradient descent with no random draws, so every execution plan
+//! returns the same result. None of the searches has a batched or
+//! budgeted twin; a `SampleBudget` is rejected as
 //! [`XaiError::Unsupported`].
 // This module is the blessed call site of the deprecated legacy twins:
 // the unified dispatch below is what replaces them.
 #![allow(deprecated)]
 
+use xai_core::shard::{
+    chunks_json, flatten_chunks, index_field, num_field, nums_field, wire_error, DrawGrid,
+    ShardableExplainer,
+};
 use xai_core::taxonomy::method_card;
 use xai_core::{
-    ExplainRequest, Explainer, Explanation, MethodCard, ModelOracle, XaiError, XaiResult,
+    catch_model, validate, Counterfactual, ExplainRequest, Explainer, Explanation, Json,
+    MethodCard, ModelOracle, XaiError, XaiResult,
 };
+use xai_rand::child_seed;
+use xai_rand::rngs::StdRng;
+use xai_rand::SeedableRng;
 
 use crate::dice::{DiceConfig, DiceExplainer};
 use crate::geco::{try_geco, try_geco_parallel, GecoConfig, Plaf};
@@ -136,17 +147,148 @@ impl Explainer for DiceMethod {
         let explainer = DiceExplainer::fit(req.data);
         let f = |x: &[f64]| model.predict(x);
         let cfs = if req.plan.parallel() {
-            explainer.try_generate_parallel(
-                &f,
-                instance,
-                self.config,
-                req.plan.seed,
-                req.plan.workers,
-            )?
+            explainer.try_generate_pool(&f, instance, self.config, req.plan.seed, req.plan.workers)?
         } else {
             explainer.try_generate(&f, instance, self.config, req.plan.seed)?
         };
         Ok(Explanation::Counterfactuals(cfs))
+    }
+
+    fn as_shardable(&self) -> Option<&dyn ShardableExplainer> {
+        Some(self)
+    }
+}
+
+impl DiceMethod {
+    /// Rebuilds the method from its canonical shard-config JSON.
+    pub fn from_config_json(config: &Json) -> XaiResult<Self> {
+        const WHAT: &str = "DiCE config";
+        Ok(Self {
+            config: DiceConfig {
+                k: index_field(config, "k", WHAT)?,
+                proximity_weight: num_field(config, "proximity_weight", WHAT)?,
+                diversity_weight: num_field(config, "diversity_weight", WHAT)?,
+                sparsity_weight: num_field(config, "sparsity_weight", WHAT)?,
+                iterations: index_field(config, "iterations", WHAT)?,
+                restarts: index_field(config, "restarts", WHAT)?,
+            },
+        })
+    }
+
+    /// Size of the candidate pool the parallel and sharded paths search.
+    fn pool(&self) -> usize {
+        (self.config.k * self.config.restarts.max(1)).max(1)
+    }
+}
+
+impl ShardableExplainer for DiceMethod {
+    fn draw_grid(&self, req: &ExplainRequest<'_>) -> XaiResult<DrawGrid> {
+        reject_budget("DiCE", req)?;
+        req.need_instance("DiCE")?;
+        Ok(DrawGrid { total_draws: self.pool(), chunk_size: 1 })
+    }
+
+    fn explain_chunks(
+        &self,
+        model: &dyn ModelOracle,
+        req: &ExplainRequest<'_>,
+        chunks: std::ops::Range<usize>,
+    ) -> XaiResult<Json> {
+        let instance = req.need_instance("DiCE")?;
+        validate::finite_slice("DiCE instance", instance)?;
+        let explainer = DiceExplainer::fit(req.data);
+        let f = |x: &[f64]| model.predict(x);
+        let original_output = catch_model("DiCE original prediction", || f(instance))?;
+        let target_positive = original_output < 0.5;
+        let mut out = Vec::with_capacity(chunks.len());
+        for c in chunks {
+            let mut rng = StdRng::seed_from_u64(child_seed(req.plan.seed, c as u64));
+            let candidate = catch_model("DiCE local search", || {
+                explainer.pool_candidate(&f, instance, target_positive, self.config, &mut rng)
+            })?;
+            out.push(match candidate {
+                None => Json::Null,
+                Some((cf, loss)) => {
+                    if !loss.is_finite() || cf.iter().any(|v| !v.is_finite()) {
+                        return Err(XaiError::ModelFault {
+                            context: "DiCE local search produced a non-finite candidate".into(),
+                        });
+                    }
+                    Json::obj(vec![("cf", Json::nums(&cf)), ("loss", Json::Num(loss))])
+                }
+            });
+        }
+        Ok(chunks_json(out))
+    }
+
+    fn merge_chunks(
+        &self,
+        model: &dyn ModelOracle,
+        req: &ExplainRequest<'_>,
+        partials: Vec<Json>,
+    ) -> XaiResult<Explanation> {
+        const WHAT: &str = "DiCE merge";
+        let instance = req.need_instance("DiCE")?;
+        validate::finite_slice("DiCE instance", instance)?;
+        let grid = self.draw_grid(req)?;
+        let flat = flatten_chunks(&partials, WHAT)?;
+        if flat.len() != grid.n_chunks() {
+            return Err(wire_error(format!(
+                "{WHAT}: got {} pool candidates for a {}-candidate pool",
+                flat.len(),
+                grid.n_chunks()
+            )));
+        }
+        let d = instance.len();
+        let candidates = flat
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| match c {
+                Json::Null => Ok(None),
+                _ => {
+                    let cf = nums_field(c, "cf", WHAT)?;
+                    if cf.len() != d {
+                        return Err(wire_error(format!(
+                            "{WHAT}: candidate {i} has {} features, want {d}",
+                            cf.len()
+                        )));
+                    }
+                    Ok(Some((cf, num_field(c, "loss", WHAT)?)))
+                }
+            })
+            .collect::<XaiResult<Vec<_>>>()?;
+        let explainer = DiceExplainer::fit(req.data);
+        let f = |x: &[f64]| model.predict(x);
+        let original_output = catch_model("DiCE original prediction", || f(instance))?;
+        let chosen = explainer.select_diverse(&candidates, self.config);
+        let results = catch_model("DiCE counterfactual certification", || {
+            chosen
+                .into_iter()
+                .map(|cf| {
+                    let cf_output = f(&cf);
+                    Counterfactual::new(
+                        instance.to_vec(),
+                        cf.clone(),
+                        original_output,
+                        cf_output,
+                        explainer.distance(instance, &cf),
+                    )
+                })
+                .collect::<Vec<_>>()
+        })?;
+        let cfs = crate::dice::certify_set(results, "pooled DiCE search", self.config)?;
+        Ok(Explanation::Counterfactuals(cfs))
+    }
+
+    fn config_json(&self) -> Json {
+        Json::obj(vec![
+            ("k", Json::Num(self.config.k as f64)),
+            ("proximity_weight", Json::Num(self.config.proximity_weight)),
+            ("diversity_weight", Json::Num(self.config.diversity_weight)),
+            ("sparsity_weight", Json::Num(self.config.sparsity_weight)),
+            ("iterations", Json::Num(self.config.iterations as f64)),
+            ("restarts", Json::Num(self.config.restarts as f64)),
+        ])
     }
 }
 

@@ -18,21 +18,33 @@
 //! [`try_tmc_shapley_budgeted`]; LOO and Banzhaf reject a budget as
 //! [`XaiError::Unsupported`]. No method here has a batched twin, so
 //! `batched` is a no-op.
+//!
+//! All three methods are shardable (DESIGN.md §11): permutation chunks
+//! (TMC), per-point coalition streams (Banzhaf) and fixed point chunks
+//! (LOO) partition onto [`ShardableExplainer`] grids whose merged
+//! partials are bit-identical to the parallel dispatch above.
 // This module is the blessed call site of the deprecated legacy twins:
 // the unified dispatch below is what replaces them.
 #![allow(deprecated)]
 
+use xai_core::shard::{
+    chunks_json, flatten_chunks, index_field, num_field, nums_field, wire_error, DrawGrid,
+    ShardableExplainer,
+};
 use xai_core::taxonomy::method_card;
 use xai_core::{
-    ExplainRequest, Explainer, Explanation, MethodCard, ModelOracle, XaiError, XaiResult,
+    DataAttribution, ExplainRequest, Explainer, Explanation, Json, MethodCard, ModelOracle,
+    XaiError, XaiResult,
 };
 use xai_models::LogisticConfig;
+use xai_rand::rngs::StdRng;
+use xai_rand::{child_seed, SeedableRng};
 
 use crate::banzhaf::{try_data_banzhaf, BanzhafConfig};
 use crate::data_shapley::{try_tmc_shapley_budgeted, TmcConfig};
-use crate::loo::{try_leave_one_out, try_leave_one_out_parallel};
-use crate::parallel::{try_data_banzhaf_parallel, try_tmc_shapley_parallel};
-use crate::utility::{LogisticUtility, Utility};
+use crate::loo::{self, try_leave_one_out, try_leave_one_out_parallel};
+use crate::parallel::{self, try_data_banzhaf_parallel, try_tmc_shapley_parallel};
+use crate::utility::{check_finite_values, LogisticUtility, Utility};
 
 fn reject_budget(method: &str, req: &ExplainRequest<'_>) -> XaiResult<()> {
     if req.plan.budgeted() {
@@ -41,6 +53,15 @@ fn reject_budget(method: &str, req: &ExplainRequest<'_>) -> XaiResult<()> {
         });
     }
     Ok(())
+}
+
+/// Serialises a value slice for a shard partial, refusing non-finite
+/// values before they reach the wire (JSON would silently null them).
+fn shard_nums(what: &str, vals: &[f64]) -> XaiResult<Json> {
+    if let Some(i) = vals.iter().position(|v| !v.is_finite()) {
+        return Err(XaiError::ModelFault { context: format!("{what}: value {i} is {}", vals[i]) });
+    }
+    Ok(Json::nums(vals))
 }
 
 /// The utility a valuation request resolves to: the caller's own, or the
@@ -95,6 +116,89 @@ impl Explainer for LooMethod {
         };
         Ok(Explanation::DataValuation(att))
     }
+
+    fn as_shardable(&self) -> Option<&dyn ShardableExplainer> {
+        Some(self)
+    }
+}
+
+impl LooMethod {
+    /// Rebuilds the method from its canonical shard-config JSON (LOO has
+    /// no tunables, so any object is accepted).
+    pub fn from_config_json(_config: &Json) -> XaiResult<Self> {
+        Ok(Self)
+    }
+}
+
+impl ShardableExplainer for LooMethod {
+    fn draw_grid(&self, req: &ExplainRequest<'_>) -> XaiResult<DrawGrid> {
+        reject_budget("Leave-one-out", req)?;
+        let n = resolve_utility(req).n_train();
+        Ok(DrawGrid { total_draws: n, chunk_size: loo::POINTS_PER_CHUNK })
+    }
+
+    fn explain_chunks(
+        &self,
+        _model: &dyn ModelOracle,
+        req: &ExplainRequest<'_>,
+        chunks: std::ops::Range<usize>,
+    ) -> XaiResult<Json> {
+        let utility = resolve_utility(req);
+        let grid = self.draw_grid(req)?;
+        let n = utility.n_train();
+        let all: Vec<usize> = (0..n).collect();
+        let full =
+            xai_core::catch_model("leave-one-out full-set retraining", || utility.eval(&all))?;
+        let mut out = Vec::with_capacity(chunks.len());
+        for c in chunks {
+            // LOO draws no randomness; chunk c is a pure function of its range.
+            let values = loo::loo_chunk_values(&utility, full, grid.chunk_range(c));
+            out.push(Json::obj(vec![(
+                "values",
+                shard_nums("leave-one-out chunk values", &values)?,
+            )]));
+        }
+        Ok(chunks_json(out))
+    }
+
+    fn merge_chunks(
+        &self,
+        _model: &dyn ModelOracle,
+        req: &ExplainRequest<'_>,
+        partials: Vec<Json>,
+    ) -> XaiResult<Explanation> {
+        const WHAT: &str = "leave-one-out merge";
+        let grid = self.draw_grid(req)?;
+        let flat = flatten_chunks(&partials, WHAT)?;
+        if flat.len() != grid.n_chunks() {
+            return Err(wire_error(format!(
+                "{WHAT}: got {} chunk partials for a {}-chunk grid",
+                flat.len(),
+                grid.n_chunks()
+            )));
+        }
+        let mut values = Vec::with_capacity(grid.total_draws);
+        for (c, chunk) in flat.iter().enumerate() {
+            let chunk_values = nums_field(chunk, "values", WHAT)?;
+            if chunk_values.len() != grid.chunk_range(c).len() {
+                return Err(wire_error(format!(
+                    "{WHAT}: chunk {c} carries {} values for a {}-point range",
+                    chunk_values.len(),
+                    grid.chunk_range(c).len()
+                )));
+            }
+            values.extend(chunk_values);
+        }
+        check_finite_values(&values, "leave-one-out")?;
+        Ok(Explanation::DataValuation(DataAttribution {
+            values,
+            measure: "leave-one-out utility change".into(),
+        }))
+    }
+
+    fn config_json(&self) -> Json {
+        Json::obj(vec![])
+    }
 }
 
 /// Truncated Monte-Carlo data Shapley (§2.3.1) through the unified
@@ -125,6 +229,99 @@ impl Explainer for TmcMethod {
         };
         Ok(Explanation::DataValuation(att))
     }
+
+    fn as_shardable(&self) -> Option<&dyn ShardableExplainer> {
+        Some(self)
+    }
+}
+
+impl TmcMethod {
+    /// Rebuilds the method from its canonical shard-config JSON.
+    pub fn from_config_json(config: &Json) -> XaiResult<Self> {
+        let permutations = index_field(config, "permutations", "TMC config")?;
+        if permutations == 0 {
+            return Err(wire_error("TMC config: permutations must be >= 1"));
+        }
+        let truncation_tolerance = num_field(config, "truncation_tolerance", "TMC config")?;
+        Ok(Self { config: TmcConfig { permutations, truncation_tolerance, seed: 0 } })
+    }
+}
+
+impl ShardableExplainer for TmcMethod {
+    fn draw_grid(&self, req: &ExplainRequest<'_>) -> XaiResult<DrawGrid> {
+        // Sharding reproduces the parallel dispatch, which rejects budgets.
+        reject_budget("Data Shapley (TMC) with workers > 1", req)?;
+        Ok(DrawGrid {
+            total_draws: self.config.permutations,
+            chunk_size: parallel::PERMS_PER_CHUNK,
+        })
+    }
+
+    fn explain_chunks(
+        &self,
+        _model: &dyn ModelOracle,
+        req: &ExplainRequest<'_>,
+        chunks: std::ops::Range<usize>,
+    ) -> XaiResult<Json> {
+        let config = TmcConfig { seed: req.plan.seed, ..self.config };
+        let utility = resolve_utility(req);
+        let grid = self.draw_grid(req)?;
+        let (full_score, empty_score) = parallel::tmc_endpoints(&utility)?;
+        let mut out = Vec::with_capacity(chunks.len());
+        for c in chunks {
+            let mut rng = StdRng::seed_from_u64(child_seed(config.seed, c as u64));
+            let sums = parallel::tmc_chunk_sums(
+                &utility,
+                config,
+                grid.chunk_range(c).len(),
+                full_score,
+                empty_score,
+                &mut rng,
+            );
+            out.push(Json::obj(vec![("sums", shard_nums("TMC chunk sums", &sums)?)]));
+        }
+        Ok(chunks_json(out))
+    }
+
+    fn merge_chunks(
+        &self,
+        _model: &dyn ModelOracle,
+        req: &ExplainRequest<'_>,
+        partials: Vec<Json>,
+    ) -> XaiResult<Explanation> {
+        const WHAT: &str = "TMC merge";
+        let utility = resolve_utility(req);
+        let grid = self.draw_grid(req)?;
+        let n = utility.n_train();
+        let flat = flatten_chunks(&partials, WHAT)?;
+        if flat.len() != grid.n_chunks() {
+            return Err(wire_error(format!(
+                "{WHAT}: got {} chunk partials for a {}-chunk grid",
+                flat.len(),
+                grid.n_chunks()
+            )));
+        }
+        let mut chunk_sums = Vec::with_capacity(flat.len());
+        for (c, chunk) in flat.iter().enumerate() {
+            let sums = nums_field(chunk, "sums", WHAT)?;
+            if sums.len() != n {
+                return Err(wire_error(format!(
+                    "{WHAT}: chunk {c} carries {} sums for {n} training points",
+                    sums.len()
+                )));
+            }
+            chunk_sums.push(sums);
+        }
+        let att = parallel::tmc_finish(chunk_sums, self.config.permutations, req.plan.workers)?;
+        Ok(Explanation::DataValuation(att))
+    }
+
+    fn config_json(&self) -> Json {
+        Json::obj(vec![
+            ("permutations", Json::Num(self.config.permutations as f64)),
+            ("truncation_tolerance", Json::Num(self.config.truncation_tolerance)),
+        ])
+    }
 }
 
 /// Monte-Carlo data Banzhaf valuation (§2.3.1) through the unified
@@ -153,6 +350,81 @@ impl Explainer for BanzhafMethod {
             try_data_banzhaf(&utility, config)?
         };
         Ok(Explanation::DataValuation(att))
+    }
+
+    fn as_shardable(&self) -> Option<&dyn ShardableExplainer> {
+        Some(self)
+    }
+}
+
+impl BanzhafMethod {
+    /// Rebuilds the method from its canonical shard-config JSON.
+    pub fn from_config_json(config: &Json) -> XaiResult<Self> {
+        let samples_per_point = index_field(config, "samples_per_point", "Banzhaf config")?;
+        if samples_per_point == 0 {
+            return Err(wire_error("Banzhaf config: samples_per_point must be >= 1"));
+        }
+        Ok(Self { config: BanzhafConfig { samples_per_point, seed: 0 } })
+    }
+}
+
+impl ShardableExplainer for BanzhafMethod {
+    fn draw_grid(&self, req: &ExplainRequest<'_>) -> XaiResult<DrawGrid> {
+        reject_budget("Data Banzhaf", req)?;
+        let n = resolve_utility(req).n_train();
+        // One chunk per training point: point i draws from child_seed(seed, i)
+        // exactly as in the per-point parallel twin.
+        Ok(DrawGrid { total_draws: n, chunk_size: 1 })
+    }
+
+    fn explain_chunks(
+        &self,
+        _model: &dyn ModelOracle,
+        req: &ExplainRequest<'_>,
+        chunks: std::ops::Range<usize>,
+    ) -> XaiResult<Json> {
+        let config = BanzhafConfig { seed: req.plan.seed, ..self.config };
+        let utility = resolve_utility(req);
+        let mut out = Vec::with_capacity(chunks.len());
+        for c in chunks {
+            let mut rng = StdRng::seed_from_u64(child_seed(config.seed, c as u64));
+            let value = parallel::banzhaf_point(&utility, config, c, &mut rng);
+            if !value.is_finite() {
+                return Err(XaiError::ModelFault {
+                    context: format!("data Banzhaf: point {c} value is {value}"),
+                });
+            }
+            out.push(Json::obj(vec![("value", Json::Num(value))]));
+        }
+        Ok(chunks_json(out))
+    }
+
+    fn merge_chunks(
+        &self,
+        _model: &dyn ModelOracle,
+        req: &ExplainRequest<'_>,
+        partials: Vec<Json>,
+    ) -> XaiResult<Explanation> {
+        const WHAT: &str = "data Banzhaf merge";
+        let grid = self.draw_grid(req)?;
+        let flat = flatten_chunks(&partials, WHAT)?;
+        if flat.len() != grid.n_chunks() {
+            return Err(wire_error(format!(
+                "{WHAT}: got {} point partials for {} training points",
+                flat.len(),
+                grid.n_chunks()
+            )));
+        }
+        let values = flat
+            .iter()
+            .map(|chunk| num_field(chunk, "value", WHAT))
+            .collect::<XaiResult<Vec<_>>>()?;
+        let att = parallel::banzhaf_finish(values, req.plan.workers)?;
+        Ok(Explanation::DataValuation(att))
+    }
+
+    fn config_json(&self) -> Json {
+        Json::obj(vec![("samples_per_point", Json::Num(self.config.samples_per_point as f64))])
     }
 }
 

@@ -14,7 +14,29 @@ use xai_rand::parallel::{par_map_chunks, try_par_map_chunks};
 /// Points handled per executor task in [`leave_one_out_parallel`]. Fixed
 /// (never derived from the worker count) so the chunk grid — and hence the
 /// result — is worker-invariant.
-const POINTS_PER_CHUNK: usize = 8;
+pub(crate) const POINTS_PER_CHUNK: usize = 8;
+
+/// One executor chunk of leave-one-out values: walks the in-place hole
+/// buffer over `range`, exactly like the corresponding slice of the
+/// sequential pass. The single source of the chunk body — the parallel
+/// twin and the shard layer both call this, which is what makes sharded
+/// partials merge bit-identically. Draws no randomness.
+pub(crate) fn loo_chunk_values(
+    utility: &dyn Utility,
+    full: f64,
+    range: std::ops::Range<usize>,
+) -> Vec<f64> {
+    let n = utility.n_train();
+    let mut without: Vec<usize> = (0..n).filter(|&j| j != range.start).collect();
+    let mut values = Vec::with_capacity(range.len());
+    for i in range {
+        values.push(full - utility.eval(&without));
+        if i + 1 < n {
+            advance_hole(&mut without, i);
+        }
+    }
+    values
+}
 
 /// Walks `without` from `D ∖ {i}` to `D ∖ {i + 1}` in place: position `i`
 /// holds `i + 1`, and overwriting it with `i` shifts the hole right while
@@ -66,15 +88,7 @@ pub fn leave_one_out_parallel<U: Utility + Sync>(utility: &U, workers: usize) ->
     let full = utility.eval(&all);
     // LOO draws no randomness; the executor is used purely for fork-join.
     let chunks = par_map_chunks(n, POINTS_PER_CHUNK, 0, workers, |_chunk, range, _rng| {
-        let mut without: Vec<usize> = (0..n).filter(|&j| j != range.start).collect();
-        let mut values = Vec::with_capacity(range.len());
-        for i in range {
-            values.push(full - utility.eval(&without));
-            if i + 1 < n {
-                advance_hole(&mut without, i);
-            }
-        }
-        values
+        loo_chunk_values(utility, full, range)
     });
     let values: Vec<f64> = chunks.into_iter().flatten().collect();
     DataAttribution { values, measure: "leave-one-out utility change".into() }
@@ -95,15 +109,7 @@ pub fn try_leave_one_out_parallel<U: Utility + Sync>(
     let all: Vec<usize> = (0..n).collect();
     let full = catch_model("leave-one-out full-set retraining", || utility.eval(&all))?;
     let chunks = try_par_map_chunks(n, POINTS_PER_CHUNK, 0, workers, |_chunk, range, _rng| {
-        let mut without: Vec<usize> = (0..n).filter(|&j| j != range.start).collect();
-        let mut values = Vec::with_capacity(range.len());
-        for i in range {
-            values.push(full - utility.eval(&without));
-            if i + 1 < n {
-                advance_hole(&mut without, i);
-            }
-        }
-        values
+        loo_chunk_values(utility, full, range)
     })
     .map_err(XaiError::from)?;
     let values: Vec<f64> = chunks.into_iter().flatten().collect();

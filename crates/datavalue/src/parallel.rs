@@ -12,12 +12,118 @@ use crate::data_shapley::TmcConfig;
 use crate::utility::{check_finite_values, Utility};
 use xai_core::{catch_model, DataAttribution, XaiError, XaiResult};
 use xai_rand::parallel::{sum_partials, try_par_map_chunks, try_par_map_seeded};
+use xai_rand::rngs::StdRng;
 use xai_rand::seq::SliceRandom;
 use xai_rand::Rng;
 
 /// Permutations per executor task. Fixed (never derived from the worker
 /// count) so the chunk grid — and hence the result — is worker-invariant.
-const PERMS_PER_CHUNK: usize = 16;
+pub(crate) const PERMS_PER_CHUNK: usize = 16;
+
+/// Evaluates and validates the TMC truncation endpoints `U(D)` and
+/// `U(∅)`. Shared by the in-process parallel twin and the shard layer so
+/// both reject a faulty utility with the same typed error.
+pub(crate) fn tmc_endpoints(utility: &dyn Utility) -> XaiResult<(f64, f64)> {
+    let n = utility.n_train();
+    let all: Vec<usize> = (0..n).collect();
+    let (full_score, empty_score) = catch_model("TMC endpoint evaluation", || {
+        (utility.eval(&all), utility.eval(&[]))
+    })?;
+    if !full_score.is_finite() || !empty_score.is_finite() {
+        return Err(XaiError::ModelFault {
+            context: format!("TMC endpoints: U(D) = {full_score}, U(∅) = {empty_score}"),
+        });
+    }
+    Ok((full_score, empty_score))
+}
+
+/// One executor chunk of TMC permutation walks: `count` truncated
+/// permutations drawn from `rng`, accumulated into per-point marginal
+/// sums. The single source of the chunk body — the parallel twin and the
+/// shard layer both call this, which is what makes sharded partials merge
+/// bit-identically.
+pub(crate) fn tmc_chunk_sums(
+    utility: &dyn Utility,
+    config: TmcConfig,
+    count: usize,
+    full_score: f64,
+    empty_score: f64,
+    rng: &mut StdRng,
+) -> Vec<f64> {
+    let n = utility.n_train();
+    let mut sums = vec![0.0; n];
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut prefix: Vec<usize> = Vec::with_capacity(n);
+    for _ in 0..count {
+        perm.shuffle(rng);
+        prefix.clear();
+        let mut prev = empty_score;
+        for &point in &perm {
+            if (full_score - prev).abs() < config.truncation_tolerance {
+                break;
+            }
+            prefix.push(point);
+            let cur = utility.eval(&prefix);
+            sums[point] += cur - prev;
+            prev = cur;
+        }
+    }
+    sums
+}
+
+/// Reduces ordered per-chunk marginal sums to the final TMC attribution:
+/// left-fold in chunk order, divide by the permutation count, reject
+/// non-finite values. Shared epilogue of the parallel twin and the shard
+/// merge.
+pub(crate) fn tmc_finish(
+    partials: Vec<Vec<f64>>,
+    permutations: usize,
+    workers: usize,
+) -> XaiResult<DataAttribution> {
+    let m = permutations as f64;
+    let mut values = sum_partials(partials);
+    for v in &mut values {
+        *v /= m;
+    }
+    // Any non-finite utility score poisons its point's sum (NaN/±Inf are
+    // absorbing under +), so checking the reduced values suffices.
+    check_finite_values(&values, "parallel TMC data Shapley")?;
+    Ok(DataAttribution { values, measure: format!("TMC data Shapley ({workers} workers)") })
+}
+
+/// One executor task of data Banzhaf: all coalition draws for training
+/// point `i` from stream `rng`, averaged. Shared by the parallel twin and
+/// the shard layer (one shard chunk per point).
+pub(crate) fn banzhaf_point(
+    utility: &dyn Utility,
+    config: BanzhafConfig,
+    i: usize,
+    rng: &mut StdRng,
+) -> f64 {
+    let n = utility.n_train();
+    let mut acc = 0.0;
+    let mut base: Vec<usize> = Vec::with_capacity(n);
+    for _ in 0..config.samples_per_point {
+        base.clear();
+        for j in 0..n {
+            if j != i && rng.gen::<bool>() {
+                base.push(j);
+            }
+        }
+        let without = utility.eval(&base);
+        base.push(i);
+        let with = utility.eval(&base);
+        acc += with - without;
+    }
+    acc / config.samples_per_point as f64
+}
+
+/// Validates per-point Banzhaf values and stamps the measure string.
+/// Shared epilogue of the parallel twin and the shard merge.
+pub(crate) fn banzhaf_finish(values: Vec<f64>, workers: usize) -> XaiResult<DataAttribution> {
+    check_finite_values(&values, "parallel data Banzhaf")?;
+    Ok(DataAttribution { values, measure: format!("data Banzhaf ({workers} workers)") })
+}
 
 /// Runs TMC-Shapley with the permutation walks spread across `workers`
 /// threads. The estimate is bit-identical for a fixed `config.seed`
@@ -52,16 +158,7 @@ pub fn try_tmc_shapley_parallel<U: Utility + Sync>(
 ) -> XaiResult<DataAttribution> {
     assert!(workers >= 1);
     assert!(config.permutations >= 1, "need at least one permutation");
-    let n = utility.n_train();
-    let all: Vec<usize> = (0..n).collect();
-    let (full_score, empty_score) = catch_model("TMC endpoint evaluation", || {
-        (utility.eval(&all), utility.eval(&[]))
-    })?;
-    if !full_score.is_finite() || !empty_score.is_finite() {
-        return Err(XaiError::ModelFault {
-            context: format!("TMC endpoints: U(D) = {full_score}, U(∅) = {empty_score}"),
-        });
-    }
+    let (full_score, empty_score) = tmc_endpoints(utility)?;
 
     let partials = try_par_map_chunks(
         config.permutations,
@@ -69,37 +166,12 @@ pub fn try_tmc_shapley_parallel<U: Utility + Sync>(
         config.seed,
         workers,
         |_chunk, range, rng| {
-            let mut sums = vec![0.0; n];
-            let mut perm: Vec<usize> = (0..n).collect();
-            let mut prefix: Vec<usize> = Vec::with_capacity(n);
-            for _ in range {
-                perm.shuffle(rng);
-                prefix.clear();
-                let mut prev = empty_score;
-                for &point in &perm {
-                    if (full_score - prev).abs() < config.truncation_tolerance {
-                        break;
-                    }
-                    prefix.push(point);
-                    let cur = utility.eval(&prefix);
-                    sums[point] += cur - prev;
-                    prev = cur;
-                }
-            }
-            sums
+            tmc_chunk_sums(utility, config, range.len(), full_score, empty_score, rng)
         },
     )
     .map_err(XaiError::from)?;
 
-    let m = config.permutations as f64;
-    let mut values = sum_partials(partials);
-    for v in &mut values {
-        *v /= m;
-    }
-    // Any non-finite utility score poisons its point's sum (NaN/±Inf are
-    // absorbing under +), so checking the reduced values suffices.
-    check_finite_values(&values, "parallel TMC data Shapley")?;
-    Ok(DataAttribution { values, measure: format!("TMC data Shapley ({workers} workers)") })
+    tmc_finish(partials, config.permutations, workers)
 }
 
 /// Monte-Carlo data Banzhaf with one executor task per training point.
@@ -138,26 +210,10 @@ pub fn try_data_banzhaf_parallel<U: Utility + Sync>(
     assert!(workers >= 1);
     assert!(config.samples_per_point >= 1);
     let n = utility.n_train();
-    let values = try_par_map_seeded(n, config.seed, workers, |i, rng| {
-        let mut acc = 0.0;
-        let mut base: Vec<usize> = Vec::with_capacity(n);
-        for _ in 0..config.samples_per_point {
-            base.clear();
-            for j in 0..n {
-                if j != i && rng.gen::<bool>() {
-                    base.push(j);
-                }
-            }
-            let without = utility.eval(&base);
-            base.push(i);
-            let with = utility.eval(&base);
-            acc += with - without;
-        }
-        acc / config.samples_per_point as f64
-    })
-    .map_err(XaiError::from)?;
-    check_finite_values(&values, "parallel data Banzhaf")?;
-    Ok(DataAttribution { values, measure: format!("data Banzhaf ({workers} workers)") })
+    let values =
+        try_par_map_seeded(n, config.seed, workers, |i, rng| banzhaf_point(utility, config, i, rng))
+            .map_err(XaiError::from)?;
+    banzhaf_finish(values, workers)
 }
 
 #[cfg(test)]

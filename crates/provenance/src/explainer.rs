@@ -4,8 +4,10 @@
 //! aggregate query over model predictions.
 //!
 //! The influence computation is closed-form linear algebra (one Hessian
-//! solve), so `seed`, `workers` and `batched` are all no-ops; a
-//! `SampleBudget` is rejected as [`XaiError::Unsupported`]. The method is
+//! solve): there are no random draws to seed, chunk or distribute, so
+//! the `seed`/`workers`/`batched` plan knobs have nothing to act on and
+//! the result is identical at every setting; a `SampleBudget` is
+//! rejected as [`XaiError::Unsupported`]. The method is
 //! model-specific: the oracle must downcast (via [`ModelOracle::as_any`])
 //! to the workspace [`LogisticRegression`], whose Hessian the influence
 //! machinery differentiates through.

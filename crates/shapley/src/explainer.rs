@@ -16,23 +16,30 @@
 // the unified dispatch below is what replaces them.
 #![allow(deprecated)]
 
+use xai_core::shard::{
+    chunks_json, flatten_chunks, index_field, num_field, nums_field, wire_error, DrawGrid,
+    ShardableExplainer,
+};
 use xai_core::taxonomy::method_card;
 use xai_core::{
     catch_model, validate, DegradationPolicy, ExplainRequest, Explainer, Explanation,
-    FeatureAttribution, MethodCard, ModelOracle, XaiError, XaiResult,
+    FeatureAttribution, Json, MethodCard, ModelOracle, XaiError, XaiResult,
 };
 use xai_linalg::Matrix;
 use xai_models::{DecisionTree, Gbdt, RandomForest};
+use xai_rand::child_seed;
+use xai_rand::rngs::StdRng;
+use xai_rand::SeedableRng;
 
 use crate::batch::BatchPredictionGame;
 use crate::exact::{exact_shapley, MAX_EXACT_PLAYERS};
 use crate::game::PredictionGame;
 use crate::kernel::{
-    try_kernel_shap, try_kernel_shap_batched, try_kernel_shap_batched_parallel,
+    self, try_kernel_shap, try_kernel_shap_batched, try_kernel_shap_batched_parallel,
     try_kernel_shap_budgeted, try_kernel_shap_parallel, KernelShap, KernelShapConfig,
 };
 use crate::sampling::{
-    try_permutation_shapley, try_permutation_shapley_batched,
+    self, try_permutation_shapley, try_permutation_shapley_batched,
     try_permutation_shapley_batched_parallel, try_permutation_shapley_budgeted,
     try_permutation_shapley_parallel,
 };
@@ -77,6 +84,16 @@ fn reject_budget(method: &str, req: &ExplainRequest<'_>) -> XaiResult<()> {
         });
     }
     Ok(())
+}
+
+/// Serializes a value vector for a shard partial, mapping non-finite
+/// entries (the model's fault, not the wire's) to a typed error before
+/// they could degrade to JSON `null`s.
+fn shard_nums(what: &str, vals: &[f64]) -> XaiResult<Json> {
+    if let Some(i) = vals.iter().position(|v| !v.is_finite()) {
+        return Err(XaiError::ModelFault { context: format!("{what}: value {i} is {}", vals[i]) });
+    }
+    Ok(Json::nums(vals))
 }
 
 /// Exact Shapley values by coalition enumeration (§2.1.2) through the
@@ -194,6 +211,100 @@ impl Explainer for PermutationShapleyMethod {
             pred,
         )))
     }
+
+    fn as_shardable(&self) -> Option<&dyn ShardableExplainer> {
+        Some(self)
+    }
+}
+
+impl PermutationShapleyMethod {
+    /// Rebuilds the method from its canonical shard-config JSON.
+    pub fn from_config_json(config: &Json) -> XaiResult<Self> {
+        let permutations = index_field(config, "permutations", "permutation Shapley config")?;
+        if permutations == 0 {
+            return Err(wire_error("permutation Shapley config: permutations must be >= 1"));
+        }
+        Ok(Self { permutations })
+    }
+}
+
+impl ShardableExplainer for PermutationShapleyMethod {
+    fn draw_grid(&self, req: &ExplainRequest<'_>) -> XaiResult<DrawGrid> {
+        if req.plan.budgeted() {
+            return Err(XaiError::Unsupported {
+                context: "budgeted permutation Shapley is sequential and scalar; \
+                          sharding covers the unbudgeted parallel path only"
+                    .into(),
+            });
+        }
+        req.need_instance("permutation Shapley")?;
+        Ok(DrawGrid { total_draws: self.permutations, chunk_size: sampling::PERMS_PER_CHUNK })
+    }
+
+    fn explain_chunks(
+        &self,
+        model: &dyn ModelOracle,
+        req: &ExplainRequest<'_>,
+        chunks: std::ops::Range<usize>,
+    ) -> XaiResult<Json> {
+        let instance = req.need_instance("permutation Shapley")?;
+        let background = req.background_or_data();
+        validate::background("permutation Shapley", instance, background)?;
+        let grid = self.draw_grid(req)?;
+        let f = |x: &[f64]| model.predict(x);
+        let game = PredictionGame::new(&f, instance, background);
+        let n = instance.len();
+        let mut out = Vec::with_capacity(chunks.len());
+        for c in chunks {
+            let mut rng = StdRng::seed_from_u64(child_seed(req.plan.seed, c as u64));
+            let (sum, sum_sq) =
+                sampling::scalar_chunk_sums(&game, n, grid.chunk_range(c).len(), &mut rng);
+            out.push(Json::obj(vec![
+                ("sum", shard_nums("permutation Shapley chunk sums", &sum)?),
+                ("sum_sq", shard_nums("permutation Shapley chunk sums", &sum_sq)?),
+            ]));
+        }
+        Ok(chunks_json(out))
+    }
+
+    fn merge_chunks(
+        &self,
+        model: &dyn ModelOracle,
+        req: &ExplainRequest<'_>,
+        partials: Vec<Json>,
+    ) -> XaiResult<Explanation> {
+        const WHAT: &str = "permutation Shapley merge";
+        let instance = req.need_instance("permutation Shapley")?;
+        let background = req.background_or_data();
+        validate::background("permutation Shapley", instance, background)?;
+        let grid = self.draw_grid(req)?;
+        let flat = flatten_chunks(&partials, WHAT)?;
+        if flat.len() != grid.n_chunks() {
+            return Err(wire_error(format!(
+                "{WHAT}: got {} chunk partials for a {}-chunk grid",
+                flat.len(),
+                grid.n_chunks()
+            )));
+        }
+        let chunk_sums = flat
+            .iter()
+            .map(|c| {
+                Ok((nums_field(c, "sum", WHAT)?, nums_field(c, "sum_sq", WHAT)?))
+            })
+            .collect::<XaiResult<Vec<_>>>()?;
+        let sampled = sampling::merge_chunk_sums(chunk_sums, self.permutations)?;
+        let (base, pred) = endpoints(model, instance, background)?;
+        Ok(Explanation::Attribution(FeatureAttribution::new(
+            names_for(req, sampled.phi.len()),
+            sampled.phi,
+            base,
+            pred,
+        )))
+    }
+
+    fn config_json(&self) -> Json {
+        Json::obj(vec![("permutations", Json::Num(self.permutations as f64))])
+    }
 }
 
 /// Kernel SHAP weighted regression (§2.1.2) through the unified layer.
@@ -274,6 +385,190 @@ impl Explainer for KernelShapMethod {
             ks.base_value,
             pred,
         )))
+    }
+
+    fn as_shardable(&self) -> Option<&dyn ShardableExplainer> {
+        Some(self)
+    }
+}
+
+impl KernelShapMethod {
+    /// Rebuilds the method from its canonical shard-config JSON. The seed
+    /// is not part of the config — it always comes from the plan.
+    pub fn from_config_json(config: &Json) -> XaiResult<Self> {
+        let max_coalitions = index_field(config, "max_coalitions", "Kernel SHAP config")?;
+        if max_coalitions == 0 {
+            return Err(wire_error("Kernel SHAP config: max_coalitions must be >= 1"));
+        }
+        let ridge = num_field(config, "ridge", "Kernel SHAP config")?;
+        Ok(Self { config: KernelShapConfig { max_coalitions, ridge, seed: 0 } })
+    }
+
+    /// Parses one serialized coalition triple `[[0/1...], weight, value]`.
+    fn parse_triple(t: &Json, i: usize) -> XaiResult<(Vec<bool>, f64, f64)> {
+        let parts = t
+            .as_arr()
+            .filter(|a| a.len() == 3)
+            .ok_or_else(|| wire_error(format!("Kernel SHAP merge: triple {i} malformed")))?;
+        let mask = parts[0]
+            .as_arr()
+            .ok_or_else(|| wire_error(format!("Kernel SHAP merge: triple {i} mask malformed")))?
+            .iter()
+            .map(|b| match b.as_num() {
+                Some(v) if v == 0.0 => Ok(false),
+                Some(v) if v == 1.0 => Ok(true),
+                _ => Err(wire_error(format!("Kernel SHAP merge: triple {i} mask bit invalid"))),
+            })
+            .collect::<XaiResult<Vec<bool>>>()?;
+        let w = parts[1]
+            .as_num()
+            .ok_or_else(|| wire_error(format!("Kernel SHAP merge: triple {i} weight invalid")))?;
+        let v = parts[2]
+            .as_num()
+            .ok_or_else(|| wire_error(format!("Kernel SHAP merge: triple {i} value invalid")))?;
+        Ok((mask, w, v))
+    }
+}
+
+impl ShardableExplainer for KernelShapMethod {
+    fn draw_grid(&self, req: &ExplainRequest<'_>) -> XaiResult<DrawGrid> {
+        let instance = req.need_instance("Kernel SHAP")?;
+        let n = instance.len();
+        let plan = &req.plan;
+        if plan.budget.max_duration.is_some() {
+            return Err(XaiError::Unsupported {
+                context: "sharded Kernel SHAP honours eval-cap budgets only; \
+                          wall-clock deadlines cannot partition deterministically"
+                    .into(),
+            });
+        }
+        let exact = kernel::exact_mode(n, self.config.max_coalitions);
+        let planned = if exact { (1usize << n) - 2 } else { self.config.max_coalitions };
+        let total = match plan.budget.max_evals {
+            None => planned,
+            Some(_) if exact => {
+                return Err(XaiError::Unsupported {
+                    context: "budgeted sharding of the exact Kernel SHAP enumeration is not \
+                              supported; lower max_coalitions to force sampling mode"
+                        .into(),
+                })
+            }
+            Some(0) => {
+                return Err(XaiError::BudgetExceeded {
+                    context: "kernel SHAP: budget expired before the first coalition evaluation"
+                        .into(),
+                    completed: 0,
+                })
+            }
+            Some(k) => planned.min(k),
+        };
+        Ok(DrawGrid { total_draws: total, chunk_size: kernel::COALITIONS_PER_CHUNK })
+    }
+
+    fn explain_chunks(
+        &self,
+        model: &dyn ModelOracle,
+        req: &ExplainRequest<'_>,
+        chunks: std::ops::Range<usize>,
+    ) -> XaiResult<Json> {
+        let instance = req.need_instance("Kernel SHAP")?;
+        let background = req.background_or_data();
+        validate::background("kernel SHAP", instance, background)?;
+        let grid = self.draw_grid(req)?;
+        let n = instance.len();
+        let exact = kernel::exact_mode(n, self.config.max_coalitions);
+        let size_weights = kernel::size_distribution(n);
+        let f = |x: &[f64]| model.predict(x);
+        let game = PredictionGame::new(&f, instance, background);
+        let mut out = Vec::with_capacity(chunks.len());
+        for c in chunks {
+            let range = grid.chunk_range(c);
+            let triples = if exact {
+                kernel::exact_chunk_triples(&game, n, range)
+            } else {
+                let mut rng = StdRng::seed_from_u64(child_seed(req.plan.seed, c as u64));
+                kernel::sampled_chunk_triples(&game, n, &size_weights, range.len(), &mut rng)
+            };
+            let mut chunk = Vec::with_capacity(triples.len());
+            for (mask, w, v) in triples {
+                if !v.is_finite() {
+                    return Err(XaiError::ModelFault {
+                        context: format!("coalition evaluation returned {v}"),
+                    });
+                }
+                chunk.push(Json::Arr(vec![
+                    Json::Arr(
+                        mask.iter().map(|&b| Json::Num(if b { 1.0 } else { 0.0 })).collect(),
+                    ),
+                    Json::Num(w),
+                    Json::Num(v),
+                ]));
+            }
+            out.push(Json::Arr(chunk));
+        }
+        Ok(chunks_json(out))
+    }
+
+    fn merge_chunks(
+        &self,
+        model: &dyn ModelOracle,
+        req: &ExplainRequest<'_>,
+        partials: Vec<Json>,
+    ) -> XaiResult<Explanation> {
+        const WHAT: &str = "Kernel SHAP merge";
+        let instance = req.need_instance("Kernel SHAP")?;
+        let background = req.background_or_data();
+        validate::background("kernel SHAP", instance, background)?;
+        let n = instance.len();
+        let f = |x: &[f64]| model.predict(x);
+        let game = PredictionGame::new(&f, instance, background);
+        let (ends, short) = kernel::endpoints(&game)?;
+        let ks = if let Some(s) = short {
+            s
+        } else {
+            let grid = self.draw_grid(req)?;
+            let flat = flatten_chunks(&partials, WHAT)?;
+            if flat.len() != grid.n_chunks() {
+                return Err(wire_error(format!(
+                    "{WHAT}: got {} chunk partials for a {}-chunk grid",
+                    flat.len(),
+                    grid.n_chunks()
+                )));
+            }
+            let mut triples = Vec::with_capacity(grid.total_draws);
+            for chunk in flat {
+                let items = chunk
+                    .as_arr()
+                    .ok_or_else(|| wire_error(format!("{WHAT}: chunk partial is not an array")))?;
+                for (i, t) in items.iter().enumerate() {
+                    triples.push(Self::parse_triple(t, i)?);
+                }
+            }
+            let exact = kernel::exact_mode(n, self.config.max_coalitions)
+                && req.plan.budget.max_evals.is_none();
+            kernel::finish_parallel(n, &ends, vec![triples], self.config.ridge, exact)?
+        };
+        if ks.degraded && req.plan.degradation == DegradationPolicy::Strict {
+            return Err(XaiError::SingularSystem {
+                context: "kernel SHAP solve needed ridge escalation; \
+                          strict degradation policy refuses the estimate"
+                    .into(),
+            });
+        }
+        let pred = catch_model("kernel SHAP instance prediction", || model.predict(instance))?;
+        Ok(Explanation::Attribution(FeatureAttribution::new(
+            names_for(req, ks.phi.len()),
+            ks.phi,
+            ks.base_value,
+            pred,
+        )))
+    }
+
+    fn config_json(&self) -> Json {
+        Json::obj(vec![
+            ("max_coalitions", Json::Num(self.config.max_coalitions as f64)),
+            ("ridge", Json::Num(self.config.ridge)),
+        ])
     }
 }
 

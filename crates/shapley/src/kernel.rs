@@ -64,12 +64,12 @@ pub struct KernelShap {
 }
 
 /// Shared preamble: endpoint values and the 1-player short circuit.
-struct Endpoints {
-    v0: f64,
-    delta: f64,
+pub(crate) struct Endpoints {
+    pub(crate) v0: f64,
+    pub(crate) delta: f64,
 }
 
-fn endpoints(game: &dyn CooperativeGame) -> XaiResult<(Endpoints, Option<KernelShap>)> {
+pub(crate) fn endpoints(game: &dyn CooperativeGame) -> XaiResult<(Endpoints, Option<KernelShap>)> {
     let n = game.n_players();
     assert!(n >= 1, "need at least one player");
     let (v0, vn) = xai_core::catch_model("kernel SHAP endpoint evaluation", || {
@@ -103,12 +103,12 @@ fn check_values(values: &[f64]) -> XaiResult<()> {
 }
 
 /// Whether the budget admits full enumeration of the proper coalitions.
-fn exact_mode(n: usize, max_coalitions: usize) -> bool {
+pub(crate) fn exact_mode(n: usize, max_coalitions: usize) -> bool {
     n < 63 && (1usize << n.min(62)) - 2 <= max_coalitions
 }
 
 /// The kernel's coalition-size distribution (unnormalized).
-fn size_distribution(n: usize) -> Vec<f64> {
+pub(crate) fn size_distribution(n: usize) -> Vec<f64> {
     (1..n).map(|s| (n - 1) as f64 / (s * (n - s)) as f64).collect()
 }
 
@@ -358,8 +358,48 @@ pub fn try_kernel_shap_batched(
     Ok(KernelShap { phi, base_value: ends.v0, coalitions_used: masks.len(), exact, degraded })
 }
 
-/// Coalition evaluations per executor task in [`kernel_shap_parallel`].
-const COALITIONS_PER_CHUNK: usize = 64;
+/// Coalition evaluations per executor task in [`kernel_shap_parallel`]
+/// — also the chunk size of the shard-plan draw grid (DESIGN.md §11).
+pub(crate) const COALITIONS_PER_CHUNK: usize = 64;
+
+/// One exact-mode chunk: enumerates the proper coalitions whose global
+/// draw indices fall in `range` and evaluates them. Shared verbatim by
+/// the parallel path and the shard executor so both produce the same
+/// triples for the same chunk.
+pub(crate) fn exact_chunk_triples(
+    game: &dyn CooperativeGame,
+    n: usize,
+    range: std::ops::Range<usize>,
+) -> Vec<(Vec<bool>, f64, f64)> {
+    range
+        .map(|i| {
+            let mask = i + 1; // skip the empty coalition
+            let coalition = mask_to_coalition(mask, n);
+            let w = shapley_kernel_weight(n, mask.count_ones() as usize);
+            let v = game.value(&coalition);
+            (coalition, w, v)
+        })
+        .collect()
+}
+
+/// One sampled-mode chunk: draws `count` coalitions from the chunk's RNG
+/// stream and evaluates them. Shared verbatim by the parallel path and
+/// the shard executor.
+pub(crate) fn sampled_chunk_triples(
+    game: &dyn CooperativeGame,
+    n: usize,
+    size_weights: &[f64],
+    count: usize,
+    rng: &mut StdRng,
+) -> Vec<(Vec<bool>, f64, f64)> {
+    (0..count)
+        .map(|_| {
+            let coalition = draw_coalition(rng, n, size_weights);
+            let v = game.value(&coalition);
+            (coalition, 1.0, v)
+        })
+        .collect()
+}
 
 /// Kernel SHAP with coalition sampling and evaluation spread across
 /// `workers` threads on the `xai_rand` executor.
@@ -407,27 +447,13 @@ pub fn try_kernel_shap_parallel(
     let chunks: Vec<Vec<(Vec<bool>, f64, f64)>> = if exact {
         let total_proper = (1usize << n) - 2;
         try_par_map_chunks(total_proper, COALITIONS_PER_CHUNK, config.seed, workers, |_c, range, _rng| {
-            range
-                .map(|i| {
-                    let mask = i + 1; // skip the empty coalition
-                    let coalition = mask_to_coalition(mask, n);
-                    let w = shapley_kernel_weight(n, mask.count_ones() as usize);
-                    let v = game.value(&coalition);
-                    (coalition, w, v)
-                })
-                .collect()
+            exact_chunk_triples(game, n, range)
         })
     } else {
         let size_weights = size_distribution(n);
         let size_weights = &size_weights;
         try_par_map_chunks(config.max_coalitions, COALITIONS_PER_CHUNK, config.seed, workers, |_c, range, rng| {
-            range
-                .map(|_| {
-                    let coalition = draw_coalition(rng, n, size_weights);
-                    let v = game.value(&coalition);
-                    (coalition, 1.0, v)
-                })
-                .collect()
+            sampled_chunk_triples(game, n, size_weights, range.len(), rng)
         })
     }
     .map_err(XaiError::from)?;
@@ -498,8 +524,10 @@ pub fn try_kernel_shap_batched_parallel(
     finish_parallel(n, &ends, chunks, config.ridge, exact)
 }
 
-/// Concatenates chunk triples in order and solves.
-fn finish_parallel(
+/// Concatenates chunk triples in order and solves. Also the shard-merge
+/// epilogue: any partition of the chunk grid that concatenates to the
+/// same triple sequence reproduces the parallel result bit-for-bit.
+pub(crate) fn finish_parallel(
     n: usize,
     ends: &Endpoints,
     chunks: Vec<Vec<(Vec<bool>, f64, f64)>>,

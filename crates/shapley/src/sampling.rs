@@ -127,7 +127,50 @@ pub fn try_permutation_shapley_budgeted(
 /// and the materialization round size of the batched estimators. Fixed
 /// (never derived from the worker count) so the chunk grid — and hence
 /// the floating-point output — is worker-invariant.
-const PERMS_PER_CHUNK: usize = 16;
+pub(crate) const PERMS_PER_CHUNK: usize = 16;
+
+/// One scalar parallel chunk: draws `count` permutations from the chunk's
+/// RNG stream, walks them, and returns the chunk-local `(sum, sum_sq)`
+/// marginal accumulators. Shared verbatim by the parallel path and the
+/// shard executor (DESIGN.md §11) so both produce bit-identical partials
+/// for the same chunk.
+pub(crate) fn scalar_chunk_sums(
+    game: &dyn CooperativeGame,
+    n: usize,
+    count: usize,
+    rng: &mut StdRng,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut sum = vec![0.0; n];
+    let mut sum_sq = vec![0.0; n];
+    let mut coalition = vec![false; n];
+    for _ in 0..count {
+        let perm = random_permutation(rng, n);
+        coalition.iter_mut().for_each(|c| *c = false);
+        let mut prev = game.value(&coalition);
+        for &player in &perm {
+            coalition[player] = true;
+            let cur = game.value(&coalition);
+            let marginal = cur - prev;
+            sum[player] += marginal;
+            sum_sq[player] += marginal * marginal;
+            prev = cur;
+        }
+    }
+    (sum, sum_sq)
+}
+
+/// Folds ordered per-chunk `(sum, sum_sq)` partials and finishes the
+/// estimate — the shared merge epilogue of the parallel and shard paths.
+pub(crate) fn merge_chunk_sums(
+    partials: Vec<(Vec<f64>, Vec<f64>)>,
+    permutations: usize,
+) -> XaiResult<SampledShapley> {
+    let (sums, sums_sq): (Vec<_>, Vec<_>) = partials.into_iter().unzip();
+    let sum = sum_partials(sums);
+    let sum_sq = sum_partials(sums_sq);
+    check_sampled_sums(&sum)?;
+    Ok(finish_sampled(sum, sum_sq, permutations))
+}
 
 /// Materializes the `n + 1` walk coalitions of each permutation in a
 /// round — `[∅, {p₀}, {p₀,p₁}, …, N]` — as one coalition list for a
@@ -335,32 +378,10 @@ pub fn try_permutation_shapley_parallel(
         PERMS_PER_CHUNK,
         seed,
         workers,
-        |_chunk, range, rng| {
-            let mut sum = vec![0.0; n];
-            let mut sum_sq = vec![0.0; n];
-            let mut coalition = vec![false; n];
-            for _ in range {
-                let perm = random_permutation(rng, n);
-                coalition.iter_mut().for_each(|c| *c = false);
-                let mut prev = game.value(&coalition);
-                for &player in &perm {
-                    coalition[player] = true;
-                    let cur = game.value(&coalition);
-                    let marginal = cur - prev;
-                    sum[player] += marginal;
-                    sum_sq[player] += marginal * marginal;
-                    prev = cur;
-                }
-            }
-            (sum, sum_sq)
-        },
+        |_chunk, range, rng| scalar_chunk_sums(game, n, range.len(), rng),
     )
     .map_err(XaiError::from)?;
-    let (sums, sums_sq): (Vec<_>, Vec<_>) = partials.into_iter().unzip();
-    let sum = sum_partials(sums);
-    let sum_sq = sum_partials(sums_sq);
-    check_sampled_sums(&sum)?;
-    Ok(finish_sampled(sum, sum_sq, permutations))
+    merge_chunk_sums(partials, permutations)
 }
 
 /// Antithetic variant: pairs each permutation with its reverse, which

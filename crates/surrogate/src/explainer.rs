@@ -2,9 +2,14 @@
 //! §9): LIME, SP-LIME, PDP/ICE and integrated-gradients saliency.
 //!
 //! Dispatch contract: `RunConfig::batched` selects the batched legacy
-//! twin where one exists (LIME, PDP); none of these methods has a
-//! parallel sampling stream, so `workers` is a no-op (the result equals
-//! the `workers == 1` result bit-for-bit). A `SampleBudget` is honoured
+//! twin where one exists (LIME, PDP). `workers > 1` fans LIME's
+//! perturbation chunks and SP-LIME's candidate explanations across the
+//! seeded executor: LIME's parallel neighbourhood draws chunk `c` from
+//! the `child_seed(seed, c)` stream (worker-count invariant, and the
+//! grid the shard layer partitions), while SP-LIME's per-candidate
+//! streams make its parallel result bit-identical to the sequential one.
+//! PDP and integrated gradients are deterministic single passes with no
+//! random draws for the executor to steer. A `SampleBudget` is honoured
 //! by LIME on the scalar path (an eval cap of `k` equals an unbudgeted
 //! run with `n_samples = k` bit for bit); SP-LIME, PDP/ICE and
 //! integrated gradients reject budgets as [`XaiError::Unsupported`]
@@ -13,18 +18,26 @@
 // the unified dispatch below is what replaces them.
 #![allow(deprecated)]
 
+use xai_core::shard::{
+    arr_field, chunks_json, flatten_chunks, index_field, num_field, nums_field, wire_error,
+    DrawGrid, ShardableExplainer,
+};
 use xai_core::taxonomy::method_card;
 use xai_core::{
     catch_model, validate, CurveExplanation, DegradationPolicy, ExplainRequest, Explainer,
-    Explanation, FeatureAttribution, MethodCard, ModelOracle, XaiError, XaiResult,
+    Explanation, FeatureAttribution, Json, MethodCard, ModelOracle, RunConfig, XaiError, XaiResult,
 };
 use xai_linalg::stats::mean;
 use xai_linalg::Matrix;
+use xai_rand::child_seed;
+use xai_rand::parallel::{try_par_map_chunks, try_par_map_seeded};
+use xai_rand::rngs::StdRng;
+use xai_rand::SeedableRng;
 
-use crate::lime::{LimeConfig, LimeExplainer};
+use crate::lime::{self, LimeConfig, LimeExplainer, LimeProbe};
 use crate::pdp::{feature_grid, try_partial_dependence, try_partial_dependence_batched};
 use crate::saliency::{integrated_gradients, Differentiable};
-use crate::sp_lime::sp_lime;
+use crate::sp_lime::{self, sp_lime};
 
 fn reject_budget(method: &str, req: &ExplainRequest<'_>) -> XaiResult<()> {
     if req.plan.budgeted() {
@@ -33,6 +46,60 @@ fn reject_budget(method: &str, req: &ExplainRequest<'_>) -> XaiResult<()> {
         });
     }
     Ok(())
+}
+
+/// Serializes a finite numeric payload; a non-finite value would write as
+/// JSON `null`, so it is reported as the model fault it is instead of
+/// being silently mangled on the wire.
+fn shard_nums(what: &str, vals: &[f64]) -> XaiResult<Json> {
+    if let Some(v) = vals.iter().find(|v| !v.is_finite()) {
+        return Err(XaiError::ModelFault { context: format!("{what} contains non-finite value {v}") });
+    }
+    Ok(Json::nums(vals))
+}
+
+/// Applies `RunConfig::degradation` to a finished LIME fit — shared by
+/// the direct dispatch and the shard merge so both refuse an escalated
+/// ridge identically under the strict policy.
+fn lime_strict(exp: lime::LimeExplanation, plan: &RunConfig) -> XaiResult<FeatureAttribution> {
+    if exp.degraded && plan.degradation == DegradationPolicy::Strict {
+        return Err(XaiError::SingularSystem {
+            context: "LIME surrogate fit needed ridge escalation; \
+                      strict degradation policy refuses the estimate"
+                .into(),
+        });
+    }
+    Ok(exp.attribution)
+}
+
+/// LIME's parallel neighbourhood: the probe grid tiled over the seeded
+/// executor, chunk `c` drawing from the `child_seed(seed, c)` stream —
+/// the same grid [`ShardableExplainer`] partitions, so any worker count
+/// and any shard split reproduce each other bit for bit.
+fn parallel_probes(
+    explainer: &LimeExplainer,
+    model: &dyn ModelOracle,
+    instance: &[f64],
+    config: LimeConfig,
+    plan: &RunConfig,
+) -> XaiResult<Vec<LimeProbe>> {
+    assert!(config.n_samples >= 8, "need a non-trivial neighbourhood");
+    let width = lime::width_for(config, instance.len());
+    let f = |x: &[f64]| model.predict(x);
+    let chunks = try_par_map_chunks(
+        config.n_samples,
+        lime::PROBES_PER_CHUNK,
+        plan.seed,
+        plan.workers,
+        |_c, range: std::ops::Range<usize>, rng: &mut StdRng| {
+            explainer.probe_chunk(&f, instance, width, range.len(), rng)
+        },
+    )?;
+    let mut probes = Vec::with_capacity(config.n_samples);
+    for chunk in chunks {
+        probes.extend(chunk?);
+    }
+    Ok(probes)
 }
 
 /// LIME local surrogate regression (§2.1.1) through the unified layer.
@@ -68,17 +135,165 @@ impl Explainer for LimeMethod {
             )?
         } else if req.plan.batched {
             explainer.try_explain_batched(&fb, instance, self.config, req.plan.seed)?
+        } else if req.plan.parallel() {
+            validate::finite_slice("LIME instance", instance)?;
+            let probes = parallel_probes(&explainer, model, instance, self.config, &req.plan)?;
+            let prediction =
+                catch_model("LIME instance prediction", || model.predict(instance))?;
+            let width = lime::width_for(self.config, instance.len());
+            explainer.fit_probes(probes, width, prediction, self.config)?
         } else {
             explainer.try_explain(&f, instance, self.config, req.plan.seed)?
         };
-        if exp.degraded && req.plan.degradation == DegradationPolicy::Strict {
-            return Err(XaiError::SingularSystem {
-                context: "LIME surrogate fit needed ridge escalation; \
-                          strict degradation policy refuses the estimate"
+        Ok(Explanation::Attribution(lime_strict(exp, &req.plan)?))
+    }
+
+    fn as_shardable(&self) -> Option<&dyn ShardableExplainer> {
+        Some(self)
+    }
+}
+
+impl LimeMethod {
+    /// Rebuilds the method from its canonical shard-config JSON.
+    pub fn from_config_json(config: &Json) -> XaiResult<Self> {
+        const WHAT: &str = "LIME config";
+        let n_samples = index_field(config, "n_samples", WHAT)?;
+        if n_samples < 8 {
+            return Err(wire_error(format!("{WHAT}: n_samples must be >= 8, got {n_samples}")));
+        }
+        let kernel_width = match config.get("kernel_width") {
+            Some(Json::Null) | None => None,
+            Some(_) => Some(num_field(config, "kernel_width", WHAT)?),
+        };
+        let ridge = num_field(config, "ridge", WHAT)?;
+        let max_features = match config.get("max_features") {
+            Some(Json::Null) | None => None,
+            Some(_) => Some(index_field(config, "max_features", WHAT)?),
+        };
+        Ok(Self { config: LimeConfig { n_samples, kernel_width, ridge, max_features } })
+    }
+}
+
+impl ShardableExplainer for LimeMethod {
+    fn draw_grid(&self, req: &ExplainRequest<'_>) -> XaiResult<DrawGrid> {
+        req.need_instance("LIME")?;
+        if req.plan.budget.max_duration.is_some() {
+            return Err(XaiError::Unsupported {
+                context: "wall-clock LIME budgets are not shardable; \
+                          use SampleBudget::with_max_evals"
                     .into(),
             });
         }
-        Ok(Explanation::Attribution(exp.attribution))
+        let total = match req.plan.budget.max_evals {
+            Some(k) => {
+                let n = self.config.n_samples.min(k);
+                if n < 8 {
+                    return Err(XaiError::BudgetExceeded {
+                        context: format!(
+                            "LIME: budget admits {n} of the minimum 8 neighbourhood probes"
+                        ),
+                        completed: n,
+                    });
+                }
+                n
+            }
+            None => self.config.n_samples,
+        };
+        Ok(DrawGrid { total_draws: total, chunk_size: lime::PROBES_PER_CHUNK })
+    }
+
+    fn explain_chunks(
+        &self,
+        model: &dyn ModelOracle,
+        req: &ExplainRequest<'_>,
+        chunks: std::ops::Range<usize>,
+    ) -> XaiResult<Json> {
+        let instance = req.need_instance("LIME")?;
+        validate::finite_slice("LIME instance", instance)?;
+        let grid = self.draw_grid(req)?;
+        let explainer = LimeExplainer::fit(req.data);
+        let width = lime::width_for(self.config, instance.len());
+        let f = |x: &[f64]| model.predict(x);
+        let mut out = Vec::with_capacity(chunks.len());
+        for c in chunks {
+            let mut rng = StdRng::seed_from_u64(child_seed(req.plan.seed, c as u64));
+            let probes =
+                explainer.probe_chunk(&f, instance, width, grid.chunk_range(c).len(), &mut rng)?;
+            let rows = probes
+                .into_iter()
+                .map(|(mut row, weight, target)| {
+                    row.push(weight);
+                    row.push(target);
+                    shard_nums("LIME probe row", &row)
+                })
+                .collect::<XaiResult<Vec<Json>>>()?;
+            out.push(Json::obj(vec![("rows", Json::Arr(rows))]));
+        }
+        Ok(chunks_json(out))
+    }
+
+    fn merge_chunks(
+        &self,
+        model: &dyn ModelOracle,
+        req: &ExplainRequest<'_>,
+        partials: Vec<Json>,
+    ) -> XaiResult<Explanation> {
+        const WHAT: &str = "LIME merge";
+        let instance = req.need_instance("LIME")?;
+        validate::finite_slice("LIME instance", instance)?;
+        let grid = self.draw_grid(req)?;
+        let flat = flatten_chunks(&partials, WHAT)?;
+        if flat.len() != grid.n_chunks() {
+            return Err(wire_error(format!(
+                "{WHAT}: got {} chunk partials for a {}-chunk grid",
+                flat.len(),
+                grid.n_chunks()
+            )));
+        }
+        let explainer = LimeExplainer::fit(req.data);
+        let d = explainer.n_features();
+        let mut probes: Vec<LimeProbe> = Vec::with_capacity(grid.total_draws);
+        for chunk in flat {
+            for (i, row) in arr_field(chunk, "rows", WHAT)?.iter().enumerate() {
+                let vals = row
+                    .as_arr()
+                    .ok_or_else(|| wire_error(format!("{WHAT}: probe row {i} is not an array")))?
+                    .iter()
+                    .map(|v| {
+                        v.as_num().ok_or_else(|| {
+                            wire_error(format!("{WHAT}: probe row {i} has a non-numeric entry"))
+                        })
+                    })
+                    .collect::<XaiResult<Vec<f64>>>()?;
+                if vals.len() != d + 2 {
+                    return Err(wire_error(format!(
+                        "{WHAT}: probe row {i} has {} entries, want {}",
+                        vals.len(),
+                        d + 2
+                    )));
+                }
+                probes.push((vals[..d].to_vec(), vals[d], vals[d + 1]));
+            }
+        }
+        let prediction = catch_model("LIME instance prediction", || model.predict(instance))?;
+        let width = lime::width_for(self.config, instance.len());
+        let exp = explainer.fit_probes(probes, width, prediction, self.config)?;
+        Ok(Explanation::Attribution(lime_strict(exp, &req.plan)?))
+    }
+
+    fn config_json(&self) -> Json {
+        Json::obj(vec![
+            ("n_samples", Json::Num(self.config.n_samples as f64)),
+            (
+                "kernel_width",
+                self.config.kernel_width.map_or(Json::Null, Json::Num),
+            ),
+            ("ridge", Json::Num(self.config.ridge)),
+            (
+                "max_features",
+                self.config.max_features.map_or(Json::Null, |k| Json::Num(k as f64)),
+            ),
+        ])
     }
 }
 
@@ -110,17 +325,32 @@ impl Explainer for SpLimeMethod {
         validate::finite_matrix("SP-LIME dataset", req.data.x())?;
         let explainer = LimeExplainer::fit(req.data);
         let f = |x: &[f64]| model.predict(x);
-        let pick = catch_model("SP-LIME candidate explanation", || {
-            sp_lime(
-                &explainer,
-                &f,
-                req.data,
-                self.n_candidates,
-                self.picks,
-                self.config,
-                req.plan.seed,
-            )
-        })?;
+        let pick = if req.plan.parallel() {
+            // Candidate `i` always explains at `seed + i`, so fanning the
+            // candidates across the executor reproduces the sequential
+            // matrix bit for bit (the per-task executor RNG is unused).
+            let n = sp_lime::candidate_count(req.data, self.n_candidates);
+            let rows = try_par_map_seeded(n, req.plan.seed, req.plan.workers, |i, _rng| {
+                sp_lime::candidate_row(&explainer, &f, req.data, i, self.config, req.plan.seed)
+            })?;
+            let mut w = Matrix::zeros(n, req.data.n_features());
+            for (i, row) in rows.into_iter().enumerate() {
+                w.row_mut(i).copy_from_slice(&row?);
+            }
+            sp_lime::pick_from_w(w, self.picks)
+        } else {
+            catch_model("SP-LIME candidate explanation", || {
+                sp_lime(
+                    &explainer,
+                    &f,
+                    req.data,
+                    self.n_candidates,
+                    self.picks,
+                    self.config,
+                    req.plan.seed,
+                )
+            })?
+        };
         validate::finite_slice("SP-LIME feature importance", &pick.feature_importance).map_err(
             |_| XaiError::ModelFault {
                 context: "SP-LIME produced non-finite feature importance".into(),
@@ -134,6 +364,109 @@ impl Explainer for SpLimeMethod {
             0.0,
             0.0,
         )))
+    }
+
+    fn as_shardable(&self) -> Option<&dyn ShardableExplainer> {
+        Some(self)
+    }
+}
+
+impl SpLimeMethod {
+    /// Rebuilds the method from its canonical shard-config JSON.
+    pub fn from_config_json(config: &Json) -> XaiResult<Self> {
+        const WHAT: &str = "SP-LIME config";
+        let n_candidates = index_field(config, "n_candidates", WHAT)?;
+        let picks = index_field(config, "picks", WHAT)?;
+        if picks == 0 {
+            return Err(wire_error(format!("{WHAT}: picks must be >= 1")));
+        }
+        let lime = config
+            .get("lime")
+            .ok_or_else(|| wire_error(format!("{WHAT}: missing required field 'lime'")))?;
+        let config = LimeMethod::from_config_json(lime)?.config;
+        Ok(Self { n_candidates, picks, config })
+    }
+}
+
+impl ShardableExplainer for SpLimeMethod {
+    fn draw_grid(&self, req: &ExplainRequest<'_>) -> XaiResult<DrawGrid> {
+        reject_budget("SP-LIME", req)?;
+        Ok(DrawGrid {
+            total_draws: sp_lime::candidate_count(req.data, self.n_candidates),
+            chunk_size: 1,
+        })
+    }
+
+    fn explain_chunks(
+        &self,
+        model: &dyn ModelOracle,
+        req: &ExplainRequest<'_>,
+        chunks: std::ops::Range<usize>,
+    ) -> XaiResult<Json> {
+        validate::finite_matrix("SP-LIME dataset", req.data.x())?;
+        self.draw_grid(req)?;
+        let explainer = LimeExplainer::fit(req.data);
+        let f = |x: &[f64]| model.predict(x);
+        let mut out = Vec::with_capacity(chunks.len());
+        for c in chunks {
+            let row = sp_lime::candidate_row(&explainer, &f, req.data, c, self.config, req.plan.seed)?;
+            out.push(Json::obj(vec![(
+                "w",
+                shard_nums("SP-LIME candidate explanation", &row)?,
+            )]));
+        }
+        Ok(chunks_json(out))
+    }
+
+    fn merge_chunks(
+        &self,
+        _model: &dyn ModelOracle,
+        req: &ExplainRequest<'_>,
+        partials: Vec<Json>,
+    ) -> XaiResult<Explanation> {
+        const WHAT: &str = "SP-LIME merge";
+        validate::finite_matrix("SP-LIME dataset", req.data.x())?;
+        let grid = self.draw_grid(req)?;
+        let flat = flatten_chunks(&partials, WHAT)?;
+        if flat.len() != grid.n_chunks() {
+            return Err(wire_error(format!(
+                "{WHAT}: got {} chunk partials for a {}-chunk grid",
+                flat.len(),
+                grid.n_chunks()
+            )));
+        }
+        let d = req.data.n_features();
+        let mut w = Matrix::zeros(flat.len(), d);
+        for (i, chunk) in flat.iter().enumerate() {
+            let row = nums_field(chunk, "w", WHAT)?;
+            if row.len() != d {
+                return Err(wire_error(format!(
+                    "{WHAT}: candidate row {i} has {} entries, want {d}",
+                    row.len()
+                )));
+            }
+            w.row_mut(i).copy_from_slice(&row);
+        }
+        let pick = sp_lime::pick_from_w(w, self.picks);
+        validate::finite_slice("SP-LIME feature importance", &pick.feature_importance).map_err(
+            |_| XaiError::ModelFault {
+                context: "SP-LIME produced non-finite feature importance".into(),
+            },
+        )?;
+        Ok(Explanation::Attribution(FeatureAttribution::new(
+            req.feature_names(),
+            pick.feature_importance,
+            0.0,
+            0.0,
+        )))
+    }
+
+    fn config_json(&self) -> Json {
+        Json::obj(vec![
+            ("n_candidates", Json::Num(self.n_candidates as f64)),
+            ("picks", Json::Num(self.picks as f64)),
+            ("lime", ShardableExplainer::config_json(&LimeMethod { config: self.config })),
+        ])
     }
 }
 
@@ -211,8 +544,9 @@ impl Differentiable for OracleDiff<'_> {
 }
 
 /// Integrated gradients (§2.4 saliency) through the unified layer: path
-/// integral from the dataset's mean point to the instance. Deterministic
-/// given `steps`, so `seed` / `workers` / `batched` are no-ops; models
+/// integral from the dataset's mean point to the instance. The method is
+/// a deterministic single pass with no random draws, so every execution
+/// plan (`seed`, `workers`, `batched`) returns the same result; models
 /// without a gradient surface report [`XaiError::Unsupported`].
 #[derive(Clone, Copy, Debug)]
 pub struct IntegratedGradientsMethod {

@@ -38,6 +38,23 @@ impl Default for LimeConfig {
     }
 }
 
+/// Probes per executor chunk on the parallel/sharded LIME path: chunk `c`
+/// draws its probes from the `child_seed(seed, c)` stream, so any worker
+/// count — and any shard partition over the same chunk grid — sees the
+/// same neighbourhood.
+pub(crate) const PROBES_PER_CHUNK: usize = 32;
+
+/// One drawn-and-evaluated neighbourhood probe: interpretable
+/// representation, locality weight, model output.
+pub(crate) type LimeProbe = (Vec<f64>, f64, f64);
+
+/// The kernel width a config resolves to at dimensionality `d` — shared
+/// by the sequential neighbourhood and the chunked probe stream (it must
+/// not depend on the sample count, or budgeted prefixes would diverge).
+pub(crate) fn width_for(config: LimeConfig, d: usize) -> f64 {
+    config.kernel_width.unwrap_or(0.75 * (d as f64).sqrt()).max(1e-9)
+}
+
 /// A fitted LIME explainer: captures the training statistics used to
 /// generate and standardize perturbations.
 #[derive(Clone, Debug)]
@@ -149,7 +166,7 @@ impl LimeExplainer {
         assert_eq!(instance.len(), self.n_features(), "instance arity mismatch");
         assert!(config.n_samples >= 8, "need a non-trivial neighbourhood");
         let d = instance.len();
-        let width = config.kernel_width.unwrap_or(0.75 * (d as f64).sqrt()).max(1e-9);
+        let width = width_for(config, d);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut raws = Matrix::zeros(config.n_samples, d);
         let mut design = Matrix::zeros(config.n_samples, d + 1);
@@ -169,6 +186,68 @@ impl LimeExplainer {
             row[1..].copy_from_slice(&interp);
         }
         (raws, design, weights, width)
+    }
+
+    /// Draws and evaluates one chunk of neighbourhood probes from `rng`'s
+    /// stream. This is the unit the parallel and sharded LIME paths tile:
+    /// chunk `c` of the grid runs this body with an RNG seeded
+    /// `child_seed(seed, c)`, so in-process fork-join execution and
+    /// cross-process shards reproduce each other bit for bit.
+    pub(crate) fn probe_chunk(
+        &self,
+        model: &dyn Fn(&[f64]) -> f64,
+        instance: &[f64],
+        width: f64,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> XaiResult<Vec<LimeProbe>> {
+        let origin = self.instance_interp(instance);
+        let mut drawn = Vec::with_capacity(count);
+        for _ in 0..count {
+            let (raw, interp) = self.perturb(instance, rng);
+            let dist2: f64 =
+                interp.iter().zip(&origin).map(|(a, b)| (a - b) * (a - b)).sum();
+            let weight = (-dist2 / (width * width)).exp();
+            drawn.push((raw, interp, weight));
+        }
+        let targets = catch_model("LIME neighbourhood evaluation", || {
+            drawn.iter().map(|(raw, _, _)| model(raw)).collect::<Vec<f64>>()
+        })?;
+        Ok(drawn
+            .into_iter()
+            .zip(targets)
+            .map(|((_, interp, weight), target)| (interp, weight, target))
+            .collect())
+    }
+
+    /// The merge epilogue of the chunked paths: assembles the design
+    /// matrix / weights / targets from concatenated probes (in chunk
+    /// order) and runs the same surrogate fit as the sequential path,
+    /// sized to the probes that actually arrived.
+    pub(crate) fn fit_probes(
+        &self,
+        probes: Vec<LimeProbe>,
+        width: f64,
+        prediction: f64,
+        config: LimeConfig,
+    ) -> XaiResult<LimeExplanation> {
+        let n = probes.len();
+        let d = self.n_features();
+        let mut design = Matrix::zeros(n, d + 1);
+        let mut weights = Vec::with_capacity(n);
+        let mut targets = Vec::with_capacity(n);
+        for (i, (interp, weight, target)) in probes.into_iter().enumerate() {
+            let row = design.row_mut(i);
+            row[0] = 1.0;
+            row[1..].copy_from_slice(&interp);
+            weights.push(weight);
+            targets.push(target);
+        }
+        check_targets(&targets, prediction)?;
+        // `try_fit_surrogate` sizes its loops from `n_samples`; feed it
+        // the merged row count, not the configured one.
+        let fit_config = LimeConfig { n_samples: n, ..config };
+        self.try_fit_surrogate(design, targets, weights, width, prediction, fit_config)
     }
 
     /// Explains one prediction of a black-box model, one probe row per
@@ -328,7 +407,7 @@ impl LimeExplainer {
     /// The surrogate fit shared by the scalar and batched paths: weighted
     /// ridge regression (with ridge escalation on singular systems),
     /// optional top-k refit, fidelity scoring.
-    fn try_fit_surrogate(
+    pub(crate) fn try_fit_surrogate(
         &self,
         design: Matrix,
         targets: Vec<f64>,
@@ -390,7 +469,7 @@ impl LimeExplainer {
 /// Rejects non-finite model outputs on the neighbourhood — the model (not
 /// the caller's data) produced them, so they map to
 /// [`XaiError::ModelFault`].
-fn check_targets(targets: &[f64], prediction: f64) -> XaiResult<()> {
+pub(crate) fn check_targets(targets: &[f64], prediction: f64) -> XaiResult<()> {
     if let Some(i) = targets.iter().position(|t| !t.is_finite()) {
         return Err(XaiError::ModelFault {
             context: format!("LIME probe {i} returned {}", targets[i]),

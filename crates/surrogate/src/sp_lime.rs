@@ -9,6 +9,7 @@
 //! `(1 − 1/e)` of optimal.
 
 use crate::lime::{LimeConfig, LimeExplainer};
+use xai_core::XaiResult;
 use xai_data::Dataset;
 use xai_linalg::Matrix;
 
@@ -40,25 +41,32 @@ fn coverage_of(selected: &[usize], w: &Matrix, importance: &[f64], threshold: f6
         .sum()
 }
 
-/// Runs SP-LIME over the first `n_candidates` rows of `data`.
-pub fn sp_lime(
+/// Rows of `data` that enter the candidate pool for a given cap.
+pub(crate) fn candidate_count(data: &Dataset, n_candidates: usize) -> usize {
+    data.n_rows().min(n_candidates.max(1))
+}
+
+/// One row of the explanation matrix `W`: candidate `i` is explained at
+/// seed `seed.wrapping_add(i)` — a per-candidate stream, so candidates
+/// can be computed in any order (sequentially, fork-join, or in shards)
+/// and still assemble into the same matrix.
+pub(crate) fn candidate_row(
     explainer: &LimeExplainer,
     model: &dyn Fn(&[f64]) -> f64,
     data: &Dataset,
-    n_candidates: usize,
-    budget: usize,
+    i: usize,
     config: LimeConfig,
     seed: u64,
-) -> SubmodularPick {
-    let n = data.n_rows().min(n_candidates.max(1));
-    let d = data.n_features();
+) -> XaiResult<Vec<f64>> {
+    let exp = explainer.try_explain(model, data.row(i), config, seed.wrapping_add(i as u64))?;
+    Ok(exp.attribution.values)
+}
+
+/// The deterministic tail of SP-LIME once `W` is assembled: importance,
+/// coverage threshold, greedy submodular pick.
+pub(crate) fn pick_from_w(w: Matrix, budget: usize) -> SubmodularPick {
+    let (n, d) = (w.rows(), w.cols());
     assert!(budget >= 1);
-    // Explanation matrix W.
-    let mut w = Matrix::zeros(n, d);
-    for i in 0..n {
-        let exp = explainer.explain(model, data.row(i), config, seed.wrapping_add(i as u64));
-        w.row_mut(i).copy_from_slice(&exp.attribution.values);
-    }
     // Global importance I_j = sqrt(Σ_i |W_ij|).
     let importance: Vec<f64> = (0..d)
         .map(|j| (0..n).map(|i| w[(i, j)].abs()).sum::<f64>().sqrt())
@@ -102,6 +110,26 @@ pub fn sp_lime(
         explanations: w,
         feature_importance: importance,
     }
+}
+
+/// Runs SP-LIME over the first `n_candidates` rows of `data`.
+pub fn sp_lime(
+    explainer: &LimeExplainer,
+    model: &dyn Fn(&[f64]) -> f64,
+    data: &Dataset,
+    n_candidates: usize,
+    budget: usize,
+    config: LimeConfig,
+    seed: u64,
+) -> SubmodularPick {
+    let n = candidate_count(data, n_candidates);
+    let mut w = Matrix::zeros(n, data.n_features());
+    for i in 0..n {
+        let row = candidate_row(explainer, model, data, i, config, seed)
+            .expect("LIME failed; try_explain recovers this");
+        w.row_mut(i).copy_from_slice(&row);
+    }
+    pick_from_w(w, budget)
 }
 
 #[cfg(test)]

@@ -44,6 +44,18 @@ cargo test -q --test serve_concurrency
 echo "==> cargo test -q --test serve_golden"
 cargo test -q --test serve_golden
 
+echo "==> cargo test -q --test shard_equivalence"
+cargo test -q --test shard_equivalence
+
+echo "==> cargo test -q --test shard_golden"
+cargo test -q --test shard_golden
+
+echo "==> cargo test -q --test shard_faults"
+cargo test -q --test shard_faults
+
+echo "==> cargo test -q -p xai-core --test shard_plan"
+cargo test -q -p xai-core --test shard_plan
+
 echo "==> cargo test -q -p xai-linalg --test chol_update"
 cargo test -q -p xai-linalg --test chol_update
 
@@ -66,6 +78,11 @@ cargo run --release --example unified_api >/dev/null
 # end: concurrent JSON submission, cache hits, typed admission control.
 echo "==> cargo run --release --example serve_demo"
 cargo run --release --example serve_demo >/dev/null
+
+# The shard demo proves the distribution story end to end: unsharded,
+# in-process sharded and OS-process-pool runs must emit identical bytes.
+echo "==> cargo run --release --example shard_demo"
+cargo run --release --example shard_demo >/dev/null
 
 # Advisory deprecation audit: the legacy batched/parallel twins are
 # deprecated in favour of the unified explainer layer (DESIGN.md §9).

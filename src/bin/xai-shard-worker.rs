@@ -1,0 +1,8 @@
+//! Shard worker process: reads one `ShardDescriptor` as JSON on stdin,
+//! writes one canonical `ShardResult` (or a shard error envelope) on
+//! stdout. Spawned by `xai::shard::explain_process_pool`; see
+//! DESIGN.md §11.
+
+fn main() {
+    std::process::exit(xai::shard::run_worker());
+}

@@ -30,6 +30,7 @@
 //! | [`provenance`] | semirings, relational engine, tuple Shapley, Rain, PrIU |
 //! | [`unified`] | the runnable registry: every method behind one trait |
 //! | [`serve`] | the explanation-serving engine: requests as JSON, worker pool, result cache |
+//! | [`shard`] | deterministic shard plans and the process-pool runner (DESIGN.md §11) |
 //!
 //! ## Quickstart
 //!
@@ -74,6 +75,7 @@ pub use xai_shapley as shapley;
 pub use xai_surrogate as surrogate;
 
 pub mod serve;
+pub mod shard;
 pub mod unified;
 
 /// The most commonly used items, importable in one line.
@@ -81,6 +83,10 @@ pub mod prelude {
     pub use crate::serve::{
         register_persist, workspace_service, ExplanationService, ServeRequest, ServeResponse,
         ServeStats, ServiceConfig,
+    };
+    pub use crate::shard::{
+        explain_process_pool, explain_sharded, shardable, PoolConfig, ShardDescriptor,
+        ShardResult, ShardableExplainer,
     };
     pub use crate::unified::{all_explainers, runnable_registry};
     pub use xai_core::{

@@ -1,0 +1,453 @@
+//! Process-pool shard execution (DESIGN.md §11).
+//!
+//! The core shard layer ([`xai_core::shard`], re-exported here) cuts an
+//! estimator's draw grid into self-contained [`ShardDescriptor`]s and
+//! merges [`ShardResult`]s bit-identically to the unsharded run. This
+//! module adds the pieces only the facade can provide — it knows every
+//! method and every persistable model:
+//!
+//! - [`shardable`] — the method factory: taxonomy card name + canonical
+//!   config JSON → a boxed [`ShardableExplainer`].
+//! - [`PersistedModel`] / [`resolve_model`] — rebuild any persisted
+//!   workspace model from its descriptor JSON, usable as a
+//!   [`ModelOracle`].
+//! - [`explain_process_pool`] — the from-scratch process-pool runner:
+//!   one OS process per shard (waves of `max_procs`), descriptor on the
+//!   worker's stdin, canonical result or error envelope on its stdout,
+//!   typed errors for every worker failure mode and a hard deadline so
+//!   a stuck worker can never hang the caller.
+//! - [`run_worker`] — the worker side, wrapped by the
+//!   `xai-shard-worker` binary: parse, execute, answer. A worker exits 0
+//!   even on typed failures (the error travels in the envelope); only
+//!   catastrophic states exit non-zero.
+//!
+//! ```no_run
+//! use xai::prelude::*;
+//! use xai::shard::{explain_process_pool, PoolConfig};
+//!
+//! let data = xai::data::synth::german_credit(80, 7);
+//! let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
+//! let row = data.row(0).to_vec();
+//! let req = ExplainRequest::new(&data)
+//!     .instance(&row)
+//!     .plan(RunConfig::seeded(7).with_workers(2));
+//! let method = KernelShapMethod::default();
+//! let pool = PoolConfig::new("target/debug/xai-shard-worker");
+//! let sharded = explain_process_pool(&method, &model, &req, 4, &pool).unwrap();
+//! let local = method.explain(&model, &req).unwrap();
+//! assert_eq!(sharded.to_json_string(), local.to_json_string());
+//! ```
+
+use std::io::{Read, Write as _};
+use std::path::PathBuf;
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::time::{Duration, Instant};
+
+use xai_core::{ExplainRequest, Explanation, Json, ModelOracle, XaiError, XaiResult};
+use xai_models::Persist;
+
+pub use xai_core::shard::*;
+
+use xai_core::json_parse::parse_json;
+use xai_counterfactual::DiceMethod;
+use xai_datavalue::{BanzhafMethod, LooMethod, TmcMethod};
+use xai_rules::AnchorsMethod;
+use xai_shapley::{KernelShapMethod, PermutationShapleyMethod};
+use xai_surrogate::{LimeMethod, SpLimeMethod};
+
+// ---------------------------------------------------------------------------
+// Method factory
+// ---------------------------------------------------------------------------
+
+/// Rebuilds a shardable method from its taxonomy card name and canonical
+/// config JSON — the worker-side counterpart of
+/// [`ShardableExplainer::config_json`]. Unknown methods and malformed
+/// configs are typed [`XaiError::Parse`] errors.
+pub fn shardable(method: &str, config: &Json) -> XaiResult<Box<dyn ShardableExplainer>> {
+    Ok(match method {
+        "Permutation sampling Shapley" => {
+            Box::new(PermutationShapleyMethod::from_config_json(config)?)
+        }
+        "Kernel SHAP" => Box::new(KernelShapMethod::from_config_json(config)?),
+        "LIME" => Box::new(LimeMethod::from_config_json(config)?),
+        "SP-LIME" => Box::new(SpLimeMethod::from_config_json(config)?),
+        "Anchors" => Box::new(AnchorsMethod::from_config_json(config)?),
+        "DiCE" => Box::new(DiceMethod::from_config_json(config)?),
+        "Leave-one-out" => Box::new(LooMethod::from_config_json(config)?),
+        "Data Shapley (TMC)" => Box::new(TmcMethod::from_config_json(config)?),
+        "Data Banzhaf" => Box::new(BanzhafMethod::from_config_json(config)?),
+        other => {
+            return Err(wire_error(format!("shard method: '{other}' is not shardable")));
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Model resolution
+// ---------------------------------------------------------------------------
+
+/// Any workspace model that can travel in a descriptor: the [`Persist`]
+/// implementors, rebuilt from their persisted JSON and usable as a
+/// [`ModelOracle`] by delegation.
+pub enum PersistedModel {
+    /// Ordinary least squares / ridge regression.
+    Linear(xai_models::LinearRegression),
+    /// Binary logistic regression.
+    Logistic(xai_models::LogisticRegression),
+    /// A single CART decision tree.
+    Tree(xai_models::DecisionTree),
+    /// Gradient-boosted decision trees.
+    Gbdt(xai_models::Gbdt),
+}
+
+impl PersistedModel {
+    fn oracle(&self) -> &dyn ModelOracle {
+        match self {
+            PersistedModel::Linear(m) => m,
+            PersistedModel::Logistic(m) => m,
+            PersistedModel::Tree(m) => m,
+            PersistedModel::Gbdt(m) => m,
+        }
+    }
+
+    /// The persisted JSON form (round-trips through [`resolve_model`]).
+    pub fn save(&self) -> Json {
+        match self {
+            PersistedModel::Linear(m) => m.save(),
+            PersistedModel::Logistic(m) => m.save(),
+            PersistedModel::Tree(m) => m.save(),
+            PersistedModel::Gbdt(m) => m.save(),
+        }
+    }
+}
+
+impl ModelOracle for PersistedModel {
+    fn n_features(&self) -> usize {
+        self.oracle().n_features()
+    }
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.oracle().predict(x)
+    }
+    fn predict_batch(&self, rows: &xai_linalg::Matrix) -> Vec<f64> {
+        self.oracle().predict_batch(rows)
+    }
+    fn gradient(&self, x: &[f64]) -> Option<Vec<f64>> {
+        self.oracle().gradient(x)
+    }
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        self.oracle().as_any()
+    }
+}
+
+/// Rebuilds a model from descriptor JSON, dispatching on its persisted
+/// `"kind"` tag. Unknown kinds and malformed payloads are typed
+/// [`XaiError::Parse`] errors.
+pub fn resolve_model(json: &Json) -> XaiResult<PersistedModel> {
+    const WHAT: &str = "shard model";
+    Ok(match str_field(json, "kind", WHAT)?.as_str() {
+        "linear_regression" => PersistedModel::Linear(Persist::load(json)?),
+        "logistic_regression" => PersistedModel::Logistic(Persist::load(json)?),
+        "decision_tree" => PersistedModel::Tree(Persist::load(json)?),
+        "gbdt" => PersistedModel::Gbdt(Persist::load(json)?),
+        other => return Err(wire_error(format!("{WHAT}: unknown model kind '{other}'"))),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Process pool
+// ---------------------------------------------------------------------------
+
+/// How [`explain_process_pool`] launches and supervises its workers.
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// Path to the `xai-shard-worker` executable.
+    pub worker_exe: PathBuf,
+    /// Maximum concurrently running worker processes (a wave).
+    pub max_procs: usize,
+    /// Wall-clock deadline per wave; a straggler past it is killed and
+    /// the run fails with [`XaiError::BudgetExceeded`]. `None` waits
+    /// indefinitely for well-behaved workers.
+    pub deadline: Option<Duration>,
+    /// Extra environment variables for every worker (used by the
+    /// fault-injection tests; empty in normal operation).
+    pub env: Vec<(String, String)>,
+}
+
+impl PoolConfig {
+    /// A pool over the given worker executable: workers capped at the
+    /// executor's default parallelism, a generous 60 s wave deadline.
+    pub fn new(worker_exe: impl Into<PathBuf>) -> Self {
+        PoolConfig {
+            worker_exe: worker_exe.into(),
+            max_procs: xai_rand::parallel::default_workers(),
+            deadline: Some(Duration::from_secs(60)),
+            env: Vec::new(),
+        }
+    }
+}
+
+/// One supervised worker process and the threads shuttling its pipes.
+struct Running {
+    child: Child,
+    shard: usize,
+    status: Option<ExitStatus>,
+    writer: Option<std::thread::JoinHandle<()>>,
+    reader: Option<std::thread::JoinHandle<std::io::Result<String>>>,
+}
+
+impl Running {
+    /// Kills the child if still alive and joins the pipe threads. Safe to
+    /// call on an already-reaped worker.
+    fn abort(&mut self) {
+        if self.status.is_none() {
+            let _ = self.child.kill();
+            self.status = self.child.wait().ok();
+        }
+        if let Some(w) = self.writer.take() {
+            let _ = w.join();
+        }
+        if let Some(r) = self.reader.take() {
+            let _ = r.join();
+        }
+    }
+}
+
+fn spawn_worker(desc: &ShardDescriptor, pool: &PoolConfig) -> XaiResult<Running> {
+    let mut cmd = Command::new(&pool.worker_exe);
+    cmd.stdin(Stdio::piped()).stdout(Stdio::piped()).stderr(Stdio::null());
+    for (k, v) in &pool.env {
+        cmd.env(k, v);
+    }
+    let mut child = cmd.spawn().map_err(|e| XaiError::Io {
+        context: format!("spawning shard worker '{}': {e}", pool.worker_exe.display()),
+    })?;
+    let mut stdin = child.stdin.take().expect("stdin was piped");
+    let text = desc.to_json_string();
+    // Writer thread: a worker that never reads (or dies early) must not
+    // deadlock us on a full pipe; EPIPE is simply ignored.
+    let writer = std::thread::spawn(move || {
+        let _ = stdin.write_all(text.as_bytes());
+    });
+    let mut stdout = child.stdout.take().expect("stdout was piped");
+    let reader = std::thread::spawn(move || {
+        let mut out = String::new();
+        stdout.read_to_string(&mut out).map(|_| out)
+    });
+    Ok(Running { child, shard: desc.shard, status: None, writer: Some(writer), reader: Some(reader) })
+}
+
+/// Waits for every worker in the wave, killing stragglers at the
+/// deadline. Returns the number of processes that finished in time.
+fn await_wave(wave: &mut [Running], pool: &PoolConfig, completed_before: usize) -> XaiResult<()> {
+    let start = Instant::now();
+    loop {
+        let mut finished = 0;
+        for r in wave.iter_mut() {
+            if r.status.is_none() {
+                match r.child.try_wait() {
+                    Ok(Some(st)) => r.status = Some(st),
+                    Ok(None) => continue,
+                    Err(e) => {
+                        return Err(XaiError::Io {
+                            context: format!("waiting for shard worker {}: {e}", r.shard),
+                        })
+                    }
+                }
+            }
+            finished += 1;
+        }
+        if finished == wave.len() {
+            return Ok(());
+        }
+        if let Some(deadline) = pool.deadline {
+            if start.elapsed() > deadline {
+                return Err(XaiError::BudgetExceeded {
+                    context: format!(
+                        "shard process pool: wave exceeded the {deadline:?} deadline \
+                         ({finished} of {} workers finished)",
+                        wave.len()
+                    ),
+                    completed: completed_before + finished,
+                });
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Interprets one finished worker: exit status, stdout bytes, envelope
+/// or result.
+fn collect_worker(r: &mut Running) -> XaiResult<ShardResult> {
+    let status = r.status.expect("worker was awaited");
+    let output = match r.reader.take().expect("reader not yet joined").join() {
+        Ok(Ok(text)) => text,
+        Ok(Err(e)) => {
+            return Err(XaiError::Io {
+                context: format!("reading shard worker {} stdout: {e}", r.shard),
+            })
+        }
+        Err(_) => {
+            return Err(XaiError::Io {
+                context: format!("shard worker {} stdout reader thread panicked", r.shard),
+            })
+        }
+    };
+    if let Some(w) = r.writer.take() {
+        let _ = w.join();
+    }
+    if !status.success() {
+        return Err(XaiError::ModelFault {
+            context: format!("shard worker for shard {} exited abnormally ({status})", r.shard),
+        });
+    }
+    let json = parse_json(output.trim()).map_err(|_| {
+        wire_error(format!(
+            "shard worker {} wrote unparseable output ({} bytes)",
+            r.shard,
+            output.len()
+        ))
+    })?;
+    if is_error_envelope(&json) {
+        let err = error_from_json(&json)?;
+        // The worker may not know its shard index at panic time; pin it.
+        return Err(match err {
+            XaiError::WorkerPanic { message, .. } => {
+                XaiError::WorkerPanic { task: r.shard, message }
+            }
+            other => other,
+        });
+    }
+    ShardResult::from_json(&json)
+}
+
+/// Runs a shard plan across OS processes: cut the request into
+/// descriptors, execute them in waves of [`PoolConfig::max_procs`]
+/// worker processes (descriptor on stdin, result on stdout), then merge
+/// the partials — bit-identical to `explainer.explain(model, req)` on
+/// the parallel path, at any shard count.
+///
+/// Worker failure modes all surface as typed errors, never a hang: a
+/// panicking worker is [`XaiError::WorkerPanic`], garbage output is
+/// [`XaiError::Parse`], an abnormal exit is [`XaiError::ModelFault`],
+/// and a straggler past [`PoolConfig::deadline`] is killed and reported
+/// as [`XaiError::BudgetExceeded`].
+pub fn explain_process_pool<M: ModelOracle + Persist>(
+    explainer: &dyn ShardableExplainer,
+    model: &M,
+    req: &ExplainRequest<'_>,
+    n_shards: usize,
+    pool: &PoolConfig,
+) -> XaiResult<Explanation> {
+    assert!(pool.max_procs >= 1, "need at least one worker process");
+    let descriptors = build_descriptors(explainer, req, model.save(), n_shards)?;
+    let mut results = Vec::with_capacity(descriptors.len());
+    for batch in descriptors.chunks(pool.max_procs) {
+        let mut wave: Vec<Running> = Vec::with_capacity(batch.len());
+        let outcome = (|| {
+            for desc in batch {
+                wave.push(spawn_worker(desc, pool)?);
+            }
+            await_wave(&mut wave, pool, results.len())?;
+            for r in &mut wave {
+                results.push(collect_worker(r)?);
+            }
+            Ok(())
+        })();
+        if let Err(e) = outcome {
+            for r in &mut wave {
+                r.abort();
+            }
+            return Err(e);
+        }
+    }
+    merge_shard_results(explainer, model, req, results)
+}
+
+// ---------------------------------------------------------------------------
+// The worker side
+// ---------------------------------------------------------------------------
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "shard worker panicked".into())
+}
+
+fn worker_execute(input: &str) -> XaiResult<ShardResult> {
+    let desc = ShardDescriptor::from_json_str(input)?;
+    let model = resolve_model(&desc.model)?;
+    let fingerprint = fingerprint_hex(model.save().to_json().as_bytes());
+    if fingerprint != desc.fingerprint {
+        return Err(wire_error(format!(
+            "ShardDescriptor: model fingerprint mismatch (descriptor {}, model {fingerprint})",
+            desc.fingerprint
+        )));
+    }
+    let explainer = shardable(&desc.method, &desc.config)?;
+    execute_descriptor(&desc, explainer.as_ref(), &model)
+}
+
+/// The `xai-shard-worker` entry point: read one [`ShardDescriptor`] from
+/// stdin, write one canonical [`ShardResult`] — or a shard error
+/// envelope — to stdout, and return the process exit code.
+///
+/// Handled paths always exit 0; the pool distinguishes success from
+/// typed failure by the payload, not the exit code, so an envelope is
+/// never mistaken for a crash. A caught panic becomes a `worker_panic`
+/// envelope. The `XAI_SHARD_FAULT` variable (`panic`, `garbage`, `exit`,
+/// `hang`) injects failure modes for the supervision tests.
+pub fn run_worker() -> i32 {
+    let fault = std::env::var("XAI_SHARD_FAULT").unwrap_or_default();
+    match fault.as_str() {
+        "garbage" => {
+            println!("this is not shard JSON {{");
+            return 0;
+        }
+        "exit" => return 3,
+        "hang" => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+        _ => {}
+    }
+    let mut input = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+        let err = XaiError::Io { context: format!("reading shard descriptor from stdin: {e}") };
+        println!("{}", error_to_json(&err).to_json());
+        return 0;
+    }
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if fault == "panic" {
+            panic!("injected shard worker fault");
+        }
+        worker_execute(&input)
+    }));
+    let text = match outcome {
+        Ok(Ok(result)) => result.to_json_string(),
+        Ok(Err(e)) => error_to_json(&e).to_json(),
+        Err(payload) => {
+            let err = XaiError::WorkerPanic { task: 0, message: panic_message(payload) };
+            error_to_json(&err).to_json()
+        }
+    };
+    println!("{text}");
+    0
+}
+
+/// Locates the sibling `xai-shard-worker` binary next to the current
+/// executable — the layout `cargo` produces for examples and test
+/// binaries. Returns `None` when it is not built, so callers can skip
+/// gracefully instead of failing.
+pub fn sibling_worker_exe() -> Option<PathBuf> {
+    let mut dir = std::env::current_exe().ok()?;
+    dir.pop();
+    // Test and example binaries live one level deeper (deps/, examples/).
+    for candidate in [dir.clone(), dir.parent()?.to_path_buf()] {
+        let exe = candidate.join(format!("xai-shard-worker{}", std::env::consts::EXE_SUFFIX));
+        if exe.is_file() {
+            return Some(exe);
+        }
+    }
+    None
+}

@@ -1,0 +1,242 @@
+//! Golden-file serde suite for the shard wire format (DESIGN.md §11).
+//!
+//! The fixtures under `tests/fixtures/shard_*.json` are checked-in
+//! bytes: the canonical `ShardDescriptor` and `ShardResult` forms are
+//! pinned exactly (a formatting change breaks cross-process merges and
+//! must show up in review), and each malformed fixture maps to its
+//! typed error.
+//!
+//! Regenerate the canonical fixtures after an intentional wire change:
+//!
+//! ```sh
+//! XAI_REGEN_GOLDEN=1 cargo test --test shard_golden -- --test-threads=1
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use xai::data::{Feature, FeatureKind, Mutability, Schema, Task};
+use xai::linalg::Matrix;
+use xai::prelude::*;
+use xai::shard::{
+    dataset_to_json, execute_descriptor, fingerprint_hex, ShardDescriptor, ShardResult,
+};
+use xai_models::Persist;
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(format!("{name}.json"))
+}
+
+fn read_fixture(name: &str) -> String {
+    let path = fixture_path(name);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {}: {e}; regenerate with \
+             XAI_REGEN_GOLDEN=1 cargo test --test shard_golden -- --test-threads=1",
+            path.display()
+        )
+    });
+    text.trim_end().to_string()
+}
+
+/// A tiny fully-pinned dataset: exact binary fractions so the wire
+/// bytes are stable.
+fn golden_dataset() -> Dataset {
+    let features = vec![
+        Feature {
+            name: "age".into(),
+            kind: FeatureKind::Numeric { min: 0.0, max: 1.0 },
+            mutability: Mutability::Free,
+            protected: false,
+        },
+        Feature {
+            name: "income".into(),
+            kind: FeatureKind::Numeric { min: 0.0, max: 1.0 },
+            mutability: Mutability::Free,
+            protected: false,
+        },
+    ];
+    let x = Matrix::from_rows(&[
+        vec![0.25, 0.5],
+        vec![0.75, 0.25],
+        vec![0.5, 0.875],
+        vec![0.125, 0.625],
+    ]);
+    let y = vec![0.0, 1.0, 1.0, 0.0];
+    Dataset::new(Schema::new(features, "default"), x, y, Task::BinaryClassification)
+}
+
+/// A model with hand-pinned parameters — no fitting, so the persisted
+/// bytes (and hence the fingerprint) never drift.
+fn golden_model() -> LogisticRegression {
+    LogisticRegression::from_parameters(-0.5, &[1.25, -0.75], 1e-3)
+}
+
+/// The fully-populated descriptor the canonical fixture pins: shard 0
+/// of a 2-shard data-Banzhaf plan over the golden dataset.
+fn golden_descriptor() -> ShardDescriptor {
+    let model_json = golden_model().save();
+    let fingerprint = fingerprint_hex(model_json.to_json().as_bytes());
+    ShardDescriptor {
+        method: "Data Banzhaf".into(),
+        config: Json::obj(vec![("samples_per_point", Json::Num(4.0))]),
+        fingerprint,
+        shard: 0,
+        n_shards: 2,
+        chunk_start: 0,
+        chunk_end: 2,
+        total_draws: 4,
+        chunk_size: 1,
+        model: model_json,
+        dataset: dataset_to_json(&golden_dataset()),
+        instance: Some(vec![0.25, 0.5]),
+        feature: None,
+        plan: RunConfig::seeded(7).with_workers(2),
+    }
+}
+
+/// Executes the golden descriptor, producing the result the result
+/// fixture pins.
+fn golden_result() -> ShardResult {
+    let desc = golden_descriptor();
+    let method = BanzhafMethod {
+        config: xai::datavalue::BanzhafConfig { samples_per_point: 4, seed: 0 },
+    };
+    execute_descriptor(&desc, &method, &golden_model()).unwrap()
+}
+
+const VALID_PREFIX: &str = r#""kind": "shard_descriptor", "method": "Data Banzhaf", "config": {}, "fingerprint": "00000000000000ab", "shard": 0, "n_shards": 2"#;
+
+/// Malformed descriptors that must parse to `XaiError::Parse`.
+const MALFORMED_DESCRIPTORS: &[(&str, &str)] = &[
+    ("shard_descriptor_bad_kind", r#"{"kind": "shard_plan"}"#),
+    (
+        "shard_descriptor_bad_unknown_field",
+        r#"{"kind": "shard_descriptor", "surprise": 1}"#,
+    ),
+    (
+        "shard_descriptor_bad_fingerprint",
+        r#"{"kind": "shard_descriptor", "method": "Data Banzhaf", "config": {}, "fingerprint": "abc"}"#,
+    ),
+    (
+        "shard_descriptor_bad_shard_index",
+        r#"{"kind": "shard_descriptor", "method": "Data Banzhaf", "config": {}, "fingerprint": "00000000000000ab", "shard": 2, "n_shards": 2}"#,
+    ),
+    (
+        "shard_descriptor_bad_chunk_range",
+        r#"{"kind": "shard_descriptor", "method": "Data Banzhaf", "config": {}, "fingerprint": "00000000000000ab", "shard": 0, "n_shards": 2, "chunk_start": 5, "chunk_end": 2, "total_draws": 4, "chunk_size": 1}"#,
+    ),
+    (
+        "shard_descriptor_bad_missing_plan",
+        r#"{"kind": "shard_descriptor", "method": "Data Banzhaf", "config": {}, "fingerprint": "00000000000000ab", "shard": 0, "n_shards": 2, "chunk_start": 0, "chunk_end": 2, "total_draws": 4, "chunk_size": 1, "model": {}, "dataset": {}, "instance": null, "feature": null}"#,
+    ),
+];
+
+/// A descriptor whose instance overflows f64 decimal parsing (`1e999`
+/// is +Inf) — the typed error is `NonFiniteInput`, not `Parse`.
+const NON_FINITE_DESCRIPTOR: (&str, &str) = (
+    "shard_descriptor_bad_nonfinite_instance",
+    r#"{"kind": "shard_descriptor", "method": "Data Banzhaf", "config": {}, "fingerprint": "00000000000000ab", "shard": 0, "n_shards": 2, "chunk_start": 0, "chunk_end": 2, "total_draws": 4, "chunk_size": 1, "model": {}, "dataset": {}, "instance": [1.0, 1e999], "feature": null}"#,
+);
+
+/// A malformed result payload: `partial` must be an object.
+const MALFORMED_RESULT: (&str, &str) = (
+    "shard_result_bad_partial",
+    r#"{"kind": "shard_result", "method": "Data Banzhaf", "fingerprint": "00000000000000ab", "shard": 0, "n_shards": 2, "partial": []}"#,
+);
+
+#[test]
+fn regenerate_fixtures_when_asked() {
+    if std::env::var_os("XAI_REGEN_GOLDEN").is_none() {
+        return;
+    }
+    // Sanity: the hand-written malformed fixtures share one valid
+    // prefix, so a future field rename invalidates them loudly here.
+    assert!(MALFORMED_DESCRIPTORS[4].1.contains(VALID_PREFIX));
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut files: Vec<(&str, String)> = vec![
+        ("shard_descriptor_full", golden_descriptor().to_json_string()),
+        ("shard_result_full", golden_result().to_json_string()),
+    ];
+    for (name, text) in
+        MALFORMED_DESCRIPTORS.iter().chain([NON_FINITE_DESCRIPTOR, MALFORMED_RESULT].iter())
+    {
+        files.push((name, (*text).to_string()));
+    }
+    for (name, text) in files {
+        std::fs::write(fixture_path(name), text + "\n").unwrap();
+    }
+}
+
+#[test]
+fn canonical_descriptor_bytes_are_pinned() {
+    let fixture = read_fixture("shard_descriptor_full");
+    assert_eq!(
+        golden_descriptor().to_json_string(),
+        fixture,
+        "the canonical descriptor wire form changed — cross-process shard \
+         merges changed with it; regenerate only if the change is intentional"
+    );
+}
+
+#[test]
+fn canonical_descriptor_fixture_parses_back_losslessly() {
+    let fixture = read_fixture("shard_descriptor_full");
+    let parsed = ShardDescriptor::from_json_str(&fixture).unwrap();
+    assert_eq!(parsed, golden_descriptor());
+    assert_eq!(parsed.to_json_string(), fixture, "canonical text must be a fixed point");
+}
+
+#[test]
+fn canonical_result_bytes_are_pinned_and_parse_back() {
+    let fixture = read_fixture("shard_result_full");
+    assert_eq!(
+        golden_result().to_json_string(),
+        fixture,
+        "the canonical result wire form (or the Banzhaf draw itself) changed"
+    );
+    let parsed = ShardResult::from_json_str(&fixture).unwrap();
+    assert_eq!(parsed, golden_result());
+    assert_eq!(parsed.to_json_string(), fixture);
+}
+
+#[test]
+fn malformed_descriptor_fixtures_map_to_typed_parse_errors() {
+    for (name, _) in MALFORMED_DESCRIPTORS {
+        let fixture = read_fixture(name);
+        match ShardDescriptor::from_json_str(&fixture) {
+            Err(XaiError::Parse { .. }) => {}
+            other => panic!("{name}: expected XaiError::Parse, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn non_finite_instance_fixture_is_a_typed_non_finite_error() {
+    let fixture = read_fixture(NON_FINITE_DESCRIPTOR.0);
+    match ShardDescriptor::from_json_str(&fixture) {
+        Err(XaiError::NonFiniteInput { context }) => {
+            assert!(context.contains("instance"), "context should name the field: {context}")
+        }
+        other => panic!("expected XaiError::NonFiniteInput, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_result_fixture_is_a_typed_parse_error() {
+    let fixture = read_fixture(MALFORMED_RESULT.0);
+    assert!(matches!(ShardResult::from_json_str(&fixture), Err(XaiError::Parse { .. })));
+}
+
+#[test]
+fn the_dataset_wire_form_round_trips_the_golden_dataset() {
+    let data = golden_dataset();
+    let json = dataset_to_json(&data);
+    let back = xai::shard::dataset_from_json(&json).unwrap();
+    assert_eq!(back.n_rows(), data.n_rows());
+    for i in 0..data.n_rows() {
+        assert_eq!(back.row(i), data.row(i));
+    }
+    assert_eq!(back.y(), data.y());
+    assert_eq!(dataset_to_json(&back).to_json(), json.to_json());
+}

@@ -207,14 +207,25 @@ fn lime_and_sp_lime_match_their_legacy_entry_points() {
         } else {
             explainer.try_explain(&f, &row, cfg, 31).unwrap()
         };
-        // `workers` is declared a no-op for LIME: sweep it to prove that.
+        // Batched runs and single-worker scalar runs reproduce the legacy
+        // draw exactly; `workers > 1` on the scalar path takes the chunked
+        // parallel neighbourhood (a different draw schedule), which must be
+        // worker-count invariant.
+        let mut parallel_runs = Vec::new();
         for workers in WORKER_GRID {
             let req = ExplainRequest::new(&data)
                 .instance(&row)
                 .plan(RunConfig::seeded(31).with_workers(workers).with_batched(batched));
             let got =
                 attribution(LimeMethod { config: cfg }.explain(&model, &req).unwrap());
-            assert_eq!(got.values, legacy.attribution.values, "batched={batched}");
+            if batched || workers == 1 {
+                assert_eq!(got.values, legacy.attribution.values, "batched={batched}");
+            } else {
+                parallel_runs.push(got.values);
+            }
+        }
+        for w in parallel_runs.windows(2) {
+            assert_eq!(w[0], w[1], "parallel LIME must be worker-count invariant");
         }
     }
 
@@ -348,8 +359,9 @@ fn counterfactual_searches_match_their_legacy_twins_across_workers() {
             "GeCo diverged at workers={workers}"
         );
 
+        // workers > 1 now dispatches to the shardable pooled search.
         let dice_legacy = if workers > 1 {
-            dice.try_generate_parallel(&f, &row, DiceConfig::default(), 6, workers).unwrap()
+            dice.try_generate_pool(&f, &row, DiceConfig::default(), 6, workers).unwrap()
         } else {
             dice.try_generate(&f, &row, DiceConfig::default(), 6).unwrap()
         };
