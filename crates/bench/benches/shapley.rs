@@ -6,6 +6,7 @@
 #![allow(deprecated)]
 
 use xai_bench::timing::Group;
+use xai_core::{CoalitionMemo, FnOracle, GameKey, ModelOracle};
 use xai_data::synth::{friedman1, german_credit};
 use xai_models::{
     proba_fn, Classifier, DecisionTree, Gbdt, GbdtConfig, GbdtLoss, LogisticConfig,
@@ -15,7 +16,7 @@ use xai_rand::parallel::default_workers;
 use xai_shapley::{
     brute_force_tree_shap, exact_shapley, gbdt_shap, kernel_shap, kernel_shap_batched,
     permutation_shapley, permutation_shapley_parallel, tree_shap, BatchPredictionGame, CachedGame,
-    KernelShapConfig, PredictionGame,
+    KernelShapConfig, MaskedPredictionGame, MemoGame, PredictionGame,
 };
 
 /// E1: exact enumeration cost doubles per feature; samplers stay flat.
@@ -42,11 +43,18 @@ fn bench_exact_vs_samplers() {
     group.finish();
 }
 
-/// Scalar vs. batched Kernel SHAP on the same wide-folded-logistic
-/// configuration as `shapley_scaling`'s `kernel512` entries. The batched
-/// path materializes each coalition round into one matrix and runs the
-/// model through the blocked `xai_linalg` kernels; the cached variant adds
-/// the coalition memo on top. Emits `kernel_shap_batched.json`.
+/// Scalar vs. batched vs. masked Kernel SHAP on the same
+/// wide-folded-logistic configuration as `shapley_scaling`'s `kernel512`
+/// entries. The batched path materializes each coalition round into one
+/// matrix and runs the model through the blocked `xai_linalg` kernels;
+/// the cached variant adds the per-call coalition memo on top. The
+/// `masked/` variants skip materialization entirely (DESIGN.md §12):
+/// coalitions travel as `u64` masks into `ModelOracle::predict_masked`
+/// (at d = 9 the logistic model's masked affine kernel; at d = 6 the
+/// arena-backed gather fallback behind a closure oracle), and
+/// `masked_memo/` layers the cross-request `CoalitionMemo`, warm across
+/// samples. Emits `kernel_shap_batched.json` — the primary input to
+/// `scripts/bench_gate.sh`.
 fn bench_kernel_shap_batched() {
     let data = german_credit(200, 1);
     let model = LogisticRegression::fit(data.x(), data.y(), LogisticConfig::default());
@@ -89,11 +97,28 @@ fn bench_kernel_shap_batched() {
         // Warm memo across samples: after the first run every coalition hits.
         let cached_game = CachedGame::new(&batch_game);
         group.bench(&format!("batched_cached/{d}"), || kernel_shap_batched(&cached_game, cfg));
-        speedups.push((d, scalar.as_secs_f64() / batched.as_secs_f64()));
+        // Zero-copy masked path: at d = 9 the fold is the identity, so the
+        // logistic model itself is the oracle and coalitions run straight
+        // through its masked affine kernel; at d = 6 the fold closure has
+        // no masked kernel and rides the arena-backed gather default.
+        let fold_oracle = FnOracle::new(d, &wide);
+        let oracle: &dyn ModelOracle = if d == 9 { model_ref } else { &fold_oracle };
+        let masked_game = MaskedPredictionGame::new(oracle, &instance, &background);
+        let masked = group.bench(&format!("masked/{d}"), || kernel_shap_batched(&masked_game, cfg));
+        // Warm cross-request memo, shared across samples like CachedGame.
+        let memo = CoalitionMemo::new(1 << 14);
+        let memo_game =
+            MemoGame::new(&masked_game, &memo, GameKey::derive(1, &background, &instance));
+        group.bench(&format!("masked_memo/{d}"), || kernel_shap_batched(&memo_game, cfg));
+        speedups.push((
+            d,
+            scalar.as_secs_f64() / batched.as_secs_f64(),
+            batched.as_secs_f64() / masked.as_secs_f64(),
+        ));
     }
     group.finish();
-    for (d, s) in speedups {
-        println!("  batched vs scalar at d={d}: {s:.2}x");
+    for (d, batched, masked) in speedups {
+        println!("  batched vs scalar at d={d}: {batched:.2}x; masked vs batched: {masked:.2}x");
     }
 }
 

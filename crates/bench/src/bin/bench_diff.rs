@@ -1,0 +1,167 @@
+//! Bench regression differ: compares two directories of
+//! `xai_bench::timing` group JSONs and fails on slowdowns.
+//!
+//! ```text
+//! bench_diff <baseline_dir> <candidate_dir> [threshold_pct]
+//! ```
+//!
+//! For every `<group>.json` present in the *candidate* directory that has
+//! a checked-in twin in the baseline directory, each benchmark's
+//! `median_ns` is compared. The exit code is non-zero when
+//!
+//! - a benchmark regressed beyond `threshold_pct` percent (default 10), or
+//! - a benchmark named in the baseline group is missing from the
+//!   candidate (a silently dropped bench must not pass the gate).
+//!
+//! Benchmarks that are *new* in the candidate (no baseline entry) are
+//! reported informationally and do not fail the gate — re-baseline with
+//! `XAI_REGEN_BENCH=1 scripts/bench_gate.sh` to adopt them.
+//!
+//! "Regressed" requires **both** the median and the minimum to exceed the
+//! threshold. The median is the headline statistic (a single noisy sample
+//! cannot flip it), but on shared hosts whole windows of samples can be
+//! stolen by a co-tenant, inflating every sample at once; the minimum is
+//! the most noise-robust location statistic (interference only ever adds
+//! time), so a genuine code regression moves both while a loaded run
+//! typically leaves the best sample near the baseline. A median-only
+//! slowdown is reported as `warn` and does not fail the gate.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+use xai_core::parse_json;
+
+/// `name -> (median_ns, min_ns)` for one group JSON, in name order.
+fn load_group(path: &Path) -> Result<BTreeMap<String, (f64, f64)>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: read failed: {e}", path.display()))?;
+    let json = parse_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let benches = json
+        .get("benchmarks")
+        .and_then(|b| b.as_arr())
+        .ok_or_else(|| format!("{}: missing \"benchmarks\" array", path.display()))?;
+    let mut stats = BTreeMap::new();
+    for bench in benches {
+        let name = bench
+            .get("name")
+            .and_then(|n| n.as_str())
+            .ok_or_else(|| format!("{}: benchmark without a name", path.display()))?;
+        let median = bench
+            .get("median_ns")
+            .and_then(|m| m.as_num())
+            .ok_or_else(|| format!("{}: {name}: missing median_ns", path.display()))?;
+        let min = bench
+            .get("min_ns")
+            .and_then(|m| m.as_num())
+            .ok_or_else(|| format!("{}: {name}: missing min_ns", path.display()))?;
+        stats.insert(name.to_string(), (median, min));
+    }
+    Ok(stats)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 || args.len() > 4 {
+        eprintln!("usage: bench_diff <baseline_dir> <candidate_dir> [threshold_pct]");
+        return ExitCode::from(2);
+    }
+    let baseline_dir = Path::new(&args[1]);
+    let candidate_dir = Path::new(&args[2]);
+    let threshold_pct: f64 = match args.get(3).map(|s| s.parse()) {
+        None => 10.0,
+        Some(Ok(v)) if v >= 0.0 => v,
+        Some(_) => {
+            eprintln!("bench_diff: threshold must be a non-negative number");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Every group the candidate run produced, sorted for stable output.
+    let mut groups: Vec<String> = match std::fs::read_dir(candidate_dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let name = e.file_name().into_string().ok()?;
+                name.strip_suffix(".json").map(str::to_string)
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("bench_diff: cannot read {}: {e}", candidate_dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    groups.sort();
+    if groups.is_empty() {
+        eprintln!("bench_diff: no group JSONs in {}", candidate_dir.display());
+        return ExitCode::from(2);
+    }
+
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    for group in &groups {
+        let baseline_path = baseline_dir.join(format!("{group}.json"));
+        if !baseline_path.exists() {
+            println!("{group}: no baseline (new group, not gated)");
+            continue;
+        }
+        let baseline = match load_group(&baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bench_diff: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let candidate = match load_group(&candidate_dir.join(format!("{group}.json"))) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("bench_diff: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        for (name, &(base_median, base_min)) in &baseline {
+            match candidate.get(name) {
+                None => {
+                    println!("FAIL {group}/{name}: present in baseline, missing from candidate");
+                    failures += 1;
+                }
+                Some(&(cand_median, cand_min)) => {
+                    compared += 1;
+                    let median_pct = (cand_median - base_median) / base_median * 100.0;
+                    let min_pct = (cand_min - base_min) / base_min * 100.0;
+                    let median_slow = median_pct > threshold_pct;
+                    let regressed = median_slow && min_pct > threshold_pct;
+                    let verdict = if regressed {
+                        "FAIL"
+                    } else if median_slow {
+                        "warn"
+                    } else {
+                        "  ok"
+                    };
+                    println!(
+                        "{verdict} {group}/{name}: median {base_median:.0}ns -> {cand_median:.0}ns \
+                         ({median_pct:+.1}%), min {base_min:.0}ns -> {cand_min:.0}ns ({min_pct:+.1}%)"
+                    );
+                    if regressed {
+                        failures += 1;
+                    }
+                }
+            }
+        }
+        for name in candidate.keys() {
+            if !baseline.contains_key(name) {
+                println!(" new {group}/{name}: no baseline entry (not gated)");
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "bench_diff: {failures} regression(s) beyond {threshold_pct}% across {compared} compared benchmarks"
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("bench_diff: {compared} benchmarks within {threshold_pct}% of baseline");
+        ExitCode::SUCCESS
+    }
+}

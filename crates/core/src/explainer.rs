@@ -163,6 +163,40 @@ pub trait ModelOracle: Sync {
         rows.iter_rows().map(|r| self.predict(r)).collect()
     }
 
+    /// Masked (zero-copy) coalition prediction, DESIGN.md §12. For each
+    /// mask in `masks`, scores every background row's coalition view —
+    /// `instance[k]` where bit `k` is set, the background value otherwise —
+    /// and appends `background.rows()` predictions per mask to `out`
+    /// (coalition-major). `out` is cleared first.
+    ///
+    /// The default gathers each view into an arena-leased scratch matrix
+    /// and calls [`predict_batch`](ModelOracle::predict_batch), so it is
+    /// bit-identical to materialized evaluation for any model whose batch
+    /// path honours the row-independence contract. Models in `xai-models`
+    /// override this with truly zero-copy masked kernels.
+    ///
+    /// # Panics
+    /// Panics when arities disagree or `background.cols() > 64`.
+    fn predict_masked(&self, instance: &[f64], background: &Matrix, masks: &[u64], out: &mut Vec<f64>) {
+        let (b, d) = background.shape();
+        assert_eq!(instance.len(), d, "predict_masked instance arity mismatch");
+        assert!(d <= 64, "predict_masked supports at most 64 features, got {d}");
+        out.clear();
+        out.reserve(masks.len() * b);
+        xai_linalg::arena::with_scratch_matrix(b, d, |scratch| {
+            for &mask in masks {
+                for bi in 0..b {
+                    let src = background.row(bi);
+                    let dst = scratch.row_mut(bi);
+                    for (k, s) in dst.iter_mut().enumerate() {
+                        *s = if mask >> k & 1 == 1 { instance[k] } else { src[k] };
+                    }
+                }
+                out.extend_from_slice(&self.predict_batch(scratch));
+            }
+        });
+    }
+
     /// Gradient of the prediction w.r.t. the input, when the model is
     /// differentiable.
     fn gradient(&self, x: &[f64]) -> Option<Vec<f64>> {
@@ -185,6 +219,9 @@ impl<M: ModelOracle + ?Sized> ModelOracle for &M {
     }
     fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
         (**self).predict_batch(rows)
+    }
+    fn predict_masked(&self, instance: &[f64], background: &Matrix, masks: &[u64], out: &mut Vec<f64>) {
+        (**self).predict_masked(instance, background, masks, out)
     }
     fn gradient(&self, x: &[f64]) -> Option<Vec<f64>> {
         (**self).gradient(x)
@@ -260,6 +297,10 @@ pub struct ExplainRequest<'a> {
     pub utility: Option<&'a (dyn Utility + Sync)>,
     /// Feature index for per-feature curves (PDP/ICE).
     pub feature: Option<usize>,
+    /// Shared cross-request coalition memo (DESIGN.md §12). When present,
+    /// coalition methods consult it before calling the model and publish
+    /// fresh values back; absent means every coalition is evaluated live.
+    pub memo: Option<crate::memo::MemoHandle<'a>>,
     /// The execution plan.
     pub plan: RunConfig,
 }
@@ -274,6 +315,7 @@ impl<'a> ExplainRequest<'a> {
             test: None,
             utility: None,
             feature: None,
+            memo: None,
             plan: RunConfig::default(),
         }
     }
@@ -305,6 +347,12 @@ impl<'a> ExplainRequest<'a> {
     /// Sets the feature index for curve methods.
     pub fn feature(mut self, j: usize) -> Self {
         self.feature = Some(j);
+        self
+    }
+
+    /// Attaches a shared coalition memo.
+    pub fn memo(mut self, handle: crate::memo::MemoHandle<'a>) -> Self {
+        self.memo = Some(handle);
         self
     }
 

@@ -24,6 +24,9 @@
 //! - [`serve`] — the explanation-serving engine (DESIGN.md §10): requests
 //!   as JSON data, a worker pool with admission control, and a
 //!   fingerprint-keyed LRU result cache;
+//! - [`memo`] — the shared cross-request coalition memo (DESIGN.md §12):
+//!   coalition values keyed on (model, background, instance, mask)
+//!   fingerprints so repeated serve traffic skips oracle calls;
 //! - [`shard`] — deterministic shard plans (DESIGN.md §11): an
 //!   estimator's random draws partitioned into serializable
 //!   [`shard::ShardDescriptor`]s whose partials merge bit-identically to
@@ -34,6 +37,7 @@ pub mod eval;
 pub mod explainer;
 pub mod json_parse;
 pub mod explanation;
+pub mod memo;
 pub mod report;
 pub mod serve;
 pub mod shard;
@@ -49,6 +53,7 @@ pub use explanation::{
     Condition, Counterfactual, DataAttribution, FeatureAttribution, Op, RuleExplanation,
 };
 pub use json_parse::{parse_json, ParseError};
+pub use memo::{fingerprint_f64s, CoalitionMemo, GameKey, MemoHandle, MemoStats};
 pub use report::{Json, ToReport};
 pub use serve::{
     fingerprint_bytes, ExplanationService, ServeRequest, ServeResponse, ServeStats, ServiceConfig,

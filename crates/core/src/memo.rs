@@ -1,0 +1,315 @@
+//! Shared cross-request coalition memo (DESIGN.md §12).
+//!
+//! The per-call `CachedGame` in `xai-shapley` deduplicates coalition
+//! evaluations *within* one explanation. This module generalizes that memo
+//! across requests: a [`CoalitionMemo`] is a bounded, thread-safe map from
+//! `(model fingerprint, background fingerprint, instance fingerprint,
+//! coalition mask)` to the coalition's value `v(S)`. Because every
+//! estimator in the workspace is deterministic and a coalition value is a
+//! pure function of that key, a hit can be substituted for an oracle call
+//! without changing a single bit of the result — which is exactly the
+//! paper's "treat explanation workloads like database workloads" thesis:
+//! repeated serve traffic against the same model shares work instead of
+//! recomputing it.
+//!
+//! Keys never dangle: retraining a model changes its persisted bytes and
+//! therefore its fingerprint, so stale values are unreachable rather than
+//! invalidated in place. Capacity pressure is handled by evicting the
+//! oldest half of the entries (by last-touch tick) in one O(n) pass,
+//! amortizing eviction cost over many inserts.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// FNV-1a offset basis (matches `serve::fingerprint_bytes`).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (matches `serve::fingerprint_bytes`).
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// FNV-1a over the little-endian bytes of a slice of `f64`s. Used to
+/// derive the background/instance components of a [`GameKey`]; bit-level
+/// so that any value change (even a sign of zero) produces a new key.
+pub fn fingerprint_f64s(values: &[f64]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for v in values {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// Identifies one cooperative game: which model, scored against which
+/// background, explaining which instance. Coalition masks are keyed
+/// *under* a `GameKey`, so two requests share memo entries exactly when
+/// they would compute identical coalition values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GameKey {
+    /// Fingerprint of the model's persisted bytes.
+    pub model: u64,
+    /// Fingerprint of the background matrix contents.
+    pub background: u64,
+    /// Fingerprint of the instance under explanation.
+    pub instance: u64,
+}
+
+impl GameKey {
+    /// Derives the key for `model_fingerprint` scored against `background`
+    /// rows to explain `instance`.
+    pub fn derive(model_fingerprint: u64, background: &xai_linalg::Matrix, instance: &[f64]) -> Self {
+        Self {
+            model: model_fingerprint,
+            background: fingerprint_f64s(background.as_slice()),
+            instance: fingerprint_f64s(instance),
+        }
+    }
+}
+
+/// A borrowed capability to use a [`CoalitionMemo`]: the memo plus the
+/// model fingerprint of the request it rides on. `Copy` so it can travel
+/// inside `ExplainRequest` without breaking that type's `Copy`.
+#[derive(Clone, Copy)]
+pub struct MemoHandle<'a> {
+    /// The shared memo.
+    pub memo: &'a CoalitionMemo,
+    /// Fingerprint of the model this request explains.
+    pub model_fingerprint: u64,
+}
+
+/// Counter snapshot from [`CoalitionMemo::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Coalition values served from the memo instead of the oracle.
+    pub hits: u64,
+    /// Coalition lookups that missed and were evaluated live.
+    pub misses: u64,
+    /// Entries dropped by capacity eviction.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+struct Entry {
+    value: f64,
+    tick: u64,
+}
+
+struct MemoState {
+    map: HashMap<(GameKey, u64), Entry>,
+    tick: u64,
+}
+
+/// Bounded, thread-safe cross-request coalition-value memo.
+///
+/// A `capacity` of `0` disables the memo: every lookup misses and inserts
+/// are dropped, so callers can plumb one code path for both modes.
+pub struct CoalitionMemo {
+    capacity: usize,
+    state: Mutex<MemoState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CoalitionMemo {
+    /// A memo holding at most `capacity` coalition values.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            state: Mutex::new(MemoState { map: HashMap::new(), tick: 0 }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum resident entries (0 = disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up `masks` under `key`, writing each found value into the
+    /// matching `out` slot (missing slots are set to `None`). Returns the
+    /// number of hits. Hit entries are touched for eviction recency.
+    pub fn get_many(&self, key: &GameKey, masks: &[u64], out: &mut [Option<f64>]) -> usize {
+        assert_eq!(masks.len(), out.len(), "memo lookup arity mismatch");
+        if self.capacity == 0 {
+            out.fill(None);
+            self.misses.fetch_add(masks.len() as u64, Ordering::Relaxed);
+            return 0;
+        }
+        let mut state = lock(&self.state);
+        let mut hits = 0usize;
+        for (&mask, slot) in masks.iter().zip(out.iter_mut()) {
+            state.tick += 1;
+            let tick = state.tick;
+            *slot = match state.map.get_mut(&(*key, mask)) {
+                Some(entry) => {
+                    entry.tick = tick;
+                    hits += 1;
+                    Some(entry.value)
+                }
+                None => None,
+            };
+        }
+        drop(state);
+        self.hits.fetch_add(hits as u64, Ordering::Relaxed);
+        self.misses.fetch_add((masks.len() - hits) as u64, Ordering::Relaxed);
+        hits
+    }
+
+    /// Publishes freshly evaluated coalition values. Values are pure
+    /// functions of `(key, mask)`, so racing inserts of the same key are
+    /// harmless — last write wins with identical bits. Triggers a half-
+    /// eviction pass when the map would exceed capacity.
+    pub fn insert_many<I: IntoIterator<Item = (u64, f64)>>(&self, key: &GameKey, values: I) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut state = lock(&self.state);
+        for (mask, value) in values {
+            state.tick += 1;
+            let tick = state.tick;
+            state.map.insert((*key, mask), Entry { value, tick });
+        }
+        if state.map.len() > self.capacity {
+            let evicted = evict_oldest_half(&mut state.map);
+            self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: lock(&self.state).map.len() as u64,
+        }
+    }
+}
+
+/// Drops the oldest half of the entries by last-touch tick. One O(n)
+/// selection plus one retain pass; returns how many entries were dropped.
+/// Ticks are unique per touch, so exactly `len / 2` entries fall below the
+/// median and the map always shrinks.
+fn evict_oldest_half(map: &mut HashMap<(GameKey, u64), Entry>) -> usize {
+    let before = map.len();
+    let mut ticks: Vec<u64> = map.values().map(|e| e.tick).collect();
+    let mid = ticks.len() / 2;
+    let (_, &mut cutoff, _) = ticks.select_nth_unstable(mid);
+    let cutoff = cutoff;
+    map.retain(|_, e| e.tick >= cutoff);
+    before - map.len()
+}
+
+fn lock<'a>(m: &'a Mutex<MemoState>) -> MutexGuard<'a, MemoState> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> GameKey {
+        GameKey { model: n, background: n.wrapping_mul(31), instance: n.wrapping_mul(97) }
+    }
+
+    #[test]
+    fn fingerprint_is_bit_sensitive() {
+        assert_ne!(fingerprint_f64s(&[1.0, 2.0]), fingerprint_f64s(&[2.0, 1.0]));
+        assert_ne!(fingerprint_f64s(&[0.0]), fingerprint_f64s(&[-0.0]));
+        assert_eq!(fingerprint_f64s(&[1.5, -3.25]), fingerprint_f64s(&[1.5, -3.25]));
+    }
+
+    #[test]
+    fn derive_distinguishes_every_component() {
+        let bg = xai_linalg::Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let base = GameKey::derive(7, &bg, &[0.5, 0.5]);
+        assert_ne!(base, GameKey::derive(8, &bg, &[0.5, 0.5]));
+        assert_ne!(base, GameKey::derive(7, &bg, &[0.5, 0.6]));
+        let bg2 = xai_linalg::Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.5]]);
+        assert_ne!(base, GameKey::derive(7, &bg2, &[0.5, 0.5]));
+        assert_eq!(base, GameKey::derive(7, &bg, &[0.5, 0.5]));
+    }
+
+    #[test]
+    fn get_insert_round_trip_and_counters() {
+        let memo = CoalitionMemo::new(64);
+        let k = key(1);
+        let mut out = vec![None; 3];
+        assert_eq!(memo.get_many(&k, &[0b01, 0b10, 0b11], &mut out), 0);
+        assert_eq!(out, vec![None, None, None]);
+        memo.insert_many(&k, [(0b01, 1.5), (0b11, -2.25)]);
+        assert_eq!(memo.get_many(&k, &[0b01, 0b10, 0b11], &mut out), 2);
+        assert_eq!(out, vec![Some(1.5), None, Some(-2.25)]);
+        let stats = memo.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (2, 4, 2));
+
+        // A different game key shares nothing.
+        assert_eq!(memo.get_many(&key(2), &[0b01], &mut out[..1]), 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_everything() {
+        let memo = CoalitionMemo::new(0);
+        let k = key(1);
+        memo.insert_many(&k, [(1, 9.0)]);
+        let mut out = [Some(1.0)];
+        assert_eq!(memo.get_many(&k, &[1], &mut out), 0);
+        assert_eq!(out, [None]);
+        let stats = memo.stats();
+        assert_eq!((stats.misses, stats.entries), (1, 0));
+    }
+
+    #[test]
+    fn eviction_drops_oldest_and_keeps_newest() {
+        let memo = CoalitionMemo::new(8);
+        let k = key(1);
+        for mask in 0..8u64 {
+            memo.insert_many(&k, [(mask, mask as f64)]);
+        }
+        // Touch the four newest so recency is unambiguous, then overflow.
+        let mut out = vec![None; 4];
+        memo.get_many(&k, &[4, 5, 6, 7], &mut out);
+        memo.insert_many(&k, [(8, 8.0)]);
+        let stats = memo.stats();
+        assert!(stats.evictions > 0, "overflow must evict");
+        assert!(stats.entries <= 8);
+        // The most recently touched survivors are still present.
+        let mut fresh = vec![None; 5];
+        let hits = memo.get_many(&k, &[4, 5, 6, 7, 8], &mut fresh);
+        assert_eq!(hits, 5, "recently touched entries must survive eviction: {fresh:?}");
+    }
+
+    #[test]
+    fn concurrent_use_is_safe_and_deterministic() {
+        let memo = std::sync::Arc::new(CoalitionMemo::new(1024));
+        let k = key(3);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let memo = std::sync::Arc::clone(&memo);
+                std::thread::spawn(move || {
+                    for round in 0..50u64 {
+                        let mask = (t * 50 + round) % 32;
+                        memo.insert_many(&k, [(mask, mask as f64 * 0.5)]);
+                        let mut out = [None];
+                        if memo.get_many(&k, &[mask], &mut out) == 1 {
+                            // Values are pure functions of the key: any hit
+                            // must carry exactly the inserted bits.
+                            assert_eq!(out[0], Some(mask as f64 * 0.5));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("memo soak thread panicked");
+        }
+        let stats = memo.stats();
+        assert_eq!(stats.entries, 32);
+        assert_eq!(stats.evictions, 0);
+    }
+}

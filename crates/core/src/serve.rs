@@ -653,11 +653,19 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// LRU result-cache capacity in entries; `0` disables caching.
     pub cache_capacity: usize,
+    /// Shared [`CoalitionMemo`](crate::memo::CoalitionMemo) capacity in
+    /// coalition values; `0` disables cross-request memoization. Unlike
+    /// the result cache (whole responses, exact request match), the memo
+    /// caches per-coalition model evaluations keyed on (model fingerprint,
+    /// background, instance, mask), so it accelerates *different* requests
+    /// that revisit the same coalitions — e.g. Kernel SHAP and permutation
+    /// sampling against the same row, or re-explains at a new seed.
+    pub memo_capacity: usize,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        Self { workers: 2, queue_capacity: 64, cache_capacity: 128 }
+        Self { workers: 2, queue_capacity: 64, cache_capacity: 128, memo_capacity: 65_536 }
     }
 }
 
@@ -684,6 +692,14 @@ pub struct ServeStats {
     pub cache_misses: u64,
     /// Cache entries displaced by capacity pressure.
     pub cache_evictions: u64,
+    /// Coalition values served from the shared cross-request memo instead
+    /// of the model (zero when `memo_capacity` is 0 or no coalition method
+    /// ran batched).
+    pub memo_hits: u64,
+    /// Coalition memo lookups that missed and were evaluated live.
+    pub memo_misses: u64,
+    /// Coalition memo entries dropped by capacity eviction.
+    pub memo_evictions: u64,
 }
 
 impl ServeStats {
@@ -697,6 +713,9 @@ impl ServeStats {
             ("cache_hits", Json::Num(self.cache_hits as f64)),
             ("cache_misses", Json::Num(self.cache_misses as f64)),
             ("cache_evictions", Json::Num(self.cache_evictions as f64)),
+            ("memo_hits", Json::Num(self.memo_hits as f64)),
+            ("memo_misses", Json::Num(self.memo_misses as f64)),
+            ("memo_evictions", Json::Num(self.memo_evictions as f64)),
         ])
     }
 }
@@ -834,6 +853,7 @@ struct Inner {
     queue: Mutex<QueueState>,
     queue_cond: Condvar,
     cache: Mutex<LruCache>,
+    memo: crate::memo::CoalitionMemo,
     stats: StatCells,
 }
 
@@ -874,6 +894,7 @@ impl ExplanationService {
             queue: Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
             queue_cond: Condvar::new(),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            memo: crate::memo::CoalitionMemo::new(config.memo_capacity),
             stats: StatCells::default(),
         });
         let workers = (0..config.workers)
@@ -939,6 +960,7 @@ impl ExplanationService {
     /// Snapshot of the engine counters.
     pub fn stats(&self) -> ServeStats {
         let s = &self.inner.stats;
+        let memo = self.inner.memo.stats();
         ServeStats {
             submitted: s.submitted.load(Ordering::SeqCst),
             rejected: s.rejected.load(Ordering::SeqCst),
@@ -947,7 +969,15 @@ impl ExplanationService {
             cache_hits: s.cache_hits.load(Ordering::SeqCst),
             cache_misses: s.cache_misses.load(Ordering::SeqCst),
             cache_evictions: s.cache_evictions.load(Ordering::SeqCst),
+            memo_hits: memo.hits,
+            memo_misses: memo.misses,
+            memo_evictions: memo.evictions,
         }
+    }
+
+    /// Coalition values currently resident in the cross-request memo.
+    pub fn memo_len(&self) -> usize {
+        self.inner.memo.stats().entries as usize
     }
 
     /// Pre-admission validation: typed errors for requests that could
@@ -1109,6 +1139,16 @@ fn execute(inner: &Inner, request: &ServeRequest) -> XaiResult<ServeResponse> {
     }
     if let Some(j) = request.feature {
         req = req.feature(j);
+    }
+    if inner.memo.capacity() > 0 {
+        // Shared cross-request coalition memo (DESIGN.md §12): batched
+        // coalition methods consult it before calling the model. Keyed
+        // under the model fingerprint, so replacing a model invalidates
+        // its memoized coalition values exactly like the result cache.
+        req = req.memo(crate::memo::MemoHandle {
+            memo: &inner.memo,
+            model_fingerprint: entry.fingerprint,
+        });
     }
     let explanation = explainer.explain(&*entry.oracle, &req)?;
     let payload = explanation.to_json_string();
@@ -1455,7 +1495,7 @@ mod tests {
         let service = Arc::new({
             let service = ExplanationService::new(
                 stub_registry(),
-                ServiceConfig { workers: 1, queue_capacity: 1, cache_capacity: 8 },
+                ServiceConfig { workers: 1, queue_capacity: 1, cache_capacity: 8, memo_capacity: 0 },
             );
             let (gate, entered) = (Arc::clone(&gate), Arc::clone(&entered));
             let oracle = FnOracle::new(3, move |x: &[f64]| {
@@ -1527,6 +1567,7 @@ mod tests {
             workers: 1,
             queue_capacity: 16,
             cache_capacity: 2,
+            memo_capacity: 0,
         });
         for seed in 0..4 {
             let request = ServeRequest::new("Kernel SHAP", "toy")

@@ -13,7 +13,7 @@
 use crate::utility::{check_finite_values, Utility};
 use xai_rand::rngs::StdRng;
 use xai_rand::{Rng, SeedableRng};
-use xai_core::{catch_model, DataAttribution, XaiResult};
+use xai_core::{catch_model, DataAttribution, SampleBudget, XaiError, XaiResult};
 
 /// Configuration for [`data_banzhaf`].
 #[derive(Clone, Copy, Debug)]
@@ -62,6 +62,78 @@ pub fn data_banzhaf(utility: &dyn Utility, config: BanzhafConfig) -> DataAttribu
 /// unwinding or leaking NaN values.
 pub fn try_data_banzhaf(utility: &dyn Utility, config: BanzhafConfig) -> XaiResult<DataAttribution> {
     let att = catch_model("data Banzhaf evaluation", || data_banzhaf(utility, config))?;
+    check_finite_values(&att.values, "data Banzhaf")?;
+    Ok(att)
+}
+
+/// Budget-aware fallible data Banzhaf: stops drawing coalitions once
+/// `budget` is exhausted (metered in utility evaluations — each draw is a
+/// paired with-and-without evaluation, so it records 2) and returns the
+/// **best-effort partial estimate**: every point averages over the draws
+/// it completed, and points the budget never reached are valued `0.0`
+/// with the measure flagged `budget-truncated`. Fails with
+/// [`XaiError::BudgetExceeded`] only when the budget expires before the
+/// first draw. The RNG stream and per-point accumulation are exactly
+/// [`data_banzhaf`]'s, so an unlimited budget is bit-identical to
+/// [`try_data_banzhaf`]. With an eval cap the truncation point is
+/// deterministic; with a wall-clock deadline it is machine-dependent.
+pub fn try_data_banzhaf_budgeted(
+    utility: &dyn Utility,
+    config: BanzhafConfig,
+    budget: SampleBudget,
+) -> XaiResult<DataAttribution> {
+    assert!(config.samples_per_point >= 1);
+    let n = utility.n_train();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut values = vec![0.0; n];
+    let mut base: Vec<usize> = Vec::with_capacity(n);
+    let mut meter = budget.start();
+    let mut total_draws = 0usize;
+    let mut truncated = false;
+    for (i, value) in values.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        let mut done = 0usize;
+        for _ in 0..config.samples_per_point {
+            if meter.exhausted() {
+                truncated = true;
+                break;
+            }
+            // One draw: the membership coin flips, then the paired
+            // with-and-without evaluations — drawn and accumulated in
+            // data_banzhaf's exact order, under panic isolation.
+            let delta = catch_model("data Banzhaf coalition evaluation", || {
+                base.clear();
+                for j in 0..n {
+                    if j != i && rng.gen::<bool>() {
+                        base.push(j);
+                    }
+                }
+                let without = utility.eval(&base);
+                base.push(i);
+                let with = utility.eval(&base);
+                with - without
+            })?;
+            meter.record(2);
+            acc += delta;
+            done += 1;
+        }
+        if done > 0 {
+            *value = acc / done as f64;
+        }
+        total_draws += done;
+    }
+    if total_draws == 0 {
+        return Err(XaiError::BudgetExceeded {
+            context: "data Banzhaf: budget expired before the first coalition draw".into(),
+            completed: 0,
+        });
+    }
+    let measure = if truncated {
+        "data Banzhaf (MC, budget-truncated)".into()
+    } else {
+        "data Banzhaf (MC)".into()
+    };
+    let att = DataAttribution { values, measure };
     check_finite_values(&att.values, "data Banzhaf")?;
     Ok(att)
 }
@@ -158,6 +230,51 @@ mod tests {
             "banzhaf should be at least as noise-robust: {banz_agreements} vs {shap_agreements}"
         );
         let _ = top_k_agreement(&banz_clean.values, &shap_clean.values, 3);
+    }
+
+    #[test]
+    fn unlimited_budget_is_bit_identical_to_the_unbudgeted_twin() {
+        let u = FnUtility::new(5, |s: &[usize]| {
+            (s.len() as f64).sqrt() + f64::from(s.contains(&1)) * 0.25
+        });
+        let config = BanzhafConfig { samples_per_point: 40, seed: 17 };
+        let plain = try_data_banzhaf(&u, config).unwrap();
+        let budgeted =
+            try_data_banzhaf_budgeted(&u, config, xai_core::SampleBudget::unlimited()).unwrap();
+        assert_eq!(plain.values, budgeted.values);
+        assert_eq!(budgeted.measure, "data Banzhaf (MC)");
+    }
+
+    #[test]
+    fn eval_cap_truncates_deterministically_and_flags_the_measure() {
+        let u = FnUtility::new(4, |s: &[usize]| s.len() as f64);
+        let config = BanzhafConfig { samples_per_point: 10, seed: 5 };
+        // 4 points × 10 draws × 2 evals = 80 evals unbudgeted. A 24-eval
+        // cap admits 12 draws: point 0 completes 10, point 1 completes 2,
+        // points 2 and 3 are never reached and value 0.0.
+        let capped =
+            try_data_banzhaf_budgeted(&u, config, xai_core::SampleBudget::with_max_evals(24))
+                .unwrap();
+        assert_eq!(capped.measure, "data Banzhaf (MC, budget-truncated)");
+        assert_ne!(capped.values[0], 0.0);
+        assert_ne!(capped.values[1], 0.0);
+        assert_eq!(&capped.values[2..], &[0.0, 0.0]);
+        // For this additive utility every marginal is exactly 1.
+        assert_eq!(capped.values[0], 1.0);
+        assert_eq!(capped.values[1], 1.0);
+        // Determinism: the same cap truncates at the same point.
+        let again =
+            try_data_banzhaf_budgeted(&u, config, xai_core::SampleBudget::with_max_evals(24))
+                .unwrap();
+        assert_eq!(capped.values, again.values);
+
+        // A budget that admits no draw at all is a typed error.
+        let starved =
+            try_data_banzhaf_budgeted(&u, config, xai_core::SampleBudget::with_max_evals(0));
+        assert!(matches!(
+            starved,
+            Err(xai_core::XaiError::BudgetExceeded { completed: 0, .. })
+        ));
     }
 
     #[test]

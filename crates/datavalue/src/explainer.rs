@@ -14,10 +14,12 @@
 //! Dispatch contract: `workers > 1` selects the fixed-chunk parallel
 //! twins (worker-count-invariant, but a different draw schedule than the
 //! sequential estimator — same as the legacy free functions);
-//! `RunConfig::budget` is honoured by TMC only, sequentially, via
-//! [`try_tmc_shapley_budgeted`]; LOO and Banzhaf reject a budget as
-//! [`XaiError::Unsupported`]. No method here has a batched twin, so
-//! `batched` is a no-op.
+//! `RunConfig::budget` is honoured by TMC (via
+//! [`try_tmc_shapley_budgeted`]) and by Banzhaf (via
+//! [`try_data_banzhaf_budgeted`]), each on the sequential path only —
+//! budget + `workers > 1` is rejected as [`XaiError::Unsupported`], as is
+//! a budget on LOO, whose deterministic point sweep has no draw stream to
+//! truncate. No method here has a batched twin, so `batched` is a no-op.
 //!
 //! All three methods are shardable (DESIGN.md §11): permutation chunks
 //! (TMC), per-point coalition streams (Banzhaf) and fixed point chunks
@@ -40,7 +42,7 @@ use xai_models::LogisticConfig;
 use xai_rand::rngs::StdRng;
 use xai_rand::{child_seed, SeedableRng};
 
-use crate::banzhaf::{try_data_banzhaf, BanzhafConfig};
+use crate::banzhaf::{try_data_banzhaf_budgeted, BanzhafConfig};
 use crate::data_shapley::{try_tmc_shapley_budgeted, TmcConfig};
 use crate::loo::{self, try_leave_one_out, try_leave_one_out_parallel};
 use crate::parallel::{self, try_data_banzhaf_parallel, try_tmc_shapley_parallel};
@@ -326,7 +328,9 @@ impl ShardableExplainer for TmcMethod {
 
 /// Monte-Carlo data Banzhaf valuation (§2.3.1) through the unified
 /// layer; the uniform-coalition estimator that is provably most robust
-/// to noisy utilities.
+/// to noisy utilities. A `RunConfig::budget` meters utility evaluations
+/// (sequential execution only — combined with `workers > 1` the request
+/// is rejected, mirroring TMC).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BanzhafMethod {
     /// Coalition draws per training point; the config's own `seed` is
@@ -340,14 +344,14 @@ impl Explainer for BanzhafMethod {
     }
 
     fn explain(&self, _model: &dyn ModelOracle, req: &ExplainRequest<'_>) -> XaiResult<Explanation> {
-        reject_budget("Data Banzhaf", req)?;
         let plan = req.plan;
         let config = BanzhafConfig { seed: plan.seed, ..self.config };
         let utility = resolve_utility(req);
         let att = if plan.parallel() {
+            reject_budget("Data Banzhaf with workers > 1", req)?;
             try_data_banzhaf_parallel(&utility, config, plan.workers)?
         } else {
-            try_data_banzhaf(&utility, config)?
+            try_data_banzhaf_budgeted(&utility, config, plan.budget)?
         };
         Ok(Explanation::DataValuation(att))
     }

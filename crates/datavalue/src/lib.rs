@@ -32,7 +32,9 @@ pub mod parallel;
 pub mod tree_influence;
 pub mod utility;
 
-pub use banzhaf::{data_banzhaf, exact_data_banzhaf, try_data_banzhaf, BanzhafConfig};
+pub use banzhaf::{
+    data_banzhaf, exact_data_banzhaf, try_data_banzhaf, try_data_banzhaf_budgeted, BanzhafConfig,
+};
 pub use data_shapley::{
     removal_curve, tmc_shapley, try_tmc_shapley, try_tmc_shapley_budgeted, TmcConfig, TmcResult,
 };

@@ -1,0 +1,182 @@
+//! Thread-local scratch arena for allocation-free hot paths.
+//!
+//! The masked coalition-evaluation layer (DESIGN.md §12) replaces the
+//! per-round probe-matrix materialization with kernels that read their
+//! operands in place — but the *outputs* of those kernels (per-coalition
+//! prediction blocks, gathered rows for models without a masked kernel)
+//! still need somewhere to live. This module provides that somewhere: a
+//! per-thread pool of `f64` buffers leased for the duration of a closure
+//! and returned to the pool afterwards, so steady-state evaluation makes
+//! **zero heap allocations** once each thread's pool has grown to its
+//! high-water mark.
+//!
+//! Determinism: the arena only changes *where* intermediate values are
+//! stored, never what is computed — every leased buffer is fully
+//! overwritten before use (or explicitly zeroed by [`with_scratch`]).
+//! Because the pool is `thread_local!`, parallel executor workers never
+//! share buffers, so results are independent of worker count and
+//! scheduling, preserving the workspace's bit-identity contract.
+
+use std::cell::RefCell;
+
+use crate::matrix::Matrix;
+
+/// A pool of reusable `f64` buffers. Usually accessed through the
+/// thread-local [`with_scratch`] / [`with_scratch_matrix`] entry points;
+/// public so tests and single-threaded callers can hold their own.
+#[derive(Default)]
+pub struct ScratchArena {
+    bufs: RefCell<Vec<Vec<f64>>>,
+}
+
+impl ScratchArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffers currently parked in the pool (not leased).
+    pub fn pooled(&self) -> usize {
+        self.bufs.borrow().len()
+    }
+
+    /// Leases a buffer of exactly `len` zeroed elements for the duration
+    /// of `f`, then returns it to the pool. Leases may nest: each nested
+    /// call pops a distinct buffer.
+    pub fn with_scratch<R>(&self, len: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
+        let mut buf = self.lease(len);
+        let out = f(&mut buf);
+        self.park(buf);
+        out
+    }
+
+    /// Leases an empty-but-warm `Vec<f64>` for the duration of `f`: the
+    /// vector starts with `len() == 0` but keeps its pooled capacity, so
+    /// callers that `resize`/`extend` to a steady-state size allocate only
+    /// on the first lease.
+    pub fn with_scratch_vec<R>(&self, f: impl FnOnce(&mut Vec<f64>) -> R) -> R {
+        let mut buf = self.bufs.borrow_mut().pop().unwrap_or_default();
+        buf.clear();
+        let out = f(&mut buf);
+        self.park(buf);
+        out
+    }
+
+    /// Leases a `rows × cols` [`Matrix`] (zeroed) for the duration of `f`.
+    /// The matrix's storage comes from the pool and goes back to it, so no
+    /// allocation happens once the pool is warm.
+    pub fn with_scratch_matrix<R>(
+        &self,
+        rows: usize,
+        cols: usize,
+        f: impl FnOnce(&mut Matrix) -> R,
+    ) -> R {
+        let buf = self.lease(rows * cols);
+        let mut m = Matrix::from_vec(rows, cols, buf);
+        let out = f(&mut m);
+        self.park(m.into_vec());
+        out
+    }
+
+    fn lease(&self, len: usize) -> Vec<f64> {
+        let mut buf = self.bufs.borrow_mut().pop().unwrap_or_default();
+        // clear + resize zeroes every element without reallocating when
+        // capacity suffices; a fresh lease always starts from all-zeros.
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    fn park(&self, buf: Vec<f64>) {
+        self.bufs.borrow_mut().push(buf);
+    }
+}
+
+thread_local! {
+    static ARENA: ScratchArena = ScratchArena::new();
+}
+
+/// Leases a zeroed `len`-element buffer from the calling thread's arena
+/// for the duration of `f`. See [`ScratchArena::with_scratch`].
+pub fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
+    ARENA.with(|a| a.with_scratch(len, f))
+}
+
+/// Leases an empty-but-warm `Vec<f64>` from the calling thread's arena for
+/// the duration of `f`. See [`ScratchArena::with_scratch_vec`].
+pub fn with_scratch_vec<R>(f: impl FnOnce(&mut Vec<f64>) -> R) -> R {
+    ARENA.with(|a| a.with_scratch_vec(f))
+}
+
+/// Leases a zeroed `rows × cols` [`Matrix`] from the calling thread's
+/// arena for the duration of `f`. See [`ScratchArena::with_scratch_matrix`].
+pub fn with_scratch_matrix<R>(rows: usize, cols: usize, f: impl FnOnce(&mut Matrix) -> R) -> R {
+    ARENA.with(|a| a.with_scratch_matrix(rows, cols, f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_zeroed_and_recycled() {
+        let arena = ScratchArena::new();
+        let ptr1 = arena.with_scratch(16, |buf| {
+            assert_eq!(buf.len(), 16);
+            assert!(buf.iter().all(|&v| v == 0.0));
+            buf[3] = 7.5;
+            buf.as_ptr() as usize
+        });
+        assert_eq!(arena.pooled(), 1);
+        // Same (or equal-capacity) storage comes back, zeroed again.
+        let ptr2 = arena.with_scratch(16, |buf| {
+            assert!(buf.iter().all(|&v| v == 0.0));
+            buf.as_ptr() as usize
+        });
+        assert_eq!(ptr1, ptr2, "the pool should recycle the same allocation");
+    }
+
+    #[test]
+    fn nested_leases_get_distinct_buffers() {
+        let arena = ScratchArena::new();
+        arena.with_scratch(8, |outer| {
+            outer[0] = 1.0;
+            arena.with_scratch(8, |inner| {
+                inner[0] = 2.0;
+                assert_ne!(outer.as_ptr(), inner.as_ptr());
+            });
+            assert_eq!(outer[0], 1.0, "inner lease must not alias the outer");
+        });
+        assert_eq!(arena.pooled(), 2);
+    }
+
+    #[test]
+    fn scratch_matrix_round_trips_storage() {
+        let arena = ScratchArena::new();
+        arena.with_scratch_matrix(3, 4, |m| {
+            assert_eq!(m.shape(), (3, 4));
+            m[(2, 3)] = 9.0;
+        });
+        assert_eq!(arena.pooled(), 1);
+        arena.with_scratch_matrix(2, 2, |m| {
+            assert_eq!(m.as_slice(), &[0.0; 4], "recycled matrix must be zeroed");
+        });
+    }
+
+    #[test]
+    fn thread_local_entry_points_work() {
+        let sum = with_scratch(5, |buf| {
+            for (i, v) in buf.iter_mut().enumerate() {
+                *v = i as f64;
+            }
+            buf.iter().sum::<f64>()
+        });
+        assert_eq!(sum, 10.0);
+        let trace = with_scratch_matrix(2, 2, |m| {
+            m[(0, 0)] = 1.0;
+            m[(1, 1)] = 2.0;
+            m[(0, 0)] + m[(1, 1)]
+        });
+        assert_eq!(trace, 3.0);
+    }
+}

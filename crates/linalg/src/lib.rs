@@ -6,7 +6,10 @@
 //!
 //! - [`matrix::Matrix`] — dense row-major matrices with the usual products;
 //! - [`batch`] — blocked mat-vec / `A·Bᵀ` kernels for batched model
-//!   inference, bit-identical to the naive dot-product loops;
+//!   inference, bit-identical to the naive dot-product loops, plus masked
+//!   variants that evaluate coalition views without materializing them;
+//! - [`arena`] — thread-local scratch-buffer pool backing the zero-copy
+//!   coalition paths (DESIGN.md §12);
 //! - [`cholesky`] / [`lu`] — direct factorizations for SPD and general
 //!   square systems;
 //! - [`solve`] — (weighted) least squares and conjugate gradients, the
@@ -18,6 +21,7 @@
 //!
 //! Everything is deterministic given the caller's RNG; no global state.
 
+pub mod arena;
 pub mod batch;
 pub mod cholesky;
 pub mod distr;
@@ -26,7 +30,11 @@ pub mod matrix;
 pub mod solve;
 pub mod stats;
 
-pub use batch::{affine_fold, gemm_nt, matvec_blocked};
+pub use arena::{with_scratch, with_scratch_matrix, with_scratch_vec, ScratchArena};
+pub use batch::{
+    affine_fold, gemm_nt, masked_affine_fold, masked_affine_fold_many, masked_gemm_nt,
+    masked_matvec, masked_matvec_many, matvec_blocked,
+};
 pub use cholesky::{choldowndate, cholupdate, solve_spd, Cholesky};
 pub use lu::Lu;
 pub use matrix::{dot, norm1, norm2, vadd, vaxpy, vscale, vsub, Matrix};

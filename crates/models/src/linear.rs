@@ -72,6 +72,42 @@ impl LinearRegression {
     pub fn coef(&self) -> &[f64] {
         &self.coef
     }
+
+    /// Masked coalition predictions (zero-copy, DESIGN.md §12): one
+    /// prediction per background row, reading `instance[k]` where bit `k`
+    /// of `mask` is set and the background value otherwise. Same
+    /// sum-first/intercept-last association as
+    /// [`Regressor::predict_batch`], so each value is bit-identical to
+    /// predicting the materialized coalition view.
+    pub fn predict_masked_into(
+        &self,
+        instance: &[f64],
+        background: &Matrix,
+        mask: u64,
+        out: &mut [f64],
+    ) {
+        xai_linalg::masked_matvec(background, instance, mask, &self.coef, out);
+        for o in out.iter_mut() {
+            *o += self.intercept;
+        }
+    }
+
+    /// Whole-round twin of [`Self::predict_masked_into`]: one
+    /// `background.rows()`-length block per mask, coalition-major, through
+    /// [`xai_linalg::masked_matvec_many`]. Bit-identical to the per-mask
+    /// calls (same sum-first/intercept-last association per value).
+    pub fn predict_masked_many_into(
+        &self,
+        instance: &[f64],
+        background: &Matrix,
+        masks: &[u64],
+        out: &mut [f64],
+    ) {
+        xai_linalg::masked_matvec_many(background, instance, masks, &self.coef, out);
+        for o in out.iter_mut() {
+            *o += self.intercept;
+        }
+    }
 }
 
 impl Model for LinearRegression {

@@ -264,6 +264,44 @@ impl LogisticRegression {
         xai_linalg::affine_fold(x, &self.w[1..], self.w[0])
     }
 
+    /// Masked coalition margins (zero-copy, DESIGN.md §12): one margin per
+    /// background row, reading `instance[k]` where bit `k` of `mask` is
+    /// set and the background value otherwise. Uses the bias-first
+    /// [`xai_linalg::masked_affine_fold`] kernel, so each margin is
+    /// bit-identical to [`LogisticRegression::margin`] over the
+    /// materialized coalition view.
+    pub fn margin_masked_into(
+        &self,
+        instance: &[f64],
+        background: &Matrix,
+        mask: u64,
+        out: &mut [f64],
+    ) {
+        xai_linalg::masked_affine_fold(background, instance, mask, &self.w[1..], self.w[0], out);
+    }
+
+    /// Whole-round twin of [`Self::margin_masked_into`]: one
+    /// `background.rows()`-length margin block per mask, coalition-major,
+    /// through [`xai_linalg::masked_affine_fold_many`] — bit-identical to
+    /// the per-mask calls, with the weighted products hoisted out of the
+    /// round. This is the Kernel SHAP hot path for logistic oracles.
+    pub fn margin_masked_many_into(
+        &self,
+        instance: &[f64],
+        background: &Matrix,
+        masks: &[u64],
+        out: &mut [f64],
+    ) {
+        xai_linalg::masked_affine_fold_many(
+            background,
+            instance,
+            masks,
+            &self.w[1..],
+            self.w[0],
+            out,
+        );
+    }
+
     /// Per-example loss `ℓ(w; x, y)` (no regularization term).
     pub fn example_loss(&self, x: &[f64], y: f64) -> f64 {
         let p = self.proba_one(x).clamp(1e-12, 1.0 - 1e-12);

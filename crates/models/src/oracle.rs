@@ -21,7 +21,15 @@
 //!   `xai_counterfactual::GradientModel`): logistic regression and MLPs,
 //!   plus the trivially constant linear-regression gradient;
 //! - `as_any` returns `Some` for every model so structure-walking methods
-//!   (TreeSHAP, provenance interventions) can downcast.
+//!   (TreeSHAP, provenance interventions) can downcast;
+//! - `predict_masked` overrides route through each model's zero-copy
+//!   masked kernels (DESIGN.md §12) — linear/logistic evaluate whole
+//!   rounds through the hoisted `masked_*_many` mat-vec/affine kernels,
+//!   MLPs the masked GEMM, and the tree ensembles
+//!   route splits through `predict_value_masked` — each bit-identical to
+//!   predicting the materialized coalition view. k-NN and naive Bayes keep
+//!   the gather-into-scratch default (their batch path *is* the scalar
+//!   row loop, so the default is already canonical).
 
 use std::any::Any;
 
@@ -52,11 +60,96 @@ macro_rules! classifier_oracle {
     };
 }
 
-classifier_oracle!(DecisionTree);
-classifier_oracle!(RandomForest);
-classifier_oracle!(Gbdt);
 classifier_oracle!(Knn);
 classifier_oracle!(GaussianNb);
+
+/// Appends `masks.len() × background.rows()` masked predictions to `out`
+/// (coalition-major), evaluating each mask's chunk with `fill`. The shared
+/// skeleton of every per-model `predict_masked` override.
+fn masked_chunks(
+    background: &Matrix,
+    masks: &[u64],
+    out: &mut Vec<f64>,
+    mut fill: impl FnMut(u64, &mut [f64]),
+) {
+    let b = background.rows();
+    out.clear();
+    out.resize(masks.len() * b, 0.0);
+    for (ci, &mask) in masks.iter().enumerate() {
+        fill(mask, &mut out[ci * b..(ci + 1) * b]);
+    }
+}
+
+impl ModelOracle for DecisionTree {
+    fn n_features(&self) -> usize {
+        Model::n_features(self)
+    }
+    fn predict(&self, x: &[f64]) -> f64 {
+        Classifier::proba_one(self, x)
+    }
+    fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
+        Classifier::proba_batch(self, rows)
+    }
+    fn predict_masked(&self, instance: &[f64], background: &Matrix, masks: &[u64], out: &mut Vec<f64>) {
+        masked_chunks(background, masks, out, |mask, chunk| {
+            for (bi, o) in chunk.iter_mut().enumerate() {
+                *o = self.predict_value_masked(instance, background.row(bi), mask);
+            }
+        });
+    }
+    fn as_any(&self) -> Option<&dyn Any> {
+        Some(self)
+    }
+}
+
+impl ModelOracle for RandomForest {
+    fn n_features(&self) -> usize {
+        Model::n_features(self)
+    }
+    fn predict(&self, x: &[f64]) -> f64 {
+        Classifier::proba_one(self, x)
+    }
+    fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
+        Classifier::proba_batch(self, rows)
+    }
+    fn predict_masked(&self, instance: &[f64], background: &Matrix, masks: &[u64], out: &mut Vec<f64>) {
+        masked_chunks(background, masks, out, |mask, chunk| {
+            self.predict_values_masked(instance, background, mask, chunk);
+        });
+    }
+    fn as_any(&self) -> Option<&dyn Any> {
+        Some(self)
+    }
+}
+
+impl ModelOracle for Gbdt {
+    fn n_features(&self) -> usize {
+        Model::n_features(self)
+    }
+    fn predict(&self, x: &[f64]) -> f64 {
+        Classifier::proba_one(self, x)
+    }
+    fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
+        Classifier::proba_batch(self, rows)
+    }
+    /// Masked margins plus the classifier head, applied per value in the
+    /// same order as `Classifier::proba_batch` — bit-identical either way.
+    fn predict_masked(&self, instance: &[f64], background: &Matrix, masks: &[u64], out: &mut Vec<f64>) {
+        use crate::gbdt::GbdtLoss;
+        masked_chunks(background, masks, out, |mask, chunk| {
+            self.margin_masked_into(instance, background, mask, chunk);
+            for o in chunk.iter_mut() {
+                *o = match self.loss() {
+                    GbdtLoss::Squared => o.clamp(0.0, 1.0),
+                    GbdtLoss::Logistic => xai_data::sigmoid(*o),
+                };
+            }
+        });
+    }
+    fn as_any(&self) -> Option<&dyn Any> {
+        Some(self)
+    }
+}
 
 impl ModelOracle for LinearRegression {
     fn n_features(&self) -> usize {
@@ -67,6 +160,13 @@ impl ModelOracle for LinearRegression {
     }
     fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
         Regressor::predict_batch(self, rows)
+    }
+    /// One whole-round call into the hoisted masked mat-vec kernel —
+    /// bit-identical to the per-mask `predict_masked_into` loop.
+    fn predict_masked(&self, instance: &[f64], background: &Matrix, masks: &[u64], out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(masks.len() * background.rows(), 0.0);
+        self.predict_masked_many_into(instance, background, masks, out);
     }
     fn gradient(&self, _x: &[f64]) -> Option<Vec<f64>> {
         Some(self.coef().to_vec())
@@ -85,6 +185,17 @@ impl ModelOracle for LogisticRegression {
     }
     fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
         Classifier::proba_batch(self, rows)
+    }
+    /// Masked margins for the whole round through the hoisted bias-first
+    /// kernel, then the sigmoid — the same composition as
+    /// `Classifier::proba_batch`, bit-identical to the per-mask loop.
+    fn predict_masked(&self, instance: &[f64], background: &Matrix, masks: &[u64], out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(masks.len() * background.rows(), 0.0);
+        self.margin_masked_many_into(instance, background, masks, out);
+        for o in out.iter_mut() {
+            *o = xai_data::sigmoid(*o);
+        }
     }
     /// `∂p/∂x = p(1−p)·w` — the same formula the Wachter and saliency
     /// adapters use, so gradient methods are bit-identical either way.
@@ -107,6 +218,20 @@ impl ModelOracle for Mlp {
     }
     fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
         Classifier::proba_batch(self, rows)
+    }
+    /// Masked raw outputs through the masked GEMM, then the classifier
+    /// head per value in `proba_batch` order — bit-identical either way.
+    fn predict_masked(&self, instance: &[f64], background: &Matrix, masks: &[u64], out: &mut Vec<f64>) {
+        use crate::mlp::MlpTask;
+        masked_chunks(background, masks, out, |mask, chunk| {
+            self.raw_masked_into(instance, background, mask, chunk);
+            for o in chunk.iter_mut() {
+                *o = match self.task() {
+                    MlpTask::Regression => o.clamp(0.0, 1.0),
+                    MlpTask::Classification => xai_data::sigmoid(*o),
+                };
+            }
+        });
     }
     fn gradient(&self, x: &[f64]) -> Option<Vec<f64>> {
         Some(self.input_gradient(x))

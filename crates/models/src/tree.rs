@@ -304,6 +304,26 @@ impl DecisionTree {
         self.nodes[self.leaf_of(x)].value
     }
 
+    /// Raw value prediction for a coalition view (zero-copy, DESIGN.md
+    /// §12): each split reads `instance[f]` when bit `f` of `mask` is set
+    /// and `row[f]` otherwise — the same comparisons [`DecisionTree::leaf_of`]
+    /// would make on the materialized mixture, so the leaf (and its value)
+    /// is identical without building the mixed row.
+    pub fn predict_value_masked(&self, instance: &[f64], row: &[f64], mask: u64) -> f64 {
+        let mut id = 0;
+        loop {
+            let node = &self.nodes[id];
+            match (node.left, node.right) {
+                (Some(l), Some(r)) => {
+                    let f = node.feature;
+                    let xv = if mask >> f & 1 == 1 { instance[f] } else { row[f] };
+                    id = if xv <= node.threshold { l } else { r };
+                }
+                _ => return node.value,
+            }
+        }
+    }
+
     /// Leaf index for every row of `x`, by node-at-a-time traversal: the
     /// row set moves down the tree together, so each node's split is
     /// loaded once per *batch* instead of once per row. Routing decisions

@@ -1,9 +1,11 @@
-//! Batched coalition evaluation.
+//! Batched coalition evaluation: the [`BatchGame`] abstraction plus its
+//! **materializing** implementation.
 //!
 //! The Monte-Carlo estimators spend essentially all of their time asking a
 //! game for coalition values, and for prediction games each such call
 //! assembles `|background|` perturbed rows and feeds them through the
-//! model one row at a time. This module is the batched alternative:
+//! model one row at a time. This module holds the trait that amortizes
+//! that cost and one of two strategies for implementing it:
 //!
 //! - [`BatchGame`] extends [`CooperativeGame`] with a many-coalitions-in /
 //!   many-values-out entry point;
@@ -11,16 +13,36 @@
 //!   sampling round into one [`Matrix`] and makes a single call through a
 //!   batched model surface (`Fn(&Matrix) -> Vec<f64>`, see
 //!   `xai_models::BatchPredictFn`);
-//! - [`CachedGame`] memoizes coalition values by bitmask, so repeated
-//!   subsets hit a hash map instead of the model.
+//! - [`CachedGame`] memoizes coalition values by bitmask *within one
+//!   game instance*, so repeated subsets hit a hash map instead of the
+//!   model.
 //!
-//! Everything here preserves the workspace determinism contract *bitwise*:
-//! a batched estimator run equals its scalar counterpart bit-for-bit at
-//! the same seed and worker count (`tests/batch_equivalence.rs`), because
+//! Materialization is **not** the only strategy, and since the zero-copy
+//! layer (DESIGN.md §12) it is no longer the default one. Which path a
+//! `batched: true` plan takes is decided in `explainer.rs`:
+//!
+//! - **≤ 64 features and a [`xai_core::ModelOracle`]** — the unified
+//!   explainers build a [`crate::masked::MaskedPredictionGame`], which
+//!   encodes each coalition as a `u64` bitmask and evaluates it through
+//!   `ModelOracle::predict_masked` with **no perturbed row ever copied**
+//!   (masked kernels in `xai_linalg::batch`, arena scratch for outputs).
+//!   When the request carries a shared [`xai_core::CoalitionMemo`] handle,
+//!   the game is additionally wrapped in a
+//!   [`crate::masked::MemoGame`] — the cross-request generalization of
+//!   [`CachedGame`].
+//! - **> 64 features, or callers holding only a closure** — the
+//!   [`BatchPredictionGame`] here, which trades one big allocation for
+//!   batched inference and works at any arity. The legacy `*_batched`
+//!   free-function twins also remain on this path.
+//!
+//! Everything on either path preserves the workspace determinism contract
+//! *bitwise*: a batched estimator run equals its scalar counterpart
+//! bit-for-bit at the same seed and worker count
+//! (`tests/batch_equivalence.rs`, `tests/masked_equivalence.rs`), because
 //! (a) randomness is always drawn before evaluation and evaluation never
 //! consumes randomness, (b) per-coalition averaging keeps the background
-//! accumulation order, and (c) the batched model kernels are themselves
-//! bit-identical to the scalar predictors.
+//! accumulation order, and (c) the batched and masked model kernels are
+//! themselves bit-identical to the scalar predictors.
 
 use crate::game::{CooperativeGame, TableGame};
 use std::collections::HashMap;

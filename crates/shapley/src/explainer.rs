@@ -31,9 +31,10 @@ use xai_rand::child_seed;
 use xai_rand::rngs::StdRng;
 use xai_rand::SeedableRng;
 
-use crate::batch::BatchPredictionGame;
+use crate::batch::{BatchGame, BatchPredictionGame};
 use crate::exact::{exact_shapley, MAX_EXACT_PLAYERS};
 use crate::game::PredictionGame;
+use crate::masked::{MaskedPredictionGame, MemoGame, MAX_MASKED_PLAYERS};
 use crate::kernel::{
     self, try_kernel_shap, try_kernel_shap_batched, try_kernel_shap_batched_parallel,
     try_kernel_shap_budgeted, try_kernel_shap_parallel, KernelShap, KernelShapConfig,
@@ -75,6 +76,36 @@ fn endpoints(
         });
     }
     Ok((base, pred))
+}
+
+/// Runs `f` over the coalition game a `batched: true` plan selects: the
+/// zero-copy [`MaskedPredictionGame`] whenever the arity fits the `u64`
+/// coalition bitmask (wrapped in a [`MemoGame`] when the request carries a
+/// shared memo handle), and the materializing [`BatchPredictionGame`]
+/// above [`MAX_MASKED_PLAYERS`] features, where no bitmask exists. All
+/// three games are bit-identical at every seed and worker count, so this
+/// choice is pure mechanics — see `crates/shapley/src/batch.rs` docs.
+fn with_batched_game<R>(
+    model: &dyn ModelOracle,
+    instance: &[f64],
+    background: &Matrix,
+    memo: Option<xai_core::MemoHandle<'_>>,
+    f: impl FnOnce(&(dyn BatchGame + Sync)) -> R,
+) -> R {
+    if instance.len() <= MAX_MASKED_PLAYERS {
+        let game = MaskedPredictionGame::new(model, instance, background);
+        match memo {
+            Some(h) => {
+                let key = xai_core::GameKey::derive(h.model_fingerprint, background, instance);
+                f(&MemoGame::new(&game, h.memo, key))
+            }
+            None => f(&game),
+        }
+    } else {
+        let fb = |m: &Matrix| model.predict_batch(m);
+        let game = BatchPredictionGame::new(&fb, instance, background);
+        f(&game)
+    }
 }
 
 fn reject_budget(method: &str, req: &ExplainRequest<'_>) -> XaiResult<()> {
@@ -162,7 +193,6 @@ impl Explainer for PermutationShapleyMethod {
         validate::background("permutation Shapley", instance, background)?;
         let plan = req.plan;
         let f = |x: &[f64]| model.predict(x);
-        let fb = |m: &Matrix| model.predict_batch(m);
         let sampled = if plan.budgeted() {
             if plan.parallel() || plan.batched {
                 return Err(XaiError::Unsupported {
@@ -179,10 +209,9 @@ impl Explainer for PermutationShapleyMethod {
                     let game = PredictionGame::new(&f, instance, background);
                     try_permutation_shapley(&game, self.permutations, plan.seed)?
                 }
-                (false, true) => {
-                    let game = BatchPredictionGame::new(&fb, instance, background);
-                    try_permutation_shapley_batched(&game, self.permutations, plan.seed)?
-                }
+                (false, true) => with_batched_game(model, instance, background, req.memo, |game| {
+                    try_permutation_shapley_batched(game, self.permutations, plan.seed)
+                })?,
                 (true, false) => {
                     let game = PredictionGame::new(&f, instance, background);
                     try_permutation_shapley_parallel(
@@ -192,15 +221,14 @@ impl Explainer for PermutationShapleyMethod {
                         plan.workers,
                     )?
                 }
-                (true, true) => {
-                    let game = BatchPredictionGame::new(&fb, instance, background);
+                (true, true) => with_batched_game(model, instance, background, req.memo, |game| {
                     try_permutation_shapley_batched_parallel(
-                        &game,
+                        game,
                         self.permutations,
                         plan.seed,
                         plan.workers,
-                    )?
-                }
+                    )
+                })?,
             }
         };
         let (base, pred) = endpoints(model, instance, background)?;
@@ -324,11 +352,11 @@ impl KernelShapMethod {
         model: &dyn ModelOracle,
         instance: &[f64],
         background: &Matrix,
-        plan: &xai_core::RunConfig,
+        req: &ExplainRequest<'_>,
     ) -> XaiResult<KernelShap> {
+        let plan = &req.plan;
         let config = KernelShapConfig { seed: plan.seed, ..self.config };
         let f = |x: &[f64]| model.predict(x);
-        let fb = |m: &Matrix| model.predict_batch(m);
         if plan.budgeted() {
             if plan.parallel() || plan.batched {
                 return Err(XaiError::Unsupported {
@@ -345,18 +373,16 @@ impl KernelShapMethod {
                 let game = PredictionGame::new(&f, instance, background);
                 try_kernel_shap(&game, config)
             }
-            (false, true) => {
-                let game = BatchPredictionGame::new(&fb, instance, background);
-                try_kernel_shap_batched(&game, config)
-            }
+            (false, true) => with_batched_game(model, instance, background, req.memo, |game| {
+                try_kernel_shap_batched(game, config)
+            }),
             (true, false) => {
                 let game = PredictionGame::new(&f, instance, background);
                 try_kernel_shap_parallel(&game, config, plan.workers)
             }
-            (true, true) => {
-                let game = BatchPredictionGame::new(&fb, instance, background);
-                try_kernel_shap_batched_parallel(&game, config, plan.workers)
-            }
+            (true, true) => with_batched_game(model, instance, background, req.memo, |game| {
+                try_kernel_shap_batched_parallel(game, config, plan.workers)
+            }),
         }
     }
 }
@@ -370,7 +396,7 @@ impl Explainer for KernelShapMethod {
         let instance = req.need_instance("Kernel SHAP")?;
         let background = req.background_or_data();
         validate::background("kernel SHAP", instance, background)?;
-        let ks = self.run(model, instance, background, &req.plan)?;
+        let ks = self.run(model, instance, background, req)?;
         if ks.degraded && req.plan.degradation == DegradationPolicy::Strict {
             return Err(XaiError::SingularSystem {
                 context: "kernel SHAP solve needed ridge escalation; \

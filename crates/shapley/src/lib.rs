@@ -16,10 +16,14 @@
 //! | [`flow`] | edge-level Shapley credit on the causal DAG | `O(2^E)` |
 //! | [`global`] | local→global aggregation | linear |
 //! | [`batch`] | batched coalition evaluation + memo cache | — |
+//! | [`masked`] | zero-copy masked evaluation + cross-request memo | — |
 //!
 //! The Monte-Carlo estimators each have a `*_batched` twin that accepts a
 //! [`batch::BatchGame`] and materializes whole sampling rounds into single
-//! model calls; at the same seed the twins are bit-identical.
+//! model calls; at the same seed the twins are bit-identical. For models
+//! with a [`xai_core::ModelOracle`] surface and ≤ 64 features, the batched
+//! path routes through [`masked::MaskedPredictionGame`], which evaluates
+//! coalitions zero-copy — still bit-identical at every seed.
 pub mod asymmetric;
 pub mod batch;
 pub mod causal;
@@ -31,6 +35,7 @@ pub mod game;
 pub mod global;
 pub mod interaction;
 pub mod kernel;
+pub mod masked;
 pub mod owen;
 pub mod qii;
 pub mod sampling;
@@ -46,6 +51,7 @@ pub use explainer::{
 };
 pub use flow::{shapley_flow, FlowEdge, ShapleyFlow};
 pub use game::{CooperativeGame, PredictionGame, TableGame};
+pub use masked::{coalition_mask, MaskedPredictionGame, MemoGame, MAX_MASKED_PLAYERS};
 pub use interaction::{exact_interactions, model_interactions, InteractionMatrix};
 pub use global::{
     aggregate_local, gbdt_global_importance, kernel_shap_attribution,

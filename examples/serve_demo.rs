@@ -19,6 +19,7 @@ fn main() {
         workers: 4,
         queue_capacity: 128,
         cache_capacity: 64,
+        memo_capacity: 65_536,
     }));
 
     // Register two models over the same credit data. Fingerprints come

@@ -68,6 +68,15 @@ cargo test -q -p xai-models --test properties
 echo "==> cargo bench -p xai-bench --no-run (compile only)"
 cargo bench -p xai-bench --no-run
 
+# Advisory bench regression gate: reruns the Shapley bench suite and
+# diffs medians against the checked-in baselines (scripts/bench_gate.sh,
+# DESIGN.md §12). Shared CI hosts have noisy clocks, so a timing
+# regression warns here rather than failing the build; run the gate
+# directly on quiet hardware before trusting a red result.
+echo "==> scripts/bench_gate.sh (bench regression gate, advisory only)"
+sh scripts/bench_gate.sh \
+    || echo "ci.sh: bench gate reported regressions (advisory only)"
+
 # The unified-layer example doubles as an end-to-end smoke test of the
 # runnable registry: every resolve() axis is exercised against a live
 # model, and the budgeted/strict plan path runs for real.

@@ -21,7 +21,7 @@ const PLAN_WORKERS: [usize; 3] = [1, 2, 4];
 
 #[test]
 fn every_runnable_method_serves_bit_identically_to_direct_explain() {
-    let fx = fixture_with(ServiceConfig { workers: 2, queue_capacity: 64, cache_capacity: 256 });
+    let fx = fixture_with(ServiceConfig { workers: 2, queue_capacity: 64, cache_capacity: 256, memo_capacity: 4096 });
     let names = fx.service.registry().runnable_names();
     assert_eq!(names.len(), 17, "the sweep must cover every runnable method");
 
@@ -64,7 +64,7 @@ fn every_runnable_method_serves_bit_identically_to_direct_explain() {
 
 #[test]
 fn cache_hits_are_byte_equal_to_their_cold_miss() {
-    let fx = fixture_with(ServiceConfig { workers: 2, queue_capacity: 64, cache_capacity: 64 });
+    let fx = fixture_with(ServiceConfig { workers: 2, queue_capacity: 64, cache_capacity: 64, memo_capacity: 4096 });
     let methods = [
         "Kernel SHAP",
         "LIME",
@@ -144,7 +144,7 @@ fn validation_errors_are_typed_and_never_consume_queue_capacity() {
 
 #[test]
 fn budgeted_requests_serve_partial_results_or_typed_exhaustion() {
-    let fx = fixture_with(ServiceConfig { workers: 1, queue_capacity: 16, cache_capacity: 16 });
+    let fx = fixture_with(ServiceConfig { workers: 1, queue_capacity: 16, cache_capacity: 16, memo_capacity: 4096 });
 
     // A budgeted Kernel SHAP request truncates the coalition stream and
     // still matches the direct budgeted call byte-for-byte.
@@ -219,7 +219,7 @@ fn queue_full_is_typed_admission_control() {
     let data = xai::data::synth::german_credit(8, 1);
     let service = Arc::new(ExplanationService::new(
         common::cheap_registry(),
-        ServiceConfig { workers: 1, queue_capacity: 1, cache_capacity: 8 },
+        ServiceConfig { workers: 1, queue_capacity: 1, cache_capacity: 8, memo_capacity: 0 },
     ));
     service.register_model("gated", Arc::new(oracle), data.clone(), b"gated-model-v1");
 

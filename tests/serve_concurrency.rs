@@ -39,6 +39,7 @@ fn concurrent_clients_get_deterministic_bytes_and_balanced_counters() {
             workers: pool_workers,
             queue_capacity: 1024,
             cache_capacity: 256,
+            memo_capacity: 4096,
         });
         let requests = traffic(&fx);
         let expected: Vec<String> =
@@ -101,6 +102,7 @@ fn served_bytes_are_invariant_to_the_pool_size() {
             workers: pool_workers,
             queue_capacity: 64,
             cache_capacity: 64,
+            memo_capacity: 4096,
         });
         let payloads: Vec<String> = traffic(&fx)
             .iter()
@@ -119,7 +121,7 @@ fn served_bytes_are_invariant_to_the_pool_size() {
 fn a_dropped_service_answers_in_flight_work_before_joining() {
     // Submissions racing a drop either complete normally or see the
     // typed shutdown error — never a hang, never a poisoned panic.
-    let fx = fixture_with(ServiceConfig { workers: 2, queue_capacity: 64, cache_capacity: 64 });
+    let fx = fixture_with(ServiceConfig { workers: 2, queue_capacity: 64, cache_capacity: 64, memo_capacity: 4096 });
     let requests = traffic(&fx);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..4)
