@@ -31,6 +31,78 @@ use xai_rand::parallel::TaskPanic;
 /// `Result` alias used by every fallible (`try_*`) API in the workspace.
 pub type XaiResult<T> = Result<T, XaiError>;
 
+/// Stable cause discriminator for [`XaiError::Io`]. Transport supervision
+/// (retry, hedging, circuit breaking) branches on *why* an I/O operation
+/// failed — a refused connection means the endpoint is down, a timeout
+/// means it may be merely slow — so the cause must be matchable, not
+/// buried in the context string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IoKind {
+    /// The peer actively refused the connection (nothing listening).
+    Refused,
+    /// The connection was established and then torn down mid-stream
+    /// (reset, aborted, broken pipe).
+    Reset,
+    /// The operation hit an OS-level timeout (connect or socket
+    /// read/write deadline).
+    Timeout,
+    /// The stream ended before a complete unit (frame, file) arrived.
+    ShortRead,
+    /// The named file or executable does not exist.
+    NotFound,
+    /// Any other OS error (permissions, disk full, …).
+    Other,
+}
+
+impl IoKind {
+    /// The canonical lower-snake name, used on the wire and in `Display`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IoKind::Refused => "refused",
+            IoKind::Reset => "reset",
+            IoKind::Timeout => "timeout",
+            IoKind::ShortRead => "short_read",
+            IoKind::NotFound => "not_found",
+            IoKind::Other => "other",
+        }
+    }
+
+    /// Parses the canonical name back; `None` for unknown strings.
+    pub fn parse(name: &str) -> Option<IoKind> {
+        Some(match name {
+            "refused" => IoKind::Refused,
+            "reset" => IoKind::Reset,
+            "timeout" => IoKind::Timeout,
+            "short_read" => IoKind::ShortRead,
+            "not_found" => IoKind::NotFound,
+            "other" => IoKind::Other,
+            _ => return None,
+        })
+    }
+
+    /// Classifies a [`std::io::Error`] by its OS error kind. `WouldBlock`
+    /// maps to [`IoKind::Timeout`] because the workspace only uses
+    /// blocking sockets with read/write deadlines, where the OS reports
+    /// an expired deadline as `WouldBlock` on Unix.
+    pub fn classify(e: &std::io::Error) -> IoKind {
+        use std::io::ErrorKind as K;
+        match e.kind() {
+            K::ConnectionRefused => IoKind::Refused,
+            K::ConnectionReset | K::ConnectionAborted | K::BrokenPipe => IoKind::Reset,
+            K::TimedOut | K::WouldBlock => IoKind::Timeout,
+            K::UnexpectedEof => IoKind::ShortRead,
+            K::NotFound => IoKind::NotFound,
+            _ => IoKind::Other,
+        }
+    }
+}
+
+impl std::fmt::Display for IoKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Unified error type for the explanation pipeline.
 #[derive(Clone, Debug, PartialEq)]
 pub enum XaiError {
@@ -80,9 +152,14 @@ pub enum XaiError {
         /// The captured panic message.
         message: String,
     },
-    /// An I/O operation (model/dataset file read or write) failed.
+    /// An I/O operation (model/dataset file access, a socket to a shard
+    /// worker) failed. The [`IoKind`] discriminator is stable: retry and
+    /// supervision logic matches on it instead of grepping the context.
     Io {
-        /// Path and OS error.
+        /// What failed, mechanically — refused, reset, timed out, short
+        /// read, not found, or other.
+        kind: IoKind,
+        /// Path/endpoint and OS error.
         context: String,
     },
     /// Persisted or textual input (CSV, JSON model files) failed to parse.
@@ -123,13 +200,26 @@ impl std::fmt::Display for XaiError {
             XaiError::WorkerPanic { task, message } => {
                 write!(f, "worker task {task} panicked: {message}")
             }
-            XaiError::Io { context } => write!(f, "io error: {context}"),
+            XaiError::Io { kind, context } => write!(f, "io error ({kind}): {context}"),
             XaiError::Parse { context } => write!(f, "parse error: {context}"),
             XaiError::Unsupported { context } => write!(f, "unsupported request: {context}"),
             XaiError::QueueFull { capacity } => {
                 write!(f, "submission rejected: serving queue full (capacity {capacity})")
             }
         }
+    }
+}
+
+impl XaiError {
+    /// Builds an [`XaiError::Io`] with an explicit kind.
+    pub fn io(kind: IoKind, context: impl Into<String>) -> XaiError {
+        XaiError::Io { kind, context: context.into() }
+    }
+
+    /// Builds an [`XaiError::Io`] from a [`std::io::Error`], classifying
+    /// the kind via [`IoKind::classify`] and appending the OS message.
+    pub fn from_io(e: &std::io::Error, context: impl std::fmt::Display) -> XaiError {
+        XaiError::Io { kind: IoKind::classify(e), context: format!("{context}: {e}") }
     }
 }
 
@@ -157,7 +247,7 @@ impl From<TaskPanic> for XaiError {
 impl From<CsvError> for XaiError {
     fn from(e: CsvError) -> Self {
         match e {
-            CsvError::Io { .. } => XaiError::Io { context: e.to_string() },
+            CsvError::Io { .. } => XaiError::Io { kind: IoKind::Other, context: e.to_string() },
             _ => XaiError::Parse { context: format!("csv: {e}") },
         }
     }

@@ -30,7 +30,12 @@
 //! - [`shard`] — deterministic shard plans (DESIGN.md §11): an
 //!   estimator's random draws partitioned into serializable
 //!   [`shard::ShardDescriptor`]s whose partials merge bit-identically to
-//!   the unsharded run, in-process or across worker processes.
+//!   the unsharded run, in-process or across worker processes;
+//! - [`transport`] — the multi-node shard transport (DESIGN.md §13): a
+//!   zero-dependency length-prefixed TCP protocol shipping descriptors to
+//!   remote daemons, wrapped in a failure-first [`transport::ClusterRunner`]
+//!   with retry, hedging, circuit breaking, and graceful in-process
+//!   degradation.
 
 pub mod error;
 pub mod eval;
@@ -42,9 +47,10 @@ pub mod report;
 pub mod serve;
 pub mod shard;
 pub mod taxonomy;
+pub mod transport;
 pub mod validate;
 
-pub use error::{catch_model, BudgetMeter, SampleBudget, XaiError, XaiResult};
+pub use error::{catch_model, BudgetMeter, IoKind, SampleBudget, XaiError, XaiResult};
 pub use explainer::{
     CurveExplanation, DegradationPolicy, ExecPlan, ExplainRequest, Explainer, Explanation,
     FnOracle, ModelOracle, RunConfig, Utility,
@@ -61,6 +67,11 @@ pub use serve::{
 pub use shard::{
     build_descriptors, execute_descriptor, explain_sharded, merge_shard_results, shard_chunk_ranges,
     DrawGrid, ShardDescriptor, ShardResult, ShardableExplainer,
+};
+pub use transport::{
+    explain_cluster, read_frame, serve_connection, write_frame, BreakerState, ClusterConfig,
+    ClusterOutcome, ClusterRunner, ClusterStats, EndpointHealth, FallbackPolicy, HealthTracker,
+    RetryPolicy, FRAME_MAGIC, MAX_FRAME_BYTES,
 };
 pub use taxonomy::{
     method_card, workspace_registry, Access, ExplanationForm, MethodCard, Registry, Scope,

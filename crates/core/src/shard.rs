@@ -808,29 +808,30 @@ pub fn merge_shard_results(
 /// worker processes can report typed failures on stdout and still exit
 /// cleanly.
 pub fn error_to_json(e: &XaiError) -> Json {
-    let (class, context, detail) = match e {
-        XaiError::NonFiniteInput { context } => ("non_finite_input", context.clone(), None),
-        XaiError::SingularSystem { context } => ("singular_system", context.clone(), None),
+    let (class, context, detail, io_kind) = match e {
+        XaiError::NonFiniteInput { context } => ("non_finite_input", context.clone(), None, None),
+        XaiError::SingularSystem { context } => ("singular_system", context.clone(), None, None),
         XaiError::ConvergenceFailure { context, iterations } => {
-            ("convergence_failure", context.clone(), Some(*iterations as f64))
+            ("convergence_failure", context.clone(), Some(*iterations as f64), None)
         }
-        XaiError::ModelFault { context } => ("model_fault", context.clone(), None),
+        XaiError::ModelFault { context } => ("model_fault", context.clone(), None, None),
         XaiError::BudgetExceeded { context, completed } => {
-            ("budget_exceeded", context.clone(), Some(*completed as f64))
+            ("budget_exceeded", context.clone(), Some(*completed as f64), None)
         }
         XaiError::WorkerPanic { task, message } => {
-            ("worker_panic", message.clone(), Some(*task as f64))
+            ("worker_panic", message.clone(), Some(*task as f64), None)
         }
-        XaiError::Io { context } => ("io", context.clone(), None),
-        XaiError::Parse { context } => ("parse", context.clone(), None),
-        XaiError::Unsupported { context } => ("unsupported", context.clone(), None),
+        XaiError::Io { kind, context } => ("io", context.clone(), None, Some(*kind)),
+        XaiError::Parse { context } => ("parse", context.clone(), None, None),
+        XaiError::Unsupported { context } => ("unsupported", context.clone(), None, None),
         XaiError::QueueFull { capacity } => {
-            ("queue_full", String::new(), Some(*capacity as f64))
+            ("queue_full", String::new(), Some(*capacity as f64), None)
         }
     };
     Json::obj(vec![
         ("kind", Json::str("shard_error")),
         ("class", Json::str(class)),
+        ("io_kind", io_kind.map_or(Json::Null, |k| Json::str(k.as_str()))),
         ("context", Json::str(context)),
         ("detail", detail.map_or(Json::Null, Json::Num)),
     ])
@@ -877,7 +878,12 @@ pub fn error_from_json(json: &Json) -> XaiResult<XaiError> {
             task: need_detail("worker_panic")?,
             message: context,
         },
-        "io" => XaiError::Io { context },
+        "io" => {
+            let name = str_field(json, "io_kind", WHAT)?;
+            let kind = crate::error::IoKind::parse(&name)
+                .ok_or_else(|| wire_error(format!("{WHAT}: unknown io_kind '{name}'")))?;
+            XaiError::Io { kind, context }
+        }
         "parse" => XaiError::Parse { context },
         "unsupported" => XaiError::Unsupported { context },
         "queue_full" => XaiError::QueueFull { capacity: need_detail("queue_full")? },
@@ -930,7 +936,12 @@ mod tests {
             XaiError::ModelFault { context: "m".into() },
             XaiError::BudgetExceeded { context: "b".into(), completed: 3 },
             XaiError::WorkerPanic { task: 2, message: "boom".into() },
-            XaiError::Io { context: "i".into() },
+            XaiError::Io { kind: crate::error::IoKind::Refused, context: "i".into() },
+            XaiError::Io { kind: crate::error::IoKind::Reset, context: "i".into() },
+            XaiError::Io { kind: crate::error::IoKind::Timeout, context: "i".into() },
+            XaiError::Io { kind: crate::error::IoKind::ShortRead, context: "i".into() },
+            XaiError::Io { kind: crate::error::IoKind::NotFound, context: "i".into() },
+            XaiError::Io { kind: crate::error::IoKind::Other, context: "i".into() },
             XaiError::Parse { context: "p".into() },
             XaiError::Unsupported { context: "u".into() },
             XaiError::QueueFull { capacity: 8 },

@@ -37,9 +37,8 @@ pub fn save_to_file<M: Persist>(
     path: impl AsRef<std::path::Path>,
 ) -> xai_core::XaiResult<()> {
     let path = path.as_ref();
-    std::fs::write(path, model.save().to_json()).map_err(|e| xai_core::XaiError::Io {
-        context: format!("{}: {e}", path.display()),
-    })
+    std::fs::write(path, model.save().to_json())
+        .map_err(|e| xai_core::XaiError::from_io(&e, path.display()))
 }
 
 /// Loads a model from a JSON file. A missing file comes back as
@@ -47,9 +46,8 @@ pub fn save_to_file<M: Persist>(
 /// [`xai_core::XaiError::Parse`] — never a process abort.
 pub fn load_from_file<M: Persist>(path: impl AsRef<std::path::Path>) -> xai_core::XaiResult<M> {
     let path = path.as_ref();
-    let text = std::fs::read_to_string(path).map_err(|e| xai_core::XaiError::Io {
-        context: format!("{}: {e}", path.display()),
-    })?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| xai_core::XaiError::from_io(&e, path.display()))?;
     let json = xai_core::parse_json(&text)?;
     Ok(M::load(&json)?)
 }

@@ -45,6 +45,15 @@ if [ "${XAI_REGEN_BENCH:-0}" = "1" ]; then
     exit 0
 fi
 
+# A fresh checkout (or a wiped target/) has no baselines to gate
+# against: that is a warning, not a failure — regenerate and commit
+# baselines to arm the gate.
+if [ ! -d "$BASELINE_DIR" ] || ! ls "$BASELINE_DIR"/*.json >/dev/null 2>&1; then
+    echo "bench_gate.sh: WARNING: no baseline JSONs under $BASELINE_DIR; skipping the gate" >&2
+    echo "bench_gate.sh: run 'XAI_REGEN_BENCH=1 scripts/bench_gate.sh' and commit the baselines to arm it" >&2
+    exit 0
+fi
+
 echo "==> bench_diff (threshold ${THRESHOLD}%)"
 cargo run -q --release -p xai-bench --bin bench_diff -- \
     "$BASELINE_DIR" "$CANDIDATE_DIR" "$THRESHOLD"

@@ -53,6 +53,15 @@ cargo test -q --test shard_golden
 echo "==> cargo test -q --test shard_faults"
 cargo test -q --test shard_faults
 
+echo "==> cargo test -q --test transport_equivalence"
+cargo test -q --test transport_equivalence
+
+echo "==> cargo test -q --test transport_faults"
+cargo test -q --test transport_faults
+
+echo "==> cargo test -q --test transport_soak"
+cargo test -q --test transport_soak
+
 echo "==> cargo test -q -p xai-core --test shard_plan"
 cargo test -q -p xai-core --test shard_plan
 
@@ -92,6 +101,12 @@ cargo run --release --example serve_demo >/dev/null
 # in-process sharded and OS-process-pool runs must emit identical bytes.
 echo "==> cargo run --release --example shard_demo"
 cargo run --release --example shard_demo >/dev/null
+
+# The cluster demo proves the multi-node transport end to end: two real
+# loopback daemons, TCP-shipped descriptors, retry/breaker supervision,
+# and graceful in-process degradation — all bit-identical bytes.
+echo "==> cargo run --release --example cluster_demo"
+cargo run --release --example cluster_demo >/dev/null
 
 # Advisory deprecation audit: the legacy batched/parallel twins are
 # deprecated in favour of the unified explainer layer (DESIGN.md §9).

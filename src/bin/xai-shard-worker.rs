@@ -1,8 +1,23 @@
-//! Shard worker process: reads one `ShardDescriptor` as JSON on stdin,
-//! writes one canonical `ShardResult` (or a shard error envelope) on
-//! stdout. Spawned by `xai::shard::explain_process_pool`; see
-//! DESIGN.md §11.
+//! Shard worker process, in two modes:
+//!
+//! - **stdin mode** (no arguments): reads one `ShardDescriptor` as JSON
+//!   on stdin, writes one canonical `ShardResult` (or a shard error
+//!   envelope) on stdout. Spawned by `xai::shard::explain_process_pool`;
+//!   see DESIGN.md §11.
+//! - **daemon mode** (`--listen addr:port`): serves descriptors over the
+//!   length-prefixed TCP shard transport, one per connection, until
+//!   killed. Use port `0` for an ephemeral port; the bound address is
+//!   announced as `listening on {addr}` on stdout. See DESIGN.md §13.
 
 fn main() {
-    std::process::exit(xai::shard::run_worker());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.as_slice() {
+        [] => xai::shard::run_worker(),
+        [flag, addr] if flag == "--listen" => xai::transport::run_daemon(addr),
+        _ => {
+            eprintln!("usage: xai-shard-worker [--listen addr:port]");
+            2
+        }
+    };
+    std::process::exit(code);
 }

@@ -31,6 +31,7 @@
 //! | [`unified`] | the runnable registry: every method behind one trait |
 //! | [`serve`] | the explanation-serving engine: requests as JSON, worker pool, result cache |
 //! | [`shard`] | deterministic shard plans and the process-pool runner (DESIGN.md §11) |
+//! | [`transport`] | the multi-node TCP shard transport and daemon (DESIGN.md §13) |
 //!
 //! ## Quickstart
 //!
@@ -76,6 +77,7 @@ pub use xai_surrogate as surrogate;
 
 pub mod serve;
 pub mod shard;
+pub mod transport;
 pub mod unified;
 
 /// The most commonly used items, importable in one line.
@@ -87,6 +89,10 @@ pub mod prelude {
     pub use crate::shard::{
         explain_process_pool, explain_sharded, shardable, PoolConfig, ShardDescriptor,
         ShardResult, ShardableExplainer,
+    };
+    pub use crate::transport::{
+        explain_cluster, ClusterConfig, ClusterOutcome, ClusterRunner, ClusterStats, DaemonHandle,
+        FallbackPolicy, RetryPolicy,
     };
     pub use crate::unified::{all_explainers, runnable_registry};
     pub use xai_core::{

@@ -218,8 +218,8 @@ fn spawn_worker(desc: &ShardDescriptor, pool: &PoolConfig) -> XaiResult<Running>
     for (k, v) in &pool.env {
         cmd.env(k, v);
     }
-    let mut child = cmd.spawn().map_err(|e| XaiError::Io {
-        context: format!("spawning shard worker '{}': {e}", pool.worker_exe.display()),
+    let mut child = cmd.spawn().map_err(|e| {
+        XaiError::from_io(&e, format_args!("spawning shard worker '{}'", pool.worker_exe.display()))
     })?;
     let mut stdin = child.stdin.take().expect("stdin was piped");
     let text = desc.to_json_string();
@@ -248,9 +248,10 @@ fn await_wave(wave: &mut [Running], pool: &PoolConfig, completed_before: usize) 
                     Ok(Some(st)) => r.status = Some(st),
                     Ok(None) => continue,
                     Err(e) => {
-                        return Err(XaiError::Io {
-                            context: format!("waiting for shard worker {}: {e}", r.shard),
-                        })
+                        return Err(XaiError::from_io(
+                            &e,
+                            format_args!("waiting for shard worker {}", r.shard),
+                        ))
                     }
                 }
             }
@@ -282,14 +283,16 @@ fn collect_worker(r: &mut Running) -> XaiResult<ShardResult> {
     let output = match r.reader.take().expect("reader not yet joined").join() {
         Ok(Ok(text)) => text,
         Ok(Err(e)) => {
-            return Err(XaiError::Io {
-                context: format!("reading shard worker {} stdout: {e}", r.shard),
-            })
+            return Err(XaiError::from_io(
+                &e,
+                format_args!("reading shard worker {} stdout", r.shard),
+            ))
         }
         Err(_) => {
-            return Err(XaiError::Io {
-                context: format!("shard worker {} stdout reader thread panicked", r.shard),
-            })
+            return Err(XaiError::io(
+                xai_core::IoKind::Other,
+                format!("shard worker {} stdout reader thread panicked", r.shard),
+            ))
         }
     };
     if let Some(w) = r.writer.take() {
@@ -367,7 +370,7 @@ pub fn explain_process_pool<M: ModelOracle + Persist>(
 // The worker side
 // ---------------------------------------------------------------------------
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     payload
         .downcast_ref::<&str>()
         .map(|s| (*s).to_string())
@@ -375,7 +378,11 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
         .unwrap_or_else(|| "shard worker panicked".into())
 }
 
-fn worker_execute(input: &str) -> XaiResult<ShardResult> {
+/// Executes one wire-form descriptor end to end: parse, rebuild the
+/// model (verifying the fingerprint), rebuild the method, run the chunk
+/// range. Shared by the stdin worker ([`run_worker`]) and the TCP daemon
+/// (`xai::transport`).
+pub fn execute_wire_text(input: &str) -> XaiResult<ShardResult> {
     let desc = ShardDescriptor::from_json_str(input)?;
     let model = resolve_model(&desc.model)?;
     let fingerprint = fingerprint_hex(model.save().to_json().as_bytes());
@@ -413,7 +420,7 @@ pub fn run_worker() -> i32 {
     }
     let mut input = String::new();
     if let Err(e) = std::io::stdin().read_to_string(&mut input) {
-        let err = XaiError::Io { context: format!("reading shard descriptor from stdin: {e}") };
+        let err = XaiError::from_io(&e, "reading shard descriptor from stdin");
         println!("{}", error_to_json(&err).to_json());
         return 0;
     }
@@ -421,7 +428,7 @@ pub fn run_worker() -> i32 {
         if fault == "panic" {
             panic!("injected shard worker fault");
         }
-        worker_execute(&input)
+        execute_wire_text(&input)
     }));
     let text = match outcome {
         Ok(Ok(result)) => result.to_json_string(),

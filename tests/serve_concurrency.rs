@@ -118,6 +118,103 @@ fn served_bytes_are_invariant_to_the_pool_size() {
 }
 
 #[test]
+fn memo_eviction_soak_keeps_bytes_and_counters_exact() {
+    // Hammer a service whose coalition memo is far too small for the
+    // traffic, forcing constant concurrent evictions, and hold the memo
+    // to its contract: it is *transparent* (every payload byte-identical
+    // to the direct run) and its counters balance exactly.
+    //
+    // The traffic is Kernel SHAP on the batched path (the only path that
+    // consults the memo) at many distinct seeds: distinct seeds defeat
+    // the result cache (every submission reaches the explainer) while
+    // still sharing memo keys, because coalition values are
+    // seed-independent. Each request's lookup count is deterministic, so
+    // summed over the whole set:
+    //   hits + misses (soak)  ==  hits + misses (unpressured baseline).
+    const CLIENTS: usize = 8;
+    const DISTINCT_SEEDS: u64 = 48;
+
+    let requests = |fx: &Fixture| -> Vec<ServeRequest> {
+        (0..DISTINCT_SEEDS)
+            .map(|seed| {
+                request_for(fx, "Kernel SHAP", RunConfig::seeded(seed).with_batched(true))
+            })
+            .collect()
+    };
+
+    // Baseline: a memo big enough to never evict, served sequentially —
+    // its hits + misses is the request set's total lookup count.
+    let baseline_fx = fixture_with(ServiceConfig {
+        workers: 1,
+        queue_capacity: 64,
+        cache_capacity: 256,
+        memo_capacity: 1 << 20,
+    });
+    let baseline_requests = requests(&baseline_fx);
+    let expected: Vec<String> =
+        baseline_requests.iter().map(|r| direct_payload(&baseline_fx, r)).collect();
+    for (request, payload) in baseline_requests.iter().zip(&expected) {
+        assert_eq!(&baseline_fx.service.submit(request).unwrap().payload, payload);
+    }
+    let baseline = baseline_fx.service.stats();
+    let total_lookups = baseline.memo_hits + baseline.memo_misses;
+    assert!(total_lookups > 0, "the batched path must consult the memo");
+    assert_eq!(baseline.memo_evictions, 0, "the baseline memo must never evict");
+
+    // Soak: a memo much smaller than the working set, hammered from
+    // eight threads, every distinct request served exactly once.
+    const MEMO_CAPACITY: usize = 256;
+    let fx = fixture_with(ServiceConfig {
+        workers: 4,
+        queue_capacity: 256,
+        cache_capacity: 256,
+        memo_capacity: MEMO_CAPACITY,
+    });
+    let soak_requests = requests(&fx);
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let fx = &fx;
+            let soak_requests = &soak_requests;
+            let expected = &expected;
+            scope.spawn(move || {
+                for (i, request) in soak_requests.iter().enumerate() {
+                    if i % CLIENTS != client {
+                        continue;
+                    }
+                    let response = fx.service.submit(request).unwrap();
+                    assert_eq!(
+                        response.payload, expected[i],
+                        "seed {i}: eviction pressure changed served bytes"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = fx.service.stats();
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.completed, DISTINCT_SEEDS);
+    // The memo's lookup stream is a deterministic function of the request
+    // set: under any interleaving the hit/miss *split* may move, but the
+    // total must balance against the disabled-memo baseline exactly.
+    assert_eq!(
+        stats.memo_hits + stats.memo_misses,
+        total_lookups,
+        "memo lookups leaked or vanished under eviction pressure"
+    );
+    assert!(
+        stats.memo_evictions > 0,
+        "a {MEMO_CAPACITY}-entry memo under {total_lookups} lookups must evict"
+    );
+    assert!(
+        fx.service.memo_len() <= MEMO_CAPACITY,
+        "memo grew past capacity: {} > {MEMO_CAPACITY}",
+        fx.service.memo_len()
+    );
+}
+
+#[test]
 fn a_dropped_service_answers_in_flight_work_before_joining() {
     // Submissions racing a drop either complete normally or see the
     // typed shutdown error — never a hang, never a poisoned panic.
