@@ -73,6 +73,11 @@ pub struct RunConfig {
     pub budget: SampleBudget,
     /// What to do when only a degraded estimate is available.
     pub degradation: DegradationPolicy,
+    /// Where the run executes ([`crate::backend::BackendChoice`]):
+    /// in-process (the default), the OS-process pool, or the TCP
+    /// cluster. Backends are bit-identical; this picks a substrate, not
+    /// a result.
+    pub backend: crate::backend::BackendChoice,
 }
 
 /// The tentpole alias: an execution plan *is* a run configuration.
@@ -86,6 +91,7 @@ impl Default for RunConfig {
             batched: false,
             budget: SampleBudget::unlimited(),
             degradation: DegradationPolicy::BestEffort,
+            backend: crate::backend::BackendChoice::Local,
         }
     }
 }
@@ -124,6 +130,12 @@ impl RunConfig {
     /// Switches to [`DegradationPolicy::Strict`].
     pub fn strict(mut self) -> Self {
         self.degradation = DegradationPolicy::Strict;
+        self
+    }
+
+    /// Selects the execution backend.
+    pub fn with_backend(mut self, backend: crate::backend::BackendChoice) -> Self {
+        self.backend = backend;
         self
     }
 

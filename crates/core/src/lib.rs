@@ -35,8 +35,14 @@
 //!   zero-dependency length-prefixed TCP protocol shipping descriptors to
 //!   remote daemons, wrapped in a failure-first [`transport::ClusterRunner`]
 //!   with retry, hedging, circuit breaking, and graceful in-process
-//!   degradation.
+//!   degradation;
+//! - [`backend`] — the unified execution substrate (DESIGN.md §14): the
+//!   object-safe [`backend::ExecutionBackend`] trait with
+//!   [`backend::LocalBackend`], [`backend::ProcessPoolBackend`] and
+//!   [`backend::ClusterBackend`] implementations, all merging shard
+//!   partials bit-identically, plus the shard-level result cache.
 
+pub mod backend;
 pub mod error;
 pub mod eval;
 pub mod explainer;
@@ -50,6 +56,11 @@ pub mod taxonomy;
 pub mod transport;
 pub mod validate;
 
+pub use backend::{
+    dispatch_local, execute_cluster, BackendChoice, BackendJob, BackendKind, BackendOutcome,
+    ClusterBackend, ExecutionBackend, LocalBackend, PoolConfig, ProcessPoolBackend, ShardCache,
+    ShardCacheStats,
+};
 pub use error::{catch_model, BudgetMeter, IoKind, SampleBudget, XaiError, XaiResult};
 pub use explainer::{
     CurveExplanation, DegradationPolicy, ExecPlan, ExplainRequest, Explainer, Explanation,

@@ -340,6 +340,7 @@ pub(crate) fn plan_to_json(p: &RunConfig) -> Json {
                 DegradationPolicy::Strict => "strict",
             }),
         ),
+        ("backend", p.backend.to_json()),
     ])
 }
 
@@ -350,7 +351,13 @@ pub(crate) fn parse_plan(json: &Json) -> XaiResult<RunConfig> {
     for (key, _) in fields {
         if !matches!(
             key.as_str(),
-            "seed" | "workers" | "batched" | "max_evals" | "max_duration_ms" | "degradation"
+            "seed"
+                | "workers"
+                | "batched"
+                | "max_evals"
+                | "max_duration_ms"
+                | "degradation"
+                | "backend"
         ) {
             return Err(perr(format!("ServeRequest plan: unknown field '{key}'")));
         }
@@ -404,6 +411,12 @@ pub(crate) fn parse_plan(json: &Json) -> XaiResult<RunConfig> {
                 ))
             }
         };
+    }
+    // Absent or null means the in-process default, so pre-backend wire
+    // forms keep parsing (and hashing) exactly as before.
+    match json.get("backend") {
+        None | Some(Json::Null) => {}
+        Some(v) => plan.backend = crate::backend::BackendChoice::from_json(v)?,
     }
     Ok(plan)
 }
@@ -700,6 +713,29 @@ pub struct ServeStats {
     pub memo_misses: u64,
     /// Coalition memo entries dropped by capacity eviction.
     pub memo_evictions: u64,
+    /// Requests executed to completion on the in-process [`LocalBackend`]
+    /// path (the default when a request carries no `backend` field).
+    ///
+    /// [`LocalBackend`]: crate::backend::LocalBackend
+    pub local_completed: u64,
+    /// Requests that failed while executing locally.
+    pub local_failed: u64,
+    /// Requests executed to completion on a registered process-pool backend.
+    pub pool_completed: u64,
+    /// Requests that failed on the process-pool backend.
+    pub pool_failed: u64,
+    /// Requests executed to completion on a registered cluster backend
+    /// (including degraded in-process fallbacks, which still complete).
+    pub cluster_completed: u64,
+    /// Requests that failed on the cluster backend.
+    pub cluster_failed: u64,
+    /// Requests whose cluster execution fell back in-process under
+    /// [`FallbackPolicy::InProcess`](crate::transport::FallbackPolicy).
+    pub degraded: u64,
+    /// Shard results answered from a backend's shard-level result cache.
+    pub shard_cache_hits: u64,
+    /// Shard results computed because the shard cache had no entry.
+    pub shard_cache_misses: u64,
 }
 
 impl ServeStats {
@@ -716,6 +752,15 @@ impl ServeStats {
             ("memo_hits", Json::Num(self.memo_hits as f64)),
             ("memo_misses", Json::Num(self.memo_misses as f64)),
             ("memo_evictions", Json::Num(self.memo_evictions as f64)),
+            ("local_completed", Json::Num(self.local_completed as f64)),
+            ("local_failed", Json::Num(self.local_failed as f64)),
+            ("pool_completed", Json::Num(self.pool_completed as f64)),
+            ("pool_failed", Json::Num(self.pool_failed as f64)),
+            ("cluster_completed", Json::Num(self.cluster_completed as f64)),
+            ("cluster_failed", Json::Num(self.cluster_failed as f64)),
+            ("degraded", Json::Num(self.degraded as f64)),
+            ("shard_cache_hits", Json::Num(self.shard_cache_hits as f64)),
+            ("shard_cache_misses", Json::Num(self.shard_cache_misses as f64)),
         ])
     }
 }
@@ -731,6 +776,11 @@ pub struct ServeResponse {
     pub fingerprint: u64,
     /// True when the payload came from the result cache.
     pub cached: bool,
+    /// True when a cluster-backed execution fell back in-process under
+    /// [`FallbackPolicy::InProcess`](crate::transport::FallbackPolicy).
+    /// The payload is still byte-identical to the non-degraded result;
+    /// this marker only records the substrate change.
+    pub degraded: bool,
     /// Canonical JSON of the explanation ([`Explanation::to_json_string`]).
     /// Cache hits return the exact bytes the cold miss stored.
     pub payload: String,
@@ -750,6 +800,7 @@ impl ServeResponse {
             ("model", Json::str(&*self.model)),
             ("fingerprint", Json::str(format!("{:016x}", self.fingerprint))),
             ("cached", Json::Bool(self.cached)),
+            ("degraded", Json::Bool(self.degraded)),
             (
                 "explanation",
                 parse_json(&self.payload).expect("payload is service-serialized JSON"),
@@ -818,6 +869,11 @@ struct RegisteredModel {
     oracle: Arc<dyn ModelOracle + Send + Sync>,
     data: Dataset,
     fingerprint: u64,
+    /// The persisted bytes parsed as JSON, when they are JSON — required
+    /// for non-local backends, which ship the model to workers by value.
+    /// Serializing this object reproduces the registered bytes exactly,
+    /// so worker-side fingerprint verification stays sound.
+    model_json: Option<Json>,
 }
 
 struct Slot {
@@ -844,6 +900,15 @@ struct StatCells {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_evictions: AtomicU64,
+    local_completed: AtomicU64,
+    local_failed: AtomicU64,
+    pool_completed: AtomicU64,
+    pool_failed: AtomicU64,
+    cluster_completed: AtomicU64,
+    cluster_failed: AtomicU64,
+    degraded: AtomicU64,
+    shard_cache_hits: AtomicU64,
+    shard_cache_misses: AtomicU64,
 }
 
 struct Inner {
@@ -855,6 +920,10 @@ struct Inner {
     cache: Mutex<LruCache>,
     memo: crate::memo::CoalitionMemo,
     stats: StatCells,
+    /// Execution backends registered via [`ExplanationService::set_backend`],
+    /// keyed by kind. Requests whose plan selects an unregistered kind are
+    /// rejected at validation with a typed `Unsupported` error.
+    backends: Mutex<HashMap<crate::backend::BackendKind, Arc<dyn crate::backend::ExecutionBackend>>>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -896,6 +965,7 @@ impl ExplanationService {
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             memo: crate::memo::CoalitionMemo::new(config.memo_capacity),
             stats: StatCells::default(),
+            backends: Mutex::new(HashMap::new()),
         });
         let workers = (0..config.workers)
             .map(|w| {
@@ -925,9 +995,31 @@ impl ExplanationService {
         persisted: &[u8],
     ) -> u64 {
         let fingerprint = fingerprint_bytes(persisted);
+        // Keep the parsed persisted form when it is JSON: non-local
+        // backends need it to build shard descriptors whose serialized
+        // model bytes reproduce `persisted` (and thus this fingerprint).
+        let model_json = std::str::from_utf8(persisted)
+            .ok()
+            .and_then(|s| parse_json(s).ok())
+            .filter(|j| matches!(j, Json::Obj(_)));
         lock(&self.inner.models)
-            .insert(name.into(), Arc::new(RegisteredModel { oracle, data, fingerprint }));
+            .insert(name.into(), Arc::new(RegisteredModel { oracle, data, fingerprint, model_json }));
         fingerprint
+    }
+
+    /// Registers (or replaces) an execution backend for its
+    /// [`kind`](crate::backend::ExecutionBackend::kind). Requests whose
+    /// plan selects that kind are routed through it; the in-process
+    /// local path needs no registration.
+    pub fn set_backend(&self, backend: Arc<dyn crate::backend::ExecutionBackend>) {
+        lock(&self.inner.backends).insert(backend.kind(), backend);
+    }
+
+    /// Kinds with a registered backend, sorted.
+    pub fn backend_kinds(&self) -> Vec<crate::backend::BackendKind> {
+        let mut kinds: Vec<_> = lock(&self.inner.backends).keys().copied().collect();
+        kinds.sort();
+        kinds
     }
 
     /// Fingerprint of the model registered under `name`, if any.
@@ -972,6 +1064,15 @@ impl ExplanationService {
             memo_hits: memo.hits,
             memo_misses: memo.misses,
             memo_evictions: memo.evictions,
+            local_completed: s.local_completed.load(Ordering::SeqCst),
+            local_failed: s.local_failed.load(Ordering::SeqCst),
+            pool_completed: s.pool_completed.load(Ordering::SeqCst),
+            pool_failed: s.pool_failed.load(Ordering::SeqCst),
+            cluster_completed: s.cluster_completed.load(Ordering::SeqCst),
+            cluster_failed: s.cluster_failed.load(Ordering::SeqCst),
+            degraded: s.degraded.load(Ordering::SeqCst),
+            shard_cache_hits: s.shard_cache_hits.load(Ordering::SeqCst),
+            shard_cache_misses: s.shard_cache_misses.load(Ordering::SeqCst),
         }
     }
 
@@ -1020,6 +1121,41 @@ impl ExplanationService {
                     "feature index {j} out of range for model '{}' with {d} features",
                     request.model
                 )));
+            }
+        }
+        if !request.plan.backend.is_local() {
+            let kind = request.plan.backend.kind();
+            let explainer = self
+                .inner
+                .registry
+                .get_explainer(&request.method)
+                .expect("is_runnable checked above");
+            if explainer.as_shardable().is_none() {
+                return Err(XaiError::Unsupported {
+                    context: format!(
+                        "method '{}' is not shardable and cannot run on the {} backend",
+                        request.method,
+                        kind.as_str()
+                    ),
+                });
+            }
+            if entry.model_json.is_none() {
+                return Err(XaiError::Unsupported {
+                    context: format!(
+                        "model '{}' was registered without JSON persisted bytes, which the \
+                         {} backend needs to ship it to workers",
+                        request.model,
+                        kind.as_str()
+                    ),
+                });
+            }
+            if !lock(&self.inner.backends).contains_key(&kind) {
+                return Err(XaiError::Unsupported {
+                    context: format!(
+                        "no {} backend is registered with this service (ExplanationService::set_backend)",
+                        kind.as_str()
+                    ),
+                });
             }
         }
         Ok(())
@@ -1128,6 +1264,7 @@ fn execute(inner: &Inner, request: &ServeRequest) -> XaiResult<ServeResponse> {
             model: request.model.clone(),
             fingerprint: entry.fingerprint,
             cached: true,
+            degraded: false,
             payload,
         });
     }
@@ -1140,17 +1277,58 @@ fn execute(inner: &Inner, request: &ServeRequest) -> XaiResult<ServeResponse> {
     if let Some(j) = request.feature {
         req = req.feature(j);
     }
-    if inner.memo.capacity() > 0 {
-        // Shared cross-request coalition memo (DESIGN.md §12): batched
-        // coalition methods consult it before calling the model. Keyed
-        // under the model fingerprint, so replacing a model invalidates
-        // its memoized coalition values exactly like the result cache.
-        req = req.memo(crate::memo::MemoHandle {
-            memo: &inner.memo,
-            model_fingerprint: entry.fingerprint,
-        });
-    }
-    let explanation = explainer.explain(&*entry.oracle, &req)?;
+
+    let choice = request.plan.backend;
+    let (explanation, degraded) = if choice.is_local() {
+        if inner.memo.capacity() > 0 {
+            // Shared cross-request coalition memo (DESIGN.md §12): batched
+            // coalition methods consult it before calling the model. Keyed
+            // under the model fingerprint, so replacing a model invalidates
+            // its memoized coalition values exactly like the result cache.
+            req = req.memo(crate::memo::MemoHandle {
+                memo: &inner.memo,
+                model_fingerprint: entry.fingerprint,
+            });
+        }
+        let result = explainer.explain(&*entry.oracle, &req);
+        record_backend(&inner.stats, choice.kind(), result.is_ok());
+        (result?, false)
+    } else {
+        let backend = lock(&inner.backends).get(&choice.kind()).cloned().ok_or_else(|| {
+            XaiError::Unsupported {
+                context: format!(
+                    "no {} backend is registered with this service",
+                    choice.kind().as_str()
+                ),
+            }
+        })?;
+        let shardable = explainer.as_shardable().ok_or_else(|| XaiError::Unsupported {
+            context: format!("method '{}' is not shardable", request.method),
+        })?;
+        let model_json = entry.model_json.clone().ok_or_else(|| XaiError::Unsupported {
+            context: format!(
+                "model '{}' has no JSON persisted bytes for backend execution",
+                request.model
+            ),
+        })?;
+        let job = crate::backend::BackendJob::new(
+            shardable,
+            &*entry.oracle,
+            &req,
+            choice.shards().unwrap_or(1),
+        )
+        .with_model_json(model_json);
+        let result = backend.execute(&job);
+        record_backend(&inner.stats, choice.kind(), result.is_ok());
+        let outcome = result?;
+        if outcome.degraded {
+            inner.stats.degraded.fetch_add(1, Ordering::SeqCst);
+        }
+        inner.stats.shard_cache_hits.fetch_add(outcome.shard_cache_hits, Ordering::SeqCst);
+        inner.stats.shard_cache_misses.fetch_add(outcome.shard_cache_misses, Ordering::SeqCst);
+        (outcome.explanation, outcome.degraded)
+    };
+
     let payload = explanation.to_json_string();
     let evicted = lock(&inner.cache).insert(key, payload.clone());
     if evicted > 0 {
@@ -1161,8 +1339,23 @@ fn execute(inner: &Inner, request: &ServeRequest) -> XaiResult<ServeResponse> {
         model: request.model.clone(),
         fingerprint: entry.fingerprint,
         cached: false,
+        degraded,
         payload,
     })
+}
+
+/// Bumps the per-backend completed/failed counter for one executed request.
+fn record_backend(stats: &StatCells, kind: crate::backend::BackendKind, ok: bool) {
+    use crate::backend::BackendKind;
+    let cell = match (kind, ok) {
+        (BackendKind::Local, true) => &stats.local_completed,
+        (BackendKind::Local, false) => &stats.local_failed,
+        (BackendKind::ProcessPool, true) => &stats.pool_completed,
+        (BackendKind::ProcessPool, false) => &stats.pool_failed,
+        (BackendKind::Cluster, true) => &stats.cluster_completed,
+        (BackendKind::Cluster, false) => &stats.cluster_failed,
+    };
+    cell.fetch_add(1, Ordering::SeqCst);
 }
 
 #[cfg(test)]

@@ -31,14 +31,14 @@
 //!   tasks on the existing fork-join executor and merge locally.
 //! - [`execute_descriptor`] — the worker side of a process pool:
 //!   rebuild the request from a descriptor, run the chunk range, return
-//!   the result. The process-pool runner itself lives in the facade
-//!   (`xai::shard`), which knows how to construct models and methods.
+//!   the result. The process-pool runner itself lives in
+//!   [`crate::backend`] ([`crate::backend::ProcessPoolBackend`]); the
+//!   facade (`xai::shard`) supplies the model/method factories.
 
 use std::ops::Range;
 
 use xai_data::{Dataset, Feature, FeatureKind, Mutability, Schema, Task};
 use xai_linalg::Matrix;
-use xai_rand::parallel::try_par_map_seeded;
 
 use crate::error::{XaiError, XaiResult};
 use crate::explainer::{ExplainRequest, Explainer, Explanation, ModelOracle};
@@ -235,18 +235,8 @@ pub fn explain_sharded(
     req: &ExplainRequest<'_>,
     n_shards: usize,
 ) -> XaiResult<Explanation> {
-    assert!(n_shards >= 1, "need at least one shard");
-    let grid = explainer.draw_grid(req)?;
-    let bounds = shard_chunk_ranges(grid.n_chunks(), n_shards);
-    let shard_results = try_par_map_seeded(n_shards, 0, req.plan.workers, |s, _rng| {
-        let (start, end) = bounds[s];
-        explainer.explain_chunks(model, req, start..end)
-    })
-    .map_err(XaiError::from)?;
-    // Sequence in shard order so the lowest-indexed failing shard wins,
-    // independent of scheduling.
-    let partials = shard_results.into_iter().collect::<XaiResult<Vec<Json>>>()?;
-    explainer.merge_chunks(model, req, partials)
+    // Thin constructor over the shared dispatch core (DESIGN.md §14).
+    crate::backend::dispatch_local(explainer, model, req, n_shards)
 }
 
 // ---------------------------------------------------------------------------

@@ -9,6 +9,14 @@
 //! daemon and one [`ShardResult`] — or a typed shard error envelope —
 //! back.
 //!
+//! Connections are **reused**: each endpoint keeps a pool of idle
+//! persistent framed sessions, so a runner shipping many descriptors
+//! pays one TCP handshake per concurrent stream, not one per
+//! descriptor. A shard-level [`crate::backend::ShardCache`] keyed on
+//! (model fingerprint, descriptor hash) answers repeated, retried, or
+//! hedged shards without touching the network at all — sound because
+//! shard execution is deterministic.
+//!
 //! The whole design is failure-first, because on a real cluster workers
 //! are slow, dead, or lying:
 //!
@@ -33,7 +41,7 @@
 //!   machine stops eating retry budget.
 //! - **Graceful degradation**: when the entire cluster is unreachable and
 //!   [`FallbackPolicy::InProcess`] allows it, the run falls back to the
-//!   local [`explain_sharded`] runner and the outcome carries a
+//!   local [`crate::backend::dispatch_local`] runner and the outcome carries a
 //!   `degraded` marker. The *bytes* of the explanation are identical
 //!   either way — degradation changes where work ran, never what it
 //!   computed.
@@ -52,18 +60,18 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use xai_rand::{child_seed, SplitMix64};
 
+use crate::backend::{BackendJob, ShardCache};
 use crate::error::{IoKind, XaiError, XaiResult};
 use crate::explainer::{ExplainRequest, Explanation, ModelOracle};
 use crate::report::Json;
 use crate::shard::{
-    build_descriptors, error_from_json, error_to_json, explain_sharded, is_error_envelope,
-    merge_shard_results, wire_error, ShardDescriptor, ShardResult, ShardableExplainer,
+    error_from_json, error_to_json, is_error_envelope, wire_error, ShardDescriptor, ShardResult,
+    ShardableExplainer,
 };
 
 // ---------------------------------------------------------------------------
@@ -106,6 +114,34 @@ pub fn read_frame(r: &mut impl Read, what: &str) -> XaiResult<Vec<u8>> {
     let mut header = [0u8; 8];
     r.read_exact(&mut header)
         .map_err(|e| XaiError::from_io(&e, format_args!("{what}: reading frame header")))?;
+    read_frame_body(r, header, what)
+}
+
+/// Reads one frame, or `None` when the peer closed the connection
+/// cleanly *before any header byte* — the signal that a persistent
+/// session is done. EOF mid-header is still a short read, exactly as in
+/// [`read_frame`].
+pub fn read_frame_or_eof(r: &mut impl Read, what: &str) -> XaiResult<Option<Vec<u8>>> {
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                return Err(XaiError::from_io(&e, format_args!("{what}: reading frame header")))
+            }
+        }
+    }
+    let mut header = [0u8; 8];
+    header[0] = first[0];
+    r.read_exact(&mut header[1..])
+        .map_err(|e| XaiError::from_io(&e, format_args!("{what}: reading frame header")))?;
+    read_frame_body(r, header, what).map(Some)
+}
+
+/// Validates a frame header and reads the payload behind it.
+fn read_frame_body(r: &mut impl Read, header: [u8; 8], what: &str) -> XaiResult<Vec<u8>> {
     if header[..4] != FRAME_MAGIC {
         return Err(wire_error(format!(
             "{what}: bad frame magic {:02x}{:02x}{:02x}{:02x} (garbage frame)",
@@ -355,13 +391,18 @@ pub struct ClusterConfig {
     pub breaker_cooldown: Duration,
     /// Behaviour when every endpoint is unavailable.
     pub fallback: FallbackPolicy,
+    /// Capacity of the shard-level result cache
+    /// ([`crate::backend::ShardCache`]): repeated, retried, or hedged
+    /// shards with an identical (fingerprint, descriptor) key are
+    /// answered from cache instead of the network. Zero disables it.
+    pub shard_cache_capacity: usize,
 }
 
 impl ClusterConfig {
     /// A config over `endpoints` with production-shaped defaults: 2 s
     /// connects, 60 s responses, three attempts with 50 ms–2 s backoff,
     /// no hedging, breaker at 3 consecutive failures with a 1 s cooldown,
-    /// and in-process fallback.
+    /// in-process fallback, and a 256-entry shard cache.
     pub fn new<I, S>(endpoints: I) -> Self
     where
         I: IntoIterator<Item = S>,
@@ -376,6 +417,7 @@ impl ClusterConfig {
             breaker_threshold: 3,
             breaker_cooldown: Duration::from_secs(1),
             fallback: FallbackPolicy::InProcess,
+            shard_cache_capacity: 256,
         }
     }
 }
@@ -404,6 +446,14 @@ pub struct ClusterStats {
     pub breaker_trips: u64,
     /// Whether the last `explain` fell back to the in-process runner.
     pub degraded: bool,
+    /// Fresh TCP connections opened (handshakes paid).
+    pub connections_opened: u64,
+    /// Round trips that started on a pooled persistent session.
+    pub sessions_reused: u64,
+    /// Shards answered from the shard-level result cache.
+    pub shard_cache_hits: u64,
+    /// Shards that missed the shard-level result cache.
+    pub shard_cache_misses: u64,
 }
 
 #[derive(Default)]
@@ -414,6 +464,47 @@ struct Counters {
     hedge_wins: AtomicU64,
     transport_failures: AtomicU64,
     degraded: AtomicU64,
+    connections_opened: AtomicU64,
+    sessions_reused: AtomicU64,
+}
+
+// ---------------------------------------------------------------------------
+// Persistent sessions
+// ---------------------------------------------------------------------------
+
+/// Idle persistent connections to one endpoint. A round trip checks a
+/// stream out, and a *healthy* round trip (success or a typed execution
+/// envelope) checks it back in; transport failures drop the stream, so
+/// the pool only ever holds connections whose last frame exchange was
+/// clean.
+struct SessionPool {
+    idle: Mutex<Vec<TcpStream>>,
+}
+
+/// Idle streams kept per endpoint. Beyond this, returned streams are
+/// simply closed — enough to cover the executor's concurrency without
+/// hoarding sockets.
+const MAX_IDLE_SESSIONS: usize = 8;
+
+impl SessionPool {
+    fn new() -> Self {
+        SessionPool { idle: Mutex::new(Vec::new()) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<TcpStream>> {
+        self.idle.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn checkout(&self) -> Option<TcpStream> {
+        self.lock().pop()
+    }
+
+    fn checkin(&self, stream: TcpStream) {
+        let mut idle = self.lock();
+        if idle.len() < MAX_IDLE_SESSIONS {
+            idle.push(stream);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -424,16 +515,22 @@ struct Counters {
 /// are environmental (retryable, hedgeable, degradable); execution
 /// failures came back in a typed envelope from a worker that ran the
 /// shard — deterministic, so retrying or falling back cannot change them.
-enum ShardFailure {
+pub(crate) enum ShardFailure {
     Transport(XaiError),
     Execution(XaiError),
 }
 
 impl ShardFailure {
-    fn into_error(self) -> XaiError {
+    pub(crate) fn into_error(self) -> XaiError {
         match self {
             ShardFailure::Transport(e) | ShardFailure::Execution(e) => e,
         }
+    }
+
+    /// Whether this failure is a deterministic execution envelope (never
+    /// retried, never degraded) rather than an environmental one.
+    pub(crate) fn is_execution(&self) -> bool {
+        matches!(self, ShardFailure::Execution(_))
     }
 }
 
@@ -442,8 +539,14 @@ impl ShardFailure {
 // ---------------------------------------------------------------------------
 
 /// Ships `payload` (a descriptor's canonical JSON) to `addr` and decodes
-/// the response. Every failure mode maps onto a distinguishable class —
-/// see the module docs.
+/// the response, preferring an idle persistent session from `sessions`
+/// over a fresh TCP connect. Streams return to the pool after every
+/// healthy exchange (including typed execution envelopes — the
+/// *connection* worked). A daemon may close an idle pooled stream at any
+/// time, so a transport failure on a reused stream gets one transparent
+/// fresh-connection retry; failures on fresh connections always surface.
+/// Every failure mode maps onto a distinguishable class — see the module
+/// docs.
 fn request_once(
     addr: SocketAddr,
     label: &str,
@@ -451,16 +554,58 @@ fn request_once(
     shard: usize,
     connect_timeout: Duration,
     io_timeout: Duration,
+    sessions: &SessionPool,
+    counters: &Counters,
 ) -> Result<ShardResult, ShardFailure> {
     let what = format!("shard {shard} -> {label}");
-    let transport = ShardFailure::Transport;
+    if let Some(stream) = sessions.checkout() {
+        counters.sessions_reused.fetch_add(1, Ordering::Relaxed);
+        match roundtrip(&stream, payload, shard, io_timeout, &what) {
+            Ok(result) => {
+                sessions.checkin(stream);
+                return Ok(result);
+            }
+            Err(ShardFailure::Execution(e)) => {
+                sessions.checkin(stream);
+                return Err(ShardFailure::Execution(e));
+            }
+            // A stale session (the daemon closed it while idle); drop
+            // the stream and fall through to a fresh connection.
+            Err(ShardFailure::Transport(_)) => {}
+        }
+    }
     let stream = TcpStream::connect_timeout(&addr, connect_timeout)
-        .map_err(|e| transport(XaiError::from_io(&e, format_args!("{what}: connect"))))?;
+        .map_err(|e| {
+            ShardFailure::Transport(XaiError::from_io(&e, format_args!("{what}: connect")))
+        })?;
+    counters.connections_opened.fetch_add(1, Ordering::Relaxed);
+    match roundtrip(&stream, payload, shard, io_timeout, &what) {
+        Ok(result) => {
+            sessions.checkin(stream);
+            Ok(result)
+        }
+        Err(ShardFailure::Execution(e)) => {
+            sessions.checkin(stream);
+            Err(ShardFailure::Execution(e))
+        }
+        Err(failure) => Err(failure),
+    }
+}
+
+/// One framed exchange on an established stream.
+fn roundtrip(
+    stream: &TcpStream,
+    payload: &[u8],
+    shard: usize,
+    io_timeout: Duration,
+    what: &str,
+) -> Result<ShardResult, ShardFailure> {
+    let transport = ShardFailure::Transport;
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(io_timeout));
     let _ = stream.set_write_timeout(Some(io_timeout));
-    write_frame(&mut &stream, payload, &what).map_err(ShardFailure::Transport)?;
-    let bytes = match read_frame(&mut &stream, &what) {
+    write_frame(&mut &*stream, payload, what).map_err(ShardFailure::Transport)?;
+    let bytes = match read_frame(&mut &*stream, what) {
         Ok(bytes) => bytes,
         // An expired read deadline while waiting for the response is the
         // worker blowing its per-shard deadline, not a socket mishap.
@@ -523,7 +668,9 @@ pub struct ClusterRunner {
     config: ClusterConfig,
     addrs: Vec<SocketAddr>,
     health: HealthTracker,
-    counters: Counters,
+    counters: Arc<Counters>,
+    sessions: Vec<Arc<SessionPool>>,
+    shard_cache: Option<ShardCache>,
 }
 
 impl ClusterRunner {
@@ -551,7 +698,17 @@ impl ClusterRunner {
             config.breaker_threshold,
             config.breaker_cooldown,
         );
-        Ok(ClusterRunner { config, addrs, health, counters: Counters::default() })
+        let sessions = addrs.iter().map(|_| Arc::new(SessionPool::new())).collect();
+        let shard_cache = (config.shard_cache_capacity > 0)
+            .then(|| ShardCache::new(config.shard_cache_capacity));
+        Ok(ClusterRunner {
+            config,
+            addrs,
+            health,
+            counters: Arc::new(Counters::default()),
+            sessions,
+            shard_cache,
+        })
     }
 
     /// The configuration this runner was built from.
@@ -566,6 +723,7 @@ impl ClusterRunner {
 
     /// Current transport counters.
     pub fn stats(&self) -> ClusterStats {
+        let cache = self.shard_cache.as_ref().map(|c| c.stats()).unwrap_or_default();
         ClusterStats {
             attempts: self.counters.attempts.load(Ordering::Relaxed),
             retries: self.counters.retries.load(Ordering::Relaxed),
@@ -574,7 +732,17 @@ impl ClusterRunner {
             transport_failures: self.counters.transport_failures.load(Ordering::Relaxed),
             breaker_trips: self.health.snapshot().iter().map(|h| h.trips).sum(),
             degraded: self.counters.degraded.load(Ordering::Relaxed) > 0,
+            connections_opened: self.counters.connections_opened.load(Ordering::Relaxed),
+            sessions_reused: self.counters.sessions_reused.load(Ordering::Relaxed),
+            shard_cache_hits: cache.hits,
+            shard_cache_misses: cache.misses,
         }
+    }
+
+    /// Marks the runner's last run as degraded (set by the backend layer
+    /// when a job falls back to in-process execution).
+    pub(crate) fn mark_degraded(&self) {
+        self.counters.degraded.store(1, Ordering::Relaxed);
     }
 
     /// First admittable endpoint scanning from `start`, skipping
@@ -591,28 +759,54 @@ impl ClusterRunner {
     fn launch(
         &self,
         endpoint: usize,
-        payload: &std::sync::Arc<[u8]>,
+        payload: &Arc<[u8]>,
         shard: usize,
         tx: &mpsc::Sender<(usize, Result<ShardResult, ShardFailure>)>,
     ) {
         let addr = self.addrs[endpoint];
         let label = self.config.endpoints[endpoint].clone();
-        let payload = std::sync::Arc::clone(payload);
+        let payload = Arc::clone(payload);
         let (connect_timeout, io_timeout) = (self.config.connect_timeout, self.config.io_timeout);
+        let sessions = Arc::clone(&self.sessions[endpoint]);
+        let counters = Arc::clone(&self.counters);
         let tx = tx.clone();
         self.counters.attempts.fetch_add(1, Ordering::Relaxed);
         std::thread::spawn(move || {
-            let outcome =
-                request_once(addr, &label, &payload, shard, connect_timeout, io_timeout);
+            let outcome = request_once(
+                addr,
+                &label,
+                &payload,
+                shard,
+                connect_timeout,
+                io_timeout,
+                &sessions,
+                &counters,
+            );
             let _ = tx.send((endpoint, outcome));
         });
     }
 
-    /// Supervises one shard to completion: retry with backoff across
-    /// healthy endpoints, hedge stragglers, classify failures.
+    /// Supervises one shard to completion, consulting the shard cache
+    /// first: a hit skips the network entirely, and a fresh success is
+    /// inserted so a later retry, hedge, or repeat of the same
+    /// (fingerprint, descriptor) key is answered locally.
     fn run_shard(&self, desc: &ShardDescriptor) -> Result<ShardResult, ShardFailure> {
-        let payload: std::sync::Arc<[u8]> =
-            desc.to_json_string().into_bytes().into();
+        if let Some(cache) = &self.shard_cache {
+            if let Some(result) = cache.get(desc) {
+                return Ok(result);
+            }
+        }
+        let outcome = self.run_shard_transport(desc);
+        if let (Some(cache), Ok(result)) = (&self.shard_cache, &outcome) {
+            cache.insert(desc, result);
+        }
+        outcome
+    }
+
+    /// Supervises one shard over the wire: retry with backoff across
+    /// healthy endpoints, hedge stragglers, classify failures.
+    fn run_shard_transport(&self, desc: &ShardDescriptor) -> Result<ShardResult, ShardFailure> {
+        let payload: Arc<[u8]> = desc.to_json_string().into_bytes().into();
         let shard = desc.shard;
         // Upper bound on one round trip; recv waits are always bounded by
         // this, so a wedged socket can never wedge the supervisor.
@@ -729,7 +923,13 @@ impl ClusterRunner {
         }))
     }
 
-    fn run_internal(&self, descs: &[ShardDescriptor]) -> Result<Vec<ShardResult>, ShardFailure> {
+    /// Runs every descriptor, keeping the transport/execution failure
+    /// classification — the dispatch core shared with
+    /// [`crate::backend::execute_cluster`].
+    pub(crate) fn run_classified(
+        &self,
+        descs: &[ShardDescriptor],
+    ) -> Result<Vec<ShardResult>, ShardFailure> {
         let outcomes: Vec<Result<ShardResult, ShardFailure>> = std::thread::scope(|scope| {
             let handles: Vec<_> =
                 descs.iter().map(|d| scope.spawn(move || self.run_shard(d))).collect();
@@ -754,19 +954,21 @@ impl ClusterRunner {
     /// results in shard order. The transport primitive under
     /// [`ClusterRunner::explain`]; no fallback is applied here.
     pub fn run_descriptors(&self, descs: &[ShardDescriptor]) -> XaiResult<Vec<ShardResult>> {
-        self.run_internal(descs).map_err(ShardFailure::into_error)
+        self.run_classified(descs).map_err(ShardFailure::into_error)
     }
 
     /// The whole story: cut the request into `n_shards` descriptors, ship
     /// them to the cluster with retry/hedging/breaker supervision, merge
     /// the results bit-identically to the unsharded run — and, when the
     /// cluster is entirely unavailable and policy allows, fall back to
-    /// the in-process runner with a `degraded` marker.
+    /// the in-process runner with a `degraded` marker. A thin constructor
+    /// over the shared backend core
+    /// ([`crate::backend::execute_cluster`]).
     ///
     /// `model_json` is the model's persisted form (it travels inside each
     /// descriptor); requests carrying borrowed background/test/utility
     /// state are rejected exactly as in
-    /// [`build_descriptors`].
+    /// [`crate::shard::build_descriptors`].
     pub fn explain(
         &self,
         explainer: &dyn ShardableExplainer,
@@ -775,22 +977,14 @@ impl ClusterRunner {
         model_json: Json,
         n_shards: usize,
     ) -> XaiResult<ClusterOutcome> {
-        let descs = build_descriptors(explainer, req, model_json, n_shards)?;
-        match self.run_internal(&descs) {
-            Ok(results) => {
-                let explanation = merge_shard_results(explainer, model, req, results)?;
-                Ok(ClusterOutcome { explanation, degraded: false, stats: self.stats() })
-            }
-            Err(ShardFailure::Execution(e)) => Err(e),
-            Err(ShardFailure::Transport(e)) => match self.config.fallback {
-                FallbackPolicy::Fail => Err(e),
-                FallbackPolicy::InProcess => {
-                    self.counters.degraded.store(1, Ordering::Relaxed);
-                    let explanation = explain_sharded(explainer, model, req, n_shards)?;
-                    Ok(ClusterOutcome { explanation, degraded: true, stats: self.stats() })
-                }
-            },
-        }
+        let job =
+            BackendJob::new(explainer, model, req, n_shards).with_model_json(model_json);
+        let outcome = crate::backend::execute_cluster(self, &job)?;
+        Ok(ClusterOutcome {
+            explanation: outcome.explanation,
+            degraded: outcome.degraded,
+            stats: self.stats(),
+        })
     }
 }
 
@@ -810,30 +1004,38 @@ pub fn explain_cluster(
 // The daemon side of one connection
 // ---------------------------------------------------------------------------
 
-/// Serves one accepted connection: read a descriptor frame, execute it
-/// via `execute`, answer with a result frame — or a typed error envelope
-/// frame, so the peer always learns *why*. The executor is a closure
-/// because only the facade crate knows how to rebuild models and
-/// methods; panics inside it must already be caught there.
+/// Serves one accepted connection as a persistent framed session: read
+/// descriptor frames until the peer closes cleanly, executing each via
+/// `execute` and answering with a result frame — or a typed error
+/// envelope frame, so the peer always learns *why*. Returns the number
+/// of frames served. The executor is a closure because only the facade
+/// crate knows how to rebuild models and methods; panics inside it must
+/// already be caught there.
 pub fn serve_connection(
     stream: &TcpStream,
     io_timeout: Duration,
     execute: &dyn Fn(&str) -> XaiResult<ShardResult>,
-) -> XaiResult<()> {
+) -> XaiResult<u64> {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(io_timeout));
     let _ = stream.set_write_timeout(Some(io_timeout));
     let what = "shard daemon";
-    let bytes = read_frame(&mut &*stream, what)?;
-    let reply = match String::from_utf8(bytes) {
-        Ok(text) => match execute(&text) {
-            Ok(result) => result.to_json_string(),
-            Err(e) => error_to_json(&e).to_json(),
-        },
-        Err(_) => error_to_json(&wire_error(format!("{what}: request frame is not UTF-8")))
-            .to_json(),
-    };
-    write_frame(&mut &*stream, reply.as_bytes(), what)
+    let mut served = 0u64;
+    loop {
+        let Some(bytes) = read_frame_or_eof(&mut &*stream, what)? else {
+            return Ok(served);
+        };
+        let reply = match String::from_utf8(bytes) {
+            Ok(text) => match execute(&text) {
+                Ok(result) => result.to_json_string(),
+                Err(e) => error_to_json(&e).to_json(),
+            },
+            Err(_) => error_to_json(&wire_error(format!("{what}: request frame is not UTF-8")))
+                .to_json(),
+        };
+        write_frame(&mut &*stream, reply.as_bytes(), what)?;
+        served += 1;
+    }
 }
 
 #[cfg(test)]

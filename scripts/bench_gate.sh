@@ -50,6 +50,11 @@ fi
 # baselines to arm the gate.
 if [ ! -d "$BASELINE_DIR" ] || ! ls "$BASELINE_DIR"/*.json >/dev/null 2>&1; then
     echo "bench_gate.sh: WARNING: no baseline JSONs under $BASELINE_DIR; skipping the gate" >&2
+    echo "bench_gate.sh: this run produced (and would have gated) these bench JSONs:" >&2
+    for json in "$CANDIDATE_DIR"/*.json; do
+        [ -e "$json" ] || continue
+        echo "    $(basename "$json")" >&2
+    done
     echo "bench_gate.sh: run 'XAI_REGEN_BENCH=1 scripts/bench_gate.sh' and commit the baselines to arm it" >&2
     exit 0
 fi

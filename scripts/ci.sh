@@ -62,6 +62,9 @@ cargo test -q --test transport_faults
 echo "==> cargo test -q --test transport_soak"
 cargo test -q --test transport_soak
 
+echo "==> cargo test -q --test backend_equivalence"
+cargo test -q --test backend_equivalence
+
 echo "==> cargo test -q -p xai-core --test shard_plan"
 cargo test -q -p xai-core --test shard_plan
 
@@ -107,6 +110,35 @@ cargo run --release --example shard_demo >/dev/null
 # and graceful in-process degradation — all bit-identical bytes.
 echo "==> cargo run --release --example cluster_demo"
 cargo run --release --example cluster_demo >/dev/null
+
+# The backend demo proves the unified execution substrate end to end:
+# one ServeRequest on the local, process-pool and cluster backends, the
+# trait driven directly, and cache/session instrumentation — all
+# bit-identical bytes.
+echo "==> cargo run --release --example backend_demo"
+cargo run --release --example backend_demo >/dev/null
+
+# Execution-substrate call-site gate (DESIGN.md §14): new code must go
+# through the ExecutionBackend trait, not call the raw process-pool or
+# cluster dispatch loops directly. Blessed: the backend module and the
+# transport internals that implement it, the facade convenience wrapper,
+# and the pre-backend shard suites that pin the raw runners' semantics.
+echo "==> backend call-site gate (explain_process_pool / run_descriptors)"
+VIOLATIONS="$(grep -rn --include='*.rs' -E 'explain_process_pool\(|\.run_descriptors\(' \
+    src crates tests examples \
+    | grep -v -e '^src/shard\.rs:' \
+              -e '^crates/core/src/backend\.rs:' \
+              -e '^crates/core/src/transport\.rs:' \
+              -e '^examples/shard_demo\.rs:' \
+              -e '^tests/shard_faults\.rs:' \
+              -e '^tests/shard_equivalence\.rs:' \
+    || true)"
+if [ -n "$VIOLATIONS" ]; then
+    echo "ci.sh: direct process-pool/cluster dispatch outside the backend layer:" >&2
+    echo "$VIOLATIONS" >&2
+    echo "ci.sh: route new callers through xai_core::backend::ExecutionBackend" >&2
+    exit 1
+fi
 
 # Advisory deprecation audit: the legacy batched/parallel twins are
 # deprecated in favour of the unified explainer layer (DESIGN.md §9).

@@ -32,6 +32,7 @@
 //! | [`serve`] | the explanation-serving engine: requests as JSON, worker pool, result cache |
 //! | [`shard`] | deterministic shard plans and the process-pool runner (DESIGN.md §11) |
 //! | [`transport`] | the multi-node TCP shard transport and daemon (DESIGN.md §13) |
+//! | [`core::backend`] | the unified `ExecutionBackend` substrate: local, process-pool, cluster (DESIGN.md §14) |
 //!
 //! ## Quickstart
 //!
@@ -95,6 +96,10 @@ pub mod prelude {
         FallbackPolicy, RetryPolicy,
     };
     pub use crate::unified::{all_explainers, runnable_registry};
+    pub use xai_core::backend::{
+        BackendChoice, BackendJob, BackendKind, BackendOutcome, ClusterBackend, ExecutionBackend,
+        LocalBackend, ProcessPoolBackend, ShardCache,
+    };
     pub use xai_core::{
         workspace_registry, Counterfactual, DataAttribution, DegradationPolicy, ExplainRequest,
         Explainer, Explanation, FeatureAttribution, FnOracle, Json, MethodCard, ModelOracle,

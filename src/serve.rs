@@ -33,9 +33,7 @@ use xai_core::ModelOracle;
 use xai_data::Dataset;
 use xai_models::{persisted_bytes, Persist};
 
-pub use xai_core::serve::{
-    fingerprint_bytes, ExplanationService, ServeRequest, ServeResponse, ServeStats, ServiceConfig,
-};
+pub use xai_core::serve::*;
 
 /// An [`ExplanationService`] over the full workspace registry: all 17
 /// runnable methods addressable by taxonomy card name.

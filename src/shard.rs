@@ -11,11 +11,12 @@
 //! - [`PersistedModel`] / [`resolve_model`] — rebuild any persisted
 //!   workspace model from its descriptor JSON, usable as a
 //!   [`ModelOracle`].
-//! - [`explain_process_pool`] — the from-scratch process-pool runner:
-//!   one OS process per shard (waves of `max_procs`), descriptor on the
-//!   worker's stdin, canonical result or error envelope on its stdout,
-//!   typed errors for every worker failure mode and a hard deadline so
-//!   a stuck worker can never hang the caller.
+//! - [`explain_process_pool`] — a thin convenience over
+//!   [`xai_core::backend::ProcessPoolBackend`]: one OS process per shard
+//!   (waves of `max_procs`), descriptor on the worker's stdin, canonical
+//!   result or error envelope on its stdout, typed errors for every
+//!   worker failure mode and a hard deadline so a stuck worker can never
+//!   hang the caller.
 //! - [`run_worker`] — the worker side, wrapped by the
 //!   `xai-shard-worker` binary: parse, execute, answer. A worker exits 0
 //!   even on typed failures (the error travels in the envelope); only
@@ -38,17 +39,17 @@
 //! assert_eq!(sharded.to_json_string(), local.to_json_string());
 //! ```
 
-use std::io::{Read, Write as _};
+use std::io::Read;
 use std::path::PathBuf;
-use std::process::{Child, Command, ExitStatus, Stdio};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use xai_core::backend::{BackendJob, ExecutionBackend, ProcessPoolBackend};
 use xai_core::{ExplainRequest, Explanation, Json, ModelOracle, XaiError, XaiResult};
 use xai_models::Persist;
 
+pub use xai_core::backend::PoolConfig;
 pub use xai_core::shard::*;
 
-use xai_core::json_parse::parse_json;
 use xai_counterfactual::DiceMethod;
 use xai_datavalue::{BanzhafMethod, LooMethod, TmcMethod};
 use xai_rules::AnchorsMethod;
@@ -157,183 +158,14 @@ pub fn resolve_model(json: &Json) -> XaiResult<PersistedModel> {
 // Process pool
 // ---------------------------------------------------------------------------
 
-/// How [`explain_process_pool`] launches and supervises its workers.
-#[derive(Clone, Debug)]
-pub struct PoolConfig {
-    /// Path to the `xai-shard-worker` executable.
-    pub worker_exe: PathBuf,
-    /// Maximum concurrently running worker processes (a wave).
-    pub max_procs: usize,
-    /// Wall-clock deadline per wave; a straggler past it is killed and
-    /// the run fails with [`XaiError::BudgetExceeded`]. `None` waits
-    /// indefinitely for well-behaved workers.
-    pub deadline: Option<Duration>,
-    /// Extra environment variables for every worker (used by the
-    /// fault-injection tests; empty in normal operation).
-    pub env: Vec<(String, String)>,
-}
-
-impl PoolConfig {
-    /// A pool over the given worker executable: workers capped at the
-    /// executor's default parallelism, a generous 60 s wave deadline.
-    pub fn new(worker_exe: impl Into<PathBuf>) -> Self {
-        PoolConfig {
-            worker_exe: worker_exe.into(),
-            max_procs: xai_rand::parallel::default_workers(),
-            deadline: Some(Duration::from_secs(60)),
-            env: Vec::new(),
-        }
-    }
-}
-
-/// One supervised worker process and the threads shuttling its pipes.
-struct Running {
-    child: Child,
-    shard: usize,
-    status: Option<ExitStatus>,
-    writer: Option<std::thread::JoinHandle<()>>,
-    reader: Option<std::thread::JoinHandle<std::io::Result<String>>>,
-}
-
-impl Running {
-    /// Kills the child if still alive and joins the pipe threads. Safe to
-    /// call on an already-reaped worker.
-    fn abort(&mut self) {
-        if self.status.is_none() {
-            let _ = self.child.kill();
-            self.status = self.child.wait().ok();
-        }
-        if let Some(w) = self.writer.take() {
-            let _ = w.join();
-        }
-        if let Some(r) = self.reader.take() {
-            let _ = r.join();
-        }
-    }
-}
-
-fn spawn_worker(desc: &ShardDescriptor, pool: &PoolConfig) -> XaiResult<Running> {
-    let mut cmd = Command::new(&pool.worker_exe);
-    cmd.stdin(Stdio::piped()).stdout(Stdio::piped()).stderr(Stdio::null());
-    for (k, v) in &pool.env {
-        cmd.env(k, v);
-    }
-    let mut child = cmd.spawn().map_err(|e| {
-        XaiError::from_io(&e, format_args!("spawning shard worker '{}'", pool.worker_exe.display()))
-    })?;
-    let mut stdin = child.stdin.take().expect("stdin was piped");
-    let text = desc.to_json_string();
-    // Writer thread: a worker that never reads (or dies early) must not
-    // deadlock us on a full pipe; EPIPE is simply ignored.
-    let writer = std::thread::spawn(move || {
-        let _ = stdin.write_all(text.as_bytes());
-    });
-    let mut stdout = child.stdout.take().expect("stdout was piped");
-    let reader = std::thread::spawn(move || {
-        let mut out = String::new();
-        stdout.read_to_string(&mut out).map(|_| out)
-    });
-    Ok(Running { child, shard: desc.shard, status: None, writer: Some(writer), reader: Some(reader) })
-}
-
-/// Waits for every worker in the wave, killing stragglers at the
-/// deadline. Returns the number of processes that finished in time.
-fn await_wave(wave: &mut [Running], pool: &PoolConfig, completed_before: usize) -> XaiResult<()> {
-    let start = Instant::now();
-    loop {
-        let mut finished = 0;
-        for r in wave.iter_mut() {
-            if r.status.is_none() {
-                match r.child.try_wait() {
-                    Ok(Some(st)) => r.status = Some(st),
-                    Ok(None) => continue,
-                    Err(e) => {
-                        return Err(XaiError::from_io(
-                            &e,
-                            format_args!("waiting for shard worker {}", r.shard),
-                        ))
-                    }
-                }
-            }
-            finished += 1;
-        }
-        if finished == wave.len() {
-            return Ok(());
-        }
-        if let Some(deadline) = pool.deadline {
-            if start.elapsed() > deadline {
-                return Err(XaiError::BudgetExceeded {
-                    context: format!(
-                        "shard process pool: wave exceeded the {deadline:?} deadline \
-                         ({finished} of {} workers finished)",
-                        wave.len()
-                    ),
-                    completed: completed_before + finished,
-                });
-            }
-        }
-        std::thread::sleep(Duration::from_millis(5));
-    }
-}
-
-/// Interprets one finished worker: exit status, stdout bytes, envelope
-/// or result.
-fn collect_worker(r: &mut Running) -> XaiResult<ShardResult> {
-    let status = r.status.expect("worker was awaited");
-    let output = match r.reader.take().expect("reader not yet joined").join() {
-        Ok(Ok(text)) => text,
-        Ok(Err(e)) => {
-            return Err(XaiError::from_io(
-                &e,
-                format_args!("reading shard worker {} stdout", r.shard),
-            ))
-        }
-        Err(_) => {
-            return Err(XaiError::io(
-                xai_core::IoKind::Other,
-                format!("shard worker {} stdout reader thread panicked", r.shard),
-            ))
-        }
-    };
-    if let Some(w) = r.writer.take() {
-        let _ = w.join();
-    }
-    if !status.success() {
-        return Err(XaiError::ModelFault {
-            context: format!("shard worker for shard {} exited abnormally ({status})", r.shard),
-        });
-    }
-    let json = parse_json(output.trim()).map_err(|_| {
-        wire_error(format!(
-            "shard worker {} wrote unparseable output ({} bytes)",
-            r.shard,
-            output.len()
-        ))
-    })?;
-    if is_error_envelope(&json) {
-        let err = error_from_json(&json)?;
-        // The worker may not know its shard index at panic time; pin it.
-        return Err(match err {
-            XaiError::WorkerPanic { message, .. } => {
-                XaiError::WorkerPanic { task: r.shard, message }
-            }
-            other => other,
-        });
-    }
-    ShardResult::from_json(&json)
-}
-
-/// Runs a shard plan across OS processes: cut the request into
-/// descriptors, execute them in waves of [`PoolConfig::max_procs`]
-/// worker processes (descriptor on stdin, result on stdout), then merge
-/// the partials — bit-identical to `explainer.explain(model, req)` on
-/// the parallel path, at any shard count.
-///
-/// Worker failure modes all surface as typed errors, never a hang: a
-/// panicking worker is [`XaiError::WorkerPanic`], garbage output is
-/// [`XaiError::Parse`], an abnormal exit is [`XaiError::ModelFault`],
-/// and a straggler past [`PoolConfig::deadline`] is killed and reported
-/// as [`XaiError::BudgetExceeded`].
+/// Runs a shard plan across OS processes — a thin convenience over
+/// [`ProcessPoolBackend`] for callers holding a typed [`Persist`] model.
+/// The backend cuts the request into descriptors, executes them in waves
+/// of [`PoolConfig::max_procs`] worker processes (descriptor on stdin,
+/// result on stdout), then merges the partials — bit-identical to
+/// `explainer.explain(model, req)` on the parallel path, at any shard
+/// count. Worker failure modes all surface as typed errors, never a
+/// hang; see the backend docs for the full taxonomy.
 pub fn explain_process_pool<M: ModelOracle + Persist>(
     explainer: &dyn ShardableExplainer,
     model: &M,
@@ -341,29 +173,9 @@ pub fn explain_process_pool<M: ModelOracle + Persist>(
     n_shards: usize,
     pool: &PoolConfig,
 ) -> XaiResult<Explanation> {
-    assert!(pool.max_procs >= 1, "need at least one worker process");
-    let descriptors = build_descriptors(explainer, req, model.save(), n_shards)?;
-    let mut results = Vec::with_capacity(descriptors.len());
-    for batch in descriptors.chunks(pool.max_procs) {
-        let mut wave: Vec<Running> = Vec::with_capacity(batch.len());
-        let outcome = (|| {
-            for desc in batch {
-                wave.push(spawn_worker(desc, pool)?);
-            }
-            await_wave(&mut wave, pool, results.len())?;
-            for r in &mut wave {
-                results.push(collect_worker(r)?);
-            }
-            Ok(())
-        })();
-        if let Err(e) = outcome {
-            for r in &mut wave {
-                r.abort();
-            }
-            return Err(e);
-        }
-    }
-    merge_shard_results(explainer, model, req, results)
+    let backend = ProcessPoolBackend::new(pool.clone());
+    let job = BackendJob::new(explainer, model, req, n_shards).with_model_json(model.save());
+    Ok(backend.execute(&job)?.explanation)
 }
 
 // ---------------------------------------------------------------------------

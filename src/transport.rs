@@ -1,13 +1,15 @@
 //! The daemon side of the multi-node shard transport (DESIGN.md §13).
 //!
 //! [`xai_core::transport`] owns the wire protocol and the failure-first
-//! [`ClusterRunner`]; this module owns everything that needs the full
-//! method registry: [`run_daemon`] turns the `xai-shard-worker` binary
-//! into a TCP daemon (`--listen addr:port`) that accepts one
-//! [`ShardDescriptor`] frame per connection, executes it through
+//! [`ClusterRunner`] (re-exported wholesale here); this module owns
+//! everything that needs the full method registry: [`run_daemon`] turns
+//! the `xai-shard-worker` binary into a TCP daemon (`--listen addr:port`)
+//! that serves a persistent session per connection — one
+//! [`ShardDescriptor`] frame per request, looped until the client closes
+//! the stream — executing each through
 //! [`crate::shard::execute_wire_text`] (rebuilding model and method from
-//! their persisted forms), and answers with a [`ShardResult`] frame or a
-//! typed shard error envelope.
+//! their persisted forms) and answering with a [`ShardResult`] frame or
+//! a typed shard error envelope.
 //!
 //! For the supervision tests, `XAI_TRANSPORT_FAULT` injects daemon-side
 //! failure modes (`kill`, `hang`, `garbage`, `partial`, `panic`,
@@ -23,15 +25,11 @@ use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
-use xai_core::transport::{serve_connection, FRAME_MAGIC};
 use xai_core::{IoKind, XaiError, XaiResult};
 
 use crate::shard::{execute_wire_text, panic_message};
 
-pub use xai_core::transport::{
-    BreakerState, ClusterConfig, ClusterOutcome, ClusterRunner, ClusterStats, EndpointHealth,
-    FallbackPolicy, RetryPolicy,
-};
+pub use xai_core::transport::*;
 
 /// One-shot cluster execution for any persistable model: cut the request
 /// into `n_shards` descriptors (the model travels in its persisted form),
@@ -176,8 +174,9 @@ fn execute_caught(text: &str, force_panic: bool) -> XaiResult<crate::shard::Shar
 
 /// Runs the shard daemon: bind `addr` (use port 0 for an ephemeral
 /// port), print `listening on {local_addr}` on stdout so a parent
-/// process can discover the port, then serve one descriptor per
-/// connection forever. Returns a process exit code on unrecoverable
+/// process can discover the port, then serve a persistent session per
+/// connection — descriptors are answered in a loop until the client
+/// closes the stream. Returns a process exit code on unrecoverable
 /// errors (a failed bind); per-connection failures are logged to stderr
 /// and never stop the daemon.
 pub fn run_daemon(addr: &str) -> i32 {

@@ -50,6 +50,7 @@ fn golden_request() -> ServeRequest {
                 max_duration: Some(Duration::from_millis(250)),
             },
             degradation: DegradationPolicy::Strict,
+            backend: BackendChoice::Local,
         })
 }
 
